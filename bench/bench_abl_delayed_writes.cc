@@ -1,0 +1,68 @@
+// Ablation: delayed-write machinery (Section 3.4).
+//
+// Sweeps the NVRAM metadata-table limit under a write burst and compares
+// foreground propagation against background propagation: the table limit
+// bounds how long propagation can hide, and when it fills, delayed writes are
+// forced into the foreground queues, re-exposing the Equation (3) cost.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace mimdraid;
+using namespace mimdraid::bench;
+
+namespace {
+
+struct Outcome {
+  double mean_ms;
+  uint64_t forced;
+  uint64_t discarded;
+};
+
+Outcome Run(size_t table_limit, bool foreground, double write_frac,
+            uint32_t outstanding) {
+  MimdRaidOptions options;
+  options.aspect = Aspect(2, 3);
+  options.scheduler = SchedulerKind::kRsatf;
+  options.dataset_sectors = 4'000'000;
+  options.delayed_table_limit = table_limit;
+  options.foreground_write_propagation = foreground;
+  options.seed = 23;
+  MimdRaid array(options);
+  ClosedLoopOptions loop;
+  loop.outstanding = outstanding;
+  loop.read_frac = 1.0 - write_frac;
+  loop.sectors = 8;
+  // Hot working set: back-to-back rewrites exercise the discard path.
+  loop.footprint_frac = 0.02;
+  loop.warmup_ops = 200;
+  loop.measure_ops = 4000;
+  const RunResult r = RunClosedLoopOnArray(array, loop);
+  return Outcome{r.latency.MeanMs(), array.controller().stats().delayed_writes_forced,
+                 array.controller().stats().delayed_writes_discarded};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: delayed writes",
+              "NVRAM table limit and propagation policy (2x3 SR, 50% writes)");
+  std::printf("%-26s %-12s %-10s %-10s\n", "policy", "latency ms", "forced",
+              "discarded");
+  for (size_t limit : {size_t{10}, size_t{100}, size_t{1000}, size_t{10000}}) {
+    const Outcome o = Run(limit, /*foreground=*/false, 0.5, 16);
+    std::printf("background, table=%-7zu %-12.2f %-10llu %-10llu\n", limit,
+                o.mean_ms, static_cast<unsigned long long>(o.forced),
+                static_cast<unsigned long long>(o.discarded));
+  }
+  const Outcome fg = Run(10000, /*foreground=*/true, 0.5, 16);
+  std::printf("%-26s %-12.2f %-10llu %-10llu\n", "foreground propagation",
+              fg.mean_ms, static_cast<unsigned long long>(fg.forced),
+              static_cast<unsigned long long>(fg.discarded));
+  std::printf(
+      "\nexpected: a large table keeps response time near the read-optimal\n"
+      "level (propagation hides in idle gaps and superseded updates are\n"
+      "discarded); a tiny table forces propagation into the foreground and\n"
+      "approaches the fully synchronous cost.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Ablation: failure, degraded operation, and rebuild — the reliability side
+// of the capacity-for-performance trade (Section 2.5 notes the striped
+// mirror's reliability edge over the SR-Array; RAID-5 buys it cheaper still).
+//
+// Six disks, RAID-10 (3x1x2) vs RAID-5: random-read latency healthy and
+// degraded, and the time to rebuild the lost disk on an otherwise idle array.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/calib/predictor.h"
+#include "src/raid5/raid5_controller.h"
+#include "src/raid5/raid5_layout.h"
+
+using namespace mimdraid;
+using namespace mimdraid::bench;
+
+namespace {
+
+constexpr uint64_t kDataset = 2'000'000;  // ~1 GB
+constexpr int kDisks = 6;
+
+struct Outcome {
+  double healthy_ms = 0.0;
+  double degraded_ms = 0.0;
+  double rebuild_minutes = 0.0;
+};
+
+Outcome RunRaid10() {
+  Outcome out;
+  {
+    MimdRaidOptions options;
+    options.aspect = Aspect(3, 1, 2);
+    options.scheduler = SchedulerKind::kSatf;
+    options.dataset_sectors = kDataset;
+    MimdRaid array(options);
+    ClosedLoopOptions loop;
+    loop.outstanding = 1;
+    loop.read_frac = 1.0;
+    loop.sectors = 8;
+    loop.warmup_ops = 150;
+    loop.measure_ops = 2500;
+    out.healthy_ms = RunClosedLoopOnArray(array, loop).latency.MeanMs();
+  }
+  {
+    MimdRaidOptions options;
+    options.aspect = Aspect(3, 1, 2);
+    options.scheduler = SchedulerKind::kSatf;
+    options.dataset_sectors = kDataset;
+    MimdRaid array(options);
+    MIMDRAID_CHECK(array.controller().FailDisk(0));
+    ClosedLoopOptions loop;
+    loop.outstanding = 1;
+    loop.read_frac = 1.0;
+    loop.sectors = 8;
+    loop.warmup_ops = 150;
+    loop.measure_ops = 2500;
+    out.degraded_ms = RunClosedLoopOnArray(array, loop).latency.MeanMs();
+    const SimTime start = array.sim().Now();
+    SimTime rebuilt = -1;
+    array.controller().RebuildDisk(0, [&](SimTime c) { rebuilt = c; });
+    while (rebuilt < 0) {
+      array.sim().Step();
+    }
+    out.rebuild_minutes = SecondsFromUs(rebuilt - start) / 60.0;
+  }
+  return out;
+}
+
+Outcome RunRaid5() {
+  Outcome out;
+  for (int pass = 0; pass < 2; ++pass) {
+    Simulator sim;
+    std::vector<std::unique_ptr<SimDisk>> disks;
+    std::vector<std::unique_ptr<AccessPredictor>> preds;
+    std::vector<SimDisk*> dptr;
+    std::vector<AccessPredictor*> pptr;
+    Rng rng(13);
+    for (int i = 0; i < kDisks; ++i) {
+      disks.push_back(std::make_unique<SimDisk>(
+          &sim, MakeSt39133Geometry(), MakeSt39133SeekProfile(),
+          DiskNoiseModel::None(), 70 + i, rng.UniformDouble() * 6000.0));
+      preds.push_back(
+          std::make_unique<OraclePredictor>(disks.back().get(), 0.0));
+      dptr.push_back(disks.back().get());
+      pptr.push_back(preds.back().get());
+    }
+    Raid5Layout layout(kDisks, 128, kDataset / (kDisks - 1) + 128);
+    Raid5ControllerOptions copts;
+    copts.scheduler = SchedulerKind::kSatf;
+    Raid5Controller controller(&sim, dptr, pptr, &layout, copts);
+    if (pass == 1) {
+      controller.FailDisk(0);
+    }
+    ClosedLoopOptions loop;
+    loop.dataset_sectors = std::min(kDataset, layout.data_capacity_sectors());
+    loop.outstanding = 1;
+    loop.read_frac = 1.0;
+    loop.sectors = 8;
+    loop.warmup_ops = 150;
+    loop.measure_ops = 2500;
+    SubmitFn submit = [&controller](DiskOp op, uint64_t lba, uint32_t sectors,
+                                    IoDoneFn done) {
+      controller.Submit(op, lba, sectors, std::move(done));
+    };
+    ClosedLoopDriver driver(&sim, std::move(submit), loop);
+    const RunResult r = driver.Run();
+    if (pass == 0) {
+      out.healthy_ms = r.latency.MeanMs();
+    } else {
+      out.degraded_ms = r.latency.MeanMs();
+      const SimTime start = sim.Now();
+      SimTime rebuilt = -1;
+      controller.Rebuild(0, [&](SimTime c) { rebuilt = c; });
+      while (rebuilt < 0) {
+        sim.Step();
+      }
+      out.rebuild_minutes = SecondsFromUs(rebuilt - start) / 60.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: failure and rebuild",
+              "six disks, one lost: RAID-10 vs RAID-5 (8 KB random reads)");
+  std::printf("%-16s %-12s %-12s %-12s %s\n", "scheme", "healthy", "degraded",
+              "slowdown", "rebuild time");
+  const Outcome r10 = RunRaid10();
+  std::printf("%-16s %-9.2f ms %-9.2f ms %-12.2f %.1f min\n", "RAID-10",
+              r10.healthy_ms, r10.degraded_ms,
+              r10.degraded_ms / r10.healthy_ms, r10.rebuild_minutes);
+  const Outcome r5 = RunRaid5();
+  std::printf("%-16s %-9.2f ms %-9.2f ms %-12.2f %.1f min\n", "RAID-5",
+              r5.healthy_ms, r5.degraded_ms, r5.degraded_ms / r5.healthy_ms,
+              r5.rebuild_minutes);
+  std::printf(
+      "\nexpected: RAID-10 degrades gently (reads fall back to the twin) and\n"
+      "rebuilds by plain copy; RAID-5 reads suffer the N-1-way reconstruct\n"
+      "fan-out and rebuild touches every row. An SR-Array (Dm=1) would not\n"
+      "survive the failure at all — the paper's reliability tradeoff.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Ablation: intra-track vs cross-track rotational replication (Section 2.2).
+//
+// The paper rejects placing replicas within a track because it shortens the
+// effective track and multiplies track switches for large sequential I/O,
+// and chooses different tracks of the same cylinder instead. This ablation
+// measures both placements at Dr=3: small random reads (where the two should
+// be comparable) and large sequential reads (where intra-track placement
+// forfeits bandwidth).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace mimdraid;
+using namespace mimdraid::bench;
+
+namespace {
+
+struct Outcome {
+  double random_ms = 0.0;
+  double seq_read_mb_s = 0.0;       // RSATF: replica-aware
+  double seq_read_naive_mb_s = 0.0; // FCFS: always the primary copy
+  double seq_write_mb_s = 0.0;      // all replicas written (foreground)
+};
+
+double SequentialSweep(PlacementMode mode, SchedulerKind sched, DiskOp op,
+                       uint64_t seed) {
+  MimdRaidOptions options;
+  options.aspect = Aspect(1, 3);  // single column isolates per-disk bandwidth
+  options.scheduler = sched;
+  options.dataset_sectors = 4'000'000;
+  options.placement_mode = mode;
+  options.foreground_write_propagation = true;
+  options.seed = seed;
+  // Zero per-command overhead and track-sized stripe units: expose the
+  // *mechanical* streaming behavior of the placement (with command overhead,
+  // per-fragment costs dominate both placements equally).
+  options.noise = DiskNoiseModel{.overhead_mean_us = 0.0,
+                                 .overhead_stddev_us = 0.0,
+                                 .post_overhead_mean_us = 0.0,
+                                 .post_overhead_stddev_us = 0.0,
+                                 .hiccup_prob = 0.0,
+                                 .hiccup_mean_us = 0.0};
+  options.stripe_unit_sectors = 1024;
+  MimdRaid array(options);
+  constexpr uint32_t kReq = 512;  // 256 KiB
+  constexpr int kOps = 300;
+  const SimTime start = array.sim().Now();
+  uint64_t lba = 0;
+  int done = 0;
+  std::function<void()> next = [&]() {
+    if (done >= kOps) {
+      return;
+    }
+    array.controller().Submit(op, lba, kReq, [&](SimTime) {
+      ++done;
+      lba += kReq;
+      next();
+    });
+  };
+  next();
+  while (done < kOps) {
+    array.sim().Step();
+  }
+  const double secs = SecondsFromUs(array.sim().Now() - start);
+  return static_cast<double>(kOps) * kReq * 512.0 / 1e6 / secs;
+}
+
+Outcome Run(PlacementMode mode) {
+  Outcome out{};
+  {
+    MimdRaidOptions options;
+    options.aspect = Aspect(2, 3);
+    options.scheduler = SchedulerKind::kRsatf;
+    options.dataset_sectors = 4'000'000;
+    options.placement_mode = mode;
+    options.seed = 31;
+    MimdRaid array(options);
+    ClosedLoopOptions loop;
+    loop.outstanding = 1;
+    loop.read_frac = 1.0;
+    loop.sectors = 8;
+    loop.warmup_ops = 200;
+    loop.measure_ops = 3000;
+    out.random_ms = RunClosedLoopOnArray(array, loop).latency.MeanMs();
+  }
+  out.seq_read_mb_s =
+      SequentialSweep(mode, SchedulerKind::kRsatf, DiskOp::kRead, 32);
+  out.seq_read_naive_mb_s =
+      SequentialSweep(mode, SchedulerKind::kFcfs, DiskOp::kRead, 33);
+  out.seq_write_mb_s =
+      SequentialSweep(mode, SchedulerKind::kRsatf, DiskOp::kWrite, 34);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: replica placement",
+              "intra-track vs cross-track (Dr = 3)");
+  const Outcome cross = Run(PlacementMode::kCrossTrack);
+  const Outcome intra = Run(PlacementMode::kIntraTrack);
+  std::printf("%-22s %-16s %-16s %-16s %-16s\n", "placement",
+              "8KB random ms", "seq read MB/s", "naive read MB/s",
+              "seq write MB/s");
+  std::printf("%-22s %-16.2f %-16.1f %-16.1f %-16.1f\n",
+              "cross-track (paper)", cross.random_ms, cross.seq_read_mb_s,
+              cross.seq_read_naive_mb_s, cross.seq_write_mb_s);
+  std::printf("%-22s %-16.2f %-16.1f %-16.1f %-16.1f\n",
+              "intra-track (Ng '91)", intra.random_ms, intra.seq_read_mb_s,
+              intra.seq_read_naive_mb_s, intra.seq_write_mb_s);
+  std::printf(
+      "\nexpected: comparable small-read latency; intra-track placement\n"
+      "shortens the effective track, costing sequential bandwidth — worst\n"
+      "for replica-oblivious readers and for writes, which must lay down\n"
+      "every copy (the Section 2.2 design argument).\n");
+  return 0;
+}

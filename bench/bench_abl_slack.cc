@@ -1,0 +1,91 @@
+// Ablation: the prediction slack and its feedback loop (Section 3.2).
+//
+// Small errors in timing measurement can cost a full rotation; the paper
+// inserts a slack of k sectors, tuned by a real-time feedback loop, so more
+// than 99% of requests stay on target. This ablation sweeps fixed slacks
+// against the adaptive loop on noisy drives and reports miss rate, demerit,
+// and mean response time — exposing both failure modes: too little slack
+// (rotation misses) and too much (rotational opportunity thrown away).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/calib/predictor.h"
+
+using namespace mimdraid;
+using namespace mimdraid::bench;
+
+namespace {
+
+struct Outcome {
+  double miss_pct = 0.0;
+  double demerit_us = 0.0;
+  double latency_ms = 0.0;
+  double final_slack_us = 0.0;
+};
+
+Outcome Run(double slack_us, bool adaptive) {
+  MimdRaidOptions options;
+  options.aspect = Aspect(2, 3);
+  options.scheduler = SchedulerKind::kRsatf;
+  options.dataset_sectors = 4'000'000;
+  options.noise = DiskNoiseModel::Prototype();
+  options.use_oracle_predictor = false;
+  options.recalibration_interval_us = 120'000'000;
+  options.calibration.seek.num_distances = 10;
+  options.seed = 3;
+  options.slack.initial_slack_us = slack_us;
+  if (!adaptive) {
+    options.slack.min_slack_us = slack_us;
+    options.slack.max_slack_us = slack_us;
+  }
+  MimdRaid array(options);
+
+  ClosedLoopOptions loop;
+  loop.outstanding = 2;
+  loop.read_frac = 1.0;
+  loop.sectors = 1;
+  loop.warmup_ops = 200;
+  loop.measure_ops = 4000;
+  const RunResult r = RunClosedLoopOnArray(array, loop);
+
+  Outcome out;
+  uint64_t predictions = 0;
+  uint64_t misses = 0;
+  double sq = 0.0;
+  double slack_sum = 0.0;
+  for (size_t i = 0; i < array.num_disks(); ++i) {
+    auto& p = dynamic_cast<HeadPositionPredictor&>(array.predictor(i));
+    predictions += p.stats().predictions;
+    misses += p.stats().misses;
+    sq += p.stats().squared_error_sum;
+    slack_sum += p.SlackUs();
+  }
+  out.miss_pct =
+      100.0 * static_cast<double>(misses) / static_cast<double>(predictions);
+  out.demerit_us = std::sqrt(sq / static_cast<double>(predictions));
+  out.latency_ms = r.latency.MeanMs();
+  out.final_slack_us = slack_sum / static_cast<double>(array.num_disks());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: slack",
+              "rotation misses vs wasted rotation (2x3 SR-Array, RSATF)");
+  std::printf("%-20s %-8s %-12s %-12s %s\n", "policy", "miss%", "demerit us",
+              "latency ms", "final slack us");
+  for (double s : {0.0, 100.0, 250.0, 500.0, 1000.0, 2000.0}) {
+    const Outcome o = Run(s, /*adaptive=*/false);
+    std::printf("fixed %-14.0f %-8.2f %-12.0f %-12.2f %.0f\n", s, o.miss_pct,
+                o.demerit_us, o.latency_ms, o.final_slack_us);
+  }
+  const Outcome o = Run(450.0, /*adaptive=*/true);
+  std::printf("%-20s %-8.2f %-12.0f %-12.2f %.0f\n", "adaptive (paper)",
+              o.miss_pct, o.demerit_us, o.latency_ms, o.final_slack_us);
+  std::printf("\nexpected: tiny slack -> misses and high demerit; huge slack\n"
+              "-> no misses but inflated response time; the adaptive loop\n"
+              "lands between, holding misses near the 1%% target.\n");
+  return 0;
+}

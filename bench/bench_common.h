@@ -1,0 +1,95 @@
+// Shared helpers for the table/figure reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation section: it builds the workload, sweeps the same parameter axis,
+// and prints the same rows/series the paper reports, plus the model curves
+// where the paper shows them. Absolute values differ from the paper (our
+// substrate is a calibrated simulator, not the authors' testbed); the series
+// shapes and orderings are the reproduction target (see EXPERIMENTS.md).
+#ifndef MIMDRAID_BENCH_BENCH_COMMON_H_
+#define MIMDRAID_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/core/mimd_raid.h"
+#include "src/model/configurator.h"
+#include "src/workload/synthetic.h"
+
+namespace mimdraid {
+namespace bench {
+
+inline void PrintHeader(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+struct TraceRunConfig {
+  ArrayAspect aspect;
+  SchedulerKind scheduler = SchedulerKind::kRsatf;
+  double rate_scale = 1.0;
+  size_t max_scan = 128;
+  size_t max_outstanding = 4000;
+  bool foreground_writes = false;
+  uint64_t seed = 42;
+};
+
+struct TraceRunOutput {
+  double mean_ms = 0.0;
+  double p99_ms = 0.0;
+  double iops = 0.0;
+  bool saturated = false;
+};
+
+inline TraceRunOutput RunTraceConfig(const Trace& trace,
+                                     const TraceRunConfig& config) {
+  MimdRaidOptions options;
+  options.aspect = config.aspect;
+  options.scheduler = config.scheduler;
+  options.dataset_sectors = trace.dataset_sectors;
+  options.max_scan = config.max_scan;
+  options.foreground_write_propagation = config.foreground_writes;
+  options.seed = config.seed;
+  MimdRaid array(options);
+  TracePlayerOptions popt;
+  popt.rate_scale = config.rate_scale;
+  popt.max_outstanding = config.max_outstanding;
+  const RunResult r = RunTraceOnArray(array, trace, popt);
+  TraceRunOutput out;
+  out.saturated = r.saturated;
+  out.mean_ms = r.saturated ? -1.0 : r.latency.MeanMs();
+  out.p99_ms = r.saturated ? -1.0 : r.latency.PercentileUs(0.99) / 1000.0;
+  out.iops = r.iops;
+  return out;
+}
+
+inline std::string FormatMs(double ms) {
+  if (ms < 0.0) {
+    return "   sat";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%6.2f", ms);
+  return buf;
+}
+
+// The standard drive and the model parameters the paper derives from it.
+inline ModelDiskParams StandardModelParams(uint64_t dataset_sectors) {
+  return ModelParamsForDataset(MakeSt39133Geometry(), MakeSt39133SeekProfile(),
+                               dataset_sectors);
+}
+
+// Aspect shorthand.
+inline ArrayAspect Aspect(int ds, int dr, int dm = 1) {
+  ArrayAspect a;
+  a.ds = ds;
+  a.dr = dr;
+  a.dm = dm;
+  return a;
+}
+
+}  // namespace bench
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_BENCH_BENCH_COMMON_H_

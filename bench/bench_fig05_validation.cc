@@ -1,0 +1,72 @@
+// Figure 5: prototype-vs-simulator throughput validation.
+//
+// The paper drives its hardware prototype and its integrated simulator with
+// equivalent Iometer workloads and shows <3% divergence. Both of the paper's
+// systems ran the same software stack; only the device differed (real drive
+// vs calibrated simulator). We reproduce that: both sides run the full
+// software calibration and prediction path; the "prototype" device has
+// realistic stochastic overheads (jitter, hiccups, off-nominal spindles),
+// the "simulator" device is the deterministic model. Their divergence
+// measures exactly what the paper's Figure 5 measured: how much of real
+// behavior the deterministic model misses.
+//
+// Workloads: 512-byte random I/O on a 2x3 SR-Array with RSATF, (a) pure
+// reads, (b) 50% reads / 50% writes with foreground replica propagation;
+// outstanding requests swept.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace mimdraid;
+using namespace mimdraid::bench;
+
+namespace {
+
+double MeasureIops(bool noisy, double read_frac, uint32_t outstanding) {
+  MimdRaidOptions options;
+  options.aspect = Aspect(2, 3);
+  options.scheduler = SchedulerKind::kRsatf;
+  options.dataset_sectors = 4'000'000;  // ~2 GB
+  options.foreground_write_propagation = true;
+  options.seed = 2026;
+  options.use_oracle_predictor = false;
+  options.recalibration_interval_us = 120'000'000;  // 2 minutes
+  options.calibration.seek.num_distances = 12;
+  options.noise =
+      noisy ? DiskNoiseModel::Prototype() : DiskNoiseModel::None();
+  if (!noisy) {
+    options.rotation_tolerance_ppm = 0.0;
+  }
+  MimdRaid array(options);
+  ClosedLoopOptions loop;
+  loop.outstanding = outstanding;
+  loop.read_frac = read_frac;
+  loop.sectors = 1;  // 512 bytes
+  loop.warmup_ops = 300;
+  loop.measure_ops = 4000;
+  loop.seed = 7;
+  return RunClosedLoopOnArray(array, loop).iops;
+}
+
+void Sweep(const char* label, double read_frac) {
+  std::printf("\n%s (2x3 SR-Array, RSATF, 512 B, foreground propagation)\n",
+              label);
+  std::printf("%-14s %-14s %-14s %s\n", "outstanding", "prototype",
+              "simulator", "divergence");
+  for (uint32_t q : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const double prototype = MeasureIops(/*noisy=*/true, read_frac, q);
+    const double simulator = MeasureIops(/*noisy=*/false, read_frac, q);
+    std::printf("%-14u %-14.0f %-14.0f %+.1f%%\n", q, prototype, simulator,
+                100.0 * (simulator - prototype) / prototype);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 5", "Prototype vs simulator throughput (Iometer)");
+  Sweep("(a) 100% reads", 1.0);
+  Sweep("(b) 50% reads / 50% writes", 0.5);
+  std::printf("\npaper: divergence under 3%% at all queueing levels\n");
+  return 0;
+}

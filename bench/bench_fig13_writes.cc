@@ -1,0 +1,93 @@
+// Figure 13: throughput vs foreground write ratio (replica propagation cost).
+//
+// Six disks, 512-byte random I/O, every write propagated synchronously in the
+// foreground, write ratio swept 0..100%. Series: 3x2x1 SR-Array (RLOOK and
+// RSATF), 6x1x1 striping (LOOK and SATF), 3x1x2 RAID-10 (SATF), and the
+// Equation (16) model for the SR-Array. The reproduction targets: RAID-10
+// collapses at high write ratios (two seeks per propagation vs one), the
+// SR/stripe crossover sits below 50% writes, and it sits further left under
+// SATF-class scheduling and longer queues.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/model/analytic.h"
+
+using namespace mimdraid;
+using namespace mimdraid::bench;
+
+namespace {
+
+constexpr uint64_t kDataset = 16'400'000;
+constexpr double kLocality = 3.0;
+
+double MeasureIops(const ArrayAspect& aspect, SchedulerKind sched,
+                   uint32_t outstanding, double write_frac) {
+  MimdRaidOptions options;
+  options.aspect = aspect;
+  options.scheduler = sched;
+  options.dataset_sectors = kDataset;
+  options.foreground_write_propagation = true;
+  options.seed = 77;
+  MimdRaid array(options);
+  ClosedLoopOptions loop;
+  loop.outstanding = outstanding;
+  loop.read_frac = 1.0 - write_frac;
+  loop.sectors = 1;
+  loop.footprint_frac = 1.0 / kLocality;
+  loop.warmup_ops = 300;
+  loop.measure_ops = 4000;
+  return RunClosedLoopOnArray(array, loop).iops;
+}
+
+void Sweep(uint32_t outstanding) {
+  const ModelDiskParams params = StandardModelParams(kDataset);
+  const DiskNoiseModel noise = DiskNoiseModel::None();
+  // Per-request overhead including the per-stop settle floor (see Fig. 12).
+  const SeekProfile profile = MakeSt39133SeekProfile();
+  const double to_us = noise.overhead_mean_us + noise.post_overhead_mean_us +
+                       profile.short_a_us + 23.0;
+
+  std::printf("\nqueue length %u (IOPS)\n", outstanding);
+  std::printf("%-8s %-10s %-10s %-10s %-10s %-10s %s\n", "write%",
+              "SR RLOOK", "SR RSATF", "strp LOOK", "strp SATF", "R10 SATF",
+              "model(3x2)");
+  for (double w : {0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0}) {
+    const double rlook =
+        MeasureIops(Aspect(3, 2), SchedulerKind::kRlook, outstanding, w);
+    const double rsatf =
+        MeasureIops(Aspect(3, 2), SchedulerKind::kRsatf, outstanding, w);
+    const double look =
+        MeasureIops(Aspect(6, 1), SchedulerKind::kLook, outstanding, w);
+    const double satf =
+        MeasureIops(Aspect(6, 1), SchedulerKind::kSatf, outstanding, w);
+    const double raid =
+        MeasureIops(Aspect(3, 1, 2), SchedulerKind::kSatf, outstanding, w);
+
+    // Equation (16) for the 3x2 SR-Array: p = read fraction (every write is
+    // a foreground propagation here). Each logical write costs Dr physical
+    // writes, so the per-logical-op time doubles the write term's share.
+    const double p = 1.0 - w;
+    const double q = std::max(1.0, static_cast<double>(outstanding) / 6.0);
+    // Per-physical-request time (Eq. 12 handles p directly).
+    const double t_req =
+        q > 3.0 ? RlookRequestTimeUs(params.max_seek_us, params.rotation_us, 3,
+                                     2, p, q, kLocality)
+                : SrMixedLatencyUs(params.max_seek_us, params.rotation_us, 3,
+                                   2, p, kLocality);
+    const double n1 = SingleDiskThroughput(to_us, t_req);
+    const double nd = ArrayThroughput(6, outstanding, n1);
+
+    std::printf("%-8.1f %-10.0f %-10.0f %-10.0f %-10.0f %-10.0f %.0f\n",
+                w * 100.0, rlook, rsatf, look, satf, raid, nd);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 13",
+              "Throughput vs foreground write ratio (six disks, 512 B)");
+  Sweep(8);
+  Sweep(32);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the simulator:
+// LBA mapping, access planning, replica placement, and scheduler picks.
+// These bound the cost of simulated I/O and of position-sensitive scheduling
+// (a SATF-class dispatch is O(queue x replicas) Plan() calls).
+#include <benchmark/benchmark.h>
+
+#include "src/array/placement.h"
+#include "src/calib/predictor.h"
+#include "src/disk/sim_disk.h"
+#include "src/sched/positional_schedulers.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace mimdraid {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : geometry(MakeSt39133Geometry()),
+        layout(&geometry),
+        profile(MakeSt39133SeekProfile()),
+        timing(&layout, profile, 0.0),
+        rng(1) {}
+  DiskGeometry geometry;
+  DiskLayout layout;
+  SeekProfile profile;
+  DiskTimingModel timing;
+  Rng rng;
+};
+
+Fixture& F() {
+  static Fixture f;
+  return f;
+}
+
+void BM_LayoutToChs(benchmark::State& state) {
+  Fixture& f = F();
+  uint64_t lba = 12345;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.layout.ToChs(lba));
+    lba = (lba * 2654435761u + 7) % f.layout.num_data_sectors();
+  }
+}
+BENCHMARK(BM_LayoutToChs);
+
+void BM_TimingPlan(benchmark::State& state) {
+  Fixture& f = F();
+  HeadState head{100, 3};
+  uint64_t lba = 999;
+  double t = 0.0;
+  for (auto _ : state) {
+    const AccessPlan plan = f.timing.Plan(head, t, lba, 8, false);
+    benchmark::DoNotOptimize(plan.total_us);
+    head = plan.end_state;
+    t += plan.total_us;
+    lba = (lba * 2654435761u + 13) % (f.layout.num_data_sectors() - 8);
+  }
+}
+BENCHMARK(BM_TimingPlan);
+
+void BM_PlacementPhysicalLba(benchmark::State& state) {
+  Fixture& f = F();
+  static SrDiskPlacement placement(&f.layout, 3);
+  uint64_t s = 5;
+  int r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement.PhysicalLba(s, r));
+    s = (s * 2654435761u + 3) % placement.capacity_sectors();
+    r = (r + 1) % 3;
+  }
+}
+BENCHMARK(BM_PlacementPhysicalLba);
+
+void BM_SimDiskOp(benchmark::State& state) {
+  Simulator sim;
+  SimDisk disk(&sim, F().geometry, F().profile, DiskNoiseModel::None(), 1,
+               0.0);
+  Rng rng(3);
+  for (auto _ : state) {
+    const uint64_t lba = rng.UniformU64(disk.num_sectors() - 8);
+    bool done = false;
+    disk.Start(DiskOp::kRead, lba, 8, [&](const DiskOpResult&) {
+      done = true;
+    });
+    while (!done) {
+      sim.Step();
+    }
+  }
+}
+BENCHMARK(BM_SimDiskOp);
+
+void BM_RsatfPick(benchmark::State& state) {
+  const size_t queue_len = static_cast<size_t>(state.range(0));
+  Simulator sim;
+  SimDisk disk(&sim, F().geometry, F().profile, DiskNoiseModel::None(), 1,
+               0.0);
+  OraclePredictor predictor(&disk, 0.0);
+  SrDiskPlacement placement(&disk.layout(), 3);
+  Rng rng(5);
+  std::vector<QueuedRequest> queue;
+  for (size_t i = 0; i < queue_len; ++i) {
+    QueuedRequest req;
+    req.id = i + 1;
+    req.op = DiskOp::kRead;
+    req.sectors = 8;
+    const uint64_t s = rng.UniformU64(placement.capacity_sectors() - 8);
+    req.candidate_lbas = placement.AllReplicas(s);
+    queue.push_back(std::move(req));
+  }
+  RsatfScheduler sched;
+  ScheduleContext ctx;
+  ctx.predictor = &predictor;
+  ctx.layout = &disk.layout();
+  SimTime now = 0;
+  for (auto _ : state) {
+    ctx.now = now;
+    benchmark::DoNotOptimize(sched.Pick(queue, ctx));
+    now += 1000;
+  }
+  state.SetComplexityN(static_cast<int64_t>(queue_len));
+}
+BENCHMARK(BM_RsatfPick)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+}  // namespace
+}  // namespace mimdraid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+#include "src/adapt/workload_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+WorkloadMonitor::WorkloadMonitor(uint64_t dataset_sectors, size_t window)
+    : dataset_sectors_(dataset_sectors), window_(window) {
+  MIMDRAID_CHECK_GT(dataset_sectors, 0u);
+  MIMDRAID_CHECK_GT(window, 16u);
+}
+
+void WorkloadMonitor::OnSubmit(DiskOp op, uint64_t lba, uint32_t sectors,
+                               SimTime now) {
+  Sample s;
+  s.time_us = now;
+  s.lba = lba;
+  s.sectors = sectors;
+  s.is_write = op == DiskOp::kWrite;
+  s.distance = have_prev_ ? (lba > prev_lba_ ? lba - prev_lba_
+                                             : prev_lba_ - lba)
+                          : 0;
+  prev_lba_ = lba;
+  have_prev_ = true;
+  samples_.push_back(s);
+  while (samples_.size() > window_) {
+    samples_.pop_front();
+  }
+
+  ++submitted_;
+  outstanding_integral_ += static_cast<double>(outstanding_) *
+                           static_cast<double>(now - last_change_us_);
+  last_change_us_ = now;
+  ++outstanding_;
+}
+
+void WorkloadMonitor::OnComplete(SimTime now) {
+  MIMDRAID_CHECK_GT(outstanding_, 0u);
+  outstanding_integral_ += static_cast<double>(outstanding_) *
+                           static_cast<double>(now - last_change_us_);
+  last_change_us_ = now;
+  --outstanding_;
+  ++completed_;
+}
+
+WorkloadProfile WorkloadMonitor::Snapshot(int disks,
+                                          double mean_service_us) const {
+  WorkloadProfile p;
+  p.samples = samples_.size();
+  if (samples_.size() < 2) {
+    return p;
+  }
+  const SimTime span = samples_.back().time_us - samples_.front().time_us;
+  uint64_t reads = 0;
+  double dist_sum = 0.0;
+  double sector_sum = 0.0;
+  for (const Sample& s : samples_) {
+    if (!s.is_write) {
+      ++reads;
+    }
+    dist_sum += static_cast<double>(s.distance);
+    sector_sum += s.sectors;
+  }
+  const double n = static_cast<double>(samples_.size());
+  p.read_frac = static_cast<double>(reads) / n;
+  p.mean_request_sectors = sector_sum / n;
+  p.io_per_s = span > 0 ? n / SecondsFromUs(span) : 0.0;
+  const double mean_dist = dist_sum / (n - 1);
+  const double random_dist = static_cast<double>(dataset_sectors_) / 3.0;
+  p.locality = mean_dist > 0.0 ? std::max(1.0, random_dist / mean_dist) : 1.0;
+
+  const SimTime elapsed = last_change_us_ - window_start_us_;
+  p.mean_queue_depth =
+      elapsed > 0
+          ? outstanding_integral_ / static_cast<double>(elapsed)
+          : static_cast<double>(outstanding_);
+
+  // Utilization: offered disk-time per wall-time. Idle headroom masks write
+  // propagation (Equation 8): a fully idle array propagates every replica in
+  // the background (p -> 1); a saturated one propagates in the foreground
+  // (p -> read fraction).
+  MIMDRAID_CHECK_GE(disks, 1);
+  p.utilization = std::min(
+      1.0, p.io_per_s * mean_service_us / 1e6 / static_cast<double>(disks));
+  const double maskable = 1.0 - p.utilization;
+  p.p_estimate = p.read_frac + (1.0 - p.read_frac) * maskable;
+  return p;
+}
+
+}  // namespace mimdraid

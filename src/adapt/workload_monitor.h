@@ -1,0 +1,77 @@
+// Online workload characterization (the paper's future-work direction,
+// after HP Ivy: observe access patterns and dynamically tune the array).
+//
+// The monitor taps the logical request stream and maintains the statistics
+// the Section 2 models consume: arrival rate, read fraction, seek locality L,
+// queue depth, and an estimate of p (the fraction of operations whose replica
+// propagation can be masked by idle time, Equation 8). Windowed so the
+// profile follows workload phase changes.
+#ifndef MIMDRAID_SRC_ADAPT_WORKLOAD_MONITOR_H_
+#define MIMDRAID_SRC_ADAPT_WORKLOAD_MONITOR_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/disk/sim_disk.h"
+#include "src/util/time.h"
+
+namespace mimdraid {
+
+// What the Configurator needs to know about the workload.
+struct WorkloadProfile {
+  double io_per_s = 0.0;
+  double read_frac = 1.0;
+  double locality = 1.0;        // L
+  double mean_queue_depth = 0.0;  // outstanding ops, time-averaged
+  double mean_request_sectors = 0.0;
+  // Estimated utilization of the array (busy fraction), used to derive p.
+  double utilization = 0.0;
+  // Equation (8): reads plus background-maskable writes over everything.
+  double p_estimate = 1.0;
+  uint64_t samples = 0;
+};
+
+class WorkloadMonitor {
+ public:
+  // `dataset_sectors` anchors the locality index; `window` bounds how many
+  // recent requests the profile reflects.
+  explicit WorkloadMonitor(uint64_t dataset_sectors, size_t window = 4096);
+
+  // Tap points.
+  void OnSubmit(DiskOp op, uint64_t lba, uint32_t sectors, SimTime now);
+  void OnComplete(SimTime now);
+
+  // Profile over the current window. `disks` and `mean_service_us` scale the
+  // utilization estimate (offered work vs available disk-seconds).
+  WorkloadProfile Snapshot(int disks, double mean_service_us) const;
+
+  uint64_t submitted() const { return submitted_; }
+  uint64_t completed() const { return completed_; }
+
+ private:
+  struct Sample {
+    SimTime time_us;
+    uint64_t lba;
+    uint32_t sectors;
+    bool is_write;
+    uint64_t distance;  // |lba - previous lba|
+  };
+
+  uint64_t dataset_sectors_;
+  size_t window_;
+  std::deque<Sample> samples_;
+  uint64_t prev_lba_ = 0;
+  bool have_prev_ = false;
+
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  // Time-averaged outstanding count.
+  SimTime last_change_us_ = 0;
+  uint64_t outstanding_ = 0;
+  double outstanding_integral_ = 0.0;
+  SimTime window_start_us_ = 0;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_ADAPT_WORKLOAD_MONITOR_H_

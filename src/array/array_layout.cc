@@ -1,0 +1,85 @@
+#include "src/array/array_layout.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+ArrayLayout::ArrayLayout(const DiskLayout* disk_layout,
+                         const ArrayAspect& aspect,
+                         uint32_t stripe_unit_sectors,
+                         uint64_t dataset_sectors,
+                         PlacementMode placement_mode)
+    : aspect_(aspect),
+      stripe_unit_sectors_(stripe_unit_sectors),
+      dataset_sectors_(dataset_sectors),
+      placement_(disk_layout, aspect.dr, placement_mode) {
+  MIMDRAID_CHECK_GE(aspect.ds, 1);
+  MIMDRAID_CHECK_GE(aspect.dr, 1);
+  MIMDRAID_CHECK_GE(aspect.dm, 1);
+  MIMDRAID_CHECK_GT(stripe_unit_sectors, 0u);
+  MIMDRAID_CHECK_GT(dataset_sectors, 0u);
+  // Stripe rows are whole units; the last partial row still occupies a unit
+  // on each column. Columns = Ds*Dr (see header).
+  const uint64_t columns = static_cast<uint64_t>(aspect.ds) * aspect.dr;
+  const uint64_t units =
+      (dataset_sectors + stripe_unit_sectors - 1) / stripe_unit_sectors;
+  const uint64_t units_per_disk = (units + columns - 1) / columns;
+  per_disk_sectors_ = units_per_disk * stripe_unit_sectors;
+  MIMDRAID_CHECK_LE(per_disk_sectors_, placement_.capacity_sectors());
+}
+
+std::vector<ArrayFragment> ArrayLayout::Map(uint64_t lba,
+                                            uint32_t sectors) const {
+  MIMDRAID_CHECK_GT(sectors, 0u);
+  MIMDRAID_CHECK_LE(lba + sectors, dataset_sectors_);
+  std::vector<ArrayFragment> out;
+  const uint32_t unit = stripe_unit_sectors_;
+  const int dr = aspect_.dr;
+  const int dm = aspect_.dm;
+
+  uint64_t cur = lba;
+  uint32_t remaining = sectors;
+  while (remaining > 0) {
+    const uint64_t stripe_index = cur / unit;
+    const uint32_t offset_in_unit = static_cast<uint32_t>(cur % unit);
+    const uint64_t columns = num_groups();
+    const uint32_t group = static_cast<uint32_t>(stripe_index % columns);
+    const uint64_t disk_sector =
+        (stripe_index / columns) * unit + offset_in_unit;
+
+    // Clip to the stripe unit and to the track-group run.
+    uint32_t len = std::min(remaining, unit - offset_in_unit);
+    len = std::min(len, placement_.ContiguousRun(disk_sector));
+
+    ArrayFragment frag;
+    frag.group = group;
+    frag.replicas.reserve(static_cast<size_t>(dm) * dr);
+    const DiskLayout& dl = placement_.layout();
+    for (int m = 0; m < dm; ++m) {
+      const double base_angle =
+          static_cast<double>(m) / static_cast<double>(dm * dr);
+      const uint32_t disk = DiskFor(group, static_cast<uint32_t>(m));
+      for (int r = 0; r < dr; ++r) {
+        const uint64_t phys =
+            placement_.PhysicalLba(disk_sector, r, base_angle);
+        frag.replicas.push_back(ReplicaLocation{disk, phys});
+        // A rotated copy must stay LBA-contiguous: clip at the point where
+        // its slot range would wrap past the end of the track.
+        const Chs chs = dl.ToChs(phys);
+        const uint32_t spt = dl.geometry().SectorsPerTrack(chs.cylinder);
+        len = std::min(len, spt - chs.sector);
+      }
+    }
+    frag.logical_lba = cur;
+    frag.sectors = len;
+    out.push_back(std::move(frag));
+
+    cur += len;
+    remaining -= len;
+  }
+  return out;
+}
+
+}  // namespace mimdraid

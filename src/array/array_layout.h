@@ -1,0 +1,96 @@
+// Logical-to-physical mapping for a Ds x Dr x Dm array (Section 2.5's most
+// general "SR-Mirror" configuration).
+//
+// Following Figure 3: a Ds x Dr SR-Array stripes the dataset over ALL
+// Ds*Dr disks — each disk holds 1/(Ds*Dr) of the data plus its Dr same-disk
+// rotational replicas, so Dr * 1/(Ds*Dr) = 1/Ds of each disk's cylinders are
+// in use. "Ds" therefore names the resulting seek span (same as a Ds-way
+// stripe), not the column count.
+//
+//   Ds: seek-reduction degree — 1/Ds of each disk's cylinders hold data.
+//   Dr: rotational replicas per block on the *same* disk (SrDiskPlacement).
+//   Dm: mirror copies on *different* disks within a group. Copy m's replica
+//       set is rotated by m/(Dm*Dr), so with synchronized spindles all
+//       Dm*Dr copies are evenly spaced in angle.
+//
+// The stripe-column count is Ds*Dr; each column is a group of Dm mirrored
+// disks, for Ds*Dr*Dm disks total.
+//
+// Degenerate shapes: Dx1x1 = striping, 1x1xD = D-way mirror, Dsx1x2 = the
+// common RAID-10, DsxDrx1 = SR-Array.
+#ifndef MIMDRAID_SRC_ARRAY_ARRAY_LAYOUT_H_
+#define MIMDRAID_SRC_ARRAY_ARRAY_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/array/placement.h"
+#include "src/disk/layout.h"
+#include "src/model/configurator.h"
+
+namespace mimdraid {
+
+struct ReplicaLocation {
+  uint32_t disk = 0;
+  uint64_t lba = 0;
+};
+
+// A physically contiguous piece of a logical request, confined to one stripe
+// column and one track group, together with every physical copy of it.
+struct ArrayFragment {
+  uint64_t logical_lba = 0;
+  uint32_t sectors = 0;
+  uint32_t group = 0;  // stripe column
+  // All Dm*Dr copies, ordered mirror-major: replicas[m*Dr + r]. Every copy is
+  // physically contiguous for `sectors` sectors.
+  std::vector<ReplicaLocation> replicas;
+};
+
+class ArrayLayout {
+ public:
+  // All disks share `disk_layout`'s geometry (homogeneous array).
+  // `dataset_sectors` is the logical capacity exposed; it must fit in
+  // Ds * per-disk capacity at replication degree Dr.
+  ArrayLayout(const DiskLayout* disk_layout, const ArrayAspect& aspect,
+              uint32_t stripe_unit_sectors, uint64_t dataset_sectors,
+              PlacementMode placement_mode = PlacementMode::kCrossTrack);
+
+  const ArrayAspect& aspect() const { return aspect_; }
+  uint64_t dataset_sectors() const { return dataset_sectors_; }
+  uint32_t num_disks() const {
+    return static_cast<uint32_t>(aspect_.TotalDisks());
+  }
+  // Stripe columns (groups of Dm mirrored disks): Ds*Dr.
+  uint32_t num_groups() const {
+    return static_cast<uint32_t>(aspect_.ds * aspect_.dr);
+  }
+  uint32_t stripe_unit_sectors() const { return stripe_unit_sectors_; }
+  const SrDiskPlacement& placement() const { return placement_; }
+
+  // Logical sectors stored per disk (the per-column share of the dataset).
+  uint64_t per_disk_sectors() const { return per_disk_sectors_; }
+
+  // Physical disk index of mirror copy m in stripe column `group`.
+  uint32_t DiskFor(uint32_t group, uint32_t mirror) const {
+    return group * static_cast<uint32_t>(aspect_.dm) + mirror;
+  }
+
+  // Splits a logical request into fragments with full replica sets.
+  std::vector<ArrayFragment> Map(uint64_t lba, uint32_t sectors) const;
+
+  // Highest cylinder used on any disk (the seek span workloads experience).
+  uint32_t CylinderSpan() const {
+    return placement_.CylinderSpan(per_disk_sectors_);
+  }
+
+ private:
+  ArrayAspect aspect_;
+  uint32_t stripe_unit_sectors_;
+  uint64_t dataset_sectors_;
+  uint64_t per_disk_sectors_ = 0;
+  SrDiskPlacement placement_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_ARRAY_ARRAY_LAYOUT_H_

@@ -1,0 +1,731 @@
+#include "src/array/controller.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+ArrayController::ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
+                                 std::vector<AccessPredictor*> predictors,
+                                 const ArrayLayout* layout,
+                                 const ArrayControllerOptions& options)
+    : sim_(sim),
+      disks_(std::move(disks)),
+      predictors_(std::move(predictors)),
+      layout_(layout),
+      options_(options) {
+  MIMDRAID_CHECK(sim != nullptr);
+  MIMDRAID_CHECK(layout != nullptr);
+  MIMDRAID_CHECK_EQ(disks_.size(), layout->num_disks());
+  MIMDRAID_CHECK_EQ(predictors_.size(), disks_.size());
+  const size_t n = disks_.size();
+  schedulers_.reserve(n);
+  fg_.resize(n);
+  delayed_.resize(n);
+  recalibration_events_.resize(n, 0);
+  failed_.resize(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    schedulers_.push_back(MakeScheduler(options.scheduler, options.max_scan));
+    if (options_.recalibration_interval_us > 0) {
+      ScheduleRecalibration(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+ArrayController::~ArrayController() {
+  for (EventId id : recalibration_events_) {
+    if (id != 0) {
+      sim_->Cancel(id);
+    }
+  }
+}
+
+size_t ArrayController::TotalQueued() const {
+  size_t total = 0;
+  for (const auto& q : fg_) {
+    total += q.size();
+  }
+  return total;
+}
+
+bool ArrayController::Idle() const {
+  if (!ops_.empty() || !parked_.empty()) {
+    return false;
+  }
+  for (size_t i = 0; i < disks_.size(); ++i) {
+    if (disks_[i]->busy() || !fg_[i].empty() || !delayed_[i].empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ArrayController::Submit(DiskOp op, uint64_t lba, uint32_t sectors,
+                             DoneFn done) {
+  SubmitInternal(op, lba, sectors, std::move(done), sim_->Now());
+}
+
+void ArrayController::SubmitInternal(DiskOp op, uint64_t lba, uint32_t sectors,
+                                     DoneFn done, SimTime issue_us) {
+  MIMDRAID_CHECK_GT(sectors, 0u);
+  // Read-after-write ordering: a read of data with an in-flight foreground
+  // write waits for the write (all replicas are potentially stale until one
+  // lands).
+  if (op == DiskOp::kRead && RangeHasInflightWrite(lba, sectors)) {
+    ++stats_.parked_reads;
+    parked_.push_back(ParkedRequest{op, lba, sectors, std::move(done), issue_us});
+    return;
+  }
+
+  const uint64_t op_id = next_op_id_++;
+  std::vector<ArrayFragment> fragments = layout_->Map(lba, sectors);
+  OpState& opstate = ops_[op_id];
+  opstate.op = op;
+  opstate.fragments_remaining = static_cast<uint32_t>(fragments.size());
+  opstate.done = std::move(done);
+  opstate.issue_us = issue_us;
+
+  if (op == DiskOp::kWrite) {
+    MarkInflightWrite(lba, sectors, +1);
+  }
+
+  for (ArrayFragment& f : fragments) {
+    const uint64_t frag_key = next_frag_key_++;
+    FragState& frag = frags_[frag_key];
+    frag.op_id = op_id;
+    frag.logical_lba = f.logical_lba;
+    frag.sectors = f.sectors;
+    frag.op = op;
+    frag.replicas = std::move(f.replicas);
+    if (op == DiskOp::kRead) {
+      SubmitReadFragment(frag, frag_key);
+    } else {
+      SubmitWriteFragment(frag, frag_key);
+    }
+  }
+}
+
+void ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
+  const int dr = layout_->aspect().dr;
+  const int dm = layout_->aspect().dm;
+  frag.entries_remaining = 1;
+
+  // Overlapping unaligned writes can leave every replica of this range
+  // partially stale even though every *sector* has a clean copy somewhere.
+  // Shrink the fragment to the longest prefix some replica covers cleanly and
+  // resubmit the tail as its own fragment.
+  uint32_t best_prefix = 0;
+  for (const ReplicaLocation& loc : frag.replicas) {
+    uint32_t clean = 0;
+    while (clean < frag.sectors &&
+           !stale_sectors_.contains(ReplicaKey(loc.disk, loc.lba + clean))) {
+      ++clean;
+    }
+    best_prefix = std::max(best_prefix, clean);
+    if (best_prefix == frag.sectors) {
+      break;
+    }
+  }
+  // Partially overlapping unaligned writes can (rarely) leave every replica
+  // of a sector carrying a stale marker even though the newest data has in
+  // fact been written (the marker belongs to an older, superseded
+  // propagation). Timing-wise any replica is equivalent; serve from the full
+  // set and account for it.
+  const bool ignore_stale = best_prefix == 0;
+  if (ignore_stale) {
+    ++stats_.stale_fallback_reads;
+    best_prefix = frag.sectors;
+  }
+  if (best_prefix < frag.sectors) {
+    const uint64_t tail_key = next_frag_key_++;
+    FragState& tail = frags_[tail_key];
+    tail.op_id = frag.op_id;
+    tail.logical_lba = frag.logical_lba + best_prefix;
+    tail.sectors = frag.sectors - best_prefix;
+    tail.op = frag.op;
+    tail.replicas = frag.replicas;
+    for (ReplicaLocation& loc : tail.replicas) {
+      loc.lba += best_prefix;
+    }
+    ++ops_[frag.op_id].fragments_remaining;
+    // `frag` may have been invalidated by the map insertion above.
+    FragState& head = frags_[frag_key];
+    head.sectors = best_prefix;
+    SubmitReadFragment(head, frag_key);
+    SubmitReadFragment(frags_[tail_key], tail_key);
+    return;
+  }
+
+  // Per-disk candidate sets, stale replicas excluded.
+  struct DiskCandidates {
+    uint32_t disk;
+    std::vector<uint64_t> lbas;
+  };
+  std::vector<DiskCandidates> candidates;
+  for (int m = 0; m < dm; ++m) {
+    DiskCandidates dc;
+    dc.disk = frag.replicas[static_cast<size_t>(m) * dr].disk;
+    if (failed_[dc.disk]) {
+      continue;
+    }
+    for (int r = 0; r < dr; ++r) {
+      const ReplicaLocation& loc = frag.replicas[static_cast<size_t>(m) * dr + r];
+      if (ignore_stale || !ReplicaIsStale(loc.disk, loc.lba, frag.sectors)) {
+        dc.lbas.push_back(loc.lba);
+      }
+    }
+    if (!dc.lbas.empty()) {
+      candidates.push_back(std::move(dc));
+    }
+  }
+  MIMDRAID_CHECK(!candidates.empty());
+
+  // Mirror heuristic (Section 3.3): if a holding disk is idle, send the
+  // request to the idle head closest to a copy; otherwise duplicate the
+  // request into every holder's queue and cancel the losers on dispatch.
+  std::vector<const DiskCandidates*> targets;
+  if (candidates.size() > 1) {
+    const DiskCandidates* best_idle = nullptr;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const DiskCandidates& dc : candidates) {
+      if (disks_[dc.disk]->busy() || !fg_[dc.disk].empty()) {
+        continue;
+      }
+      for (uint64_t cand : dc.lbas) {
+        const AccessPlan plan = predictors_[dc.disk]->Predict(
+            sim_->Now(), cand, frag.sectors, /*is_write=*/false);
+        const double cost = predictors_[dc.disk]->EffectiveServiceUs(plan);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_idle = &dc;
+        }
+      }
+    }
+    if (best_idle != nullptr) {
+      targets.push_back(best_idle);
+    } else {
+      for (const DiskCandidates& dc : candidates) {
+        targets.push_back(&dc);
+      }
+    }
+  } else {
+    targets.push_back(&candidates.front());
+  }
+
+  for (const DiskCandidates* dc : targets) {
+    QueuedRequest entry;
+    entry.id = next_entry_id_++;
+    entry.op = DiskOp::kRead;
+    entry.sectors = frag.sectors;
+    entry.candidate_lbas = dc->lbas;
+    entry.arrival_us = sim_->Now();
+    entry.tag = frag_key;
+    frag.queued.emplace_back(dc->disk, entry.id);
+    EnqueueFg(dc->disk, std::move(entry));
+  }
+  // Dispatch after all duplicates are queued so cancellation state is
+  // complete before the first pick.
+  for (const DiskCandidates* dc : targets) {
+    MaybeDispatch(dc->disk);
+  }
+}
+
+void ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
+  const int dr = layout_->aspect().dr;
+  const int dm = layout_->aspect().dm;
+
+  if (options_.foreground_write_propagation) {
+    // Every copy is written synchronously: one single-candidate entry per
+    // replica; the fragment completes when all land.
+    uint32_t live = 0;
+    for (const ReplicaLocation& loc : frag.replicas) {
+      if (!failed_[loc.disk]) {
+        ++live;
+      }
+    }
+    MIMDRAID_CHECK_GT(live, 0u);
+    frag.entries_remaining = live;
+    std::vector<uint32_t> touched;
+    for (const ReplicaLocation& loc : frag.replicas) {
+      if (failed_[loc.disk]) {
+        continue;
+      }
+      QueuedRequest entry;
+      entry.id = next_entry_id_++;
+      entry.op = DiskOp::kWrite;
+      entry.sectors = frag.sectors;
+      entry.candidate_lbas = {loc.lba};
+      entry.arrival_us = sim_->Now();
+      entry.tag = frag_key;
+      EnqueueFg(loc.disk, std::move(entry));
+      touched.push_back(loc.disk);
+    }
+    for (uint32_t d : touched) {
+      MaybeDispatch(d);
+    }
+    return;
+  }
+
+  // Background propagation: the first copy is scheduled like a read (any
+  // mirror disk, any rotational replica); the rest become delayed writes once
+  // the winner is known.
+  frag.entries_remaining = 1;
+  std::vector<uint32_t> touched;
+  for (int m = 0; m < dm; ++m) {
+    const uint32_t disk = frag.replicas[static_cast<size_t>(m) * dr].disk;
+    if (failed_[disk]) {
+      continue;
+    }
+    QueuedRequest entry;
+    entry.id = next_entry_id_++;
+    entry.op = DiskOp::kWrite;
+    entry.sectors = frag.sectors;
+    entry.arrival_us = sim_->Now();
+    entry.tag = frag_key;
+    for (int r = 0; r < dr; ++r) {
+      entry.candidate_lbas.push_back(
+          frag.replicas[static_cast<size_t>(m) * dr + r].lba);
+    }
+    frag.queued.emplace_back(disk, entry.id);
+    EnqueueFg(disk, std::move(entry));
+    touched.push_back(disk);
+  }
+  for (uint32_t d : touched) {
+    MaybeDispatch(d);
+  }
+}
+
+void ArrayController::EnqueueFg(uint32_t disk, QueuedRequest entry) {
+  fg_[disk].push_back(std::move(entry));
+}
+
+void ArrayController::MaybeDispatch(uint32_t disk) {
+  if (disks_[disk]->busy()) {
+    return;
+  }
+  std::vector<QueuedRequest>& queue =
+      !fg_[disk].empty() ? fg_[disk] : delayed_[disk];
+  if (queue.empty()) {
+    return;
+  }
+  ScheduleContext ctx;
+  ctx.now = sim_->Now();
+  ctx.predictor = predictors_[disk];
+  ctx.layout = &disks_[disk]->layout();
+  const SchedulerPick pick = schedulers_[disk]->Pick(queue, ctx);
+  QueuedRequest entry = std::move(queue[pick.queue_index]);
+  queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick.queue_index));
+
+  if (!entry.delayed && !entry.maintenance) {
+    CancelSiblings(entry.tag, disk, entry.id);
+  }
+
+  // Non-positional schedulers (FCFS/LOOK/...) do not produce a prediction;
+  // compute one so head tracking and accuracy statistics work under every
+  // policy.
+  double predicted = pick.predicted_service_us;
+  if (predicted <= 0.0) {
+    predicted = predictors_[disk]
+                    ->Predict(sim_->Now(), pick.lba, entry.sectors,
+                              entry.op == DiskOp::kWrite)
+                    .total_us;
+  }
+  predictors_[disk]->OnDispatch(sim_->Now(), pick.lba, entry.sectors,
+                                entry.op == DiskOp::kWrite, predicted);
+  const uint64_t chosen_lba = pick.lba;
+  disks_[disk]->Start(
+      entry.op, chosen_lba, entry.sectors,
+      [this, disk, entry = std::move(entry),
+       chosen_lba](const DiskOpResult& result) {
+        predictors_[disk]->OnCompletion(result.completion_us, chosen_lba,
+                                        entry.sectors);
+        OnEntryComplete(disk, entry, chosen_lba, result);
+        MaybeDispatch(disk);
+      });
+}
+
+void ArrayController::CancelSiblings(uint64_t frag_key, uint32_t winner_disk,
+                                     uint64_t winner_entry) {
+  auto it = frags_.find(frag_key);
+  MIMDRAID_CHECK(it != frags_.end());
+  FragState& frag = it->second;
+  for (const auto& [disk, entry_id] : frag.queued) {
+    if (disk == winner_disk && entry_id == winner_entry) {
+      continue;
+    }
+    auto& q = fg_[disk];
+    for (size_t i = 0; i < q.size(); ++i) {
+      if (q[i].id == entry_id) {
+        q.erase(q.begin() + static_cast<ptrdiff_t>(i));
+        ++stats_.read_duplicates_cancelled;
+        break;
+      }
+    }
+  }
+  frag.queued.clear();
+}
+
+void ArrayController::OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
+                                      uint64_t chosen_lba,
+                                      const DiskOpResult& result) {
+  if (entry.maintenance) {
+    if (auto rit = rebuild_read_done_.find(entry.id);
+        rit != rebuild_read_done_.end()) {
+      auto fn = std::move(rit->second);
+      rebuild_read_done_.erase(rit);
+      fn();
+      return;
+    }
+    if (auto wit = rebuild_write_done_.find(entry.id);
+        wit != rebuild_write_done_.end()) {
+      auto fn = std::move(wit->second);
+      rebuild_write_done_.erase(wit);
+      fn(result);
+      return;
+    }
+    ++stats_.maintenance_reads;
+    if (auto* hp = dynamic_cast<HeadPositionPredictor*>(predictors_[disk])) {
+      hp->AddReferenceObservation(result.completion_us);
+    }
+    return;
+  }
+  if (entry.delayed) {
+    // Background propagation landed: the replica is now clean — unless a
+    // newer propagation to the same location was queued while this one was in
+    // flight (the index then points at the newer entry).
+    if (nvram_.EraseIfOwner(disk, chosen_lba, entry.id)) {
+      for (uint32_t s = 0; s < entry.sectors; ++s) {
+        stale_sectors_.erase(ReplicaKey(disk, chosen_lba + s));
+      }
+    }
+    ++stats_.delayed_writes_completed;
+    return;
+  }
+
+  auto it = frags_.find(entry.tag);
+  MIMDRAID_CHECK(it != frags_.end());
+  FragState& frag = it->second;
+  MIMDRAID_CHECK_GT(frag.entries_remaining, 0u);
+  if (--frag.entries_remaining == 0) {
+    CompleteFragment(entry.tag, frag, disk, chosen_lba, result.completion_us);
+  }
+}
+
+void ArrayController::CompleteFragment(uint64_t frag_key, FragState& frag,
+                                       uint32_t chosen_disk,
+                                       uint64_t chosen_lba,
+                                       SimTime completion_us) {
+  const uint64_t op_id = frag.op_id;
+  const DiskOp op = frag.op;
+  if (op == DiskOp::kWrite) {
+    if (!options_.foreground_write_propagation) {
+      // The winner's copy is fresh; every other replica becomes a pending
+      // background propagation. A previously pending propagation to the
+      // winner's location is superseded by this write, and any stale markers
+      // on the just-written sectors (from older, partially overlapping
+      // propagations) are cleared.
+      CancelPendingDelayed(chosen_disk, chosen_lba);
+      for (uint32_t s = 0; s < frag.sectors; ++s) {
+        stale_sectors_.erase(ReplicaKey(chosen_disk, chosen_lba + s));
+      }
+      for (const ReplicaLocation& loc : frag.replicas) {
+        if ((loc.disk == chosen_disk && loc.lba == chosen_lba) ||
+            failed_[loc.disk]) {
+          continue;
+        }
+        AddDelayedWrite(loc.disk, loc.lba, frag.sectors);
+      }
+      EnforceDelayedTableLimit();
+    }
+    MarkInflightWrite(frag.logical_lba, frag.sectors, -1);
+  }
+
+  frags_.erase(frag_key);
+
+  auto oit = ops_.find(op_id);
+  MIMDRAID_CHECK(oit != ops_.end());
+  OpState& opstate = oit->second;
+  MIMDRAID_CHECK_GT(opstate.fragments_remaining, 0u);
+  if (--opstate.fragments_remaining == 0) {
+    if (op == DiskOp::kRead) {
+      ++stats_.reads_completed;
+    } else {
+      ++stats_.writes_completed;
+    }
+    DoneFn done = std::move(opstate.done);
+    ops_.erase(oit);
+    if (done) {
+      done(completion_us);
+    }
+  }
+  if (op == DiskOp::kWrite) {
+    WakeParked();
+  }
+}
+
+void ArrayController::AddDelayedWrite(uint32_t disk, uint64_t lba,
+                                      uint32_t sectors) {
+  const std::optional<uint64_t> existing_owner = nvram_.OwnerOf(disk, lba);
+  if (existing_owner.has_value()) {
+    ++stats_.delayed_writes_discarded;
+    // If the superseded entry is still queued, it simply carries the newer
+    // data ("data dies young", Section 3.4) — nothing more to do. If it is
+    // already in flight, a fresh propagation must follow it.
+    for (const auto* q : {&delayed_[disk], &fg_[disk]}) {
+      for (const QueuedRequest& e : *q) {
+        if (e.id == *existing_owner) {
+          return;  // still queued; superseded in place
+        }
+      }
+    }
+    nvram_.Erase(disk, lba);  // in flight; fall through to re-queue
+  }
+  QueuedRequest entry;
+  entry.id = next_entry_id_++;
+  entry.op = DiskOp::kWrite;
+  entry.sectors = sectors;
+  entry.candidate_lbas = {lba};
+  entry.arrival_us = sim_->Now();
+  entry.delayed = true;
+  nvram_.Put(NvramEntry{disk, lba, sectors}, entry.id);
+  for (uint32_t s = 0; s < sectors; ++s) {
+    stale_sectors_.insert(ReplicaKey(disk, lba + s));
+  }
+  delayed_[disk].push_back(std::move(entry));
+  MaybeDispatch(disk);
+}
+
+void ArrayController::CancelPendingDelayed(uint32_t disk, uint64_t lba) {
+  const std::optional<uint64_t> owner = nvram_.OwnerOf(disk, lba);
+  if (!owner.has_value()) {
+    return;
+  }
+  const std::optional<NvramEntry> record = nvram_.EntryOf(disk, lba);
+  nvram_.Erase(disk, lba);
+  ++stats_.delayed_writes_discarded;
+  // The entry may sit in the delayed queue or (if forced out) the FG queue.
+  for (auto* q : {&delayed_[disk], &fg_[disk]}) {
+    for (size_t i = 0; i < q->size(); ++i) {
+      if ((*q)[i].id == *owner) {
+        for (uint32_t s = 0; s < (*q)[i].sectors; ++s) {
+          stale_sectors_.erase(ReplicaKey(disk, lba + s));
+        }
+        q->erase(q->begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+  // Entry already dispatched: it will complete and clear its own state.
+  nvram_.Put(*record, *owner);
+}
+
+void ArrayController::EnforceDelayedTableLimit() {
+  while (nvram_.size() > options_.delayed_table_limit) {
+    // Force the oldest still-queued delayed write into its FG queue.
+    uint32_t best_disk = 0;
+    uint64_t best_id = UINT64_MAX;
+    for (uint32_t d = 0; d < delayed_.size(); ++d) {
+      if (!delayed_[d].empty() && delayed_[d].front().id < best_id) {
+        best_id = delayed_[d].front().id;
+        best_disk = d;
+      }
+    }
+    if (best_id == UINT64_MAX) {
+      return;  // everything pending is already in flight or forced
+    }
+    QueuedRequest entry = std::move(delayed_[best_disk].front());
+    delayed_[best_disk].erase(delayed_[best_disk].begin());
+    fg_[best_disk].push_back(std::move(entry));
+    ++stats_.delayed_writes_forced;
+    MaybeDispatch(best_disk);
+  }
+}
+
+void ArrayController::RestorePropagations(
+    const std::vector<NvramEntry>& entries) {
+  for (const NvramEntry& e : entries) {
+    MIMDRAID_CHECK_LT(e.disk, disks_.size());
+    AddDelayedWrite(e.disk, e.lba, e.sectors);
+  }
+  EnforceDelayedTableLimit();
+}
+
+bool ArrayController::RangeHasInflightWrite(uint64_t lba,
+                                            uint32_t sectors) const {
+  if (inflight_writes_.empty()) {
+    return false;
+  }
+  for (uint32_t s = 0; s < sectors; ++s) {
+    if (inflight_writes_.contains(lba + s)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ArrayController::MarkInflightWrite(uint64_t lba, uint32_t sectors,
+                                        int delta) {
+  for (uint32_t s = 0; s < sectors; ++s) {
+    auto [it, inserted] = inflight_writes_.try_emplace(lba + s, 0);
+    it->second += delta;
+    MIMDRAID_CHECK_GE(it->second, 0);
+    if (it->second == 0) {
+      inflight_writes_.erase(it);
+    }
+  }
+}
+
+void ArrayController::WakeParked() {
+  if (parked_.empty()) {
+    return;
+  }
+  std::vector<ParkedRequest> still_parked;
+  std::vector<ParkedRequest> ready;
+  for (ParkedRequest& p : parked_) {
+    if (RangeHasInflightWrite(p.lba, p.sectors)) {
+      still_parked.push_back(std::move(p));
+    } else {
+      ready.push_back(std::move(p));
+    }
+  }
+  parked_ = std::move(still_parked);
+  for (ParkedRequest& p : ready) {
+    SubmitInternal(p.op, p.lba, p.sectors, std::move(p.done), p.issue_us);
+  }
+}
+
+bool ArrayController::FailDisk(uint32_t disk) {
+  MIMDRAID_CHECK_LT(disk, failed_.size());
+  MIMDRAID_CHECK(!failed_[disk]);
+  MIMDRAID_CHECK(!disks_[disk]->busy());
+  MIMDRAID_CHECK(fg_[disk].empty());
+  if (layout_->aspect().dm < 2) {
+    // An SR-Array/stripe column has no cross-disk copy: losing the disk
+    // loses data (the paper's Section 2.5 reliability tradeoff).
+    return false;
+  }
+  failed_[disk] = true;
+  // Pending propagations to the failed disk are meaningless now.
+  std::vector<QueuedRequest> drained = std::move(delayed_[disk]);
+  delayed_[disk].clear();
+  for (const QueuedRequest& e : drained) {
+    nvram_.Erase(disk, e.candidate_lbas.front());
+    for (uint32_t s = 0; s < e.sectors; ++s) {
+      stale_sectors_.erase(ReplicaKey(disk, e.candidate_lbas.front() + s));
+    }
+  }
+  return true;
+}
+
+void ArrayController::RebuildDisk(uint32_t disk, DoneFn done) {
+  MIMDRAID_CHECK(failed_[disk]);
+  MIMDRAID_CHECK_GE(layout_->aspect().dm, 2);
+  failed_[disk] = false;  // replacement drive in the slot
+  RebuildNextFragment(disk, 0, std::move(done));
+}
+
+void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
+                                          DoneFn done) {
+  // Stream the dataset fragment by fragment; for each fragment with replicas
+  // on `disk`, read a surviving copy and rewrite this disk's copies. The copy
+  // traffic rides the delayed queues, yielding to foreground work.
+  const uint64_t dataset = layout_->dataset_sectors();
+  uint64_t lba = next_lba;
+  while (lba < dataset) {
+    const uint32_t span = static_cast<uint32_t>(
+        std::min<uint64_t>(layout_->stripe_unit_sectors(), dataset - lba));
+    const std::vector<ArrayFragment> frags = layout_->Map(lba, span);
+    for (const ArrayFragment& f : frags) {
+      std::vector<ReplicaLocation> targets;
+      const ReplicaLocation* source = nullptr;
+      for (const ReplicaLocation& loc : f.replicas) {
+        if (loc.disk == disk) {
+          targets.push_back(loc);
+        } else if (source == nullptr && !failed_[loc.disk]) {
+          source = &loc;
+        }
+      }
+      if (targets.empty()) {
+        continue;
+      }
+      MIMDRAID_CHECK(source != nullptr);
+      const uint64_t resume = f.logical_lba + f.sectors;
+      const uint32_t len = f.sectors;
+      auto writes_left = std::make_shared<size_t>(targets.size());
+      auto after_write = [this, disk, resume, done, writes_left](
+                             const DiskOpResult&) mutable {
+        ++rebuild_copied_;
+        if (--*writes_left == 0) {
+          RebuildNextFragment(disk, resume, std::move(done));
+        }
+      };
+
+      QueuedRequest read_entry;
+      read_entry.id = next_entry_id_++;
+      read_entry.op = DiskOp::kRead;
+      read_entry.sectors = len;
+      read_entry.candidate_lbas = {source->lba};
+      read_entry.arrival_us = sim_->Now();
+      read_entry.maintenance = true;
+      const uint32_t source_disk = source->disk;
+      rebuild_read_done_[read_entry.id] =
+          [this, targets, len, after_write]() mutable {
+            for (const ReplicaLocation& loc : targets) {
+              QueuedRequest w;
+              w.id = next_entry_id_++;
+              w.op = DiskOp::kWrite;
+              w.sectors = len;
+              w.candidate_lbas = {loc.lba};
+              w.arrival_us = sim_->Now();
+              w.maintenance = true;
+              rebuild_write_done_[w.id] = after_write;
+              delayed_[loc.disk].push_back(std::move(w));
+              MaybeDispatch(loc.disk);
+            }
+          };
+      delayed_[source_disk].push_back(std::move(read_entry));
+      MaybeDispatch(source_disk);
+      return;  // continue from the completion callbacks
+    }
+    lba += span;
+  }
+  if (done) {
+    done(sim_->Now());
+  }
+}
+
+void ArrayController::ScheduleRecalibration(uint32_t disk) {
+  recalibration_events_[disk] =
+      sim_->ScheduleAfter(options_.recalibration_interval_us, [this, disk]() {
+    auto* hp = dynamic_cast<HeadPositionPredictor*>(predictors_[disk]);
+    if (hp != nullptr) {
+      QueuedRequest entry;
+      entry.id = next_entry_id_++;
+      entry.op = DiskOp::kRead;
+      entry.sectors = 1;
+      entry.candidate_lbas = {hp->reference_lba()};
+      entry.arrival_us = sim_->Now();
+      entry.maintenance = true;
+      EnqueueFg(disk, std::move(entry));
+      MaybeDispatch(disk);
+    }
+    ScheduleRecalibration(disk);
+  });
+}
+
+bool ArrayController::ReplicaIsStale(uint32_t disk, uint64_t lba,
+                                     uint32_t sectors) const {
+  if (stale_sectors_.empty()) {
+    return false;
+  }
+  for (uint32_t s = 0; s < sectors; ++s) {
+    if (stale_sectors_.contains(ReplicaKey(disk, lba + s))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mimdraid

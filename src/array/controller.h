@@ -1,0 +1,204 @@
+// The Disk Configuration + Scheduling layers of the prototype (Sections 3.1,
+// 3.3, 3.4): translates logical array I/O into per-drive queue entries,
+// schedules each drive independently, implements the mirror read heuristic
+// (idle-closest dispatch, duplicate-and-cancel when busy), and propagates
+// write replicas in the background through per-disk delayed-write queues
+// backed by an NVRAM metadata table with a force-out threshold.
+#ifndef MIMDRAID_SRC_ARRAY_CONTROLLER_H_
+#define MIMDRAID_SRC_ARRAY_CONTROLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/array/array_layout.h"
+#include "src/array/nvram_table.h"
+#include "src/calib/predictor.h"
+#include "src/disk/access_predictor.h"
+#include "src/disk/sim_disk.h"
+#include "src/sched/scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace mimdraid {
+
+struct ArrayControllerOptions {
+  SchedulerKind scheduler = SchedulerKind::kRsatf;
+  // Cap on SATF-class scan depth per dispatch (0 = whole queue).
+  size_t max_scan = 0;
+  // NVRAM delayed-write metadata table capacity; above this, pending delayed
+  // writes are forced into the foreground queues (Section 3.4).
+  size_t delayed_table_limit = 10'000;
+  // Period of maintenance reference-sector reads feeding re-calibration
+  // (paper: two minutes). 0 disables.
+  SimTime recalibration_interval_us = 0;
+  // When true, every replica of a write is written in the foreground and the
+  // write completes only after all copies land (the "foreground propagation"
+  // mode of Figures 5 and 13). When false, the write completes after the
+  // first copy; the rest propagate in the background.
+  bool foreground_write_propagation = false;
+};
+
+struct ArrayStats {
+  uint64_t reads_completed = 0;
+  uint64_t writes_completed = 0;
+  uint64_t delayed_writes_completed = 0;
+  uint64_t delayed_writes_forced = 0;   // moved to FG by the table limit
+  uint64_t delayed_writes_discarded = 0;  // superseded by a newer write
+  uint64_t read_duplicates_cancelled = 0;
+  uint64_t maintenance_reads = 0;
+  uint64_t parked_reads = 0;  // reads ordered behind an in-flight write
+  // Reads served while every replica carried a stale marker (possible only
+  // under partially overlapping unaligned writes; see SubmitReadFragment).
+  uint64_t stale_fallback_reads = 0;
+};
+
+class ArrayController {
+ public:
+  using DoneFn = std::function<void(SimTime completion_us)>;
+
+  // `disks` and `predictors` are parallel arrays of size
+  // layout->num_disks(); the controller borrows them.
+  ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
+                  std::vector<AccessPredictor*> predictors,
+                  const ArrayLayout* layout,
+                  const ArrayControllerOptions& options);
+
+  ArrayController(const ArrayController&) = delete;
+  ArrayController& operator=(const ArrayController&) = delete;
+
+  // Cancels pending maintenance timers. The controller must be idle (no
+  // in-flight disk operation holds a completion callback into it).
+  ~ArrayController();
+
+  // Submits a logical I/O. `done` fires at the simulated completion time
+  // (first-copy time for writes unless foreground propagation is on).
+  void Submit(DiskOp op, uint64_t lba, uint32_t sectors, DoneFn done);
+
+  const ArrayStats& stats() const { return stats_; }
+  const ArrayLayout& layout() const { return *layout_; }
+
+  // Outstanding foreground entries across all drive queues (dispatched
+  // requests excluded).
+  size_t TotalQueued() const;
+  // Pending background replica propagations (the NVRAM table occupancy).
+  size_t DelayedBacklog() const { return nvram_.size(); }
+  // The delayed-write metadata table (what NVRAM preserves across a crash).
+  const NvramTable& nvram() const { return nvram_; }
+  // Crash recovery (Section 3.4): re-queues the propagation of every replica
+  // recorded in a surviving NVRAM snapshot. Call on a freshly constructed
+  // controller before offering load.
+  void RestorePropagations(const std::vector<NvramEntry>& entries);
+  size_t QueueDepth(uint32_t disk) const { return fg_[disk].size(); }
+  bool Idle() const;
+
+  // --- Disk failure and rebuild (the Section 2.5 reliability argument). ---
+  // Marks a disk failed. Every block with a surviving copy (Dm >= 2, or
+  // pending same-data replicas elsewhere) keeps being served; returns false
+  // if the configuration cannot tolerate the loss (Dm == 1: an SR-Array
+  // column has no cross-disk copy — data loss). The array must be quiescent
+  // on that disk (no in-flight command).
+  bool FailDisk(uint32_t disk);
+  bool IsFailed(uint32_t disk) const { return failed_[disk]; }
+  // Re-populates a replaced disk from its mirror twins, fragment stream by
+  // fragment stream; `done` fires when redundancy is restored. Requires
+  // Dm >= 2.
+  void RebuildDisk(uint32_t disk, DoneFn done);
+  uint64_t rebuild_copied_fragments() const { return rebuild_copied_; }
+
+ private:
+  struct FragState {
+    uint64_t op_id = 0;
+    uint64_t logical_lba = 0;
+    uint32_t sectors = 0;
+    DiskOp op = DiskOp::kRead;
+    std::vector<ReplicaLocation> replicas;
+    uint32_t entries_remaining = 0;  // FG entries that must still complete
+    // Entries queued for this fragment (for duplicate cancellation).
+    std::vector<std::pair<uint32_t, uint64_t>> queued;  // (disk, entry id)
+  };
+
+  struct OpState {
+    DiskOp op = DiskOp::kRead;
+    uint32_t fragments_remaining = 0;
+    DoneFn done;
+    SimTime issue_us = 0;
+  };
+
+  struct ParkedRequest {
+    DiskOp op;
+    uint64_t lba;
+    uint32_t sectors;
+    DoneFn done;
+    SimTime issue_us;
+  };
+
+  static uint64_t ReplicaKey(uint32_t disk, uint64_t lba) {
+    return (static_cast<uint64_t>(disk) << 48) | lba;
+  }
+
+  void SubmitInternal(DiskOp op, uint64_t lba, uint32_t sectors, DoneFn done,
+                      SimTime issue_us);
+  void SubmitReadFragment(FragState& frag, uint64_t frag_key);
+  void SubmitWriteFragment(FragState& frag, uint64_t frag_key);
+  void EnqueueFg(uint32_t disk, QueuedRequest entry);
+  void MaybeDispatch(uint32_t disk);
+  void OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
+                       uint64_t chosen_lba, const DiskOpResult& result);
+  void CompleteFragment(uint64_t frag_key, FragState& frag,
+                        uint32_t chosen_disk, uint64_t chosen_lba,
+                        SimTime completion_us);
+  void CancelSiblings(uint64_t frag_key, uint32_t winner_disk,
+                      uint64_t winner_entry);
+  void AddDelayedWrite(uint32_t disk, uint64_t lba, uint32_t sectors);
+  void CancelPendingDelayed(uint32_t disk, uint64_t lba);
+  void EnforceDelayedTableLimit();
+  bool RangeHasInflightWrite(uint64_t lba, uint32_t sectors) const;
+  void MarkInflightWrite(uint64_t lba, uint32_t sectors, int delta);
+  void WakeParked();
+  void ScheduleRecalibration(uint32_t disk);
+  void RebuildNextFragment(uint32_t disk, uint64_t next_lba, DoneFn done);
+  bool ReplicaIsStale(uint32_t disk, uint64_t lba, uint32_t sectors) const;
+
+  Simulator* sim_;
+  std::vector<SimDisk*> disks_;
+  std::vector<AccessPredictor*> predictors_;
+  const ArrayLayout* layout_;
+  ArrayControllerOptions options_;
+
+  std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  std::vector<EventId> recalibration_events_;
+  std::vector<std::vector<QueuedRequest>> fg_;
+  std::vector<std::vector<QueuedRequest>> delayed_;
+
+  uint64_t next_op_id_ = 1;
+  uint64_t next_frag_key_ = 1;
+  uint64_t next_entry_id_ = 1;
+  std::unordered_map<uint64_t, OpState> ops_;
+  std::unordered_map<uint64_t, FragState> frags_;
+
+  // Pending background propagation, keyed by replica location (the NVRAM
+  // metadata table). The owning queue entry may live in the delayed queue or,
+  // if forced out, the FG queue.
+  NvramTable nvram_;
+  // Physical sectors whose content is stale until propagation completes.
+  std::unordered_set<uint64_t> stale_sectors_;
+  // Logical sectors with an in-flight foreground write (ordering barrier).
+  std::unordered_map<uint64_t, int> inflight_writes_;
+  std::vector<ParkedRequest> parked_;
+
+  std::vector<bool> failed_;
+  uint64_t rebuild_copied_ = 0;
+  // Rebuild plumbing: completion hooks for the maintenance-tagged copy ops.
+  std::unordered_map<uint64_t, std::function<void()>> rebuild_read_done_;
+  std::unordered_map<uint64_t, std::function<void(const DiskOpResult&)>>
+      rebuild_write_done_;
+
+  ArrayStats stats_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_ARRAY_CONTROLLER_H_

@@ -1,0 +1,97 @@
+// The delayed-write metadata table (Section 3.4).
+//
+// Each entry records the physical location of a replica that still needs
+// background propagation. The paper keeps this table in NVRAM: the *data*
+// need not be persisted because the first (completed) copy can be read back
+// to finish propagation after a crash — only the locations matter, so the
+// table is small. Snapshot() models what survives a crash;
+// ArrayController::RestorePropagations() completes recovery.
+#ifndef MIMDRAID_SRC_ARRAY_NVRAM_TABLE_H_
+#define MIMDRAID_SRC_ARRAY_NVRAM_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace mimdraid {
+
+// A pending replica propagation: the *target* location that is stale until
+// the background write lands.
+struct NvramEntry {
+  uint32_t disk = 0;
+  uint64_t lba = 0;
+  uint32_t sectors = 0;
+};
+
+class NvramTable {
+ public:
+  static uint64_t Key(uint32_t disk, uint64_t lba) {
+    return (static_cast<uint64_t>(disk) << 48) | lba;
+  }
+
+  // Inserts or replaces the entry for (disk, lba). `owner` is the queue entry
+  // id currently responsible for the propagation.
+  void Put(const NvramEntry& entry, uint64_t owner) {
+    map_[Key(entry.disk, entry.lba)] = Record{entry, owner};
+  }
+
+  // The owner id for (disk, lba), if pending.
+  std::optional<uint64_t> OwnerOf(uint32_t disk, uint64_t lba) const {
+    auto it = map_.find(Key(disk, lba));
+    if (it == map_.end()) {
+      return std::nullopt;
+    }
+    return it->second.owner;
+  }
+
+  std::optional<NvramEntry> EntryOf(uint32_t disk, uint64_t lba) const {
+    auto it = map_.find(Key(disk, lba));
+    if (it == map_.end()) {
+      return std::nullopt;
+    }
+    return it->second.entry;
+  }
+
+  // Erases the entry regardless of owner. Returns whether it existed.
+  bool Erase(uint32_t disk, uint64_t lba) {
+    return map_.erase(Key(disk, lba)) > 0;
+  }
+
+  // Erases only if `owner` still owns the entry (a newer propagation to the
+  // same location must not be dropped by a stale completion).
+  bool EraseIfOwner(uint32_t disk, uint64_t lba, uint64_t owner) {
+    auto it = map_.find(Key(disk, lba));
+    if (it == map_.end() || it->second.owner != owner) {
+      return false;
+    }
+    map_.erase(it);
+    return true;
+  }
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  // What survives a crash: every pending propagation target.
+  std::vector<NvramEntry> Snapshot() const {
+    std::vector<NvramEntry> out;
+    out.reserve(map_.size());
+    for (const auto& [key, record] : map_) {
+      (void)key;
+      out.push_back(record.entry);
+    }
+    return out;
+  }
+
+ private:
+  struct Record {
+    NvramEntry entry;
+    uint64_t owner = 0;
+  };
+  std::unordered_map<uint64_t, Record> map_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_ARRAY_NVRAM_TABLE_H_

@@ -1,0 +1,59 @@
+#include "src/cache/lru_cache.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+LruBlockCache::LruBlockCache(uint64_t capacity_bytes, uint32_t block_sectors)
+    : capacity_blocks_(std::max<uint64_t>(
+          1, capacity_bytes / (static_cast<uint64_t>(block_sectors) * 512))),
+      block_sectors_(block_sectors) {
+  MIMDRAID_CHECK_GT(block_sectors, 0u);
+}
+
+bool LruBlockCache::Lookup(uint64_t lba, uint32_t sectors) {
+  MIMDRAID_CHECK_GT(sectors, 0u);
+  const uint64_t first = lba / block_sectors_;
+  const uint64_t last = (lba + sectors - 1) / block_sectors_;
+  for (uint64_t b = first; b <= last; ++b) {
+    if (!map_.contains(b)) {
+      ++misses_;
+      return false;
+    }
+  }
+  for (uint64_t b = first; b <= last; ++b) {
+    Touch(b);
+  }
+  ++hits_;
+  return true;
+}
+
+void LruBlockCache::Insert(uint64_t lba, uint32_t sectors) {
+  MIMDRAID_CHECK_GT(sectors, 0u);
+  const uint64_t first = lba / block_sectors_;
+  const uint64_t last = (lba + sectors - 1) / block_sectors_;
+  for (uint64_t b = first; b <= last; ++b) {
+    auto it = map_.find(b);
+    if (it != map_.end()) {
+      Touch(b);
+      continue;
+    }
+    while (map_.size() >= capacity_blocks_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(b);
+    map_[b] = lru_.begin();
+  }
+}
+
+void LruBlockCache::Touch(uint64_t block) {
+  auto it = map_.find(block);
+  MIMDRAID_CHECK(it != map_.end());
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,52 @@
+// LRU block cache (the memory-caching alternative of Figure 11).
+//
+// Tracks presence only — the simulator has no data contents. Reads hit if
+// every block of the range is resident; reads and writes both install their
+// blocks (allocate-on-access with LRU replacement).
+#ifndef MIMDRAID_SRC_CACHE_LRU_CACHE_H_
+#define MIMDRAID_SRC_CACHE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace mimdraid {
+
+class LruBlockCache {
+ public:
+  // `capacity_bytes` of cache over `block_sectors`-sized blocks (512 B
+  // sectors).
+  LruBlockCache(uint64_t capacity_bytes, uint32_t block_sectors);
+
+  uint32_t block_sectors() const { return block_sectors_; }
+  uint64_t capacity_blocks() const { return capacity_blocks_; }
+  uint64_t resident_blocks() const { return map_.size(); }
+
+  // True if all blocks covering [lba, lba+sectors) are resident. Touches the
+  // blocks (moves them to MRU) when they are.
+  bool Lookup(uint64_t lba, uint32_t sectors);
+
+  // Installs the blocks covering the range, evicting LRU blocks as needed.
+  void Insert(uint64_t lba, uint32_t sectors);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double HitRate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+ private:
+  void Touch(uint64_t block);
+
+  uint64_t capacity_blocks_;
+  uint32_t block_sectors_;
+  std::list<uint64_t> lru_;  // front = MRU
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_CACHE_LRU_CACHE_H_

@@ -1,0 +1,83 @@
+#include "src/calib/calibration.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+double SpindlePhaseFromLattice(const DiskLayout& layout, uint64_t reference_lba,
+                               double lattice_phase_us, double rotation_us) {
+  const Chs ref = layout.ToChs(reference_lba);
+  const uint32_t spt = layout.geometry().SectorsPerTrack(ref.cylinder);
+  const double end_angle =
+      static_cast<double>((layout.SlotOf(ref) + 1) % spt) / spt;
+  return lattice_phase_us - end_angle * rotation_us;
+}
+
+CalibrationResult CalibrateDisk(Simulator* sim, SimDisk* disk,
+                                const CalibrationOptions& options) {
+  MIMDRAID_CHECK(sim != nullptr);
+  MIMDRAID_CHECK(disk != nullptr);
+  SyncDisk sync(sim, disk);
+  const SimTime t_begin = sim->Now();
+  CalibrationResult result;
+
+  // --- 1. Rotation period and phase from reference reads. ---
+  RotationEstimator estimator(
+      static_cast<double>(disk->geometry().RotationUs()));
+  double interval = options.initial_interval_us;
+  for (int i = 0; i < options.reference_reads; ++i) {
+    const DiskOpResult res = sync.Read(options.reference_lba, 1);
+    estimator.AddObservation(res.completion_us);
+    sync.Sleep(static_cast<SimTime>(interval));
+    interval = std::min(interval * options.interval_growth,
+                        options.max_interval_us);
+  }
+  MIMDRAID_CHECK(estimator.Ready());
+  result.rotation_us = estimator.rotation_us();
+  result.lattice_phase_us = estimator.phase_us();
+  result.residual_rms_us = estimator.ResidualRmsUs();
+
+  const double spindle_phase =
+      SpindlePhaseFromLattice(disk->layout(), options.reference_lba,
+                              result.lattice_phase_us, result.rotation_us);
+
+  // --- 2. Address-map extraction. ---
+  if (options.probe_layout) {
+    DiskProber prober(&sync, disk->layout().num_data_sectors(),
+                      disk->geometry().num_heads, result.rotation_us,
+                      spindle_phase);
+    result.probe = prober.Probe();
+  }
+
+  // --- 3. Seek curve. ---
+  if (options.extract_seek_profile) {
+    SeekCurveExtractor extractor(&sync, &disk->layout(), result.rotation_us,
+                                 spindle_phase);
+    result.profile = extractor.ExtractProfile(options.seek);
+    result.profile_extracted = true;
+  }
+
+  result.total_probes = sync.probes_issued();
+  result.calibration_time_us = sim->Now() - t_begin;
+  return result;
+}
+
+std::unique_ptr<HeadPositionPredictor> MakeCalibratedPredictor(
+    Simulator* sim, SimDisk* disk, const CalibrationOptions& options,
+    const SeekProfile* shared_profile, const SlackFeedbackOptions& slack) {
+  CalibrationOptions opts = options;
+  if (shared_profile != nullptr) {
+    opts.extract_seek_profile = false;
+  }
+  const CalibrationResult cal = CalibrateDisk(sim, disk, opts);
+  MIMDRAID_CHECK(shared_profile != nullptr || cal.profile_extracted);
+  const SeekProfile& profile =
+      shared_profile != nullptr ? *shared_profile : cal.profile;
+  return std::make_unique<HeadPositionPredictor>(
+      &disk->layout(), profile, cal.rotation_us, cal.lattice_phase_us,
+      opts.reference_lba, slack);
+}
+
+}  // namespace mimdraid

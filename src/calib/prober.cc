@@ -1,0 +1,423 @@
+#include "src/calib/prober.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+namespace {
+
+// Distance from x to the nearest integer (circular residual helper).
+double CircDist(double x) { return std::abs(x - std::round(x)); }
+
+// Positive fractional part in [0, 1).
+double Frac(double x) {
+  double f = x - std::floor(x);
+  if (f >= 1.0) {
+    f -= 1.0;
+  }
+  return f;
+}
+
+double Median(std::vector<double> v) {
+  MIMDRAID_CHECK(!v.empty());
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+DiskProber::DiskProber(SyncDisk* disk, uint64_t num_data_sectors,
+                       uint32_t num_heads, double rotation_us, double phase_us)
+    : disk_(disk),
+      num_sectors_(num_data_sectors),
+      num_heads_(num_heads),
+      rotation_us_(rotation_us),
+      phase_us_(phase_us) {
+  MIMDRAID_CHECK_GT(rotation_us, 0.0);
+  MIMDRAID_CHECK_GT(num_heads, 0u);
+}
+
+double DiskProber::SpindleAngleAt(double t_us) const {
+  return Frac((t_us - phase_us_) / rotation_us_);
+}
+
+double DiskProber::MeasureEndAngle(uint64_t lba, int repeats) {
+  MIMDRAID_CHECK_GT(repeats, 0);
+  double base = 0.0;
+  double delta_sum = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const DiskOpResult res = disk_->Read(lba, 1);
+    const double a = SpindleAngleAt(static_cast<double>(res.completion_us));
+    if (r == 0) {
+      base = a;
+    } else {
+      // Circular mean relative to the first sample.
+      double d = a - base;
+      d -= std::round(d);
+      delta_sum += d;
+    }
+  }
+  return Frac(base + delta_sum / repeats);
+}
+
+DiskProber::TrackProbe DiskProber::MeasureSptAt(uint64_t lba0) {
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    // --- 1. Coarse SPT estimate, refined over a ladder of widening strides
+    // (a wider stride lengthens the lever arm of the angle measurement; the
+    // consistency check against the previous rung detects a track boundary
+    // inside the stride, in which case we shift and retry). ---
+    double spt_est = 0.0;
+    {
+      const double a0 = MeasureEndAngle(lba0);
+      const double d4 = Frac(MeasureEndAngle(lba0 + 4) - a0);
+      if (d4 <= 0.0) {
+        lba0 += 16;
+        continue;
+      }
+      spt_est = 4.0 / d4;
+      bool bad = false;
+      for (uint64_t k : {16ull, 64ull}) {
+        if (spt_est < static_cast<double>(k) * 2.5) {
+          break;  // stride would risk crossing the track boundary
+        }
+        const double dk = Frac(MeasureEndAngle(lba0 + k) - a0);
+        if (dk <= 0.0) {
+          bad = true;
+          break;
+        }
+        const double refined = static_cast<double>(k) / dk;
+        if (std::abs(refined - spt_est) > 0.3 * spt_est) {
+          bad = true;  // a boundary contaminated one of the strides
+          break;
+        }
+        spt_est = refined;
+      }
+      if (bad || spt_est < 8.0 || spt_est > 4096.0) {
+        // A track boundary sat inside the stride window; step past it (NOT a
+        // multiple of the track length, or the bad phase would persist).
+        lba0 += 83;
+        continue;
+      }
+    }
+    const uint32_t spt0 = static_cast<uint32_t>(std::round(spt_est));
+    MIMDRAID_CHECK_LT(lba0 + 4ull * spt0, num_sectors_);
+
+    // --- 2. Locate an exact track boundary: the angle step between two
+    // consecutive LBAs jumps by the skew instead of one slot. ---
+    uint64_t boundary = 0;
+    const uint64_t stride = std::max<uint64_t>(1, spt0 / 16);
+    double a_prev = MeasureEndAngle(lba0);
+    const double expected_stride_delta = static_cast<double>(stride) / spt0;
+    for (uint64_t i = 1; i * stride <= 2 * spt0 + 2 * stride; ++i) {
+      const uint64_t pos = lba0 + i * stride;
+      const double a = MeasureEndAngle(pos);
+      const double d = Frac(a - a_prev);
+      a_prev = a;
+      if (d > expected_stride_delta + 2.2 / spt0) {
+        if (stride == 1) {
+          const double lo = MeasureEndAngle(pos - 1, /*repeats=*/10);
+          const double hi = MeasureEndAngle(pos, /*repeats=*/10);
+          if (Frac(hi - lo) > 2.5 / spt0) {
+            boundary = pos;
+            break;
+          }
+          continue;
+        }
+        // Refine inside (pos - stride, pos] with single steps. A candidate
+        // hit is confirmed with high-repeat measurements: at the outer zones
+        // one slot is comparable to the timestamp jitter, so the cheap
+        // 3-repeat delta alone false-triggers too often.
+        double a2_prev = MeasureEndAngle(pos - stride);
+        for (uint64_t j = pos - stride + 1; j <= pos; ++j) {
+          const double a2 = MeasureEndAngle(j);
+          const double d2 = Frac(a2 - a2_prev);
+          a2_prev = a2;
+          if (d2 > 2.5 / spt0) {
+            const double lo = MeasureEndAngle(j - 1, /*repeats=*/10);
+            const double hi = MeasureEndAngle(j, /*repeats=*/10);
+            if (Frac(hi - lo) > 2.5 / spt0) {
+              boundary = j;
+              break;
+            }
+          }
+        }
+        if (boundary != 0) {
+          break;
+        }
+      }
+    }
+    if (boundary == 0) {
+      lba0 += spt0 / 3 + 29;  // flaky region; shift off-phase and retry
+      continue;
+    }
+
+    // --- 3. Exact SPT by integer scoring of wide angle strides measured
+    // from the track start. ---
+    const uint32_t cand_lo = std::max<uint32_t>(8, spt0 - 12);
+    const uint32_t cand_hi = spt0 + 12;
+    const uint32_t k1 = std::max<uint32_t>(8, spt0 >= 18 ? spt0 - 18 : 8);
+    std::vector<uint32_t> ks = {k1, 3 * k1 / 4, 2 * k1 / 3, k1 / 2 + 1};
+    std::sort(ks.begin(), ks.end());
+    ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+    const double a_start = MeasureEndAngle(boundary, /*repeats=*/8);
+    std::vector<std::pair<uint32_t, double>> stride_deltas;
+    for (uint32_t k : ks) {
+      if (k == 0 || k + 2 >= cand_lo) {
+        continue;
+      }
+      stride_deltas.emplace_back(
+          k, Frac(MeasureEndAngle(boundary + k, /*repeats=*/8) - a_start));
+    }
+    MIMDRAID_CHECK(!stride_deltas.empty());
+    uint32_t best_spt = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (uint32_t cand = cand_lo; cand <= cand_hi; ++cand) {
+      double score = 0.0;
+      for (const auto& [k, d] : stride_deltas) {
+        const double r = d - static_cast<double>(k) / cand;
+        score += CircDist(r) * CircDist(r);
+      }
+      if (score < best_score) {
+        best_score = score;
+        best_spt = cand;
+      }
+    }
+
+    // --- 4. Verify: the next track boundary must sit exactly SPT sectors
+    // after this one. ---
+    const double a_last = MeasureEndAngle(boundary + best_spt - 1);
+    const double a_next = MeasureEndAngle(boundary + best_spt);
+    if (Frac(a_next - a_last) > 2.5 / best_spt) {
+      return TrackProbe{best_spt, boundary};
+    }
+    lba0 += spt0 / 3 + 29;  // mis-measured; shift off-phase and retry
+  }
+  MIMDRAID_CHECK(false);  // persistent probe failure
+}
+
+uint64_t DiskProber::RefineZoneBoundary(uint64_t approx, uint32_t spt_left) {
+  // Start from a track boundary at/after `approx` (which should still be in
+  // the left zone) and walk track-by-track until the SPT changes. If a noisy
+  // bisection step left `approx` too close to (or past) the boundary, back up
+  // and retry.
+  TrackProbe tp;
+  for (int attempt = 0;; ++attempt) {
+    tp = MeasureSptAt(approx);
+    if (tp.sectors_per_track == spt_left) {
+      break;
+    }
+    MIMDRAID_CHECK_LT(attempt, 8);
+    approx = approx > 4096 ? approx - 4096 : 0;
+  }
+  uint64_t track = tp.track_start_lba;
+  for (uint64_t iter = 0; iter < 8192; ++iter) {
+    // Does the track starting at `track` span spt_left sectors? Check that
+    // the angle stride (spt_left - 2) within it matches.
+    const uint32_t k = spt_left - 2;
+    const double a0 = MeasureEndAngle(track);
+    const double d = Frac(MeasureEndAngle(track + k) - a0);
+    const double expected = static_cast<double>(k) / spt_left;
+    if (CircDist(d - expected) > 1.5 / spt_left) {
+      return track;  // first track of the next zone
+    }
+    track += spt_left;
+    MIMDRAID_CHECK_LT(track, num_sectors_);
+  }
+  MIMDRAID_CHECK(false);
+}
+
+uint64_t DiskProber::FindNextZoneBoundary(uint64_t lba_in_left_zone,
+                                          uint32_t spt_left) {
+  // Leave enough headroom at the end of the disk for MeasureSptAt's scans
+  // (a few tracks), scaled down for small test disks.
+  const uint64_t margin = std::min<uint64_t>(8192, num_sectors_ / 4);
+  MIMDRAID_CHECK_GT(num_sectors_, margin * 2);
+  const uint64_t hi_probe = num_sectors_ - margin;
+  if (lba_in_left_zone >= hi_probe ||
+      MeasureSptAt(hi_probe).sectors_per_track == spt_left) {
+    return num_sectors_;  // same zone through the end of the disk
+  }
+  uint64_t lo = lba_in_left_zone;  // spt(lo) == spt_left
+  uint64_t hi = hi_probe;          // spt(hi) != spt_left
+  const uint64_t refine_window = std::min<uint64_t>(4096, num_sectors_ / 8);
+  while (hi - lo > refine_window) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (MeasureSptAt(mid).sectors_per_track == spt_left) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return RefineZoneBoundary(lo, spt_left);
+}
+
+ProbeResult DiskProber::Probe() {
+  ProbeResult result;
+  const uint64_t probes_before = disk_->probes_issued();
+
+  // --- Zone map: SPT changes partition the LBA space. ---
+  uint64_t cur_first = 0;
+  uint32_t cur_spt = MeasureSptAt(0).sectors_per_track;
+  for (;;) {
+    ProbedZone zone;
+    zone.first_lba = cur_first;
+    zone.sectors_per_track = cur_spt;
+    result.zones.push_back(zone);
+    MIMDRAID_CHECK_LT(result.zones.size(), 64u);
+    const uint64_t next = FindNextZoneBoundary(cur_first, cur_spt);
+    if (next >= num_sectors_) {
+      break;
+    }
+    cur_first = next;
+    cur_spt = MeasureSptAt(next).sectors_per_track;
+  }
+
+  // --- Per-zone data-track counts. ---
+  for (size_t z = 0; z < result.zones.size(); ++z) {
+    ProbedZone& zone = result.zones[z];
+    const uint64_t next_first = z + 1 < result.zones.size()
+                                    ? result.zones[z + 1].first_lba
+                                    : num_sectors_;
+    const uint64_t span = next_first - zone.first_lba;
+    MIMDRAID_CHECK_EQ(span % zone.sectors_per_track, 0u);
+    zone.num_data_tracks =
+        static_cast<uint32_t>(span / zone.sectors_per_track);
+  }
+
+  // --- Skews and cylinder alignment. Track boundary k of a zone sits at
+  // first_lba + k*SPT; its skew is the angle jump across it. The boundary
+  // whose skew differs from the majority is a cylinder boundary; its index
+  // modulo the head count reveals the zone's track alignment (and, for zone
+  // 0, the number of reserved tracks). ---
+  for (size_t z = 0; z < result.zones.size(); ++z) {
+    ProbedZone& zone = result.zones[z];
+    const uint32_t spt = zone.sectors_per_track;
+    const uint32_t max_k =
+        std::min(num_heads_ + 2, zone.num_data_tracks - 1);
+    MIMDRAID_CHECK_GE(max_k, 2u);
+    // One slot is comparable to the timestamp jitter on the outer zones, so
+    // skews are measured with many repeats, and any boundary that disagrees
+    // with the majority is re-measured with twice as many before being
+    // trusted as a cylinder boundary.
+    const auto measure_skew = [&](uint32_t k, int repeats) {
+      const uint64_t b = zone.first_lba + static_cast<uint64_t>(k) * spt;
+      const double a_before = MeasureEndAngle(b - 1, repeats);
+      const double a_after = MeasureEndAngle(b, repeats);
+      const double jump = Frac(a_after - a_before);
+      const int skew = static_cast<int>(std::round(jump * spt)) - 1;
+      MIMDRAID_CHECK_GE(skew, 0);
+      return static_cast<uint32_t>(skew);
+    };
+    std::vector<uint32_t> skews(max_k + 1, 0);
+    std::map<uint32_t, size_t> tally;
+    for (uint32_t k = 1; k <= max_k; ++k) {
+      skews[k] = measure_skew(k, /*repeats=*/12);
+      ++tally[skews[k]];
+    }
+    uint32_t majority_skew = 0;
+    size_t majority_count = 0;
+    for (const auto& [skew_value, count] : tally) {
+      if (count > majority_count) {
+        majority_count = count;
+        majority_skew = skew_value;
+      }
+    }
+    std::map<uint32_t, std::vector<uint32_t>> by_skew;  // skew -> boundary ks
+    for (uint32_t k = 1; k <= max_k; ++k) {
+      uint32_t skew = skews[k];
+      if (skew != majority_skew) {
+        skew = measure_skew(k, /*repeats=*/24);  // confirm outliers
+      }
+      by_skew[skew].push_back(k);
+    }
+    // Majority value = track skew.
+    uint32_t track_skew = 0;
+    size_t majority = 0;
+    for (const auto& [skew, ks] : by_skew) {
+      if (ks.size() > majority) {
+        majority = ks.size();
+        track_skew = skew;
+      }
+    }
+    zone.track_skew = track_skew;
+    // The outliers are cylinder boundaries.
+    uint32_t cyl_skew = track_skew;  // if indistinguishable, they are equal
+    uint32_t first_cyl_boundary_k = 0;
+    for (const auto& [skew, ks] : by_skew) {
+      if (skew != track_skew) {
+        cyl_skew = skew;
+        first_cyl_boundary_k = ks.front();
+        break;
+      }
+    }
+    zone.cylinder_skew = cyl_skew;
+    if (z == 0 && first_cyl_boundary_k != 0) {
+      // Boundary after data track k-1 is a cylinder boundary iff
+      // reserved + k - 1 == H - 1 (mod H)  =>  reserved == H - k (mod H).
+      result.reserved_tracks =
+          (num_heads_ - first_cyl_boundary_k % num_heads_) % num_heads_;
+    }
+  }
+
+  // --- Cylinder positions: each zone starts on a cylinder boundary, which
+  // pins the number of spare tracks hiding at the end of the previous zone
+  // (assuming fewer spares than a full cylinder). ---
+  uint64_t phys_tracks = 0;
+  for (size_t z = 0; z < result.zones.size(); ++z) {
+    ProbedZone& zone = result.zones[z];
+    MIMDRAID_CHECK_EQ(phys_tracks % num_heads_, 0u);
+    zone.first_cylinder = static_cast<uint32_t>(phys_tracks / num_heads_);
+    const uint64_t used = (z == 0 ? result.reserved_tracks : 0u) +
+                          zone.num_data_tracks;
+    zone.inferred_spare_tracks =
+        static_cast<uint32_t>((num_heads_ - used % num_heads_) % num_heads_);
+    phys_tracks += used + zone.inferred_spare_tracks;
+  }
+
+  result.probes_used = disk_->probes_issued() - probes_before;
+  return result;
+}
+
+std::vector<uint64_t> DiskProber::FindRemappedSectors(
+    const DiskLayout& expected, uint64_t start, uint64_t count) {
+  MIMDRAID_CHECK_LE(start + count, num_sectors_);
+  std::vector<uint64_t> remapped;
+  for (uint64_t lba = start; lba < start + count; ++lba) {
+    const Chs chs = expected.ToChs(lba);
+    const uint32_t spt = expected.geometry().SectorsPerTrack(chs.cylinder);
+    const double want =
+        static_cast<double>((expected.SlotOf(chs) + 1) % spt) / spt;
+    const double got = MeasureEndAngle(lba, /*repeats=*/4);
+    double diff = got - want;
+    diff -= std::round(diff);
+    if (std::abs(diff) > 3.0 / spt) {
+      remapped.push_back(lba);
+    }
+  }
+  return remapped;
+}
+
+DiskGeometry ProbeResult::ToGeometry(uint32_t num_cylinders,
+                                     uint32_t num_heads, uint32_t rpm,
+                                     uint32_t sector_bytes) const {
+  DiskGeometry g;
+  g.rpm = rpm;
+  g.num_cylinders = num_cylinders;
+  g.num_heads = num_heads;
+  g.sector_bytes = sector_bytes;
+  for (const ProbedZone& z : zones) {
+    Zone zone;
+    zone.first_cylinder = z.first_cylinder;
+    zone.sectors_per_track = z.sectors_per_track;
+    zone.track_skew = z.track_skew;
+    zone.cylinder_skew = z.cylinder_skew;
+    g.zones.push_back(zone);
+  }
+  return g;
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,83 @@
+#include "src/calib/rotation_estimator.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+RotationEstimator::RotationEstimator(double nominal_rotation_us)
+    : nominal_rotation_us_(nominal_rotation_us),
+      rotation_us_(nominal_rotation_us) {
+  MIMDRAID_CHECK_GT(nominal_rotation_us, 0.0);
+}
+
+void RotationEstimator::AddObservation(SimTime completion_us) {
+  const double t = static_cast<double>(completion_us);
+  double k = 0.0;
+  if (!observations_.empty()) {
+    const auto& [k_prev, t_prev] = observations_.back();
+    MIMDRAID_CHECK_GE(t, t_prev);
+    // Revolution count relative to the previous observation, rounded against
+    // the current period estimate.
+    k = k_prev + std::round((t - t_prev) / rotation_us_);
+  }
+  observations_.emplace_back(k, t);
+  Refit();
+}
+
+void RotationEstimator::Refit() {
+  if (observations_.size() < 2) {
+    phase_us_ = observations_.empty() ? 0.0 : observations_[0].second;
+    return;
+  }
+  // Least squares for t = phase + R * k. Center k for numerical stability.
+  double k_mean = 0.0;
+  double t_mean = 0.0;
+  for (const auto& [k, t] : observations_) {
+    k_mean += k;
+    t_mean += t;
+  }
+  const double n = static_cast<double>(observations_.size());
+  k_mean /= n;
+  t_mean /= n;
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& [k, t] : observations_) {
+    num += (k - k_mean) * (t - t_mean);
+    den += (k - k_mean) * (k - k_mean);
+  }
+  if (den <= 0.0) {
+    return;  // all observations in the same revolution; keep current estimate
+  }
+  const double r = num / den;
+  // Reject absurd fits (e.g. aliasing from a bad early rounding) by keeping
+  // the estimate within 1% of nominal.
+  if (std::abs(r - nominal_rotation_us_) / nominal_rotation_us_ < 0.01) {
+    rotation_us_ = r;
+  }
+  phase_us_ = t_mean - rotation_us_ * k_mean;
+}
+
+double RotationEstimator::ResidualRmsUs() const {
+  if (observations_.size() < 2) {
+    return 0.0;
+  }
+  double ss = 0.0;
+  for (const auto& [k, t] : observations_) {
+    const double r = t - (phase_us_ + rotation_us_ * k);
+    ss += r * r;
+  }
+  return std::sqrt(ss / static_cast<double>(observations_.size()));
+}
+
+void RotationEstimator::TrimTo(size_t keep) {
+  if (observations_.size() <= keep) {
+    return;
+  }
+  observations_.erase(observations_.begin(),
+                      observations_.end() - static_cast<ptrdiff_t>(keep));
+  Refit();
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,73 @@
+// Spindle phase and rotation-period estimation from reference-sector reads.
+//
+// The paper's key observation (Section 3.2): the time between two reads of a
+// fixed reference sector is always an integral multiple of the rotation time
+// plus an unpredictable OS/SCSI overhead. Completion timestamps of reference
+// reads therefore lie (up to timestamping jitter) on the lattice
+//
+//     t_i  =  phase + k_i * R
+//
+// where R is the true rotation period and k_i the (unknown) revolution count.
+// We recover k_i incrementally — rounding against the current estimate, which
+// is safe as long as accumulated drift between observations stays under R/2 —
+// and then least-squares fit (k_i, t_i) for R and phase. Growing the interval
+// between reads amortizes the probing overhead while extending the lever arm
+// of the fit, exactly the "gradually increasing the time interval" scheme in
+// the paper.
+#ifndef MIMDRAID_SRC_CALIB_ROTATION_ESTIMATOR_H_
+#define MIMDRAID_SRC_CALIB_ROTATION_ESTIMATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace mimdraid {
+
+class RotationEstimator {
+ public:
+  // `nominal_rotation_us` seeds the revolution-count rounding (from the
+  // drive's advertised RPM).
+  explicit RotationEstimator(double nominal_rotation_us);
+
+  // Adds a reference-read completion timestamp. Timestamps must be
+  // non-decreasing.
+  void AddObservation(SimTime completion_us);
+
+  // True once enough observations exist for a fit (>= 3).
+  bool Ready() const { return observations_.size() >= 3; }
+
+  // Estimated rotation period (falls back to nominal until Ready()).
+  double rotation_us() const { return rotation_us_; }
+
+  // Estimated lattice phase: the model's predicted completion times are
+  // phase_us() + k * rotation_us(). Includes the mean timestamping delay,
+  // which cancels when predictions are compared against observed timestamps.
+  double phase_us() const { return phase_us_; }
+
+  // RMS residual of observations against the fitted lattice (µs); a health
+  // indicator for tests and the feedback loop.
+  double ResidualRmsUs() const;
+
+  size_t num_observations() const { return observations_.size(); }
+
+  // Drops all but the most recent `keep` observations. Periodic
+  // re-calibration keeps a bounded window so stale samples (taken when the
+  // estimate of R was worse) do not dominate.
+  void TrimTo(size_t keep);
+
+ private:
+  void Refit();
+
+  double nominal_rotation_us_;
+  double rotation_us_;
+  double phase_us_ = 0.0;
+  // (revolution index, completion time) pairs.
+  std::vector<std::pair<double, double>> observations_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_CALIB_ROTATION_ESTIMATOR_H_

@@ -1,0 +1,292 @@
+#include "src/calib/seek_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+namespace {
+
+// Solves the 3x3 linear system a*x = b by Gaussian elimination with partial
+// pivoting. Returns false if singular.
+bool Solve3x3(double a[3][3], double b[3], double x[3]) {
+  int perm[3] = {0, 1, 2};
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::abs(a[perm[r]][col]) > std::abs(a[perm[pivot]][col])) {
+        pivot = r;
+      }
+    }
+    std::swap(perm[col], perm[pivot]);
+    const double p = a[perm[col]][col];
+    if (std::abs(p) < 1e-12) {
+      return false;
+    }
+    for (int r = col + 1; r < 3; ++r) {
+      const double f = a[perm[r]][col] / p;
+      for (int c = col; c < 3; ++c) {
+        a[perm[r]][c] -= f * a[perm[col]][c];
+      }
+      b[perm[r]] -= f * b[perm[col]];
+    }
+  }
+  for (int col = 2; col >= 0; --col) {
+    double s = b[perm[col]];
+    for (int c = col + 1; c < 3; ++c) {
+      s -= a[perm[col]][c] * x[c];
+    }
+    x[col] = s / a[perm[col]][col];
+  }
+  return true;
+}
+
+double Median(std::vector<double> v) {
+  MIMDRAID_CHECK(!v.empty());
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+SeekProfile FitSeekProfile(
+    const std::vector<std::pair<uint32_t, double>>& samples,
+    double head_switch_us, double write_settle_us) {
+  MIMDRAID_CHECK_GE(samples.size(), 5u);
+  // Model, continuous at boundary `bd`:
+  //   d <  bd:  t = a + b*sqrt(d)
+  //   d >= bd:  t = a + b*sqrt(bd) + e*(d - bd)
+  // For a fixed bd this is linear in (a, b, e); search bd over the sample
+  // distances and keep the fit with the lowest SSE.
+  double best_sse = std::numeric_limits<double>::infinity();
+  double best_a = 0.0;
+  double best_b = 0.0;
+  double best_e = 0.0;
+  uint32_t best_bd = samples.back().first;
+
+  for (const auto& [bd_candidate, unused] : samples) {
+    (void)unused;
+    const double bd = static_cast<double>(bd_candidate);
+    if (bd < 2.0) {
+      continue;
+    }
+    // Require at least 3 samples on each side for a stable fit.
+    int n_short = 0;
+    int n_long = 0;
+    for (const auto& [d, t] : samples) {
+      (void)t;
+      (d < bd_candidate ? n_short : n_long)++;
+    }
+    if (n_short < 3 || n_long < 2) {
+      continue;
+    }
+    double ata[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+    double atb[3] = {0, 0, 0};
+    const double sqrt_bd = std::sqrt(bd);
+    for (const auto& [d, t] : samples) {
+      const double basis[3] = {
+          1.0,
+          d < bd_candidate ? std::sqrt(static_cast<double>(d)) : sqrt_bd,
+          d < bd_candidate ? 0.0 : static_cast<double>(d) - bd,
+      };
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+          ata[i][j] += basis[i] * basis[j];
+        }
+        atb[i] += basis[i] * t;
+      }
+    }
+    double x[3];
+    if (!Solve3x3(ata, atb, x)) {
+      continue;
+    }
+    if (x[1] < 0.0 || x[2] < 0.0) {
+      continue;  // non-monotone fit
+    }
+    double sse = 0.0;
+    for (const auto& [d, t] : samples) {
+      const double pred =
+          d < bd_candidate
+              ? x[0] + x[1] * std::sqrt(static_cast<double>(d))
+              : x[0] + x[1] * sqrt_bd + x[2] * (static_cast<double>(d) - bd);
+      sse += (t - pred) * (t - pred);
+    }
+    if (sse < best_sse) {
+      best_sse = sse;
+      best_a = x[0];
+      best_b = x[1];
+      best_e = x[2];
+      best_bd = bd_candidate;
+    }
+  }
+  MIMDRAID_CHECK(best_sse < std::numeric_limits<double>::infinity());
+
+  SeekProfile p;
+  p.short_a_us = std::max(best_a, 0.0);
+  p.short_b_us = best_b;
+  p.boundary_cylinders = best_bd;
+  p.long_b_us = best_e;
+  p.long_a_us = p.short_a_us + p.short_b_us * std::sqrt(static_cast<double>(best_bd)) -
+                p.long_b_us * static_cast<double>(best_bd);
+  p.head_switch_us = head_switch_us;
+  p.write_settle_us = write_settle_us;
+  return p;
+}
+
+SeekCurveExtractor::SeekCurveExtractor(SyncDisk* disk, const DiskLayout* layout,
+                                       double rotation_us, double phase_us)
+    : disk_(disk),
+      layout_(layout),
+      rotation_us_(rotation_us),
+      phase_us_(phase_us),
+      rng_(0xca11b8a7eULL) {
+  MIMDRAID_CHECK_GT(rotation_us, 0.0);
+}
+
+double SeekCurveExtractor::SpindleAngleAt(double t_us) const {
+  const double revs = (t_us - phase_us_) / rotation_us_;
+  double frac = revs - std::floor(revs);
+  if (frac >= 1.0) {
+    frac -= 1.0;
+  }
+  return frac;
+}
+
+void SeekCurveExtractor::ParkAt(uint32_t cylinder) {
+  const DiskGeometry& geo = layout_->geometry();
+  for (uint32_t h = 0; h < geo.num_heads; ++h) {
+    const uint64_t lba = layout_->ToLba(Chs{cylinder, h, 0});
+    if (lba != kInvalidLba) {
+      disk_->Read(lba, 1);
+      return;
+    }
+  }
+  MIMDRAID_CHECK(false);  // no data track on this cylinder
+}
+
+bool SeekCurveExtractor::ProbeFits(uint32_t from_cylinder,
+                                   uint32_t to_cylinder, uint32_t head,
+                                   bool is_write, double guess_us) {
+  ParkAt(from_cylinder);
+  const DiskGeometry& geo = layout_->geometry();
+  const uint32_t spt = geo.SectorsPerTrack(to_cylinder);
+  const double slot_us = rotation_us_ / spt;
+
+  const double t_issue = static_cast<double>(disk_->sim().Now());
+  // Find a sector on the target track whose slot starts just after
+  // t_issue + guess, skipping any positions without a natural LBA.
+  double target_angle = SpindleAngleAt(t_issue + guess_us);
+  uint64_t lba = kInvalidLba;
+  for (uint32_t attempt = 0; attempt < spt; ++attempt) {
+    lba = layout_->LbaForAngle(to_cylinder, head, target_angle);
+    if (lba != kInvalidLba) {
+      break;
+    }
+    target_angle += 1.0 / spt;
+    if (target_angle >= 1.0) {
+      target_angle -= 1.0;
+    }
+  }
+  MIMDRAID_CHECK_NE(lba, kInvalidLba);
+
+  // Predicted completion if the drive makes the chosen passage.
+  const Chs chs = layout_->ToChs(lba);
+  const double slot_angle = layout_->AngleOf(chs);
+  double wait = slot_angle - SpindleAngleAt(t_issue + guess_us);
+  wait -= std::floor(wait);
+  const double predicted_completion =
+      t_issue + guess_us + wait * rotation_us_ + slot_us;
+
+  const DiskOpResult result =
+      disk_->Access(is_write ? DiskOp::kWrite : DiskOp::kRead, lba, 1);
+  const double extra_revs = std::round(
+      (static_cast<double>(result.completion_us) - predicted_completion) /
+      rotation_us_);
+  return extra_revs <= 0.0;
+}
+
+double SeekCurveExtractor::MeasureSeekUs(uint32_t from_cylinder,
+                                         uint32_t to_cylinder, bool is_write,
+                                         const SeekExtractionOptions& options) {
+  std::vector<double> estimates;
+  for (int s = 0; s < options.searches_per_distance; ++s) {
+    double lo = 0.0;
+    double hi = options.max_seek_us;
+    for (int i = 0; i < options.binary_search_iterations; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (ProbeFits(from_cylinder, to_cylinder, /*head=*/0, is_write, mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    estimates.push_back(0.5 * (lo + hi));
+  }
+  return Median(std::move(estimates));
+}
+
+double SeekCurveExtractor::MeasureHeadSwitchUs(
+    const SeekExtractionOptions& options) {
+  const DiskGeometry& geo = layout_->geometry();
+  // A cylinder safely inside the data area with at least two data tracks.
+  const uint32_t cyl = layout_->first_data_cylinder() + 2;
+  MIMDRAID_CHECK_GE(geo.num_heads, 2u);
+  std::vector<double> estimates;
+  for (int s = 0; s < options.searches_per_distance; ++s) {
+    double lo = 0.0;
+    double hi = options.max_seek_us;
+    for (int i = 0; i < options.binary_search_iterations; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (ProbeFits(cyl, cyl, /*head=*/1, /*is_write=*/false, mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    estimates.push_back(0.5 * (lo + hi));
+  }
+  return Median(std::move(estimates));
+}
+
+SeekProfile SeekCurveExtractor::ExtractProfile(
+    const SeekExtractionOptions& options) {
+  const DiskGeometry& geo = layout_->geometry();
+  const uint32_t first_cyl = layout_->first_data_cylinder();
+  const uint32_t max_dist = geo.num_cylinders - 1 - first_cyl;
+  MIMDRAID_CHECK_GT(max_dist, 8u);
+
+  // Log-spaced distances over the stroke, deduplicated.
+  std::vector<uint32_t> distances;
+  const double log_max = std::log(static_cast<double>(max_dist));
+  for (int i = 0; i < options.num_distances; ++i) {
+    const double f = static_cast<double>(i) / (options.num_distances - 1);
+    const uint32_t d = static_cast<uint32_t>(std::round(std::exp(f * log_max)));
+    if (distances.empty() || d > distances.back()) {
+      distances.push_back(std::max(d, 1u));
+    }
+  }
+
+  std::vector<std::pair<uint32_t, double>> read_samples;
+  std::vector<double> write_deltas;
+  int write_probe_stride = std::max<size_t>(1, distances.size() / 5);
+  for (size_t i = 0; i < distances.size(); ++i) {
+    const uint32_t d = distances[i];
+    const uint32_t from = first_cyl + static_cast<uint32_t>(rng_.UniformU64(
+                                          max_dist - d + 1));
+    const double read_us = MeasureSeekUs(from, from + d, /*is_write=*/false,
+                                         options);
+    read_samples.emplace_back(d, read_us);
+    if (i % static_cast<size_t>(write_probe_stride) == 0) {
+      const double write_us = MeasureSeekUs(from, from + d, /*is_write=*/true,
+                                            options);
+      write_deltas.push_back(write_us - read_us);
+    }
+  }
+  const double head_switch = MeasureHeadSwitchUs(options);
+  const double write_settle = std::max(0.0, Median(std::move(write_deltas)));
+  return FitSeekProfile(read_samples, head_switch, write_settle);
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,88 @@
+// Seek-curve extraction from a black-box disk.
+//
+// With the spindle phase and rotation period known (RotationEstimator), every
+// completion timestamp pins the access to a specific slot passage. That turns
+// seek-time measurement into a threshold test: position the arm at cylinder
+// c, then request a sector on cylinder c±d whose slot passes at
+// (issue + guess). If the completion lands on that passage, the seek (plus
+// request overhead) fit within the guess; otherwise the drive caught a later
+// revolution. Binary search over the guess converges on the seek time without
+// any hardware support — the same timestamps-only discipline as the paper's
+// Section 3.2.
+//
+// The extracted times deliberately *include* the mean pre-access request
+// overhead: the predictor that consumes this profile predicts completion
+// timestamps, for which effective (overhead-inclusive) seek times are exactly
+// the right quantity.
+#ifndef MIMDRAID_SRC_CALIB_SEEK_EXTRACTOR_H_
+#define MIMDRAID_SRC_CALIB_SEEK_EXTRACTOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/calib/sync_disk.h"
+#include "src/disk/layout.h"
+#include "src/disk/seek_profile.h"
+#include "src/util/rng.h"
+
+namespace mimdraid {
+
+struct SeekExtractionOptions {
+  // Number of cylinder distances sampled (log-spaced over the stroke).
+  int num_distances = 20;
+  // Independent binary searches per distance; the median is kept.
+  int searches_per_distance = 3;
+  // Binary-search iterations (precision = max_seek_us / 2^iterations).
+  int binary_search_iterations = 11;
+  double max_seek_us = 25000.0;
+  uint64_t seed = 0x5eecULL;
+};
+
+// Fits a two-regime (sqrt / linear) SeekProfile to (distance, seek_us)
+// samples, constrained to be continuous at the boundary. `head_switch_us`
+// and `write_settle_us` pass through to the profile.
+SeekProfile FitSeekProfile(const std::vector<std::pair<uint32_t, double>>& samples,
+                           double head_switch_us, double write_settle_us);
+
+class SeekCurveExtractor {
+ public:
+  // `layout` is the address map previously recovered by DiskProber (verified
+  // to match the drive); `rotation_us`/`phase_us` come from the
+  // RotationEstimator.
+  SeekCurveExtractor(SyncDisk* disk, const DiskLayout* layout,
+                     double rotation_us, double phase_us);
+
+  // Effective (overhead-inclusive) seek time for one cylinder distance.
+  double MeasureSeekUs(uint32_t from_cylinder, uint32_t to_cylinder,
+                       bool is_write, const SeekExtractionOptions& options);
+
+  // Effective head-switch time (same cylinder, adjacent head).
+  double MeasureHeadSwitchUs(const SeekExtractionOptions& options);
+
+  // Runs the full pipeline: samples distances, measures read and write seeks
+  // and the head switch, and fits a profile.
+  SeekProfile ExtractProfile(const SeekExtractionOptions& options);
+
+ private:
+  // One threshold probe: with the arm parked at `from`, does an access to a
+  // sector on `to` whose slot passes `guess_us` after issue complete on that
+  // passage? Returns true if the drive made the passage.
+  bool ProbeFits(uint32_t from_cylinder, uint32_t to_cylinder, uint32_t head,
+                 bool is_write, double guess_us);
+
+  // Parks the arm on (cylinder, head 0 data track) and returns.
+  void ParkAt(uint32_t cylinder);
+
+  double SpindleAngleAt(double t_us) const;
+
+  SyncDisk* disk_;
+  const DiskLayout* layout_;
+  double rotation_us_;
+  double phase_us_;
+  Rng rng_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_CALIB_SEEK_EXTRACTOR_H_

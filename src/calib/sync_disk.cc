@@ -1,0 +1,26 @@
+#include "src/calib/sync_disk.h"
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+DiskOpResult SyncDisk::Access(DiskOp op, uint64_t lba, uint32_t sectors) {
+  MIMDRAID_CHECK(!disk_->busy());
+  bool done = false;
+  DiskOpResult result;
+  disk_->Start(op, lba, sectors, [&done, &result](const DiskOpResult& r) {
+    result = r;
+    done = true;
+  });
+  ++probes_issued_;
+  while (!done) {
+    MIMDRAID_CHECK(sim_->Step());
+  }
+  return result;
+}
+
+void SyncDisk::Sleep(SimTime duration_us) {
+  sim_->RunUntil(sim_->Now() + duration_us);
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,43 @@
+// Synchronous access to a SimDisk for calibration-time probing.
+//
+// Calibration happens offline (before the workload starts), so probes can
+// simply drive the simulator until each access completes. This mirrors how
+// the real calibration tool owns the raw device exclusively.
+#ifndef MIMDRAID_SRC_CALIB_SYNC_DISK_H_
+#define MIMDRAID_SRC_CALIB_SYNC_DISK_H_
+
+#include <cstdint>
+
+#include "src/disk/sim_disk.h"
+#include "src/sim/simulator.h"
+
+namespace mimdraid {
+
+class SyncDisk {
+ public:
+  SyncDisk(Simulator* sim, SimDisk* disk) : sim_(sim), disk_(disk) {}
+
+  // Issues the access and runs the simulator until it completes.
+  DiskOpResult Access(DiskOp op, uint64_t lba, uint32_t sectors = 1);
+
+  DiskOpResult Read(uint64_t lba, uint32_t sectors = 1) {
+    return Access(DiskOp::kRead, lba, sectors);
+  }
+
+  // Advances simulated time (the pause between probe batches).
+  void Sleep(SimTime duration_us);
+
+  SimDisk& disk() { return *disk_; }
+  Simulator& sim() { return *sim_; }
+
+  uint64_t probes_issued() const { return probes_issued_; }
+
+ private:
+  Simulator* sim_;
+  SimDisk* disk_;
+  uint64_t probes_issued_ = 0;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_CALIB_SYNC_DISK_H_

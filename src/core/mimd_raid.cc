@@ -1,0 +1,118 @@
+#include "src/core/mimd_raid.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace mimdraid {
+
+MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
+  if (options_.geometry.zones.empty()) {
+    options_.geometry = MakeSt39133Geometry();
+  }
+  MIMDRAID_CHECK(options_.geometry.Valid());
+  const int d = options_.aspect.TotalDisks();
+  MIMDRAID_CHECK_GE(d, 1);
+
+  Rng rng(options_.seed);
+  const double rotation_nominal =
+      static_cast<double>(options_.geometry.RotationUs());
+  for (int i = 0; i < d; ++i) {
+    const double phase =
+        options_.synchronized_spindles
+            ? 0.0
+            : rng.UniformDouble() * rotation_nominal;
+    const double tolerance = options_.rotation_tolerance_ppm * 1e-6;
+    const double rotation =
+        rotation_nominal * (1.0 + rng.UniformDouble(-tolerance, tolerance));
+    disks_.push_back(std::make_unique<SimDisk>(
+        &sim_, options_.geometry, options_.profile, options_.noise,
+        rng.Next(), phase, rotation));
+  }
+
+  if (options_.use_oracle_predictor) {
+    double slack = options_.oracle_slack_us;
+    if (slack < 0.0) {
+      const bool noisy = options_.noise.overhead_stddev_us > 0.0 ||
+                         options_.noise.hiccup_prob > 0.0;
+      slack = noisy ? 450.0 : 0.0;
+    }
+    for (auto& disk : disks_) {
+      predictors_.push_back(
+          std::make_unique<OraclePredictor>(disk.get(), slack));
+    }
+  } else {
+    // Extract the seek profile once (homogeneous drives), then run the cheap
+    // phase-only calibration per disk.
+    CalibrationOptions full = options_.calibration;
+    full.extract_seek_profile = true;
+    const CalibrationResult shared =
+        CalibrateDisk(&sim_, disks_[0].get(), full);
+    CalibrationOptions phase_only = options_.calibration;
+    phase_only.extract_seek_profile = false;
+    phase_only.probe_layout = false;
+    for (auto& disk : disks_) {
+      predictors_.push_back(MakeCalibratedPredictor(
+          &sim_, disk.get(), phase_only, &shared.profile, options_.slack));
+    }
+  }
+
+  layout_ = std::make_unique<ArrayLayout>(
+      &disks_[0]->layout(), options_.aspect, options_.stripe_unit_sectors,
+      options_.dataset_sectors, options_.placement_mode);
+
+  std::vector<SimDisk*> disk_ptrs;
+  std::vector<AccessPredictor*> pred_ptrs;
+  for (size_t i = 0; i < disks_.size(); ++i) {
+    disk_ptrs.push_back(disks_[i].get());
+    pred_ptrs.push_back(predictors_[i].get());
+  }
+  ArrayControllerOptions copts;
+  copts.scheduler = options_.scheduler;
+  copts.max_scan = options_.max_scan;
+  copts.delayed_table_limit = options_.delayed_table_limit;
+  copts.recalibration_interval_us = options_.recalibration_interval_us;
+  copts.foreground_write_propagation = options_.foreground_write_propagation;
+  controller_ = std::make_unique<ArrayController>(
+      &sim_, std::move(disk_ptrs), std::move(pred_ptrs), layout_.get(), copts);
+}
+
+void MimdRaid::Reshape(const ArrayAspect& aspect, SimTime migration_us) {
+  MIMDRAID_CHECK_EQ(static_cast<size_t>(aspect.TotalDisks()), disks_.size());
+  MIMDRAID_CHECK_GE(migration_us, 0);
+  // Quiesce: all foreground work and background propagation must finish
+  // before the old controller (and its callbacks) can be torn down.
+  while (!controller_->Idle()) {
+    MIMDRAID_CHECK(sim_.Step());
+  }
+  controller_.reset();
+  sim_.RunUntil(sim_.Now() + migration_us);
+
+  options_.aspect = aspect;
+  layout_ = std::make_unique<ArrayLayout>(
+      &disks_[0]->layout(), options_.aspect, options_.stripe_unit_sectors,
+      options_.dataset_sectors, options_.placement_mode);
+  std::vector<SimDisk*> disk_ptrs;
+  std::vector<AccessPredictor*> pred_ptrs;
+  for (size_t i = 0; i < disks_.size(); ++i) {
+    disk_ptrs.push_back(disks_[i].get());
+    pred_ptrs.push_back(predictors_[i].get());
+  }
+  ArrayControllerOptions copts;
+  copts.scheduler = options_.scheduler;
+  copts.max_scan = options_.max_scan;
+  copts.delayed_table_limit = options_.delayed_table_limit;
+  copts.recalibration_interval_us = options_.recalibration_interval_us;
+  copts.foreground_write_propagation = options_.foreground_write_propagation;
+  controller_ = std::make_unique<ArrayController>(
+      &sim_, std::move(disk_ptrs), std::move(pred_ptrs), layout_.get(), copts);
+}
+
+SubmitFn MimdRaid::Submitter() {
+  return [this](DiskOp op, uint64_t lba, uint32_t sectors, IoDoneFn done) {
+    controller_->Submit(op, lba, sectors, std::move(done));
+  };
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,93 @@
+// MimdRaid: the assembled prototype (Figure 4's stack).
+//
+// Owns the simulator, the disks, the per-disk predictors (oracle or
+// calibrated), the array layout, and the controller, wiring them exactly as
+// the prototype does: Logical Disk Layer -> Disk Configuration Layer ->
+// Scheduling Layer -> (Calibration Layer) -> device.
+#ifndef MIMDRAID_SRC_CORE_MIMD_RAID_H_
+#define MIMDRAID_SRC_CORE_MIMD_RAID_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/array/array_layout.h"
+#include "src/array/controller.h"
+#include "src/calib/calibration.h"
+#include "src/calib/predictor.h"
+#include "src/disk/geometry.h"
+#include "src/disk/seek_profile.h"
+#include "src/disk/sim_disk.h"
+#include "src/model/configurator.h"
+#include "src/sim/simulator.h"
+#include "src/workload/drivers.h"
+
+namespace mimdraid {
+
+struct MimdRaidOptions {
+  ArrayAspect aspect;  // Ds x Dr x Dm; TotalDisks() is the disk budget
+  SchedulerKind scheduler = SchedulerKind::kRsatf;
+  size_t max_scan = 0;
+  uint64_t dataset_sectors = 16'400'000;
+  uint32_t stripe_unit_sectors = 128;  // 64 KiB, as in the prototype
+  // Where rotational replicas live (cross-track is the paper's design).
+  PlacementMode placement_mode = PlacementMode::kCrossTrack;
+
+  // Drive model. Empty geometry selects the ST39133 defaults.
+  DiskGeometry geometry;
+  SeekProfile profile = MakeSt39133SeekProfile();
+  DiskNoiseModel noise = DiskNoiseModel::None();
+  bool synchronized_spindles = false;
+  // True spindle speeds deviate uniformly within ±tolerance of nominal.
+  double rotation_tolerance_ppm = 20.0;
+  uint64_t seed = 42;
+
+  // Prediction. The oracle predictor reads the simulator's ground truth and
+  // is the right choice for macro experiments (the paper validated that its
+  // software predictor matches; Table 2 re-establishes that here). Setting
+  // use_oracle_predictor = false runs the full software calibration path.
+  bool use_oracle_predictor = true;
+  double oracle_slack_us = -1.0;  // <0: auto (0 for noise-free disks)
+  CalibrationOptions calibration;
+  SlackFeedbackOptions slack;  // software-predictor slack policy
+
+  // Controller.
+  size_t delayed_table_limit = 10'000;
+  SimTime recalibration_interval_us = 0;
+  bool foreground_write_propagation = false;
+};
+
+class MimdRaid {
+ public:
+  explicit MimdRaid(const MimdRaidOptions& options);
+
+  Simulator& sim() { return sim_; }
+  ArrayController& controller() { return *controller_; }
+  const ArrayLayout& layout() const { return *layout_; }
+  const MimdRaidOptions& options() const { return options_; }
+
+  size_t num_disks() const { return disks_.size(); }
+  SimDisk& disk(size_t i) { return *disks_[i]; }
+  AccessPredictor& predictor(size_t i) { return *predictors_[i]; }
+
+  // Submit function bound to the controller, for the workload drivers.
+  SubmitFn Submitter();
+
+  // Re-shapes the array to a new aspect ratio over the same disks (offline
+  // migration): drains outstanding work, advances simulated time by
+  // `migration_us` (the re-layout copy), then rebuilds the layout and
+  // controller. Pending background propagations are completed during the
+  // drain. The new aspect must use the same number of disks.
+  void Reshape(const ArrayAspect& aspect, SimTime migration_us);
+
+ private:
+  MimdRaidOptions options_;
+  Simulator sim_;
+  std::vector<std::unique_ptr<SimDisk>> disks_;
+  std::vector<std::unique_ptr<AccessPredictor>> predictors_;
+  std::unique_ptr<ArrayLayout> layout_;
+  std::unique_ptr<ArrayController> controller_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_CORE_MIMD_RAID_H_

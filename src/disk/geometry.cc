@@ -1,0 +1,118 @@
+#include "src/disk/geometry.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+uint32_t DiskGeometry::ZoneIndexOf(uint32_t cylinder) const {
+  MIMDRAID_CHECK_LT(cylinder, num_cylinders);
+  // Zones are few (~10); linear scan from the back is simple and fast.
+  for (size_t i = zones.size(); i-- > 0;) {
+    if (cylinder >= zones[i].first_cylinder) {
+      return static_cast<uint32_t>(i);
+    }
+  }
+  MIMDRAID_CHECK(false);
+}
+
+uint32_t DiskGeometry::ZoneCylinders(uint32_t zone_index) const {
+  MIMDRAID_CHECK_LT(zone_index, zones.size());
+  const uint32_t first = zones[zone_index].first_cylinder;
+  const uint32_t next = zone_index + 1 < zones.size()
+                            ? zones[zone_index + 1].first_cylinder
+                            : num_cylinders;
+  return next - first;
+}
+
+uint64_t DiskGeometry::TotalSectors() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < zones.size(); ++i) {
+    total += static_cast<uint64_t>(ZoneCylinders(static_cast<uint32_t>(i))) *
+             num_heads * zones[i].sectors_per_track;
+  }
+  return total;
+}
+
+bool DiskGeometry::Valid() const {
+  if (rpm == 0 || num_cylinders == 0 || num_heads == 0 || sector_bytes == 0 ||
+      zones.empty() || zones[0].first_cylinder != 0) {
+    return false;
+  }
+  for (size_t i = 0; i < zones.size(); ++i) {
+    const Zone& z = zones[i];
+    if (z.sectors_per_track == 0) {
+      return false;
+    }
+    if (z.track_skew >= z.sectors_per_track || z.cylinder_skew >= z.sectors_per_track) {
+      return false;
+    }
+    if (i > 0 && z.first_cylinder <= zones[i - 1].first_cylinder) {
+      return false;
+    }
+    if (z.first_cylinder >= num_cylinders) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Skew sized so the platter rotates past `switch_us` of slots during a head
+// switch, rounded up, plus one slot of margin.
+uint32_t SkewSlots(double switch_us, double rotation_us, uint32_t spt) {
+  const double slot_us = rotation_us / spt;
+  uint32_t skew = static_cast<uint32_t>(std::ceil(switch_us / slot_us)) + 1;
+  return skew < spt ? skew : spt - 1;
+}
+
+}  // namespace
+
+DiskGeometry MakeSt39133Geometry() {
+  DiskGeometry g;
+  g.rpm = 10000;
+  g.num_cylinders = 6962;
+  g.num_heads = 12;
+  g.sector_bytes = 512;
+  const double rotation_us = 6000.0;
+  const double head_switch_us = 900.0;   // paper: track switch ~900 us
+  const double cyl_switch_us = 1100.0;   // single-cylinder seek + settle
+  // 10 zones, outer zones denser. SPT chosen to land near 9.1 GB total.
+  const uint32_t spts[10] = {264, 253, 242, 231, 220, 209, 198, 187, 176, 165};
+  const uint32_t zone_cyls = g.num_cylinders / 10;
+  for (uint32_t i = 0; i < 10; ++i) {
+    Zone z;
+    z.first_cylinder = i * zone_cyls;
+    z.sectors_per_track = spts[i];
+    z.track_skew = SkewSlots(head_switch_us, rotation_us, spts[i]);
+    z.cylinder_skew = SkewSlots(cyl_switch_us, rotation_us, spts[i]);
+    g.zones.push_back(z);
+  }
+  MIMDRAID_CHECK(g.Valid());
+  return g;
+}
+
+DiskGeometry MakeTestGeometry() {
+  DiskGeometry g;
+  g.rpm = 10000;
+  g.num_cylinders = 60;
+  g.num_heads = 4;
+  g.sector_bytes = 512;
+  Zone z0;
+  z0.first_cylinder = 0;
+  z0.sectors_per_track = 40;
+  z0.track_skew = 7;
+  z0.cylinder_skew = 9;
+  Zone z1;
+  z1.first_cylinder = 30;
+  z1.sectors_per_track = 30;
+  z1.track_skew = 6;
+  z1.cylinder_skew = 7;
+  g.zones = {z0, z1};
+  MIMDRAID_CHECK(g.Valid());
+  return g;
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,73 @@
+// Physical disk geometry: zones, skews, and rotation.
+//
+// The geometry describes a multi-zone drive in the style of late-1990s SCSI
+// disks (the paper's Seagate ST39133LWV): cylinders are grouped into zones
+// with a constant sectors-per-track (SPT) within a zone; tracks are skewed
+// relative to each other so that sequential transfers crossing a track or
+// cylinder boundary do not lose a full revolution.
+#ifndef MIMDRAID_SRC_DISK_GEOMETRY_H_
+#define MIMDRAID_SRC_DISK_GEOMETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace mimdraid {
+
+struct Zone {
+  uint32_t first_cylinder = 0;   // inclusive; zone extends to next zone's first
+  uint32_t sectors_per_track = 0;
+  // Skews in sector slots. Track skew applies between consecutive heads of a
+  // cylinder; cylinder skew applies between the last head of a cylinder and
+  // the first head of the next.
+  uint32_t track_skew = 0;
+  uint32_t cylinder_skew = 0;
+};
+
+struct DiskGeometry {
+  uint32_t rpm = 10000;
+  uint32_t num_cylinders = 0;
+  uint32_t num_heads = 0;  // tracks per cylinder
+  uint32_t sector_bytes = 512;
+  std::vector<Zone> zones;  // sorted by first_cylinder; zones[0].first_cylinder == 0
+
+  // Full-rotation time R in microseconds.
+  SimTime RotationUs() const { return static_cast<SimTime>(60.0 * 1e6 / rpm); }
+
+  // Index into zones for a cylinder.
+  uint32_t ZoneIndexOf(uint32_t cylinder) const;
+  const Zone& ZoneOf(uint32_t cylinder) const { return zones[ZoneIndexOf(cylinder)]; }
+
+  uint32_t SectorsPerTrack(uint32_t cylinder) const {
+    return ZoneOf(cylinder).sectors_per_track;
+  }
+
+  // Number of cylinders in the zone with the given index.
+  uint32_t ZoneCylinders(uint32_t zone_index) const;
+
+  // Sum over all tracks of sectors-per-track.
+  uint64_t TotalSectors() const;
+
+  uint64_t CapacityBytes() const { return TotalSectors() * sector_bytes; }
+
+  // Time for one sector slot to pass under the head on the given cylinder.
+  double SlotTimeUs(uint32_t cylinder) const {
+    return static_cast<double>(RotationUs()) / SectorsPerTrack(cylinder);
+  }
+
+  // Validates internal consistency (sorted zones, non-zero sizes, skews < SPT).
+  bool Valid() const;
+};
+
+// Geometry modeled after the paper's Seagate ST39133LWV (9.1 GB, 10000 RPM,
+// Table 1): 12 heads, ~6962 cylinders, 10 zones, 512-byte sectors, skews
+// sized to cover a ~0.9 ms head switch.
+DiskGeometry MakeSt39133Geometry();
+
+// A tiny geometry (few cylinders/zones) for fast unit tests.
+DiskGeometry MakeTestGeometry();
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_DISK_GEOMETRY_H_

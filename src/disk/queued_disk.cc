@@ -1,0 +1,71 @@
+#include "src/disk/queued_disk.h"
+
+#include <limits>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+InternalQueueDisk::InternalQueueDisk(SimDisk* disk, FirmwarePolicy policy,
+                                     uint32_t queue_depth)
+    : disk_(disk), policy_(policy), queue_depth_(queue_depth) {
+  MIMDRAID_CHECK(disk != nullptr);
+  MIMDRAID_CHECK_GT(queue_depth, 0u);
+}
+
+void InternalQueueDisk::Submit(DiskOp op, uint64_t lba, uint32_t sectors,
+                               DiskCompletionFn done) {
+  // The tag limit only bounds what a real drive would accept at once; going
+  // beyond it would simply leave commands host-side. Timing-wise the two
+  // queues are equivalent here as long as the firmware only examines the
+  // first queue_depth_ entries when picking (enforced in PickNext).
+  queue_.push_back(Command{op, lba, sectors, std::move(done)});
+  MaybeStart();
+}
+
+size_t InternalQueueDisk::PickNext() const {
+  if (policy_ == FirmwarePolicy::kFcfs || queue_.size() == 1) {
+    return 0;
+  }
+  // Firmware SATF: the drive knows its own head position and spindle phase
+  // exactly (no slack needed) and scans the accepted tags.
+  const DiskTimingModel& truth = disk_->DebugTimingModel();
+  const double pre = disk_->noise().overhead_mean_us;
+  size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  const size_t scan = std::min<size_t>(queue_.size(), queue_depth_);
+  for (size_t i = 0; i < scan; ++i) {
+    const Command& c = queue_[i];
+    const AccessPlan plan =
+        truth.Plan(disk_->DebugHeadState(),
+                   static_cast<double>(disk_->NowUs()) + pre, c.lba, c.sectors,
+                   c.op == DiskOp::kWrite);
+    if (plan.total_us < best_cost) {
+      best_cost = plan.total_us;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void InternalQueueDisk::MaybeStart() {
+  if (disk_->busy() || queue_.empty()) {
+    return;
+  }
+  const size_t index = PickNext();
+  if (index != 0) {
+    ++reorderings_;
+  }
+  Command cmd = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
+  disk_->Start(cmd.op, cmd.lba, cmd.sectors,
+               [this, done = std::move(cmd.done)](const DiskOpResult& result) {
+                 if (done) {
+                   done(result);
+                 }
+                 MaybeStart();
+               });
+}
+
+}  // namespace mimdraid

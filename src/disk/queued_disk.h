@@ -1,0 +1,65 @@
+// A drive with an internal command queue and firmware scheduling.
+//
+// The paper closes with an open question: its host-based predictor enables
+// SATF-class scheduling on dumb drives, but some drives (e.g. the HP C2490A)
+// schedule internally with perfect knowledge of their own state — how do the
+// approaches compare, and can they be combined? InternalQueueDisk models such
+// a drive: the host may keep several commands outstanding; the firmware picks
+// the next one using the drive's ground-truth timing model (FCFS or SATF).
+//
+// This is deliberately a wrapper around SimDisk rather than a SimDisk mode:
+// the drive's black-box contract (Start one command, completion callback)
+// stays untouched for everything the calibration layer does.
+#ifndef MIMDRAID_SRC_DISK_QUEUED_DISK_H_
+#define MIMDRAID_SRC_DISK_QUEUED_DISK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/disk/sim_disk.h"
+
+namespace mimdraid {
+
+enum class FirmwarePolicy {
+  kFcfs,
+  kSatf,  // firmware SATF with perfect internal knowledge
+};
+
+class InternalQueueDisk {
+ public:
+  // `queue_depth` caps commands the drive accepts concurrently (like a
+  // SCSI/NCQ tag limit); submissions beyond it are queued host-side in
+  // arrival order and fed to the drive as tags free up.
+  InternalQueueDisk(SimDisk* disk, FirmwarePolicy policy,
+                    uint32_t queue_depth = 32);
+
+  // Accepts the command immediately; `done` fires at completion.
+  void Submit(DiskOp op, uint64_t lba, uint32_t sectors, DiskCompletionFn done);
+
+  size_t queued() const { return queue_.size(); }
+  bool Idle() const { return queue_.empty() && !disk_->busy(); }
+  SimDisk& disk() { return *disk_; }
+  uint64_t reorderings() const { return reorderings_; }
+
+ private:
+  struct Command {
+    DiskOp op;
+    uint64_t lba;
+    uint32_t sectors;
+    DiskCompletionFn done;
+  };
+
+  void MaybeStart();
+  size_t PickNext() const;
+
+  SimDisk* disk_;
+  FirmwarePolicy policy_;
+  uint32_t queue_depth_;
+  std::vector<Command> queue_;  // commands accepted by the drive
+  uint64_t reorderings_ = 0;    // times SATF bypassed the oldest command
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_DISK_QUEUED_DISK_H_

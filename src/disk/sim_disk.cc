@@ -1,0 +1,68 @@
+#include "src/disk/sim_disk.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+SimDisk::SimDisk(Simulator* sim, const DiskGeometry& geometry,
+                 const SeekProfile& profile, const DiskNoiseModel& noise,
+                 uint64_t seed, double spindle_phase_us,
+                 double rotation_us_override)
+    : sim_(sim),
+      geometry_(geometry),
+      layout_(std::make_unique<DiskLayout>(&geometry_)),
+      noise_(noise),
+      rng_(seed) {
+  MIMDRAID_CHECK(sim != nullptr);
+  timing_ = std::make_unique<DiskTimingModel>(
+      layout_.get(), profile, spindle_phase_us, rotation_us_override);
+  head_.cylinder = layout_->first_data_cylinder();
+  head_.head = 0;
+}
+
+void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
+                    DiskCompletionFn done) {
+  MIMDRAID_CHECK(!busy_);
+  MIMDRAID_CHECK_GT(sectors, 0u);
+  MIMDRAID_CHECK_LE(lba + sectors, layout_->num_data_sectors());
+  busy_ = true;
+
+  const SimTime start = sim_->Now();
+  double overhead =
+      rng_.Normal(noise_.overhead_mean_us, noise_.overhead_stddev_us);
+  overhead = std::max(overhead, 0.0);
+  if (noise_.hiccup_prob > 0.0 && rng_.Bernoulli(noise_.hiccup_prob)) {
+    overhead += rng_.Exponential(noise_.hiccup_mean_us);
+  }
+
+  const AccessPlan plan =
+      timing_->Plan(head_, static_cast<double>(start) + overhead, lba, sectors,
+                    op == DiskOp::kWrite);
+  double post = rng_.Normal(noise_.post_overhead_mean_us,
+                            noise_.post_overhead_stddev_us);
+  post = std::max(post, 0.0);
+  const double total = overhead + plan.total_us + post;
+  const SimTime completion = start + static_cast<SimTime>(total + 0.5);
+
+  DiskOpResult result;
+  result.start_us = start;
+  result.completion_us = completion;
+  result.overhead_us = overhead + post;
+  result.seek_us = plan.seek_us;
+  result.rotational_us = plan.rotational_us;
+  result.transfer_us = plan.transfer_us;
+
+  sim_->ScheduleAt(completion, [this, plan, result, cb = std::move(done)]() {
+    head_ = plan.end_state;
+    busy_ = false;
+    ++ops_completed_;
+    if (cb) {
+      cb(result);
+    }
+  });
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,129 @@
+// Event-driven model of a single disk drive.
+//
+// SimDisk services one request at a time (the external scheduling layer owns
+// the queue, matching the prototype architecture of Section 3.1 where the
+// Scheduling Layer maintains a drive queue per physical disk). Service time
+// is computed by DiskTimingModel with the drive's true spindle phase, plus a
+// stochastic per-operation overhead that models OS + SCSI + controller
+// processing. The overhead is the part the paper's head-position predictor
+// cannot observe — it is what makes prediction a non-trivial problem.
+#ifndef MIMDRAID_SRC_DISK_SIM_DISK_H_
+#define MIMDRAID_SRC_DISK_SIM_DISK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/disk/geometry.h"
+#include "src/disk/layout.h"
+#include "src/disk/seek_profile.h"
+#include "src/disk/timing.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace mimdraid {
+
+enum class DiskOp { kRead, kWrite };
+
+// Stochastic request overhead. The pre-access part (command processing, bus,
+// controller) delays the start of the mechanical access and is what causes
+// rotational misses when a predicted wait was small; the post-access part
+// (interrupt delivery, timestamping) jitters the observed completion time and
+// is what limits the precision of timestamp-based calibration. A rare heavy
+// tail models hiccups such as bus contention or thermal recalibration.
+struct DiskNoiseModel {
+  double overhead_mean_us = 300.0;
+  double overhead_stddev_us = 40.0;
+  double post_overhead_mean_us = 50.0;
+  double post_overhead_stddev_us = 15.0;
+  double hiccup_prob = 0.0;
+  double hiccup_mean_us = 3000.0;
+
+  // Noise-free instance for "pure simulator" runs: deterministic overheads.
+  static DiskNoiseModel None() {
+    return DiskNoiseModel{.overhead_mean_us = 300.0,
+                          .overhead_stddev_us = 0.0,
+                          .post_overhead_mean_us = 50.0,
+                          .post_overhead_stddev_us = 0.0,
+                          .hiccup_prob = 0.0,
+                          .hiccup_mean_us = 0.0};
+  }
+
+  // Noise typical of the prototype platform (Table 1 environment).
+  static DiskNoiseModel Prototype() {
+    return DiskNoiseModel{.overhead_mean_us = 300.0,
+                          .overhead_stddev_us = 40.0,
+                          .post_overhead_mean_us = 50.0,
+                          .post_overhead_stddev_us = 15.0,
+                          .hiccup_prob = 0.001,
+                          .hiccup_mean_us = 3000.0};
+  }
+};
+
+struct DiskOpResult {
+  SimTime start_us = 0;
+  SimTime completion_us = 0;
+  // Decomposition of the service time (ground truth; used by statistics and
+  // tests, never by the calibration layer).
+  double overhead_us = 0.0;
+  double seek_us = 0.0;
+  double rotational_us = 0.0;
+  double transfer_us = 0.0;
+
+  SimTime ServiceUs() const { return completion_us - start_us; }
+};
+
+using DiskCompletionFn = std::function<void(const DiskOpResult&)>;
+
+class SimDisk {
+ public:
+  // `spindle_phase_us` sets where in its rotation the platter is at t=0;
+  // unsynchronized spindles get distinct random phases from the array layer.
+  // `rotation_us_override` lets the true spindle period deviate from nominal
+  // (0 = nominal); see DiskTimingModel.
+  SimDisk(Simulator* sim, const DiskGeometry& geometry,
+          const SeekProfile& profile, const DiskNoiseModel& noise,
+          uint64_t seed, double spindle_phase_us,
+          double rotation_us_override = 0.0);
+
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  // Begins servicing a request. The disk must be idle. `done` fires at the
+  // simulated completion time, after the disk has returned to idle, so the
+  // callback may immediately start the next request.
+  void Start(DiskOp op, uint64_t lba, uint32_t sectors, DiskCompletionFn done);
+
+  bool busy() const { return busy_; }
+
+  const DiskGeometry& geometry() const { return geometry_; }
+  const DiskNoiseModel& noise() const { return noise_; }
+  const DiskLayout& layout() const { return *layout_; }
+  DiskLayout& mutable_layout() { return *layout_; }
+
+  uint64_t ops_completed() const { return ops_completed_; }
+  SimTime NowUs() const { return sim_->Now(); }
+  uint64_t num_sectors() const { return layout_->num_data_sectors(); }
+
+  // --- Introspection for tests and oracle experiments only. ---
+  // Production components (calibration, schedulers) must treat the drive as a
+  // black box and work from completion timestamps.
+  const HeadState& DebugHeadState() const { return head_; }
+  double DebugSpindlePhaseUs() const { return timing_->spindle_phase_us(); }
+  const DiskTimingModel& DebugTimingModel() const { return *timing_; }
+
+ private:
+  Simulator* sim_;
+  DiskGeometry geometry_;
+  std::unique_ptr<DiskLayout> layout_;
+  std::unique_ptr<DiskTimingModel> timing_;
+  DiskNoiseModel noise_;
+  Rng rng_;
+  HeadState head_;
+  bool busy_ = false;
+  uint64_t ops_completed_ = 0;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_DISK_SIM_DISK_H_

@@ -1,0 +1,117 @@
+#include "src/disk/timing.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+DiskTimingModel::DiskTimingModel(const DiskLayout* layout,
+                                 const SeekProfile& profile,
+                                 double spindle_phase_us,
+                                 double rotation_us_override)
+    : layout_(layout),
+      profile_(profile),
+      rotation_us_(rotation_us_override > 0.0
+                       ? rotation_us_override
+                       : static_cast<double>(layout->geometry().RotationUs())),
+      spindle_phase_us_(spindle_phase_us) {
+  MIMDRAID_CHECK(layout != nullptr);
+}
+
+double DiskTimingModel::SpindleAngleAt(double t_us) const {
+  const double revs = (t_us - spindle_phase_us_) / rotation_us_;
+  double frac = revs - std::floor(revs);
+  if (frac >= 1.0) {
+    frac -= 1.0;
+  }
+  return frac;
+}
+
+double DiskTimingModel::TimeUntilAngle(double t_us, double angle) const {
+  double delta = angle - SpindleAngleAt(t_us);
+  delta -= std::floor(delta);
+  if (delta >= 1.0) {
+    delta -= 1.0;
+  }
+  // Catch tolerance: if the target slot started passing within the last
+  // couple of microseconds (sector preamble/tolerance on a real drive, and
+  // integer-microsecond timestamp rounding here), the access still makes it.
+  // Without this, a perfectly chained sequential handoff can round past the
+  // slot edge and be charged a full spurious rotation.
+  const double catch_frac = 2.0 / rotation_us_;
+  if (delta > 1.0 - catch_frac) {
+    delta = 0.0;
+  }
+  return delta * rotation_us_;
+}
+
+AccessPlan DiskTimingModel::Plan(const HeadState& from, double start_us,
+                                 uint64_t lba, uint32_t sectors,
+                                 bool is_write) const {
+  MIMDRAID_CHECK_GT(sectors, 0u);
+  const DiskGeometry& geo = layout_->geometry();
+  AccessPlan plan;
+  double t = start_us;
+  HeadState cur = from;
+  uint64_t next_lba = lba;
+  uint32_t remaining = sectors;
+
+  while (remaining > 0) {
+    const Chs chs = layout_->ToChs(next_lba);
+    const uint32_t spt = geo.SectorsPerTrack(chs.cylinder);
+    const double slot_time = rotation_us_ / spt;
+
+    // Length of the physically contiguous run on this track: LBAs advance one
+    // slot at a time until the track ends or a remapped sector breaks the run.
+    uint32_t run = spt - chs.sector;
+    if (run > remaining) {
+      run = remaining;
+    }
+    if (layout_->IsRemapped(next_lba)) {
+      run = 1;  // remapped sector lives alone on the spare track
+    } else {
+      for (uint32_t i = 1; i < run; ++i) {
+        if (layout_->IsRemapped(next_lba + i)) {
+          run = i;
+          break;
+        }
+      }
+    }
+
+    // Positioning: seek dominates a concurrent head switch.
+    if (chs.cylinder != cur.cylinder) {
+      const uint32_t dist = chs.cylinder > cur.cylinder
+                                ? chs.cylinder - cur.cylinder
+                                : cur.cylinder - chs.cylinder;
+      const double seek = profile_.SeekUs(dist, is_write);
+      plan.seek_us += seek;
+      t += seek;
+    } else if (chs.head != cur.head) {
+      plan.seek_us += profile_.head_switch_us;
+      t += profile_.head_switch_us;
+    }
+    cur.cylinder = chs.cylinder;
+    cur.head = chs.head;
+
+    // Rotational wait until the run's first slot comes under the head.
+    const uint32_t slot = layout_->SlotOf(chs);
+    const double wait = TimeUntilAngle(t, static_cast<double>(slot) / spt);
+    plan.rotational_us += wait;
+    t += wait;
+
+    // Media transfer of the run (slots are consecutive by construction).
+    const double xfer = run * slot_time;
+    plan.transfer_us += xfer;
+    t += xfer;
+
+    next_lba += run;
+    remaining -= run;
+  }
+
+  plan.end_state = cur;
+  plan.total_us = t - start_us;
+  return plan;
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,126 @@
+#include "src/model/analytic.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+double SingleDiskAverageSeekUs(double s_us) { return s_us / 3.0; }
+
+double MirrorAverageSeekUs(double s_us, int d) {
+  MIMDRAID_CHECK_GE(d, 1);
+  return s_us / (2.0 * d + 1.0);
+}
+
+double StripeAverageSeekUs(double s_us, int ds) {
+  MIMDRAID_CHECK_GE(ds, 1);
+  return s_us / (3.0 * ds);
+}
+
+double EvenReplicaReadRotationUs(double r_us, int dr) {
+  MIMDRAID_CHECK_GE(dr, 1);
+  return r_us / (2.0 * dr);
+}
+
+double RandomReplicaReadRotationUs(double r_us, int dr) {
+  MIMDRAID_CHECK_GE(dr, 1);
+  return r_us / (dr + 1.0);
+}
+
+double ReplicaWriteRotationUs(double r_us, int dr) {
+  MIMDRAID_CHECK_GE(dr, 1);
+  return r_us - r_us / (2.0 * dr);
+}
+
+double SrReadLatencyUs(double s_us, double r_us, int ds, int dr,
+                       double locality) {
+  MIMDRAID_CHECK_GT(locality, 0.0);
+  return StripeAverageSeekUs(s_us / locality, ds) +
+         EvenReplicaReadRotationUs(r_us, dr);
+}
+
+AspectRatio OptimalAspectForReads(double s_us, double r_us, int d) {
+  MIMDRAID_CHECK_GE(d, 1);
+  AspectRatio a;
+  a.ds = std::sqrt(2.0 * s_us / (3.0 * r_us) * d);
+  a.dr = std::sqrt(3.0 * r_us / (2.0 * s_us) * d);
+  return a;
+}
+
+double BestReadLatencyUs(double s_us, double r_us, int d) {
+  MIMDRAID_CHECK_GE(d, 1);
+  return std::sqrt(2.0 * s_us * r_us / (3.0 * d));
+}
+
+double SrWriteLatencyUs(double s_us, double r_us, int ds, int dr,
+                        double locality) {
+  return StripeAverageSeekUs(s_us / locality, ds) +
+         ReplicaWriteRotationUs(r_us, dr);
+}
+
+double SrMixedLatencyUs(double s_us, double r_us, int ds, int dr, double p,
+                        double locality) {
+  MIMDRAID_CHECK_GE(p, 0.0);
+  MIMDRAID_CHECK_LE(p, 1.0);
+  return StripeAverageSeekUs(s_us / locality, ds) +
+         p * EvenReplicaReadRotationUs(r_us, dr) +
+         (1.0 - p) * ReplicaWriteRotationUs(r_us, dr);
+}
+
+AspectRatio OptimalAspectForMixed(double s_us, double r_us, int d, double p) {
+  MIMDRAID_CHECK_GT(p, 0.5);  // below 0.5, pure striping is optimal
+  AspectRatio a;
+  a.ds = std::sqrt(2.0 * s_us / (3.0 * r_us * (2.0 * p - 1.0)) * d);
+  a.dr = std::sqrt(3.0 * r_us * (2.0 * p - 1.0) / (2.0 * s_us) * d);
+  return a;
+}
+
+double BestMixedLatencyUs(double s_us, double r_us, int d, double p) {
+  MIMDRAID_CHECK_GT(p, 0.5);
+  return std::sqrt(2.0 * s_us * r_us * (2.0 * p - 1.0) / (3.0 * d)) +
+         (1.0 - p) * r_us;
+}
+
+double RlookRequestTimeUs(double s_us, double r_us, int ds, int dr, double p,
+                          double q, double locality) {
+  MIMDRAID_CHECK_GE(ds, 1);
+  MIMDRAID_CHECK_GE(dr, 1);
+  MIMDRAID_CHECK_GT(q, 0.0);
+  MIMDRAID_CHECK_GT(locality, 0.0);
+  return (s_us / locality) / (q * ds) +
+         p * EvenReplicaReadRotationUs(r_us, dr) +
+         (1.0 - p) * ReplicaWriteRotationUs(r_us, dr);
+}
+
+AspectRatio OptimalAspectForRlook(double s_us, double r_us, int d, double p,
+                                  double q) {
+  MIMDRAID_CHECK_GT(p, 0.5);
+  MIMDRAID_CHECK_GT(q, 0.0);
+  AspectRatio a;
+  a.ds = std::sqrt(2.0 * s_us / (r_us * (2.0 * p - 1.0) * q) * d);
+  a.dr = std::sqrt(r_us * (2.0 * p - 1.0) * q / (2.0 * s_us) * d);
+  return a;
+}
+
+double BestRlookTimeUs(double s_us, double r_us, int d, double p, double q) {
+  MIMDRAID_CHECK_GT(p, 0.5);
+  return std::sqrt(2.0 * s_us * r_us * (2.0 * p - 1.0) / (q * d)) +
+         (1.0 - p) * r_us;
+}
+
+double SingleDiskThroughput(double overhead_us, double request_time_us) {
+  const double total_us = overhead_us + request_time_us;
+  MIMDRAID_CHECK_GT(total_us, 0.0);
+  return 1e6 / total_us;
+}
+
+double ArrayThroughput(int d, double total_queue, double n1) {
+  MIMDRAID_CHECK_GE(d, 1);
+  MIMDRAID_CHECK_GE(total_queue, 0.0);
+  const double idle_prob =
+      std::pow(1.0 - 1.0 / static_cast<double>(d), total_queue);
+  return static_cast<double>(d) * (1.0 - idle_prob) * n1;
+}
+
+}  // namespace mimdraid

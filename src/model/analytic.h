@@ -1,0 +1,96 @@
+// Analytical models of Section 2, Equations (1) through (16).
+//
+// Conventions: S is the maximum (full-stroke) seek time, R the rotation time,
+// both in microseconds. Ds is the striping degree (only 1/Ds of each disk's
+// cylinders used), Dr the number of rotational replicas, D = Ds*Dr the disk
+// budget. p is the fraction of operations that do not force foreground
+// replica propagation (Equation 8); q the per-disk queue depth; L the seek
+// locality index (observed average random seek / observed workload seek),
+// applied by replacing S with S/L.
+#ifndef MIMDRAID_SRC_MODEL_ANALYTIC_H_
+#define MIMDRAID_SRC_MODEL_ANALYTIC_H_
+
+namespace mimdraid {
+
+// --- Section 2.1: seek reduction. ---
+
+// Average seek of a single disk under uniform random access: S/3.
+double SingleDiskAverageSeekUs(double s_us);
+
+// D-way mirror: expectation of the minimum of D uniform seeks, S/(2D+1).
+double MirrorAverageSeekUs(double s_us, int d);
+
+// Equation (1): D-way stripe, S/(3D).
+double StripeAverageSeekUs(double s_us, int ds);
+
+// --- Section 2.2: rotational delay reduction. ---
+
+// Equation (2): D evenly spaced replicas, R/(2D) average read rotation.
+double EvenReplicaReadRotationUs(double r_us, int dr);
+
+// Randomly placed replicas: R/(D+1) (shown for comparison; not used in the
+// SR-Array design).
+double RandomReplicaReadRotationUs(double r_us, int dr);
+
+// Equation (3): worst-case rotational cost of writing all D replicas in the
+// foreground, R - R/(2D).
+double ReplicaWriteRotationUs(double r_us, int dr);
+
+// --- Section 2.3: SR-Array latency. ---
+
+// Equation (4) with seek locality: T_R = S/(3 Ds L) + R/(2 Dr).
+double SrReadLatencyUs(double s_us, double r_us, int ds, int dr,
+                       double locality = 1.0);
+
+struct AspectRatio {
+  double ds = 1.0;  // continuous optima; integerized by the Configurator
+  double dr = 1.0;
+};
+
+// Equation (5): optimal read-only aspect ratio.
+AspectRatio OptimalAspectForReads(double s_us, double r_us, int d);
+
+// Equation (6): latency at the Equation (5) optimum.
+double BestReadLatencyUs(double s_us, double r_us, int d);
+
+// Equation (7): worst-case write latency, S/(3 Ds) + R - R/(2 Dr).
+double SrWriteLatencyUs(double s_us, double r_us, int ds, int dr,
+                        double locality = 1.0);
+
+// Equation (9): p-weighted read/write latency.
+double SrMixedLatencyUs(double s_us, double r_us, int ds, int dr, double p,
+                        double locality = 1.0);
+
+// Equation (10): optimal aspect ratio under mixed read/write (requires
+// p > 0.5; below that, pure striping wins and dr = 1).
+AspectRatio OptimalAspectForMixed(double s_us, double r_us, int d, double p);
+
+// Equation (11): latency at the Equation (10) optimum.
+double BestMixedLatencyUs(double s_us, double r_us, int d, double p);
+
+// --- Section 2.4: scheduling and throughput. ---
+
+// Equation (12): per-request time under RLOOK with queue depth q,
+// S/(q Ds L) + p R/(2 Dr) + (1-p)(R - R/(2 Dr)). Valid for q > 3; below
+// that the latency models above apply.
+double RlookRequestTimeUs(double s_us, double r_us, int ds, int dr, double p,
+                          double q, double locality = 1.0);
+
+// Equation (13): throughput-optimal aspect ratio (requires p > 0.5).
+AspectRatio OptimalAspectForRlook(double s_us, double r_us, int d, double p,
+                                  double q);
+
+// Equation (14): per-request time at the Equation (13) optimum.
+double BestRlookTimeUs(double s_us, double r_us, int d, double p, double q);
+
+// Equation (15): single-disk throughput (requests/second) with per-request
+// overhead To: N1 = 1 / (To + Tbest).
+double SingleDiskThroughput(double overhead_us, double request_time_us);
+
+// Equation (16): D-disk throughput with Q outstanding requests system-wide,
+// derated by the probability of idle disks: N_D = D (1 - (1 - 1/D)^Q) N1.
+double ArrayThroughput(int d, double total_queue, double n1);
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_MODEL_ANALYTIC_H_

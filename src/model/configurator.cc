@@ -1,0 +1,102 @@
+#include "src/model/configurator.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+std::string ArrayAspect::ToString() const {
+  return std::to_string(ds) + "x" + std::to_string(dr) + "x" +
+         std::to_string(dm);
+}
+
+double PredictLatencyUs(const ConfiguratorInputs& in, const ArrayAspect& a) {
+  // Mirror copies act as rotational replicas for reads and as extra
+  // propagation targets for writes (Section 2.5 approximation).
+  const int dr_eff = a.dr * a.dm;
+  if (in.queue_depth > 3.0) {
+    return RlookRequestTimeUs(in.max_seek_us, in.rotation_us, a.ds, dr_eff,
+                              in.p, in.queue_depth, in.locality);
+  }
+  return SrMixedLatencyUs(in.max_seek_us, in.rotation_us, a.ds, dr_eff, in.p,
+                          in.locality);
+}
+
+std::vector<ConfigCandidate> EnumerateConfigs(const ConfiguratorInputs& in) {
+  MIMDRAID_CHECK_GE(in.num_disks, 1);
+  MIMDRAID_CHECK_GT(in.max_seek_us, 0.0);
+  MIMDRAID_CHECK_GT(in.rotation_us, 0.0);
+  std::vector<ConfigCandidate> out;
+  const int d = in.num_disks;
+  for (int dm = 1; dm <= d; ++dm) {
+    if (!in.allow_mirroring && dm > 1) {
+      continue;
+    }
+    if (d % dm != 0) {
+      continue;
+    }
+    const int rest = d / dm;
+    for (int dr = 1; dr <= rest; ++dr) {
+      if (rest % dr != 0 || dr > in.max_dr) {
+        continue;
+      }
+      ArrayAspect a;
+      a.ds = rest / dr;
+      a.dr = dr;
+      a.dm = dm;
+      // A p ratio at or below 50% precludes replication (Section 2.2): the
+      // foreground propagation cost always outweighs the read benefit.
+      if (in.p <= 0.5 && a.ReplicasPerBlock() > 1) {
+        continue;
+      }
+      out.push_back(ConfigCandidate{a, PredictLatencyUs(in, a)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ConfigCandidate& x, const ConfigCandidate& y) {
+              return x.predicted_latency_us < y.predicted_latency_us;
+            });
+  return out;
+}
+
+ConfigCandidate ChooseConfig(const ConfiguratorInputs& in) {
+  if (in.allow_mirroring) {
+    // No closed-form rule for the SR-Mirror space; take the model-scored
+    // minimum over all factorizations.
+    const std::vector<ConfigCandidate> all = EnumerateConfigs(in);
+    MIMDRAID_CHECK(!all.empty());
+    return all.front();
+  }
+  // SR-Array: the paper's integerization rule — compute the continuous
+  // optimum Dr from the applicable model, then take the largest integer
+  // factor of D at or below it (Section 2.3). Rounding down is deliberate:
+  // the latency formulas ignore the practical costs (track switches, replica
+  // propagation) that penalize large Dr.
+  const int d = in.num_disks;
+  double dr_opt = 1.0;
+  if (in.p > 0.5) {
+    const double s_eff = in.max_seek_us / in.locality;
+    const AspectRatio continuous =
+        in.queue_depth > 3.0
+            ? OptimalAspectForRlook(s_eff, in.rotation_us, d, in.p,
+                                    in.queue_depth)
+            : OptimalAspectForMixed(s_eff, in.rotation_us, d, in.p);
+    dr_opt = continuous.dr;
+  }
+  const int dr_cap =
+      std::min(static_cast<int>(dr_opt), in.max_dr);
+  int dr = 1;
+  for (int f = 1; f <= dr_cap && f <= d; ++f) {
+    if (d % f == 0) {
+      dr = f;
+    }
+  }
+  ArrayAspect aspect;
+  aspect.ds = d / dr;
+  aspect.dr = dr;
+  aspect.dm = 1;
+  return ConfigCandidate{aspect, PredictLatencyUs(in, aspect)};
+}
+
+}  // namespace mimdraid

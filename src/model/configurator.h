@@ -1,0 +1,62 @@
+// Workload-driven array configuration (the paper's central tool).
+//
+// Given a disk budget D, disk characteristics (S, R), and workload
+// characteristics (p, q, L), the Configurator enumerates the practical
+// integer configurations Ds x Dr x Dm with Ds*Dr*Dm = D and returns the one
+// the Section 2 models predict to be fastest, honoring the prototype's
+// constraints: Dr <= 6 (replica propagation within one rotation is limited by
+// the ~900 us track switch), p <= 0.5 precludes rotational replication, and
+// the queue-aware model (Eq. 12-14) applies only when q > 3.
+#ifndef MIMDRAID_SRC_MODEL_CONFIGURATOR_H_
+#define MIMDRAID_SRC_MODEL_CONFIGURATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/model/analytic.h"
+
+namespace mimdraid {
+
+struct ArrayAspect {
+  int ds = 1;  // striping degree
+  int dr = 1;  // rotational replicas (same disk)
+  int dm = 1;  // mirror copies (different disks)
+
+  int TotalDisks() const { return ds * dr * dm; }
+  int ReplicasPerBlock() const { return dr * dm; }
+  std::string ToString() const;  // "DsxDrxDm"
+};
+
+struct ConfiguratorInputs {
+  int num_disks = 1;
+  double max_seek_us = 0.0;   // S
+  double rotation_us = 0.0;   // R
+  double p = 1.0;             // Equation (8)
+  double queue_depth = 1.0;   // q, per disk
+  double locality = 1.0;      // L
+  int max_dr = 6;
+  // Explore Dm > 1 (SR-Mirror space). When false only SR-Array shapes
+  // (Ds x Dr x 1) are considered.
+  bool allow_mirroring = false;
+};
+
+struct ConfigCandidate {
+  ArrayAspect aspect;
+  double predicted_latency_us = 0.0;
+};
+
+// Model-predicted request time of one aspect under the inputs. Mirror copies
+// approximate as extra rotational replicas (Section 2.5: replace Dr with
+// Dr*Dm), except that their propagation cost is seek-bearing; the model
+// keeps the paper's approximation.
+double PredictLatencyUs(const ConfiguratorInputs& in, const ArrayAspect& a);
+
+// All integer factorizations of D that satisfy the constraints, each scored.
+std::vector<ConfigCandidate> EnumerateConfigs(const ConfiguratorInputs& in);
+
+// The model-recommended configuration (lowest predicted latency).
+ConfigCandidate ChooseConfig(const ConfiguratorInputs& in);
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_MODEL_CONFIGURATOR_H_

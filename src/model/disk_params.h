@@ -1,0 +1,16 @@
+// Disk parameters the Section 2 models consume for a given dataset: S is the
+// full-stroke seek over the span the dataset would occupy on ONE disk
+// (unreplicated), R the rotation time.
+#ifndef MIMDRAID_SRC_MODEL_DISK_PARAMS_H_
+#define MIMDRAID_SRC_MODEL_DISK_PARAMS_H_
+
+namespace mimdraid {
+
+struct ModelDiskParams {
+  double max_seek_us = 0.0;  // S
+  double rotation_us = 0.0;  // R
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_MODEL_DISK_PARAMS_H_

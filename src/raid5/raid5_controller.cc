@@ -1,0 +1,349 @@
+#include "src/raid5/raid5_controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+Raid5Controller::Raid5Controller(Simulator* sim, std::vector<SimDisk*> disks,
+                                 std::vector<AccessPredictor*> predictors,
+                                 const Raid5Layout* layout,
+                                 const Raid5ControllerOptions& options)
+    : sim_(sim),
+      disks_(std::move(disks)),
+      predictors_(std::move(predictors)),
+      layout_(layout),
+      options_(options) {
+  MIMDRAID_CHECK(sim != nullptr);
+  MIMDRAID_CHECK(layout != nullptr);
+  MIMDRAID_CHECK_EQ(disks_.size(), layout->num_disks());
+  MIMDRAID_CHECK_EQ(predictors_.size(), disks_.size());
+  const size_t n = disks_.size();
+  queues_.resize(n);
+  failed_.resize(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    schedulers_.push_back(MakeScheduler(options.scheduler, options.max_scan));
+  }
+}
+
+bool Raid5Controller::Idle() const {
+  if (!ops_.empty() || rebuilding_disk_ >= 0) {
+    return false;
+  }
+  for (size_t i = 0; i < disks_.size(); ++i) {
+    if (disks_[i]->busy() || !queues_[i].empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Raid5Controller::FailDisk(uint32_t disk) {
+  MIMDRAID_CHECK_LT(disk, failed_.size());
+  for (size_t i = 0; i < failed_.size(); ++i) {
+    MIMDRAID_CHECK(!failed_[i]);  // a second failure loses data
+  }
+  failed_[disk] = true;
+  // Outstanding queue entries for the failed disk cannot complete; a real
+  // controller re-drives them. Here we require quiescence at failure time
+  // (tests fail disks between requests), which keeps the model simple.
+  MIMDRAID_CHECK(queues_[disk].empty());
+  MIMDRAID_CHECK(!disks_[disk]->busy());
+}
+
+bool Raid5Controller::DiskUsable(uint32_t disk, uint32_t row) const {
+  if (!failed_[disk]) {
+    if (rebuilding_disk_ == static_cast<int>(disk)) {
+      return row < rebuilt_rows_;
+    }
+    return true;
+  }
+  return false;
+}
+
+void Raid5Controller::Submit(DiskOp op, uint64_t lba, uint32_t sectors,
+                             DoneFn done) {
+  MIMDRAID_CHECK_GT(sectors, 0u);
+  const uint64_t op_id = next_op_id_++;
+  const std::vector<Raid5Fragment> frags = layout_->Map(lba, sectors);
+  PendingOp& pending = ops_[op_id];
+  pending.remaining = static_cast<uint32_t>(frags.size());
+  pending.done = std::move(done);
+  pending.op = op;
+  for (const Raid5Fragment& frag : frags) {
+    if (op == DiskOp::kRead) {
+      SubmitReadFragment(op_id, frag);
+    } else {
+      SubmitWriteFragment(op_id, frag);
+    }
+  }
+}
+
+void Raid5Controller::SubmitReadFragment(uint64_t op_id,
+                                         const Raid5Fragment& frag) {
+  auto work = std::make_shared<FragWork>();
+  work->op_id = op_id;
+  work->frag = frag;
+  work->op = DiskOp::kRead;
+
+  if (DiskUsable(frag.data_disk, frag.row)) {
+    work->phase_remaining = 1;
+    EnqueueDiskOp(frag.data_disk, DiskOp::kRead, frag.disk_lba, frag.sectors,
+                  [this, work](const DiskOpResult& r) {
+                    FragmentPhaseDone(work, r.completion_us);
+                  });
+    return;
+  }
+  // Degraded read: reconstruct from every surviving row member (including
+  // parity).
+  work->degraded = true;
+  const std::vector<uint32_t> peers =
+      layout_->RowPeers(frag.row, frag.data_disk);
+  work->phase_remaining = static_cast<int>(peers.size());
+  ++stats_.degraded_reads;
+  for (uint32_t peer : peers) {
+    EnqueueDiskOp(peer, DiskOp::kRead, frag.disk_lba, frag.sectors,
+                  [this, work](const DiskOpResult& r) {
+                    FragmentPhaseDone(work, r.completion_us);
+                  });
+  }
+}
+
+void Raid5Controller::SubmitWriteFragment(uint64_t op_id,
+                                          const Raid5Fragment& frag) {
+  auto work = std::make_shared<FragWork>();
+  work->op_id = op_id;
+  work->frag = frag;
+  work->op = DiskOp::kWrite;
+
+  const bool data_ok = DiskUsable(frag.data_disk, frag.row);
+  const bool parity_ok = DiskUsable(frag.parity_disk, frag.row);
+
+  if (data_ok && parity_ok) {
+    if (frag.sectors == layout_->stripe_unit_sectors() &&
+        frag.disk_lba % layout_->stripe_unit_sectors() == 0) {
+      // Unit-aligned write: new parity still needs the other units unless the
+      // whole row is written; a unit-granular controller cannot see sibling
+      // fragments, so treat a full-unit write as reconstruct-write: read the
+      // other data units, then write data + parity.
+      const uint32_t n = layout_->num_disks();
+      std::vector<uint32_t> other_data;
+      for (uint32_t i = 0; i < n - 1; ++i) {
+        const uint32_t d = layout_->DataDiskOf(frag.row, i);
+        if (d != frag.data_disk) {
+          other_data.push_back(d);
+        }
+      }
+      ++stats_.full_stripe_writes;
+      work->phase_remaining = static_cast<int>(other_data.size());
+      if (work->phase_remaining == 0) {
+        work->phase_remaining = 1;
+        FragmentPhaseDone(work, sim_->Now());
+        return;
+      }
+      for (uint32_t d : other_data) {
+        EnqueueDiskOp(d, DiskOp::kRead, frag.disk_lba, frag.sectors,
+                      [this, work](const DiskOpResult& r) {
+                        FragmentPhaseDone(work, r.completion_us);
+                      });
+      }
+      return;
+    }
+    // Small write: read-modify-write of data and parity.
+    ++stats_.rmw_writes;
+    work->phase_remaining = 2;
+    for (uint32_t d : {frag.data_disk, frag.parity_disk}) {
+      const uint64_t lba = d == frag.data_disk ? frag.disk_lba : frag.parity_lba;
+      EnqueueDiskOp(d, DiskOp::kRead, lba, frag.sectors,
+                    [this, work](const DiskOpResult& r) {
+                      FragmentPhaseDone(work, r.completion_us);
+                    });
+    }
+    return;
+  }
+
+  ++stats_.degraded_writes;
+  work->degraded = true;
+  if (!parity_ok) {
+    // Parity lost: just write the data; the fragment is then complete.
+    EnqueueDiskOp(frag.data_disk, DiskOp::kWrite, frag.disk_lba, frag.sectors,
+                  [this, work](const DiskOpResult& r) {
+                    OpPartDone(work->op_id, r.completion_us);
+                  });
+    return;
+  }
+  // Data disk lost: reconstruct-write — read the other data units, then
+  // write the new parity.
+  std::vector<uint32_t> others;
+  for (uint32_t i = 0; i < layout_->num_disks() - 1; ++i) {
+    const uint32_t d = layout_->DataDiskOf(frag.row, i);
+    if (d != frag.data_disk) {
+      others.push_back(d);
+    }
+  }
+  work->phase_remaining = static_cast<int>(others.size());
+  for (uint32_t d : others) {
+    EnqueueDiskOp(d, DiskOp::kRead, frag.disk_lba, frag.sectors,
+                  [this, work](const DiskOpResult& r) {
+                    FragmentPhaseDone(work, r.completion_us);
+                  });
+  }
+}
+
+void Raid5Controller::FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
+                                        SimTime completion) {
+  MIMDRAID_CHECK_GT(work->phase_remaining, 0);
+  if (--work->phase_remaining > 0) {
+    return;
+  }
+  const Raid5Fragment& frag = work->frag;
+  if (work->op == DiskOp::kRead) {
+    OpPartDone(work->op_id, completion);
+    return;
+  }
+
+  // Write: the read phase (if any) is done; issue the write phase.
+  const bool data_ok = DiskUsable(frag.data_disk, frag.row);
+  const bool parity_ok = DiskUsable(frag.parity_disk, frag.row);
+  auto writes = std::make_shared<int>(0);
+  auto on_write = [this, work, writes](const DiskOpResult& r) {
+    MIMDRAID_CHECK_GT(*writes, 0);
+    if (--*writes == 0) {
+      OpPartDone(work->op_id, r.completion_us);
+    }
+  };
+  if (data_ok) {
+    ++*writes;
+  }
+  if (parity_ok) {
+    ++*writes;
+  }
+  MIMDRAID_CHECK_GT(*writes, 0);
+  if (data_ok) {
+    EnqueueDiskOp(frag.data_disk, DiskOp::kWrite, frag.disk_lba, frag.sectors,
+                  on_write);
+  }
+  if (parity_ok) {
+    EnqueueDiskOp(frag.parity_disk, DiskOp::kWrite, frag.parity_lba,
+                  frag.sectors, on_write);
+  }
+}
+
+void Raid5Controller::OpPartDone(uint64_t op_id, SimTime completion) {
+  auto it = ops_.find(op_id);
+  MIMDRAID_CHECK(it != ops_.end());
+  PendingOp& pending = it->second;
+  pending.last_completion = std::max(pending.last_completion, completion);
+  MIMDRAID_CHECK_GT(pending.remaining, 0u);
+  if (--pending.remaining == 0) {
+    if (pending.op == DiskOp::kRead) {
+      ++stats_.reads_completed;
+    } else {
+      ++stats_.writes_completed;
+    }
+    DoneFn done = std::move(pending.done);
+    const SimTime at = pending.last_completion;
+    ops_.erase(it);
+    if (done) {
+      done(at);
+    }
+  }
+}
+
+void Raid5Controller::EnqueueDiskOp(
+    uint32_t disk, DiskOp op, uint64_t lba, uint32_t sectors,
+    std::function<void(const DiskOpResult&)> done) {
+  MIMDRAID_CHECK(!failed_[disk]);
+  QueuedRequest entry;
+  entry.id = next_entry_id_++;
+  entry.op = op;
+  entry.sectors = sectors;
+  entry.candidate_lbas = {lba};
+  entry.arrival_us = sim_->Now();
+  entry_done_[entry.id] = std::move(done);
+  queues_[disk].push_back(std::move(entry));
+  MaybeDispatch(disk);
+}
+
+void Raid5Controller::MaybeDispatch(uint32_t disk) {
+  if (disks_[disk]->busy() || queues_[disk].empty()) {
+    return;
+  }
+  ScheduleContext ctx;
+  ctx.now = sim_->Now();
+  ctx.predictor = predictors_[disk];
+  ctx.layout = &disks_[disk]->layout();
+  const SchedulerPick pick = schedulers_[disk]->Pick(queues_[disk], ctx);
+  QueuedRequest entry = std::move(queues_[disk][pick.queue_index]);
+  queues_[disk].erase(queues_[disk].begin() +
+                      static_cast<ptrdiff_t>(pick.queue_index));
+  double predicted = pick.predicted_service_us;
+  if (predicted <= 0.0) {
+    predicted = predictors_[disk]
+                    ->Predict(sim_->Now(), pick.lba, entry.sectors,
+                              entry.op == DiskOp::kWrite)
+                    .total_us;
+  }
+  predictors_[disk]->OnDispatch(sim_->Now(), pick.lba, entry.sectors,
+                                entry.op == DiskOp::kWrite, predicted);
+  const uint64_t entry_id = entry.id;
+  const uint64_t lba = pick.lba;
+  const uint32_t sectors = entry.sectors;
+  disks_[disk]->Start(entry.op, lba, sectors,
+                      [this, disk, entry_id, lba, sectors](
+                          const DiskOpResult& result) {
+                        predictors_[disk]->OnCompletion(result.completion_us,
+                                                        lba, sectors);
+                        auto it = entry_done_.find(entry_id);
+                        MIMDRAID_CHECK(it != entry_done_.end());
+                        auto done = std::move(it->second);
+                        entry_done_.erase(it);
+                        done(result);
+                        MaybeDispatch(disk);
+                      });
+}
+
+void Raid5Controller::Rebuild(uint32_t disk, DoneFn done) {
+  MIMDRAID_CHECK(failed_[disk]);
+  failed_[disk] = false;  // the replacement drive is in the slot
+  rebuilding_disk_ = static_cast<int>(disk);
+  rebuilt_rows_ = 0;
+  rebuild_done_ = std::move(done);
+  RebuildNextRow();
+}
+
+void Raid5Controller::RebuildNextRow() {
+  MIMDRAID_CHECK_GE(rebuilding_disk_, 0);
+  const uint32_t disk = static_cast<uint32_t>(rebuilding_disk_);
+  if (rebuilt_rows_ >= layout_->num_rows()) {
+    rebuilding_disk_ = -1;
+    DoneFn done = std::move(rebuild_done_);
+    if (done) {
+      done(sim_->Now());
+    }
+    return;
+  }
+  const uint32_t row = rebuilt_rows_;
+  const uint32_t unit = layout_->stripe_unit_sectors();
+  const uint64_t lba = static_cast<uint64_t>(row) * unit;
+  const std::vector<uint32_t> peers = layout_->RowPeers(row, disk);
+  auto remaining = std::make_shared<int>(static_cast<int>(peers.size()));
+  auto after_reads = [this, disk, lba, unit, remaining](const DiskOpResult&) {
+    if (--*remaining > 0) {
+      return;
+    }
+    EnqueueDiskOp(disk, DiskOp::kWrite, lba, unit,
+                  [this](const DiskOpResult&) {
+                    ++rebuilt_rows_;
+                    ++stats_.rebuilt_rows;
+                    RebuildNextRow();
+                  });
+  };
+  for (uint32_t peer : peers) {
+    EnqueueDiskOp(peer, DiskOp::kRead, lba, unit, after_reads);
+  }
+}
+
+}  // namespace mimdraid

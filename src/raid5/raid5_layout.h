@@ -1,0 +1,71 @@
+// Left-symmetric RAID-5 layout.
+//
+// The capacity-frugal baseline from the paper's related work (Hou & Patt's
+// mirroring-vs-RAID-5 tradeoff, HP AutoRAID's lower level): N disks store
+// N-1 disks' worth of data plus rotating parity. It anchors the opposite end
+// of the capacity-for-performance spectrum from the SR-Array: best capacity
+// efficiency, worst small-write cost (the read-modify-write of data and
+// parity).
+#ifndef MIMDRAID_SRC_RAID5_RAID5_LAYOUT_H_
+#define MIMDRAID_SRC_RAID5_RAID5_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+// A piece of a logical request confined to one stripe unit.
+struct Raid5Fragment {
+  uint64_t logical_lba = 0;
+  uint32_t sectors = 0;
+  uint32_t data_disk = 0;
+  uint64_t disk_lba = 0;  // location of the data on data_disk
+  uint32_t parity_disk = 0;
+  uint64_t parity_lba = 0;  // corresponding parity sectors
+  uint32_t row = 0;         // stripe row index
+};
+
+class Raid5Layout {
+ public:
+  // `num_disks` >= 3; `stripe_unit_sectors` data sectors per unit;
+  // `per_disk_sectors` usable sectors on each disk.
+  Raid5Layout(uint32_t num_disks, uint32_t stripe_unit_sectors,
+              uint64_t per_disk_sectors);
+
+  uint32_t num_disks() const { return num_disks_; }
+  uint32_t stripe_unit_sectors() const { return unit_; }
+  uint64_t data_capacity_sectors() const { return data_capacity_; }
+  uint32_t num_rows() const { return rows_; }
+
+  // Parity disk of a stripe row (left-symmetric rotation).
+  uint32_t ParityDiskOf(uint32_t row) const {
+    return (num_disks_ - 1 - row % num_disks_) % num_disks_;
+  }
+
+  // The i-th data disk (0..N-2) of a row, skipping the parity disk, in
+  // left-symmetric order (data starts just after the parity disk).
+  uint32_t DataDiskOf(uint32_t row, uint32_t index) const {
+    MIMDRAID_CHECK_LT(index, num_disks_ - 1);
+    return (ParityDiskOf(row) + 1 + index) % num_disks_;
+  }
+
+  // Splits a logical request into per-unit fragments.
+  std::vector<Raid5Fragment> Map(uint64_t lba, uint32_t sectors) const;
+
+  // Disks holding the other data units of `row` (everything needed to
+  // reconstruct one lost unit, together with parity).
+  std::vector<uint32_t> RowPeers(uint32_t row, uint32_t excluding_disk) const;
+
+ private:
+  uint32_t num_disks_;
+  uint32_t unit_;
+  uint64_t per_disk_sectors_;
+  uint32_t rows_;
+  uint64_t data_capacity_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_RAID5_RAID5_LAYOUT_H_

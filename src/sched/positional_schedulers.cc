@@ -1,0 +1,118 @@
+#include "src/sched/positional_schedulers.h"
+
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+namespace {
+
+struct CandidateCost {
+  // Ranking cost: slack-adjusted (a risky rotational wait is charged a full
+  // extra rotation).
+  double effective_us = 0.0;
+  // Raw predicted service time, reported as the dispatch prediction; if the
+  // request then misses its rotation, the error surfaces as a miss and feeds
+  // the slack loop.
+  double predicted_us = 0.0;
+};
+
+CandidateCost CostOf(const ScheduleContext& ctx, const QueuedRequest& req,
+                     uint64_t lba) {
+  const AccessPlan plan = ctx.predictor->Predict(
+      ctx.now, lba, req.sectors, req.op == DiskOp::kWrite);
+  return CandidateCost{ctx.predictor->EffectiveServiceUs(plan), plan.total_us};
+}
+
+}  // namespace
+
+SchedulerPick SatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
+                                  const ScheduleContext& ctx) {
+  MIMDRAID_CHECK(!queue.empty());
+  MIMDRAID_CHECK(ctx.predictor != nullptr);
+  const size_t scan = max_scan_ == 0 ? queue.size()
+                                     : std::min(max_scan_, queue.size());
+  size_t best = 0;
+  CandidateCost best_cost{std::numeric_limits<double>::infinity(), 0.0};
+  for (size_t i = 0; i < scan; ++i) {
+    // SATF proper is replica-oblivious: it evaluates the primary copy only.
+    const CandidateCost cost =
+        CostOf(ctx, queue[i], queue[i].candidate_lbas.front());
+    if (cost.effective_us < best_cost.effective_us) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  return SchedulerPick{best, queue[best].candidate_lbas.front(),
+                       best_cost.predicted_us};
+}
+
+SchedulerPick RsatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
+                                   const ScheduleContext& ctx) {
+  MIMDRAID_CHECK(!queue.empty());
+  MIMDRAID_CHECK(ctx.predictor != nullptr);
+  const size_t scan = max_scan_ == 0 ? queue.size()
+                                     : std::min(max_scan_, queue.size());
+  size_t best = 0;
+  uint64_t best_lba = queue[0].candidate_lbas.front();
+  CandidateCost best_cost{std::numeric_limits<double>::infinity(), 0.0};
+  for (size_t i = 0; i < scan; ++i) {
+    for (uint64_t lba : queue[i].candidate_lbas) {
+      const CandidateCost cost = CostOf(ctx, queue[i], lba);
+      if (cost.effective_us < best_cost.effective_us) {
+        best_cost = cost;
+        best = i;
+        best_lba = lba;
+      }
+    }
+  }
+  return SchedulerPick{best, best_lba, best_cost.predicted_us};
+}
+
+SchedulerPick AsatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
+                                   const ScheduleContext& ctx) {
+  MIMDRAID_CHECK(!queue.empty());
+  MIMDRAID_CHECK(ctx.predictor != nullptr);
+  const size_t scan = max_scan_ == 0 ? queue.size()
+                                     : std::min(max_scan_, queue.size());
+  size_t best = 0;
+  uint64_t best_lba = queue[0].candidate_lbas.front();
+  double best_aged = std::numeric_limits<double>::infinity();
+  CandidateCost best_cost{0.0, 0.0};
+  for (size_t i = 0; i < scan; ++i) {
+    const double age_credit =
+        age_weight_ *
+        static_cast<double>(ctx.now - queue[i].arrival_us);
+    for (uint64_t lba : queue[i].candidate_lbas) {
+      const CandidateCost cost = CostOf(ctx, queue[i], lba);
+      const double aged = cost.effective_us - age_credit;
+      if (aged < best_aged) {
+        best_aged = aged;
+        best_cost = cost;
+        best = i;
+        best_lba = lba;
+      }
+    }
+  }
+  return SchedulerPick{best, best_lba, best_cost.predicted_us};
+}
+
+SchedulerPick RlookScheduler::Pick(const std::vector<QueuedRequest>& queue,
+                                   const ScheduleContext& ctx) {
+  MIMDRAID_CHECK(ctx.predictor != nullptr);
+  // LOOK chooses the request (all replicas of an entry share a cylinder);
+  // the rotationally closest replica is then taken.
+  const size_t i = PickIndex(queue, ctx);
+  uint64_t best_lba = queue[i].candidate_lbas.front();
+  CandidateCost best_cost{std::numeric_limits<double>::infinity(), 0.0};
+  for (uint64_t lba : queue[i].candidate_lbas) {
+    const CandidateCost cost = CostOf(ctx, queue[i], lba);
+    if (cost.effective_us < best_cost.effective_us) {
+      best_cost = cost;
+      best_lba = lba;
+    }
+  }
+  return SchedulerPick{i, best_lba, best_cost.predicted_us};
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,37 @@
+// A request queued at one physical drive.
+//
+// The Disk Configuration Layer translates a logical I/O into per-drive
+// entries. On an SR-Array disk a read carries the LBAs of all Dr rotational
+// replicas as candidates; the replica-aware schedulers (RLOOK, RSATF) choose
+// among them at dispatch time. Plain schedulers use the first candidate. By
+// construction all candidates of one entry live on the same cylinder (the
+// replicas of a block share a cylinder, on different tracks).
+#ifndef MIMDRAID_SRC_SCHED_QUEUED_REQUEST_H_
+#define MIMDRAID_SRC_SCHED_QUEUED_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/disk/sim_disk.h"
+#include "src/util/time.h"
+
+namespace mimdraid {
+
+struct QueuedRequest {
+  uint64_t id = 0;
+  DiskOp op = DiskOp::kRead;
+  uint32_t sectors = 0;
+  std::vector<uint64_t> candidate_lbas;
+  SimTime arrival_us = 0;
+  // Background replica propagation (serviced only when the foreground queue
+  // is empty; see Section 3.4).
+  bool delayed = false;
+  // Calibration-maintenance access (periodic reference-sector read).
+  bool maintenance = false;
+  // Array-layer correlation handle (fragment key; 0 for delayed/maintenance).
+  uint64_t tag = 0;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_SCHED_QUEUED_REQUEST_H_

@@ -1,0 +1,53 @@
+#include "src/sched/scheduler.h"
+
+#include "src/sched/basic_schedulers.h"
+#include "src/sched/positional_schedulers.h"
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind, size_t max_scan) {
+  switch (kind) {
+    case SchedulerKind::kFcfs:
+      return std::make_unique<FcfsScheduler>();
+    case SchedulerKind::kSstf:
+      return std::make_unique<SstfScheduler>();
+    case SchedulerKind::kLook:
+      return std::make_unique<LookScheduler>();
+    case SchedulerKind::kClook:
+      return std::make_unique<ClookScheduler>();
+    case SchedulerKind::kSatf:
+      return std::make_unique<SatfScheduler>(max_scan);
+    case SchedulerKind::kAsatf:
+      return std::make_unique<AsatfScheduler>(max_scan);
+    case SchedulerKind::kRlook:
+      return std::make_unique<RlookScheduler>();
+    case SchedulerKind::kRsatf:
+      return std::make_unique<RsatfScheduler>(max_scan);
+  }
+  MIMDRAID_CHECK(false);
+}
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs:
+      return "FCFS";
+    case SchedulerKind::kSstf:
+      return "SSTF";
+    case SchedulerKind::kLook:
+      return "LOOK";
+    case SchedulerKind::kClook:
+      return "CLOOK";
+    case SchedulerKind::kSatf:
+      return "SATF";
+    case SchedulerKind::kAsatf:
+      return "ASATF";
+    case SchedulerKind::kRlook:
+      return "RLOOK";
+    case SchedulerKind::kRsatf:
+      return "RSATF";
+  }
+  MIMDRAID_CHECK(false);
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,67 @@
+// Local disk scheduler interface (the prototype's Scheduling Layer).
+//
+// A scheduler ranks the entries of one drive's queue and picks the next
+// request to dispatch, choosing a concrete replica for multi-candidate
+// entries. Position-sensitive policies consult the drive's AccessPredictor.
+#ifndef MIMDRAID_SRC_SCHED_SCHEDULER_H_
+#define MIMDRAID_SRC_SCHED_SCHEDULER_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/disk/access_predictor.h"
+#include "src/disk/layout.h"
+#include "src/sched/queued_request.h"
+
+namespace mimdraid {
+
+struct ScheduleContext {
+  SimTime now = 0;
+  AccessPredictor* predictor = nullptr;  // required by SATF-class policies
+  const DiskLayout* layout = nullptr;
+};
+
+struct SchedulerPick {
+  size_t queue_index = 0;
+  uint64_t lba = 0;                   // chosen replica
+  double predicted_service_us = 0.0;  // 0 for non-positional policies
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Picks the next request from `queue` (non-empty). Implementations may keep
+  // scan state (LOOK direction); they must be told about the pick they made,
+  // which happens implicitly: returning a pick commits it.
+  virtual SchedulerPick Pick(const std::vector<QueuedRequest>& queue,
+                             const ScheduleContext& ctx) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+enum class SchedulerKind {
+  kFcfs,
+  kSstf,
+  kLook,
+  kClook,
+  kSatf,
+  kAsatf,
+  kRlook,
+  kRsatf,
+};
+
+// `max_scan` caps how many queue entries SATF-class policies examine per
+// dispatch (0 = unlimited); LOOK-class policies always scan the whole queue
+// (a cylinder comparison is cheap).
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind,
+                                         size_t max_scan = 0);
+
+const char* SchedulerKindName(SchedulerKind kind);
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_SCHED_SCHEDULER_H_

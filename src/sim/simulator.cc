@@ -1,0 +1,73 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+  MIMDRAID_CHECK_GE(at, now_);
+  const uint64_t seq = next_seq_++;
+  // seq doubles as the event id: unique and monotonically increasing.
+  heap_.push(Event{at, seq, seq, std::move(fn)});
+  return seq;
+}
+
+EventId Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  MIMDRAID_CHECK_GE(delay, 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == 0 || id >= next_seq_) {
+    return false;
+  }
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    MIMDRAID_CHECK_GE(ev.at, now_);
+    now_ = ev.at;
+    ++events_fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  MIMDRAID_CHECK_GE(deadline, now_);
+  for (;;) {
+    // Peek past cancelled entries.
+    while (!heap_.empty()) {
+      const Event& top = heap_.top();
+      auto it = cancelled_.find(top.id);
+      if (it == cancelled_.end()) {
+        break;
+      }
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().at > deadline) {
+      now_ = deadline;
+      return;
+    }
+    Step();
+  }
+}
+
+}  // namespace mimdraid

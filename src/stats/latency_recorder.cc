@@ -1,0 +1,27 @@
+#include "src/stats/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+double LatencyRecorder::PercentileUs(double q) const {
+  MIMDRAID_CHECK_GE(q, 0.0);
+  MIMDRAID_CHECK_LE(q, 1.0);
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace mimdraid

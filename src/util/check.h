@@ -1,0 +1,34 @@
+// Lightweight assertion macros for invariant enforcement.
+//
+// CHECK-class macros are active in all build types: a violated invariant in a
+// simulator silently corrupts results, so we always pay for the branch.
+#ifndef MIMDRAID_SRC_UTIL_CHECK_H_
+#define MIMDRAID_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mimdraid {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace mimdraid
+
+#define MIMDRAID_CHECK(expr)                             \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::mimdraid::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                    \
+  } while (0)
+
+#define MIMDRAID_CHECK_LE(a, b) MIMDRAID_CHECK((a) <= (b))
+#define MIMDRAID_CHECK_LT(a, b) MIMDRAID_CHECK((a) < (b))
+#define MIMDRAID_CHECK_GE(a, b) MIMDRAID_CHECK((a) >= (b))
+#define MIMDRAID_CHECK_GT(a, b) MIMDRAID_CHECK((a) > (b))
+#define MIMDRAID_CHECK_EQ(a, b) MIMDRAID_CHECK((a) == (b))
+#define MIMDRAID_CHECK_NE(a, b) MIMDRAID_CHECK((a) != (b))
+
+#endif  // MIMDRAID_SRC_UTIL_CHECK_H_

@@ -1,0 +1,84 @@
+// Minimal command-line flag parsing for the example tools.
+//
+// Supports --name=value and --name value forms, plus bare --name for
+// booleans. Unknown flags are reported; positional arguments are collected.
+#ifndef MIMDRAID_SRC_UTIL_FLAGS_H_
+#define MIMDRAID_SRC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mimdraid {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+  std::string GetString(const std::string& name,
+                        const std::string& def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtoll(it->second.c_str(),
+                                                    nullptr, 10);
+  }
+
+  double GetDouble(const std::string& name, double def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& name, bool def) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      return def;
+    }
+    return it->second != "false" && it->second != "0";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // All parsed flag names (for unknown-flag checks).
+  std::vector<std::string> Names() const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : values_) {
+      (void)v;
+      out.push_back(k);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_UTIL_FLAGS_H_

@@ -1,0 +1,64 @@
+// Fixed-bucket latency histogram for cheap distribution summaries when
+// storing every sample (LatencyRecorder) would be wasteful.
+#ifndef MIMDRAID_SRC_UTIL_HISTOGRAM_H_
+#define MIMDRAID_SRC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+class Histogram {
+ public:
+  // Uniform buckets of `bucket_width` covering [0, bucket_width * buckets);
+  // larger samples land in the overflow bucket.
+  Histogram(double bucket_width, size_t buckets)
+      : width_(bucket_width), counts_(buckets + 1, 0) {
+    MIMDRAID_CHECK_GT(bucket_width, 0.0);
+    MIMDRAID_CHECK_GT(buckets, 0u);
+  }
+
+  void Add(double value) {
+    ++total_;
+    if (value < 0.0) {
+      value = 0.0;
+    }
+    const size_t bucket = static_cast<size_t>(value / width_);
+    ++counts_[bucket < counts_.size() - 1 ? bucket : counts_.size() - 1];
+  }
+
+  uint64_t total() const { return total_; }
+  uint64_t overflow() const { return counts_.back(); }
+
+  // Upper edge of the bucket containing quantile q (0..1].
+  double QuantileUpperBound(double q) const {
+    MIMDRAID_CHECK_GT(q, 0.0);
+    MIMDRAID_CHECK_LE(q, 1.0);
+    if (total_ == 0) {
+      return 0.0;
+    }
+    const uint64_t target =
+        static_cast<uint64_t>(q * static_cast<double>(total_) + 0.5);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+      seen += counts_[i];
+      if (seen >= target) {
+        return width_ * static_cast<double>(i + 1);
+      }
+    }
+    return width_ * static_cast<double>(counts_.size());
+  }
+
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+ private:
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_UTIL_HISTOGRAM_H_

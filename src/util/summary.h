@@ -1,0 +1,72 @@
+// Streaming summary statistics (count/mean/variance/min/max) via Welford's
+// algorithm. Used pervasively for latency and error accounting.
+#ifndef MIMDRAID_SRC_UTIL_SUMMARY_H_
+#define MIMDRAID_SRC_UTIL_SUMMARY_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mimdraid {
+
+class Summary {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) {
+      min_ = x;
+    }
+    if (x > max_) {
+      max_ = x;
+    }
+    sum_ += x;
+  }
+
+  void Merge(const Summary& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const double n = static_cast<double>(count_);
+    const double m = static_cast<double>(other.count_);
+    m2_ += other.m2_ + delta * delta * n * m / (n + m);
+    mean_ = (n * mean_ + m * other.mean_) / (n + m);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_UTIL_SUMMARY_H_

@@ -1,0 +1,38 @@
+// Simulated-time representation.
+//
+// All simulator timestamps and durations are in microseconds, carried in a
+// signed 64-bit integer (rollover at ~292,000 simulated years). A strong
+// typedef is deliberately avoided: timestamps flow through arithmetic-heavy
+// geometry code where the ergonomics of plain integers win, and the unit is
+// encoded in every variable name (`_us` suffix by convention).
+#ifndef MIMDRAID_SRC_UTIL_TIME_H_
+#define MIMDRAID_SRC_UTIL_TIME_H_
+
+#include <cstdint>
+
+namespace mimdraid {
+
+// Microseconds, either a timestamp (since simulation start) or a duration.
+using SimTime = int64_t;
+
+inline constexpr SimTime kSimTimeNever = INT64_MAX;
+
+inline constexpr SimTime UsFromMs(double ms) {
+  return static_cast<SimTime>(ms * 1000.0);
+}
+
+inline constexpr double MsFromUs(SimTime us) {
+  return static_cast<double>(us) / 1000.0;
+}
+
+inline constexpr SimTime UsFromSeconds(double s) {
+  return static_cast<SimTime>(s * 1e6);
+}
+
+inline constexpr double SecondsFromUs(SimTime us) {
+  return static_cast<double>(us) / 1e6;
+}
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_UTIL_TIME_H_

@@ -1,0 +1,161 @@
+#include "src/workload/drivers.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+TracePlayer::TracePlayer(Simulator* sim, const Trace* trace, SubmitFn submit,
+                         const TracePlayerOptions& options)
+    : sim_(sim), trace_(trace), submit_(std::move(submit)), options_(options) {
+  MIMDRAID_CHECK(sim != nullptr);
+  MIMDRAID_CHECK(trace != nullptr);
+  MIMDRAID_CHECK(!trace->records.empty());
+  MIMDRAID_CHECK_GT(options.rate_scale, 0.0);
+}
+
+RunResult TracePlayer::Run() {
+  first_arrival_sim_us_ = sim_->Now();
+  last_outstanding_change_ = sim_->Now();
+  ScheduleNextArrival();
+  // Drain: the run ends when every scheduled arrival has fired and every
+  // submitted I/O has completed.
+  while (pending_arrivals_ > 0 || outstanding_ > 0) {
+    MIMDRAID_CHECK(sim_->Step());
+  }
+  result_.completed = completed_;
+  result_.elapsed_us = sim_->Now() - first_arrival_sim_us_;
+  result_.iops = result_.elapsed_us > 0
+                     ? static_cast<double>(completed_) /
+                           SecondsFromUs(result_.elapsed_us)
+                     : 0.0;
+  result_.mean_outstanding =
+      result_.elapsed_us > 0
+          ? outstanding_time_integral_ /
+                static_cast<double>(result_.elapsed_us)
+          : 0.0;
+  return result_;
+}
+
+void TracePlayer::ScheduleNextArrival() {
+  if (next_record_ >= trace_->records.size() || stopped_arrivals_) {
+    return;
+  }
+  const size_t index = next_record_++;
+  const TraceRecord& rec = trace_->records[index];
+  const SimTime t0 = trace_->records.front().time_us;
+  const SimTime when =
+      first_arrival_sim_us_ +
+      static_cast<SimTime>(static_cast<double>(rec.time_us - t0) /
+                           options_.rate_scale);
+  ++pending_arrivals_;
+  sim_->ScheduleAt(std::max(when, sim_->Now()),
+                   [this, index]() { Arrive(index); });
+}
+
+void TracePlayer::Arrive(size_t index) {
+  --pending_arrivals_;
+  const TraceRecord& rec = trace_->records[index];
+  if (outstanding_ >= options_.max_outstanding) {
+    // The array cannot keep up with the offered rate; declare saturation and
+    // stop offering load so the run terminates.
+    result_.saturated = true;
+    stopped_arrivals_ = true;
+    return;
+  }
+  const SimTime now = sim_->Now();
+  outstanding_time_integral_ +=
+      static_cast<double>(outstanding_) *
+      static_cast<double>(now - last_outstanding_change_);
+  last_outstanding_change_ = now;
+  ++outstanding_;
+  ++submitted_;
+
+  const bool record = !rec.is_async && submitted_ > options_.warmup_ios;
+  const SimTime arrival = now;
+  submit_(rec.is_write ? DiskOp::kWrite : DiskOp::kRead, rec.lba, rec.sectors,
+          [this, record, arrival](SimTime completion) {
+            const SimTime t = sim_->Now();
+            outstanding_time_integral_ +=
+                static_cast<double>(outstanding_) *
+                static_cast<double>(t - last_outstanding_change_);
+            last_outstanding_change_ = t;
+            --outstanding_;
+            ++completed_;
+            if (record) {
+              result_.latency.Record(
+                  static_cast<double>(completion - arrival));
+            }
+          });
+  ScheduleNextArrival();
+}
+
+ClosedLoopDriver::ClosedLoopDriver(Simulator* sim, SubmitFn submit,
+                                   const ClosedLoopOptions& options)
+    : sim_(sim), submit_(std::move(submit)), options_(options),
+      rng_(options.seed) {
+  MIMDRAID_CHECK(sim != nullptr);
+  MIMDRAID_CHECK_GT(options.outstanding, 0u);
+  MIMDRAID_CHECK_GT(options.dataset_sectors, 0u);
+  MIMDRAID_CHECK_GT(options.footprint_frac, 0.0);
+  MIMDRAID_CHECK_LE(options.footprint_frac, 1.0);
+}
+
+RunResult ClosedLoopDriver::Run() {
+  for (uint32_t i = 0; i < options_.outstanding; ++i) {
+    IssueOne();
+  }
+  while (recorded_ < options_.measure_ops) {
+    MIMDRAID_CHECK(sim_->Step());
+  }
+  // Drain: in-flight completions reference this driver; it must not be
+  // destroyed while they are pending.
+  while (outstanding_ > 0) {
+    MIMDRAID_CHECK(sim_->Step());
+  }
+  result_.completed = completions_;
+  result_.elapsed_us = sim_->Now() - measure_start_us_;
+  result_.iops = result_.elapsed_us > 0
+                     ? static_cast<double>(recorded_) /
+                           SecondsFromUs(result_.elapsed_us)
+                     : 0.0;
+  result_.mean_outstanding = options_.outstanding;
+  return result_;
+}
+
+void ClosedLoopDriver::IssueOne() {
+  if (stop_issuing_) {
+    return;
+  }
+  const uint64_t span = std::max<uint64_t>(
+      options_.sectors,
+      static_cast<uint64_t>(static_cast<double>(options_.dataset_sectors) *
+                            options_.footprint_frac));
+  uint64_t lba = rng_.UniformU64(span);
+  lba -= lba % options_.sectors;
+  if (lba + options_.sectors > options_.dataset_sectors) {
+    lba = options_.dataset_sectors - options_.sectors;
+  }
+  const DiskOp op =
+      rng_.Bernoulli(options_.read_frac) ? DiskOp::kRead : DiskOp::kWrite;
+  const SimTime issue = sim_->Now();
+  ++outstanding_;
+  submit_(op, lba, options_.sectors, [this, issue](SimTime completion) {
+    --outstanding_;
+    ++completions_;
+    if (completions_ == options_.warmup_ops) {
+      measure_start_us_ = sim_->Now();
+    } else if (completions_ > options_.warmup_ops &&
+               recorded_ < options_.measure_ops) {
+      ++recorded_;
+      result_.latency.Record(static_cast<double>(completion - issue));
+      if (recorded_ >= options_.measure_ops) {
+        stop_issuing_ = true;
+      }
+    }
+    IssueOne();
+  });
+}
+
+}  // namespace mimdraid

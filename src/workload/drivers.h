@@ -1,0 +1,112 @@
+// Workload drivers: open-loop trace replay and a closed-loop synthetic load
+// generator in the style of Intel Iometer (fixed outstanding-request count,
+// configurable read fraction and request size).
+//
+// Drivers are decoupled from the array through SubmitFn, so the same driver
+// can exercise an ArrayController, a cached front end, or a single raw disk.
+#ifndef MIMDRAID_SRC_WORKLOAD_DRIVERS_H_
+#define MIMDRAID_SRC_WORKLOAD_DRIVERS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/disk/sim_disk.h"
+#include "src/sim/simulator.h"
+#include "src/stats/latency_recorder.h"
+#include "src/util/rng.h"
+#include "src/workload/trace.h"
+
+namespace mimdraid {
+
+using IoDoneFn = std::function<void(SimTime completion_us)>;
+using SubmitFn =
+    std::function<void(DiskOp op, uint64_t lba, uint32_t sectors, IoDoneFn)>;
+
+struct RunResult {
+  LatencyRecorder latency;  // recorded response times (µs)
+  uint64_t completed = 0;   // all completed operations
+  double iops = 0.0;        // completions / measured second
+  SimTime elapsed_us = 0;
+  // The offered load outran the array (outstanding exceeded the cap); mean
+  // latency is meaningless past this point.
+  bool saturated = false;
+  double mean_outstanding = 0.0;  // time-averaged queue depth
+};
+
+struct TracePlayerOptions {
+  double rate_scale = 1.0;
+  size_t max_outstanding = 20'000;
+  size_t warmup_ios = 200;  // completions before recording starts
+};
+
+// Replays a trace open-loop against `submit`, timing each request from its
+// (scaled) trace arrival to completion. Async-write response times are not
+// recorded (the paper excludes sync-daemon writes), but the I/Os are issued.
+class TracePlayer {
+ public:
+  TracePlayer(Simulator* sim, const Trace* trace, SubmitFn submit,
+              const TracePlayerOptions& options);
+
+  RunResult Run();
+
+ private:
+  void ScheduleNextArrival();
+  void Arrive(size_t index);
+
+  Simulator* sim_;
+  const Trace* trace_;
+  SubmitFn submit_;
+  TracePlayerOptions options_;
+
+  size_t next_record_ = 0;
+  size_t pending_arrivals_ = 0;  // scheduled arrival events not yet fired
+  size_t outstanding_ = 0;
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  bool stopped_arrivals_ = false;
+  RunResult result_;
+  SimTime last_outstanding_change_ = 0;
+  double outstanding_time_integral_ = 0.0;
+  SimTime first_arrival_sim_us_ = 0;
+};
+
+struct ClosedLoopOptions {
+  uint32_t outstanding = 8;
+  double read_frac = 1.0;
+  uint32_t sectors = 1;
+  uint64_t dataset_sectors = 0;
+  // Restrict accesses to the leading fraction of the dataset; 1/L for a
+  // seek-locality index of L (the micro-benchmarks use L = 3).
+  double footprint_frac = 1.0;
+  uint64_t warmup_ops = 300;
+  uint64_t measure_ops = 4000;
+  uint64_t seed = 7;
+};
+
+// Keeps `outstanding` random requests in flight; measures throughput and
+// latency over `measure_ops` completions after warmup.
+class ClosedLoopDriver {
+ public:
+  ClosedLoopDriver(Simulator* sim, SubmitFn submit,
+                   const ClosedLoopOptions& options);
+
+  RunResult Run();
+
+ private:
+  void IssueOne();
+
+  Simulator* sim_;
+  SubmitFn submit_;
+  ClosedLoopOptions options_;
+  Rng rng_;
+  uint64_t completions_ = 0;
+  uint64_t recorded_ = 0;
+  uint64_t outstanding_ = 0;
+  bool stop_issuing_ = false;
+  SimTime measure_start_us_ = 0;
+  RunResult result_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_WORKLOAD_DRIVERS_H_

@@ -1,0 +1,92 @@
+#include "src/workload/trace.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+TraceStats ComputeTraceStats(const Trace& trace) {
+  TraceStats s;
+  s.io_count = trace.records.size();
+  if (trace.records.empty()) {
+    return s;
+  }
+  s.duration_s = SecondsFromUs(trace.DurationUs());
+  s.io_rate_per_s =
+      s.duration_s > 0.0 ? static_cast<double>(s.io_count) / s.duration_s : 0.0;
+  s.data_size_gb =
+      static_cast<double>(trace.dataset_sectors) * 512.0 / 1e9;
+
+  uint64_t reads = 0;
+  uint64_t async_writes = 0;
+  uint64_t raw_hits = 0;
+  double dist_sum = 0.0;
+  uint64_t dist_count = 0;
+  double sector_sum = 0.0;
+  uint64_t prev_lba = trace.records.front().lba;
+  // Last-write timestamps at 8 KiB block granularity.
+  constexpr uint32_t kBlockSectors = 16;
+  constexpr SimTime kHourUs = 3'600'000'000LL;
+  std::unordered_map<uint64_t, SimTime> last_write;
+
+  for (const TraceRecord& r : trace.records) {
+    sector_sum += r.sectors;
+    if (r.is_write) {
+      if (r.is_async) {
+        ++async_writes;
+      }
+      for (uint64_t b = r.lba / kBlockSectors;
+           b <= (r.lba + r.sectors - 1) / kBlockSectors; ++b) {
+        last_write[b] = r.time_us;
+      }
+    } else {
+      ++reads;
+      bool recent = false;
+      for (uint64_t b = r.lba / kBlockSectors;
+           b <= (r.lba + r.sectors - 1) / kBlockSectors; ++b) {
+        auto it = last_write.find(b);
+        if (it != last_write.end() && r.time_us - it->second <= kHourUs) {
+          recent = true;
+          break;
+        }
+      }
+      if (recent) {
+        ++raw_hits;
+      }
+    }
+    dist_sum += std::abs(static_cast<double>(r.lba) -
+                         static_cast<double>(prev_lba));
+    ++dist_count;
+    prev_lba = r.lba;
+  }
+
+  const double n = static_cast<double>(s.io_count);
+  s.read_frac = static_cast<double>(reads) / n;
+  s.async_write_frac = static_cast<double>(async_writes) / n;
+  s.read_after_write_frac = static_cast<double>(raw_hits) / n;
+  s.mean_request_sectors = sector_sum / n;
+  const double mean_observed = dist_sum / static_cast<double>(dist_count);
+  const double mean_random = static_cast<double>(trace.dataset_sectors) / 3.0;
+  s.seek_locality = mean_observed > 0.0 ? mean_random / mean_observed : 1.0;
+  return s;
+}
+
+Trace ScaleTraceRate(const Trace& trace, double scale) {
+  MIMDRAID_CHECK_GT(scale, 0.0);
+  Trace out;
+  out.name = trace.name;
+  out.dataset_sectors = trace.dataset_sectors;
+  out.records.reserve(trace.records.size());
+  const SimTime t0 = trace.records.empty() ? 0 : trace.records.front().time_us;
+  for (TraceRecord r : trace.records) {
+    r.time_us =
+        t0 + static_cast<SimTime>(static_cast<double>(r.time_us - t0) / scale);
+    out.records.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace mimdraid

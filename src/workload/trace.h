@@ -1,0 +1,57 @@
+// I/O trace representation and characterization (Table 3).
+#ifndef MIMDRAID_SRC_WORKLOAD_TRACE_H_
+#define MIMDRAID_SRC_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace mimdraid {
+
+struct TraceRecord {
+  SimTime time_us = 0;
+  bool is_write = false;
+  // Writes issued by background daemons (e.g. the 30-second sync sweep);
+  // excluded from response-time reporting, as in the paper.
+  bool is_async = false;
+  uint64_t lba = 0;
+  uint32_t sectors = 0;
+};
+
+struct Trace {
+  std::string name;
+  uint64_t dataset_sectors = 0;  // logical footprint the trace addresses
+  std::vector<TraceRecord> records;
+
+  SimTime DurationUs() const {
+    return records.empty() ? 0 : records.back().time_us - records.front().time_us;
+  }
+};
+
+// The Table 3 metrics, computed from a trace.
+struct TraceStats {
+  uint64_t io_count = 0;
+  double duration_s = 0.0;
+  double io_rate_per_s = 0.0;
+  double read_frac = 0.0;
+  double async_write_frac = 0.0;
+  // Seek locality L: mean random |distance| over the footprint (= N/3)
+  // divided by mean observed inter-request distance.
+  double seek_locality = 0.0;
+  // Fraction of I/Os that read data written within the last hour.
+  double read_after_write_frac = 0.0;
+  double mean_request_sectors = 0.0;
+  double data_size_gb = 0.0;
+};
+
+TraceStats ComputeTraceStats(const Trace& trace);
+
+// Uniformly rescales inter-arrival times: scale 2.0 halves them (doubling the
+// offered rate), as in the paper's accelerated-rate experiments.
+Trace ScaleTraceRate(const Trace& trace, double scale);
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_WORKLOAD_TRACE_H_

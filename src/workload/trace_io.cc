@@ -1,0 +1,81 @@
+#include "src/workload/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace mimdraid {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool SaveTrace(const Trace& trace, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) {
+    return false;
+  }
+  std::fprintf(f.get(), "# mimdraid-trace v1 %s %" PRIu64 "\n",
+               trace.name.empty() ? "unnamed" : trace.name.c_str(),
+               trace.dataset_sectors);
+  for (const TraceRecord& r : trace.records) {
+    const char op = r.is_write ? (r.is_async ? 'A' : 'W') : 'R';
+    if (std::fprintf(f.get(), "%lld %c %" PRIu64 " %u\n",
+                     static_cast<long long>(r.time_us), op, r.lba,
+                     r.sectors) < 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadTrace(const std::string& path, Trace* trace) {
+  if (trace == nullptr) {
+    return false;
+  }
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (!f) {
+    return false;
+  }
+  char name[256];
+  uint64_t dataset = 0;
+  if (std::fscanf(f.get(), "# mimdraid-trace v1 %255s %" SCNu64 "\n", name,
+                  &dataset) != 2) {
+    return false;
+  }
+  trace->name = name;
+  trace->dataset_sectors = dataset;
+  trace->records.clear();
+  long long time_us = 0;
+  char op = 0;
+  uint64_t lba = 0;
+  uint32_t sectors = 0;
+  while (true) {
+    const int got = std::fscanf(f.get(), "%lld %c %" SCNu64 " %u\n", &time_us,
+                                &op, &lba, &sectors);
+    if (got == EOF) {
+      break;
+    }
+    if (got != 4 || (op != 'R' && op != 'W' && op != 'A') || sectors == 0 ||
+        lba + sectors > dataset) {
+      return false;
+    }
+    TraceRecord rec;
+    rec.time_us = time_us;
+    rec.is_write = op != 'R';
+    rec.is_async = op == 'A';
+    rec.lba = lba;
+    rec.sectors = sectors;
+    trace->records.push_back(rec);
+  }
+  return true;
+}
+
+}  // namespace mimdraid

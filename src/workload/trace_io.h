@@ -1,0 +1,25 @@
+// Trace persistence: a simple line-oriented text format so traces can be
+// saved, inspected, and replayed across runs (and real traces in the same
+// schema can be imported).
+//
+// Format: header line `# mimdraid-trace v1 <name> <dataset_sectors>`,
+// then one record per line: `<time_us> <R|W|A> <lba> <sectors>`
+// (A = asynchronous write).
+#ifndef MIMDRAID_SRC_WORKLOAD_TRACE_IO_H_
+#define MIMDRAID_SRC_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+
+#include "src/workload/trace.h"
+
+namespace mimdraid {
+
+// Writes the trace; returns false on I/O failure.
+bool SaveTrace(const Trace& trace, const std::string& path);
+
+// Reads a trace; returns false on I/O failure or malformed content.
+bool LoadTrace(const std::string& path, Trace* trace);
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_WORKLOAD_TRACE_IO_H_

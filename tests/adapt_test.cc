@@ -1,0 +1,236 @@
+// Tests for the workload monitor, reconfiguration advisor, migration
+// estimator, and the closed adaptation loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/adapt/advisor.h"
+#include "src/adapt/workload_monitor.h"
+#include "src/core/adaptive_array.h"
+#include "src/util/rng.h"
+#include "src/workload/drivers.h"
+
+namespace mimdraid {
+namespace {
+
+constexpr uint64_t kDataset = 2'000'000;
+
+TEST(WorkloadMonitor, TracksRateAndMix) {
+  WorkloadMonitor mon(kDataset);
+  Rng rng(1);
+  SimTime t = 0;
+  for (int i = 0; i < 1000; ++i) {
+    t += 10'000;  // 100 IO/s
+    const DiskOp op = i % 4 == 0 ? DiskOp::kWrite : DiskOp::kRead;
+    mon.OnSubmit(op, rng.UniformU64(kDataset), 8, t);
+    mon.OnComplete(t + 3000);
+  }
+  const WorkloadProfile p = mon.Snapshot(/*disks=*/4, /*mean_service_us=*/5000);
+  EXPECT_NEAR(p.io_per_s, 100.0, 5.0);
+  EXPECT_NEAR(p.read_frac, 0.75, 0.02);
+  EXPECT_NEAR(p.mean_request_sectors, 8.0, 1e-9);
+  // Uniform random accesses: locality ~1.
+  EXPECT_LT(p.locality, 1.6);
+}
+
+TEST(WorkloadMonitor, DetectsLocality) {
+  WorkloadMonitor mon(kDataset);
+  Rng rng(2);
+  SimTime t = 0;
+  uint64_t cursor = kDataset / 2;
+  for (int i = 0; i < 2000; ++i) {
+    t += 10'000;
+    if (rng.Bernoulli(0.1)) {
+      cursor = rng.UniformU64(kDataset - 8);
+    } else {
+      cursor = (cursor + 8) % (kDataset - 8);
+    }
+    mon.OnSubmit(DiskOp::kRead, cursor, 8, t);
+    mon.OnComplete(t + 3000);
+  }
+  const WorkloadProfile p = mon.Snapshot(4, 5000);
+  // ~10% far jumps -> L near 10.
+  EXPECT_GT(p.locality, 5.0);
+  EXPECT_LT(p.locality, 20.0);
+}
+
+TEST(WorkloadMonitor, WindowFollowsPhaseChange) {
+  WorkloadMonitor mon(kDataset, /*window=*/256);
+  Rng rng(3);
+  SimTime t = 0;
+  // Phase 1: pure reads.
+  for (int i = 0; i < 1000; ++i) {
+    t += 1000;
+    mon.OnSubmit(DiskOp::kRead, rng.UniformU64(kDataset), 8, t);
+    mon.OnComplete(t + 100);
+  }
+  EXPECT_NEAR(mon.Snapshot(4, 5000).read_frac, 1.0, 1e-9);
+  // Phase 2: pure writes; the window forgets phase 1.
+  for (int i = 0; i < 1000; ++i) {
+    t += 1000;
+    mon.OnSubmit(DiskOp::kWrite, rng.UniformU64(kDataset), 8, t);
+    mon.OnComplete(t + 100);
+  }
+  EXPECT_NEAR(mon.Snapshot(4, 5000).read_frac, 0.0, 1e-9);
+}
+
+TEST(WorkloadMonitor, UtilizationDrivesPEstimate) {
+  WorkloadMonitor mon(kDataset);
+  Rng rng(4);
+  SimTime t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += 100'000;  // 10 IO/s: low load
+    mon.OnSubmit(i % 2 == 0 ? DiskOp::kRead : DiskOp::kWrite,
+                 rng.UniformU64(kDataset), 8, t);
+    mon.OnComplete(t + 5000);
+  }
+  const WorkloadProfile low = mon.Snapshot(/*disks=*/6, 5000);
+  // 10 IO/s * 5ms / 6 disks: nearly idle -> propagation maskable -> p ~ 1.
+  EXPECT_GT(low.p_estimate, 0.9);
+
+  WorkloadMonitor hot(kDataset);
+  t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += 1'000;  // 1000 IO/s on one disk: saturated
+    hot.OnSubmit(i % 2 == 0 ? DiskOp::kRead : DiskOp::kWrite,
+                 rng.UniformU64(kDataset), 8, t);
+    hot.OnComplete(t + 5000);
+  }
+  const WorkloadProfile high = hot.Snapshot(/*disks=*/1, 5000);
+  // Saturated: p collapses toward the read fraction.
+  EXPECT_LT(high.p_estimate, 0.6);
+}
+
+ModelDiskParams Params() {
+  ModelDiskParams p;
+  p.max_seek_us = 9900;
+  p.rotation_us = 6000;
+  return p;
+}
+
+TEST(Advisor, RecommendsReplicationForReadHeavyIdleLoad) {
+  ReconfigurationAdvisor advisor(Params());
+  ArrayAspect stripe;
+  stripe.ds = 6;
+  WorkloadProfile profile;
+  profile.read_frac = 1.0;
+  profile.p_estimate = 1.0;
+  profile.locality = 1.0;
+  profile.mean_queue_depth = 1.0;
+  profile.io_per_s = 5.0;
+  profile.samples = 1000;
+  const Advice advice = advisor.Evaluate(stripe, profile);
+  EXPECT_GT(advice.recommended.dr, 1);
+  EXPECT_TRUE(advice.reconfigure);
+  EXPECT_GT(advice.predicted_gain, 1.15);
+}
+
+TEST(Advisor, KeepsStripingForWriteHeavySaturatedLoad) {
+  ReconfigurationAdvisor advisor(Params());
+  ArrayAspect stripe;
+  stripe.ds = 6;
+  WorkloadProfile profile;
+  profile.read_frac = 0.3;
+  profile.p_estimate = 0.35;
+  profile.locality = 1.0;
+  profile.mean_queue_depth = 8.0;
+  const Advice advice = advisor.Evaluate(stripe, profile);
+  EXPECT_EQ(advice.recommended.dr, 1);
+  EXPECT_FALSE(advice.reconfigure);
+}
+
+TEST(Advisor, NoReconfigureWhenGainBelowThreshold) {
+  AdvisorOptions options;
+  options.min_gain = 100.0;  // impossible bar
+  ReconfigurationAdvisor advisor(Params(), options);
+  ArrayAspect stripe;
+  stripe.ds = 6;
+  WorkloadProfile profile;
+  profile.read_frac = 1.0;
+  profile.p_estimate = 1.0;
+  profile.locality = 1.0;
+  profile.mean_queue_depth = 1.0;
+  const Advice advice = advisor.Evaluate(stripe, profile);
+  EXPECT_FALSE(advice.reconfigure);
+}
+
+TEST(MigrationEstimate, ScalesWithDataAndReplication) {
+  Advice advice;
+  advice.current = ArrayAspect{6, 1, 1};
+  advice.recommended = ArrayAspect{2, 3, 1};
+  advice.current_predicted_us = 3000;
+  advice.recommended_predicted_us = 2000;
+  const MigrationEstimate small =
+      EstimateMigration(advice, 1'000'000, 100.0, 20.0);
+  const MigrationEstimate big =
+      EstimateMigration(advice, 4'000'000, 100.0, 20.0);
+  EXPECT_NEAR(big.migration_seconds / small.migration_seconds, 4.0, 1e-9);
+  EXPECT_GT(small.break_even_seconds, 0.0);
+  EXPECT_TRUE(std::isfinite(small.break_even_seconds));
+}
+
+TEST(MigrationEstimate, InfiniteBreakEvenWithoutGain) {
+  Advice advice;
+  advice.current_predicted_us = 2000;
+  advice.recommended_predicted_us = 2500;
+  const MigrationEstimate est = EstimateMigration(advice, 1'000'000, 100.0);
+  EXPECT_TRUE(std::isinf(est.break_even_seconds));
+}
+
+TEST(AdaptiveArray, ReshapesUnderReadHeavyLoadAndImproves) {
+  AdaptiveArrayOptions options;
+  options.base.aspect = ArrayAspect{6, 1, 1};  // start as a plain stripe
+  options.base.scheduler = SchedulerKind::kRsatf;
+  options.base.dataset_sectors = kDataset;
+  options.advisor.min_gain = 1.1;
+  AdaptiveArray adaptive(options);
+
+  ClosedLoopOptions loop;
+  loop.outstanding = 1;
+  loop.read_frac = 1.0;
+  loop.sectors = 8;
+  loop.warmup_ops = 100;
+  loop.measure_ops = 1200;
+  loop.dataset_sectors = kDataset;
+  ClosedLoopDriver phase1(&adaptive.sim(), adaptive.Submitter(), loop);
+  const RunResult before = phase1.Run();
+
+  const Advice advice = adaptive.Adapt();
+  ASSERT_TRUE(advice.reconfigure);
+  EXPECT_GT(advice.recommended.dr, 1);
+  ASSERT_EQ(adaptive.reshapes().size(), 1u);
+
+  loop.seed = 99;
+  ClosedLoopDriver phase2(&adaptive.sim(), adaptive.Submitter(), loop);
+  const RunResult after = phase2.Run();
+  EXPECT_LT(after.latency.MeanUs(), before.latency.MeanUs());
+}
+
+TEST(AdaptiveArray, DoesNotThrashWhenAlreadyOptimal) {
+  AdaptiveArrayOptions options;
+  options.base.aspect = ArrayAspect{2, 3, 1};
+  options.base.dataset_sectors = kDataset;
+  AdaptiveArray adaptive(options);
+  ClosedLoopOptions loop;
+  loop.outstanding = 1;
+  loop.read_frac = 1.0;
+  loop.sectors = 8;
+  loop.warmup_ops = 50;
+  loop.measure_ops = 600;
+  loop.dataset_sectors = kDataset;
+  ClosedLoopDriver driver(&adaptive.sim(), adaptive.Submitter(), loop);
+  driver.Run();
+  const Advice first = adaptive.Adapt();
+  const size_t reshapes = adaptive.reshapes().size();
+  // A second evaluation on the same workload must not flip back and forth.
+  ClosedLoopDriver driver2(&adaptive.sim(), adaptive.Submitter(), loop);
+  driver2.Run();
+  adaptive.Adapt();
+  EXPECT_LE(adaptive.reshapes().size(), reshapes + 1);
+  if (!first.reconfigure) {
+    EXPECT_EQ(adaptive.reshapes().size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mimdraid

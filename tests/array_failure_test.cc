@@ -1,0 +1,162 @@
+// Disk failure and rebuild in mirrored arrays (the Section 2.5 reliability
+// tradeoff): a striped mirror survives a disk; an SR-Array column does not.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/array/array_layout.h"
+#include "src/array/controller.h"
+#include "src/calib/predictor.h"
+#include "src/disk/sim_disk.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace mimdraid {
+namespace {
+
+struct Rig {
+  Rig(int ds, int dr, int dm, uint64_t dataset = 3000) {
+    aspect.ds = ds;
+    aspect.dr = dr;
+    aspect.dm = dm;
+    const int d = aspect.TotalDisks();
+    for (int i = 0; i < d; ++i) {
+      disks.push_back(std::make_unique<SimDisk>(
+          &sim, MakeTestGeometry(), MakeTestSeekProfile(),
+          DiskNoiseModel::None(), 61 + i, i * 777.0));
+      preds.push_back(std::make_unique<OraclePredictor>(disks.back().get(), 0.0));
+      dptr.push_back(disks.back().get());
+      pptr.push_back(preds.back().get());
+    }
+    layout = std::make_unique<ArrayLayout>(&disks[0]->layout(), aspect, 16,
+                                           dataset);
+    controller = std::make_unique<ArrayController>(
+        &sim, dptr, pptr, layout.get(), ArrayControllerOptions{});
+  }
+
+  SimTime Do(DiskOp op, uint64_t lba, uint32_t sectors) {
+    SimTime completion = -1;
+    controller->Submit(op, lba, sectors, [&](SimTime c) { completion = c; });
+    while (completion < 0) {
+      EXPECT_TRUE(sim.Step());
+    }
+    return completion;
+  }
+
+  void Drain() {
+    while (!controller->Idle() && sim.Step()) {
+    }
+  }
+
+  Simulator sim;
+  ArrayAspect aspect;
+  std::vector<std::unique_ptr<SimDisk>> disks;
+  std::vector<std::unique_ptr<AccessPredictor>> preds;
+  std::vector<SimDisk*> dptr;
+  std::vector<AccessPredictor*> pptr;
+  std::unique_ptr<ArrayLayout> layout;
+  std::unique_ptr<ArrayController> controller;
+};
+
+TEST(ArrayFailure, SrArrayCannotTolerateDiskLoss) {
+  Rig rig(1, 2, 1);
+  EXPECT_FALSE(rig.controller->FailDisk(0));  // Dm == 1: data loss
+  EXPECT_FALSE(rig.controller->IsFailed(0));
+}
+
+TEST(ArrayFailure, MirrorServesReadsAfterFailure) {
+  Rig rig(2, 1, 2);  // four disks, two mirrored columns
+  ASSERT_TRUE(rig.controller->FailDisk(0));
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    rig.Do(DiskOp::kRead, rng.UniformU64(3000 - 8), 8);
+  }
+  rig.Drain();
+  EXPECT_EQ(rig.controller->stats().reads_completed, 30u);
+  EXPECT_EQ(rig.disks[0]->ops_completed(), 0u);  // nothing touches the corpse
+}
+
+TEST(ArrayFailure, MirrorWritesSkipFailedDisk) {
+  Rig rig(1, 1, 2);
+  ASSERT_TRUE(rig.controller->FailDisk(1));
+  for (int i = 0; i < 10; ++i) {
+    rig.Do(DiskOp::kWrite, static_cast<uint64_t>(i) * 16, 8);
+  }
+  rig.Drain();
+  EXPECT_EQ(rig.controller->stats().writes_completed, 10u);
+  EXPECT_EQ(rig.disks[1]->ops_completed(), 0u);
+  // No propagation is queued to the failed disk.
+  EXPECT_EQ(rig.controller->DelayedBacklog(), 0u);
+}
+
+TEST(ArrayFailure, DegradedReadLatencyNoWorseThanSingleCopy) {
+  // Healthy 1x1x2 mirror picks the better of two copies; degraded it has one.
+  Rig healthy(1, 1, 2);
+  Rng rng(7);
+  Summary healthy_lat;
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t lba = rng.UniformU64(3000 - 8);
+    const SimTime t0 = healthy.sim.Now();
+    healthy_lat.Add(static_cast<double>(healthy.Do(DiskOp::kRead, lba, 8) - t0));
+  }
+  Rig degraded(1, 1, 2);
+  ASSERT_TRUE(degraded.controller->FailDisk(1));
+  Rng rng2(7);
+  Summary degraded_lat;
+  for (int i = 0; i < 60; ++i) {
+    const uint64_t lba = rng2.UniformU64(3000 - 8);
+    const SimTime t0 = degraded.sim.Now();
+    degraded_lat.Add(
+        static_cast<double>(degraded.Do(DiskOp::kRead, lba, 8) - t0));
+  }
+  EXPECT_GT(degraded_lat.mean(), healthy_lat.mean() * 0.95);
+}
+
+TEST(ArrayFailure, RebuildRestoresService) {
+  Rig rig(1, 2, 2, /*dataset=*/800);  // four disks: 2 columns x 2 mirrors
+  // Dirty the array a little first.
+  for (int i = 0; i < 5; ++i) {
+    rig.Do(DiskOp::kWrite, static_cast<uint64_t>(i) * 32, 8);
+  }
+  rig.Drain();
+  ASSERT_TRUE(rig.controller->FailDisk(1));
+  SimTime rebuilt_at = -1;
+  rig.controller->RebuildDisk(1, [&](SimTime c) { rebuilt_at = c; });
+  while (rebuilt_at < 0) {
+    ASSERT_TRUE(rig.sim.Step());
+  }
+  EXPECT_GT(rig.controller->rebuild_copied_fragments(), 0u);
+  EXPECT_FALSE(rig.controller->IsFailed(1));
+  // The rebuilt disk serves reads again.
+  const uint64_t before = rig.disks[1]->ops_completed();
+  Rng rng(9);
+  for (int i = 0; i < 40; ++i) {
+    rig.Do(DiskOp::kRead, rng.UniformU64(800 - 8), 8);
+  }
+  rig.Drain();
+  EXPECT_GT(rig.disks[1]->ops_completed(), before);
+}
+
+TEST(ArrayFailure, ForegroundTrafficContinuesDuringRebuild) {
+  Rig rig(1, 1, 2, /*dataset=*/1600);
+  ASSERT_TRUE(rig.controller->FailDisk(0));
+  SimTime rebuilt_at = -1;
+  rig.controller->RebuildDisk(0, [&](SimTime c) { rebuilt_at = c; });
+  Rng rng(11);
+  int done = 0;
+  constexpr int kOps = 50;
+  for (int i = 0; i < kOps; ++i) {
+    rig.controller->Submit(DiskOp::kRead, rng.UniformU64(1600 - 8), 8,
+                           [&](SimTime) { ++done; });
+  }
+  while (done < kOps || rebuilt_at < 0) {
+    ASSERT_TRUE(rig.sim.Step());
+  }
+  rig.Drain();
+  EXPECT_EQ(rig.controller->stats().reads_completed,
+            static_cast<uint64_t>(kOps));
+}
+
+}  // namespace
+}  // namespace mimdraid

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/array/array_layout.h"
+#include "src/disk/geometry.h"
+
+namespace mimdraid {
+namespace {
+
+class ArrayLayoutTest : public ::testing::Test {
+ protected:
+  ArrayLayoutTest() : geo_(MakeTestGeometry()), disk_layout_(&geo_) {}
+
+  ArrayLayout Make(int ds, int dr, int dm, uint32_t unit = 16,
+                   uint64_t dataset = 4000) {
+    ArrayAspect a;
+    a.ds = ds;
+    a.dr = dr;
+    a.dm = dm;
+    return ArrayLayout(&disk_layout_, a, unit, dataset);
+  }
+
+  DiskGeometry geo_;
+  DiskLayout disk_layout_;
+};
+
+TEST_F(ArrayLayoutTest, StripeMapsUnitsRoundRobin) {
+  const ArrayLayout layout = Make(2, 1, 1);
+  // Unit 0 -> disk 0, unit 1 -> disk 1, unit 2 -> disk 0... (a unit may be
+  // split at a track boundary, but every fragment stays on the unit's disk).
+  for (uint64_t unit = 0; unit < 8; ++unit) {
+    const auto frags = layout.Map(unit * 16, 16);
+    ASSERT_GE(frags.size(), 1u);
+    for (const auto& f : frags) {
+      EXPECT_EQ(f.group, unit % 2);
+      EXPECT_EQ(f.replicas[0].disk, unit % 2);
+    }
+  }
+}
+
+TEST_F(ArrayLayoutTest, WithinUnitStaysOnOneDisk) {
+  const ArrayLayout layout = Make(4, 1, 1);
+  const auto frags = layout.Map(3, 8);  // inside unit 0
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0].replicas[0].disk, 0u);
+  EXPECT_EQ(frags[0].sectors, 8u);
+}
+
+TEST_F(ArrayLayoutTest, CrossUnitRequestSplits) {
+  const ArrayLayout layout = Make(2, 1, 1);
+  const auto frags = layout.Map(10, 16);  // spans units 0 and 1
+  ASSERT_EQ(frags.size(), 2u);
+  EXPECT_EQ(frags[0].sectors, 6u);
+  EXPECT_EQ(frags[0].replicas[0].disk, 0u);
+  EXPECT_EQ(frags[1].sectors, 10u);
+  EXPECT_EQ(frags[1].replicas[0].disk, 1u);
+}
+
+TEST_F(ArrayLayoutTest, FragmentsCoverRequestExactly) {
+  const ArrayLayout layout = Make(3, 2, 1, 16, 6000);
+  for (uint64_t lba : {0ull, 5ull, 100ull, 999ull}) {
+    for (uint32_t n : {1u, 16u, 64u, 128u}) {
+      const auto frags = layout.Map(lba, n);
+      uint64_t cur = lba;
+      for (const auto& f : frags) {
+        EXPECT_EQ(f.logical_lba, cur);
+        cur += f.sectors;
+      }
+      EXPECT_EQ(cur, lba + n);
+    }
+  }
+}
+
+TEST_F(ArrayLayoutTest, ReplicaCountIsDrTimesDm) {
+  const ArrayLayout layout = Make(1, 2, 2, 16, 2000);
+  const auto frags = layout.Map(0, 4);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0].replicas.size(), 4u);
+}
+
+TEST_F(ArrayLayoutTest, MirrorCopiesOnDistinctDisks) {
+  const ArrayLayout layout = Make(2, 1, 2, 16, 4000);
+  EXPECT_EQ(layout.num_disks(), 4u);
+  const auto frags = layout.Map(16, 4);  // unit 1 -> group 1
+  ASSERT_EQ(frags.size(), 1u);
+  std::set<uint32_t> disks;
+  for (const auto& rep : frags[0].replicas) {
+    disks.insert(rep.disk);
+  }
+  EXPECT_EQ(disks, (std::set<uint32_t>{2, 3}));
+}
+
+TEST_F(ArrayLayoutTest, MirrorCopiesStaggeredInAngle) {
+  // 1x1x2: copies on two disks, half a revolution apart (synchronized
+  // spindles make this meaningful).
+  const ArrayLayout layout = Make(1, 1, 2, 16, 2000);
+  const auto frags = layout.Map(100, 1);
+  ASSERT_EQ(frags.size(), 1u);
+  const Chs a = disk_layout_.ToChs(frags[0].replicas[0].lba);
+  const Chs b = disk_layout_.ToChs(frags[0].replicas[1].lba);
+  double gap = disk_layout_.AngleOf(b) - disk_layout_.AngleOf(a);
+  gap -= std::floor(gap);
+  EXPECT_NEAR(gap, 0.5, 1.0 / 40 + 1e-9);
+}
+
+TEST_F(ArrayLayoutTest, SrMirrorCopiesEvenlySpacedAcrossAll) {
+  // 1x2x2: four copies at quarter-revolution spacing.
+  const ArrayLayout layout = Make(1, 2, 2, 16, 2000);
+  const auto frags = layout.Map(64, 1);
+  ASSERT_EQ(frags.size(), 1u);
+  std::vector<double> angles;
+  for (const auto& rep : frags[0].replicas) {
+    angles.push_back(disk_layout_.AngleOf(disk_layout_.ToChs(rep.lba)));
+  }
+  // Sort relative angles; gaps should be ~0.25 each.
+  std::vector<double> rel;
+  for (double a : angles) {
+    double d = a - angles[0];
+    d -= std::floor(d);
+    rel.push_back(d);
+  }
+  std::sort(rel.begin(), rel.end());
+  for (size_t i = 0; i < rel.size(); ++i) {
+    EXPECT_NEAR(rel[i], 0.25 * static_cast<double>(i), 1.0 / 40 + 1e-9);
+  }
+}
+
+TEST_F(ArrayLayoutTest, PerDiskSectorsScalesInverselyWithDs) {
+  const ArrayLayout one = Make(1, 1, 1, 16, 6400);
+  const ArrayLayout four = Make(4, 1, 1, 16, 6400);
+  EXPECT_EQ(one.per_disk_sectors(), 6400u);
+  EXPECT_EQ(four.per_disk_sectors(), 1600u);
+}
+
+TEST_F(ArrayLayoutTest, CylinderSpanShrinksWithStriping) {
+  const uint64_t dataset = 6000;
+  const ArrayLayout one = Make(1, 1, 1, 16, dataset);
+  const ArrayLayout two = Make(2, 1, 1, 16, dataset);
+  EXPECT_GT(one.CylinderSpan(), two.CylinderSpan());
+}
+
+TEST_F(ArrayLayoutTest, DatasetMustFit) {
+  // Dr=4 on the tiny geometry leaves ~2070 sectors per disk.
+  ArrayAspect a;
+  a.ds = 1;
+  a.dr = 4;
+  a.dm = 1;
+  EXPECT_DEATH(ArrayLayout(&disk_layout_, a, 16, 50'000), "CHECK");
+}
+
+TEST_F(ArrayLayoutTest, AllReplicasContiguousForFragment) {
+  const ArrayLayout layout = Make(1, 2, 1, 16, 2000);
+  const auto frags = layout.Map(0, 16);
+  for (const auto& f : frags) {
+    for (const auto& rep : f.replicas) {
+      // Each copy occupies `sectors` consecutive physical LBAs on one track.
+      const Chs first = disk_layout_.ToChs(rep.lba);
+      const Chs last = disk_layout_.ToChs(rep.lba + f.sectors - 1);
+      EXPECT_EQ(first.cylinder, last.cylinder);
+      EXPECT_EQ(first.head, last.head);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mimdraid

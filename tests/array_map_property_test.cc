@@ -1,0 +1,128 @@
+// Property tests for ArrayLayout::Map across aspect shapes: fragments must
+// exactly partition the request, and every copy must be physically contiguous
+// on the right disk.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/array/array_layout.h"
+#include "src/disk/geometry.h"
+#include "src/util/rng.h"
+
+namespace mimdraid {
+namespace {
+
+struct MapParam {
+  int ds;
+  int dr;
+  int dm;
+};
+
+class ArrayMapProperty : public ::testing::TestWithParam<MapParam> {
+ protected:
+  ArrayMapProperty() : geo_(MakeTestGeometry()), layout_(&geo_) {}
+  DiskGeometry geo_;
+  DiskLayout layout_;
+};
+
+TEST_P(ArrayMapProperty, FragmentsPartitionAndPlaceCorrectly) {
+  const MapParam p = GetParam();
+  ArrayAspect aspect;
+  aspect.ds = p.ds;
+  aspect.dr = p.dr;
+  aspect.dm = p.dm;
+  const uint64_t dataset = 3000;
+  ArrayLayout array(&layout_, aspect, /*stripe_unit=*/16, dataset);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint32_t sectors = 1 + static_cast<uint32_t>(rng.UniformU64(100));
+    const uint64_t lba = rng.UniformU64(dataset - sectors);
+    const auto frags = array.Map(lba, sectors);
+    uint64_t cur = lba;
+    for (const ArrayFragment& f : frags) {
+      EXPECT_EQ(f.logical_lba, cur);
+      EXPECT_GT(f.sectors, 0u);
+      cur += f.sectors;
+      ASSERT_EQ(f.replicas.size(),
+                static_cast<size_t>(aspect.dr) * aspect.dm);
+      // Stripe column consistency.
+      EXPECT_EQ(f.group, (f.logical_lba / 16) % array.num_groups());
+      std::set<uint32_t> disks;
+      for (size_t m = 0; m < static_cast<size_t>(aspect.dm); ++m) {
+        for (size_t r = 0; r < static_cast<size_t>(aspect.dr); ++r) {
+          const ReplicaLocation& loc =
+              f.replicas[m * static_cast<size_t>(aspect.dr) + r];
+          EXPECT_EQ(loc.disk, array.DiskFor(f.group, static_cast<uint32_t>(m)));
+          disks.insert(loc.disk);
+          // Physical contiguity of the copy.
+          const Chs first = layout_.ToChs(loc.lba);
+          const Chs last = layout_.ToChs(loc.lba + f.sectors - 1);
+          EXPECT_EQ(first.cylinder, last.cylinder);
+          EXPECT_EQ(first.head, last.head);
+          EXPECT_EQ(loc.lba + f.sectors - 1,
+                    layout_.ToLba(Chs{first.cylinder, first.head,
+                                      first.sector + f.sectors - 1}));
+        }
+      }
+      EXPECT_EQ(disks.size(), static_cast<size_t>(aspect.dm));
+    }
+    EXPECT_EQ(cur, lba + sectors);
+  }
+}
+
+TEST_P(ArrayMapProperty, SameLogicalRangeMapsIdentically) {
+  const MapParam p = GetParam();
+  ArrayAspect aspect;
+  aspect.ds = p.ds;
+  aspect.dr = p.dr;
+  aspect.dm = p.dm;
+  ArrayLayout array(&layout_, aspect, 16, 3000);
+  const auto a = array.Map(123, 48);
+  const auto b = array.Map(123, 48);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].logical_lba, b[i].logical_lba);
+    EXPECT_EQ(a[i].sectors, b[i].sectors);
+    for (size_t r = 0; r < a[i].replicas.size(); ++r) {
+      EXPECT_EQ(a[i].replicas[r].lba, b[i].replicas[r].lba);
+      EXPECT_EQ(a[i].replicas[r].disk, b[i].replicas[r].disk);
+    }
+  }
+}
+
+TEST_P(ArrayMapProperty, DistinctLogicalSectorsNeverShareAPhysicalSector) {
+  const MapParam p = GetParam();
+  ArrayAspect aspect;
+  aspect.ds = p.ds;
+  aspect.dr = p.dr;
+  aspect.dm = p.dm;
+  const uint64_t dataset = 2000;
+  ArrayLayout array(&layout_, aspect, 16, dataset);
+  std::set<std::pair<uint32_t, uint64_t>> owned;
+  for (uint64_t lba = 0; lba < dataset; lba += 16) {
+    const auto frags = array.Map(lba, 16);
+    for (const ArrayFragment& f : frags) {
+      for (const ReplicaLocation& loc : f.replicas) {
+        for (uint32_t s = 0; s < f.sectors; ++s) {
+          EXPECT_TRUE(owned.insert({loc.disk, loc.lba + s}).second)
+              << "duplicate physical sector disk=" << loc.disk
+              << " lba=" << loc.lba + s;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ArrayMapProperty,
+    ::testing::Values(MapParam{1, 1, 1}, MapParam{4, 1, 1}, MapParam{1, 2, 1},
+                      MapParam{2, 2, 1}, MapParam{1, 1, 2}, MapParam{2, 1, 2},
+                      MapParam{1, 2, 2}, MapParam{1, 4, 1}),
+    [](const auto& info) {
+      return std::to_string(info.param.ds) + "x" +
+             std::to_string(info.param.dr) + "x" +
+             std::to_string(info.param.dm);
+    });
+
+}  // namespace
+}  // namespace mimdraid

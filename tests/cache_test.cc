@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "src/cache/lru_cache.h"
+
+namespace mimdraid {
+namespace {
+
+TEST(LruCache, MissThenHit) {
+  LruBlockCache cache(1 << 20, 16);
+  EXPECT_FALSE(cache.Lookup(0, 16));
+  cache.Insert(0, 16);
+  EXPECT_TRUE(cache.Lookup(0, 16));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCache, CapacityInBlocks) {
+  LruBlockCache cache(16 * 512 * 4, 16);  // 4 blocks
+  EXPECT_EQ(cache.capacity_blocks(), 4u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruBlockCache cache(16 * 512 * 2, 16);  // 2 blocks
+  cache.Insert(0, 16);    // block 0
+  cache.Insert(16, 16);   // block 1
+  cache.Insert(32, 16);   // block 2 -> evicts block 0
+  EXPECT_FALSE(cache.Lookup(0, 16));
+  EXPECT_TRUE(cache.Lookup(16, 16));
+  EXPECT_TRUE(cache.Lookup(32, 16));
+}
+
+TEST(LruCache, LookupRefreshesRecency) {
+  LruBlockCache cache(16 * 512 * 2, 16);
+  cache.Insert(0, 16);
+  cache.Insert(16, 16);
+  EXPECT_TRUE(cache.Lookup(0, 16));  // block 0 is now MRU
+  cache.Insert(32, 16);              // evicts block 1
+  EXPECT_TRUE(cache.Lookup(0, 16));
+  EXPECT_FALSE(cache.Lookup(16, 16));
+}
+
+TEST(LruCache, MultiBlockRangeNeedsAllBlocks) {
+  LruBlockCache cache(1 << 20, 16);
+  cache.Insert(0, 16);
+  // Range spans blocks 0 and 1; block 1 missing.
+  EXPECT_FALSE(cache.Lookup(8, 16));
+  cache.Insert(16, 16);
+  EXPECT_TRUE(cache.Lookup(8, 16));
+}
+
+TEST(LruCache, UnalignedRangesCoverPartialBlocks) {
+  LruBlockCache cache(1 << 20, 16);
+  cache.Insert(20, 4);  // covers block 1 only
+  EXPECT_TRUE(cache.Lookup(16, 16));
+  EXPECT_FALSE(cache.Lookup(0, 16));
+}
+
+TEST(LruCache, ReinsertDoesNotDuplicate) {
+  LruBlockCache cache(1 << 20, 16);
+  cache.Insert(0, 16);
+  cache.Insert(0, 16);
+  EXPECT_EQ(cache.resident_blocks(), 1u);
+}
+
+TEST(LruCache, HitRate) {
+  LruBlockCache cache(1 << 20, 16);
+  cache.Insert(0, 16);
+  cache.Lookup(0, 16);
+  cache.Lookup(0, 16);
+  cache.Lookup(1024, 16);
+  EXPECT_NEAR(cache.HitRate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(LruCache, LargeWorkingSetBounded) {
+  LruBlockCache cache(16 * 512 * 100, 16);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    cache.Insert(i * 16, 16);
+  }
+  EXPECT_EQ(cache.resident_blocks(), 100u);
+}
+
+}  // namespace
+}  // namespace mimdraid

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/flags.h"
+
+namespace mimdraid {
+namespace {
+
+Flags Make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags f = Make({"--disks=6", "--rate=2.5", "--name=foo"});
+  EXPECT_EQ(f.GetInt("disks", 0), 6);
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 0), 2.5);
+  EXPECT_EQ(f.GetString("name", ""), "foo");
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags f = Make({"--disks", "12", "--name", "bar"});
+  EXPECT_EQ(f.GetInt("disks", 0), 12);
+  EXPECT_EQ(f.GetString("name", ""), "bar");
+}
+
+TEST(Flags, BareBoolean) {
+  const Flags f = Make({"--auto", "--verbose"});
+  EXPECT_TRUE(f.GetBool("auto", false));
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.GetBool("missing", false));
+  EXPECT_TRUE(f.GetBool("missing", true));
+}
+
+TEST(Flags, ExplicitFalse) {
+  const Flags f = Make({"--auto=false", "--quiet=0"});
+  EXPECT_FALSE(f.GetBool("auto", true));
+  EXPECT_FALSE(f.GetBool("quiet", true));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags f = Make({});
+  EXPECT_EQ(f.GetInt("disks", 42), 42);
+  EXPECT_EQ(f.GetString("x", "d"), "d");
+  EXPECT_FALSE(f.Has("disks"));
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags f = Make({"input.trace", "--disks=3", "out.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.trace");
+  EXPECT_EQ(f.positional()[1], "out.txt");
+}
+
+TEST(Flags, NamesLists) {
+  const Flags f = Make({"--a=1", "--b=2"});
+  EXPECT_EQ(f.Names().size(), 2u);
+}
+
+}  // namespace
+}  // namespace mimdraid

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/disk/geometry.h"
+
+namespace mimdraid {
+namespace {
+
+TEST(Geometry, St39133IsValid) {
+  const DiskGeometry g = MakeSt39133Geometry();
+  EXPECT_TRUE(g.Valid());
+  EXPECT_EQ(g.rpm, 10000u);
+  EXPECT_EQ(g.RotationUs(), 6000);
+  EXPECT_EQ(g.num_heads, 12u);
+  EXPECT_EQ(g.zones.size(), 10u);
+}
+
+TEST(Geometry, St39133CapacityNear9GB) {
+  const DiskGeometry g = MakeSt39133Geometry();
+  const double gb = static_cast<double>(g.CapacityBytes()) / 1e9;
+  EXPECT_GT(gb, 8.5);
+  EXPECT_LT(gb, 9.8);
+}
+
+TEST(Geometry, ZoneIndexLookup) {
+  const DiskGeometry g = MakeSt39133Geometry();
+  EXPECT_EQ(g.ZoneIndexOf(0), 0u);
+  EXPECT_EQ(g.ZoneIndexOf(g.zones[1].first_cylinder - 1), 0u);
+  EXPECT_EQ(g.ZoneIndexOf(g.zones[1].first_cylinder), 1u);
+  EXPECT_EQ(g.ZoneIndexOf(g.num_cylinders - 1), 9u);
+}
+
+TEST(Geometry, SptDecreasesInward) {
+  const DiskGeometry g = MakeSt39133Geometry();
+  for (size_t i = 1; i < g.zones.size(); ++i) {
+    EXPECT_LT(g.zones[i].sectors_per_track, g.zones[i - 1].sectors_per_track);
+  }
+}
+
+TEST(Geometry, ZoneCylindersSumToTotal) {
+  const DiskGeometry g = MakeSt39133Geometry();
+  uint32_t total = 0;
+  for (uint32_t z = 0; z < g.zones.size(); ++z) {
+    total += g.ZoneCylinders(z);
+  }
+  EXPECT_EQ(total, g.num_cylinders);
+}
+
+TEST(Geometry, TotalSectorsMatchesZoneArithmetic) {
+  const DiskGeometry g = MakeTestGeometry();
+  // 30 cylinders * 4 heads * 40 spt + 30 * 4 * 30 spt
+  EXPECT_EQ(g.TotalSectors(), 30ull * 4 * 40 + 30ull * 4 * 30);
+}
+
+TEST(Geometry, SlotTimeMatchesRotationOverSpt) {
+  const DiskGeometry g = MakeTestGeometry();
+  EXPECT_DOUBLE_EQ(g.SlotTimeUs(0), 6000.0 / 40);
+  EXPECT_DOUBLE_EQ(g.SlotTimeUs(59), 6000.0 / 30);
+}
+
+TEST(Geometry, SkewCoversHeadSwitch) {
+  const DiskGeometry g = MakeSt39133Geometry();
+  for (const Zone& z : g.zones) {
+    const double slot_us = 6000.0 / z.sectors_per_track;
+    // Track skew must cover the ~900 us head switch.
+    EXPECT_GE(z.track_skew * slot_us, 900.0);
+    // Cylinder skew must cover a single-cylinder seek (larger).
+    EXPECT_GE(z.cylinder_skew, z.track_skew);
+  }
+}
+
+TEST(Geometry, InvalidWhenZonesUnsorted) {
+  DiskGeometry g = MakeTestGeometry();
+  std::swap(g.zones[0], g.zones[1]);
+  g.zones[0].first_cylinder = 30;
+  g.zones[1].first_cylinder = 0;
+  EXPECT_FALSE(g.Valid());
+}
+
+TEST(Geometry, InvalidWhenSkewExceedsSpt) {
+  DiskGeometry g = MakeTestGeometry();
+  g.zones[0].track_skew = g.zones[0].sectors_per_track;
+  EXPECT_FALSE(g.Valid());
+}
+
+TEST(Geometry, InvalidWhenFirstZoneNotAtCylinderZero) {
+  DiskGeometry g = MakeTestGeometry();
+  g.zones[0].first_cylinder = 1;
+  EXPECT_FALSE(g.Valid());
+}
+
+}  // namespace
+}  // namespace mimdraid

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "src/util/histogram.h"
+#include "src/util/rng.h"
+
+namespace mimdraid {
+namespace {
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(10.0, 5);  // buckets [0,10) ... [40,50), overflow beyond
+  h.Add(0.0);
+  h.Add(9.9);
+  h.Add(10.0);
+  h.Add(49.9);
+  h.Add(50.0);
+  h.Add(1e9);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[4], 1u);
+}
+
+TEST(Histogram, NegativeClampsToZeroBucket) {
+  Histogram h(10.0, 4);
+  h.Add(-5.0);
+  EXPECT_EQ(h.counts()[0], 1u);
+}
+
+TEST(Histogram, QuantileUpperBound) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(static_cast<double>(i) + 0.5);
+  }
+  EXPECT_NEAR(h.QuantileUpperBound(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.QuantileUpperBound(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.QuantileUpperBound(1.0), 100.0, 1e-9);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  Histogram h(1.0, 10);
+  EXPECT_EQ(h.QuantileUpperBound(0.5), 0.0);
+}
+
+TEST(Histogram, MatchesExactPercentilesOnUniformData) {
+  Histogram h(5.0, 2000);
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    h.Add(rng.UniformDouble(0, 10000));
+  }
+  EXPECT_NEAR(h.QuantileUpperBound(0.5), 5000.0, 100.0);
+  EXPECT_NEAR(h.QuantileUpperBound(0.9), 9000.0, 100.0);
+}
+
+}  // namespace
+}  // namespace mimdraid

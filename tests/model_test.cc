@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/model/analytic.h"
+#include "src/model/configurator.h"
+
+namespace mimdraid {
+namespace {
+
+constexpr double kS = 10'000.0;  // max seek, µs
+constexpr double kR = 6'000.0;   // rotation, µs
+
+TEST(Analytic, SeekReductionFormulas) {
+  EXPECT_DOUBLE_EQ(SingleDiskAverageSeekUs(kS), kS / 3);
+  EXPECT_DOUBLE_EQ(MirrorAverageSeekUs(kS, 1), kS / 3);
+  EXPECT_DOUBLE_EQ(MirrorAverageSeekUs(kS, 4), kS / 9);
+  EXPECT_DOUBLE_EQ(StripeAverageSeekUs(kS, 4), kS / 12);
+}
+
+TEST(Analytic, StripingBeatsMirroringOnSeek) {
+  for (int d = 2; d <= 16; ++d) {
+    EXPECT_LT(StripeAverageSeekUs(kS, d), MirrorAverageSeekUs(kS, d));
+  }
+}
+
+TEST(Analytic, RotationFormulas) {
+  EXPECT_DOUBLE_EQ(EvenReplicaReadRotationUs(kR, 1), kR / 2);
+  EXPECT_DOUBLE_EQ(EvenReplicaReadRotationUs(kR, 3), kR / 6);
+  EXPECT_DOUBLE_EQ(RandomReplicaReadRotationUs(kR, 3), kR / 4);
+  EXPECT_DOUBLE_EQ(ReplicaWriteRotationUs(kR, 3), kR - kR / 6);
+}
+
+TEST(Analytic, EvenBeatsRandomPlacement) {
+  for (int d = 2; d <= 6; ++d) {
+    EXPECT_LT(EvenReplicaReadRotationUs(kR, d),
+              RandomReplicaReadRotationUs(kR, d));
+  }
+}
+
+TEST(Analytic, ReadPlusWriteRotationIsFullRotation) {
+  // R_r(D) + R_w(D) = R (Section 2.2).
+  for (int d = 1; d <= 6; ++d) {
+    EXPECT_DOUBLE_EQ(
+        EvenReplicaReadRotationUs(kR, d) + ReplicaWriteRotationUs(kR, d), kR);
+  }
+}
+
+TEST(Analytic, SrReadLatencyComposes) {
+  EXPECT_DOUBLE_EQ(SrReadLatencyUs(kS, kR, 2, 3),
+                   kS / (3 * 2) + kR / (2 * 3));
+  // Locality scales the seek term only.
+  EXPECT_DOUBLE_EQ(SrReadLatencyUs(kS, kR, 2, 3, 4.0),
+                   kS / (3 * 2 * 4.0) + kR / (2 * 3));
+}
+
+TEST(Analytic, OptimalAspectProductIsD) {
+  for (int d : {2, 4, 6, 9, 12, 36}) {
+    const AspectRatio a = OptimalAspectForReads(kS, kR, d);
+    EXPECT_NEAR(a.ds * a.dr, d, 1e-9);
+  }
+}
+
+TEST(Analytic, OptimalAspectMinimizesReadLatency) {
+  // Continuous optimum beats all integer factorizations evaluated through
+  // the same formula.
+  const int d = 12;
+  const double best = BestReadLatencyUs(kS, kR, d);
+  for (int ds = 1; ds <= d; ++ds) {
+    if (d % ds != 0) {
+      continue;
+    }
+    const int dr = d / ds;
+    EXPECT_GE(SrReadLatencyUs(kS, kR, ds, dr) + 1e-9, best);
+  }
+}
+
+TEST(Analytic, BestReadLatencyScalesAsSqrtD) {
+  const double t4 = BestReadLatencyUs(kS, kR, 4);
+  const double t16 = BestReadLatencyUs(kS, kR, 16);
+  EXPECT_NEAR(t4 / t16, 2.0, 1e-9);
+}
+
+TEST(Analytic, SlowRotationDemandsMoreReplicas) {
+  const AspectRatio fast = OptimalAspectForReads(kS, kR, 12);
+  const AspectRatio slow = OptimalAspectForReads(kS, 2 * kR, 12);
+  EXPECT_GT(slow.dr, fast.dr);
+  EXPECT_LT(slow.ds, fast.ds);
+}
+
+TEST(Analytic, MixedLatencyReducesToReadAtPOne) {
+  EXPECT_DOUBLE_EQ(SrMixedLatencyUs(kS, kR, 2, 3, 1.0),
+                   SrReadLatencyUs(kS, kR, 2, 3));
+}
+
+TEST(Analytic, MixedOptimumMatchesEqTen) {
+  const double p = 0.8;
+  const AspectRatio a = OptimalAspectForMixed(kS, kR, 12, p);
+  EXPECT_NEAR(a.ds * a.dr, 12.0, 1e-9);
+  // Perturbing the ratio (same product) must not improve Eq. (9)'s value at
+  // the continuous optimum.
+  const double at_opt =
+      kS / (3 * a.ds) + p * kR / (2 * a.dr) + (1 - p) * (kR - kR / (2 * a.dr));
+  for (double f : {0.8, 0.9, 1.1, 1.25}) {
+    const double ds = a.ds * f;
+    const double dr = 12.0 / ds;
+    const double t =
+        kS / (3 * ds) + p * kR / (2 * dr) + (1 - p) * (kR - kR / (2 * dr));
+    EXPECT_GE(t + 1e-9, at_opt);
+  }
+}
+
+TEST(Analytic, LowerPMeansFewerReplicas) {
+  const AspectRatio high = OptimalAspectForMixed(kS, kR, 12, 0.95);
+  const AspectRatio low = OptimalAspectForMixed(kS, kR, 12, 0.6);
+  EXPECT_LT(low.dr, high.dr);
+}
+
+TEST(Analytic, RlookAmortizesSeekOverQueue) {
+  const double t_q4 = RlookRequestTimeUs(kS, kR, 2, 3, 1.0, 4.0);
+  const double t_q16 = RlookRequestTimeUs(kS, kR, 2, 3, 1.0, 16.0);
+  EXPECT_GT(t_q4, t_q16);
+}
+
+TEST(Analytic, LongQueueDemandsMoreReplicas) {
+  const AspectRatio q4 = OptimalAspectForRlook(kS, kR, 12, 1.0, 4.0);
+  const AspectRatio q32 = OptimalAspectForRlook(kS, kR, 12, 1.0, 32.0);
+  EXPECT_GT(q32.dr, q4.dr);
+}
+
+TEST(Analytic, ThroughputFormulas) {
+  EXPECT_DOUBLE_EQ(SingleDiskThroughput(2700.0, 2300.0), 1e6 / 5000.0);
+  // Eq. 16: with huge Q, throughput approaches D*N1.
+  EXPECT_NEAR(ArrayThroughput(6, 1000.0, 100.0), 600.0, 1e-6);
+  // With Q = D the derating is 1-(1-1/D)^D ~ 63%.
+  EXPECT_NEAR(ArrayThroughput(6, 6.0, 100.0),
+              6 * (1 - std::pow(5.0 / 6.0, 6)) * 100.0, 1e-9);
+}
+
+TEST(Configurator, PureStripingWhenWriteHeavy) {
+  ConfiguratorInputs in;
+  in.num_disks = 6;
+  in.max_seek_us = kS;
+  in.rotation_us = kR;
+  in.p = 0.4;
+  in.queue_depth = 1.0;
+  const ConfigCandidate c = ChooseConfig(in);
+  EXPECT_EQ(c.aspect.ds, 6);
+  EXPECT_EQ(c.aspect.dr, 1);
+}
+
+TEST(Configurator, ReadOnlySixDisksPrefersRotationalReplicas) {
+  ConfiguratorInputs in;
+  in.num_disks = 6;
+  in.max_seek_us = kS;
+  in.rotation_us = kR;
+  in.p = 1.0;
+  in.queue_depth = 1.0;
+  const ConfigCandidate c = ChooseConfig(in);
+  EXPECT_GT(c.aspect.dr, 1);
+  EXPECT_EQ(c.aspect.TotalDisks(), 6);
+}
+
+TEST(Configurator, RespectsMaxDr) {
+  ConfiguratorInputs in;
+  in.num_disks = 36;
+  in.max_seek_us = kS;
+  in.rotation_us = 4 * kR;  // strongly favors replication
+  in.p = 1.0;
+  in.queue_depth = 32.0;
+  in.max_dr = 6;
+  for (const ConfigCandidate& c : EnumerateConfigs(in)) {
+    EXPECT_LE(c.aspect.dr, 6);
+  }
+}
+
+TEST(Configurator, EnumerationCoversAllFactorizations) {
+  ConfiguratorInputs in;
+  in.num_disks = 12;
+  in.max_seek_us = kS;
+  in.rotation_us = kR;
+  in.p = 1.0;
+  const auto all = EnumerateConfigs(in);
+  // Ds*Dr = 12 with Dr <= 6: (12,1),(6,2),(4,3),(3,4),(2,6) = 5 configs.
+  EXPECT_EQ(all.size(), 5u);
+  // Sorted by predicted latency.
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].predicted_latency_us, all[i].predicted_latency_us);
+  }
+}
+
+TEST(Configurator, MirroringEnumeratedWhenAllowed) {
+  ConfiguratorInputs in;
+  in.num_disks = 4;
+  in.max_seek_us = kS;
+  in.rotation_us = kR;
+  in.p = 1.0;
+  in.allow_mirroring = true;
+  bool saw_mirror = false;
+  for (const ConfigCandidate& c : EnumerateConfigs(in)) {
+    EXPECT_EQ(c.aspect.TotalDisks(), 4);
+    saw_mirror |= c.aspect.dm > 1;
+  }
+  EXPECT_TRUE(saw_mirror);
+}
+
+TEST(Configurator, AspectToString) {
+  ArrayAspect a;
+  a.ds = 9;
+  a.dr = 4;
+  a.dm = 1;
+  EXPECT_EQ(a.ToString(), "9x4x1");
+  EXPECT_EQ(a.TotalDisks(), 36);
+  EXPECT_EQ(a.ReplicasPerBlock(), 4);
+}
+
+TEST(Configurator, PaperExampleCelloBaseSixDisks) {
+  // Figure 7: with six disks the model recommends 2x3 for Cello base
+  // (p high, q small, L = 4.14, S ~ 10 ms, R = 6 ms).
+  ConfiguratorInputs in;
+  in.num_disks = 6;
+  in.max_seek_us = 9900.0;
+  in.rotation_us = 6000.0;
+  in.p = 1.0;
+  in.queue_depth = 1.0;
+  in.locality = 4.14;
+  const ConfigCandidate c = ChooseConfig(in);
+  EXPECT_EQ(c.aspect.ds, 2);
+  EXPECT_EQ(c.aspect.dr, 3);
+}
+
+}  // namespace
+}  // namespace mimdraid

@@ -1,0 +1,130 @@
+// Property tests for SrDiskPlacement across geometries and replication
+// degrees: the invariants that make the SR-Array work.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "src/array/placement.h"
+#include "src/disk/geometry.h"
+#include "src/disk/layout.h"
+#include "src/util/rng.h"
+
+namespace mimdraid {
+namespace {
+
+enum class Geo { kTest, kSt39133 };
+
+class PlacementProperty
+    : public ::testing::TestWithParam<std::tuple<Geo, int>> {
+ protected:
+  PlacementProperty()
+      : geo_(std::get<0>(GetParam()) == Geo::kTest ? MakeTestGeometry()
+                                                   : MakeSt39133Geometry()),
+        layout_(&geo_),
+        placement_(&layout_, std::get<1>(GetParam())),
+        dr_(std::get<1>(GetParam())) {}
+
+  DiskGeometry geo_;
+  DiskLayout layout_;
+  SrDiskPlacement placement_;
+  int dr_;
+};
+
+TEST_P(PlacementProperty, ReplicasShareCylinderOnDistinctTracks) {
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t s = rng.UniformU64(placement_.capacity_sectors());
+    std::set<uint32_t> heads;
+    const uint32_t cyl = layout_.ToChs(placement_.PhysicalLba(s, 0)).cylinder;
+    for (int r = 0; r < dr_; ++r) {
+      const Chs chs = layout_.ToChs(placement_.PhysicalLba(s, r));
+      EXPECT_EQ(chs.cylinder, cyl);
+      EXPECT_TRUE(heads.insert(chs.head).second);
+    }
+  }
+}
+
+TEST_P(PlacementProperty, ReplicasEvenlySpacedInAngle) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t s = rng.UniformU64(placement_.capacity_sectors());
+    const Chs base = layout_.ToChs(placement_.PhysicalLba(s, 0));
+    const double spt = geo_.SectorsPerTrack(base.cylinder);
+    for (int r = 1; r < dr_; ++r) {
+      const Chs chs = layout_.ToChs(placement_.PhysicalLba(s, r));
+      double gap = layout_.AngleOf(chs) - layout_.AngleOf(base);
+      gap -= std::floor(gap);
+      EXPECT_NEAR(gap, static_cast<double>(r) / dr_, 1.0 / spt + 1e-9)
+          << "s=" << s << " r=" << r;
+    }
+  }
+}
+
+TEST_P(PlacementProperty, NoPhysicalAliasing) {
+  // Distinct (logical sector, replica) pairs map to distinct physical LBAs.
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t s = rng.UniformU64(placement_.capacity_sectors());
+    if (!seen.insert(~s).second) {  // marker to dedupe logical draws
+      continue;
+    }
+    for (int r = 0; r < dr_; ++r) {
+      EXPECT_TRUE(seen.insert(placement_.PhysicalLba(s, r)).second)
+          << "s=" << s << " r=" << r;
+    }
+  }
+}
+
+TEST_P(PlacementProperty, CapacityConsistentWithGroups) {
+  // Total capacity is the sum over cylinders of groups * SPT; groups can
+  // never exceed heads / dr.
+  EXPECT_LE(placement_.capacity_sectors(),
+            layout_.num_data_sectors() / static_cast<uint64_t>(dr_) +
+                geo_.num_cylinders * geo_.zones[0].sectors_per_track);
+  EXPECT_GT(placement_.capacity_sectors(), 0u);
+}
+
+TEST_P(PlacementProperty, ContiguousRunNeverZeroAndBounded) {
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t s = rng.UniformU64(placement_.capacity_sectors());
+    const uint32_t run = placement_.ContiguousRun(s);
+    EXPECT_GE(run, 1u);
+    EXPECT_LE(run, geo_.zones[0].sectors_per_track);
+    EXPECT_LE(s + run, placement_.capacity_sectors() +
+                           geo_.zones[0].sectors_per_track);
+  }
+}
+
+TEST_P(PlacementProperty, CylinderSpanMonotoneInData) {
+  uint32_t prev = 0;
+  for (uint64_t frac = 1; frac <= 8; ++frac) {
+    const uint64_t sectors = placement_.capacity_sectors() * frac / 8;
+    if (sectors == 0) {
+      continue;
+    }
+    const uint32_t span = placement_.CylinderSpan(sectors);
+    EXPECT_GE(span, prev);
+    prev = span;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGeometries, PlacementProperty,
+    ::testing::Values(std::tuple{Geo::kTest, 1}, std::tuple{Geo::kTest, 2},
+                      std::tuple{Geo::kTest, 4}, std::tuple{Geo::kSt39133, 1},
+                      std::tuple{Geo::kSt39133, 2},
+                      std::tuple{Geo::kSt39133, 3},
+                      std::tuple{Geo::kSt39133, 4},
+                      std::tuple{Geo::kSt39133, 6}),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) == Geo::kTest ? "Test"
+                                                               : "St39133") +
+             "_Dr" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mimdraid

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/array/placement.h"
+#include "src/disk/geometry.h"
+#include "src/disk/layout.h"
+
+namespace mimdraid {
+namespace {
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  PlacementTest() : geo_(MakeTestGeometry()), layout_(&geo_) {}
+  DiskGeometry geo_;
+  DiskLayout layout_;
+};
+
+TEST_F(PlacementTest, Dr1CapacityIsFullDisk) {
+  SrDiskPlacement p(&layout_, 1);
+  EXPECT_EQ(p.capacity_sectors(), layout_.num_data_sectors());
+}
+
+TEST_F(PlacementTest, Dr2HalvesCapacityApproximately) {
+  SrDiskPlacement p1(&layout_, 1);
+  SrDiskPlacement p2(&layout_, 2);
+  // Dr=2 on 4 heads: 2 groups/cylinder vs 4 tracks (odd-track cylinders lose
+  // a bit more).
+  EXPECT_LT(p2.capacity_sectors(), p1.capacity_sectors() / 2 + 100);
+  EXPECT_GT(p2.capacity_sectors(), p1.capacity_sectors() / 3);
+}
+
+TEST_F(PlacementTest, Dr1PhysicalIsIdentityOrder) {
+  SrDiskPlacement p(&layout_, 1);
+  // Logical sector s maps to the s-th data sector in LBA order.
+  for (uint64_t s = 0; s < 500; s += 7) {
+    EXPECT_EQ(p.PhysicalLba(s, 0), s);
+  }
+}
+
+TEST_F(PlacementTest, ReplicasShareCylinderDifferentTracks) {
+  SrDiskPlacement p(&layout_, 2);
+  for (uint64_t s = 0; s < p.capacity_sectors(); s += 97) {
+    const Chs a = layout_.ToChs(p.PhysicalLba(s, 0));
+    const Chs b = layout_.ToChs(p.PhysicalLba(s, 1));
+    EXPECT_EQ(a.cylinder, b.cylinder) << "s=" << s;
+    EXPECT_NE(a.head, b.head) << "s=" << s;
+  }
+}
+
+TEST_F(PlacementTest, ReplicasEvenlySpacedInAngle) {
+  SrDiskPlacement p(&layout_, 2);
+  for (uint64_t s = 0; s < p.capacity_sectors(); s += 211) {
+    const Chs a = layout_.ToChs(p.PhysicalLba(s, 0));
+    const Chs b = layout_.ToChs(p.PhysicalLba(s, 1));
+    double gap = layout_.AngleOf(b) - layout_.AngleOf(a);
+    gap -= std::floor(gap);
+    const double spt = geo_.SectorsPerTrack(a.cylinder);
+    // Half a revolution within one slot of rounding.
+    EXPECT_NEAR(gap, 0.5, 1.0 / spt + 1e-9) << "s=" << s;
+  }
+}
+
+TEST_F(PlacementTest, FourWayReplicasEvenlySpaced) {
+  SrDiskPlacement p(&layout_, 4);
+  const uint64_t s = 123;
+  const Chs base = layout_.ToChs(p.PhysicalLba(s, 0));
+  const double spt = geo_.SectorsPerTrack(base.cylinder);
+  for (int r = 1; r < 4; ++r) {
+    const Chs c = layout_.ToChs(p.PhysicalLba(s, r));
+    double gap = layout_.AngleOf(c) - layout_.AngleOf(base);
+    gap -= std::floor(gap);
+    EXPECT_NEAR(gap, r / 4.0, 1.0 / spt + 1e-9) << "r=" << r;
+  }
+}
+
+TEST_F(PlacementTest, BaseAngleRotatesWholeSet) {
+  SrDiskPlacement p(&layout_, 2);
+  const uint64_t s = 345;
+  const Chs plain = layout_.ToChs(p.PhysicalLba(s, 0, 0.0));
+  const Chs shifted = layout_.ToChs(p.PhysicalLba(s, 0, 0.25));
+  double gap = layout_.AngleOf(shifted) - layout_.AngleOf(plain);
+  gap -= std::floor(gap);
+  const double spt = geo_.SectorsPerTrack(plain.cylinder);
+  EXPECT_NEAR(gap, 0.25, 1.0 / spt + 1e-9);
+}
+
+TEST_F(PlacementTest, DistinctLogicalSectorsDistinctPhysical) {
+  SrDiskPlacement p(&layout_, 2);
+  std::set<uint64_t> seen;
+  for (uint64_t s = 0; s < 2000; ++s) {
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_TRUE(seen.insert(p.PhysicalLba(s, r)).second)
+          << "s=" << s << " r=" << r;
+    }
+  }
+}
+
+TEST_F(PlacementTest, ContiguousRunWithinTrack) {
+  SrDiskPlacement p(&layout_, 2);
+  // Run from a track-group start covers a whole track.
+  EXPECT_EQ(p.ContiguousRun(0), 40u);
+  EXPECT_EQ(p.ContiguousRun(5), 35u);
+  // Each replica advances one sector per logical sector, wrapping around its
+  // track ring (ArrayLayout::Map clips fragments at the wrap).
+  for (int r = 0; r < 2; ++r) {
+    const uint64_t base = p.PhysicalLba(8, r);
+    const Chs base_chs = layout_.ToChs(base);
+    const uint64_t track_start = base - base_chs.sector;
+    const uint32_t spt = geo_.SectorsPerTrack(base_chs.cylinder);
+    for (uint32_t i = 1; i < p.ContiguousRun(8); ++i) {
+      const uint64_t expected =
+          track_start + (base_chs.sector + i) % spt;
+      EXPECT_EQ(p.PhysicalLba(8 + i, r), expected) << "r=" << r << " i=" << i;
+    }
+  }
+}
+
+TEST_F(PlacementTest, CylinderOfMonotone) {
+  SrDiskPlacement p(&layout_, 2);
+  uint32_t prev = 0;
+  for (uint64_t s = 0; s < p.capacity_sectors(); s += 40) {
+    const uint32_t c = p.CylinderOf(s);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST_F(PlacementTest, CylinderSpanGrowsWithData) {
+  SrDiskPlacement p(&layout_, 1);
+  const uint32_t half = p.CylinderSpan(p.capacity_sectors() / 2);
+  const uint32_t full = p.CylinderSpan(p.capacity_sectors());
+  EXPECT_LT(half, full);
+  EXPECT_EQ(full, geo_.num_cylinders - 1);
+}
+
+TEST_F(PlacementTest, HigherDrUsesMoreCylindersForSameData) {
+  SrDiskPlacement p1(&layout_, 1);
+  SrDiskPlacement p2(&layout_, 2);
+  const uint64_t data = p2.capacity_sectors() / 2;
+  EXPECT_GT(p2.CylinderSpan(data), p1.CylinderSpan(data));
+}
+
+TEST(PlacementSt39133, SixWayReplicationWorks) {
+  const DiskGeometry geo = MakeSt39133Geometry();
+  DiskLayout layout(&geo);
+  SrDiskPlacement p(&layout, 6);
+  EXPECT_GT(p.capacity_sectors(), 2'000'000u);
+  const uint64_t s = 1'000'000;
+  const Chs base = layout.ToChs(p.PhysicalLba(s, 0));
+  const double spt = geo.SectorsPerTrack(base.cylinder);
+  for (int r = 1; r < 6; ++r) {
+    const Chs c = layout.ToChs(p.PhysicalLba(s, r));
+    EXPECT_EQ(c.cylinder, base.cylinder);
+    double gap = layout.AngleOf(c) - layout.AngleOf(base);
+    gap -= std::floor(gap);
+    EXPECT_NEAR(gap, r / 6.0, 1.0 / spt + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mimdraid

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "src/calib/calibration.h"
+#include "src/calib/prober.h"
+#include "src/calib/rotation_estimator.h"
+#include "src/calib/sync_disk.h"
+#include "src/disk/sim_disk.h"
+#include "src/sim/simulator.h"
+
+namespace mimdraid {
+namespace {
+
+// Builds a calibrated prober against a disk and returns (prober inputs).
+struct ProbeRig {
+  explicit ProbeRig(const DiskGeometry& geometry, uint64_t seed = 21,
+                    double phase = 987.0)
+      : geometry_copy(geometry),
+        disk(&sim, geometry_copy, MakeTestSeekProfile(),
+             DiskNoiseModel::Prototype(), seed, phase),
+        sync(&sim, &disk) {
+    CalibrationOptions options;
+    options.extract_seek_profile = false;
+    cal = CalibrateDisk(&sim, &disk, options);
+    spindle_phase = SpindlePhaseFromLattice(disk.layout(), 0,
+                                            cal.lattice_phase_us,
+                                            cal.rotation_us);
+  }
+
+  Simulator sim;
+  DiskGeometry geometry_copy;
+  SimDisk disk;
+  SyncDisk sync;
+  CalibrationResult cal;
+  double spindle_phase = 0.0;
+};
+
+TEST(Prober, MeasuresEndAngleConsistentWithLayout) {
+  ProbeRig rig(MakeTestGeometry());
+  DiskProber prober(&rig.sync, rig.disk.num_sectors(),
+                    rig.geometry_copy.num_heads, rig.cal.rotation_us,
+                    rig.spindle_phase);
+  for (uint64_t lba : {0ull, 100ull, 3333ull}) {
+    const Chs chs = rig.disk.layout().ToChs(lba);
+    const uint32_t spt = rig.geometry_copy.SectorsPerTrack(chs.cylinder);
+    const double expected =
+        static_cast<double>((rig.disk.layout().SlotOf(chs) + 1) % spt) / spt;
+    const double got = prober.MeasureEndAngle(lba, 3);
+    double diff = got - expected;
+    diff -= std::round(diff);
+    // Within ~2 slots (jitter + post-overhead bias).
+    EXPECT_LT(std::abs(diff), 2.5 / spt) << "lba=" << lba;
+  }
+}
+
+TEST(Prober, MeasureSptFindsTrackSize) {
+  ProbeRig rig(MakeTestGeometry());
+  DiskProber prober(&rig.sync, rig.disk.num_sectors(),
+                    rig.geometry_copy.num_heads, rig.cal.rotation_us,
+                    rig.spindle_phase);
+  const DiskProber::TrackProbe t0 = prober.MeasureSptAt(0);
+  EXPECT_EQ(t0.sectors_per_track, 40u);
+  // Track starts are multiples of 40 in zone 0.
+  EXPECT_EQ(t0.track_start_lba % 40, 0u);
+
+  const uint64_t zone1_first = 118ull * 40;
+  const DiskProber::TrackProbe t1 = prober.MeasureSptAt(zone1_first + 100);
+  EXPECT_EQ(t1.sectors_per_track, 30u);
+}
+
+TEST(Prober, FullProbeRecoversTestGeometry) {
+  ProbeRig rig(MakeTestGeometry());
+  DiskProber prober(&rig.sync, rig.disk.num_sectors(),
+                    rig.geometry_copy.num_heads, rig.cal.rotation_us,
+                    rig.spindle_phase);
+  const ProbeResult result = prober.Probe();
+  ASSERT_EQ(result.zones.size(), rig.geometry_copy.zones.size());
+  EXPECT_EQ(result.reserved_tracks, 1u);
+  for (size_t z = 0; z < result.zones.size(); ++z) {
+    const ProbedZone& probed = result.zones[z];
+    const Zone& truth = rig.geometry_copy.zones[z];
+    EXPECT_EQ(probed.sectors_per_track, truth.sectors_per_track) << "zone " << z;
+    EXPECT_EQ(probed.track_skew, truth.track_skew) << "zone " << z;
+    EXPECT_EQ(probed.cylinder_skew, truth.cylinder_skew) << "zone " << z;
+    EXPECT_EQ(probed.first_cylinder, truth.first_cylinder) << "zone " << z;
+    EXPECT_EQ(probed.inferred_spare_tracks, 1u) << "zone " << z;
+  }
+  // Reconstructed geometry matches the truth.
+  const DiskGeometry rebuilt = result.ToGeometry(
+      rig.geometry_copy.num_cylinders, rig.geometry_copy.num_heads,
+      rig.geometry_copy.rpm, rig.geometry_copy.sector_bytes);
+  ASSERT_TRUE(rebuilt.Valid());
+  for (size_t z = 0; z < rebuilt.zones.size(); ++z) {
+    EXPECT_EQ(rebuilt.zones[z].first_cylinder,
+              rig.geometry_copy.zones[z].first_cylinder);
+  }
+}
+
+TEST(Prober, FullProbeRecoversSt39133Geometry) {
+  const DiskGeometry geometry = MakeSt39133Geometry();
+  ProbeRig rig(geometry, /*seed=*/5, /*phase=*/4321.0);
+  DiskProber prober(&rig.sync, rig.disk.num_sectors(), geometry.num_heads,
+                    rig.cal.rotation_us, rig.spindle_phase);
+  const ProbeResult result = prober.Probe();
+  ASSERT_EQ(result.zones.size(), geometry.zones.size());
+  EXPECT_EQ(result.reserved_tracks, 1u);
+  for (size_t z = 0; z < result.zones.size(); ++z) {
+    EXPECT_EQ(result.zones[z].sectors_per_track,
+              geometry.zones[z].sectors_per_track)
+        << "zone " << z;
+    EXPECT_EQ(result.zones[z].track_skew, geometry.zones[z].track_skew)
+        << "zone " << z;
+    EXPECT_EQ(result.zones[z].cylinder_skew, geometry.zones[z].cylinder_skew)
+        << "zone " << z;
+    EXPECT_EQ(result.zones[z].first_cylinder, geometry.zones[z].first_cylinder)
+        << "zone " << z;
+  }
+}
+
+}  // namespace
+}  // namespace mimdraid
+
+namespace mimdraid {
+namespace {
+
+TEST(Prober, DefectScanFindsRemappedSectors) {
+  // A drive with a few grown defects: the prober's angular scan must flag
+  // exactly the remapped LBAs (their spare locations sit at foreign angles).
+  Simulator sim;
+  DiskGeometry geometry_copy = MakeTestGeometry();
+  SimDisk disk(&sim, geometry_copy, MakeTestSeekProfile(),
+               DiskNoiseModel::Prototype(), /*seed=*/77, /*phase=*/555.0);
+  ASSERT_TRUE(disk.mutable_layout().AddBadSector(120));
+  ASSERT_TRUE(disk.mutable_layout().AddBadSector(164));
+  ASSERT_TRUE(disk.mutable_layout().AddBadSector(301));
+  SyncDisk sync(&sim, &disk);
+  CalibrationOptions options;
+  options.extract_seek_profile = false;
+  const CalibrationResult cal = CalibrateDisk(&sim, &disk, options);
+  const double phase = SpindlePhaseFromLattice(
+      disk.layout(), 0, cal.lattice_phase_us, cal.rotation_us);
+  DiskProber prober(&sync, disk.num_sectors(), geometry_copy.num_heads,
+                    cal.rotation_us, phase);
+  // Expected layout: a pristine one (no remaps), as Probe() would recover.
+  DiskGeometry pristine_geo = MakeTestGeometry();
+  DiskLayout pristine(&pristine_geo);
+  const std::vector<uint64_t> found =
+      prober.FindRemappedSectors(pristine, 100, 250);
+  EXPECT_EQ(found, (std::vector<uint64_t>{120, 164, 301}));
+}
+
+}  // namespace
+}  // namespace mimdraid

@@ -1,0 +1,257 @@
+// RAID-5 layout and controller tests: parity rotation, RMW accounting,
+// degraded service, and rebuild.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/calib/predictor.h"
+#include "src/disk/sim_disk.h"
+#include "src/raid5/raid5_controller.h"
+#include "src/raid5/raid5_layout.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace mimdraid {
+namespace {
+
+TEST(Raid5Layout, CapacityIsNMinusOneDisks) {
+  Raid5Layout layout(5, 16, 1600);  // 100 rows
+  EXPECT_EQ(layout.num_rows(), 100u);
+  EXPECT_EQ(layout.data_capacity_sectors(), 100ull * 4 * 16);
+}
+
+TEST(Raid5Layout, ParityRotatesLeftSymmetric) {
+  Raid5Layout layout(4, 16, 160);
+  std::set<uint32_t> seen;
+  for (uint32_t row = 0; row < 4; ++row) {
+    seen.insert(layout.ParityDiskOf(row));
+  }
+  EXPECT_EQ(seen.size(), 4u);  // parity visits every disk
+  EXPECT_EQ(layout.ParityDiskOf(0), 3u);
+  EXPECT_EQ(layout.ParityDiskOf(1), 2u);
+}
+
+TEST(Raid5Layout, DataDisksSkipParity) {
+  Raid5Layout layout(4, 16, 160);
+  for (uint32_t row = 0; row < 8; ++row) {
+    const uint32_t parity = layout.ParityDiskOf(row);
+    std::set<uint32_t> data;
+    for (uint32_t i = 0; i < 3; ++i) {
+      const uint32_t d = layout.DataDiskOf(row, i);
+      EXPECT_NE(d, parity);
+      data.insert(d);
+    }
+    EXPECT_EQ(data.size(), 3u);
+  }
+}
+
+TEST(Raid5Layout, MapPartitionsRequests) {
+  Raid5Layout layout(4, 16, 160);
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const uint32_t sectors = 1 + static_cast<uint32_t>(rng.UniformU64(60));
+    const uint64_t lba =
+        rng.UniformU64(layout.data_capacity_sectors() - sectors);
+    uint64_t cur = lba;
+    for (const Raid5Fragment& f : layout.Map(lba, sectors)) {
+      EXPECT_EQ(f.logical_lba, cur);
+      EXPECT_NE(f.data_disk, f.parity_disk);
+      EXPECT_EQ(f.parity_disk, layout.ParityDiskOf(f.row));
+      EXPECT_LE(f.sectors, 16u);
+      cur += f.sectors;
+    }
+    EXPECT_EQ(cur, lba + sectors);
+  }
+}
+
+TEST(Raid5Layout, DistinctLogicalSectorsDistinctPhysical) {
+  Raid5Layout layout(4, 16, 160);
+  std::set<std::pair<uint32_t, uint64_t>> owned;
+  for (uint64_t lba = 0; lba < layout.data_capacity_sectors(); ++lba) {
+    const auto frags = layout.Map(lba, 1);
+    ASSERT_EQ(frags.size(), 1u);
+    EXPECT_TRUE(
+        owned.insert({frags[0].data_disk, frags[0].disk_lba}).second);
+  }
+}
+
+struct Rig {
+  explicit Rig(uint32_t disks = 4) {
+    for (uint32_t i = 0; i < disks; ++i) {
+      sim_disks.push_back(std::make_unique<SimDisk>(
+          &sim, MakeTestGeometry(), MakeTestSeekProfile(),
+          DiskNoiseModel::None(), 17 + i, i * 500.0));
+      preds.push_back(
+          std::make_unique<OraclePredictor>(sim_disks.back().get(), 0.0));
+      dptr.push_back(sim_disks.back().get());
+      pptr.push_back(preds.back().get());
+    }
+    layout = std::make_unique<Raid5Layout>(disks, 16, 2000);
+    controller = std::make_unique<Raid5Controller>(&sim, dptr, pptr,
+                                                   layout.get(),
+                                                   Raid5ControllerOptions{});
+  }
+
+  SimTime Do(DiskOp op, uint64_t lba, uint32_t sectors) {
+    SimTime completion = -1;
+    controller->Submit(op, lba, sectors, [&](SimTime c) { completion = c; });
+    while (completion < 0) {
+      EXPECT_TRUE(sim.Step());
+    }
+    return completion;
+  }
+
+  void Drain() {
+    while (!controller->Idle() && sim.Step()) {
+    }
+  }
+
+  Simulator sim;
+  std::vector<std::unique_ptr<SimDisk>> sim_disks;
+  std::vector<std::unique_ptr<AccessPredictor>> preds;
+  std::vector<SimDisk*> dptr;
+  std::vector<AccessPredictor*> pptr;
+  std::unique_ptr<Raid5Layout> layout;
+  std::unique_ptr<Raid5Controller> controller;
+};
+
+TEST(Raid5Controller, ReadTouchesOnlyDataDisk) {
+  Rig rig;
+  rig.Do(DiskOp::kRead, 0, 8);
+  uint64_t total_ops = 0;
+  for (auto& d : rig.sim_disks) {
+    total_ops += d->ops_completed();
+  }
+  EXPECT_EQ(total_ops, 1u);
+  EXPECT_EQ(rig.controller->stats().reads_completed, 1u);
+}
+
+TEST(Raid5Controller, SmallWriteIsFourAccesses) {
+  Rig rig;
+  rig.Do(DiskOp::kWrite, 0, 8);
+  rig.Drain();
+  uint64_t total_ops = 0;
+  for (auto& d : rig.sim_disks) {
+    total_ops += d->ops_completed();
+  }
+  // Read old data + read old parity + write data + write parity.
+  EXPECT_EQ(total_ops, 4u);
+  EXPECT_EQ(rig.controller->stats().rmw_writes, 1u);
+}
+
+TEST(Raid5Controller, SmallWriteSlowerThanStripeWrite) {
+  Rig rig;
+  const SimTime write_done = rig.Do(DiskOp::kWrite, 160, 8);
+  Rig rig2;
+  const SimTime read_done = rig2.Do(DiskOp::kRead, 160, 8);
+  // The RMW write costs roughly a full extra rotation beyond a read.
+  EXPECT_GT(write_done - 0, read_done + 3000);
+}
+
+TEST(Raid5Controller, DegradedReadFansOutToPeers) {
+  Rig rig;
+  const auto frag = rig.layout->Map(0, 8)[0];
+  rig.controller->FailDisk(frag.data_disk);
+  rig.Do(DiskOp::kRead, 0, 8);
+  EXPECT_EQ(rig.controller->stats().degraded_reads, 1u);
+  uint64_t total_ops = 0;
+  for (auto& d : rig.sim_disks) {
+    total_ops += d->ops_completed();
+  }
+  EXPECT_EQ(total_ops, 3u);  // N-1 surviving members
+}
+
+TEST(Raid5Controller, DegradedWriteToLostParityJustWritesData) {
+  Rig rig;
+  const auto frag = rig.layout->Map(0, 8)[0];
+  rig.controller->FailDisk(frag.parity_disk);
+  rig.Do(DiskOp::kWrite, 0, 8);
+  rig.Drain();
+  EXPECT_EQ(rig.controller->stats().degraded_writes, 1u);
+  uint64_t total_ops = 0;
+  for (auto& d : rig.sim_disks) {
+    total_ops += d->ops_completed();
+  }
+  EXPECT_EQ(total_ops, 1u);
+}
+
+TEST(Raid5Controller, DegradedWriteToLostDataReconstructs) {
+  Rig rig;
+  const auto frag = rig.layout->Map(0, 8)[0];
+  rig.controller->FailDisk(frag.data_disk);
+  rig.Do(DiskOp::kWrite, 0, 8);
+  rig.Drain();
+  EXPECT_EQ(rig.controller->stats().degraded_writes, 1u);
+  // Reads the other 2 data units, writes parity.
+  uint64_t total_ops = 0;
+  for (auto& d : rig.sim_disks) {
+    total_ops += d->ops_completed();
+  }
+  EXPECT_EQ(total_ops, 3u);
+}
+
+TEST(Raid5Controller, RebuildRestoresRedundancy) {
+  Rig rig;
+  rig.controller->FailDisk(2);
+  SimTime rebuilt_at = -1;
+  rig.controller->Rebuild(2, [&](SimTime c) { rebuilt_at = c; });
+  while (rebuilt_at < 0) {
+    ASSERT_TRUE(rig.sim.Step());
+  }
+  EXPECT_EQ(rig.controller->stats().rebuilt_rows, rig.layout->num_rows());
+  EXPECT_FALSE(rig.controller->IsFailed(2));
+  // Reads are normal again.
+  const auto frag = rig.layout->Map(0, 8)[0];
+  (void)frag;
+  rig.Do(DiskOp::kRead, 0, 8);
+  EXPECT_EQ(rig.controller->stats().degraded_reads, 0u);
+}
+
+TEST(Raid5Controller, TrafficDuringRebuildStaysCorrect) {
+  Rig rig;
+  rig.controller->FailDisk(1);
+  SimTime rebuilt_at = -1;
+  rig.controller->Rebuild(1, [&](SimTime c) { rebuilt_at = c; });
+  // Issue reads across the array while the rebuild streams.
+  Rng rng(9);
+  int done = 0;
+  constexpr int kOps = 60;
+  for (int i = 0; i < kOps; ++i) {
+    const uint64_t lba =
+        rng.UniformU64(rig.layout->data_capacity_sectors() - 8);
+    rig.controller->Submit(DiskOp::kRead, lba, 8, [&](SimTime) { ++done; });
+  }
+  while (done < kOps || rebuilt_at < 0) {
+    ASSERT_TRUE(rig.sim.Step());
+  }
+  rig.Drain();
+  EXPECT_EQ(rig.controller->stats().reads_completed,
+            static_cast<uint64_t>(kOps));
+}
+
+TEST(Raid5Controller, RandomMixAllCompletes) {
+  Rig rig(5);
+  Rng rng(21);
+  int done = 0;
+  constexpr int kOps = 250;
+  for (int i = 0; i < kOps; ++i) {
+    const uint32_t sectors = 1 + static_cast<uint32_t>(rng.UniformU64(24));
+    const uint64_t lba =
+        rng.UniformU64(rig.layout->data_capacity_sectors() - sectors);
+    rig.controller->Submit(rng.Bernoulli(0.6) ? DiskOp::kRead : DiskOp::kWrite,
+                           lba, sectors, [&](SimTime) { ++done; });
+  }
+  while (done < kOps) {
+    ASSERT_TRUE(rig.sim.Step());
+  }
+  rig.Drain();
+  EXPECT_TRUE(rig.controller->Idle());
+  EXPECT_EQ(rig.controller->stats().reads_completed +
+                rig.controller->stats().writes_completed,
+            static_cast<uint64_t>(kOps));
+}
+
+}  // namespace
+}  // namespace mimdraid

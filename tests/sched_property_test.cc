@@ -1,0 +1,168 @@
+// Property tests for every scheduler: validity of picks, no starvation, and
+// policy-defining optimality properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/calib/predictor.h"
+#include "src/disk/sim_disk.h"
+#include "src/sched/scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace mimdraid {
+namespace {
+
+class SchedulerProperty : public ::testing::TestWithParam<SchedulerKind> {
+ protected:
+  SchedulerProperty()
+      : disk_(&sim_, MakeTestGeometry(), MakeTestSeekProfile(),
+              DiskNoiseModel::None(), 1, 0.0),
+        predictor_(&disk_, 0.0),
+        rng_(42) {
+    ctx_.now = 0;
+    ctx_.predictor = &predictor_;
+    ctx_.layout = &disk_.layout();
+  }
+
+  QueuedRequest RandomRequest(uint64_t id, int candidates) {
+    QueuedRequest r;
+    r.id = id;
+    r.op = rng_.Bernoulli(0.7) ? DiskOp::kRead : DiskOp::kWrite;
+    r.sectors = 1 + static_cast<uint32_t>(rng_.UniformU64(16));
+    for (int c = 0; c < candidates; ++c) {
+      r.candidate_lbas.push_back(
+          rng_.UniformU64(disk_.layout().num_data_sectors() - r.sectors));
+    }
+    r.arrival_us = static_cast<SimTime>(rng_.UniformU64(100000));
+    return r;
+  }
+
+  Simulator sim_;
+  SimDisk disk_;
+  OraclePredictor predictor_;
+  ScheduleContext ctx_;
+  Rng rng_;
+};
+
+TEST_P(SchedulerProperty, PickIsAlwaysValid) {
+  auto sched = MakeScheduler(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<QueuedRequest> queue;
+    const int n = 1 + static_cast<int>(rng_.UniformU64(12));
+    for (int i = 0; i < n; ++i) {
+      queue.push_back(RandomRequest(trial * 100 + i,
+                                    1 + static_cast<int>(rng_.UniformU64(3))));
+    }
+    ctx_.now = trial * 5000;
+    const SchedulerPick pick = sched->Pick(queue, ctx_);
+    ASSERT_LT(pick.queue_index, queue.size());
+    const auto& cands = queue[pick.queue_index].candidate_lbas;
+    EXPECT_NE(std::find(cands.begin(), cands.end(), pick.lba), cands.end());
+  }
+}
+
+TEST_P(SchedulerProperty, DrainsEveryRequestExactlyOnce) {
+  auto sched = MakeScheduler(GetParam());
+  std::vector<QueuedRequest> queue;
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 30; ++i) {
+    queue.push_back(RandomRequest(i + 1, 2));
+    ids.insert(i + 1);
+  }
+  SimTime now = 0;
+  while (!queue.empty()) {
+    ctx_.now = now;
+    const SchedulerPick pick = sched->Pick(queue, ctx_);
+    ASSERT_LT(pick.queue_index, queue.size());
+    EXPECT_EQ(ids.erase(queue[pick.queue_index].id), 1u);
+    queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick.queue_index));
+    now += 3000;
+  }
+  EXPECT_TRUE(ids.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, SchedulerProperty,
+    ::testing::Values(SchedulerKind::kFcfs, SchedulerKind::kSstf,
+                      SchedulerKind::kLook, SchedulerKind::kClook,
+                      SchedulerKind::kSatf, SchedulerKind::kAsatf,
+                      SchedulerKind::kRlook, SchedulerKind::kRsatf),
+    [](const auto& info) { return SchedulerKindName(info.param); });
+
+// Policy-specific optimality: SATF's pick minimizes the predicted effective
+// service time over primary candidates; RSATF over all candidates.
+TEST(SchedulerOptimality, SatfMinimizesOverPrimaries) {
+  Simulator sim;
+  SimDisk disk(&sim, MakeTestGeometry(), MakeTestSeekProfile(),
+               DiskNoiseModel::None(), 1, 0.0);
+  OraclePredictor predictor(&disk, 0.0);
+  ScheduleContext ctx{12345, &predictor, &disk.layout()};
+  Rng rng(7);
+  auto satf = MakeScheduler(SchedulerKind::kSatf);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<QueuedRequest> queue;
+    for (int i = 0; i < 8; ++i) {
+      QueuedRequest r;
+      r.id = i + 1;
+      r.op = DiskOp::kRead;
+      r.sectors = 4;
+      r.candidate_lbas = {rng.UniformU64(disk.num_sectors() - 4)};
+      queue.push_back(std::move(r));
+    }
+    ctx.now = trial * 7777;
+    const SchedulerPick pick = satf->Pick(queue, ctx);
+    double best = 1e18;
+    for (const QueuedRequest& r : queue) {
+      const AccessPlan plan =
+          predictor.Predict(ctx.now, r.candidate_lbas[0], r.sectors, false);
+      best = std::min(best, predictor.EffectiveServiceUs(plan));
+    }
+    const AccessPlan chosen = predictor.Predict(
+        ctx.now, pick.lba, queue[pick.queue_index].sectors, false);
+    EXPECT_DOUBLE_EQ(predictor.EffectiveServiceUs(chosen), best);
+  }
+}
+
+// RLOOK's request choice matches plain LOOK's; only the replica differs.
+TEST(SchedulerOptimality, RlookFollowsLookRequestOrder) {
+  Simulator sim;
+  SimDisk disk(&sim, MakeTestGeometry(), MakeTestSeekProfile(),
+               DiskNoiseModel::None(), 1, 0.0);
+  OraclePredictor predictor(&disk, 0.0);
+  ScheduleContext ctx{0, &predictor, &disk.layout()};
+  Rng rng(9);
+  auto rlook = MakeScheduler(SchedulerKind::kRlook);
+  auto look = MakeScheduler(SchedulerKind::kLook);
+  std::vector<QueuedRequest> q1;
+  std::vector<QueuedRequest> q2;
+  for (int i = 0; i < 20; ++i) {
+    QueuedRequest r;
+    r.id = i + 1;
+    r.op = DiskOp::kRead;
+    r.sectors = 1;
+    const uint64_t primary = rng.UniformU64(disk.num_sectors() - 1);
+    r.candidate_lbas = {primary};
+    q2.push_back(r);  // LOOK sees only the primary
+    // RLOOK also sees a same-cylinder alternate.
+    const Chs chs = disk.layout().ToChs(primary);
+    const uint32_t other_head = (chs.head + 1) % 4;
+    const uint64_t alt =
+        disk.layout().ToLba(Chs{chs.cylinder, other_head, chs.sector});
+    if (alt != kInvalidLba) {
+      r.candidate_lbas.push_back(alt);
+    }
+    q1.push_back(std::move(r));
+  }
+  while (!q1.empty()) {
+    const SchedulerPick p1 = rlook->Pick(q1, ctx);
+    const SchedulerPick p2 = look->Pick(q2, ctx);
+    EXPECT_EQ(q1[p1.queue_index].id, q2[p2.queue_index].id);
+    q1.erase(q1.begin() + static_cast<ptrdiff_t>(p1.queue_index));
+    q2.erase(q2.begin() + static_cast<ptrdiff_t>(p2.queue_index));
+  }
+}
+
+}  // namespace
+}  // namespace mimdraid

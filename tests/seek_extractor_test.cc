@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/calib/calibration.h"
+#include "src/calib/seek_extractor.h"
+#include "src/disk/sim_disk.h"
+#include "src/sim/simulator.h"
+
+namespace mimdraid {
+namespace {
+
+TEST(FitSeekProfile, RecoversSyntheticCurve) {
+  const SeekProfile truth = MakeSt39133SeekProfile();
+  std::vector<std::pair<uint32_t, double>> samples;
+  for (uint32_t d : {1u,   2u,   4u,    8u,    16u,   32u,  64u,  128u, 256u,
+                     512u, 900u, 1400u, 2000u, 3000u, 4500u, 6000u}) {
+    samples.emplace_back(d, truth.SeekUs(d, false));
+  }
+  const SeekProfile fit = FitSeekProfile(samples, 900.0, 800.0);
+  for (uint32_t d : {3u, 10u, 100u, 1000u, 2500u, 5000u}) {
+    EXPECT_NEAR(fit.SeekUs(d, false), truth.SeekUs(d, false),
+                0.06 * truth.SeekUs(d, false) + 40.0)
+        << "d=" << d;
+  }
+  EXPECT_DOUBLE_EQ(fit.head_switch_us, 900.0);
+  EXPECT_DOUBLE_EQ(fit.write_settle_us, 800.0);
+}
+
+TEST(FitSeekProfile, HandlesNoisySamples) {
+  const SeekProfile truth = MakeTestSeekProfile();
+  std::vector<std::pair<uint32_t, double>> samples;
+  uint64_t state = 99;
+  auto noise = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (static_cast<double>(state >> 40) / (1 << 24) - 0.5) * 80.0;
+  };
+  for (uint32_t d : {1u, 2u, 3u, 5u, 8u, 12u, 16u, 24u, 32u, 45u, 59u}) {
+    samples.emplace_back(d, truth.SeekUs(d, false) + noise());
+  }
+  const SeekProfile fit = FitSeekProfile(samples, 300.0, 200.0);
+  for (uint32_t d : {4u, 20u, 50u}) {
+    EXPECT_NEAR(fit.SeekUs(d, false), truth.SeekUs(d, false), 120.0);
+  }
+}
+
+class ExtractorTest : public ::testing::Test {
+ protected:
+  ExtractorTest()
+      : disk_(&sim_, MakeTestGeometry(), MakeTestSeekProfile(),
+              DiskNoiseModel::Prototype(), /*seed=*/31,
+              /*spindle_phase_us=*/222.0),
+        sync_(&sim_, &disk_) {
+    CalibrationOptions options;
+    options.extract_seek_profile = false;
+    cal_ = CalibrateDisk(&sim_, &disk_, options);
+    spindle_phase_ = SpindlePhaseFromLattice(disk_.layout(), 0,
+                                             cal_.lattice_phase_us,
+                                             cal_.rotation_us);
+  }
+
+  Simulator sim_;
+  SimDisk disk_;
+  SyncDisk sync_;
+  CalibrationResult cal_;
+  double spindle_phase_ = 0.0;
+};
+
+TEST_F(ExtractorTest, MeasuredSeekTracksTruthPlusOverhead) {
+  SeekCurveExtractor extractor(&sync_, &disk_.layout(), cal_.rotation_us,
+                               spindle_phase_);
+  SeekExtractionOptions options;
+  options.searches_per_distance = 3;
+  const SeekProfile truth = MakeTestSeekProfile();
+  const DiskNoiseModel noise = DiskNoiseModel::Prototype();
+  for (uint32_t d : {2u, 10u, 40u}) {
+    const double measured = extractor.MeasureSeekUs(5, 5 + d, false, options);
+    // Effective seek = mechanical seek + mean pre-access overhead.
+    const double expected = truth.SeekUs(d, false) + noise.overhead_mean_us;
+    EXPECT_NEAR(measured, expected, 160.0) << "d=" << d;
+  }
+}
+
+TEST_F(ExtractorTest, HeadSwitchMeasured) {
+  SeekCurveExtractor extractor(&sync_, &disk_.layout(), cal_.rotation_us,
+                               spindle_phase_);
+  SeekExtractionOptions options;
+  const double measured = extractor.MeasureHeadSwitchUs(options);
+  const DiskNoiseModel noise = DiskNoiseModel::Prototype();
+  EXPECT_NEAR(measured, 300.0 + noise.overhead_mean_us, 160.0);
+}
+
+TEST_F(ExtractorTest, FullProfileExtraction) {
+  SeekCurveExtractor extractor(&sync_, &disk_.layout(), cal_.rotation_us,
+                               spindle_phase_);
+  SeekExtractionOptions options;
+  options.num_distances = 10;
+  const SeekProfile profile = extractor.ExtractProfile(options);
+  const SeekProfile truth = MakeTestSeekProfile();
+  const DiskNoiseModel noise = DiskNoiseModel::Prototype();
+  for (uint32_t d : {3u, 15u, 30u, 50u}) {
+    EXPECT_NEAR(profile.SeekUs(d, false),
+                truth.SeekUs(d, false) + noise.overhead_mean_us, 250.0)
+        << "d=" << d;
+  }
+  // Write settle within a couple hundred microseconds of truth.
+  EXPECT_NEAR(profile.write_settle_us, truth.write_settle_us, 250.0);
+}
+
+}  // namespace
+}  // namespace mimdraid

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/disk/seek_profile.h"
+
+namespace mimdraid {
+namespace {
+
+TEST(SeekProfile, ZeroDistanceIsFree) {
+  const SeekProfile p = MakeSt39133SeekProfile();
+  EXPECT_EQ(p.SeekUs(0, false), 0.0);
+  EXPECT_EQ(p.SeekUs(0, true), 0.0);
+}
+
+TEST(SeekProfile, St39133WellFormed) {
+  EXPECT_TRUE(MakeSt39133SeekProfile().WellFormed());
+  EXPECT_TRUE(MakeTestSeekProfile().WellFormed());
+}
+
+TEST(SeekProfile, MonotoneNonDecreasing) {
+  const SeekProfile p = MakeSt39133SeekProfile();
+  double prev = 0.0;
+  for (uint32_t d = 1; d < 6962; d += 13) {
+    const double t = p.SeekUs(d, false);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(SeekProfile, WritesPaySettle) {
+  const SeekProfile p = MakeSt39133SeekProfile();
+  EXPECT_DOUBLE_EQ(p.SeekUs(100, true) - p.SeekUs(100, false),
+                   p.write_settle_us);
+}
+
+TEST(SeekProfile, ContinuousAtBoundary) {
+  const SeekProfile p = MakeSt39133SeekProfile();
+  const double below = p.SeekUs(p.boundary_cylinders - 1, false);
+  const double at = p.SeekUs(p.boundary_cylinders, false);
+  EXPECT_NEAR(below, at, 60.0);
+}
+
+TEST(SeekProfile, FullStrokeNearTenMs) {
+  const SeekProfile p = MakeSt39133SeekProfile();
+  const double max = p.MaxSeekUs(6962);
+  EXPECT_GT(max, 8500.0);
+  EXPECT_LT(max, 11000.0);
+}
+
+TEST(SeekProfile, AverageRandomSeekNearSpec) {
+  // Table 1: 5.2 ms average read seek. Our synthetic profile lands nearby.
+  const SeekProfile p = MakeSt39133SeekProfile();
+  const double avg = p.AverageRandomSeekUs(6962);
+  EXPECT_GT(avg, 4200.0);
+  EXPECT_LT(avg, 6300.0);
+}
+
+TEST(SeekProfile, AverageBelowMaxAboveMin) {
+  const SeekProfile p = MakeTestSeekProfile();
+  const double avg = p.AverageRandomSeekUs(60);
+  EXPECT_GT(avg, p.SeekUs(1, false) * 0.3);
+  EXPECT_LT(avg, p.MaxSeekUs(60));
+}
+
+TEST(SeekProfile, ShortRegimeIsSqrtShaped) {
+  const SeekProfile p = MakeSt39133SeekProfile();
+  // Doubling a short distance should increase time by ~sqrt(2)x on the
+  // variable part.
+  const double t100 = p.SeekUs(100, false) - p.short_a_us;
+  const double t400 = p.SeekUs(400, false) - p.short_a_us;
+  EXPECT_NEAR(t400 / t100, 2.0, 0.01);
+}
+
+TEST(SeekProfile, LongRegimeIsLinear) {
+  const SeekProfile p = MakeSt39133SeekProfile();
+  const double t2000 = p.SeekUs(2000, false);
+  const double t4000 = p.SeekUs(4000, false);
+  const double t6000 = p.SeekUs(6000, false);
+  EXPECT_NEAR(t4000 - t2000, t6000 - t4000, 1e-6);
+}
+
+TEST(SeekProfile, NotWellFormedWhenDiscontinuous) {
+  SeekProfile p = MakeSt39133SeekProfile();
+  p.long_a_us += 500.0;
+  EXPECT_FALSE(p.WellFormed());
+}
+
+}  // namespace
+}  // namespace mimdraid

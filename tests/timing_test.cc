@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/disk/timing.h"
+
+namespace mimdraid {
+namespace {
+
+class TimingTest : public ::testing::Test {
+ protected:
+  TimingTest()
+      : geo_(MakeTestGeometry()),
+        layout_(&geo_),
+        profile_(MakeTestSeekProfile()),
+        model_(&layout_, profile_, /*spindle_phase_us=*/0.0) {}
+
+  DiskGeometry geo_;
+  DiskLayout layout_;
+  SeekProfile profile_;
+  DiskTimingModel model_;
+};
+
+TEST_F(TimingTest, SpindleAngleWrapsEveryRotation) {
+  EXPECT_DOUBLE_EQ(model_.SpindleAngleAt(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model_.SpindleAngleAt(3000.0), 0.5);
+  EXPECT_DOUBLE_EQ(model_.SpindleAngleAt(6000.0), 0.0);
+  EXPECT_DOUBLE_EQ(model_.SpindleAngleAt(9000.0), 0.5);
+}
+
+TEST_F(TimingTest, SpindlePhaseShiftsAngle) {
+  DiskTimingModel shifted(&layout_, profile_, /*spindle_phase_us=*/1500.0);
+  EXPECT_DOUBLE_EQ(shifted.SpindleAngleAt(1500.0), 0.0);
+  EXPECT_DOUBLE_EQ(shifted.SpindleAngleAt(3000.0), 0.25);
+}
+
+TEST_F(TimingTest, TimeUntilAngleNonNegativeAndBounded) {
+  for (double t : {0.0, 123.4, 5999.0, 77777.7}) {
+    for (double a : {0.0, 0.3, 0.9}) {
+      const double w = model_.TimeUntilAngle(t, a);
+      EXPECT_GE(w, 0.0);
+      EXPECT_LT(w, 6000.0 + 1e-6);
+    }
+  }
+}
+
+TEST_F(TimingTest, SingleSectorOnCurrentTrackCostsLessThanRotation) {
+  const Chs chs = layout_.ToChs(0);
+  const HeadState at{chs.cylinder, chs.head};
+  const AccessPlan plan = model_.Plan(at, 100.0, 0, 1, false);
+  EXPECT_EQ(plan.seek_us, 0.0);
+  EXPECT_LT(plan.total_us, 6000.0 + 1e-6);
+  EXPECT_DOUBLE_EQ(plan.transfer_us, 6000.0 / 40);
+}
+
+TEST_F(TimingTest, RotationalWaitMatchesSlotPosition) {
+  const Chs chs = layout_.ToChs(5);
+  const HeadState at{chs.cylinder, chs.head};
+  const uint32_t slot = layout_.SlotOf(chs);
+  const double slot_angle = static_cast<double>(slot) / 40;
+  const double start = 250.0;
+  const AccessPlan plan = model_.Plan(at, start, 5, 1, false);
+  const double expected_wait = model_.TimeUntilAngle(start, slot_angle);
+  EXPECT_NEAR(plan.rotational_us, expected_wait, 1e-9);
+}
+
+TEST_F(TimingTest, FullTrackReadTakesOneRotationPlusWait) {
+  // Reading all 40 sectors of a track: transfer = exactly one rotation.
+  const Chs chs = layout_.ToChs(0);
+  const HeadState at{chs.cylinder, chs.head};
+  const AccessPlan plan = model_.Plan(at, 0.0, 0, 40, false);
+  EXPECT_DOUBLE_EQ(plan.transfer_us, 6000.0);
+}
+
+TEST_F(TimingTest, TrackCrossingUsesHeadSwitchNotSeek) {
+  // A transfer spanning two tracks of the same cylinder pays one head switch.
+  const uint64_t lba = 38;  // track 0 holds LBAs 0..39 (cyl 0, head 1)
+  const Chs chs = layout_.ToChs(lba);
+  const HeadState at{chs.cylinder, chs.head};
+  const AccessPlan plan = model_.Plan(at, 0.0, lba, 4, false);
+  EXPECT_DOUBLE_EQ(plan.seek_us, profile_.head_switch_us);
+}
+
+TEST_F(TimingTest, SkewAbsorbsHeadSwitchForSequentialTransfer) {
+  // With proper skew, a cross-track sequential read does not lose a
+  // rotation: total < transfer + switch + skew-gap + one slot.
+  const uint64_t lba = 35;
+  const Chs chs = layout_.ToChs(lba);
+  const HeadState at{chs.cylinder, chs.head};
+  // Start aligned so the first sector is reachable without wait.
+  const double slot_angle = layout_.AngleOf(chs);
+  const double start = model_.TimeUntilAngle(0.0, slot_angle);
+  const AccessPlan plan = model_.Plan(at, start, lba, 10, false);
+  const double slot_us = 6000.0 / 40;
+  const double skew_gap = geo_.zones[0].track_skew * slot_us;
+  EXPECT_LT(plan.total_us, 10 * slot_us + skew_gap + slot_us + 1e-6);
+  // And strictly less than a full extra rotation.
+  EXPECT_LT(plan.total_us, 10 * slot_us + 6000.0);
+}
+
+TEST_F(TimingTest, SeekChargedForCylinderMove) {
+  const Chs chs = layout_.ToChs(0);
+  const HeadState far_away{chs.cylinder + 20, chs.head};
+  const AccessPlan plan = model_.Plan(far_away, 0.0, 0, 1, false);
+  EXPECT_DOUBLE_EQ(plan.seek_us, profile_.SeekUs(20, false));
+}
+
+TEST_F(TimingTest, WriteSeekIncludesSettle) {
+  const Chs chs = layout_.ToChs(0);
+  const HeadState far_away{chs.cylinder + 20, chs.head};
+  const AccessPlan r = model_.Plan(far_away, 0.0, 0, 1, false);
+  const AccessPlan w = model_.Plan(far_away, 0.0, 0, 1, true);
+  EXPECT_DOUBLE_EQ(w.seek_us - r.seek_us, profile_.write_settle_us);
+}
+
+TEST_F(TimingTest, EndStateAtLastSectorTrack) {
+  const uint64_t lba = 38;
+  const Chs last = layout_.ToChs(lba + 3);
+  const Chs first = layout_.ToChs(lba);
+  const HeadState at{first.cylinder, first.head};
+  const AccessPlan plan = model_.Plan(at, 0.0, lba, 4, false);
+  EXPECT_EQ(plan.end_state.cylinder, last.cylinder);
+  EXPECT_EQ(plan.end_state.head, last.head);
+}
+
+TEST_F(TimingTest, TotalIsSumOfParts) {
+  const HeadState at{10, 0};
+  const AccessPlan plan = model_.Plan(at, 1234.0, 500, 8, false);
+  EXPECT_NEAR(plan.total_us,
+              plan.seek_us + plan.rotational_us + plan.transfer_us, 1e-9);
+}
+
+TEST_F(TimingTest, DeterministicForSameInputs) {
+  const HeadState at{3, 1};
+  const AccessPlan a = model_.Plan(at, 777.0, 444, 16, false);
+  const AccessPlan b = model_.Plan(at, 777.0, 444, 16, false);
+  EXPECT_EQ(a.total_us, b.total_us);
+  EXPECT_EQ(a.rotational_us, b.rotational_us);
+}
+
+TEST_F(TimingTest, RemappedSectorBreaksRun) {
+  layout_.AddBadSector(20);
+  const Chs chs = layout_.ToChs(18);
+  const HeadState at{chs.cylinder, chs.head};
+  // Reading 18..21 must detour to the spare track and back.
+  const AccessPlan plan = model_.Plan(at, 0.0, 18, 4, false);
+  // The detour pays at least one extra positioning (head switch or seek).
+  EXPECT_GT(plan.seek_us, 0.0);
+}
+
+TEST_F(TimingTest, RotationOverrideChangesPeriod) {
+  DiskTimingModel fast(&layout_, profile_, 0.0, /*rotation_us_override=*/5000.0);
+  EXPECT_DOUBLE_EQ(fast.rotation_us(), 5000.0);
+  EXPECT_DOUBLE_EQ(fast.SpindleAngleAt(2500.0), 0.5);
+}
+
+}  // namespace
+}  // namespace mimdraid

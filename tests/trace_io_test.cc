@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/workload/synthetic.h"
+#include "src/workload/trace_io.h"
+
+namespace mimdraid {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  SyntheticTraceParams params = CelloBaseParams(600, 77);
+  params.dataset_sectors = 500'000;
+  params.io_per_s = 50.0;
+  const Trace original = GenerateSyntheticTrace(params);
+  ASSERT_GT(original.records.size(), 100u);
+
+  const std::string path = TempPath("roundtrip.trace");
+  ASSERT_TRUE(SaveTrace(original, path));
+  Trace loaded;
+  ASSERT_TRUE(LoadTrace(path, &loaded));
+
+  EXPECT_EQ(loaded.name, original.name);
+  EXPECT_EQ(loaded.dataset_sectors, original.dataset_sectors);
+  ASSERT_EQ(loaded.records.size(), original.records.size());
+  for (size_t i = 0; i < loaded.records.size(); i += 17) {
+    EXPECT_EQ(loaded.records[i].time_us, original.records[i].time_us);
+    EXPECT_EQ(loaded.records[i].is_write, original.records[i].is_write);
+    EXPECT_EQ(loaded.records[i].is_async, original.records[i].is_async);
+    EXPECT_EQ(loaded.records[i].lba, original.records[i].lba);
+    EXPECT_EQ(loaded.records[i].sectors, original.records[i].sectors);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsMissingFile) {
+  Trace t;
+  EXPECT_FALSE(LoadTrace(TempPath("does-not-exist.trace"), &t));
+}
+
+TEST(TraceIo, LoadRejectsBadHeader) {
+  const std::string path = TempPath("bad-header.trace");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "not a trace\n");
+  std::fclose(f);
+  Trace t;
+  EXPECT_FALSE(LoadTrace(path, &t));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsOutOfRangeRecord) {
+  const std::string path = TempPath("bad-record.trace");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "# mimdraid-trace v1 x 1000\n");
+  std::fprintf(f, "0 R 999 8\n");  // 999+8 > 1000
+  std::fclose(f);
+  Trace t;
+  EXPECT_FALSE(LoadTrace(path, &t));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadRejectsBadOpCode) {
+  const std::string path = TempPath("bad-op.trace");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "# mimdraid-trace v1 x 1000\n");
+  std::fprintf(f, "0 X 0 8\n");
+  std::fclose(f);
+  Trace t;
+  EXPECT_FALSE(LoadTrace(path, &t));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, SaveRejectsUnwritablePath) {
+  Trace t;
+  t.dataset_sectors = 10;
+  EXPECT_FALSE(SaveTrace(t, "/nonexistent-dir/x.trace"));
+}
+
+}  // namespace
+}  // namespace mimdraid

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/summary.h"
+#include "src/util/time.h"
+
+namespace mimdraid {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformU64InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformU64CoversAllResidues) {
+  Rng rng(7);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    counts[rng.UniformU64(7)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);  // roughly uniform (expected 1000)
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnit) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(250.0);
+  }
+  EXPECT_NEAR(sum / n, 250.0, 6.0);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(19);
+  Summary s;
+  for (int i = 0; i < 50000; ++i) {
+    s.Add(rng.Normal(100.0, 15.0));
+  }
+  EXPECT_NEAR(s.mean(), 100.0, 0.5);
+  EXPECT_NEAR(s.stddev(), 15.0, 0.5);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(29);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, SampleInRange) {
+  Rng rng(37);
+  ZipfSampler zipf(100, 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 100u);
+  }
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  Rng rng(41);
+  ZipfSampler zipf(1000, 1.0);
+  int first_decile = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) < 100) {
+      ++first_decile;
+    }
+  }
+  // For theta=1 over 1000 items, the top 10% carries ~62% of the mass.
+  EXPECT_GT(first_decile, n / 2);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Rng rng(43);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 2000, 300);
+  }
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Rng rng(47);
+  Summary all;
+  Summary a;
+  Summary b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Normal(10, 3);
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.Add(5.0);
+  Summary empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(UsFromMs(2.5), 2500);
+  EXPECT_DOUBLE_EQ(MsFromUs(2500), 2.5);
+  EXPECT_EQ(UsFromSeconds(1.5), 1'500'000);
+  EXPECT_DOUBLE_EQ(SecondsFromUs(1'500'000), 1.5);
+}
+
+}  // namespace
+}  // namespace mimdraid

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "src/workload/drivers.h"
+#include "src/workload/synthetic.h"
+#include "src/workload/trace.h"
+
+namespace mimdraid {
+namespace {
+
+Trace SmallTrace() {
+  SyntheticTraceParams p = CelloBaseParams(/*duration_s=*/3600, /*seed=*/3);
+  p.dataset_sectors = 1'000'000;
+  p.io_per_s = 20.0;
+  return GenerateSyntheticTrace(p);
+}
+
+TEST(Synthetic, GeneratesRequestedRate) {
+  const Trace t = SmallTrace();
+  const TraceStats s = ComputeTraceStats(t);
+  EXPECT_NEAR(s.io_rate_per_s, 20.0, 2.0);
+}
+
+TEST(Synthetic, RecordsSortedInTime) {
+  const Trace t = SmallTrace();
+  for (size_t i = 1; i < t.records.size(); ++i) {
+    EXPECT_LE(t.records[i - 1].time_us, t.records[i].time_us);
+  }
+}
+
+TEST(Synthetic, RequestsWithinDataset) {
+  const Trace t = SmallTrace();
+  for (const TraceRecord& r : t.records) {
+    EXPECT_LE(r.lba + r.sectors, t.dataset_sectors);
+    EXPECT_GT(r.sectors, 0u);
+  }
+}
+
+TEST(Synthetic, ReadFractionMatchesTarget) {
+  const Trace t = SmallTrace();
+  const TraceStats s = ComputeTraceStats(t);
+  EXPECT_NEAR(s.read_frac, 0.552, 0.03);
+}
+
+TEST(Synthetic, AsyncWritesQuantizedToSyncPeriod) {
+  const Trace t = SmallTrace();
+  int asyncs = 0;
+  for (const TraceRecord& r : t.records) {
+    if (r.is_async) {
+      ++asyncs;
+      EXPECT_EQ(r.time_us % 30'000'000, 0);
+    }
+  }
+  EXPECT_GT(asyncs, 0);
+}
+
+TEST(Synthetic, LocalityLandsNearTarget) {
+  const Trace t = SmallTrace();
+  const TraceStats s = ComputeTraceStats(t);
+  // Target L = 4.14; the mixture model should land within ~35%.
+  EXPECT_GT(s.seek_locality, 2.6);
+  EXPECT_LT(s.seek_locality, 6.5);
+}
+
+TEST(Synthetic, TpccIsNearlyUniform) {
+  SyntheticTraceParams p = TpccParams(/*duration_s=*/120, /*seed=*/5);
+  p.dataset_sectors = 4'000'000;
+  const Trace t = GenerateSyntheticTrace(p);
+  const TraceStats s = ComputeTraceStats(t);
+  EXPECT_LT(s.seek_locality, 1.6);
+  EXPECT_NEAR(s.io_rate_per_s, 500.0, 25.0);
+  EXPECT_EQ(s.async_write_frac, 0.0);
+}
+
+TEST(Synthetic, TpccHasReadAfterWriteReuse) {
+  SyntheticTraceParams p = TpccParams(/*duration_s=*/300, /*seed=*/6);
+  p.dataset_sectors = 4'000'000;
+  const Trace t = GenerateSyntheticTrace(p);
+  const TraceStats s = ComputeTraceStats(t);
+  EXPECT_GT(s.read_after_write_frac, 0.05);
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  const Trace a = SmallTrace();
+  const Trace b = SmallTrace();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); i += 37) {
+    EXPECT_EQ(a.records[i].lba, b.records[i].lba);
+    EXPECT_EQ(a.records[i].time_us, b.records[i].time_us);
+  }
+}
+
+TEST(TraceScaling, HalvesInterArrivalAtScaleTwo) {
+  const Trace t = SmallTrace();
+  const Trace fast = ScaleTraceRate(t, 2.0);
+  ASSERT_EQ(fast.records.size(), t.records.size());
+  EXPECT_NEAR(static_cast<double>(fast.DurationUs()),
+              static_cast<double>(t.DurationUs()) / 2.0, 2.0);
+}
+
+TEST(TraceStats, ComputesDataSize) {
+  Trace t;
+  t.dataset_sectors = 2'000'000;  // ~1 GB
+  t.records.push_back({0, false, false, 0, 8});
+  t.records.push_back({1'000'000, true, false, 100, 8});
+  const TraceStats s = ComputeTraceStats(t);
+  EXPECT_NEAR(s.data_size_gb, 1.024, 0.01);
+  EXPECT_EQ(s.io_count, 2u);
+  EXPECT_DOUBLE_EQ(s.read_frac, 0.5);
+}
+
+TEST(TraceStats, ReadAfterWriteDetectsRecentWrite) {
+  Trace t;
+  t.dataset_sectors = 10'000;
+  t.records.push_back({0, true, false, 64, 16});           // write
+  t.records.push_back({1'000'000, false, false, 64, 16});  // read soon after
+  t.records.push_back({2'000'000, false, false, 5'000, 16});  // unrelated
+  const TraceStats s = ComputeTraceStats(t);
+  EXPECT_NEAR(s.read_after_write_frac, 1.0 / 3.0, 1e-9);
+}
+
+// A trivially fast fake backend: completes everything after 1 ms.
+SubmitFn FakeBackend(Simulator* sim) {
+  return [sim](DiskOp, uint64_t, uint32_t, IoDoneFn done) {
+    sim->ScheduleAfter(1000, [sim, done = std::move(done)]() {
+      done(sim->Now());
+    });
+  };
+}
+
+TEST(TracePlayer, PlaysAllRecords) {
+  Simulator sim;
+  Trace t = SmallTrace();
+  t.records.resize(500);
+  TracePlayerOptions options;
+  options.warmup_ios = 10;
+  TracePlayer player(&sim, &t, FakeBackend(&sim), options);
+  const RunResult r = player.Run();
+  EXPECT_EQ(r.completed, 500u);
+  EXPECT_FALSE(r.saturated);
+  // Latency of the fake backend is exactly 1 ms.
+  EXPECT_NEAR(r.latency.MeanUs(), 1000.0, 1e-6);
+}
+
+TEST(TracePlayer, RateScaleCompressesElapsedTime) {
+  Simulator sim1;
+  Simulator sim2;
+  Trace t = SmallTrace();
+  t.records.resize(400);
+  TracePlayer slow(&sim1, &t, FakeBackend(&sim1), {});
+  TracePlayerOptions fast_options;
+  fast_options.rate_scale = 4.0;
+  TracePlayer fast(&sim2, &t, FakeBackend(&sim2), fast_options);
+  const RunResult a = slow.Run();
+  const RunResult b = fast.Run();
+  EXPECT_NEAR(static_cast<double>(a.elapsed_us) / 4.0,
+              static_cast<double>(b.elapsed_us),
+              static_cast<double>(a.elapsed_us) * 0.05);
+}
+
+TEST(TracePlayer, SaturationDetected) {
+  Simulator sim;
+  Trace t = SmallTrace();
+  t.records.resize(300);
+  // Backend that never completes anything within the run.
+  SubmitFn black_hole = [&sim](DiskOp, uint64_t, uint32_t, IoDoneFn done) {
+    sim.ScheduleAfter(100'000'000'000LL,
+                      [&sim, done = std::move(done)]() { done(sim.Now()); });
+  };
+  TracePlayerOptions options;
+  options.max_outstanding = 50;
+  TracePlayer player(&sim, &t, std::move(black_hole), options);
+  const RunResult r = player.Run();
+  EXPECT_TRUE(r.saturated);
+}
+
+TEST(ClosedLoop, CompletesMeasureOps) {
+  Simulator sim;
+  ClosedLoopOptions options;
+  options.outstanding = 4;
+  options.dataset_sectors = 100'000;
+  options.warmup_ops = 20;
+  options.measure_ops = 200;
+  ClosedLoopDriver driver(&sim, FakeBackend(&sim), options);
+  const RunResult r = driver.Run();
+  EXPECT_EQ(r.latency.count(), 200u);
+  // 4 outstanding, 1 ms each -> 4000 IOPS.
+  EXPECT_NEAR(r.iops, 4000.0, 100.0);
+}
+
+TEST(ClosedLoop, FootprintFractionRestrictsRange) {
+  Simulator sim;
+  uint64_t max_lba = 0;
+  SubmitFn recorder = [&](DiskOp, uint64_t lba, uint32_t, IoDoneFn done) {
+    max_lba = std::max(max_lba, lba);
+    sim.ScheduleAfter(10, [&sim, done = std::move(done)]() {
+      done(sim.Now());
+    });
+  };
+  ClosedLoopOptions options;
+  options.outstanding = 2;
+  options.dataset_sectors = 300'000;
+  options.footprint_frac = 1.0 / 3.0;
+  options.warmup_ops = 10;
+  options.measure_ops = 500;
+  ClosedLoopDriver driver(&sim, std::move(recorder), options);
+  driver.Run();
+  EXPECT_LE(max_lba, 100'000u);
+  EXPECT_GT(max_lba, 50'000u);
+}
+
+}  // namespace
+}  // namespace mimdraid
