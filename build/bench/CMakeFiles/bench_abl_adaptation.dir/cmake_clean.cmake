@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_adaptation.dir/bench_abl_adaptation.cc.o"
+  "CMakeFiles/bench_abl_adaptation.dir/bench_abl_adaptation.cc.o.d"
+  "bench_abl_adaptation"
+  "bench_abl_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_delayed_writes.dir/bench_abl_delayed_writes.cc.o"
+  "CMakeFiles/bench_abl_delayed_writes.dir/bench_abl_delayed_writes.cc.o.d"
+  "bench_abl_delayed_writes"
+  "bench_abl_delayed_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_delayed_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

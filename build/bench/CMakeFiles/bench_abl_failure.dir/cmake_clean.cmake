@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_failure.dir/bench_abl_failure.cc.o"
+  "CMakeFiles/bench_abl_failure.dir/bench_abl_failure.cc.o.d"
+  "bench_abl_failure"
+  "bench_abl_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_internal_sched.dir/bench_abl_internal_sched.cc.o"
+  "CMakeFiles/bench_abl_internal_sched.dir/bench_abl_internal_sched.cc.o.d"
+  "bench_abl_internal_sched"
+  "bench_abl_internal_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_internal_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_intratrack.dir/bench_abl_intratrack.cc.o"
+  "CMakeFiles/bench_abl_intratrack.dir/bench_abl_intratrack.cc.o.d"
+  "bench_abl_intratrack"
+  "bench_abl_intratrack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_intratrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_rotation.dir/bench_abl_rotation.cc.o"
+  "CMakeFiles/bench_abl_rotation.dir/bench_abl_rotation.cc.o.d"
+  "bench_abl_rotation"
+  "bench_abl_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_spindles.dir/bench_abl_spindles.cc.o"
+  "CMakeFiles/bench_abl_spindles.dir/bench_abl_spindles.cc.o.d"
+  "bench_abl_spindles"
+  "bench_abl_spindles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_spindles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

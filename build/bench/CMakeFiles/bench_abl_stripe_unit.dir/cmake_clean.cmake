@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_stripe_unit.dir/bench_abl_stripe_unit.cc.o"
+  "CMakeFiles/bench_abl_stripe_unit.dir/bench_abl_stripe_unit.cc.o.d"
+  "bench_abl_stripe_unit"
+  "bench_abl_stripe_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_stripe_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_cello_scaling.dir/bench_fig06_cello_scaling.cc.o"
+  "CMakeFiles/bench_fig06_cello_scaling.dir/bench_fig06_cello_scaling.cc.o.d"
+  "bench_fig06_cello_scaling"
+  "bench_fig06_cello_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_cello_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_schedulers.dir/bench_fig09_schedulers.cc.o"
+  "CMakeFiles/bench_fig09_schedulers.dir/bench_fig09_schedulers.cc.o.d"
+  "bench_fig09_schedulers"
+  "bench_fig09_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_prediction.dir/bench_tab2_prediction.cc.o"
+  "CMakeFiles/bench_tab2_prediction.dir/bench_tab2_prediction.cc.o.d"
+  "bench_tab2_prediction"
+  "bench_tab2_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

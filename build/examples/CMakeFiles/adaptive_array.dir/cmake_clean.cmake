@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_array.dir/adaptive_array.cpp.o"
+  "CMakeFiles/adaptive_array.dir/adaptive_array.cpp.o.d"
+  "adaptive_array"
+  "adaptive_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

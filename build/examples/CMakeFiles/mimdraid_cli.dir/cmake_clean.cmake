@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_cli.dir/mimdraid_cli.cpp.o"
+  "CMakeFiles/mimdraid_cli.dir/mimdraid_cli.cpp.o.d"
+  "mimdraid_cli"
+  "mimdraid_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/workload_tuning.cpp" "examples/CMakeFiles/workload_tuning.dir/workload_tuning.cpp.o" "gcc" "examples/CMakeFiles/workload_tuning.dir/workload_tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mimdraid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/mimdraid_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid5/CMakeFiles/mimdraid_raid5.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/mimdraid_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mimdraid_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mimdraid_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mimdraid_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mimdraid_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mimdraid_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/mimdraid_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mimdraid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mimdraid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapt/CMakeFiles/mimdraid_adapt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

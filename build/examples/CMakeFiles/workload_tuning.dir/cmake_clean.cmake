@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tuning.dir/workload_tuning.cpp.o"
+  "CMakeFiles/workload_tuning.dir/workload_tuning.cpp.o.d"
+  "workload_tuning"
+  "workload_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

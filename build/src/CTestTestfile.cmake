@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("disk")
+subdirs("calib")
+subdirs("sched")
+subdirs("stats")
+subdirs("workload")
+subdirs("cache")
+subdirs("model")
+subdirs("adapt")
+subdirs("raid5")
+subdirs("array")
+subdirs("core")

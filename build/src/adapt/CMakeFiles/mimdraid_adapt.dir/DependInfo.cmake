@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapt/advisor.cc" "src/adapt/CMakeFiles/mimdraid_adapt.dir/advisor.cc.o" "gcc" "src/adapt/CMakeFiles/mimdraid_adapt.dir/advisor.cc.o.d"
+  "/root/repo/src/adapt/workload_monitor.cc" "src/adapt/CMakeFiles/mimdraid_adapt.dir/workload_monitor.cc.o" "gcc" "src/adapt/CMakeFiles/mimdraid_adapt.dir/workload_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mimdraid_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/mimdraid_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mimdraid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mimdraid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

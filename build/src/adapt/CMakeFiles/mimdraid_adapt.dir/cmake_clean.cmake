@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_adapt.dir/advisor.cc.o"
+  "CMakeFiles/mimdraid_adapt.dir/advisor.cc.o.d"
+  "CMakeFiles/mimdraid_adapt.dir/workload_monitor.cc.o"
+  "CMakeFiles/mimdraid_adapt.dir/workload_monitor.cc.o.d"
+  "libmimdraid_adapt.a"
+  "libmimdraid_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

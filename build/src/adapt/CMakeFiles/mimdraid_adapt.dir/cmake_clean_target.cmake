@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmimdraid_adapt.a"
+)

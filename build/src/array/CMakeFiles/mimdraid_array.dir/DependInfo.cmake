@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/array_layout.cc" "src/array/CMakeFiles/mimdraid_array.dir/array_layout.cc.o" "gcc" "src/array/CMakeFiles/mimdraid_array.dir/array_layout.cc.o.d"
+  "/root/repo/src/array/controller.cc" "src/array/CMakeFiles/mimdraid_array.dir/controller.cc.o" "gcc" "src/array/CMakeFiles/mimdraid_array.dir/controller.cc.o.d"
+  "/root/repo/src/array/placement.cc" "src/array/CMakeFiles/mimdraid_array.dir/placement.cc.o" "gcc" "src/array/CMakeFiles/mimdraid_array.dir/placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/mimdraid_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mimdraid_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/mimdraid_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mimdraid_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mimdraid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mimdraid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

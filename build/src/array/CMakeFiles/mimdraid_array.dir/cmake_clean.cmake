@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_array.dir/array_layout.cc.o"
+  "CMakeFiles/mimdraid_array.dir/array_layout.cc.o.d"
+  "CMakeFiles/mimdraid_array.dir/controller.cc.o"
+  "CMakeFiles/mimdraid_array.dir/controller.cc.o.d"
+  "CMakeFiles/mimdraid_array.dir/placement.cc.o"
+  "CMakeFiles/mimdraid_array.dir/placement.cc.o.d"
+  "libmimdraid_array.a"
+  "libmimdraid_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

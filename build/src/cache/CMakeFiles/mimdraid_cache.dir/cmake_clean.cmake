@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_cache.dir/lru_cache.cc.o"
+  "CMakeFiles/mimdraid_cache.dir/lru_cache.cc.o.d"
+  "libmimdraid_cache.a"
+  "libmimdraid_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

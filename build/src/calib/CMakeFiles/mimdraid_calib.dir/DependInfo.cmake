@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calib/calibration.cc" "src/calib/CMakeFiles/mimdraid_calib.dir/calibration.cc.o" "gcc" "src/calib/CMakeFiles/mimdraid_calib.dir/calibration.cc.o.d"
+  "/root/repo/src/calib/predictor.cc" "src/calib/CMakeFiles/mimdraid_calib.dir/predictor.cc.o" "gcc" "src/calib/CMakeFiles/mimdraid_calib.dir/predictor.cc.o.d"
+  "/root/repo/src/calib/prober.cc" "src/calib/CMakeFiles/mimdraid_calib.dir/prober.cc.o" "gcc" "src/calib/CMakeFiles/mimdraid_calib.dir/prober.cc.o.d"
+  "/root/repo/src/calib/rotation_estimator.cc" "src/calib/CMakeFiles/mimdraid_calib.dir/rotation_estimator.cc.o" "gcc" "src/calib/CMakeFiles/mimdraid_calib.dir/rotation_estimator.cc.o.d"
+  "/root/repo/src/calib/seek_extractor.cc" "src/calib/CMakeFiles/mimdraid_calib.dir/seek_extractor.cc.o" "gcc" "src/calib/CMakeFiles/mimdraid_calib.dir/seek_extractor.cc.o.d"
+  "/root/repo/src/calib/sync_disk.cc" "src/calib/CMakeFiles/mimdraid_calib.dir/sync_disk.cc.o" "gcc" "src/calib/CMakeFiles/mimdraid_calib.dir/sync_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/mimdraid_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mimdraid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mimdraid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_calib.dir/calibration.cc.o"
+  "CMakeFiles/mimdraid_calib.dir/calibration.cc.o.d"
+  "CMakeFiles/mimdraid_calib.dir/predictor.cc.o"
+  "CMakeFiles/mimdraid_calib.dir/predictor.cc.o.d"
+  "CMakeFiles/mimdraid_calib.dir/prober.cc.o"
+  "CMakeFiles/mimdraid_calib.dir/prober.cc.o.d"
+  "CMakeFiles/mimdraid_calib.dir/rotation_estimator.cc.o"
+  "CMakeFiles/mimdraid_calib.dir/rotation_estimator.cc.o.d"
+  "CMakeFiles/mimdraid_calib.dir/seek_extractor.cc.o"
+  "CMakeFiles/mimdraid_calib.dir/seek_extractor.cc.o.d"
+  "CMakeFiles/mimdraid_calib.dir/sync_disk.cc.o"
+  "CMakeFiles/mimdraid_calib.dir/sync_disk.cc.o.d"
+  "libmimdraid_calib.a"
+  "libmimdraid_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mimdraid_calib.
+# This may be replaced when dependencies are built.

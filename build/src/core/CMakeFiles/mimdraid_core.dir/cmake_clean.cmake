@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_core.dir/adaptive_array.cc.o"
+  "CMakeFiles/mimdraid_core.dir/adaptive_array.cc.o.d"
+  "CMakeFiles/mimdraid_core.dir/experiment.cc.o"
+  "CMakeFiles/mimdraid_core.dir/experiment.cc.o.d"
+  "CMakeFiles/mimdraid_core.dir/mimd_raid.cc.o"
+  "CMakeFiles/mimdraid_core.dir/mimd_raid.cc.o.d"
+  "libmimdraid_core.a"
+  "libmimdraid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

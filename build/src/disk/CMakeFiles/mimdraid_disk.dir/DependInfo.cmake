@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/geometry.cc" "src/disk/CMakeFiles/mimdraid_disk.dir/geometry.cc.o" "gcc" "src/disk/CMakeFiles/mimdraid_disk.dir/geometry.cc.o.d"
+  "/root/repo/src/disk/layout.cc" "src/disk/CMakeFiles/mimdraid_disk.dir/layout.cc.o" "gcc" "src/disk/CMakeFiles/mimdraid_disk.dir/layout.cc.o.d"
+  "/root/repo/src/disk/queued_disk.cc" "src/disk/CMakeFiles/mimdraid_disk.dir/queued_disk.cc.o" "gcc" "src/disk/CMakeFiles/mimdraid_disk.dir/queued_disk.cc.o.d"
+  "/root/repo/src/disk/seek_profile.cc" "src/disk/CMakeFiles/mimdraid_disk.dir/seek_profile.cc.o" "gcc" "src/disk/CMakeFiles/mimdraid_disk.dir/seek_profile.cc.o.d"
+  "/root/repo/src/disk/sim_disk.cc" "src/disk/CMakeFiles/mimdraid_disk.dir/sim_disk.cc.o" "gcc" "src/disk/CMakeFiles/mimdraid_disk.dir/sim_disk.cc.o.d"
+  "/root/repo/src/disk/timing.cc" "src/disk/CMakeFiles/mimdraid_disk.dir/timing.cc.o" "gcc" "src/disk/CMakeFiles/mimdraid_disk.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mimdraid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mimdraid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_disk.dir/geometry.cc.o"
+  "CMakeFiles/mimdraid_disk.dir/geometry.cc.o.d"
+  "CMakeFiles/mimdraid_disk.dir/layout.cc.o"
+  "CMakeFiles/mimdraid_disk.dir/layout.cc.o.d"
+  "CMakeFiles/mimdraid_disk.dir/queued_disk.cc.o"
+  "CMakeFiles/mimdraid_disk.dir/queued_disk.cc.o.d"
+  "CMakeFiles/mimdraid_disk.dir/seek_profile.cc.o"
+  "CMakeFiles/mimdraid_disk.dir/seek_profile.cc.o.d"
+  "CMakeFiles/mimdraid_disk.dir/sim_disk.cc.o"
+  "CMakeFiles/mimdraid_disk.dir/sim_disk.cc.o.d"
+  "CMakeFiles/mimdraid_disk.dir/timing.cc.o"
+  "CMakeFiles/mimdraid_disk.dir/timing.cc.o.d"
+  "libmimdraid_disk.a"
+  "libmimdraid_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_model.dir/analytic.cc.o"
+  "CMakeFiles/mimdraid_model.dir/analytic.cc.o.d"
+  "CMakeFiles/mimdraid_model.dir/configurator.cc.o"
+  "CMakeFiles/mimdraid_model.dir/configurator.cc.o.d"
+  "libmimdraid_model.a"
+  "libmimdraid_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

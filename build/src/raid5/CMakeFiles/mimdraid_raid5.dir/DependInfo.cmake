@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raid5/raid5_controller.cc" "src/raid5/CMakeFiles/mimdraid_raid5.dir/raid5_controller.cc.o" "gcc" "src/raid5/CMakeFiles/mimdraid_raid5.dir/raid5_controller.cc.o.d"
+  "/root/repo/src/raid5/raid5_layout.cc" "src/raid5/CMakeFiles/mimdraid_raid5.dir/raid5_layout.cc.o" "gcc" "src/raid5/CMakeFiles/mimdraid_raid5.dir/raid5_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/mimdraid_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mimdraid_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mimdraid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mimdraid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

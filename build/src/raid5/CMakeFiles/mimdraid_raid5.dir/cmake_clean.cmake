@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_raid5.dir/raid5_controller.cc.o"
+  "CMakeFiles/mimdraid_raid5.dir/raid5_controller.cc.o.d"
+  "CMakeFiles/mimdraid_raid5.dir/raid5_layout.cc.o"
+  "CMakeFiles/mimdraid_raid5.dir/raid5_layout.cc.o.d"
+  "libmimdraid_raid5.a"
+  "libmimdraid_raid5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_raid5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmimdraid_raid5.a"
+)

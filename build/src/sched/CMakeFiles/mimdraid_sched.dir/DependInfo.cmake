@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/basic_schedulers.cc" "src/sched/CMakeFiles/mimdraid_sched.dir/basic_schedulers.cc.o" "gcc" "src/sched/CMakeFiles/mimdraid_sched.dir/basic_schedulers.cc.o.d"
+  "/root/repo/src/sched/positional_schedulers.cc" "src/sched/CMakeFiles/mimdraid_sched.dir/positional_schedulers.cc.o" "gcc" "src/sched/CMakeFiles/mimdraid_sched.dir/positional_schedulers.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/mimdraid_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/mimdraid_sched.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/mimdraid_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mimdraid_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mimdraid_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_sched.dir/basic_schedulers.cc.o"
+  "CMakeFiles/mimdraid_sched.dir/basic_schedulers.cc.o.d"
+  "CMakeFiles/mimdraid_sched.dir/positional_schedulers.cc.o"
+  "CMakeFiles/mimdraid_sched.dir/positional_schedulers.cc.o.d"
+  "CMakeFiles/mimdraid_sched.dir/scheduler.cc.o"
+  "CMakeFiles/mimdraid_sched.dir/scheduler.cc.o.d"
+  "libmimdraid_sched.a"
+  "libmimdraid_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_sim.dir/simulator.cc.o"
+  "CMakeFiles/mimdraid_sim.dir/simulator.cc.o.d"
+  "libmimdraid_sim.a"
+  "libmimdraid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_stats.dir/latency_recorder.cc.o"
+  "CMakeFiles/mimdraid_stats.dir/latency_recorder.cc.o.d"
+  "libmimdraid_stats.a"
+  "libmimdraid_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

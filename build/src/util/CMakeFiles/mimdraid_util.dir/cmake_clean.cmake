@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_util.dir/rng.cc.o"
+  "CMakeFiles/mimdraid_util.dir/rng.cc.o.d"
+  "libmimdraid_util.a"
+  "libmimdraid_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

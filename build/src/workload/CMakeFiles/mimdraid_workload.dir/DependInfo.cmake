@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/drivers.cc" "src/workload/CMakeFiles/mimdraid_workload.dir/drivers.cc.o" "gcc" "src/workload/CMakeFiles/mimdraid_workload.dir/drivers.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/mimdraid_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/mimdraid_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/mimdraid_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/mimdraid_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/mimdraid_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/mimdraid_workload.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/disk/CMakeFiles/mimdraid_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mimdraid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mimdraid_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mimdraid_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

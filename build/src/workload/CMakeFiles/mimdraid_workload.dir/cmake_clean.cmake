@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimdraid_workload.dir/drivers.cc.o"
+  "CMakeFiles/mimdraid_workload.dir/drivers.cc.o.d"
+  "CMakeFiles/mimdraid_workload.dir/synthetic.cc.o"
+  "CMakeFiles/mimdraid_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/mimdraid_workload.dir/trace.cc.o"
+  "CMakeFiles/mimdraid_workload.dir/trace.cc.o.d"
+  "CMakeFiles/mimdraid_workload.dir/trace_io.cc.o"
+  "CMakeFiles/mimdraid_workload.dir/trace_io.cc.o.d"
+  "libmimdraid_workload.a"
+  "libmimdraid_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimdraid_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

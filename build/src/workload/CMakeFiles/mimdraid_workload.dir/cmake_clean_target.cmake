@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmimdraid_workload.a"
+)

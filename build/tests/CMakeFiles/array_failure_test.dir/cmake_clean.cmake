@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_failure_test.dir/array_failure_test.cc.o"
+  "CMakeFiles/array_failure_test.dir/array_failure_test.cc.o.d"
+  "array_failure_test"
+  "array_failure_test.pdb"
+  "array_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_map_property_test.dir/array_map_property_test.cc.o"
+  "CMakeFiles/array_map_property_test.dir/array_map_property_test.cc.o.d"
+  "array_map_property_test"
+  "array_map_property_test.pdb"
+  "array_map_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_map_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

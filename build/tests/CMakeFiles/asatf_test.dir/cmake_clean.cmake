@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asatf_test.dir/asatf_test.cc.o"
+  "CMakeFiles/asatf_test.dir/asatf_test.cc.o.d"
+  "asatf_test"
+  "asatf_test.pdb"
+  "asatf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asatf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

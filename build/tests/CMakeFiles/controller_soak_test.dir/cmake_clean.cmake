@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_soak_test.dir/controller_soak_test.cc.o"
+  "CMakeFiles/controller_soak_test.dir/controller_soak_test.cc.o.d"
+  "controller_soak_test"
+  "controller_soak_test.pdb"
+  "controller_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

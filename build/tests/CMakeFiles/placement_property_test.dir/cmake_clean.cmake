@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_property_test.dir/placement_property_test.cc.o"
+  "CMakeFiles/placement_property_test.dir/placement_property_test.cc.o.d"
+  "placement_property_test"
+  "placement_property_test.pdb"
+  "placement_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

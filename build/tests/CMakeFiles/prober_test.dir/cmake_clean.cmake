@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prober_test.dir/prober_test.cc.o"
+  "CMakeFiles/prober_test.dir/prober_test.cc.o.d"
+  "prober_test"
+  "prober_test.pdb"
+  "prober_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prober_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

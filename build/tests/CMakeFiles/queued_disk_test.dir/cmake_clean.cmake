@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queued_disk_test.dir/queued_disk_test.cc.o"
+  "CMakeFiles/queued_disk_test.dir/queued_disk_test.cc.o.d"
+  "queued_disk_test"
+  "queued_disk_test.pdb"
+  "queued_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queued_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid5_test.dir/raid5_test.cc.o"
+  "CMakeFiles/raid5_test.dir/raid5_test.cc.o.d"
+  "raid5_test"
+  "raid5_test.pdb"
+  "raid5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

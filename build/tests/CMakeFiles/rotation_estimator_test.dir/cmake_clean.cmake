@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rotation_estimator_test.dir/rotation_estimator_test.cc.o"
+  "CMakeFiles/rotation_estimator_test.dir/rotation_estimator_test.cc.o.d"
+  "rotation_estimator_test"
+  "rotation_estimator_test.pdb"
+  "rotation_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rotation_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seek_extractor_test.dir/seek_extractor_test.cc.o"
+  "CMakeFiles/seek_extractor_test.dir/seek_extractor_test.cc.o.d"
+  "seek_extractor_test"
+  "seek_extractor_test.pdb"
+  "seek_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seek_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

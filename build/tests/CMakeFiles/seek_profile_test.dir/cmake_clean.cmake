@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seek_profile_test.dir/seek_profile_test.cc.o"
+  "CMakeFiles/seek_profile_test.dir/seek_profile_test.cc.o.d"
+  "seek_profile_test"
+  "seek_profile_test.pdb"
+  "seek_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seek_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
