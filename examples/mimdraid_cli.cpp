@@ -3,7 +3,7 @@
 //
 // Examples:
 //   ./mimdraid_cli --disks=6 --auto --workload=cello --report
-//   ./mimdraid_cli --ds=2 --dr=3 --sched=rsatf --workload=random \
+//   ./mimdraid_cli --ds=2 --dr=3 --sched=rsatf --workload=random
 //       --read-frac=0.7 --outstanding=16 --ops=5000
 //   ./mimdraid_cli --ds=9 --dr=4 --workload=tpcc --rate-scale=3
 //   ./mimdraid_cli --disks=6 --auto --trace=/tmp/my.trace

@@ -15,7 +15,8 @@ ArrayController::ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
       disks_(std::move(disks)),
       predictors_(std::move(predictors)),
       layout_(layout),
-      options_(options) {
+      options_(options),
+      auditor_(options.auditor) {
   MIMDRAID_CHECK(sim != nullptr);
   MIMDRAID_CHECK(layout != nullptr);
   MIMDRAID_CHECK_EQ(disks_.size(), layout->num_disks());
@@ -26,8 +27,16 @@ ArrayController::ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
   delayed_.resize(n);
   recalibration_events_.resize(n, 0);
   failed_.resize(n, false);
+  if (auditor_ != nullptr) {
+    sim_->set_auditor(auditor_);
+  }
   for (size_t i = 0; i < n; ++i) {
-    schedulers_.push_back(MakeScheduler(options.scheduler, options.max_scan));
+    auto scheduler = MakeScheduler(options.scheduler, options.max_scan);
+    if (auditor_ != nullptr) {
+      disks_[i]->SetAuditor(auditor_, static_cast<uint32_t>(i));
+      scheduler = MakeAuditedScheduler(std::move(scheduler), auditor_);
+    }
+    schedulers_.push_back(std::move(scheduler));
     if (options_.recalibration_interval_us > 0) {
       ScheduleRecalibration(static_cast<uint32_t>(i));
     }
@@ -48,6 +57,19 @@ size_t ArrayController::TotalQueued() const {
     total += q.size();
   }
   return total;
+}
+
+void ArrayController::AuditQuiescent() const {
+  if (auditor_ == nullptr) {
+    return;
+  }
+  size_t delayed_queued = 0;
+  for (const auto& q : delayed_) {
+    delayed_queued += q.size();
+  }
+  auditor_->CheckQuiescent(TotalQueued(), delayed_queued, nvram_.size(),
+                           stale_sectors_.size(), inflight_writes_.size(),
+                           parked_.size());
 }
 
 bool ArrayController::Idle() const {
@@ -81,6 +103,9 @@ void ArrayController::SubmitInternal(DiskOp op, uint64_t lba, uint32_t sectors,
 
   const uint64_t op_id = next_op_id_++;
   std::vector<ArrayFragment> fragments = layout_->Map(lba, sectors);
+  if (auditor_ != nullptr) {
+    AuditMappedFragments(lba, sectors, fragments);
+  }
   OpState& opstate = ops_[op_id];
   opstate.op = op;
   opstate.fragments_remaining = static_cast<uint32_t>(fragments.size());
@@ -298,7 +323,38 @@ void ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
 }
 
 void ArrayController::EnqueueFg(uint32_t disk, QueuedRequest entry) {
+  if (auditor_ != nullptr) {
+    auditor_->OnEntryQueued(disk, entry.id, entry.delayed);
+  }
   fg_[disk].push_back(std::move(entry));
+}
+
+void ArrayController::EnqueueDelayed(uint32_t disk, QueuedRequest entry) {
+  if (auditor_ != nullptr) {
+    auditor_->OnEntryQueued(disk, entry.id, entry.delayed);
+  }
+  delayed_[disk].push_back(std::move(entry));
+}
+
+void ArrayController::AuditMappedFragments(
+    uint64_t lba, uint32_t sectors,
+    const std::vector<ArrayFragment>& fragments) const {
+  std::vector<AuditFragment> audit_frags;
+  audit_frags.reserve(fragments.size());
+  for (const ArrayFragment& f : fragments) {
+    AuditFragment af;
+    af.logical_lba = f.logical_lba;
+    af.sectors = f.sectors;
+    af.replicas.reserve(f.replicas.size());
+    for (const ReplicaLocation& loc : f.replicas) {
+      af.replicas.push_back(AuditReplicaRef{loc.disk, loc.lba});
+    }
+    audit_frags.push_back(std::move(af));
+  }
+  auditor_->OnArrayMap(lba, sectors, layout_->aspect().dm,
+                       layout_->aspect().dr, layout_->num_disks(),
+                       disks_.empty() ? 0 : disks_[0]->num_sectors(),
+                       audit_frags);
 }
 
 void ArrayController::MaybeDispatch(uint32_t disk) {
@@ -317,6 +373,9 @@ void ArrayController::MaybeDispatch(uint32_t disk) {
   const SchedulerPick pick = schedulers_[disk]->Pick(queue, ctx);
   QueuedRequest entry = std::move(queue[pick.queue_index]);
   queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick.queue_index));
+  if (auditor_ != nullptr) {
+    auditor_->OnEntryDispatched(disk, entry.id);
+  }
 
   if (!entry.delayed && !entry.maintenance) {
     CancelSiblings(entry.tag, disk, entry.id);
@@ -360,6 +419,9 @@ void ArrayController::CancelSiblings(uint64_t frag_key, uint32_t winner_disk,
       if (q[i].id == entry_id) {
         q.erase(q.begin() + static_cast<ptrdiff_t>(i));
         ++stats_.read_duplicates_cancelled;
+        if (auditor_ != nullptr) {
+          auditor_->OnEntryCancelled(disk, entry_id);
+        }
         break;
       }
     }
@@ -370,6 +432,9 @@ void ArrayController::CancelSiblings(uint64_t frag_key, uint32_t winner_disk,
 void ArrayController::OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
                                       uint64_t chosen_lba,
                                       const DiskOpResult& result) {
+  if (auditor_ != nullptr) {
+    auditor_->OnEntryCompleted(disk, entry.id);
+  }
   if (entry.maintenance) {
     if (auto rit = rebuild_read_done_.find(entry.id);
         rit != rebuild_read_done_.end()) {
@@ -396,6 +461,9 @@ void ArrayController::OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
     // newer propagation to the same location was queued while this one was in
     // flight (the index then points at the newer entry).
     if (nvram_.EraseIfOwner(disk, chosen_lba, entry.id)) {
+      if (auditor_ != nullptr) {
+        auditor_->OnNvramErase(disk, chosen_lba);
+      }
       for (uint32_t s = 0; s < entry.sectors; ++s) {
         stale_sectors_.erase(ReplicaKey(disk, chosen_lba + s));
       }
@@ -481,6 +549,9 @@ void ArrayController::AddDelayedWrite(uint32_t disk, uint64_t lba,
       }
     }
     nvram_.Erase(disk, lba);  // in flight; fall through to re-queue
+    if (auditor_ != nullptr) {
+      auditor_->OnNvramErase(disk, lba);
+    }
   }
   QueuedRequest entry;
   entry.id = next_entry_id_++;
@@ -489,11 +560,17 @@ void ArrayController::AddDelayedWrite(uint32_t disk, uint64_t lba,
   entry.candidate_lbas = {lba};
   entry.arrival_us = sim_->Now();
   entry.delayed = true;
-  nvram_.Put(NvramEntry{disk, lba, sectors}, entry.id);
+  const uint64_t owner_id = entry.id;
+  // Queue registration precedes the table insert so the auditor sees the
+  // NVRAM entry owned by an already-live delayed entry.
+  EnqueueDelayed(disk, std::move(entry));
+  nvram_.Put(NvramEntry{disk, lba, sectors}, owner_id);
+  if (auditor_ != nullptr) {
+    auditor_->OnNvramPut(disk, lba, owner_id);
+  }
   for (uint32_t s = 0; s < sectors; ++s) {
     stale_sectors_.insert(ReplicaKey(disk, lba + s));
   }
-  delayed_[disk].push_back(std::move(entry));
   MaybeDispatch(disk);
 }
 
@@ -504,6 +581,9 @@ void ArrayController::CancelPendingDelayed(uint32_t disk, uint64_t lba) {
   }
   const std::optional<NvramEntry> record = nvram_.EntryOf(disk, lba);
   nvram_.Erase(disk, lba);
+  if (auditor_ != nullptr) {
+    auditor_->OnNvramErase(disk, lba);
+  }
   ++stats_.delayed_writes_discarded;
   // The entry may sit in the delayed queue or (if forced out) the FG queue.
   for (auto* q : {&delayed_[disk], &fg_[disk]}) {
@@ -513,12 +593,18 @@ void ArrayController::CancelPendingDelayed(uint32_t disk, uint64_t lba) {
           stale_sectors_.erase(ReplicaKey(disk, lba + s));
         }
         q->erase(q->begin() + static_cast<ptrdiff_t>(i));
+        if (auditor_ != nullptr) {
+          auditor_->OnEntryCancelled(disk, *owner);
+        }
         return;
       }
     }
   }
   // Entry already dispatched: it will complete and clear its own state.
   nvram_.Put(*record, *owner);
+  if (auditor_ != nullptr) {
+    auditor_->OnNvramPut(disk, lba, *owner);
+  }
 }
 
 void ArrayController::EnforceDelayedTableLimit() {
@@ -611,9 +697,16 @@ bool ArrayController::FailDisk(uint32_t disk) {
   std::vector<QueuedRequest> drained = std::move(delayed_[disk]);
   delayed_[disk].clear();
   for (const QueuedRequest& e : drained) {
-    nvram_.Erase(disk, e.candidate_lbas.front());
+    // Maintenance (rebuild) entries in the delayed queue carry no NVRAM
+    // record, so the erase legitimately misses for them.
+    if (nvram_.Erase(disk, e.candidate_lbas.front()) && auditor_ != nullptr) {
+      auditor_->OnNvramErase(disk, e.candidate_lbas.front());
+    }
     for (uint32_t s = 0; s < e.sectors; ++s) {
       stale_sectors_.erase(ReplicaKey(disk, e.candidate_lbas.front() + s));
+    }
+    if (auditor_ != nullptr) {
+      auditor_->OnEntryCancelled(disk, e.id);
     }
   }
   return true;
@@ -681,11 +774,11 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
               w.arrival_us = sim_->Now();
               w.maintenance = true;
               rebuild_write_done_[w.id] = after_write;
-              delayed_[loc.disk].push_back(std::move(w));
+              EnqueueDelayed(loc.disk, std::move(w));
               MaybeDispatch(loc.disk);
             }
           };
-      delayed_[source_disk].push_back(std::move(read_entry));
+      EnqueueDelayed(source_disk, std::move(read_entry));
       MaybeDispatch(source_disk);
       return;  // continue from the completion callbacks
     }

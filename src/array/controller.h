@@ -20,6 +20,7 @@
 #include "src/disk/access_predictor.h"
 #include "src/disk/sim_disk.h"
 #include "src/sched/scheduler.h"
+#include "src/sim/auditor.h"
 #include "src/sim/simulator.h"
 
 namespace mimdraid {
@@ -39,6 +40,13 @@ struct ArrayControllerOptions {
   // mode of Figures 5 and 13). When false, the write completes after the
   // first copy; the rest propagate in the background.
   bool foreground_write_propagation = false;
+  // Debug tripwire: when set, the controller wires this runtime
+  // invariant auditor into the simulator, every disk, and every per-drive
+  // scheduler, and reports queue/replica/NVRAM transitions to it (see
+  // src/sim/auditor.h). Borrowed; must outlive the controller. Auditing
+  // observes without altering any scheduling decision, so measured results
+  // are unchanged.
+  InvariantAuditor* auditor = nullptr;
 };
 
 struct ArrayStats {
@@ -94,6 +102,11 @@ class ArrayController {
   size_t QueueDepth(uint32_t disk) const { return fg_[disk].size(); }
   bool Idle() const;
 
+  // Runs the auditor's terminal consistency check (queues, NVRAM table,
+  // stale markers, parked reads must all be empty). Call once the array
+  // reports Idle(); a no-op when no auditor is attached.
+  void AuditQuiescent() const;
+
   // --- Disk failure and rebuild (the Section 2.5 reliability argument). ---
   // Marks a disk failed. Every block with a surviving copy (Dm >= 2, or
   // pending same-data replicas elsewhere) keeps being served; returns false
@@ -144,6 +157,9 @@ class ArrayController {
   void SubmitReadFragment(FragState& frag, uint64_t frag_key);
   void SubmitWriteFragment(FragState& frag, uint64_t frag_key);
   void EnqueueFg(uint32_t disk, QueuedRequest entry);
+  void EnqueueDelayed(uint32_t disk, QueuedRequest entry);
+  void AuditMappedFragments(uint64_t lba, uint32_t sectors,
+                            const std::vector<ArrayFragment>& fragments) const;
   void MaybeDispatch(uint32_t disk);
   void OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
                        uint64_t chosen_lba, const DiskOpResult& result);
@@ -167,6 +183,7 @@ class ArrayController {
   std::vector<AccessPredictor*> predictors_;
   const ArrayLayout* layout_;
   ArrayControllerOptions options_;
+  InvariantAuditor* auditor_ = nullptr;
 
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
   std::vector<EventId> recalibration_events_;

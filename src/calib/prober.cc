@@ -21,13 +21,6 @@ double Frac(double x) {
   return f;
 }
 
-double Median(std::vector<double> v) {
-  MIMDRAID_CHECK(!v.empty());
-  std::sort(v.begin(), v.end());
-  const size_t n = v.size();
-  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
-}
-
 }  // namespace
 
 DiskProber::DiskProber(SyncDisk* disk, uint64_t num_data_sectors,

@@ -55,10 +55,35 @@ void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
   result.rotational_us = plan.rotational_us;
   result.transfer_us = plan.transfer_us;
 
-  sim_->ScheduleAt(completion, [this, plan, result, cb = std::move(done)]() {
+  // Pre-built audit record (cheap PODs; only filled when auditing).
+  DiskOpAudit audit;
+  if (auditor_ != nullptr) {
+    audit.disk = audit_disk_index_;
+    audit.is_write = op == DiskOp::kWrite;
+    audit.lba = lba;
+    audit.sectors = sectors;
+    audit.start_us = result.start_us;
+    audit.completion_us = result.completion_us;
+    audit.overhead_us = result.overhead_us;
+    audit.seek_us = result.seek_us;
+    audit.rotational_us = result.rotational_us;
+    audit.transfer_us = result.transfer_us;
+    audit.head_cylinder = plan.end_state.cylinder;
+    audit.head_index = plan.end_state.head;
+    audit.num_cylinders = geometry_.num_cylinders;
+    audit.num_heads = geometry_.num_heads;
+    audit.spindle_phase_us = timing_->spindle_phase_us();
+    audit.rotation_us = timing_->rotation_us();
+  }
+
+  sim_->ScheduleAt(completion,
+                   [this, plan, result, audit, cb = std::move(done)]() {
     head_ = plan.end_state;
     busy_ = false;
     ++ops_completed_;
+    if (auditor_ != nullptr) {
+      auditor_->OnDiskOpComplete(audit);
+    }
     if (cb) {
       cb(result);
     }

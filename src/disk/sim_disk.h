@@ -18,6 +18,7 @@
 #include "src/disk/layout.h"
 #include "src/disk/seek_profile.h"
 #include "src/disk/timing.h"
+#include "src/sim/auditor.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
 
@@ -105,6 +106,13 @@ class SimDisk {
   SimTime NowUs() const { return sim_->Now(); }
   uint64_t num_sectors() const { return layout_->num_data_sectors(); }
 
+  // Attaches the runtime invariant auditor (nullptr detaches); `disk_index`
+  // identifies this drive in audit reports. Borrowed, must outlive the disk.
+  void SetAuditor(InvariantAuditor* auditor, uint32_t disk_index) {
+    auditor_ = auditor;
+    audit_disk_index_ = disk_index;
+  }
+
   // --- Introspection for tests and oracle experiments only. ---
   // Production components (calibration, schedulers) must treat the drive as a
   // black box and work from completion timestamps.
@@ -122,6 +130,8 @@ class SimDisk {
   HeadState head_;
   bool busy_ = false;
   uint64_t ops_completed_ = 0;
+  InvariantAuditor* auditor_ = nullptr;
+  uint32_t audit_disk_index_ = 0;
 };
 
 }  // namespace mimdraid

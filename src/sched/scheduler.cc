@@ -1,10 +1,46 @@
 #include "src/sched/scheduler.h"
 
+#include <utility>
+
 #include "src/sched/basic_schedulers.h"
 #include "src/sched/positional_schedulers.h"
+#include "src/sim/auditor.h"
 #include "src/util/check.h"
 
 namespace mimdraid {
+
+namespace {
+
+// Decorator that reports every pick to the invariant auditor. Scan state
+// lives in the wrapped scheduler, so wrapping changes no scheduling decision.
+class AuditedScheduler final : public Scheduler {
+ public:
+  AuditedScheduler(std::unique_ptr<Scheduler> inner, InvariantAuditor* auditor)
+      : inner_(std::move(inner)), auditor_(auditor) {
+    MIMDRAID_CHECK(inner_ != nullptr);
+    MIMDRAID_CHECK(auditor_ != nullptr);
+  }
+
+  SchedulerPick Pick(const std::vector<QueuedRequest>& queue,
+                     const ScheduleContext& ctx) override {
+    const SchedulerPick pick = inner_->Pick(queue, ctx);
+    const bool index_ok = pick.queue_index < queue.size();
+    auditor_->OnSchedulerPick(
+        inner_->name(), queue.size(), pick.queue_index, pick.lba,
+        index_ok ? queue[pick.queue_index].candidate_lbas
+                 : std::vector<uint64_t>{},
+        pick.predicted_service_us);
+    return pick;
+  }
+
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  InvariantAuditor* auditor_;
+};
+
+}  // namespace
 
 std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind, size_t max_scan) {
   switch (kind) {
@@ -26,6 +62,11 @@ std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind, size_t max_scan) {
       return std::make_unique<RsatfScheduler>(max_scan);
   }
   MIMDRAID_CHECK(false);
+}
+
+std::unique_ptr<Scheduler> MakeAuditedScheduler(
+    std::unique_ptr<Scheduler> inner, InvariantAuditor* auditor) {
+  return std::make_unique<AuditedScheduler>(std::move(inner), auditor);
 }
 
 const char* SchedulerKindName(SchedulerKind kind) {

@@ -18,6 +18,8 @@
 
 namespace mimdraid {
 
+class InvariantAuditor;
+
 struct ScheduleContext {
   SimTime now = 0;
   AccessPredictor* predictor = nullptr;  // required by SATF-class policies
@@ -59,6 +61,13 @@ enum class SchedulerKind {
 // (a cylinder comparison is cheap).
 std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind,
                                          size_t max_scan = 0);
+
+// Wraps `inner` so every pick is validated by `auditor` (index in range,
+// chosen LBA among the picked entry's candidates, non-negative prediction).
+// Used by the runtime invariant-audit layer; `auditor` must not be null and
+// must outlive the returned scheduler.
+std::unique_ptr<Scheduler> MakeAuditedScheduler(std::unique_ptr<Scheduler> inner,
+                                                InvariantAuditor* auditor);
 
 const char* SchedulerKindName(SchedulerKind kind);
 

@@ -2,12 +2,17 @@
 
 #include <utility>
 
+#include "src/sim/auditor.h"
 #include "src/util/check.h"
 
 namespace mimdraid {
 
 EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
-  MIMDRAID_CHECK_GE(at, now_);
+  if (auditor_ != nullptr) {
+    auditor_->OnEventScheduled(now_, at);
+  } else {
+    MIMDRAID_CHECK_GE(at, now_);
+  }
   const uint64_t seq = next_seq_++;
   // seq doubles as the event id: unique and monotonically increasing.
   heap_.push(Event{at, seq, seq, std::move(fn)});
@@ -35,7 +40,11 @@ bool Simulator::Step() {
       cancelled_.erase(it);
       continue;
     }
-    MIMDRAID_CHECK_GE(ev.at, now_);
+    if (auditor_ != nullptr) {
+      auditor_->OnEventFired(now_, ev.at);
+    } else {
+      MIMDRAID_CHECK_GE(ev.at, now_);
+    }
     now_ = ev.at;
     ++events_fired_;
     ev.fn();

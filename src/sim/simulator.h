@@ -22,6 +22,8 @@
 
 namespace mimdraid {
 
+class InvariantAuditor;
+
 // Opaque handle for cancelling a scheduled event. 0 is never a valid id.
 using EventId = uint64_t;
 
@@ -60,6 +62,17 @@ class Simulator {
   // Total events fired since construction (for tests / sanity checks).
   uint64_t events_fired() const { return events_fired_; }
 
+  // Attaches a runtime invariant auditor (src/sim/auditor.h); nullptr
+  // detaches. Borrowed, must outlive the simulator. With an auditor attached,
+  // the auditor owns event-time monotonicity enforcement (its default
+  // handler aborts exactly like the built-in checks it replaces).
+  void set_auditor(InvariantAuditor* auditor) { auditor_ = auditor; }
+  InvariantAuditor* auditor() const { return auditor_; }
+
+  // Test-only backdoor: warps the clock without firing events, so tests can
+  // seed an event-ordering violation and assert the auditor catches it.
+  void CorruptClockForTest(SimTime t) { now_ = t; }
+
  private:
   struct Event {
     SimTime at;
@@ -77,6 +90,7 @@ class Simulator {
   };
 
   SimTime now_ = 0;
+  InvariantAuditor* auditor_ = nullptr;
   uint64_t next_seq_ = 1;
   std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
   // Lazy-deletion set: cancelled ids are skipped when popped.

@@ -1,34 +1,175 @@
-// Lightweight assertion macros for invariant enforcement.
+// Assertion macros for invariant enforcement.
 //
 // CHECK-class macros are active in all build types: a violated invariant in a
 // simulator silently corrupts results, so we always pay for the branch.
+// DCHECK-class macros compile to nothing in NDEBUG builds (the default
+// RelWithDebInfo defines NDEBUG); use them for checks that are too hot for
+// release or that duplicate a cheaper CHECK upstream.
+//
+// Binary comparison macros report both operand values on failure:
+//
+//   MIMDRAID_CHECK_LE(queue.size(), limit);
+//   // -> CHECK failed at foo.cc:42: queue.size() <= limit (5 vs 3)
+//
+// Every macro is stream-capable for extra context:
+//
+//   MIMDRAID_CHECK_EQ(a, b) << "disk " << disk << " out of sync";
 #ifndef MIMDRAID_SRC_UTIL_CHECK_H_
 #define MIMDRAID_SRC_UTIL_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <string>
 
 namespace mimdraid {
 
-[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+// Kept for callers that want to fail outside the macros.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
   std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
   std::abort();
 }
 
+namespace check_internal {
+
+// Accumulates streamed context after a failed check and aborts when the full
+// expression ends. The temporary's destructor is the abort point, so
+// `MIMDRAID_CHECK(x) << "ctx"` prints "ctx" before dying.
+class FailureStream {
+ public:
+  FailureStream(const char* file, int line, const std::string& message) {
+    // Trailing space separates the message from any streamed context.
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << message
+            << " ";
+  }
+  FailureStream(const FailureStream&) = delete;
+  FailureStream& operator=(const FailureStream&) = delete;
+
+  [[noreturn]] ~FailureStream() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the stream expression so the macro has type void (usable in a
+// ternary). operator& binds tighter than <<'s left-to-right chain end.
+struct Voidifier {
+  void operator&(std::ostream&) const {}
+};
+
+// Prints a value if it has an operator<<, a placeholder otherwise (so checks
+// on user types without printers still compile).
+template <typename T>
+void PrintOperand(std::ostream& os, const T& v) {
+  if constexpr (requires(std::ostream& o, const T& t) { o << t; }) {
+    os << v;
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+// On comparison failure, builds the "expr (lhs vs rhs)" message. Never
+// returns nullptr from this path; the macro only calls it on failure. The
+// string is intentionally leaked — we are about to abort.
+template <typename A, typename B>
+std::string* MakeCheckOpString(const A& a, const B& b, const char* expr_text) {
+  std::ostringstream os;
+  os << expr_text << " (";
+  PrintOperand(os, a);
+  os << " vs ";
+  PrintOperand(os, b);
+  os << ")";
+  return new std::string(os.str());
+}
+
+// Comparison functors: keeping the comparison in a template (instead of
+// textual macro pasting at every call site) evaluates each operand exactly
+// once while preserving the operands for the failure message.
+// NOLINTBEGIN(bugprone-macro-parentheses)
+#define MIMDRAID_DEFINE_CHECK_OP_IMPL(name, op)                     \
+  template <typename A, typename B>                                 \
+  inline std::string* name(const A& a, const B& b,                  \
+                           const char* expr_text) {                 \
+    if (a op b) [[likely]] {                                        \
+      return nullptr;                                               \
+    }                                                               \
+    return MakeCheckOpString(a, b, expr_text);                      \
+  }
+// NOLINTEND(bugprone-macro-parentheses)
+MIMDRAID_DEFINE_CHECK_OP_IMPL(CheckLeImpl, <=)
+MIMDRAID_DEFINE_CHECK_OP_IMPL(CheckLtImpl, <)
+MIMDRAID_DEFINE_CHECK_OP_IMPL(CheckGeImpl, >=)
+MIMDRAID_DEFINE_CHECK_OP_IMPL(CheckGtImpl, >)
+MIMDRAID_DEFINE_CHECK_OP_IMPL(CheckEqImpl, ==)
+MIMDRAID_DEFINE_CHECK_OP_IMPL(CheckNeImpl, !=)
+#undef MIMDRAID_DEFINE_CHECK_OP_IMPL
+
+}  // namespace check_internal
 }  // namespace mimdraid
 
-#define MIMDRAID_CHECK(expr)                             \
-  do {                                                   \
-    if (!(expr)) {                                       \
-      ::mimdraid::CheckFailed(__FILE__, __LINE__, #expr); \
-    }                                                    \
-  } while (0)
+#define MIMDRAID_CHECK(expr)                                          \
+  (expr) ? (void)0                                                    \
+         : ::mimdraid::check_internal::Voidifier() &                  \
+               ::mimdraid::check_internal::FailureStream(             \
+                   __FILE__, __LINE__, #expr)                         \
+                   .stream()
 
-#define MIMDRAID_CHECK_LE(a, b) MIMDRAID_CHECK((a) <= (b))
-#define MIMDRAID_CHECK_LT(a, b) MIMDRAID_CHECK((a) < (b))
-#define MIMDRAID_CHECK_GE(a, b) MIMDRAID_CHECK((a) >= (b))
-#define MIMDRAID_CHECK_GT(a, b) MIMDRAID_CHECK((a) > (b))
-#define MIMDRAID_CHECK_EQ(a, b) MIMDRAID_CHECK((a) == (b))
-#define MIMDRAID_CHECK_NE(a, b) MIMDRAID_CHECK((a) != (b))
+// The while-loop runs at most once: a non-null result means the check failed
+// and the FailureStream aborts at the end of the statement. Written as a loop
+// (rather than `if`) so streamed context works and dangling-else is safe.
+#define MIMDRAID_CHECK_OP_(impl, a, b, expr_text)                     \
+  while (::std::string* mimdraid_check_msg =                          \
+             ::mimdraid::check_internal::impl((a), (b), expr_text))   \
+  ::mimdraid::check_internal::FailureStream(__FILE__, __LINE__,       \
+                                            *mimdraid_check_msg)      \
+      .stream()
+
+#define MIMDRAID_CHECK_LE(a, b) \
+  MIMDRAID_CHECK_OP_(CheckLeImpl, a, b, #a " <= " #b)
+#define MIMDRAID_CHECK_LT(a, b) \
+  MIMDRAID_CHECK_OP_(CheckLtImpl, a, b, #a " < " #b)
+#define MIMDRAID_CHECK_GE(a, b) \
+  MIMDRAID_CHECK_OP_(CheckGeImpl, a, b, #a " >= " #b)
+#define MIMDRAID_CHECK_GT(a, b) \
+  MIMDRAID_CHECK_OP_(CheckGtImpl, a, b, #a " > " #b)
+#define MIMDRAID_CHECK_EQ(a, b) \
+  MIMDRAID_CHECK_OP_(CheckEqImpl, a, b, #a " == " #b)
+#define MIMDRAID_CHECK_NE(a, b) \
+  MIMDRAID_CHECK_OP_(CheckNeImpl, a, b, #a " != " #b)
+
+// DCHECK variants: in debug builds they are the CHECKs above; in NDEBUG
+// builds the `while (false)` keeps the operands type-checked (and any
+// streamed context compiling) without evaluating them.
+#ifndef NDEBUG
+#define MIMDRAID_DCHECK(expr) MIMDRAID_CHECK(expr)
+#define MIMDRAID_DCHECK_LE(a, b) MIMDRAID_CHECK_LE(a, b)
+#define MIMDRAID_DCHECK_LT(a, b) MIMDRAID_CHECK_LT(a, b)
+#define MIMDRAID_DCHECK_GE(a, b) MIMDRAID_CHECK_GE(a, b)
+#define MIMDRAID_DCHECK_GT(a, b) MIMDRAID_CHECK_GT(a, b)
+#define MIMDRAID_DCHECK_EQ(a, b) MIMDRAID_CHECK_EQ(a, b)
+#define MIMDRAID_DCHECK_NE(a, b) MIMDRAID_CHECK_NE(a, b)
+#else
+#define MIMDRAID_DCHECK(expr) \
+  while (false) MIMDRAID_CHECK(expr)
+#define MIMDRAID_DCHECK_LE(a, b) \
+  while (false) MIMDRAID_CHECK_LE(a, b)
+#define MIMDRAID_DCHECK_LT(a, b) \
+  while (false) MIMDRAID_CHECK_LT(a, b)
+#define MIMDRAID_DCHECK_GE(a, b) \
+  while (false) MIMDRAID_CHECK_GE(a, b)
+#define MIMDRAID_DCHECK_GT(a, b) \
+  while (false) MIMDRAID_CHECK_GT(a, b)
+#define MIMDRAID_DCHECK_EQ(a, b) \
+  while (false) MIMDRAID_CHECK_EQ(a, b)
+#define MIMDRAID_DCHECK_NE(a, b) \
+  while (false) MIMDRAID_CHECK_NE(a, b)
+#endif
 
 #endif  // MIMDRAID_SRC_UTIL_CHECK_H_

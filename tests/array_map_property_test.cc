@@ -118,10 +118,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MapParam{1, 1, 1}, MapParam{4, 1, 1}, MapParam{1, 2, 1},
                       MapParam{2, 2, 1}, MapParam{1, 1, 2}, MapParam{2, 1, 2},
                       MapParam{1, 2, 2}, MapParam{1, 4, 1}),
-    [](const auto& info) {
-      return std::to_string(info.param.ds) + "x" +
-             std::to_string(info.param.dr) + "x" +
-             std::to_string(info.param.dm);
+    [](const auto& suite_info) {
+      return std::to_string(suite_info.param.ds) + "x" +
+             std::to_string(suite_info.param.dr) + "x" +
+             std::to_string(suite_info.param.dm);
     });
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "src/array/controller.h"
 #include "src/calib/predictor.h"
 #include "src/disk/sim_disk.h"
+#include "src/sim/auditor.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
 
@@ -50,10 +51,15 @@ TEST_P(ControllerSoak, AllOpsCompleteAndDrain) {
   }
   const uint64_t dataset = 3200;
   ArrayLayout layout(&disks[0]->layout(), aspect, /*stripe_unit=*/16, dataset);
+  // Run the whole soak under the invariant auditor: it observes every event,
+  // disk op, scheduler pick, and queue/NVRAM transition without altering any
+  // decision, and aborts the test on the first violation.
+  InvariantAuditor auditor;
   ArrayControllerOptions copts;
   copts.scheduler = param.sched;
   copts.foreground_write_propagation = param.foreground;
   copts.delayed_table_limit = 50;
+  copts.auditor = &auditor;
   ArrayController controller(&sim, dptr, pptr, &layout, copts);
 
   Rng rng(static_cast<uint64_t>(param.ds * 100 + param.dr * 10 + param.dm));
@@ -84,6 +90,9 @@ TEST_P(ControllerSoak, AllOpsCompleteAndDrain) {
   EXPECT_TRUE(controller.Idle());
   EXPECT_EQ(controller.DelayedBacklog(), 0u);
   EXPECT_EQ(controller.TotalQueued(), 0u);
+  controller.AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+  EXPECT_GT(auditor.checks_run(), 0u);
   const ArrayStats& stats = controller.stats();
   EXPECT_EQ(stats.reads_completed + stats.writes_completed,
             static_cast<uint64_t>(kOps));
@@ -107,8 +116,8 @@ INSTANTIATE_TEST_SUITE_P(
         SoakParam{1, 2, 2, SchedulerKind::kRsatf, false, 0.5},
         SoakParam{1, 2, 2, SchedulerKind::kRsatf, true, 0.4},
         SoakParam{2, 1, 2, SchedulerKind::kSstf, false, 0.6}),
-    [](const auto& info) {
-      const SoakParam& p = info.param;
+    [](const auto& suite_info) {
+      const SoakParam& p = suite_info.param;
       return std::to_string(p.ds) + "x" + std::to_string(p.dr) + "x" +
              std::to_string(p.dm) + "_" +
              SchedulerKindName(p.sched) + (p.foreground ? "_fg" : "_bg");

@@ -104,11 +104,11 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2, 4, 6, 12, 36),
                        ::testing::Values(0.4, 0.6, 0.8, 1.0),
                        ::testing::Values(1.0, 8.0, 32.0)),
-    [](const auto& info) {
-      return "D" + std::to_string(std::get<0>(info.param)) + "_p" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+    [](const auto& suite_info) {
+      return "D" + std::to_string(std::get<0>(suite_info.param)) + "_p" +
+             std::to_string(static_cast<int>(std::get<1>(suite_info.param) * 100)) +
              "_q" +
-             std::to_string(static_cast<int>(std::get<2>(info.param)));
+             std::to_string(static_cast<int>(std::get<2>(suite_info.param)));
     });
 
 // Scaling law: the rule-of-thumb sqrt(D) improvement (Section 2.6).

@@ -120,10 +120,10 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{Geo::kSt39133, 3},
                       std::tuple{Geo::kSt39133, 4},
                       std::tuple{Geo::kSt39133, 6}),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param) == Geo::kTest ? "Test"
+    [](const auto& suite_info) {
+      return std::string(std::get<0>(suite_info.param) == Geo::kTest ? "Test"
                                                                : "St39133") +
-             "_Dr" + std::to_string(std::get<1>(info.param));
+             "_Dr" + std::to_string(std::get<1>(suite_info.param));
     });
 
 }  // namespace

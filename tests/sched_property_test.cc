@@ -89,7 +89,7 @@ INSTANTIATE_TEST_SUITE_P(
                       SchedulerKind::kLook, SchedulerKind::kClook,
                       SchedulerKind::kSatf, SchedulerKind::kAsatf,
                       SchedulerKind::kRlook, SchedulerKind::kRsatf),
-    [](const auto& info) { return SchedulerKindName(info.param); });
+    [](const auto& suite_info) { return SchedulerKindName(suite_info.param); });
 
 // Policy-specific optimality: SATF's pick minimizes the predicted effective
 // service time over primary candidates; RSATF over all candidates.

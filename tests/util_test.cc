@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
+#include "src/util/check.h"
 #include "src/util/rng.h"
 #include "src/util/summary.h"
 #include "src/util/time.h"
@@ -206,6 +208,57 @@ TEST(Summary, MergeWithEmpty) {
   empty.Merge(a);
   EXPECT_EQ(empty.count(), 1u);
   EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Check, PassingChecksAreSilent) {
+  MIMDRAID_CHECK(true);
+  MIMDRAID_CHECK_LE(1, 2);
+  MIMDRAID_CHECK_LT(1, 2);
+  MIMDRAID_CHECK_GE(2, 2);
+  MIMDRAID_CHECK_GT(3, 2);
+  MIMDRAID_CHECK_EQ(4, 4);
+  MIMDRAID_CHECK_NE(4, 5);
+  MIMDRAID_CHECK(true) << "streamed context is not evaluated on success";
+}
+
+TEST(Check, OperandsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  auto next = [&evaluations]() { return ++evaluations; };
+  MIMDRAID_CHECK_GE(next(), 1);
+  EXPECT_EQ(evaluations, 1);
+  MIMDRAID_CHECK_LE(0, next());
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(CheckDeath, ComparisonReportsBothOperandValues) {
+  const uint64_t lhs = 5;
+  const uint64_t rhs = 3;
+  EXPECT_DEATH(MIMDRAID_CHECK_LE(lhs, rhs), "lhs <= rhs \\(5 vs 3\\)");
+  EXPECT_DEATH(MIMDRAID_CHECK_EQ(lhs, rhs), "lhs == rhs \\(5 vs 3\\)");
+  EXPECT_DEATH(MIMDRAID_CHECK_GT(rhs, lhs), "rhs > lhs \\(3 vs 5\\)");
+}
+
+TEST(CheckDeath, PlainCheckPrintsExpressionText) {
+  const bool queue_drained = false;
+  EXPECT_DEATH(MIMDRAID_CHECK(queue_drained), "queue_drained");
+}
+
+TEST(CheckDeath, StreamedContextAppearsInMessage) {
+  const int disk = 7;
+  EXPECT_DEATH(MIMDRAID_CHECK_EQ(1, 2) << "disk " << disk << " out of sync",
+               "1 == 2 \\(1 vs 2\\) disk 7 out of sync");
+}
+
+TEST(CheckDeath, DcheckActiveExactlyInDebugBuilds) {
+#ifdef NDEBUG
+  // Compiled out: the failing comparison and its operands never evaluate.
+  int evaluations = 0;
+  auto next = [&evaluations]() { return ++evaluations; };
+  MIMDRAID_DCHECK_EQ(next(), -1) << "unused";
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_DEATH(MIMDRAID_DCHECK_EQ(1, -1), "1 == -1 \\(1 vs -1\\)");
+#endif
 }
 
 TEST(TimeHelpers, Conversions) {

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the library sources (src/**/*.cc) using the repo's
+# .clang-tidy configuration and a compile_commands.json database.
+#
+# Usage:
+#   tools/run_tidy.sh                 # whole of src/
+#   tools/run_tidy.sh src/sim/...    # explicit file list
+#   tools/run_tidy.sh --changed      # only files changed vs origin/main (CI)
+#
+# Environment:
+#   BUILD_DIR         build tree with compile_commands.json (default: build)
+#   CLANG_TIDY        clang-tidy binary to use (default: autodetect)
+#   RUN_TIDY_STRICT   when 1, a missing clang-tidy is an error instead of a
+#                     skip (CI sets this; dev containers may lack the tool)
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+find_tidy() {
+  if [[ -n "${CLANG_TIDY:-}" ]]; then
+    echo "$CLANG_TIDY"
+    return
+  fi
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      echo "$candidate"
+      return
+    fi
+  done
+}
+
+TIDY="$(find_tidy)"
+if [[ -z "$TIDY" ]]; then
+  if [[ "${RUN_TIDY_STRICT:-0}" == "1" ]]; then
+    echo "error: clang-tidy not found and RUN_TIDY_STRICT=1" >&2
+    exit 1
+  fi
+  echo "run_tidy: clang-tidy not found on PATH; SKIPPED (set RUN_TIDY_STRICT=1 to fail instead)" >&2
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_tidy: generating $BUILD_DIR/compile_commands.json" >&2
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+declare -a files
+if [[ "${1:-}" == "--changed" ]]; then
+  base="${2:-origin/main}"
+  mapfile -t files < <(git diff --name-only --diff-filter=d "$base"... -- \
+                         'src/*.cc' 'src/**/*.cc')
+  if [[ ${#files[@]} -eq 0 ]]; then
+    echo "run_tidy: no changed src/ sources vs $base; nothing to do"
+    exit 0
+  fi
+elif [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(find src -name '*.cc' | sort)
+fi
+
+echo "run_tidy: ${TIDY} over ${#files[@]} file(s)" >&2
+status=0
+for f in "${files[@]}"; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$f" || status=1
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "run_tidy: zero clang-tidy warnings"
+else
+  echo "run_tidy: clang-tidy reported findings (see above)" >&2
+fi
+exit $status
