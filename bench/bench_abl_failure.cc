@@ -58,7 +58,8 @@ Outcome RunRaid10() {
     out.degraded_ms = RunClosedLoopOnArray(array, loop).latency.MeanMs();
     const SimTime start = array.sim().Now();
     SimTime rebuilt = -1;
-    array.controller().RebuildDisk(0, [&](SimTime c) { rebuilt = c; });
+    array.controller().RebuildDisk(
+        0, [&](const IoResult& r) { rebuilt = r.completion_us; });
     while (rebuilt < 0) {
       array.sim().Step();
     }
@@ -111,7 +112,8 @@ Outcome RunRaid5() {
       out.degraded_ms = r.latency.MeanMs();
       const SimTime start = sim.Now();
       SimTime rebuilt = -1;
-      controller.Rebuild(0, [&](SimTime c) { rebuilt = c; });
+      controller.Rebuild(0,
+                         [&](const IoResult& r) { rebuilt = r.completion_us; });
       while (rebuilt < 0) {
         sim.Step();
       }

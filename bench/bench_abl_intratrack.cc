@@ -51,7 +51,7 @@ double SequentialSweep(PlacementMode mode, SchedulerKind sched, DiskOp op,
     if (done >= kOps) {
       return;
     }
-    array.controller().Submit(op, lba, kReq, [&](SimTime) {
+    array.controller().Submit(op, lba, kReq, [&](const IoResult&) {
       ++done;
       lba += kReq;
       next();

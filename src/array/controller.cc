@@ -7,6 +7,14 @@
 
 namespace mimdraid {
 
+namespace {
+// Status severity follows declaration order; an op surfaces the worst
+// unabsorbed status of its fragments.
+IoStatus Worse(IoStatus a, IoStatus b) {
+  return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+}  // namespace
+
 ArrayController::ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
                                  std::vector<AccessPredictor*> predictors,
                                  const ArrayLayout* layout,
@@ -27,6 +35,7 @@ ArrayController::ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
   delayed_.resize(n);
   recalibration_events_.resize(n, 0);
   failed_.resize(n, false);
+  error_counts_.resize(n, 0);
   if (auditor_ != nullptr) {
     sim_->set_auditor(auditor_);
   }
@@ -36,10 +45,17 @@ ArrayController::ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
       disks_[i]->SetAuditor(auditor_, static_cast<uint32_t>(i));
       scheduler = MakeAuditedScheduler(std::move(scheduler), auditor_);
     }
+    if (options_.fault_injector != nullptr) {
+      disks_[i]->SetFaultInjector(options_.fault_injector,
+                                  static_cast<uint32_t>(i));
+    }
     schedulers_.push_back(std::move(scheduler));
     if (options_.recalibration_interval_us > 0) {
       ScheduleRecalibration(static_cast<uint32_t>(i));
     }
+  }
+  if (options_.scrub_interval_us > 0) {
+    ScheduleScrubTick();
   }
 }
 
@@ -49,6 +65,20 @@ ArrayController::~ArrayController() {
       sim_->Cancel(id);
     }
   }
+  StopScrub();
+}
+
+void ArrayController::StopScrub() {
+  if (scrub_event_ != 0) {
+    sim_->Cancel(scrub_event_);
+    scrub_event_ = 0;
+  }
+}
+
+void ArrayController::AddSpare(SimDisk* disk, AccessPredictor* predictor) {
+  MIMDRAID_CHECK(disk != nullptr);
+  MIMDRAID_CHECK(predictor != nullptr);
+  spares_.emplace_back(disk, predictor);
 }
 
 size_t ArrayController::TotalQueued() const {
@@ -73,7 +103,7 @@ void ArrayController::AuditQuiescent() const {
 }
 
 bool ArrayController::Idle() const {
-  if (!ops_.empty() || !parked_.empty()) {
+  if (!ops_.empty() || !parked_.empty() || pending_recovery_ > 0) {
     return false;
   }
   for (size_t i = 0; i < disks_.size(); ++i) {
@@ -132,7 +162,7 @@ void ArrayController::SubmitInternal(DiskOp op, uint64_t lba, uint32_t sectors,
   }
 }
 
-void ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
+bool ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
   const int dr = layout_->aspect().dr;
   const int dm = layout_->aspect().dm;
   frag.entries_remaining = 1;
@@ -171,16 +201,21 @@ void ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
     tail.sectors = frag.sectors - best_prefix;
     tail.op = frag.op;
     tail.replicas = frag.replicas;
+    tail.attempts = frag.attempts;
+    tail.bad_replicas = frag.bad_replicas;
     for (ReplicaLocation& loc : tail.replicas) {
+      loc.lba += best_prefix;
+    }
+    for (ReplicaLocation& loc : tail.bad_replicas) {
       loc.lba += best_prefix;
     }
     ++ops_[frag.op_id].fragments_remaining;
     // `frag` may have been invalidated by the map insertion above.
     FragState& head = frags_[frag_key];
     head.sectors = best_prefix;
-    SubmitReadFragment(head, frag_key);
-    SubmitReadFragment(frags_[tail_key], tail_key);
-    return;
+    const bool head_ok = SubmitReadFragment(head, frag_key);
+    const bool tail_ok = SubmitReadFragment(frags_[tail_key], tail_key);
+    return head_ok && tail_ok;
   }
 
   // Per-disk candidate sets, stale replicas excluded.
@@ -197,6 +232,16 @@ void ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
     }
     for (int r = 0; r < dr; ++r) {
       const ReplicaLocation& loc = frag.replicas[static_cast<size_t>(m) * dr + r];
+      bool known_bad = false;
+      for (const ReplicaLocation& bad : frag.bad_replicas) {
+        if (bad.disk == loc.disk && bad.lba == loc.lba) {
+          known_bad = true;
+          break;
+        }
+      }
+      if (known_bad) {
+        continue;
+      }
       if (ignore_stale || !ReplicaIsStale(loc.disk, loc.lba, frag.sectors)) {
         dc.lbas.push_back(loc.lba);
       }
@@ -205,7 +250,11 @@ void ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
       candidates.push_back(std::move(dc));
     }
   }
-  MIMDRAID_CHECK(!candidates.empty());
+  if (candidates.empty()) {
+    // Every replica is on a failed disk or known bad: redundancy exhausted.
+    CompleteFragmentUnrecoverable(frag_key, frag);
+    return false;
+  }
 
   // Mirror heuristic (Section 3.3): if a holding disk is idle, send the
   // request to the idle head closest to a copy; otherwise duplicate the
@@ -255,9 +304,10 @@ void ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
   for (const DiskCandidates* dc : targets) {
     MaybeDispatch(dc->disk);
   }
+  return true;
 }
 
-void ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
+bool ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
   const int dr = layout_->aspect().dr;
   const int dm = layout_->aspect().dm;
 
@@ -270,7 +320,11 @@ void ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
         ++live;
       }
     }
-    MIMDRAID_CHECK_GT(live, 0u);
+    if (live == 0) {
+      // Every copy's disk is gone: the write has nowhere durable to land.
+      CompleteFragmentUnrecoverable(frag_key, frag);
+      return false;
+    }
     frag.entries_remaining = live;
     std::vector<uint32_t> touched;
     for (const ReplicaLocation& loc : frag.replicas) {
@@ -290,7 +344,7 @@ void ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
     for (uint32_t d : touched) {
       MaybeDispatch(d);
     }
-    return;
+    return true;
   }
 
   // Background propagation: the first copy is scheduled like a read (any
@@ -317,9 +371,14 @@ void ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
     EnqueueFg(disk, std::move(entry));
     touched.push_back(disk);
   }
+  if (touched.empty()) {
+    CompleteFragmentUnrecoverable(frag_key, frag);
+    return false;
+  }
   for (uint32_t d : touched) {
     MaybeDispatch(d);
   }
+  return true;
 }
 
 void ArrayController::EnqueueFg(uint32_t disk, QueuedRequest entry) {
@@ -358,7 +417,7 @@ void ArrayController::AuditMappedFragments(
 }
 
 void ArrayController::MaybeDispatch(uint32_t disk) {
-  if (disks_[disk]->busy()) {
+  if (failed_[disk] || disks_[disk]->busy()) {
     return;
   }
   std::vector<QueuedRequest>& queue =
@@ -435,12 +494,27 @@ void ArrayController::OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
   if (auditor_ != nullptr) {
     auditor_->OnEntryCompleted(disk, entry.id);
   }
+  if (!result.ok()) {
+    // Open a fault record before any recovery: the handler must close it
+    // with exactly one resolution (retry/failover/repair/surface/abandon).
+    if (auditor_ != nullptr) {
+      auditor_->OnIoFault(disk, entry.id);
+    }
+    CountFault(disk, result.status);
+    HandleEntryFailure(disk, entry, chosen_lba, result);
+    return;
+  }
   if (entry.maintenance) {
+    if (auto sit = scrub_reads_.find(entry.id); sit != scrub_reads_.end()) {
+      scrub_reads_.erase(sit);
+      ++fstats_.scrub_reads;
+      return;
+    }
     if (auto rit = rebuild_read_done_.find(entry.id);
         rit != rebuild_read_done_.end()) {
       auto fn = std::move(rit->second);
       rebuild_read_done_.erase(rit);
-      fn();
+      fn(result);
       return;
     }
     if (auto wit = rebuild_write_done_.find(entry.id);
@@ -476,6 +550,9 @@ void ArrayController::OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
   MIMDRAID_CHECK(it != frags_.end());
   FragState& frag = it->second;
   MIMDRAID_CHECK_GT(frag.entries_remaining, 0u);
+  if (frag.op == DiskOp::kWrite) {
+    ++frag.successes;
+  }
   if (--frag.entries_remaining == 0) {
     CompleteFragment(entry.tag, frag, disk, chosen_lba, result.completion_us);
   }
@@ -487,8 +564,10 @@ void ArrayController::CompleteFragment(uint64_t frag_key, FragState& frag,
                                        SimTime completion_us) {
   const uint64_t op_id = frag.op_id;
   const DiskOp op = frag.op;
+  const IoStatus frag_status = frag.status;
   if (op == DiskOp::kWrite) {
-    if (!options_.foreground_write_propagation) {
+    if (!options_.foreground_write_propagation &&
+        frag_status == IoStatus::kOk) {
       // The winner's copy is fresh; every other replica becomes a pending
       // background propagation. A previously pending propagation to the
       // winner's location is superseded by this write, and any stale markers
@@ -509,23 +588,46 @@ void ArrayController::CompleteFragment(uint64_t frag_key, FragState& frag,
     }
     MarkInflightWrite(frag.logical_lba, frag.sectors, -1);
   }
+  if (op == DiskOp::kRead && frag_status == IoStatus::kOk &&
+      !frag.bad_replicas.empty()) {
+    // Repair by rewrite: each replica that returned a media error is
+    // rewritten with the data just served from a surviving copy; the drive's
+    // firmware remaps the latent sector on write, clearing the error.
+    for (const ReplicaLocation& bad : frag.bad_replicas) {
+      if (failed_[bad.disk]) {
+        continue;
+      }
+      ++fstats_.repairs_queued;
+      AddDelayedWrite(bad.disk, bad.lba, frag.sectors);
+    }
+    EnforceDelayedTableLimit();
+  }
 
   frags_.erase(frag_key);
 
   auto oit = ops_.find(op_id);
   MIMDRAID_CHECK(oit != ops_.end());
   OpState& opstate = oit->second;
+  opstate.status = Worse(opstate.status, frag_status);
   MIMDRAID_CHECK_GT(opstate.fragments_remaining, 0u);
   if (--opstate.fragments_remaining == 0) {
-    if (op == DiskOp::kRead) {
-      ++stats_.reads_completed;
+    if (opstate.status == IoStatus::kOk) {
+      if (op == DiskOp::kRead) {
+        ++stats_.reads_completed;
+      } else {
+        ++stats_.writes_completed;
+      }
     } else {
-      ++stats_.writes_completed;
+      ++fstats_.unrecoverable_completions;
     }
+    IoResult io;
+    io.status = opstate.status;
+    io.completion_us = completion_us;
+    io.recovery_attempts = opstate.recovery_attempts;
     DoneFn done = std::move(opstate.done);
     ops_.erase(oit);
     if (done) {
-      done(completion_us);
+      done(io);
     }
   }
   if (op == DiskOp::kWrite) {
@@ -533,8 +635,516 @@ void ArrayController::CompleteFragment(uint64_t frag_key, FragState& frag,
   }
 }
 
+void ArrayController::CompleteFragmentUnrecoverable(uint64_t frag_key,
+                                                    FragState& frag) {
+  frag.status = Worse(frag.status, IoStatus::kUnrecoverable);
+  CompleteFragment(frag_key, frag, /*chosen_disk=*/0, /*chosen_lba=*/0,
+                   sim_->Now());
+}
+
+// --- Fault recovery -------------------------------------------------------
+
+void ArrayController::CountFault(uint32_t disk, IoStatus status) {
+  switch (status) {
+    case IoStatus::kMediaError:
+      ++fstats_.media_errors_seen;
+      break;
+    case IoStatus::kTimeout:
+      ++fstats_.timeouts_seen;
+      break;
+    case IoStatus::kDiskFailed:
+      ++fstats_.disk_failed_seen;
+      break;
+    default:
+      break;
+  }
+  if (failed_[disk]) {
+    return;  // already declared failed; no further escalation
+  }
+  if (status == IoStatus::kDiskFailed) {
+    AutoFailDisk(disk);
+    return;
+  }
+  ++error_counts_[disk];
+  if (options_.disk_error_fail_threshold > 0 &&
+      error_counts_[disk] >= options_.disk_error_fail_threshold) {
+    AutoFailDisk(disk);
+  }
+}
+
+void ArrayController::ResolveFault(uint64_t entry_id,
+                                   FaultResolution resolution,
+                                   bool target_disk_failed) {
+  if (auditor_ != nullptr) {
+    auditor_->OnFaultResolved(entry_id, resolution, target_disk_failed);
+  }
+}
+
+void ArrayController::NoteOpRecoveryAttempt(uint64_t op_id) {
+  auto it = ops_.find(op_id);
+  if (it != ops_.end()) {
+    ++it->second.recovery_attempts;
+  }
+}
+
+void ArrayController::ScheduleRecovery(uint32_t attempt,
+                                       std::function<void()> fn) {
+  ++pending_recovery_;
+  sim_->ScheduleAfter(options_.retry.BackoffUs(attempt),
+                      [this, fn = std::move(fn)]() {
+                        --pending_recovery_;
+                        fn();
+                      });
+}
+
+void ArrayController::HandleEntryFailure(uint32_t disk,
+                                         const QueuedRequest& entry,
+                                         uint64_t chosen_lba,
+                                         const DiskOpResult& result) {
+  if (entry.maintenance) {
+    HandleMaintenanceFailure(disk, entry, chosen_lba, result);
+  } else if (entry.delayed) {
+    HandleDelayedFailure(disk, entry, chosen_lba, result);
+  } else if (entry.op == DiskOp::kRead) {
+    HandleReadFailure(disk, entry, chosen_lba, result);
+  } else {
+    HandleWriteFailure(disk, entry, chosen_lba, result);
+  }
+}
+
+void ArrayController::HandleReadFailure(uint32_t disk,
+                                        const QueuedRequest& entry,
+                                        uint64_t chosen_lba,
+                                        const DiskOpResult& result) {
+  auto it = frags_.find(entry.tag);
+  MIMDRAID_CHECK(it != frags_.end());
+  FragState& frag = it->second;
+  NoteOpRecoveryAttempt(frag.op_id);
+
+  // A timeout says nothing about the media; retry in place (bounded, with
+  // backoff) before writing the path off.
+  if (result.status == IoStatus::kTimeout && !failed_[disk] &&
+      frag.attempts + 1 < options_.retry.max_attempts) {
+    ++frag.attempts;
+    ++fstats_.retries_issued;
+    ResolveFault(entry.id, FaultResolution::kRetried, false);
+    const uint64_t frag_key = entry.tag;
+    ScheduleRecovery(frag.attempts, [this, frag_key]() {
+      auto fit = frags_.find(frag_key);
+      if (fit == frags_.end()) {
+        return;
+      }
+      SubmitReadFragment(fit->second, frag_key);
+    });
+    return;
+  }
+
+  if (result.status == IoStatus::kMediaError) {
+    // That specific replica is bad: never read it again for this fragment,
+    // and rewrite it once a clean copy has been served (CompleteFragment).
+    frag.bad_replicas.push_back(ReplicaLocation{disk, chosen_lba});
+  } else if (result.status == IoStatus::kTimeout && !failed_[disk]) {
+    // Retries exhausted: treat the whole path as suspect for this fragment.
+    for (const ReplicaLocation& loc : frag.replicas) {
+      if (loc.disk == disk) {
+        frag.bad_replicas.push_back(loc);
+      }
+    }
+  }
+  // kDiskFailed needs no bookkeeping: failed_[disk] excludes the disk.
+
+  ++fstats_.failovers;
+  const bool target_failed = failed_[disk];
+  if (SubmitReadFragment(frag, entry.tag)) {
+    ResolveFault(entry.id, FaultResolution::kFailedOver, target_failed);
+  } else {
+    // No live replica remained; the fragment completed as kUnrecoverable.
+    ResolveFault(entry.id, FaultResolution::kSurfaced, target_failed);
+  }
+}
+
+void ArrayController::HandleWriteFailure(uint32_t disk,
+                                         const QueuedRequest& entry,
+                                         uint64_t chosen_lba,
+                                         const DiskOpResult& result) {
+  auto it = frags_.find(entry.tag);
+  MIMDRAID_CHECK(it != frags_.end());
+  FragState& frag = it->second;
+  NoteOpRecoveryAttempt(frag.op_id);
+  const uint64_t frag_key = entry.tag;
+
+  if (!options_.foreground_write_propagation) {
+    // First-copy write: duplicates were cancelled at dispatch, so this entry
+    // carried the fragment alone.
+    if (failed_[disk]) {
+      ++fstats_.failovers;
+      if (SubmitWriteFragment(frag, frag_key)) {
+        ResolveFault(entry.id, FaultResolution::kFailedOver, true);
+      } else {
+        ResolveFault(entry.id, FaultResolution::kSurfaced, true);
+      }
+      return;
+    }
+    // Transient failure on a live disk: retry without an attempt bound — the
+    // data exists nowhere else yet, so giving up is not an option until the
+    // disk itself is declared dead.
+    ++frag.attempts;
+    ++fstats_.retries_issued;
+    ResolveFault(entry.id, FaultResolution::kRetried, false);
+    ScheduleRecovery(frag.attempts, [this, frag_key]() {
+      auto fit = frags_.find(frag_key);
+      if (fit == frags_.end()) {
+        return;
+      }
+      SubmitWriteFragment(fit->second, frag_key);
+    });
+    return;
+  }
+
+  // Foreground propagation: each entry is one replica.
+  if (failed_[disk]) {
+    // This copy is lost; surviving copies carry the fragment. If none
+    // succeeded by the time all entries account, the write is unrecoverable.
+    ResolveFault(entry.id, FaultResolution::kAbandoned, true);
+    LoseWriteReplica(frag_key);
+    return;
+  }
+  QueuedRequest retry;
+  retry.id = next_entry_id_++;
+  retry.op = DiskOp::kWrite;
+  retry.sectors = entry.sectors;
+  retry.candidate_lbas = {chosen_lba};
+  retry.tag = frag_key;
+  retry.attempts = entry.attempts + 1;
+  ++fstats_.retries_issued;
+  ResolveFault(entry.id, FaultResolution::kRetried, false);
+  ScheduleRecovery(retry.attempts,
+                   [this, disk, retry = std::move(retry)]() mutable {
+                     if (failed_[disk]) {
+                       LoseWriteReplica(retry.tag);
+                       return;
+                     }
+                     retry.arrival_us = sim_->Now();
+                     EnqueueFg(disk, std::move(retry));
+                     MaybeDispatch(disk);
+                   });
+}
+
+void ArrayController::LoseWriteReplica(uint64_t frag_key) {
+  auto it = frags_.find(frag_key);
+  MIMDRAID_CHECK(it != frags_.end());
+  FragState& frag = it->second;
+  MIMDRAID_CHECK_GT(frag.entries_remaining, 0u);
+  if (--frag.entries_remaining == 0) {
+    if (frag.successes == 0) {
+      frag.status = Worse(frag.status, IoStatus::kUnrecoverable);
+    }
+    CompleteFragment(frag_key, frag, /*chosen_disk=*/0, /*chosen_lba=*/0,
+                     sim_->Now());
+  }
+}
+
+void ArrayController::HandleDelayedFailure(uint32_t disk,
+                                           const QueuedRequest& entry,
+                                           uint64_t chosen_lba,
+                                           const DiskOpResult& result) {
+  (void)result;
+  const std::optional<uint64_t> owner = nvram_.OwnerOf(disk, chosen_lba);
+  const bool is_owner = owner.has_value() && *owner == entry.id;
+  if (failed_[disk]) {
+    if (is_owner) {
+      nvram_.Erase(disk, chosen_lba);
+      if (auditor_ != nullptr) {
+        auditor_->OnNvramErase(disk, chosen_lba);
+      }
+      for (uint32_t s = 0; s < entry.sectors; ++s) {
+        stale_sectors_.erase(ReplicaKey(disk, chosen_lba + s));
+      }
+    }
+    ++fstats_.propagations_abandoned;
+    ResolveFault(entry.id, FaultResolution::kAbandoned, true);
+    return;
+  }
+  if (!is_owner) {
+    // A newer write superseded this propagation while it was in flight; the
+    // live owner entry will rewrite the location with fresher data.
+    ResolveFault(entry.id, FaultResolution::kRetried, false);
+    return;
+  }
+  // Move ownership of the pending propagation to a fresh retry entry. The
+  // stale markers stay: the replica's content is still old. No attempt
+  // bound — the backlog is the only durable record of this data.
+  nvram_.Erase(disk, chosen_lba);
+  if (auditor_ != nullptr) {
+    auditor_->OnNvramErase(disk, chosen_lba);
+  }
+  ++fstats_.retries_issued;
+  ResolveFault(entry.id, FaultResolution::kRetried, false);
+  const uint32_t attempts = entry.attempts + 1;
+  const uint32_t sectors = entry.sectors;
+  ScheduleRecovery(attempts, [this, disk, chosen_lba, sectors, attempts]() {
+    if (failed_[disk]) {
+      for (uint32_t s = 0; s < sectors; ++s) {
+        stale_sectors_.erase(ReplicaKey(disk, chosen_lba + s));
+      }
+      ++fstats_.propagations_abandoned;
+      return;
+    }
+    AddDelayedWrite(disk, chosen_lba, sectors, attempts);
+  });
+}
+
+void ArrayController::HandleMaintenanceFailure(uint32_t disk,
+                                               const QueuedRequest& entry,
+                                               uint64_t chosen_lba,
+                                               const DiskOpResult& result) {
+  (void)chosen_lba;
+  if (auto rit = rebuild_read_done_.find(entry.id);
+      rit != rebuild_read_done_.end()) {
+    auto fn = std::move(rit->second);
+    rebuild_read_done_.erase(rit);
+    fn(result);  // restarts the fragment copy with a different source
+    ResolveFault(entry.id, FaultResolution::kFailedOver, failed_[disk]);
+    return;
+  }
+  if (auto wit = rebuild_write_done_.find(entry.id);
+      wit != rebuild_write_done_.end()) {
+    auto fn = std::move(wit->second);
+    rebuild_write_done_.erase(wit);
+    fn(result);  // retries the copy, or records it lost if the target died
+    ResolveFault(entry.id,
+                 failed_[disk] ? FaultResolution::kAbandoned
+                               : FaultResolution::kRetried,
+                 failed_[disk]);
+    return;
+  }
+  if (auto sit = scrub_reads_.find(entry.id); sit != scrub_reads_.end()) {
+    const ScrubTarget target = sit->second;
+    scrub_reads_.erase(sit);
+    ++fstats_.scrub_reads;
+    if (result.status == IoStatus::kMediaError && !failed_[target.disk]) {
+      // Latent sector error caught by the sweep: rewrite the replica with
+      // the logically equivalent data the scrubber reads from its siblings
+      // in the same pass; the drive remaps the sector on write.
+      ++fstats_.scrub_repairs;
+      ++fstats_.repairs_queued;
+      AddDelayedWrite(target.disk, target.lba, target.sectors);
+      ResolveFault(entry.id, FaultResolution::kRepaired, false);
+    } else if (failed_[target.disk]) {
+      ResolveFault(entry.id, FaultResolution::kAbandoned, true);
+    } else {
+      // Transient noise on a verification read: the next sweep revisits the
+      // chunk, so the observation is surfaced (counted) and dropped.
+      ResolveFault(entry.id, FaultResolution::kSurfaced, false);
+    }
+    return;
+  }
+  // Recalibration reference read: nothing to recover — the observation is
+  // simply missed and the next timer issues a fresh one.
+  ResolveFault(entry.id, FaultResolution::kSurfaced, failed_[disk]);
+}
+
+void ArrayController::AutoFailDisk(uint32_t disk) {
+  if (failed_[disk]) {
+    return;
+  }
+  failed_[disk] = true;
+  ++fstats_.auto_disk_failures;
+  if (options_.fault_injector != nullptr) {
+    // Threshold-triggered failures: make the verdict binding so the drive
+    // cannot half-work its way back into the array.
+    options_.fault_injector->FailStop(disk);
+  }
+  AbandonDelayedQueue(disk);
+  RerouteQueuedEntries(disk);
+  PromoteSpareIfAvailable(disk);
+}
+
+void ArrayController::AbandonDelayedQueue(uint32_t disk) {
+  std::vector<QueuedRequest> drained = std::move(delayed_[disk]);
+  delayed_[disk].clear();
+  for (QueuedRequest& e : drained) {
+    if (auditor_ != nullptr) {
+      auditor_->OnEntryCancelled(disk, e.id);
+    }
+    if (e.maintenance) {
+      // Rebuild copy traffic rides the delayed queues; hand the hooks a
+      // synthetic disk-failed result so the chains reroute or terminate.
+      DiskOpResult dead;
+      dead.status = IoStatus::kDiskFailed;
+      dead.start_us = sim_->Now();
+      dead.completion_us = sim_->Now();
+      if (auto rit = rebuild_read_done_.find(e.id);
+          rit != rebuild_read_done_.end()) {
+        auto fn = std::move(rit->second);
+        rebuild_read_done_.erase(rit);
+        fn(dead);
+      } else if (auto wit = rebuild_write_done_.find(e.id);
+                 wit != rebuild_write_done_.end()) {
+        auto fn = std::move(wit->second);
+        rebuild_write_done_.erase(wit);
+        fn(dead);
+      } else {
+        scrub_reads_.erase(e.id);
+      }
+      continue;
+    }
+    // Pending propagation to a dead disk: meaningless now.
+    if (nvram_.EraseIfOwner(disk, e.candidate_lbas.front(), e.id)) {
+      if (auditor_ != nullptr) {
+        auditor_->OnNvramErase(disk, e.candidate_lbas.front());
+      }
+    }
+    for (uint32_t s = 0; s < e.sectors; ++s) {
+      stale_sectors_.erase(ReplicaKey(disk, e.candidate_lbas.front() + s));
+    }
+    ++fstats_.propagations_abandoned;
+  }
+}
+
+void ArrayController::RerouteQueuedEntries(uint32_t disk) {
+  std::vector<QueuedRequest> moved = std::move(fg_[disk]);
+  fg_[disk].clear();
+  for (QueuedRequest& e : moved) {
+    if (auditor_ != nullptr) {
+      auditor_->OnEntryCancelled(disk, e.id);
+    }
+    if (e.maintenance) {
+      // Recalibration reads are periodic; the next timer re-issues one.
+      scrub_reads_.erase(e.id);
+      continue;
+    }
+    if (e.delayed) {
+      // Propagation forced into the FG queue by the table limit.
+      if (nvram_.EraseIfOwner(disk, e.candidate_lbas.front(), e.id)) {
+        if (auditor_ != nullptr) {
+          auditor_->OnNvramErase(disk, e.candidate_lbas.front());
+        }
+      }
+      for (uint32_t s = 0; s < e.sectors; ++s) {
+        stale_sectors_.erase(ReplicaKey(disk, e.candidate_lbas.front() + s));
+      }
+      ++fstats_.propagations_abandoned;
+      continue;
+    }
+    auto fit = frags_.find(e.tag);
+    MIMDRAID_CHECK(fit != frags_.end());
+    FragState& frag = fit->second;
+    for (size_t i = 0; i < frag.queued.size(); ++i) {
+      if (frag.queued[i].first == disk && frag.queued[i].second == e.id) {
+        frag.queued.erase(frag.queued.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (e.op == DiskOp::kRead || !options_.foreground_write_propagation) {
+      // Duplicate-style entry: a sibling on a live disk still carries the
+      // fragment; only a now-orphaned fragment needs resubmission.
+      if (!frag.queued.empty()) {
+        continue;
+      }
+      ++fstats_.failovers;
+      NoteOpRecoveryAttempt(frag.op_id);
+      if (e.op == DiskOp::kRead) {
+        SubmitReadFragment(frag, e.tag);
+      } else {
+        SubmitWriteFragment(frag, e.tag);
+      }
+    } else {
+      // Foreground-propagation replica on the dead disk: this copy is lost.
+      LoseWriteReplica(e.tag);
+    }
+  }
+}
+
+void ArrayController::PromoteSpareIfAvailable(uint32_t disk) {
+  if (spares_.empty() || layout_->aspect().dm < 2) {
+    return;
+  }
+  auto [spare_disk, spare_predictor] = spares_.front();
+  spares_.erase(spares_.begin());
+  disks_[disk] = spare_disk;
+  predictors_[disk] = spare_predictor;
+  if (auditor_ != nullptr) {
+    auditor_->OnDiskReplaced(disk);
+    spare_disk->SetAuditor(auditor_, disk);
+  }
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->ReplaceDisk(disk);
+    spare_disk->SetFaultInjector(options_.fault_injector, disk);
+  }
+  ++fstats_.spares_promoted;
+  RebuildDisk(disk, [this](const IoResult& r) {
+    if (r.status == IoStatus::kOk) {
+      ++fstats_.spare_rebuilds_completed;
+    }
+  });
+}
+
+// --- Background scrubbing -------------------------------------------------
+
+bool ArrayController::ScrubCanRun() const {
+  if (!ops_.empty() || !parked_.empty() || pending_recovery_ > 0 ||
+      RebuildInProgress()) {
+    return false;
+  }
+  for (size_t i = 0; i < disks_.size(); ++i) {
+    if (failed_[i]) {
+      continue;
+    }
+    if (disks_[i]->busy() || !fg_[i].empty() || !delayed_[i].empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ArrayController::ScheduleScrubTick() {
+  scrub_event_ = sim_->ScheduleAfter(options_.scrub_interval_us, [this]() {
+    scrub_event_ = 0;
+    ScrubTick();
+    ScheduleScrubTick();
+  });
+}
+
+void ArrayController::ScrubTick() {
+  // Idle-gating is the rate limit: a tick that finds any foreground or
+  // recovery work simply skips its turn.
+  if (!ScrubCanRun()) {
+    return;
+  }
+  const uint64_t dataset = layout_->dataset_sectors();
+  if (dataset == 0) {
+    return;
+  }
+  if (scrub_cursor_ >= dataset) {
+    scrub_cursor_ = 0;
+    ++fstats_.scrub_sweeps_completed;
+  }
+  const uint32_t span = static_cast<uint32_t>(std::min<uint64_t>(
+      layout_->stripe_unit_sectors(), dataset - scrub_cursor_));
+  for (const ArrayFragment& f : layout_->Map(scrub_cursor_, span)) {
+    for (const ReplicaLocation& loc : f.replicas) {
+      if (failed_[loc.disk]) {
+        continue;
+      }
+      QueuedRequest e;
+      e.id = next_entry_id_++;
+      e.op = DiskOp::kRead;
+      e.sectors = f.sectors;
+      e.candidate_lbas = {loc.lba};
+      e.arrival_us = sim_->Now();
+      e.maintenance = true;
+      scrub_reads_[e.id] = ScrubTarget{loc.disk, loc.lba, f.sectors};
+      const uint32_t d = loc.disk;
+      EnqueueDelayed(d, std::move(e));
+      MaybeDispatch(d);
+    }
+  }
+  scrub_cursor_ += span;
+}
+
 void ArrayController::AddDelayedWrite(uint32_t disk, uint64_t lba,
-                                      uint32_t sectors) {
+                                      uint32_t sectors, uint32_t attempts) {
   const std::optional<uint64_t> existing_owner = nvram_.OwnerOf(disk, lba);
   if (existing_owner.has_value()) {
     ++stats_.delayed_writes_discarded;
@@ -560,6 +1170,7 @@ void ArrayController::AddDelayedWrite(uint32_t disk, uint64_t lba,
   entry.candidate_lbas = {lba};
   entry.arrival_us = sim_->Now();
   entry.delayed = true;
+  entry.attempts = attempts;
   const uint64_t owner_id = entry.id;
   // Queue registration precedes the table insert so the auditor sees the
   // NVRAM entry owned by an already-live delayed entry.
@@ -694,21 +1305,7 @@ bool ArrayController::FailDisk(uint32_t disk) {
   }
   failed_[disk] = true;
   // Pending propagations to the failed disk are meaningless now.
-  std::vector<QueuedRequest> drained = std::move(delayed_[disk]);
-  delayed_[disk].clear();
-  for (const QueuedRequest& e : drained) {
-    // Maintenance (rebuild) entries in the delayed queue carry no NVRAM
-    // record, so the erase legitimately misses for them.
-    if (nvram_.Erase(disk, e.candidate_lbas.front()) && auditor_ != nullptr) {
-      auditor_->OnNvramErase(disk, e.candidate_lbas.front());
-    }
-    for (uint32_t s = 0; s < e.sectors; ++s) {
-      stale_sectors_.erase(ReplicaKey(disk, e.candidate_lbas.front() + s));
-    }
-    if (auditor_ != nullptr) {
-      auditor_->OnEntryCancelled(disk, e.id);
-    }
-  }
+  AbandonDelayedQueue(disk);
   return true;
 }
 
@@ -724,6 +1321,13 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
   // Stream the dataset fragment by fragment; for each fragment with replicas
   // on `disk`, read a surviving copy and rewrite this disk's copies. The copy
   // traffic rides the delayed queues, yielding to foreground work.
+  if (failed_[disk]) {
+    // The replacement itself died mid-rebuild; abort the stream.
+    if (done) {
+      done(IoResult{IoStatus::kDiskFailed, sim_->Now(), 0});
+    }
+    return;
+  }
   const uint64_t dataset = layout_->dataset_sectors();
   uint64_t lba = next_lba;
   while (lba < dataset) {
@@ -736,46 +1340,53 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
       for (const ReplicaLocation& loc : f.replicas) {
         if (loc.disk == disk) {
           targets.push_back(loc);
-        } else if (source == nullptr && !failed_[loc.disk]) {
+        } else if (source == nullptr && !failed_[loc.disk] &&
+                   !bad_sources_.contains(ReplicaKey(loc.disk, loc.lba))) {
           source = &loc;
         }
       }
       if (targets.empty()) {
         continue;
       }
-      MIMDRAID_CHECK(source != nullptr);
+      if (source == nullptr) {
+        // Every surviving copy is failed or known bad: this fragment cannot
+        // be re-populated. Count it and keep rebuilding the rest.
+        ++fstats_.rebuild_fragments_lost;
+        continue;
+      }
+      const uint64_t frag_start = f.logical_lba;
       const uint64_t resume = f.logical_lba + f.sectors;
       const uint32_t len = f.sectors;
-      auto writes_left = std::make_shared<size_t>(targets.size());
-      auto after_write = [this, disk, resume, done, writes_left](
-                             const DiskOpResult&) mutable {
-        ++rebuild_copied_;
-        if (--*writes_left == 0) {
-          RebuildNextFragment(disk, resume, std::move(done));
-        }
-      };
+      const uint32_t source_disk = source->disk;
+      const uint64_t source_lba = source->lba;
 
       QueuedRequest read_entry;
       read_entry.id = next_entry_id_++;
       read_entry.op = DiskOp::kRead;
       read_entry.sectors = len;
-      read_entry.candidate_lbas = {source->lba};
+      read_entry.candidate_lbas = {source_lba};
       read_entry.arrival_us = sim_->Now();
       read_entry.maintenance = true;
-      const uint32_t source_disk = source->disk;
       rebuild_read_done_[read_entry.id] =
-          [this, targets, len, after_write]() mutable {
+          [this, disk, frag_start, resume, targets, len, source_disk,
+           source_lba, done](const DiskOpResult& r) mutable {
+            if (r.status != IoStatus::kOk) {
+              if (r.status == IoStatus::kMediaError) {
+                // The source replica is bad: exclude it from future sourcing
+                // and rewrite it from whichever copy the restart picks.
+                bad_sources_.insert(ReplicaKey(source_disk, source_lba));
+                if (!failed_[source_disk]) {
+                  ++fstats_.repairs_queued;
+                  AddDelayedWrite(source_disk, source_lba, len);
+                }
+              }
+              ++fstats_.failovers;
+              RebuildNextFragment(disk, frag_start, std::move(done));
+              return;
+            }
+            auto writes_left = std::make_shared<size_t>(targets.size());
             for (const ReplicaLocation& loc : targets) {
-              QueuedRequest w;
-              w.id = next_entry_id_++;
-              w.op = DiskOp::kWrite;
-              w.sectors = len;
-              w.candidate_lbas = {loc.lba};
-              w.arrival_us = sim_->Now();
-              w.maintenance = true;
-              rebuild_write_done_[w.id] = after_write;
-              EnqueueDelayed(loc.disk, std::move(w));
-              MaybeDispatch(loc.disk);
+              EnqueueRebuildWrite(loc, len, writes_left, disk, resume, done);
             }
           };
       EnqueueDelayed(source_disk, std::move(read_entry));
@@ -785,8 +1396,63 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
     lba += span;
   }
   if (done) {
-    done(sim_->Now());
+    done(IoResult{IoStatus::kOk, sim_->Now(), 0});
   }
+}
+
+void ArrayController::EnqueueRebuildWrite(ReplicaLocation loc, uint32_t len,
+                                          std::shared_ptr<size_t> writes_left,
+                                          uint32_t rebuild_disk,
+                                          uint64_t resume, DoneFn done) {
+  if (failed_[loc.disk]) {
+    // The target slot died between sourcing the copy and issuing the write;
+    // an entry queued to a failed disk would never dispatch. The fragment is
+    // lost and the stream advances (RebuildNextFragment aborts the rebuild
+    // when the target itself is the failed disk).
+    ++fstats_.rebuild_fragments_lost;
+    if (--*writes_left == 0) {
+      RebuildNextFragment(rebuild_disk, resume, std::move(done));
+    }
+    return;
+  }
+  QueuedRequest w;
+  w.id = next_entry_id_++;
+  w.op = DiskOp::kWrite;
+  w.sectors = len;
+  w.candidate_lbas = {loc.lba};
+  w.arrival_us = sim_->Now();
+  w.maintenance = true;
+  rebuild_write_done_[w.id] = [this, loc, len, writes_left, rebuild_disk,
+                               resume, done](const DiskOpResult& r) mutable {
+    if (r.status != IoStatus::kOk && !failed_[loc.disk]) {
+      // Transient failure of the copy write: retry after backoff. The write
+      // itself repairs any latent error at the target (firmware remap).
+      ++fstats_.retries_issued;
+      ScheduleRecovery(1, [this, loc, len, writes_left, rebuild_disk, resume,
+                           done]() mutable {
+        if (failed_[loc.disk]) {
+          ++fstats_.rebuild_fragments_lost;
+          if (--*writes_left == 0) {
+            RebuildNextFragment(rebuild_disk, resume, std::move(done));
+          }
+          return;
+        }
+        EnqueueRebuildWrite(loc, len, writes_left, rebuild_disk, resume,
+                            std::move(done));
+      });
+      return;
+    }
+    if (r.status != IoStatus::kOk) {
+      ++fstats_.rebuild_fragments_lost;  // target slot died mid-copy
+    } else {
+      ++rebuild_copied_;
+    }
+    if (--*writes_left == 0) {
+      RebuildNextFragment(rebuild_disk, resume, std::move(done));
+    }
+  };
+  EnqueueDelayed(loc.disk, std::move(w));
+  MaybeDispatch(loc.disk);
 }
 
 void ArrayController::ScheduleRecalibration(uint32_t disk) {

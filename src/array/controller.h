@@ -21,7 +21,10 @@
 #include "src/disk/sim_disk.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/auditor.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/io_status.h"
 #include "src/sim/simulator.h"
+#include "src/stats/fault_stats.h"
 
 namespace mimdraid {
 
@@ -47,6 +50,25 @@ struct ArrayControllerOptions {
   // observes without altering any scheduling decision, so measured results
   // are unchanged.
   InvariantAuditor* auditor = nullptr;
+  // Fault injection: when set, the controller wires the injector into every
+  // disk (and into promoted spares) and runs its recovery machinery against
+  // the faults the disks report. Borrowed; must outlive the controller.
+  FaultInjector* fault_injector = nullptr;
+  // Bounded-retry policy for foreground reads that fail with a transient
+  // status (timeouts). Writes and background propagations retry without an
+  // attempt bound: they carry data that exists nowhere else yet, so the only
+  // legal terminal states are "landed" and "target disk failed".
+  RetryPolicy retry;
+  // Consecutive-error budget per disk before the controller declares the
+  // drive failed and promotes a hot spare (0 = never auto-fail on errors;
+  // an explicit kDiskFailed status always auto-fails).
+  uint32_t disk_error_fail_threshold = 0;
+  // Period of the background scrubber (0 = off). Each tick that finds the
+  // array otherwise idle reads every live replica of the next chunk of the
+  // logical space; a media error triggers a repair-rewrite from a surviving
+  // copy. Idle-gating is the rate limit: scrubbing never competes with
+  // foreground work.
+  SimTime scrub_interval_us = 0;
 };
 
 struct ArrayStats {
@@ -65,7 +87,11 @@ struct ArrayStats {
 
 class ArrayController {
  public:
-  using DoneFn = std::function<void(SimTime completion_us)>;
+  // Completion carries a full IoResult: kOk, or kUnrecoverable when every
+  // recovery avenue (retry, replica failover, repair) is exhausted. The
+  // intermediate statuses (kMediaError/kTimeout/kDiskFailed) are absorbed by
+  // the recovery machinery and never surface here.
+  using DoneFn = std::function<void(const IoResult&)>;
 
   // `disks` and `predictors` are parallel arrays of size
   // layout->num_disks(); the controller borrows them.
@@ -120,6 +146,25 @@ class ArrayController {
   // Dm >= 2.
   void RebuildDisk(uint32_t disk, DoneFn done);
   uint64_t rebuild_copied_fragments() const { return rebuild_copied_; }
+  bool RebuildInProgress() const {
+    return !rebuild_read_done_.empty() || !rebuild_write_done_.empty();
+  }
+
+  // --- Hot spares and fault recovery. ---
+  // Registers a standby drive (and its predictor) the controller may promote
+  // into a failed slot. Borrowed; must outlive the controller. The spare is
+  // wired to the auditor/injector only on promotion.
+  void AddSpare(SimDisk* disk, AccessPredictor* predictor);
+  size_t spares_available() const { return spares_.size(); }
+  const FaultRecoveryStats& fault_stats() const { return fstats_; }
+  uint64_t disk_error_count(uint32_t disk) const { return error_counts_[disk]; }
+
+  // Cancels the periodic scrub timer (in-flight scrub reads drain normally).
+  // Call before draining to quiescence; the destructor also cancels it.
+  void StopScrub();
+  uint64_t scrub_sweeps_completed() const {
+    return fstats_.scrub_sweeps_completed;
+  }
 
  private:
   struct FragState {
@@ -131,6 +176,15 @@ class ArrayController {
     uint32_t entries_remaining = 0;  // FG entries that must still complete
     // Entries queued for this fragment (for duplicate cancellation).
     std::vector<std::pair<uint32_t, uint64_t>> queued;  // (disk, entry id)
+    // --- Recovery state ---
+    uint32_t attempts = 0;  // in-place retries spent (timeouts)
+    // Replicas that returned a media error this fragment lifetime; excluded
+    // from failover candidate sets and rewritten (repaired) once the
+    // fragment completes from a surviving copy.
+    std::vector<ReplicaLocation> bad_replicas;
+    // Replicas that landed (foreground propagation mode only).
+    uint32_t successes = 0;
+    IoStatus status = IoStatus::kOk;  // worst unabsorbed status
   };
 
   struct OpState {
@@ -138,6 +192,8 @@ class ArrayController {
     uint32_t fragments_remaining = 0;
     DoneFn done;
     SimTime issue_us = 0;
+    IoStatus status = IoStatus::kOk;  // worst status over fragments
+    uint32_t recovery_attempts = 0;   // retries/failovers spent on this op
   };
 
   struct ParkedRequest {
@@ -154,8 +210,10 @@ class ArrayController {
 
   void SubmitInternal(DiskOp op, uint64_t lba, uint32_t sectors, DoneFn done,
                       SimTime issue_us);
-  void SubmitReadFragment(FragState& frag, uint64_t frag_key);
-  void SubmitWriteFragment(FragState& frag, uint64_t frag_key);
+  // Both return false when no live candidate disk remains; the fragment is
+  // then completed with kUnrecoverable instead of being queued.
+  bool SubmitReadFragment(FragState& frag, uint64_t frag_key);
+  bool SubmitWriteFragment(FragState& frag, uint64_t frag_key);
   void EnqueueFg(uint32_t disk, QueuedRequest entry);
   void EnqueueDelayed(uint32_t disk, QueuedRequest entry);
   void AuditMappedFragments(uint64_t lba, uint32_t sectors,
@@ -168,7 +226,8 @@ class ArrayController {
                         SimTime completion_us);
   void CancelSiblings(uint64_t frag_key, uint32_t winner_disk,
                       uint64_t winner_entry);
-  void AddDelayedWrite(uint32_t disk, uint64_t lba, uint32_t sectors);
+  void AddDelayedWrite(uint32_t disk, uint64_t lba, uint32_t sectors,
+                       uint32_t attempts = 0);
   void CancelPendingDelayed(uint32_t disk, uint64_t lba);
   void EnforceDelayedTableLimit();
   bool RangeHasInflightWrite(uint64_t lba, uint32_t sectors) const;
@@ -176,7 +235,48 @@ class ArrayController {
   void WakeParked();
   void ScheduleRecalibration(uint32_t disk);
   void RebuildNextFragment(uint32_t disk, uint64_t next_lba, DoneFn done);
+  void EnqueueRebuildWrite(ReplicaLocation loc, uint32_t len,
+                           std::shared_ptr<size_t> writes_left,
+                           uint32_t rebuild_disk, uint64_t resume, DoneFn done);
   bool ReplicaIsStale(uint32_t disk, uint64_t lba, uint32_t sectors) const;
+
+  // --- Fault recovery ---
+  // Dispatches a failed entry's recovery; called from OnEntryComplete for
+  // every non-kOk completion after the auditor has the fault on record.
+  void HandleEntryFailure(uint32_t disk, const QueuedRequest& entry,
+                          uint64_t chosen_lba, const DiskOpResult& result);
+  void HandleReadFailure(uint32_t disk, const QueuedRequest& entry,
+                         uint64_t chosen_lba, const DiskOpResult& result);
+  void HandleWriteFailure(uint32_t disk, const QueuedRequest& entry,
+                          uint64_t chosen_lba, const DiskOpResult& result);
+  void HandleDelayedFailure(uint32_t disk, const QueuedRequest& entry,
+                            uint64_t chosen_lba, const DiskOpResult& result);
+  void HandleMaintenanceFailure(uint32_t disk, const QueuedRequest& entry,
+                                uint64_t chosen_lba,
+                                const DiskOpResult& result);
+  void CountFault(uint32_t disk, IoStatus status);
+  void ResolveFault(uint64_t entry_id, FaultResolution resolution,
+                    bool target_disk_failed);
+  // Error-threshold / fail-stop response: marks the disk failed, abandons
+  // its pending propagations, reroutes its queued entries, and promotes a
+  // hot spare when one is registered (Dm >= 2).
+  void AutoFailDisk(uint32_t disk);
+  void AbandonDelayedQueue(uint32_t disk);
+  void RerouteQueuedEntries(uint32_t disk);
+  void PromoteSpareIfAvailable(uint32_t disk);
+  // Schedules `fn` after the retry backoff for `attempt`; Idle() stays false
+  // until every such recovery event has fired.
+  void ScheduleRecovery(uint32_t attempt, std::function<void()> fn);
+  void NoteOpRecoveryAttempt(uint64_t op_id);
+  void CompleteFragmentUnrecoverable(uint64_t frag_key, FragState& frag);
+  // A foreground-propagation replica write was lost (its disk failed);
+  // accounts it and completes the fragment when all entries are in.
+  void LoseWriteReplica(uint64_t frag_key);
+
+  // --- Background scrubbing ---
+  void ScheduleScrubTick();
+  void ScrubTick();
+  bool ScrubCanRun() const;
 
   Simulator* sim_;
   std::vector<SimDisk*> disks_;
@@ -209,9 +309,34 @@ class ArrayController {
   std::vector<bool> failed_;
   uint64_t rebuild_copied_ = 0;
   // Rebuild plumbing: completion hooks for the maintenance-tagged copy ops.
-  std::unordered_map<uint64_t, std::function<void()>> rebuild_read_done_;
+  // Both receive the DiskOpResult so the failure path can reroute (pick a
+  // new source / retry the write) instead of silently dropping the copy.
+  std::unordered_map<uint64_t, std::function<void(const DiskOpResult&)>>
+      rebuild_read_done_;
   std::unordered_map<uint64_t, std::function<void(const DiskOpResult&)>>
       rebuild_write_done_;
+  // Replica sources that returned a media error during rebuild/scrub
+  // sourcing; never picked again (keyed by ReplicaKey).
+  std::unordered_set<uint64_t> bad_sources_;
+
+  // --- Fault recovery state ---
+  FaultRecoveryStats fstats_;
+  std::vector<uint64_t> error_counts_;  // per-slot faults observed
+  // Pending backoff/recovery timers; Idle() is false while any is armed.
+  size_t pending_recovery_ = 0;
+  // Hot-spare pool, promoted in registration order.
+  std::vector<std::pair<SimDisk*, AccessPredictor*>> spares_;
+
+  // --- Background scrubbing state ---
+  EventId scrub_event_ = 0;
+  uint64_t scrub_cursor_ = 0;  // next logical LBA to sweep
+  // In-flight scrub reads: entry id -> target replica.
+  struct ScrubTarget {
+    uint32_t disk = 0;
+    uint64_t lba = 0;
+    uint32_t sectors = 0;
+  };
+  std::unordered_map<uint64_t, ScrubTarget> scrub_reads_;
 
   ArrayStats stats_;
 };

@@ -23,9 +23,9 @@ SubmitFn AdaptiveArray::Submitter() {
     monitor_.OnSubmit(op, lba, sectors, array_->sim().Now());
     array_->controller().Submit(
         op, lba, sectors,
-        [this, done = std::move(done)](SimTime completion) {
+        [this, done = std::move(done)](const IoResult& r) {
           monitor_.OnComplete(array_->sim().Now());
-          done(completion);
+          done(r);
         });
   };
 }

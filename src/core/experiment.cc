@@ -48,13 +48,20 @@ RunResult RunTraceWithCache(MimdRaid& array, const Trace& trace,
                         IoDoneFn done) {
     if (op == DiskOp::kRead && cache->Lookup(lba, sectors)) {
       sim->ScheduleAfter(static_cast<SimTime>(hit_latency_us),
-                         [sim, done = std::move(done)]() { done(sim->Now()); });
+                         [sim, done = std::move(done)]() {
+                           IoResult hit;
+                           hit.completion_us = sim->Now();
+                           done(hit);
+                         });
       return;
     }
     backend(op, lba, sectors,
-            [cache, lba, sectors, done = std::move(done)](SimTime completion) {
-              cache->Insert(lba, sectors);
-              done(completion);
+            [cache, lba, sectors, done = std::move(done)](const IoResult& r) {
+              // Only data that actually arrived populates the cache.
+              if (r.status == IoStatus::kOk) {
+                cache->Insert(lba, sectors);
+              }
+              done(r);
             });
   };
   TracePlayer player(sim, &trace, std::move(cached), options);

@@ -15,10 +15,19 @@ MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
   const int d = options_.aspect.TotalDisks();
   MIMDRAID_CHECK_GE(d, 1);
 
+  if (options_.enable_fault_injection || options_.hot_spares > 0) {
+    FaultInjectorOptions fopts = options_.fault;
+    if (fopts.seed == FaultInjectorOptions{}.seed) {
+      fopts.seed = options_.seed;
+    }
+    injector_ = std::make_unique<FaultInjector>(fopts);
+  }
+
   Rng rng(options_.seed);
   const double rotation_nominal =
       static_cast<double>(options_.geometry.RotationUs());
-  for (int i = 0; i < d; ++i) {
+  const int total_drives = d + static_cast<int>(options_.hot_spares);
+  for (int i = 0; i < total_drives; ++i) {
     const double phase =
         options_.synchronized_spindles
             ? 0.0
@@ -26,9 +35,14 @@ MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
     const double tolerance = options_.rotation_tolerance_ppm * 1e-6;
     const double rotation =
         rotation_nominal * (1.0 + rng.UniformDouble(-tolerance, tolerance));
-    disks_.push_back(std::make_unique<SimDisk>(
+    auto disk = std::make_unique<SimDisk>(
         &sim_, options_.geometry, options_.profile, options_.noise,
-        rng.Next(), phase, rotation));
+        rng.Next(), phase, rotation);
+    if (i < d) {
+      disks_.push_back(std::move(disk));
+    } else {
+      spare_disks_.push_back(std::move(disk));
+    }
   }
 
   if (options_.use_oracle_predictor) {
@@ -40,6 +54,10 @@ MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
     }
     for (auto& disk : disks_) {
       predictors_.push_back(
+          std::make_unique<OraclePredictor>(disk.get(), slack));
+    }
+    for (auto& disk : spare_disks_) {
+      spare_predictors_.push_back(
           std::make_unique<OraclePredictor>(disk.get(), slack));
     }
   } else {
@@ -56,6 +74,10 @@ MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
       predictors_.push_back(MakeCalibratedPredictor(
           &sim_, disk.get(), phase_only, &shared.profile, options_.slack));
     }
+    for (auto& disk : spare_disks_) {
+      spare_predictors_.push_back(MakeCalibratedPredictor(
+          &sim_, disk.get(), phase_only, &shared.profile, options_.slack));
+    }
   }
 
   layout_ = std::make_unique<ArrayLayout>(
@@ -68,14 +90,26 @@ MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
     disk_ptrs.push_back(disks_[i].get());
     pred_ptrs.push_back(predictors_[i].get());
   }
+  controller_ = std::make_unique<ArrayController>(
+      &sim_, std::move(disk_ptrs), std::move(pred_ptrs), layout_.get(),
+      ControllerOptions());
+  for (size_t i = 0; i < spare_disks_.size(); ++i) {
+    controller_->AddSpare(spare_disks_[i].get(), spare_predictors_[i].get());
+  }
+}
+
+ArrayControllerOptions MimdRaid::ControllerOptions() const {
   ArrayControllerOptions copts;
   copts.scheduler = options_.scheduler;
   copts.max_scan = options_.max_scan;
   copts.delayed_table_limit = options_.delayed_table_limit;
   copts.recalibration_interval_us = options_.recalibration_interval_us;
   copts.foreground_write_propagation = options_.foreground_write_propagation;
-  controller_ = std::make_unique<ArrayController>(
-      &sim_, std::move(disk_ptrs), std::move(pred_ptrs), layout_.get(), copts);
+  copts.fault_injector = injector_.get();
+  copts.retry = options_.retry;
+  copts.disk_error_fail_threshold = options_.disk_error_fail_threshold;
+  copts.scrub_interval_us = options_.scrub_interval_us;
+  return copts;
 }
 
 void MimdRaid::Reshape(const ArrayAspect& aspect, SimTime migration_us) {
@@ -86,6 +120,9 @@ void MimdRaid::Reshape(const ArrayAspect& aspect, SimTime migration_us) {
   while (!controller_->Idle()) {
     MIMDRAID_CHECK(sim_.Step());
   }
+  // Spares consumed by promotions live on inside the old controller's disk
+  // set; reshaping a partially-failed array is unsupported.
+  MIMDRAID_CHECK_EQ(controller_->spares_available(), spare_disks_.size());
   controller_.reset();
   sim_.RunUntil(sim_.Now() + migration_us);
 
@@ -99,14 +136,12 @@ void MimdRaid::Reshape(const ArrayAspect& aspect, SimTime migration_us) {
     disk_ptrs.push_back(disks_[i].get());
     pred_ptrs.push_back(predictors_[i].get());
   }
-  ArrayControllerOptions copts;
-  copts.scheduler = options_.scheduler;
-  copts.max_scan = options_.max_scan;
-  copts.delayed_table_limit = options_.delayed_table_limit;
-  copts.recalibration_interval_us = options_.recalibration_interval_us;
-  copts.foreground_write_propagation = options_.foreground_write_propagation;
   controller_ = std::make_unique<ArrayController>(
-      &sim_, std::move(disk_ptrs), std::move(pred_ptrs), layout_.get(), copts);
+      &sim_, std::move(disk_ptrs), std::move(pred_ptrs), layout_.get(),
+      ControllerOptions());
+  for (size_t i = 0; i < spare_disks_.size(); ++i) {
+    controller_->AddSpare(spare_disks_[i].get(), spare_predictors_[i].get());
+  }
 }
 
 SubmitFn MimdRaid::Submitter() {

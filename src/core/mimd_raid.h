@@ -18,6 +18,8 @@
 #include "src/disk/seek_profile.h"
 #include "src/disk/sim_disk.h"
 #include "src/model/configurator.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/io_status.h"
 #include "src/sim/simulator.h"
 #include "src/workload/drivers.h"
 
@@ -54,6 +56,20 @@ struct MimdRaidOptions {
   size_t delayed_table_limit = 10'000;
   SimTime recalibration_interval_us = 0;
   bool foreground_write_propagation = false;
+
+  // Fault handling. The injector is instantiated (and wired into every disk)
+  // when enable_fault_injection is true or hot_spares > 0.
+  bool enable_fault_injection = false;
+  FaultInjectorOptions fault;
+  RetryPolicy retry;
+  // Consecutive-error count at which the controller fail-stops a disk
+  // (0 disables auto-failing on error count; kDiskFailed always fail-stops).
+  uint32_t disk_error_fail_threshold = 0;
+  // Idle-time background scrub period (0 disables scrubbing).
+  SimTime scrub_interval_us = 0;
+  // Extra drives kept spinning; promoted automatically when a disk
+  // fail-stops, followed by an automatic rebuild.
+  uint32_t hot_spares = 0;
 };
 
 class MimdRaid {
@@ -65,9 +81,13 @@ class MimdRaid {
   const ArrayLayout& layout() const { return *layout_; }
   const MimdRaidOptions& options() const { return options_; }
 
+  // Array disks only; hot spares are owned separately until promoted.
   size_t num_disks() const { return disks_.size(); }
   SimDisk& disk(size_t i) { return *disks_[i]; }
   AccessPredictor& predictor(size_t i) { return *predictors_[i]; }
+
+  // nullptr unless fault injection was enabled.
+  FaultInjector* fault_injector() { return injector_.get(); }
 
   // Submit function bound to the controller, for the workload drivers.
   SubmitFn Submitter();
@@ -80,10 +100,15 @@ class MimdRaid {
   void Reshape(const ArrayAspect& aspect, SimTime migration_us);
 
  private:
+  ArrayControllerOptions ControllerOptions() const;
+
   MimdRaidOptions options_;
   Simulator sim_;
+  std::unique_ptr<FaultInjector> injector_;
   std::vector<std::unique_ptr<SimDisk>> disks_;
   std::vector<std::unique_ptr<AccessPredictor>> predictors_;
+  std::vector<std::unique_ptr<SimDisk>> spare_disks_;
+  std::vector<std::unique_ptr<AccessPredictor>> spare_predictors_;
   std::unique_ptr<ArrayLayout> layout_;
   std::unique_ptr<ArrayController> controller_;
 };

@@ -61,6 +61,12 @@ void InternalQueueDisk::MaybeStart() {
   queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
   disk_->Start(cmd.op, cmd.lba, cmd.sectors,
                [this, done = std::move(cmd.done)](const DiskOpResult& result) {
+                 // The status rides the result through to the submitter; the
+                 // firmware itself does not retry — host-side recovery policy
+                 // owns that (src/sim/io_status.h).
+                 if (!result.ok()) {
+                   ++errors_;
+                 }
                  if (done) {
                    done(result);
                  }

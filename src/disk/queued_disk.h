@@ -41,6 +41,8 @@ class InternalQueueDisk {
   bool Idle() const { return queue_.empty() && !disk_->busy(); }
   SimDisk& disk() { return *disk_; }
   uint64_t reorderings() const { return reorderings_; }
+  // Commands that completed with a non-kOk IoStatus (observed, not retried).
+  uint64_t errors() const { return errors_; }
 
  private:
   struct Command {
@@ -58,6 +60,7 @@ class InternalQueueDisk {
   uint32_t queue_depth_;
   std::vector<Command> queue_;  // commands accepted by the drive
   uint64_t reorderings_ = 0;    // times SATF bypassed the oldest command
+  uint64_t errors_ = 0;         // completions with status != kOk
 };
 
 }  // namespace mimdraid

@@ -7,6 +7,11 @@
 
 namespace mimdraid {
 
+namespace {
+// Electronics-only rejection time of a fail-stopped drive.
+constexpr SimTime kFailFastUs = 100;
+}  // namespace
+
 SimDisk::SimDisk(Simulator* sim, const DiskGeometry& geometry,
                  const SeekProfile& profile, const DiskNoiseModel& noise,
                  uint64_t seed, double spindle_phase_us,
@@ -31,16 +36,78 @@ void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
   busy_ = true;
 
   const SimTime start = sim_->Now();
+
+  FaultOutcome fault;
+  if (fault_injector_ != nullptr) {
+    fault = fault_injector_->OnAccess(audit_disk_index_, op == DiskOp::kWrite,
+                                      lba, sectors);
+  }
+  if (fault.status == IoStatus::kDiskFailed ||
+      fault.status == IoStatus::kTimeout) {
+    // The command never reaches the media: dead electronics reject it almost
+    // immediately; a hung drive holds it until the host watchdog (a simulator
+    // timer armed per dispatched op) expires and aborts it. Either way the
+    // arm does not move and the spindle state is untouched.
+    const SimTime hold =
+        fault.status == IoStatus::kDiskFailed
+            ? kFailFastUs
+            : fault_injector_->options().watchdog_timeout_us;
+    DiskOpResult result;
+    result.status = fault.status;
+    result.start_us = start;
+    result.completion_us = start + hold;
+    result.overhead_us = static_cast<double>(hold);
+    DiskOpAudit audit;
+    if (auditor_ != nullptr) {
+      audit = AuditFor(result, lba, sectors, op == DiskOp::kWrite, head_);
+    }
+    sim_->ScheduleAt(result.completion_us,
+                     [this, result, audit, cb = std::move(done)]() {
+      busy_ = false;
+      ++ops_failed_;
+      if (auditor_ != nullptr) {
+        auditor_->OnDiskOpComplete(audit);
+      }
+      if (cb) {
+        cb(result);
+      }
+    });
+    return;
+  }
+
+  if (op == DiskOp::kWrite && fault_injector_ != nullptr) {
+    // Firmware write reallocation: a write over a latent-bad sector remaps it
+    // to the zone's spare space and stores the data there — rewriting a bad
+    // replica is how the layers above repair latent errors. Remap before
+    // timing so the access targets the sector's new physical home. If the
+    // zone's spare space is exhausted the drive rewrites in place (heroic
+    // retries) — the media error is still cleared.
+    for (uint64_t bad :
+         fault_injector_->LatentInRange(audit_disk_index_, lba, sectors)) {
+      layout_->AddBadSector(bad);
+      fault_injector_->OnWriteRepaired(audit_disk_index_, bad);
+    }
+  }
+
   double overhead =
       rng_.Normal(noise_.overhead_mean_us, noise_.overhead_stddev_us);
   overhead = std::max(overhead, 0.0);
   if (noise_.hiccup_prob > 0.0 && rng_.Bernoulli(noise_.hiccup_prob)) {
     overhead += rng_.Exponential(noise_.hiccup_mean_us);
   }
+  if (fault.status == IoStatus::kMediaError) {
+    // The drive burns revolutions on internal re-reads before giving up.
+    overhead += fault_injector_->options().media_retry_penalty_us;
+  }
 
   const AccessPlan plan =
       timing_->Plan(head_, static_cast<double>(start) + overhead, lba, sectors,
                     op == DiskOp::kWrite);
+  if (fault.service_multiplier > 1.0) {
+    // Fail-slow drive: the mechanical access is stretched; book the stretch
+    // as overhead so the decomposition still sums to the service time.
+    overhead += (fault.service_multiplier - 1.0) * plan.total_us;
+  }
   double post = rng_.Normal(noise_.post_overhead_mean_us,
                             noise_.post_overhead_stddev_us);
   post = std::max(post, 0.0);
@@ -48,6 +115,7 @@ void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
   const SimTime completion = start + static_cast<SimTime>(total + 0.5);
 
   DiskOpResult result;
+  result.status = fault.status;
   result.start_us = start;
   result.completion_us = completion;
   result.overhead_us = overhead + post;
@@ -58,29 +126,19 @@ void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
   // Pre-built audit record (cheap PODs; only filled when auditing).
   DiskOpAudit audit;
   if (auditor_ != nullptr) {
-    audit.disk = audit_disk_index_;
-    audit.is_write = op == DiskOp::kWrite;
-    audit.lba = lba;
-    audit.sectors = sectors;
-    audit.start_us = result.start_us;
-    audit.completion_us = result.completion_us;
-    audit.overhead_us = result.overhead_us;
-    audit.seek_us = result.seek_us;
-    audit.rotational_us = result.rotational_us;
-    audit.transfer_us = result.transfer_us;
-    audit.head_cylinder = plan.end_state.cylinder;
-    audit.head_index = plan.end_state.head;
-    audit.num_cylinders = geometry_.num_cylinders;
-    audit.num_heads = geometry_.num_heads;
-    audit.spindle_phase_us = timing_->spindle_phase_us();
-    audit.rotation_us = timing_->rotation_us();
+    audit = AuditFor(result, lba, sectors, op == DiskOp::kWrite,
+                     plan.end_state);
   }
 
   sim_->ScheduleAt(completion,
                    [this, plan, result, audit, cb = std::move(done)]() {
     head_ = plan.end_state;
     busy_ = false;
-    ++ops_completed_;
+    if (result.status == IoStatus::kOk) {
+      ++ops_completed_;
+    } else {
+      ++ops_failed_;
+    }
     if (auditor_ != nullptr) {
       auditor_->OnDiskOpComplete(audit);
     }
@@ -88,6 +146,29 @@ void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
       cb(result);
     }
   });
+}
+
+DiskOpAudit SimDisk::AuditFor(const DiskOpResult& result, uint64_t lba,
+                              uint32_t sectors, bool is_write,
+                              const HeadState& end_state) const {
+  DiskOpAudit audit;
+  audit.disk = audit_disk_index_;
+  audit.is_write = is_write;
+  audit.lba = lba;
+  audit.sectors = sectors;
+  audit.start_us = result.start_us;
+  audit.completion_us = result.completion_us;
+  audit.overhead_us = result.overhead_us;
+  audit.seek_us = result.seek_us;
+  audit.rotational_us = result.rotational_us;
+  audit.transfer_us = result.transfer_us;
+  audit.head_cylinder = end_state.cylinder;
+  audit.head_index = end_state.head;
+  audit.num_cylinders = geometry_.num_cylinders;
+  audit.num_heads = geometry_.num_heads;
+  audit.spindle_phase_us = timing_->spindle_phase_us();
+  audit.rotation_us = timing_->rotation_us();
+  return audit;
 }
 
 }  // namespace mimdraid

@@ -19,6 +19,8 @@
 #include "src/disk/seek_profile.h"
 #include "src/disk/timing.h"
 #include "src/sim/auditor.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/io_status.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
 
@@ -62,6 +64,10 @@ struct DiskNoiseModel {
 };
 
 struct DiskOpResult {
+  // How the command ended. Anything but kOk means the data did not move;
+  // the layer above decides between retry, failover, reconstruction, and
+  // surfacing the error (see src/sim/io_status.h).
+  IoStatus status = IoStatus::kOk;
   SimTime start_us = 0;
   SimTime completion_us = 0;
   // Decomposition of the service time (ground truth; used by statistics and
@@ -72,6 +78,7 @@ struct DiskOpResult {
   double transfer_us = 0.0;
 
   SimTime ServiceUs() const { return completion_us - start_us; }
+  bool ok() const { return status == IoStatus::kOk; }
 };
 
 using DiskCompletionFn = std::function<void(const DiskOpResult&)>;
@@ -113,6 +120,26 @@ class SimDisk {
     audit_disk_index_ = disk_index;
   }
 
+  // Attaches the fault injector (nullptr detaches); `disk_index` is the array
+  // slot this drive occupies in the injector's state. Borrowed, must outlive
+  // the disk. With an injector attached every Start() consults it:
+  //  * fail-stop  -> the command is rejected almost immediately (kDiskFailed);
+  //  * hang       -> the host watchdog timer aborts the command after
+  //                  watchdog_timeout_us (kTimeout); the arm does not move;
+  //  * media error-> the access runs mechanically (plus the drive's internal
+  //                  retry penalty) but returns kMediaError;
+  //  * fail-slow  -> mechanical time is stretched by the drive's multiplier.
+  // Writes covering a latent-bad LBA trigger the firmware write-reallocation
+  // path: the sector is remapped to spare space (DiskLayout::AddBadSector)
+  // and the latent error is cleared — rewriting a bad replica repairs it.
+  void SetFaultInjector(FaultInjector* injector, uint32_t disk_index) {
+    fault_injector_ = injector;
+    audit_disk_index_ = disk_index;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
+  uint64_t ops_failed() const { return ops_failed_; }
+
   // --- Introspection for tests and oracle experiments only. ---
   // Production components (calibration, schedulers) must treat the drive as a
   // black box and work from completion timestamps.
@@ -121,6 +148,10 @@ class SimDisk {
   const DiskTimingModel& DebugTimingModel() const { return *timing_; }
 
  private:
+  DiskOpAudit AuditFor(const DiskOpResult& result, uint64_t lba,
+                       uint32_t sectors, bool is_write,
+                       const HeadState& end_state) const;
+
   Simulator* sim_;
   DiskGeometry geometry_;
   std::unique_ptr<DiskLayout> layout_;
@@ -130,7 +161,9 @@ class SimDisk {
   HeadState head_;
   bool busy_ = false;
   uint64_t ops_completed_ = 0;
+  uint64_t ops_failed_ = 0;
   InvariantAuditor* auditor_ = nullptr;
+  FaultInjector* fault_injector_ = nullptr;
   uint32_t audit_disk_index_ = 0;
 };
 

@@ -7,6 +7,15 @@
 
 namespace mimdraid {
 
+namespace {
+
+// Status severity follows enum declaration order.
+IoStatus Worse(IoStatus a, IoStatus b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+}  // namespace
+
 Raid5Controller::Raid5Controller(Simulator* sim, std::vector<SimDisk*> disks,
                                  std::vector<AccessPredictor*> predictors,
                                  const Raid5Layout* layout,
@@ -25,11 +34,13 @@ Raid5Controller::Raid5Controller(Simulator* sim, std::vector<SimDisk*> disks,
   failed_.resize(n, false);
   for (size_t i = 0; i < n; ++i) {
     schedulers_.push_back(MakeScheduler(options.scheduler, options.max_scan));
+    disks_[i]->SetFaultInjector(options_.fault_injector,
+                                static_cast<uint32_t>(i));
   }
 }
 
 bool Raid5Controller::Idle() const {
-  if (!ops_.empty() || rebuilding_disk_ >= 0) {
+  if (!ops_.empty() || rebuilding_disk_ >= 0 || pending_recovery_ > 0) {
     return false;
   }
   for (size_t i = 0; i < disks_.size(); ++i) {
@@ -42,15 +53,47 @@ bool Raid5Controller::Idle() const {
 
 void Raid5Controller::FailDisk(uint32_t disk) {
   MIMDRAID_CHECK_LT(disk, failed_.size());
-  for (size_t i = 0; i < failed_.size(); ++i) {
-    MIMDRAID_CHECK(!failed_[i]);  // a second failure loses data
+  if (failed_[disk]) {
+    return;
   }
   failed_[disk] = true;
-  // Outstanding queue entries for the failed disk cannot complete; a real
-  // controller re-drives them. Here we require quiescence at failure time
-  // (tests fail disks between requests), which keeps the model simple.
-  MIMDRAID_CHECK(queues_[disk].empty());
-  MIMDRAID_CHECK(!disks_[disk]->busy());
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->FailStop(disk);
+  }
+  // Outstanding queue entries for the failed disk cannot complete on it; they
+  // are re-driven through their failure handlers (degraded service or
+  // kUnrecoverable), exactly as on an auto-detected failure.
+  DrainQueue(disk);
+}
+
+void Raid5Controller::AutoFailDisk(uint32_t disk) {
+  if (failed_[disk]) {
+    return;
+  }
+  failed_[disk] = true;
+  ++fstats_.auto_disk_failures;
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->FailStop(disk);
+  }
+  DrainQueue(disk);
+}
+
+void Raid5Controller::DrainQueue(uint32_t disk) {
+  std::vector<QueuedRequest> drained;
+  drained.swap(queues_[disk]);
+  DiskOpResult failure;
+  failure.status = IoStatus::kDiskFailed;
+  failure.start_us = sim_->Now();
+  failure.completion_us = sim_->Now();
+  for (QueuedRequest& entry : drained) {
+    auto it = entry_done_.find(entry.id);
+    if (it == entry_done_.end()) {
+      continue;
+    }
+    auto done = std::move(it->second);
+    entry_done_.erase(it);
+    done(failure);
+  }
 }
 
 bool Raid5Controller::DiskUsable(uint32_t disk, uint32_t row) const {
@@ -82,44 +125,118 @@ void Raid5Controller::Submit(DiskOp op, uint64_t lba, uint32_t sectors,
 }
 
 void Raid5Controller::SubmitReadFragment(uint64_t op_id,
-                                         const Raid5Fragment& frag) {
+                                         const Raid5Fragment& frag,
+                                         bool force_degraded,
+                                         bool repair_on_success) {
   auto work = std::make_shared<FragWork>();
   work->op_id = op_id;
   work->frag = frag;
   work->op = DiskOp::kRead;
+  work->force_degraded = force_degraded;
+  work->repair_pending = repair_on_success;
 
-  if (DiskUsable(frag.data_disk, frag.row)) {
+  if (!force_degraded && DiskUsable(frag.data_disk, frag.row)) {
     work->phase_remaining = 1;
     EnqueueDiskOp(frag.data_disk, DiskOp::kRead, frag.disk_lba, frag.sectors,
                   [this, work](const DiskOpResult& r) {
-                    FragmentPhaseDone(work, r.completion_us);
+                    if (work->abandoned) {
+                      return;
+                    }
+                    if (r.ok()) {
+                      FragmentPhaseDone(work, r.completion_us);
+                      return;
+                    }
+                    // Direct read failed past the retry budget: fail over to
+                    // peer reconstruction. A media error additionally queues
+                    // a repair rewrite once the data is back in hand.
+                    work->abandoned = true;
+                    NoteOpRecovery(work->op_id);
+                    ++fstats_.failovers;
+                    const bool repair = r.status == IoStatus::kMediaError &&
+                                        !failed_[work->frag.data_disk];
+                    SubmitReadFragment(work->op_id, work->frag,
+                                       /*force_degraded=*/true, repair);
                   });
     return;
   }
+
   // Degraded read: reconstruct from every surviving row member (including
   // parity).
-  work->degraded = true;
   const std::vector<uint32_t> peers =
       layout_->RowPeers(frag.row, frag.data_disk);
+  bool peers_usable = !peers.empty();
+  for (uint32_t peer : peers) {
+    if (!DiskUsable(peer, frag.row)) {
+      peers_usable = false;
+    }
+  }
+  if (!peers_usable) {
+    // Second failure inside the reconstruction set: the data is gone. Finish
+    // the fragment gracefully instead of crashing.
+    CompleteFragmentFailed(op_id, IoStatus::kUnrecoverable);
+    return;
+  }
+  work->degraded = true;
   work->phase_remaining = static_cast<int>(peers.size());
   ++stats_.degraded_reads;
+  ++fstats_.reconstructions;
   for (uint32_t peer : peers) {
     EnqueueDiskOp(peer, DiskOp::kRead, frag.disk_lba, frag.sectors,
                   [this, work](const DiskOpResult& r) {
+                    if (work->abandoned) {
+                      return;
+                    }
+                    if (!r.ok()) {
+                      // A fault while reconstructing an already-missing
+                      // member: unrecoverable.
+                      work->status =
+                          Worse(work->status, IoStatus::kUnrecoverable);
+                    }
                     FragmentPhaseDone(work, r.completion_us);
                   });
   }
 }
 
 void Raid5Controller::SubmitWriteFragment(uint64_t op_id,
-                                          const Raid5Fragment& frag) {
+                                          const Raid5Fragment& frag,
+                                          bool force_degraded) {
   auto work = std::make_shared<FragWork>();
   work->op_id = op_id;
   work->frag = frag;
   work->op = DiskOp::kWrite;
+  work->force_degraded = force_degraded;
 
-  const bool data_ok = DiskUsable(frag.data_disk, frag.row);
+  const bool data_ok = !force_degraded && DiskUsable(frag.data_disk, frag.row);
   const bool parity_ok = DiskUsable(frag.parity_disk, frag.row);
+
+  // Shared handler for every read-phase sub-op of a write fragment.
+  auto read_cb = [this, work](const DiskOpResult& r) {
+    if (work->abandoned) {
+      return;
+    }
+    if (!r.ok()) {
+      if (r.status == IoStatus::kDiskFailed) {
+        // Row membership changed under us: re-plan against the survivors.
+        work->abandoned = true;
+        NoteOpRecovery(work->op_id);
+        SubmitWriteFragment(work->op_id, work->frag, work->force_degraded);
+        return;
+      }
+      if (!work->force_degraded) {
+        // Old data or old parity is unreadable; a reconstruct-write needs
+        // neither.
+        work->abandoned = true;
+        NoteOpRecovery(work->op_id);
+        ++fstats_.failovers;
+        SubmitWriteFragment(work->op_id, work->frag, /*force_degraded=*/true);
+        return;
+      }
+      // Already reconstructing and a peer unit is unreadable: the new parity
+      // cannot be computed.
+      work->status = Worse(work->status, IoStatus::kUnrecoverable);
+    }
+    FragmentPhaseDone(work, r.completion_us);
+  };
 
   if (data_ok && parity_ok) {
     if (frag.sectors == layout_->stripe_unit_sectors() &&
@@ -127,68 +244,91 @@ void Raid5Controller::SubmitWriteFragment(uint64_t op_id,
       // Unit-aligned write: new parity still needs the other units unless the
       // whole row is written; a unit-granular controller cannot see sibling
       // fragments, so treat a full-unit write as reconstruct-write: read the
-      // other data units, then write data + parity.
+      // other data units, then write data + parity. Requires every other
+      // data unit to be readable; with a dead peer in the row, fall through
+      // to RMW instead (old data + old parity need no peers), which also
+      // keeps a re-plan after a mid-flight peer failure from re-issuing the
+      // identical doomed plan forever.
       const uint32_t n = layout_->num_disks();
       std::vector<uint32_t> other_data;
+      bool others_readable = true;
       for (uint32_t i = 0; i < n - 1; ++i) {
         const uint32_t d = layout_->DataDiskOf(frag.row, i);
         if (d != frag.data_disk) {
           other_data.push_back(d);
+          if (!DiskUsable(d, frag.row)) {
+            others_readable = false;
+          }
         }
       }
-      ++stats_.full_stripe_writes;
-      work->phase_remaining = static_cast<int>(other_data.size());
-      if (work->phase_remaining == 0) {
-        work->phase_remaining = 1;
-        FragmentPhaseDone(work, sim_->Now());
+      if (others_readable) {
+        ++stats_.full_stripe_writes;
+        work->phase_remaining = static_cast<int>(other_data.size());
+        if (work->phase_remaining == 0) {
+          work->phase_remaining = 1;
+          FragmentPhaseDone(work, sim_->Now());
+          return;
+        }
+        for (uint32_t d : other_data) {
+          EnqueueDiskOp(d, DiskOp::kRead, frag.disk_lba, frag.sectors,
+                        read_cb);
+        }
         return;
       }
-      for (uint32_t d : other_data) {
-        EnqueueDiskOp(d, DiskOp::kRead, frag.disk_lba, frag.sectors,
-                      [this, work](const DiskOpResult& r) {
-                        FragmentPhaseDone(work, r.completion_us);
-                      });
-      }
-      return;
     }
     // Small write: read-modify-write of data and parity.
     ++stats_.rmw_writes;
     work->phase_remaining = 2;
     for (uint32_t d : {frag.data_disk, frag.parity_disk}) {
-      const uint64_t lba = d == frag.data_disk ? frag.disk_lba : frag.parity_lba;
-      EnqueueDiskOp(d, DiskOp::kRead, lba, frag.sectors,
-                    [this, work](const DiskOpResult& r) {
-                      FragmentPhaseDone(work, r.completion_us);
-                    });
+      const uint64_t lba =
+          d == frag.data_disk ? frag.disk_lba : frag.parity_lba;
+      EnqueueDiskOp(d, DiskOp::kRead, lba, frag.sectors, read_cb);
     }
+    return;
+  }
+
+  if (failed_[frag.data_disk] && failed_[frag.parity_disk]) {
+    // Both row members for this fragment are gone: nothing can be written.
+    CompleteFragmentFailed(op_id, IoStatus::kUnrecoverable);
     return;
   }
 
   ++stats_.degraded_writes;
   work->degraded = true;
   if (!parity_ok) {
-    // Parity lost: just write the data; the fragment is then complete.
-    EnqueueDiskOp(frag.data_disk, DiskOp::kWrite, frag.disk_lba, frag.sectors,
-                  [this, work](const DiskOpResult& r) {
-                    OpPartDone(work->op_id, r.completion_us);
-                  });
+    // Parity lost: just write the data. The write phase re-checks which
+    // targets are usable, so entering it directly writes data alone.
+    work->phase_remaining = 1;
+    FragmentPhaseDone(work, sim_->Now());
     return;
   }
-  // Data disk lost: reconstruct-write — read the other data units, then
-  // write the new parity.
+  // Data copy lost (disk failed or its sectors unreadable): reconstruct-write
+  // — read the other data units, then write the new parity (and the data
+  // itself when the disk is merely media-degraded, not failed).
   std::vector<uint32_t> others;
+  bool others_usable = true;
   for (uint32_t i = 0; i < layout_->num_disks() - 1; ++i) {
     const uint32_t d = layout_->DataDiskOf(frag.row, i);
     if (d != frag.data_disk) {
       others.push_back(d);
+      if (!DiskUsable(d, frag.row)) {
+        others_usable = false;
+      }
     }
   }
+  if (!others_usable) {
+    // A second missing member: the new parity cannot be computed.
+    CompleteFragmentFailed(op_id, IoStatus::kUnrecoverable);
+    return;
+  }
   work->phase_remaining = static_cast<int>(others.size());
+  if (work->phase_remaining == 0) {
+    work->phase_remaining = 1;
+    FragmentPhaseDone(work, sim_->Now());
+    return;
+  }
   for (uint32_t d : others) {
-    EnqueueDiskOp(d, DiskOp::kRead, frag.disk_lba, frag.sectors,
-                  [this, work](const DiskOpResult& r) {
-                    FragmentPhaseDone(work, r.completion_us);
-                  });
+    EnqueueDiskOp(d, DiskOp::kRead, frag.disk_lba, frag.sectors, read_cb);
   }
 }
 
@@ -200,18 +340,46 @@ void Raid5Controller::FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
   }
   const Raid5Fragment& frag = work->frag;
   if (work->op == DiskOp::kRead) {
-    OpPartDone(work->op_id, completion);
+    if (work->status == IoStatus::kOk && work->repair_pending &&
+        DiskUsable(frag.data_disk, frag.row)) {
+      // Reconstructed data in hand: rewrite the latent-bad sectors so the
+      // drive reallocates them. Best-effort — if the rewrite fails the next
+      // read simply degrades again.
+      ++fstats_.repairs_queued;
+      EnqueueDiskOp(frag.data_disk, DiskOp::kWrite, frag.disk_lba,
+                    frag.sectors, [](const DiskOpResult&) {});
+    }
+    OpPartDone(work->op_id, completion, work->status);
     return;
   }
 
-  // Write: the read phase (if any) is done; issue the write phase.
+  // Write: the read phase (if any) is done.
+  if (work->status != IoStatus::kOk) {
+    // A reconstruct-read failed; the new parity cannot be computed.
+    OpPartDone(work->op_id, completion, work->status);
+    return;
+  }
   const bool data_ok = DiskUsable(frag.data_disk, frag.row);
   const bool parity_ok = DiskUsable(frag.parity_disk, frag.row);
   auto writes = std::make_shared<int>(0);
   auto on_write = [this, work, writes](const DiskOpResult& r) {
+    if (work->abandoned) {
+      return;
+    }
+    if (!r.ok()) {
+      if (r.status == IoStatus::kDiskFailed) {
+        // The target died mid-write: re-plan the fragment; the surviving
+        // member is (re)written by the new plan.
+        work->abandoned = true;
+        NoteOpRecovery(work->op_id);
+        SubmitWriteFragment(work->op_id, work->frag, work->force_degraded);
+        return;
+      }
+      work->status = Worse(work->status, IoStatus::kUnrecoverable);
+    }
     MIMDRAID_CHECK_GT(*writes, 0);
     if (--*writes == 0) {
-      OpPartDone(work->op_id, r.completion_us);
+      OpPartDone(work->op_id, r.completion_us, work->status);
     }
   };
   if (data_ok) {
@@ -220,7 +388,11 @@ void Raid5Controller::FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
   if (parity_ok) {
     ++*writes;
   }
-  MIMDRAID_CHECK_GT(*writes, 0);
+  if (*writes == 0) {
+    // Both targets died while the reads were in flight.
+    CompleteFragmentFailed(work->op_id, IoStatus::kUnrecoverable);
+    return;
+  }
   if (data_ok) {
     EnqueueDiskOp(frag.data_disk, DiskOp::kWrite, frag.disk_lba, frag.sectors,
                   on_write);
@@ -231,44 +403,99 @@ void Raid5Controller::FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
   }
 }
 
-void Raid5Controller::OpPartDone(uint64_t op_id, SimTime completion) {
+void Raid5Controller::OpPartDone(uint64_t op_id, SimTime completion,
+                                 IoStatus status) {
   auto it = ops_.find(op_id);
   MIMDRAID_CHECK(it != ops_.end());
   PendingOp& pending = it->second;
   pending.last_completion = std::max(pending.last_completion, completion);
+  pending.status = Worse(pending.status, status);
   MIMDRAID_CHECK_GT(pending.remaining, 0u);
   if (--pending.remaining == 0) {
-    if (pending.op == DiskOp::kRead) {
-      ++stats_.reads_completed;
+    IoResult out;
+    out.status = pending.status == IoStatus::kOk ? IoStatus::kOk
+                                                 : IoStatus::kUnrecoverable;
+    out.completion_us = pending.last_completion;
+    out.recovery_attempts = pending.recovery_attempts;
+    if (out.status == IoStatus::kOk) {
+      if (pending.op == DiskOp::kRead) {
+        ++stats_.reads_completed;
+      } else {
+        ++stats_.writes_completed;
+      }
     } else {
-      ++stats_.writes_completed;
+      ++fstats_.unrecoverable_completions;
     }
     DoneFn done = std::move(pending.done);
-    const SimTime at = pending.last_completion;
     ops_.erase(it);
     if (done) {
-      done(at);
+      done(out);
     }
+  }
+}
+
+void Raid5Controller::CompleteFragmentFailed(uint64_t op_id, IoStatus status) {
+  ++pending_recovery_;
+  sim_->ScheduleAfter(0, [this, op_id, status] {
+    --pending_recovery_;
+    OpPartDone(op_id, sim_->Now(), status);
+  });
+}
+
+void Raid5Controller::NoteOpRecovery(uint64_t op_id) {
+  auto it = ops_.find(op_id);
+  if (it != ops_.end()) {
+    ++it->second.recovery_attempts;
+  }
+}
+
+void Raid5Controller::CountFault(IoStatus status) {
+  switch (status) {
+    case IoStatus::kMediaError:
+      ++fstats_.media_errors_seen;
+      break;
+    case IoStatus::kTimeout:
+      ++fstats_.timeouts_seen;
+      break;
+    case IoStatus::kDiskFailed:
+      ++fstats_.disk_failed_seen;
+      break;
+    default:
+      break;
   }
 }
 
 void Raid5Controller::EnqueueDiskOp(
     uint32_t disk, DiskOp op, uint64_t lba, uint32_t sectors,
-    std::function<void(const DiskOpResult&)> done) {
-  MIMDRAID_CHECK(!failed_[disk]);
+    std::function<void(const DiskOpResult&)> done, uint32_t attempts) {
+  if (failed_[disk]) {
+    // The slot died between planning and enqueue: complete with kDiskFailed
+    // through the event queue so callers re-plan from a clean stack.
+    ++pending_recovery_;
+    sim_->ScheduleAfter(0, [this, done] {
+      --pending_recovery_;
+      DiskOpResult failure;
+      failure.status = IoStatus::kDiskFailed;
+      failure.start_us = sim_->Now();
+      failure.completion_us = sim_->Now();
+      done(failure);
+    });
+    return;
+  }
   QueuedRequest entry;
   entry.id = next_entry_id_++;
   entry.op = op;
   entry.sectors = sectors;
   entry.candidate_lbas = {lba};
   entry.arrival_us = sim_->Now();
+  entry.attempts = attempts;
   entry_done_[entry.id] = std::move(done);
   queues_[disk].push_back(std::move(entry));
   MaybeDispatch(disk);
 }
 
 void Raid5Controller::MaybeDispatch(uint32_t disk) {
-  if (disks_[disk]->busy() || queues_[disk].empty()) {
+  if (failed_[disk] || disks_[disk]->busy() || queues_[disk].empty()) {
     return;
   }
   ScheduleContext ctx;
@@ -291,58 +518,148 @@ void Raid5Controller::MaybeDispatch(uint32_t disk) {
   const uint64_t entry_id = entry.id;
   const uint64_t lba = pick.lba;
   const uint32_t sectors = entry.sectors;
-  disks_[disk]->Start(entry.op, lba, sectors,
-                      [this, disk, entry_id, lba, sectors](
-                          const DiskOpResult& result) {
-                        predictors_[disk]->OnCompletion(result.completion_us,
-                                                        lba, sectors);
-                        auto it = entry_done_.find(entry_id);
-                        MIMDRAID_CHECK(it != entry_done_.end());
-                        auto done = std::move(it->second);
-                        entry_done_.erase(it);
-                        done(result);
-                        MaybeDispatch(disk);
-                      });
+  const DiskOp op = entry.op;
+  const uint32_t attempts = entry.attempts;
+  disks_[disk]->Start(
+      op, lba, sectors,
+      [this, disk, entry_id, lba, sectors, op,
+       attempts](const DiskOpResult& result) {
+        predictors_[disk]->OnCompletion(result.completion_us, lba, sectors);
+        auto it = entry_done_.find(entry_id);
+        MIMDRAID_CHECK(it != entry_done_.end());
+        auto done = std::move(it->second);
+        entry_done_.erase(it);
+        if (!result.ok()) {
+          CountFault(result.status);
+          if (result.status == IoStatus::kDiskFailed) {
+            AutoFailDisk(disk);
+            done(result);
+          } else if (attempts + 1 < options_.retry.max_attempts &&
+                     !failed_[disk]) {
+            // Transient error or timeout: retry the command after backoff
+            // with a fresh queue entry.
+            ++fstats_.retries_issued;
+            ++pending_recovery_;
+            sim_->ScheduleAfter(
+                options_.retry.BackoffUs(attempts),
+                [this, disk, op, lba, sectors, attempts, done] {
+                  --pending_recovery_;
+                  EnqueueDiskOp(disk, op, lba, sectors, done, attempts + 1);
+                });
+          } else {
+            done(result);
+          }
+        } else {
+          done(result);
+        }
+        MaybeDispatch(disk);
+      });
 }
 
 void Raid5Controller::Rebuild(uint32_t disk, DoneFn done) {
   MIMDRAID_CHECK(failed_[disk]);
   failed_[disk] = false;  // the replacement drive is in the slot
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->ReplaceDisk(disk);
+  }
   rebuilding_disk_ = static_cast<int>(disk);
   rebuilt_rows_ = 0;
+  rebuild_rows_lost_ = 0;
   rebuild_done_ = std::move(done);
   RebuildNextRow();
+}
+
+void Raid5Controller::AbortRebuild(uint32_t disk) {
+  if (rebuilding_disk_ != static_cast<int>(disk)) {
+    return;
+  }
+  rebuilding_disk_ = -1;
+  DoneFn done = std::move(rebuild_done_);
+  if (done) {
+    IoResult out;
+    out.status = IoStatus::kDiskFailed;
+    out.completion_us = sim_->Now();
+    done(out);
+  }
 }
 
 void Raid5Controller::RebuildNextRow() {
   MIMDRAID_CHECK_GE(rebuilding_disk_, 0);
   const uint32_t disk = static_cast<uint32_t>(rebuilding_disk_);
-  if (rebuilt_rows_ >= layout_->num_rows()) {
-    rebuilding_disk_ = -1;
-    DoneFn done = std::move(rebuild_done_);
-    if (done) {
-      done(sim_->Now());
+  if (failed_[disk]) {
+    // The replacement drive itself died.
+    AbortRebuild(disk);
+    return;
+  }
+  while (rebuilt_rows_ < layout_->num_rows()) {
+    const uint32_t row = rebuilt_rows_;
+    const uint32_t unit = layout_->stripe_unit_sectors();
+    const uint64_t lba = static_cast<uint64_t>(row) * unit;
+    const std::vector<uint32_t> peers = layout_->RowPeers(row, disk);
+    bool peers_ok = !peers.empty();
+    for (uint32_t peer : peers) {
+      if (failed_[peer]) {
+        peers_ok = false;
+      }
+    }
+    if (!peers_ok) {
+      // Another disk failed: this row cannot be reconstructed. Note the loss
+      // and keep going — later faults must not wedge the rebuild.
+      ++fstats_.rebuild_fragments_lost;
+      ++rebuild_rows_lost_;
+      ++rebuilt_rows_;
+      continue;
+    }
+    auto remaining = std::make_shared<int>(static_cast<int>(peers.size()));
+    auto lost = std::make_shared<bool>(false);
+    auto after_reads = [this, disk, lba, unit, remaining,
+                        lost](const DiskOpResult& r) {
+      if (!r.ok()) {
+        *lost = true;
+      }
+      if (--*remaining > 0) {
+        return;
+      }
+      if (failed_[disk]) {
+        AbortRebuild(disk);
+        return;
+      }
+      if (*lost) {
+        ++fstats_.rebuild_fragments_lost;
+        ++rebuild_rows_lost_;
+        ++rebuilt_rows_;
+        RebuildNextRow();
+        return;
+      }
+      EnqueueDiskOp(disk, DiskOp::kWrite, lba, unit,
+                    [this, disk](const DiskOpResult& w) {
+                      if (!w.ok() && failed_[disk]) {
+                        AbortRebuild(disk);
+                        return;
+                      }
+                      if (!w.ok()) {
+                        ++fstats_.rebuild_fragments_lost;
+                        ++rebuild_rows_lost_;
+                      } else {
+                        ++stats_.rebuilt_rows;
+                      }
+                      ++rebuilt_rows_;
+                      RebuildNextRow();
+                    });
+    };
+    for (uint32_t peer : peers) {
+      EnqueueDiskOp(peer, DiskOp::kRead, lba, unit, after_reads);
     }
     return;
   }
-  const uint32_t row = rebuilt_rows_;
-  const uint32_t unit = layout_->stripe_unit_sectors();
-  const uint64_t lba = static_cast<uint64_t>(row) * unit;
-  const std::vector<uint32_t> peers = layout_->RowPeers(row, disk);
-  auto remaining = std::make_shared<int>(static_cast<int>(peers.size()));
-  auto after_reads = [this, disk, lba, unit, remaining](const DiskOpResult&) {
-    if (--*remaining > 0) {
-      return;
-    }
-    EnqueueDiskOp(disk, DiskOp::kWrite, lba, unit,
-                  [this](const DiskOpResult&) {
-                    ++rebuilt_rows_;
-                    ++stats_.rebuilt_rows;
-                    RebuildNextRow();
-                  });
-  };
-  for (uint32_t peer : peers) {
-    EnqueueDiskOp(peer, DiskOp::kRead, lba, unit, after_reads);
+  rebuilding_disk_ = -1;
+  DoneFn done = std::move(rebuild_done_);
+  if (done) {
+    IoResult out;
+    out.status = rebuild_rows_lost_ > 0 ? IoStatus::kUnrecoverable
+                                        : IoStatus::kOk;
+    out.completion_us = sim_->Now();
+    done(out);
   }
 }
 

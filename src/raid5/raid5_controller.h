@@ -4,6 +4,16 @@
 // The baseline at the capacity-efficient end of the spectrum the paper
 // explores: where the SR-Array spends capacity to cut latency, RAID-5 spends
 // latency (four disk accesses per small write) to save capacity.
+//
+// Fault handling: every disk sub-operation carries an IoStatus. Transient
+// media errors and timeouts are retried a bounded number of times with
+// exponential backoff; a persistent media error on a direct read degrades the
+// fragment to peer reconstruction (and queues a repair rewrite so the drive
+// reallocates the bad sector); a kDiskFailed verdict fail-stops the slot and
+// re-plans affected fragments against the surviving row members. When a
+// fragment's data cannot be recovered (a second fault inside a reconstruction
+// set), the operation completes gracefully with IoStatus::kUnrecoverable —
+// the controller never crashes on a double failure.
 #ifndef MIMDRAID_SRC_RAID5_RAID5_CONTROLLER_H_
 #define MIMDRAID_SRC_RAID5_RAID5_CONTROLLER_H_
 
@@ -17,13 +27,22 @@
 #include "src/disk/sim_disk.h"
 #include "src/raid5/raid5_layout.h"
 #include "src/sched/scheduler.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/io_status.h"
 #include "src/sim/simulator.h"
+#include "src/stats/fault_stats.h"
 
 namespace mimdraid {
 
 struct Raid5ControllerOptions {
   SchedulerKind scheduler = SchedulerKind::kSatf;
   size_t max_scan = 0;
+  // Optional fault injection: wired into every disk so media accesses can
+  // fail. nullptr leaves the fault path dormant (every access returns kOk).
+  FaultInjector* fault_injector = nullptr;
+  // Bounded retry with exponential backoff for transient errors and timeouts
+  // on individual disk commands.
+  RetryPolicy retry;
 };
 
 struct Raid5Stats {
@@ -38,7 +57,7 @@ struct Raid5Stats {
 
 class Raid5Controller {
  public:
-  using DoneFn = std::function<void(SimTime completion_us)>;
+  using DoneFn = std::function<void(const IoResult&)>;
 
   Raid5Controller(Simulator* sim, std::vector<SimDisk*> disks,
                   std::vector<AccessPredictor*> predictors,
@@ -51,16 +70,23 @@ class Raid5Controller {
   void Submit(DiskOp op, uint64_t lba, uint32_t sectors, DoneFn done);
 
   // Marks a disk failed: reads reconstruct from peers; writes maintain
-  // parity. A second failure in a running array is unrecoverable and CHECKs.
+  // parity. A second failure is survived gracefully — fragments that need
+  // both missing disks complete with IoStatus::kUnrecoverable instead of
+  // crashing; fragments whose members survive keep being served. Outstanding
+  // queue entries for the disk are re-driven against the survivors.
   void FailDisk(uint32_t disk);
   bool IsFailed(uint32_t disk) const { return failed_[disk]; }
 
   // Reconstructs the (replaced) failed disk row by row; `done` fires when the
-  // array is fully redundant again. Foreground traffic may continue; rows not
-  // yet rebuilt keep being served degraded.
+  // array is fully redundant again (status kOk), when rows were lost to
+  // additional faults (kUnrecoverable), or when the replacement drive itself
+  // failed mid-rebuild (kDiskFailed). Foreground traffic may continue; rows
+  // not yet rebuilt keep being served degraded.
   void Rebuild(uint32_t disk, DoneFn done);
+  bool RebuildInProgress() const { return rebuilding_disk_ >= 0; }
 
   const Raid5Stats& stats() const { return stats_; }
+  const FaultRecoveryStats& fault_stats() const { return fstats_; }
   const Raid5Layout& layout() const { return *layout_; }
   bool Idle() const;
 
@@ -70,6 +96,10 @@ class Raid5Controller {
     DoneFn done;
     SimTime last_completion = 0;
     DiskOp op = DiskOp::kRead;
+    // Worst status across the op's fragments; only kOk or kUnrecoverable is
+    // surfaced to the submitter.
+    IoStatus status = IoStatus::kOk;
+    uint32_t recovery_attempts = 0;
   };
 
   // One logical fragment moving through its phases (e.g. RMW reads, then
@@ -80,16 +110,41 @@ class Raid5Controller {
     DiskOp op = DiskOp::kRead;
     int phase_remaining = 0;
     bool degraded = false;
+    // Set when the fragment was re-planned (disk failure or media-error
+    // fallback); stale sub-op completions for an abandoned plan are ignored.
+    bool abandoned = false;
+    // Plan as if the data disk were unusable even when it is alive (a media
+    // error made its copy of this fragment unreadable).
+    bool force_degraded = false;
+    // After a media-error read is served via reconstruction, rewrite the bad
+    // sectors so the drive reallocates them.
+    bool repair_pending = false;
+    // Worst verdict across the fragment's sub-operations.
+    IoStatus status = IoStatus::kOk;
   };
 
-  void SubmitReadFragment(uint64_t op_id, const Raid5Fragment& frag);
-  void SubmitWriteFragment(uint64_t op_id, const Raid5Fragment& frag);
+  void SubmitReadFragment(uint64_t op_id, const Raid5Fragment& frag,
+                          bool force_degraded = false,
+                          bool repair_on_success = false);
+  void SubmitWriteFragment(uint64_t op_id, const Raid5Fragment& frag,
+                           bool force_degraded = false);
   void EnqueueDiskOp(uint32_t disk, DiskOp op, uint64_t lba, uint32_t sectors,
-                     std::function<void(const DiskOpResult&)> done);
+                     std::function<void(const DiskOpResult&)> done,
+                     uint32_t attempts = 0);
   void MaybeDispatch(uint32_t disk);
   void FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
                          SimTime completion);
-  void OpPartDone(uint64_t op_id, SimTime completion);
+  void OpPartDone(uint64_t op_id, SimTime completion, IoStatus status);
+  // Completes one fragment of `op_id` with a failure status through the
+  // event queue (never synchronously inside Submit).
+  void CompleteFragmentFailed(uint64_t op_id, IoStatus status);
+  void NoteOpRecovery(uint64_t op_id);
+  void CountFault(IoStatus status);
+  // Fail-stops a slot in response to a kDiskFailed verdict and re-drives its
+  // queued entries through their failure handlers.
+  void AutoFailDisk(uint32_t disk);
+  void DrainQueue(uint32_t disk);
+  void AbortRebuild(uint32_t disk);
   // True if the disk is usable for the given row right now (alive, or
   // already rebuilt past it).
   bool DiskUsable(uint32_t disk, uint32_t row) const;
@@ -115,8 +170,14 @@ class Raid5Controller {
   int rebuilding_disk_ = -1;
   uint32_t rebuilt_rows_ = 0;
   DoneFn rebuild_done_;
+  uint64_t rebuild_rows_lost_ = 0;  // rows lost during the current rebuild
+
+  // Backoff timers and scheduled synthetic completions in flight; keeps
+  // Idle() false while recovery work is pending.
+  size_t pending_recovery_ = 0;
 
   Raid5Stats stats_;
+  FaultRecoveryStats fstats_;
 };
 
 }  // namespace mimdraid

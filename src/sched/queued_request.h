@@ -30,6 +30,10 @@ struct QueuedRequest {
   bool maintenance = false;
   // Array-layer correlation handle (fragment key; 0 for delayed/maintenance).
   uint64_t tag = 0;
+  // Recovery attempts already spent on the work this entry carries; a retry
+  // mints a fresh entry (fresh id, so queue conservation holds) with
+  // attempts + 1.
+  uint32_t attempts = 0;
 };
 
 }  // namespace mimdraid

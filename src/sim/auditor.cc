@@ -306,6 +306,46 @@ void InvariantAuditor::OnNvramErase(uint32_t disk, uint64_t lba) {
                                 << disk << " lba " << lba << "]");
 }
 
+void InvariantAuditor::OnIoFault(uint32_t disk, uint64_t entry_id) {
+  const bool inserted = open_faults_.try_emplace(entry_id, disk).second;
+  AUDIT_EXPECT(inserted, "fault conservation: entry "
+                             << entry_id << " reported faulted twice (disk "
+                             << disk << ")");
+}
+
+void InvariantAuditor::OnFaultResolved(uint64_t entry_id,
+                                       FaultResolution resolution,
+                                       bool target_disk_failed) {
+  auto it = open_faults_.find(entry_id);
+  AUDIT_EXPECT(it != open_faults_.end(),
+               "fault conservation: resolution for unknown fault (entry "
+                   << entry_id << ", resolution "
+                   << static_cast<int>(resolution) << ")");
+  if (it == open_faults_.end()) {
+    return;
+  }
+  AUDIT_EXPECT(resolution != FaultResolution::kAbandoned || target_disk_failed,
+               "fault conservation: entry "
+                   << entry_id << " (disk " << it->second
+                   << ") abandoned while its target disk is still live");
+  open_faults_.erase(it);
+}
+
+void InvariantAuditor::OnDiskReplaced(uint32_t disk) {
+  // The slot now holds a physically different drive; forget the old spindle
+  // constants so the replacement's phase/period are recorded fresh. The
+  // last-completion watermark carries over: the slot's service timeline is
+  // still serial (the old drive's final completion precedes promotion).
+  auto it = disk_constants_.find(disk);
+  if (it == disk_constants_.end()) {
+    return;
+  }
+  const SimTime watermark = it->second.last_completion_us;
+  it->second = DiskConstants{};
+  it->second.last_completion_us = watermark;
+  it->second.seen = false;
+}
+
 void InvariantAuditor::CheckQuiescent(size_t fg_queued, size_t delayed_queued,
                                       size_t nvram_entries,
                                       size_t stale_sectors,
@@ -341,6 +381,11 @@ void InvariantAuditor::CheckQuiescent(size_t fg_queued, size_t delayed_queued,
   AUDIT_EXPECT(nvram_mirror_.empty(),
                "quiescence: auditor NVRAM mirror still holds "
                    << nvram_mirror_.size() << " entries");
+  AUDIT_EXPECT(open_faults_.empty(),
+               "fault conservation: " << open_faults_.size()
+                                      << " failed sub-ops were never retried, "
+                                         "failed over, reconstructed, "
+                                         "repaired, or surfaced");
 }
 
 #undef AUDIT_EXPECT

@@ -24,7 +24,14 @@
 //     in-bounds physical replicas with mirror copies on distinct disks;
 //   * NVRAM-table / delayed-write consistency — every pending propagation
 //     recorded in the NVRAM metadata table is owned by a live delayed queue
-//     entry, and nothing lingers once the array reports idle.
+//     entry, and nothing lingers once the array reports idle;
+//   * fault conservation — every disk sub-op that completes with a non-kOk
+//     IoStatus must be resolved by the controller: retried, failed over to
+//     another replica, reconstructed from peers, repaired by a rewrite, or
+//     surfaced to the submitter as kUnrecoverable. Abandoning a fault is
+//     legal only when its target disk is failed (the data has no future on
+//     that drive). A fault that is none of these by quiescence time was
+//     silently dropped — the worst failure mode a recovery path can have.
 //
 // On a violation the auditor calls its failure handler: by default the
 // process aborts with a message carrying the operand values (like
@@ -60,6 +67,16 @@ struct AuditFragment {
   uint64_t logical_lba = 0;
   uint32_t sectors = 0;
   std::vector<AuditReplicaRef> replicas;
+};
+
+// How a controller disposed of a failed disk sub-op (fault conservation).
+enum class FaultResolution : uint8_t {
+  kRetried,        // re-queued against the same target after backoff
+  kFailedOver,     // re-aimed at another replica / mirror disk
+  kReconstructed,  // rebuilt from RAID-5 peers
+  kRepaired,       // bad replica rewritten from a surviving copy
+  kSurfaced,       // completed to the submitter as kUnrecoverable
+  kAbandoned,      // dropped — legal only when the target disk is failed
 };
 
 // Everything a SimDisk knows about an operation at completion time.
@@ -132,6 +149,18 @@ class InvariantAuditor {
   void OnNvramPut(uint32_t disk, uint64_t lba, uint64_t owner_entry);
   void OnNvramErase(uint32_t disk, uint64_t lba);
 
+  // --- Fault conservation ---
+  // A disk sub-op (keyed by its queue entry id) completed with a failure
+  // status; the controller must follow up with exactly one OnFaultResolved.
+  void OnIoFault(uint32_t disk, uint64_t entry_id);
+  void OnFaultResolved(uint64_t entry_id, FaultResolution resolution,
+                       bool target_disk_failed);
+  size_t open_faults() const { return open_faults_.size(); }
+
+  // A replacement drive was promoted into `disk`'s slot: its spindle phase
+  // and rotation period are new physical constants.
+  void OnDiskReplaced(uint32_t disk);
+
   // Terminal check, called when the controller claims quiescence: every
   // count the controller reports and every live object the auditor tracks
   // must be zero.
@@ -162,6 +191,9 @@ class InvariantAuditor {
 
   // Mirror of the controller's NVRAM table: key -> owning entry id.
   std::unordered_map<uint64_t, uint64_t> nvram_mirror_;
+
+  // Failed sub-ops awaiting a resolution: entry id -> target disk.
+  std::unordered_map<uint64_t, uint32_t> open_faults_;
 
   // Physical constants per disk, recorded on first completion.
   struct DiskConstants {

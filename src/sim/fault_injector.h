@@ -1,0 +1,132 @@
+// Deterministic, seedable fault-injection subsystem.
+//
+// Disks consult the injector on every media access (SimDisk::Start). It
+// models the partial-fault classes that dominate real array failures:
+//
+//   * latent sector errors — persistent per-LBA read failures, planted
+//     explicitly or stochastically, surviving until the sector is rewritten
+//     (the drive then remaps it to spare space via DiskLayout::AddBadSector);
+//   * transient errors — one-shot media errors that succeed on retry;
+//   * I/O timeouts — the drive hangs and the host watchdog aborts the
+//     command after watchdog_timeout_us;
+//   * fail-slow drives — a configurable service-time multiplier;
+//   * fail-stop — dead electronics reject every command immediately.
+//
+// Determinism: each disk slot gets its own RNG stream forked from the seed,
+// so a run is bit-for-bit reproducible for a given (seed, workload) pair
+// regardless of how faults interleave across disks. Replacing a drive
+// (hot-spare promotion) resets the slot's fault state but not its stream.
+#ifndef MIMDRAID_SRC_SIM_FAULT_INJECTOR_H_
+#define MIMDRAID_SRC_SIM_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/io_status.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace mimdraid {
+
+struct FaultInjectorOptions {
+  uint64_t seed = 1;
+  // Per-access probability of planting a *new* persistent latent error at the
+  // access's first LBA (reads only; the read that discovers it fails).
+  double latent_error_prob = 0.0;
+  // Per-access probability of a one-shot transient media error.
+  double transient_error_prob = 0.0;
+  // Per-access probability that the drive hangs until the watchdog fires.
+  double timeout_prob = 0.0;
+  // Host command watchdog: a hung command is aborted (and completes with
+  // IoStatus::kTimeout) this long after dispatch.
+  SimTime watchdog_timeout_us = 250'000;
+  // Extra service time a drive spends in internal retries before reporting a
+  // media error (a handful of revolutions of re-reads).
+  double media_retry_penalty_us = 25'000.0;
+};
+
+// Aggregate counters for everything the injector did (by fault class) and
+// everything the drives repaired. Exposed so chaos tests and CI artifacts can
+// reconcile injected faults against controller recovery stats.
+struct FaultInjectorCounters {
+  uint64_t latent_errors_planted = 0;
+  uint64_t transient_errors = 0;
+  uint64_t timeouts = 0;
+  uint64_t media_error_reads = 0;   // reads failed by a live latent error
+  uint64_t failstop_rejections = 0;
+  uint64_t slow_accesses = 0;       // accesses stretched by a fail-slow drive
+  uint64_t write_repairs = 0;       // latent errors cleared by a rewrite
+};
+
+// Verdict for one media access.
+struct FaultOutcome {
+  IoStatus status = IoStatus::kOk;
+  // Mechanical-time multiplier (> 1 on a fail-slow drive).
+  double service_multiplier = 1.0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorOptions& options);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultInjectorOptions& options() const { return options_; }
+  const FaultInjectorCounters& counters() const { return counters_; }
+
+  // --- Explicit injection (tests, chaos harness). ---
+  void InjectLatentError(uint32_t disk, uint64_t lba);
+  // The next `count` accesses to `disk` fail with a transient media error.
+  void InjectTransientErrors(uint32_t disk, uint32_t count);
+  void SetFailSlow(uint32_t disk, double service_multiplier);
+  void FailStop(uint32_t disk);
+
+  // Replacement drive in the slot (hot-spare promotion): clears fail-stop,
+  // fail-slow, pending transients, and the latent-error map for the slot.
+  void ReplaceDisk(uint32_t disk);
+
+  // --- Queries. ---
+  bool IsFailStopped(uint32_t disk) const;
+  bool HasLatentError(uint32_t disk, uint64_t lba) const;
+  size_t LatentErrorCount(uint32_t disk) const;
+  size_t TotalLatentErrors() const;
+
+  // --- Disk-side hooks (called by SimDisk). ---
+  // Evaluates one media access. May plant new stochastic faults as a side
+  // effect; the decision is drawn from the slot's private RNG stream.
+  FaultOutcome OnAccess(uint32_t disk, bool is_write, uint64_t lba,
+                        uint32_t sectors);
+  // LBAs in [lba, lba+sectors) carrying a live latent error (for the write
+  // reallocation path).
+  std::vector<uint64_t> LatentInRange(uint32_t disk, uint64_t lba,
+                                      uint32_t sectors) const;
+  // A write landed on a latent-bad LBA and the drive reallocated the sector:
+  // the media under the LBA is good again.
+  void OnWriteRepaired(uint32_t disk, uint64_t lba);
+
+ private:
+  struct DiskFaultState {
+    Rng rng;
+    bool fail_stopped = false;
+    double service_multiplier = 1.0;
+    uint32_t pending_transients = 0;
+    std::unordered_set<uint64_t> latent_lbas;
+
+    explicit DiskFaultState(uint64_t seed) : rng(seed) {}
+  };
+
+  DiskFaultState& StateFor(uint32_t disk);
+  const DiskFaultState* StateForOrNull(uint32_t disk) const;
+
+  FaultInjectorOptions options_;
+  FaultInjectorCounters counters_;
+  std::unordered_map<uint32_t, DiskFaultState> disks_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_SIM_FAULT_INJECTOR_H_

@@ -1,0 +1,27 @@
+#include "src/stats/fault_stats.h"
+
+#include <sstream>
+
+namespace mimdraid {
+
+std::string FaultRecoveryStats::Summary() const {
+  std::ostringstream os;
+  os << "faults seen:        media=" << media_errors_seen
+     << " timeout=" << timeouts_seen << " disk-failed=" << disk_failed_seen
+     << " (total " << TotalFaultsSeen() << ")\n";
+  os << "recovery:           retries=" << retries_issued
+     << " failovers=" << failovers << " reconstructions=" << reconstructions
+     << " repairs-queued=" << repairs_queued << "\n";
+  os << "surfaced:           unrecoverable=" << unrecoverable_completions
+     << " propagations-abandoned=" << propagations_abandoned
+     << " rebuild-fragments-lost=" << rebuild_fragments_lost << "\n";
+  os << "disk management:    auto-failures=" << auto_disk_failures
+     << " spares-promoted=" << spares_promoted
+     << " spare-rebuilds-done=" << spare_rebuilds_completed << "\n";
+  os << "scrubber:           reads=" << scrub_reads
+     << " repairs=" << scrub_repairs
+     << " sweeps=" << scrub_sweeps_completed << "\n";
+  return os.str();
+}
+
+}  // namespace mimdraid

@@ -75,7 +75,7 @@ void TracePlayer::Arrive(size_t index) {
   const bool record = !rec.is_async && submitted_ > options_.warmup_ios;
   const SimTime arrival = now;
   submit_(rec.is_write ? DiskOp::kWrite : DiskOp::kRead, rec.lba, rec.sectors,
-          [this, record, arrival](SimTime completion) {
+          [this, record, arrival](const IoResult& r) {
             const SimTime t = sim_->Now();
             outstanding_time_integral_ +=
                 static_cast<double>(outstanding_) *
@@ -83,9 +83,11 @@ void TracePlayer::Arrive(size_t index) {
             last_outstanding_change_ = t;
             --outstanding_;
             ++completed_;
-            if (record) {
+            if (r.status != IoStatus::kOk) {
+              ++result_.failed;
+            } else if (record) {
               result_.latency.Record(
-                  static_cast<double>(completion - arrival));
+                  static_cast<double>(r.completion_us - arrival));
             }
           });
   ScheduleNextArrival();
@@ -141,15 +143,23 @@ void ClosedLoopDriver::IssueOne() {
       rng_.Bernoulli(options_.read_frac) ? DiskOp::kRead : DiskOp::kWrite;
   const SimTime issue = sim_->Now();
   ++outstanding_;
-  submit_(op, lba, options_.sectors, [this, issue](SimTime completion) {
+  submit_(op, lba, options_.sectors, [this, issue](const IoResult& r) {
     --outstanding_;
     ++completions_;
+    if (r.status != IoStatus::kOk) {
+      ++result_.failed;
+    }
     if (completions_ == options_.warmup_ops) {
       measure_start_us_ = sim_->Now();
     } else if (completions_ > options_.warmup_ops &&
                recorded_ < options_.measure_ops) {
+      // Failed completions count toward the measured quota (the run must
+      // terminate even on a badly degraded array) but contribute no latency
+      // sample.
       ++recorded_;
-      result_.latency.Record(static_cast<double>(completion - issue));
+      if (r.status == IoStatus::kOk) {
+        result_.latency.Record(static_cast<double>(r.completion_us - issue));
+      }
       if (recorded_ >= options_.measure_ops) {
         stop_issuing_ = true;
       }

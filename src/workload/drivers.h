@@ -11,6 +11,7 @@
 #include <functional>
 
 #include "src/disk/sim_disk.h"
+#include "src/sim/io_status.h"
 #include "src/sim/simulator.h"
 #include "src/stats/latency_recorder.h"
 #include "src/util/rng.h"
@@ -18,13 +19,14 @@
 
 namespace mimdraid {
 
-using IoDoneFn = std::function<void(SimTime completion_us)>;
+using IoDoneFn = std::function<void(const IoResult&)>;
 using SubmitFn =
     std::function<void(DiskOp op, uint64_t lba, uint32_t sectors, IoDoneFn)>;
 
 struct RunResult {
-  LatencyRecorder latency;  // recorded response times (µs)
+  LatencyRecorder latency;  // recorded response times (µs), kOk only
   uint64_t completed = 0;   // all completed operations
+  uint64_t failed = 0;      // completions surfaced with a non-kOk status
   double iops = 0.0;        // completions / measured second
   SimTime elapsed_us = 0;
   // The offered load outran the array (outstanding exceeded the cap); mean

@@ -37,7 +37,7 @@ struct Rig {
 
   SimTime Do(DiskOp op, uint64_t lba, uint32_t sectors) {
     SimTime completion = -1;
-    controller->Submit(op, lba, sectors, [&](SimTime c) { completion = c; });
+    controller->Submit(op, lba, sectors, [&](const IoResult& r) { completion = r.completion_us; });
     while (completion < 0) {
       EXPECT_TRUE(sim.Step());
     }
@@ -122,7 +122,7 @@ TEST(ArrayFailure, RebuildRestoresService) {
   rig.Drain();
   ASSERT_TRUE(rig.controller->FailDisk(1));
   SimTime rebuilt_at = -1;
-  rig.controller->RebuildDisk(1, [&](SimTime c) { rebuilt_at = c; });
+  rig.controller->RebuildDisk(1, [&](const IoResult& r) { rebuilt_at = r.completion_us; });
   while (rebuilt_at < 0) {
     ASSERT_TRUE(rig.sim.Step());
   }
@@ -142,13 +142,13 @@ TEST(ArrayFailure, ForegroundTrafficContinuesDuringRebuild) {
   Rig rig(1, 1, 2, /*dataset=*/1600);
   ASSERT_TRUE(rig.controller->FailDisk(0));
   SimTime rebuilt_at = -1;
-  rig.controller->RebuildDisk(0, [&](SimTime c) { rebuilt_at = c; });
+  rig.controller->RebuildDisk(0, [&](const IoResult& r) { rebuilt_at = r.completion_us; });
   Rng rng(11);
   int done = 0;
   constexpr int kOps = 50;
   for (int i = 0; i < kOps; ++i) {
     rig.controller->Submit(DiskOp::kRead, rng.UniformU64(1600 - 8), 8,
-                           [&](SimTime) { ++done; });
+                           [&](const IoResult&) { ++done; });
   }
   while (done < kOps || rebuilt_at < 0) {
     ASSERT_TRUE(rig.sim.Step());

@@ -1,0 +1,330 @@
+// Seeded chaos soak: a randomized fault mix (latent sector errors, transient
+// errors, timeouts, an explicit fail-stop) against the mirrored array and the
+// RAID-5 controller, with the runtime invariant auditor attached. Every
+// submitted operation must complete exactly once with a terminal status
+// (kOk or kUnrecoverable — never an intermediate fault status), the array
+// must drain to a quiescent state that passes the auditor's terminal
+// consistency check, and the whole run must be bit-for-bit reproducible for
+// a given seed.
+//
+// Environment knobs (CI):
+//   MIMDRAID_CHAOS_SEED     — run a single seed instead of the fixed three.
+//   MIMDRAID_CHAOS_SUMMARY  — append per-seed fault/recovery counter summaries
+//                             to this file (uploaded as a CI artifact).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/array/array_layout.h"
+#include "src/array/controller.h"
+#include "src/calib/predictor.h"
+#include "src/disk/sim_disk.h"
+#include "src/raid5/raid5_controller.h"
+#include "src/raid5/raid5_layout.h"
+#include "src/sim/auditor.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace mimdraid {
+namespace {
+
+constexpr uint64_t kDefaultSeeds[] = {101, 202, 303};
+
+std::vector<uint64_t> ChaosSeeds() {
+  if (const char* env = std::getenv("MIMDRAID_CHAOS_SEED")) {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return {std::begin(kDefaultSeeds), std::end(kDefaultSeeds)};
+}
+
+void AppendSummary(const std::string& header, const FaultRecoveryStats& fstats,
+                   const FaultInjectorCounters& counters) {
+  const char* path = std::getenv("MIMDRAID_CHAOS_SUMMARY");
+  if (path == nullptr) {
+    return;
+  }
+  std::ofstream out(path, std::ios::app);
+  out << "=== " << header << " ===\n"
+      << fstats.Summary()
+      << "injected: latent_planted=" << counters.latent_errors_planted
+      << " transient=" << counters.transient_errors
+      << " timeouts=" << counters.timeouts
+      << " media_error_reads=" << counters.media_error_reads
+      << " failstop_rejections=" << counters.failstop_rejections
+      << " write_repairs=" << counters.write_repairs << "\n";
+}
+
+// Compact digest of one run, for determinism checks: same seed, same digest.
+struct ChaosDigest {
+  uint64_t completion_time_sum = 0;
+  uint64_t ok = 0;
+  uint64_t unrecoverable = 0;
+  uint64_t faults_seen = 0;
+  uint64_t retries = 0;
+  uint64_t failovers = 0;
+
+  bool operator==(const ChaosDigest& o) const {
+    return completion_time_sum == o.completion_time_sum && ok == o.ok &&
+           unrecoverable == o.unrecoverable && faults_seen == o.faults_seen &&
+           retries == o.retries && failovers == o.failovers;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Mirrored-array chaos.
+// ---------------------------------------------------------------------------
+
+void RunMirrorChaos(uint64_t seed, bool write_summary, ChaosDigest* out) {
+  constexpr uint64_t kDataset = 2400;
+  constexpr int kOps = 600;
+  constexpr uint64_t kStepBudget = 30'000'000;
+
+  Simulator sim;
+  ArrayAspect aspect;
+  aspect.ds = 2;
+  aspect.dr = 1;
+  aspect.dm = 2;
+  const int d = aspect.TotalDisks();
+
+  FaultInjectorOptions fopts;
+  fopts.seed = seed;
+  fopts.latent_error_prob = 0.002;
+  fopts.transient_error_prob = 0.004;
+  fopts.timeout_prob = 0.002;
+  fopts.watchdog_timeout_us = 50'000;
+  FaultInjector injector(fopts);
+
+  std::vector<std::unique_ptr<SimDisk>> disks;
+  std::vector<std::unique_ptr<AccessPredictor>> preds;
+  std::vector<SimDisk*> dptr;
+  std::vector<AccessPredictor*> pptr;
+  for (int i = 0; i < d + 1; ++i) {  // one hot spare
+    disks.push_back(std::make_unique<SimDisk>(
+        &sim, MakeTestGeometry(), MakeTestSeekProfile(),
+        DiskNoiseModel::None(), 61 + i, i * 777.0));
+    preds.push_back(std::make_unique<OraclePredictor>(disks.back().get(), 0.0));
+    if (i < d) {
+      dptr.push_back(disks.back().get());
+      pptr.push_back(preds.back().get());
+    }
+  }
+  ArrayLayout layout(&disks[0]->layout(), aspect, 16, kDataset);
+
+  InvariantAuditor auditor;
+  ArrayControllerOptions copts;
+  copts.auditor = &auditor;
+  copts.fault_injector = &injector;
+  copts.disk_error_fail_threshold = 6;
+  copts.scrub_interval_us = 100'000;
+  ArrayController controller(&sim, dptr, pptr, &layout, copts);
+  controller.AddSpare(disks[d].get(), preds[d].get());
+
+  // Seed a few guaranteed latent errors so the scrubber and failover paths
+  // have deterministic work even if the stochastic mix comes up quiet.
+  Rng rng(seed);
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t lba = rng.UniformU64(kDataset - 4);
+    for (const ArrayFragment& f : layout.Map(lba, 1)) {
+      injector.InjectLatentError(f.replicas[0].disk, f.replicas[0].lba);
+    }
+  }
+
+  std::vector<int> completions(kOps, 0);
+  ChaosDigest digest;
+  int done = 0;
+  for (int i = 0; i < kOps; ++i) {
+    const uint32_t sectors = 1 + static_cast<uint32_t>(rng.UniformU64(24));
+    const uint64_t lba = rng.UniformU64(kDataset - sectors);
+    const DiskOp op = rng.Bernoulli(0.6) ? DiskOp::kRead : DiskOp::kWrite;
+    controller.Submit(op, lba, sectors, [&, i](const IoResult& r) {
+      ++completions[i];
+      ++done;
+      EXPECT_TRUE(r.status == IoStatus::kOk ||
+                  r.status == IoStatus::kUnrecoverable)
+          << "op " << i << " surfaced intermediate status "
+          << IoStatusName(r.status);
+      digest.completion_time_sum += static_cast<uint64_t>(r.completion_us);
+      if (r.status == IoStatus::kOk) {
+        ++digest.ok;
+      } else {
+        ++digest.unrecoverable;
+      }
+    });
+    if (rng.Bernoulli(0.3)) {
+      sim.RunUntil(sim.Now() + static_cast<SimTime>(rng.UniformU64(20'000)));
+    }
+  }
+
+  uint64_t steps = 0;
+  while (done < kOps) {
+    ASSERT_TRUE(sim.Step()) << "simulator ran dry with ops outstanding";
+    ASSERT_LT(++steps, kStepBudget) << "soak wedged: completions lost";
+  }
+  // Every op completed exactly once — no lost or duplicated completions.
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_EQ(completions[i], 1) << "op " << i;
+  }
+
+  // Let the idle array scrub for a while (latent-error repair), then stop the
+  // sweeper and drain everything: foreground, propagations, spare rebuild.
+  sim.RunUntil(sim.Now() + 3'000'000);
+  controller.StopScrub();
+  steps = 0;
+  while ((!controller.Idle() || controller.RebuildInProgress()) &&
+         sim.Step()) {
+    ASSERT_LT(++steps, kStepBudget) << "drain wedged";
+  }
+  EXPECT_TRUE(controller.Idle());
+  EXPECT_EQ(controller.TotalQueued(), 0u);
+  EXPECT_EQ(controller.DelayedBacklog(), 0u);
+  controller.AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+  EXPECT_GT(auditor.checks_run(), 0u);
+
+  const FaultRecoveryStats& fs = controller.fault_stats();
+  EXPECT_GT(fs.TotalFaultsSeen(), 0u) << "chaos mix injected nothing";
+  EXPECT_GT(fs.scrub_reads, 0u);
+  digest.faults_seen = fs.TotalFaultsSeen();
+  digest.retries = fs.retries_issued;
+  digest.failovers = fs.failovers;
+
+  if (write_summary) {
+    AppendSummary("chaos seed " + std::to_string(seed) + " (mirror 2x1x2+1)",
+                  fs, injector.counters());
+  }
+  *out = digest;
+}
+
+TEST(ChaosSoak, MirroredArraySurvivesRandomFaultMix) {
+  for (const uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ChaosDigest digest;
+    RunMirrorChaos(seed, /*write_summary=*/true, &digest);
+  }
+}
+
+TEST(ChaosSoak, MirrorRunIsDeterministicForSeed) {
+  const uint64_t seed = ChaosSeeds().front();
+  ChaosDigest a;
+  ChaosDigest b;
+  RunMirrorChaos(seed, /*write_summary=*/false, &a);
+  RunMirrorChaos(seed, /*write_summary=*/false, &b);
+  EXPECT_TRUE(a == b) << "same seed produced different runs";
+}
+
+// ---------------------------------------------------------------------------
+// RAID-5 chaos: stochastic faults plus a mid-run fail-stop, then a rebuild.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, Raid5SurvivesFaultMixWithMidRunFailStop) {
+  for (const uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    constexpr int kOps = 400;
+    constexpr uint64_t kStepBudget = 30'000'000;
+
+    Simulator sim;
+    FaultInjectorOptions fopts;
+    fopts.seed = seed;
+    fopts.latent_error_prob = 0.001;
+    fopts.transient_error_prob = 0.003;
+    fopts.timeout_prob = 0.002;
+    fopts.watchdog_timeout_us = 50'000;
+    FaultInjector injector(fopts);
+
+    std::vector<std::unique_ptr<SimDisk>> disks;
+    std::vector<std::unique_ptr<AccessPredictor>> preds;
+    std::vector<SimDisk*> dptr;
+    std::vector<AccessPredictor*> pptr;
+    for (uint32_t i = 0; i < 5; ++i) {
+      disks.push_back(std::make_unique<SimDisk>(
+          &sim, MakeTestGeometry(), MakeTestSeekProfile(),
+          DiskNoiseModel::None(), 17 + i, i * 500.0));
+      preds.push_back(
+          std::make_unique<OraclePredictor>(disks.back().get(), 0.0));
+      dptr.push_back(disks.back().get());
+      pptr.push_back(preds.back().get());
+    }
+    Raid5Layout layout(5, 16, 2000);
+    Raid5ControllerOptions copts;
+    copts.fault_injector = &injector;
+    Raid5Controller controller(&sim, dptr, pptr, &layout, copts);
+
+    Rng rng(seed * 31 + 7);
+    const uint32_t victim = static_cast<uint32_t>(rng.UniformU64(5));
+    const int failstop_at = kOps / 3;
+
+    std::vector<int> completions(kOps, 0);
+    int done = 0;
+    for (int i = 0; i < kOps; ++i) {
+      if (i == failstop_at) {
+        injector.FailStop(victim);  // detected on the next access
+      }
+      const uint32_t sectors = 1 + static_cast<uint32_t>(rng.UniformU64(24));
+      const uint64_t lba =
+          rng.UniformU64(layout.data_capacity_sectors() - sectors);
+      const DiskOp op = rng.Bernoulli(0.6) ? DiskOp::kRead : DiskOp::kWrite;
+      controller.Submit(op, lba, sectors, [&, i](const IoResult& r) {
+        ++completions[i];
+        ++done;
+        EXPECT_TRUE(r.status == IoStatus::kOk ||
+                    r.status == IoStatus::kUnrecoverable)
+            << "op " << i << " surfaced intermediate status "
+            << IoStatusName(r.status);
+      });
+      if (rng.Bernoulli(0.3)) {
+        sim.RunUntil(sim.Now() + static_cast<SimTime>(rng.UniformU64(20'000)));
+      }
+    }
+
+    uint64_t steps = 0;
+    while (done < kOps) {
+      ASSERT_TRUE(sim.Step()) << "simulator ran dry with ops outstanding";
+      ASSERT_LT(++steps, kStepBudget) << "soak wedged: completions lost";
+    }
+    for (int i = 0; i < kOps; ++i) {
+      ASSERT_EQ(completions[i], 1) << "op " << i;
+    }
+    steps = 0;
+    while (!controller.Idle() && sim.Step()) {
+      ASSERT_LT(++steps, kStepBudget) << "drain wedged";
+    }
+    EXPECT_TRUE(controller.Idle());
+
+    // Consistency after rebuild: replace the fail-stopped disk and rebuild.
+    // kOk when every row reconstructed; kUnrecoverable when rows were lost to
+    // the stochastic fault mix — either way the rebuild must terminate.
+    if (controller.IsFailed(victim)) {
+      bool rebuilt = false;
+      IoResult rebuild_result;
+      controller.Rebuild(victim, [&](const IoResult& r) {
+        rebuild_result = r;
+        rebuilt = true;
+      });
+      steps = 0;
+      while (!rebuilt) {
+        ASSERT_TRUE(sim.Step());
+        ASSERT_LT(++steps, kStepBudget) << "rebuild wedged";
+      }
+      EXPECT_TRUE(rebuild_result.status == IoStatus::kOk ||
+                  rebuild_result.status == IoStatus::kUnrecoverable ||
+                  rebuild_result.status == IoStatus::kDiskFailed);
+      steps = 0;
+      while (!controller.Idle() && sim.Step()) {
+        ASSERT_LT(++steps, kStepBudget);
+      }
+    }
+
+    const FaultRecoveryStats& fs = controller.fault_stats();
+    EXPECT_GT(fs.TotalFaultsSeen(), 0u);
+    AppendSummary("chaos seed " + std::to_string(seed) + " (raid5 5-disk)", fs,
+                  injector.counters());
+  }
+}
+
+}  // namespace
+}  // namespace mimdraid

@@ -71,10 +71,11 @@ TEST_P(ControllerSoak, AllOpsCompleteAndDrain) {
     const uint64_t lba = rng.UniformU64(dataset - sectors);
     const DiskOp op =
         rng.Bernoulli(param.read_frac) ? DiskOp::kRead : DiskOp::kWrite;
-    controller.Submit(op, lba, sectors, [&](SimTime c) {
+    controller.Submit(op, lba, sectors, [&](const IoResult& r) {
       ++done;
-      EXPECT_GE(c, last_completion - 1'000'000);
-      last_completion = std::max(last_completion, c);
+      EXPECT_EQ(r.status, IoStatus::kOk);
+      EXPECT_GE(r.completion_us, last_completion - 1'000'000);
+      last_completion = std::max(last_completion, r.completion_us);
     });
     // Interleave: sometimes let the array make progress mid-burst.
     if (rng.Bernoulli(0.3)) {

@@ -45,7 +45,7 @@ struct Rig {
   SimTime Do(DiskOp op, uint64_t lba, uint32_t sectors) {
     SimTime completion = -1;
     controller->Submit(op, lba, sectors,
-                       [&](SimTime c) { completion = c; });
+                       [&](const IoResult& r) { completion = r.completion_us; });
     while (completion < 0) {
       EXPECT_TRUE(sim.Step());
     }
@@ -126,9 +126,9 @@ TEST(Controller, ReadAfterWriteIsOrderedAndConsistent) {
   SimTime write_done = -1;
   SimTime read_done = -1;
   rig.controller->Submit(DiskOp::kWrite, 0, 8,
-                         [&](SimTime c) { write_done = c; });
+                         [&](const IoResult& r) { write_done = r.completion_us; });
   rig.controller->Submit(DiskOp::kRead, 0, 8,
-                         [&](SimTime c) { read_done = c; });
+                         [&](const IoResult& r) { read_done = r.completion_us; });
   while (read_done < 0) {
     ASSERT_TRUE(rig.sim.Step());
   }
@@ -154,11 +154,11 @@ TEST(Controller, DelayedWritesWaitForIdle) {
   // Queue a burst of reads; delayed propagation must not jump ahead of them.
   SimTime write_done = -1;
   rig.controller->Submit(DiskOp::kWrite, 0, 8,
-                         [&](SimTime c) { write_done = c; });
+                         [&](const IoResult& r) { write_done = r.completion_us; });
   int reads_left = 5;
   for (int i = 0; i < 5; ++i) {
     rig.controller->Submit(DiskOp::kRead, 160 + 16 * i, 8,
-                           [&](SimTime) { --reads_left; });
+                           [&](const IoResult&) { --reads_left; });
   }
   while (reads_left > 0) {
     ASSERT_TRUE(rig.sim.Step());
@@ -175,8 +175,8 @@ TEST(Controller, BackToBackWritesDiscardSupersededPropagation) {
   // is still queued (the disk is busy with the second foreground write) when
   // the second write supersedes it.
   int done = 0;
-  rig.controller->Submit(DiskOp::kWrite, 0, 8, [&](SimTime) { ++done; });
-  rig.controller->Submit(DiskOp::kWrite, 0, 8, [&](SimTime) { ++done; });
+  rig.controller->Submit(DiskOp::kWrite, 0, 8, [&](const IoResult&) { ++done; });
+  rig.controller->Submit(DiskOp::kWrite, 0, 8, [&](const IoResult&) { ++done; });
   while (done < 2) {
     ASSERT_TRUE(rig.sim.Step());
   }
@@ -194,7 +194,7 @@ TEST(Controller, DelayedTableLimitForcesWritesOut) {
   int remaining = 40;
   for (int i = 0; i < 40; ++i) {
     rig.controller->Submit(DiskOp::kWrite, static_cast<uint64_t>(i) * 16, 8,
-                           [&](SimTime) { --remaining; });
+                           [&](const IoResult&) { --remaining; });
   }
   while (remaining > 0) {
     ASSERT_TRUE(rig.sim.Step());
@@ -209,9 +209,9 @@ TEST(Controller, DuplicatedMirrorReadsCancelled) {
   // Keep both disks busy, then issue a read: it must be duplicated and one
   // copy cancelled.
   int done = 0;
-  rig.controller->Submit(DiskOp::kWrite, 16, 8, [&](SimTime) { ++done; });
-  rig.controller->Submit(DiskOp::kWrite, 32, 8, [&](SimTime) { ++done; });
-  rig.controller->Submit(DiskOp::kRead, 0, 8, [&](SimTime) { ++done; });
+  rig.controller->Submit(DiskOp::kWrite, 16, 8, [&](const IoResult&) { ++done; });
+  rig.controller->Submit(DiskOp::kWrite, 32, 8, [&](const IoResult&) { ++done; });
+  rig.controller->Submit(DiskOp::kRead, 0, 8, [&](const IoResult&) { ++done; });
   while (done < 3) {
     ASSERT_TRUE(rig.sim.Step());
   }
@@ -227,7 +227,7 @@ TEST(Controller, ManyConcurrentOpsAllComplete) {
   for (int i = 0; i < kOps; ++i) {
     const uint64_t lba = rng.UniformU64(4000 - 16);
     const DiskOp op = rng.Bernoulli(0.6) ? DiskOp::kRead : DiskOp::kWrite;
-    rig.controller->Submit(op, lba, 8, [&](SimTime) { ++done; });
+    rig.controller->Submit(op, lba, 8, [&](const IoResult&) { ++done; });
   }
   while (done < kOps) {
     ASSERT_TRUE(rig.sim.Step());

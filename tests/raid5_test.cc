@@ -96,7 +96,7 @@ struct Rig {
 
   SimTime Do(DiskOp op, uint64_t lba, uint32_t sectors) {
     SimTime completion = -1;
-    controller->Submit(op, lba, sectors, [&](SimTime c) { completion = c; });
+    controller->Submit(op, lba, sectors, [&](const IoResult& r) { completion = r.completion_us; });
     while (completion < 0) {
       EXPECT_TRUE(sim.Step());
     }
@@ -196,7 +196,7 @@ TEST(Raid5Controller, RebuildRestoresRedundancy) {
   Rig rig;
   rig.controller->FailDisk(2);
   SimTime rebuilt_at = -1;
-  rig.controller->Rebuild(2, [&](SimTime c) { rebuilt_at = c; });
+  rig.controller->Rebuild(2, [&](const IoResult& r) { rebuilt_at = r.completion_us; });
   while (rebuilt_at < 0) {
     ASSERT_TRUE(rig.sim.Step());
   }
@@ -213,7 +213,7 @@ TEST(Raid5Controller, TrafficDuringRebuildStaysCorrect) {
   Rig rig;
   rig.controller->FailDisk(1);
   SimTime rebuilt_at = -1;
-  rig.controller->Rebuild(1, [&](SimTime c) { rebuilt_at = c; });
+  rig.controller->Rebuild(1, [&](const IoResult& r) { rebuilt_at = r.completion_us; });
   // Issue reads across the array while the rebuild streams.
   Rng rng(9);
   int done = 0;
@@ -221,7 +221,7 @@ TEST(Raid5Controller, TrafficDuringRebuildStaysCorrect) {
   for (int i = 0; i < kOps; ++i) {
     const uint64_t lba =
         rng.UniformU64(rig.layout->data_capacity_sectors() - 8);
-    rig.controller->Submit(DiskOp::kRead, lba, 8, [&](SimTime) { ++done; });
+    rig.controller->Submit(DiskOp::kRead, lba, 8, [&](const IoResult&) { ++done; });
   }
   while (done < kOps || rebuilt_at < 0) {
     ASSERT_TRUE(rig.sim.Step());
@@ -241,7 +241,7 @@ TEST(Raid5Controller, RandomMixAllCompletes) {
     const uint64_t lba =
         rng.UniformU64(rig.layout->data_capacity_sectors() - sectors);
     rig.controller->Submit(rng.Bernoulli(0.6) ? DiskOp::kRead : DiskOp::kWrite,
-                           lba, sectors, [&](SimTime) { ++done; });
+                           lba, sectors, [&](const IoResult&) { ++done; });
   }
   while (done < kOps) {
     ASSERT_TRUE(rig.sim.Step());

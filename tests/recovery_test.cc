@@ -87,7 +87,7 @@ TEST(Recovery, PendingPropagationsSurviveReboot) {
   constexpr int kWrites = 12;
   for (int i = 0; i < kWrites; ++i) {
     w.controller->Submit(DiskOp::kWrite, static_cast<uint64_t>(i) * 32, 8,
-                         [&](SimTime) { ++done; });
+                         [&](const IoResult&) { ++done; });
   }
   while (done < kWrites) {
     ASSERT_TRUE(w.sim.Step());
@@ -117,7 +117,7 @@ TEST(Recovery, RecoveredArrayServesReadsConsistently) {
   int done = 0;
   for (int i = 0; i < 6; ++i) {
     w.controller->Submit(DiskOp::kWrite, static_cast<uint64_t>(i) * 16, 8,
-                         [&](SimTime) { ++done; });
+                         [&](const IoResult&) { ++done; });
   }
   while (done < 6) {
     ASSERT_TRUE(w.sim.Step());
@@ -130,7 +130,7 @@ TEST(Recovery, RecoveredArrayServesReadsConsistently) {
   int reads = 0;
   for (int i = 0; i < 6; ++i) {
     fresh.controller->Submit(DiskOp::kRead, static_cast<uint64_t>(i) * 16, 8,
-                             [&](SimTime) { ++reads; });
+                             [&](const IoResult&) { ++reads; });
   }
   while (reads < 6) {
     ASSERT_TRUE(fresh.sim.Step());
@@ -147,7 +147,7 @@ TEST(Recovery, SnapshotBoundedByTableLimit) {
   constexpr int kWrites = 30;
   for (int i = 0; i < kWrites; ++i) {
     w.controller->Submit(DiskOp::kWrite, static_cast<uint64_t>(i) * 32, 8,
-                         [&](SimTime) { ++done; });
+                         [&](const IoResult&) { ++done; });
   }
   while (done < kWrites) {
     ASSERT_TRUE(w.sim.Step());
@@ -171,7 +171,7 @@ TEST(Recovery, MirrorConfigurationRecovers) {
   int done = 0;
   for (int i = 0; i < 8; ++i) {
     w.controller->Submit(DiskOp::kWrite, static_cast<uint64_t>(i) * 32, 8,
-                         [&](SimTime) { ++done; });
+                         [&](const IoResult&) { ++done; });
   }
   while (done < 8) {
     ASSERT_TRUE(w.sim.Step());

@@ -122,7 +122,9 @@ TEST(TraceStats, ReadAfterWriteDetectsRecentWrite) {
 SubmitFn FakeBackend(Simulator* sim) {
   return [sim](DiskOp, uint64_t, uint32_t, IoDoneFn done) {
     sim->ScheduleAfter(1000, [sim, done = std::move(done)]() {
-      done(sim->Now());
+      IoResult r;
+      r.completion_us = sim->Now();
+      done(r);
     });
   };
 }
@@ -163,8 +165,11 @@ TEST(TracePlayer, SaturationDetected) {
   t.records.resize(300);
   // Backend that never completes anything within the run.
   SubmitFn black_hole = [&sim](DiskOp, uint64_t, uint32_t, IoDoneFn done) {
-    sim.ScheduleAfter(100'000'000'000LL,
-                      [&sim, done = std::move(done)]() { done(sim.Now()); });
+    sim.ScheduleAfter(100'000'000'000LL, [&sim, done = std::move(done)]() {
+      IoResult r;
+      r.completion_us = sim.Now();
+      done(r);
+    });
   };
   TracePlayerOptions options;
   options.max_outstanding = 50;
@@ -193,7 +198,9 @@ TEST(ClosedLoop, FootprintFractionRestrictsRange) {
   SubmitFn recorder = [&](DiskOp, uint64_t lba, uint32_t, IoDoneFn done) {
     max_lba = std::max(max_lba, lba);
     sim.ScheduleAfter(10, [&sim, done = std::move(done)]() {
-      done(sim.Now());
+      IoResult r;
+      r.completion_us = sim.Now();
+      done(r);
     });
   };
   ClosedLoopOptions options;
