@@ -10,11 +10,15 @@
 #define MIMDRAID_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "src/core/experiment.h"
 #include "src/core/mimd_raid.h"
 #include "src/model/configurator.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/trace_collector.h"
 #include "src/workload/synthetic.h"
 
 namespace mimdraid {
@@ -43,8 +47,18 @@ struct TraceRunOutput {
   bool saturated = false;
 };
 
+// Opt-in per-run tracing: when MIMDRAID_TRACE_DIR names a directory, every
+// RunTraceConfig call records the full request/disk-op timeline and writes it
+// as Chrome trace-event JSON (trace_NNNN.json, one file per run, numbered in
+// call order) with a text summary on stderr. Unset (the default) leaves the
+// collector pointer nullptr and the run byte-identical to an untraced one.
 inline TraceRunOutput RunTraceConfig(const Trace& trace,
                                      const TraceRunConfig& config) {
+  const char* trace_dir = std::getenv("MIMDRAID_TRACE_DIR");
+  std::unique_ptr<TraceCollector> collector;
+  if (trace_dir != nullptr) {
+    collector = std::make_unique<TraceCollector>();
+  }
   MimdRaidOptions options;
   options.aspect = config.aspect;
   options.scheduler = config.scheduler;
@@ -52,11 +66,24 @@ inline TraceRunOutput RunTraceConfig(const Trace& trace,
   options.max_scan = config.max_scan;
   options.foreground_write_propagation = config.foreground_writes;
   options.seed = config.seed;
+  options.collector = collector.get();
   MimdRaid array(options);
   TracePlayerOptions popt;
   popt.rate_scale = config.rate_scale;
   popt.max_outstanding = config.max_outstanding;
+  popt.collector = collector.get();
   const RunResult r = RunTraceOnArray(array, trace, popt);
+  if (collector != nullptr) {
+    static int seq = 0;
+    char path[512];
+    std::snprintf(path, sizeof(path), "%s/trace_%04d.json", trace_dir, seq++);
+    if (WriteChromeTraceFile(*collector, path)) {
+      std::fprintf(stderr, "[trace] wrote %s\n%s", path,
+                   collector->Summary().c_str());
+    } else {
+      std::fprintf(stderr, "[trace] failed to write %s\n", path);
+    }
+  }
   TraceRunOutput out;
   out.saturated = r.saturated;
   out.mean_ms = r.saturated ? -1.0 : r.latency.MeanMs();

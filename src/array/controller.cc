@@ -24,7 +24,8 @@ ArrayController::ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
       predictors_(std::move(predictors)),
       layout_(layout),
       options_(options),
-      auditor_(options.auditor) {
+      auditor_(options.auditor),
+      collector_(options.collector) {
   MIMDRAID_CHECK(sim != nullptr);
   MIMDRAID_CHECK(layout != nullptr);
   MIMDRAID_CHECK_EQ(disks_.size(), layout->num_disks());
@@ -48,6 +49,9 @@ ArrayController::ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
     if (options_.fault_injector != nullptr) {
       disks_[i]->SetFaultInjector(options_.fault_injector,
                                   static_cast<uint32_t>(i));
+    }
+    if (collector_ != nullptr) {
+      disks_[i]->SetTraceCollector(collector_, static_cast<uint32_t>(i));
     }
     schedulers_.push_back(std::move(scheduler));
     if (options_.recalibration_interval_us > 0) {
@@ -132,6 +136,13 @@ void ArrayController::SubmitInternal(DiskOp op, uint64_t lba, uint32_t sectors,
   }
 
   const uint64_t op_id = next_op_id_++;
+  // Parked reads are recorded only on resubmission (the early return above),
+  // with their original issue time, so parked waiting shows up in queue_us'
+  // complement: the e2e latency counts it, the final leg does not.
+  if (collector_ != nullptr) {
+    collector_->OnRequestArrival(op_id, op == DiskOp::kWrite, lba, sectors,
+                                 issue_us);
+  }
   std::vector<ArrayFragment> fragments = layout_->Map(lba, sectors);
   if (auditor_ != nullptr) {
     AuditMappedFragments(lba, sectors, fragments);
@@ -386,6 +397,9 @@ void ArrayController::EnqueueFg(uint32_t disk, QueuedRequest entry) {
     auditor_->OnEntryQueued(disk, entry.id, entry.delayed);
   }
   fg_[disk].push_back(std::move(entry));
+  if (collector_ != nullptr) {
+    collector_->OnQueueDepth(disk, sim_->Now(), fg_[disk].size());
+  }
 }
 
 void ArrayController::EnqueueDelayed(uint32_t disk, QueuedRequest entry) {
@@ -425,15 +439,21 @@ void ArrayController::MaybeDispatch(uint32_t disk) {
   if (queue.empty()) {
     return;
   }
+  const bool from_fg = &queue == &fg_[disk];
   ScheduleContext ctx;
   ctx.now = sim_->Now();
   ctx.predictor = predictors_[disk];
   ctx.layout = &disks_[disk]->layout();
+  ctx.collector = collector_;
+  ctx.disk = disk;
   const SchedulerPick pick = schedulers_[disk]->Pick(queue, ctx);
   QueuedRequest entry = std::move(queue[pick.queue_index]);
   queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick.queue_index));
   if (auditor_ != nullptr) {
     auditor_->OnEntryDispatched(disk, entry.id);
+  }
+  if (collector_ != nullptr && from_fg) {
+    collector_->OnQueueDepth(disk, sim_->Now(), fg_[disk].size());
   }
 
   if (!entry.delayed && !entry.maintenance) {
@@ -455,10 +475,14 @@ void ArrayController::MaybeDispatch(uint32_t disk) {
   const uint64_t chosen_lba = pick.lba;
   disks_[disk]->Start(
       entry.op, chosen_lba, entry.sectors,
-      [this, disk, entry = std::move(entry),
-       chosen_lba](const DiskOpResult& result) {
+      [this, disk, entry = std::move(entry), chosen_lba,
+       predicted](const DiskOpResult& result) {
         predictors_[disk]->OnCompletion(result.completion_us, chosen_lba,
                                         entry.sectors);
+        if (collector_ != nullptr && result.ok()) {
+          collector_->OnPrediction(disk, result.completion_us, predicted,
+                                   static_cast<double>(result.ServiceUs()));
+        }
         OnEntryComplete(disk, entry, chosen_lba, result);
         MaybeDispatch(disk);
       });
@@ -480,6 +504,9 @@ void ArrayController::CancelSiblings(uint64_t frag_key, uint32_t winner_disk,
         ++stats_.read_duplicates_cancelled;
         if (auditor_ != nullptr) {
           auditor_->OnEntryCancelled(disk, entry_id);
+        }
+        if (collector_ != nullptr) {
+          collector_->OnQueueDepth(disk, sim_->Now(), q.size());
         }
         break;
       }
@@ -554,14 +581,23 @@ void ArrayController::OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
     ++frag.successes;
   }
   if (--frag.entries_remaining == 0) {
-    CompleteFragment(entry.tag, frag, disk, chosen_lba, result.completion_us);
+    FinalLeg leg;
+    leg.entry_arrival_us = entry.arrival_us;
+    leg.disk_start_us = result.start_us;
+    leg.overhead_us = result.overhead_us;
+    leg.seek_us = result.seek_us;
+    leg.rotational_us = result.rotational_us;
+    leg.transfer_us = result.transfer_us;
+    CompleteFragment(entry.tag, frag, disk, chosen_lba, result.completion_us,
+                     &leg);
   }
 }
 
 void ArrayController::CompleteFragment(uint64_t frag_key, FragState& frag,
                                        uint32_t chosen_disk,
                                        uint64_t chosen_lba,
-                                       SimTime completion_us) {
+                                       SimTime completion_us,
+                                       const FinalLeg* leg) {
   const uint64_t op_id = frag.op_id;
   const DiskOp op = frag.op;
   const IoStatus frag_status = frag.status;
@@ -624,6 +660,10 @@ void ArrayController::CompleteFragment(uint64_t frag_key, FragState& frag,
     io.status = opstate.status;
     io.completion_us = completion_us;
     io.recovery_attempts = opstate.recovery_attempts;
+    if (collector_ != nullptr) {
+      collector_->OnRequestComplete(op_id, io.status, io.completion_us,
+                                    io.recovery_attempts, leg);
+    }
     DoneFn done = std::move(opstate.done);
     ops_.erase(oit);
     if (done) {
@@ -767,6 +807,7 @@ void ArrayController::HandleWriteFailure(uint32_t disk,
                                          const QueuedRequest& entry,
                                          uint64_t chosen_lba,
                                          const DiskOpResult& result) {
+  (void)result;
   auto it = frags_.find(entry.tag);
   MIMDRAID_CHECK(it != frags_.end());
   FragState& frag = it->second;
@@ -1005,6 +1046,9 @@ void ArrayController::AbandonDelayedQueue(uint32_t disk) {
 void ArrayController::RerouteQueuedEntries(uint32_t disk) {
   std::vector<QueuedRequest> moved = std::move(fg_[disk]);
   fg_[disk].clear();
+  if (collector_ != nullptr && !moved.empty()) {
+    collector_->OnQueueDepth(disk, sim_->Now(), 0);
+  }
   for (QueuedRequest& e : moved) {
     if (auditor_ != nullptr) {
       auditor_->OnEntryCancelled(disk, e.id);
@@ -1071,6 +1115,9 @@ void ArrayController::PromoteSpareIfAvailable(uint32_t disk) {
   if (options_.fault_injector != nullptr) {
     options_.fault_injector->ReplaceDisk(disk);
     spare_disk->SetFaultInjector(options_.fault_injector, disk);
+  }
+  if (collector_ != nullptr) {
+    spare_disk->SetTraceCollector(collector_, disk);
   }
   ++fstats_.spares_promoted;
   RebuildDisk(disk, [this](const IoResult& r) {

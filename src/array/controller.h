@@ -19,6 +19,7 @@
 #include "src/calib/predictor.h"
 #include "src/disk/access_predictor.h"
 #include "src/disk/sim_disk.h"
+#include "src/obs/trace_collector.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/auditor.h"
 #include "src/sim/fault_injector.h"
@@ -54,6 +55,13 @@ struct ArrayControllerOptions {
   // disk (and into promoted spares) and runs its recovery machinery against
   // the faults the disks report. Borrowed; must outlive the controller.
   FaultInjector* fault_injector = nullptr;
+  // Observability: when set, the controller wires the collector into every
+  // disk (and every promoted spare) and reports the request lifecycle to it
+  // (arrival, completion with the final-leg service decomposition, queue
+  // depth, dispatch prediction error). Borrowed; must outlive the
+  // controller. Like the auditor, the collector only observes — attaching it
+  // changes no scheduling or recovery decision.
+  TraceCollector* collector = nullptr;
   // Bounded-retry policy for foreground reads that fail with a transient
   // status (timeouts). Writes and background propagations retry without an
   // attempt bound: they carry data that exists nowhere else yet, so the only
@@ -221,9 +229,12 @@ class ArrayController {
   void MaybeDispatch(uint32_t disk);
   void OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
                        uint64_t chosen_lba, const DiskOpResult& result);
+  // `leg` is the decomposition of the disk op whose completion completed the
+  // fragment; nullptr on paths with no such op (unrecoverable completions,
+  // lost foreground-propagation replicas).
   void CompleteFragment(uint64_t frag_key, FragState& frag,
                         uint32_t chosen_disk, uint64_t chosen_lba,
-                        SimTime completion_us);
+                        SimTime completion_us, const FinalLeg* leg = nullptr);
   void CancelSiblings(uint64_t frag_key, uint32_t winner_disk,
                       uint64_t winner_entry);
   void AddDelayedWrite(uint32_t disk, uint64_t lba, uint32_t sectors,
@@ -284,6 +295,7 @@ class ArrayController {
   const ArrayLayout* layout_;
   ArrayControllerOptions options_;
   InvariantAuditor* auditor_ = nullptr;
+  TraceCollector* collector_ = nullptr;
 
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
   std::vector<EventId> recalibration_events_;

@@ -109,6 +109,7 @@ ArrayControllerOptions MimdRaid::ControllerOptions() const {
   copts.retry = options_.retry;
   copts.disk_error_fail_threshold = options_.disk_error_fail_threshold;
   copts.scrub_interval_us = options_.scrub_interval_us;
+  copts.collector = options_.collector;
   return copts;
 }
 

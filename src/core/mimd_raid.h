@@ -70,6 +70,12 @@ struct MimdRaidOptions {
   // Extra drives kept spinning; promoted automatically when a disk
   // fail-stops, followed by an automatic rebuild.
   uint32_t hot_spares = 0;
+
+  // Observability: when set, the controller reports per-request lifecycle,
+  // per-slot disk ops / queue depth, and dispatch prediction error to this
+  // collector (see src/obs/trace_collector.h). Borrowed; must outlive the
+  // MimdRaid. nullptr (the default) disables tracing entirely.
+  TraceCollector* collector = nullptr;
 };
 
 class MimdRaid {

@@ -21,6 +21,9 @@ void InternalQueueDisk::Submit(DiskOp op, uint64_t lba, uint32_t sectors,
   // queues are equivalent here as long as the firmware only examines the
   // first queue_depth_ entries when picking (enforced in PickNext).
   queue_.push_back(Command{op, lba, sectors, std::move(done)});
+  if (collector_ != nullptr) {
+    collector_->OnQueueDepth(trace_slot_, disk_->NowUs(), queue_.size());
+  }
   MaybeStart();
 }
 
@@ -59,6 +62,9 @@ void InternalQueueDisk::MaybeStart() {
   }
   Command cmd = std::move(queue_[index]);
   queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(index));
+  if (collector_ != nullptr) {
+    collector_->OnQueueDepth(trace_slot_, disk_->NowUs(), queue_.size());
+  }
   disk_->Start(cmd.op, cmd.lba, cmd.sectors,
                [this, done = std::move(cmd.done)](const DiskOpResult& result) {
                  // The status rides the result through to the submitter; the

@@ -44,6 +44,14 @@ class InternalQueueDisk {
   // Commands that completed with a non-kOk IoStatus (observed, not retried).
   uint64_t errors() const { return errors_; }
 
+  // Attaches the observability collector for the host-visible queue-depth
+  // series of this drive (nullptr detaches). The wrapped SimDisk has its own
+  // SetTraceCollector for the per-command records.
+  void SetTraceCollector(TraceCollector* collector, uint32_t slot) {
+    collector_ = collector;
+    trace_slot_ = slot;
+  }
+
  private:
   struct Command {
     DiskOp op;
@@ -61,6 +69,8 @@ class InternalQueueDisk {
   std::vector<Command> queue_;  // commands accepted by the drive
   uint64_t reorderings_ = 0;    // times SATF bypassed the oldest command
   uint64_t errors_ = 0;         // completions with status != kOk
+  TraceCollector* collector_ = nullptr;
+  uint32_t trace_slot_ = 0;
 };
 
 }  // namespace mimdraid

@@ -61,12 +61,19 @@ void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
     if (auditor_ != nullptr) {
       audit = AuditFor(result, lba, sectors, op == DiskOp::kWrite, head_);
     }
+    const DiskOpRecord trace =
+        collector_ != nullptr
+            ? TraceFor(result, lba, sectors, op == DiskOp::kWrite)
+            : DiskOpRecord{};
     sim_->ScheduleAt(result.completion_us,
-                     [this, result, audit, cb = std::move(done)]() {
+                     [this, result, audit, trace, cb = std::move(done)]() {
       busy_ = false;
       ++ops_failed_;
       if (auditor_ != nullptr) {
         auditor_->OnDiskOpComplete(audit);
+      }
+      if (collector_ != nullptr) {
+        collector_->OnDiskOp(trace);
       }
       if (cb) {
         cb(result);
@@ -123,15 +130,19 @@ void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
   result.rotational_us = plan.rotational_us;
   result.transfer_us = plan.transfer_us;
 
-  // Pre-built audit record (cheap PODs; only filled when auditing).
+  // Pre-built audit/trace records (cheap PODs; only filled when observed).
   DiskOpAudit audit;
   if (auditor_ != nullptr) {
     audit = AuditFor(result, lba, sectors, op == DiskOp::kWrite,
                      plan.end_state);
   }
+  const DiskOpRecord trace =
+      collector_ != nullptr
+          ? TraceFor(result, lba, sectors, op == DiskOp::kWrite)
+          : DiskOpRecord{};
 
   sim_->ScheduleAt(completion,
-                   [this, plan, result, audit, cb = std::move(done)]() {
+                   [this, plan, result, audit, trace, cb = std::move(done)]() {
     head_ = plan.end_state;
     busy_ = false;
     if (result.status == IoStatus::kOk) {
@@ -142,10 +153,30 @@ void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
     if (auditor_ != nullptr) {
       auditor_->OnDiskOpComplete(audit);
     }
+    if (collector_ != nullptr) {
+      collector_->OnDiskOp(trace);
+    }
     if (cb) {
       cb(result);
     }
   });
+}
+
+DiskOpRecord SimDisk::TraceFor(const DiskOpResult& result, uint64_t lba,
+                               uint32_t sectors, bool is_write) const {
+  DiskOpRecord rec;
+  rec.slot = trace_slot_;
+  rec.is_write = is_write;
+  rec.lba = lba;
+  rec.sectors = sectors;
+  rec.status = result.status;
+  rec.start_us = result.start_us;
+  rec.completion_us = result.completion_us;
+  rec.overhead_us = result.overhead_us;
+  rec.seek_us = result.seek_us;
+  rec.rotational_us = result.rotational_us;
+  rec.transfer_us = result.transfer_us;
+  return rec;
 }
 
 DiskOpAudit SimDisk::AuditFor(const DiskOpResult& result, uint64_t lba,

@@ -18,6 +18,7 @@
 #include "src/disk/layout.h"
 #include "src/disk/seek_profile.h"
 #include "src/disk/timing.h"
+#include "src/obs/trace_collector.h"
 #include "src/sim/auditor.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/io_status.h"
@@ -138,6 +139,16 @@ class SimDisk {
   }
   FaultInjector* fault_injector() const { return fault_injector_; }
 
+  // Attaches the observability collector (nullptr detaches); `slot` labels
+  // this drive's track in the trace. Borrowed, must outlive the disk. Kept
+  // separate from audit_disk_index_ so tracing composes with auditing and
+  // fault injection without ordering constraints between the Set* calls.
+  void SetTraceCollector(TraceCollector* collector, uint32_t slot) {
+    collector_ = collector;
+    trace_slot_ = slot;
+  }
+  TraceCollector* trace_collector() const { return collector_; }
+
   uint64_t ops_failed() const { return ops_failed_; }
 
   // --- Introspection for tests and oracle experiments only. ---
@@ -151,6 +162,8 @@ class SimDisk {
   DiskOpAudit AuditFor(const DiskOpResult& result, uint64_t lba,
                        uint32_t sectors, bool is_write,
                        const HeadState& end_state) const;
+  DiskOpRecord TraceFor(const DiskOpResult& result, uint64_t lba,
+                        uint32_t sectors, bool is_write) const;
 
   Simulator* sim_;
   DiskGeometry geometry_;
@@ -165,6 +178,8 @@ class SimDisk {
   InvariantAuditor* auditor_ = nullptr;
   FaultInjector* fault_injector_ = nullptr;
   uint32_t audit_disk_index_ = 0;
+  TraceCollector* collector_ = nullptr;
+  uint32_t trace_slot_ = 0;
 };
 
 }  // namespace mimdraid

@@ -1,0 +1,178 @@
+#include "src/obs/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mimdraid {
+
+namespace {
+
+// All names we emit are plain ASCII, but markers are caller-supplied strings,
+// so escape defensively.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {}
+
+  // Each call emits one element of the traceEvents array; `body` is the
+  // event object's contents without the surrounding braces.
+  void Emit(const std::string& body) {
+    if (!first_) {
+      os_ << ",\n";
+    }
+    first_ = false;
+    os_ << '{' << body << '}';
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string Num(SimTime v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+}  // namespace
+
+void WriteChromeTrace(const TraceCollector& c, std::ostream& os) {
+  os << "{\"traceEvents\":[\n";
+  EventWriter w(os);
+
+  // Track metadata: pid 0 = physical disks (one thread per slot), pid 1 =
+  // logical requests.
+  w.Emit("\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"disks\"}");
+  w.Emit("\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"requests\"}");
+  for (uint32_t slot = 0; slot < c.num_slots(); ++slot) {
+    char body[128];
+    std::snprintf(body, sizeof(body),
+                  "\"ph\":\"M\",\"pid\":0,\"tid\":%u,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"slot %u\"}",
+                  slot, slot);
+    w.Emit(body);
+  }
+
+  // One complete event per disk command. SimDisk services one command at a
+  // time, so the per-slot events never overlap and render as a clean track.
+  for (const DiskOpRecord& op : c.disk_ops()) {
+    std::ostringstream body;
+    body << "\"ph\":\"X\",\"pid\":0,\"tid\":" << op.slot << ",\"cat\":\"disk\""
+         << ",\"name\":\"" << (op.is_write ? "write" : "read") << '"'
+         << ",\"ts\":" << Num(op.start_us)
+         << ",\"dur\":" << Num(op.completion_us - op.start_us)
+         << ",\"args\":{\"lba\":" << op.lba << ",\"sectors\":" << op.sectors
+         << ",\"status\":\"" << IoStatusName(op.status) << '"'
+         << ",\"overhead_us\":" << Num(op.overhead_us)
+         << ",\"seek_us\":" << Num(op.seek_us)
+         << ",\"rotational_us\":" << Num(op.rotational_us)
+         << ",\"transfer_us\":" << Num(op.transfer_us) << '}';
+    w.Emit(body.str());
+  }
+
+  // Queue depth counters, one counter series per slot.
+  for (const QueueDepthSample& q : c.queue_depths()) {
+    std::ostringstream body;
+    body << "\"ph\":\"C\",\"pid\":0,\"tid\":" << q.slot
+         << ",\"name\":\"queue_depth_" << q.slot << "\",\"ts\":" << Num(q.t_us)
+         << ",\"args\":{\"depth\":" << q.depth << '}';
+    w.Emit(body.str());
+  }
+
+  // Async begin/end span per logical request; the phase split rides the end
+  // event so a Perfetto query can sum it per span.
+  for (const RequestRecord& r : c.requests()) {
+    const char* name = r.is_write ? "write" : "read";
+    {
+      std::ostringstream body;
+      body << "\"ph\":\"b\",\"pid\":1,\"tid\":0,\"cat\":\"request\",\"id\":"
+           << r.id << ",\"name\":\"" << name << "\",\"ts\":"
+           << Num(r.arrival_us) << ",\"args\":{\"lba\":" << r.lba
+           << ",\"sectors\":" << r.sectors << '}';
+      w.Emit(body.str());
+    }
+    {
+      std::ostringstream body;
+      body << "\"ph\":\"e\",\"pid\":1,\"tid\":0,\"cat\":\"request\",\"id\":"
+           << r.id << ",\"name\":\"" << name << "\",\"ts\":"
+           << Num(r.completion_us)
+           << ",\"args\":{\"status\":\"" << IoStatusName(r.status) << '"'
+           << ",\"recovery_attempts\":" << r.recovery_attempts
+           << ",\"queue_us\":" << Num(r.phases.queue_us)
+           << ",\"overhead_us\":" << Num(r.phases.overhead_us)
+           << ",\"seek_us\":" << Num(r.phases.seek_us)
+           << ",\"rotational_us\":" << Num(r.phases.rotational_us)
+           << ",\"transfer_us\":" << Num(r.phases.transfer_us)
+           << ",\"recovery_us\":" << Num(r.phases.recovery_us) << '}';
+      w.Emit(body.str());
+    }
+  }
+
+  for (const TraceMarker& m : c.markers()) {
+    std::ostringstream body;
+    body << "\"ph\":\"i\",\"pid\":0,\"tid\":0,\"s\":\"g\",\"name\":\""
+         << JsonEscape(m.name) << "\",\"ts\":" << Num(m.t_us);
+    w.Emit(body.str());
+  }
+
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string ChromeTraceJson(const TraceCollector& collector) {
+  std::ostringstream os;
+  WriteChromeTrace(collector, os);
+  return os.str();
+}
+
+bool WriteChromeTraceFile(const TraceCollector& collector,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  WriteChromeTrace(collector, out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,30 @@
+// Chrome trace-event JSON export for TraceCollector.
+//
+// The emitted file loads in chrome://tracing and Perfetto: one track per
+// disk slot (pid 0, complete "X" events with the seek/rotation/transfer
+// decomposition in args), async "b"/"e" spans for logical requests (pid 1,
+// id = request id, phase breakdown on the end event), counter "C" events for
+// per-slot queue depth, and instant "i" events for run markers. Timestamps
+// are simulated microseconds, which is also the trace-event unit.
+#ifndef MIMDRAID_SRC_OBS_CHROME_TRACE_H_
+#define MIMDRAID_SRC_OBS_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/obs/trace_collector.h"
+
+namespace mimdraid {
+
+void WriteChromeTrace(const TraceCollector& collector, std::ostream& os);
+
+// Serializes to a string (tests, small traces).
+std::string ChromeTraceJson(const TraceCollector& collector);
+
+// Returns false if the file could not be opened or written.
+bool WriteChromeTraceFile(const TraceCollector& collector,
+                          const std::string& path);
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_OBS_CHROME_TRACE_H_

@@ -1,0 +1,84 @@
+// A minimal recursive-descent JSON parser.
+//
+// Exists so tools/trace_summarize and the obs tests can *validate* the Chrome
+// trace-event files we emit without pulling in an external JSON dependency.
+// Supports the full JSON grammar except \uXXXX surrogate pairs (escapes are
+// decoded to '?' placeholders beyond the ASCII range we emit). Not a general
+// purpose library: error reporting is a single message + offset.
+#ifndef MIMDRAID_SRC_OBS_JSON_LITE_H_
+#define MIMDRAID_SRC_OBS_JSON_LITE_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mimdraid {
+namespace json_lite {
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Value>& AsArray() const { return array_; }
+  const std::map<std::string, Value>& AsObject() const { return object_; }
+
+  // Object member lookup; returns nullptr if absent or not an object.
+  const Value* Find(const std::string& key) const {
+    if (type_ != Type::kObject) {
+      return nullptr;
+    }
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+  }
+  // Convenience accessors with defaults, for schema-tolerant readers.
+  double GetNumber(const std::string& key, double fallback = 0.0) const {
+    const Value* v = Find(key);
+    return (v != nullptr && v->is_number()) ? v->number_ : fallback;
+  }
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    const Value* v = Find(key);
+    return (v != nullptr && v->is_string()) ? v->string_ : fallback;
+  }
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+struct ParseResult {
+  bool ok = false;
+  Value value;
+  std::string error;      // empty when ok
+  size_t error_offset = 0;
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, trailing
+// garbage is an error).
+ParseResult Parse(const std::string& text);
+
+}  // namespace json_lite
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_OBS_JSON_LITE_H_

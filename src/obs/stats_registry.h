@@ -1,0 +1,50 @@
+// A flat name -> value registry for run-level scalar statistics.
+//
+// The export target of TraceCollector::ExportTo and anything else that wants
+// to publish a number under a stable name (bench harnesses, tests). std::map
+// keys keep Dump() deterministic.
+#ifndef MIMDRAID_SRC_OBS_STATS_REGISTRY_H_
+#define MIMDRAID_SRC_OBS_STATS_REGISTRY_H_
+
+#include <cstddef>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace mimdraid {
+
+class StatsRegistry {
+ public:
+  void Set(const std::string& name, double value) { values_[name] = value; }
+  void Increment(const std::string& name, double delta = 1.0) {
+    values_[name] += delta;
+  }
+  // 0.0 for unknown names (registry consumers treat absence as "not
+  // measured", never as an error).
+  double Get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+  }
+  bool Contains(const std::string& name) const {
+    return values_.contains(name);
+  }
+  size_t size() const { return values_.size(); }
+  const std::map<std::string, double>& values() const { return values_; }
+
+  std::string Dump() const {
+    std::string out;
+    for (const auto& [name, value] : values_) {
+      char line[256];
+      std::snprintf(line, sizeof(line), "%-44s %.3f\n", name.c_str(), value);
+      out += line;
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_OBS_STATS_REGISTRY_H_

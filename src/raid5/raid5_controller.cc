@@ -24,7 +24,8 @@ Raid5Controller::Raid5Controller(Simulator* sim, std::vector<SimDisk*> disks,
       disks_(std::move(disks)),
       predictors_(std::move(predictors)),
       layout_(layout),
-      options_(options) {
+      options_(options),
+      collector_(options.collector) {
   MIMDRAID_CHECK(sim != nullptr);
   MIMDRAID_CHECK(layout != nullptr);
   MIMDRAID_CHECK_EQ(disks_.size(), layout->num_disks());
@@ -36,6 +37,9 @@ Raid5Controller::Raid5Controller(Simulator* sim, std::vector<SimDisk*> disks,
     schedulers_.push_back(MakeScheduler(options.scheduler, options.max_scan));
     disks_[i]->SetFaultInjector(options_.fault_injector,
                                 static_cast<uint32_t>(i));
+    if (collector_ != nullptr) {
+      disks_[i]->SetTraceCollector(collector_, static_cast<uint32_t>(i));
+    }
   }
 }
 
@@ -81,6 +85,9 @@ void Raid5Controller::AutoFailDisk(uint32_t disk) {
 void Raid5Controller::DrainQueue(uint32_t disk) {
   std::vector<QueuedRequest> drained;
   drained.swap(queues_[disk]);
+  if (collector_ != nullptr && !drained.empty()) {
+    collector_->OnQueueDepth(disk, sim_->Now(), 0);
+  }
   DiskOpResult failure;
   failure.status = IoStatus::kDiskFailed;
   failure.start_us = sim_->Now();
@@ -110,6 +117,10 @@ void Raid5Controller::Submit(DiskOp op, uint64_t lba, uint32_t sectors,
                              DoneFn done) {
   MIMDRAID_CHECK_GT(sectors, 0u);
   const uint64_t op_id = next_op_id_++;
+  if (collector_ != nullptr) {
+    collector_->OnRequestArrival(op_id, op == DiskOp::kWrite, lba, sectors,
+                                 sim_->Now());
+  }
   const std::vector<Raid5Fragment> frags = layout_->Map(lba, sectors);
   PendingOp& pending = ops_[op_id];
   pending.remaining = static_cast<uint32_t>(frags.size());
@@ -143,7 +154,7 @@ void Raid5Controller::SubmitReadFragment(uint64_t op_id,
                       return;
                     }
                     if (r.ok()) {
-                      FragmentPhaseDone(work, r.completion_us);
+                      FragmentPhaseDone(work, r.completion_us, &r);
                       return;
                     }
                     // Direct read failed past the retry budget: fail over to
@@ -192,7 +203,7 @@ void Raid5Controller::SubmitReadFragment(uint64_t op_id,
                       work->status =
                           Worse(work->status, IoStatus::kUnrecoverable);
                     }
-                    FragmentPhaseDone(work, r.completion_us);
+                    FragmentPhaseDone(work, r.completion_us, &r);
                   });
   }
 }
@@ -235,7 +246,7 @@ void Raid5Controller::SubmitWriteFragment(uint64_t op_id,
       // cannot be computed.
       work->status = Worse(work->status, IoStatus::kUnrecoverable);
     }
-    FragmentPhaseDone(work, r.completion_us);
+    FragmentPhaseDone(work, r.completion_us, &r);
   };
 
   if (data_ok && parity_ok) {
@@ -333,7 +344,8 @@ void Raid5Controller::SubmitWriteFragment(uint64_t op_id,
 }
 
 void Raid5Controller::FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
-                                        SimTime completion) {
+                                        SimTime completion,
+                                        const DiskOpResult* last) {
   MIMDRAID_CHECK_GT(work->phase_remaining, 0);
   if (--work->phase_remaining > 0) {
     return;
@@ -349,14 +361,14 @@ void Raid5Controller::FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
       EnqueueDiskOp(frag.data_disk, DiskOp::kWrite, frag.disk_lba,
                     frag.sectors, [](const DiskOpResult&) {});
     }
-    OpPartDone(work->op_id, completion, work->status);
+    OpPartDone(work->op_id, completion, work->status, last);
     return;
   }
 
   // Write: the read phase (if any) is done.
   if (work->status != IoStatus::kOk) {
     // A reconstruct-read failed; the new parity cannot be computed.
-    OpPartDone(work->op_id, completion, work->status);
+    OpPartDone(work->op_id, completion, work->status, last);
     return;
   }
   const bool data_ok = DiskUsable(frag.data_disk, frag.row);
@@ -379,7 +391,7 @@ void Raid5Controller::FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
     }
     MIMDRAID_CHECK_GT(*writes, 0);
     if (--*writes == 0) {
-      OpPartDone(work->op_id, r.completion_us, work->status);
+      OpPartDone(work->op_id, r.completion_us, work->status, &r);
     }
   };
   if (data_ok) {
@@ -404,10 +416,20 @@ void Raid5Controller::FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
 }
 
 void Raid5Controller::OpPartDone(uint64_t op_id, SimTime completion,
-                                 IoStatus status) {
+                                 IoStatus status, const DiskOpResult* last) {
   auto it = ops_.find(op_id);
   MIMDRAID_CHECK(it != ops_.end());
   PendingOp& pending = it->second;
+  if (collector_ != nullptr && last != nullptr &&
+      completion >= pending.last_completion) {
+    pending.has_leg = true;
+    pending.leg.entry_arrival_us = last->start_us;
+    pending.leg.disk_start_us = last->start_us;
+    pending.leg.overhead_us = last->overhead_us;
+    pending.leg.seek_us = last->seek_us;
+    pending.leg.rotational_us = last->rotational_us;
+    pending.leg.transfer_us = last->transfer_us;
+  }
   pending.last_completion = std::max(pending.last_completion, completion);
   pending.status = Worse(pending.status, status);
   MIMDRAID_CHECK_GT(pending.remaining, 0u);
@@ -425,6 +447,11 @@ void Raid5Controller::OpPartDone(uint64_t op_id, SimTime completion,
       }
     } else {
       ++fstats_.unrecoverable_completions;
+    }
+    if (collector_ != nullptr) {
+      collector_->OnRequestComplete(op_id, out.status, out.completion_us,
+                                    out.recovery_attempts,
+                                    pending.has_leg ? &pending.leg : nullptr);
     }
     DoneFn done = std::move(pending.done);
     ops_.erase(it);
@@ -491,6 +518,9 @@ void Raid5Controller::EnqueueDiskOp(
   entry.attempts = attempts;
   entry_done_[entry.id] = std::move(done);
   queues_[disk].push_back(std::move(entry));
+  if (collector_ != nullptr) {
+    collector_->OnQueueDepth(disk, sim_->Now(), queues_[disk].size());
+  }
   MaybeDispatch(disk);
 }
 
@@ -502,10 +532,15 @@ void Raid5Controller::MaybeDispatch(uint32_t disk) {
   ctx.now = sim_->Now();
   ctx.predictor = predictors_[disk];
   ctx.layout = &disks_[disk]->layout();
+  ctx.collector = collector_;
+  ctx.disk = disk;
   const SchedulerPick pick = schedulers_[disk]->Pick(queues_[disk], ctx);
   QueuedRequest entry = std::move(queues_[disk][pick.queue_index]);
   queues_[disk].erase(queues_[disk].begin() +
                       static_cast<ptrdiff_t>(pick.queue_index));
+  if (collector_ != nullptr) {
+    collector_->OnQueueDepth(disk, sim_->Now(), queues_[disk].size());
+  }
   double predicted = pick.predicted_service_us;
   if (predicted <= 0.0) {
     predicted = predictors_[disk]
@@ -523,8 +558,12 @@ void Raid5Controller::MaybeDispatch(uint32_t disk) {
   disks_[disk]->Start(
       op, lba, sectors,
       [this, disk, entry_id, lba, sectors, op,
-       attempts](const DiskOpResult& result) {
+       attempts, predicted](const DiskOpResult& result) {
         predictors_[disk]->OnCompletion(result.completion_us, lba, sectors);
+        if (collector_ != nullptr && result.ok()) {
+          collector_->OnPrediction(disk, result.completion_us, predicted,
+                                   static_cast<double>(result.ServiceUs()));
+        }
         auto it = entry_done_.find(entry_id);
         MIMDRAID_CHECK(it != entry_done_.end());
         auto done = std::move(it->second);

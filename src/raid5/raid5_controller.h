@@ -25,6 +25,7 @@
 
 #include "src/disk/access_predictor.h"
 #include "src/disk/sim_disk.h"
+#include "src/obs/trace_collector.h"
 #include "src/raid5/raid5_layout.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/fault_injector.h"
@@ -40,6 +41,10 @@ struct Raid5ControllerOptions {
   // Optional fault injection: wired into every disk so media accesses can
   // fail. nullptr leaves the fault path dormant (every access returns kOk).
   FaultInjector* fault_injector = nullptr;
+  // Optional observability: wired into every disk; the controller reports
+  // request lifecycle, queue depth, and dispatch prediction error to it.
+  // Borrowed; must outlive the controller. Observes only.
+  TraceCollector* collector = nullptr;
   // Bounded retry with exponential backoff for transient errors and timeouts
   // on individual disk commands.
   RetryPolicy retry;
@@ -100,6 +105,13 @@ class Raid5Controller {
     // surfaced to the submitter.
     IoStatus status = IoStatus::kOk;
     uint32_t recovery_attempts = 0;
+    // Decomposition of the sub-op whose completion is last_completion (the
+    // one that completes the request). RAID-5 sub-ops have no single queue
+    // timestamp for the logical request, so entry_arrival_us is the disk
+    // start: queue_us reads 0 and everything before the final leg (RMW read
+    // phases, peer reconstruction, queueing) lands in the recovery residual.
+    bool has_leg = false;
+    FinalLeg leg;
   };
 
   // One logical fragment moving through its phases (e.g. RMW reads, then
@@ -132,9 +144,13 @@ class Raid5Controller {
                      std::function<void(const DiskOpResult&)> done,
                      uint32_t attempts = 0);
   void MaybeDispatch(uint32_t disk);
+  // `last` is the disk sub-op result that produced `completion` (nullptr on
+  // synthetic completions); it feeds the per-request service decomposition.
   void FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
-                         SimTime completion);
-  void OpPartDone(uint64_t op_id, SimTime completion, IoStatus status);
+                         SimTime completion,
+                         const DiskOpResult* last = nullptr);
+  void OpPartDone(uint64_t op_id, SimTime completion, IoStatus status,
+                  const DiskOpResult* last = nullptr);
   // Completes one fragment of `op_id` with a failure status through the
   // event queue (never synchronously inside Submit).
   void CompleteFragmentFailed(uint64_t op_id, IoStatus status);
@@ -155,6 +171,7 @@ class Raid5Controller {
   std::vector<AccessPredictor*> predictors_;
   const Raid5Layout* layout_;
   Raid5ControllerOptions options_;
+  TraceCollector* collector_ = nullptr;
 
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
   std::vector<std::vector<QueuedRequest>> queues_;

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "src/obs/trace_collector.h"
 #include "src/util/check.h"
 
 namespace mimdraid {
@@ -43,6 +44,9 @@ SchedulerPick SatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
       best = i;
     }
   }
+  if (ctx.collector != nullptr) {
+    ctx.collector->OnSchedulerScan(ctx.disk, scan);
+  }
   return SchedulerPick{best, queue[best].candidate_lbas.front(),
                        best_cost.predicted_us};
 }
@@ -56,15 +60,20 @@ SchedulerPick RsatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
   size_t best = 0;
   uint64_t best_lba = queue[0].candidate_lbas.front();
   CandidateCost best_cost{std::numeric_limits<double>::infinity(), 0.0};
+  uint64_t examined = 0;
   for (size_t i = 0; i < scan; ++i) {
     for (uint64_t lba : queue[i].candidate_lbas) {
       const CandidateCost cost = CostOf(ctx, queue[i], lba);
+      ++examined;
       if (cost.effective_us < best_cost.effective_us) {
         best_cost = cost;
         best = i;
         best_lba = lba;
       }
     }
+  }
+  if (ctx.collector != nullptr) {
+    ctx.collector->OnSchedulerScan(ctx.disk, examined);
   }
   return SchedulerPick{best, best_lba, best_cost.predicted_us};
 }
@@ -79,12 +88,14 @@ SchedulerPick AsatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
   uint64_t best_lba = queue[0].candidate_lbas.front();
   double best_aged = std::numeric_limits<double>::infinity();
   CandidateCost best_cost{0.0, 0.0};
+  uint64_t examined = 0;
   for (size_t i = 0; i < scan; ++i) {
     const double age_credit =
         age_weight_ *
         static_cast<double>(ctx.now - queue[i].arrival_us);
     for (uint64_t lba : queue[i].candidate_lbas) {
       const CandidateCost cost = CostOf(ctx, queue[i], lba);
+      ++examined;
       const double aged = cost.effective_us - age_credit;
       if (aged < best_aged) {
         best_aged = aged;
@@ -93,6 +104,9 @@ SchedulerPick AsatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
         best_lba = lba;
       }
     }
+  }
+  if (ctx.collector != nullptr) {
+    ctx.collector->OnSchedulerScan(ctx.disk, examined);
   }
   return SchedulerPick{best, best_lba, best_cost.predicted_us};
 }
@@ -111,6 +125,9 @@ SchedulerPick RlookScheduler::Pick(const std::vector<QueuedRequest>& queue,
       best_cost = cost;
       best_lba = lba;
     }
+  }
+  if (ctx.collector != nullptr) {
+    ctx.collector->OnSchedulerScan(ctx.disk, queue[i].candidate_lbas.size());
   }
   return SchedulerPick{i, best_lba, best_cost.predicted_us};
 }

@@ -7,6 +7,7 @@
 #define MIMDRAID_SRC_SCHED_SCHEDULER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -19,11 +20,16 @@
 namespace mimdraid {
 
 class InvariantAuditor;
+class TraceCollector;
 
 struct ScheduleContext {
   SimTime now = 0;
   AccessPredictor* predictor = nullptr;  // required by SATF-class policies
   const DiskLayout* layout = nullptr;
+  // Optional observability: when set, SATF-class policies report how many
+  // candidates they examined per pick (cost of a scheduling decision).
+  TraceCollector* collector = nullptr;
+  uint32_t disk = 0;  // slot label for collector reports
 };
 
 struct SchedulerPick {

@@ -40,17 +40,25 @@ class LatencyRecorder {
   mutable bool sorted_ = false;
 };
 
-// Completed-operations-per-second over an observation window.
+// Completed-operations-per-second over an observation window. The window
+// opens at Start(); querying Iops() before Start() returns 0 instead of
+// silently measuring from simulated time zero (which would inflate or
+// deflate the rate depending on when the caller began counting).
 class ThroughputMeter {
  public:
   void Start(SimTime now) {
     start_us_ = now;
     completed_ = 0;
+    started_ = true;
   }
   void RecordCompletion() { ++completed_; }
   uint64_t completed() const { return completed_; }
+  bool started() const { return started_; }
 
   double Iops(SimTime now) const {
+    if (!started_) {
+      return 0.0;
+    }
     const double secs = SecondsFromUs(now - start_us_);
     return secs <= 0.0 ? 0.0 : static_cast<double>(completed_) / secs;
   }
@@ -58,6 +66,7 @@ class ThroughputMeter {
  private:
   SimTime start_us_ = 0;
   uint64_t completed_ = 0;
+  bool started_ = false;
 };
 
 }  // namespace mimdraid

@@ -25,8 +25,16 @@ class Histogram {
     if (value < 0.0) {
       value = 0.0;
     }
-    const size_t bucket = static_cast<size_t>(value / width_);
-    ++counts_[bucket < counts_.size() - 1 ? bucket : counts_.size() - 1];
+    // Clamp in floating point before the cast: for samples beyond
+    // SIZE_MAX * width_ the double -> size_t conversion itself is undefined
+    // behaviour (UBSan float-cast-overflow), so the comparison must happen
+    // on the double.
+    const size_t overflow_bucket = counts_.size() - 1;
+    const double scaled = value / width_;
+    const size_t bucket = scaled >= static_cast<double>(overflow_bucket)
+                              ? overflow_bucket
+                              : static_cast<size_t>(scaled);
+    ++counts_[bucket];
   }
 
   uint64_t total() const { return total_; }
@@ -39,8 +47,14 @@ class Histogram {
     if (total_ == 0) {
       return 0.0;
     }
-    const uint64_t target =
+    // The smallest meaningful rank is the first sample: q*total rounds to 0
+    // for tiny q, and a zero target would match the (possibly empty) first
+    // bucket and report a bogus low quantile.
+    uint64_t target =
         static_cast<uint64_t>(q * static_cast<double>(total_) + 0.5);
+    if (target == 0) {
+      target = 1;
+    }
     uint64_t seen = 0;
     for (size_t i = 0; i < counts_.size(); ++i) {
       seen += counts_[i];

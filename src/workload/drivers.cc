@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace_collector.h"
 #include "src/util/check.h"
 
 namespace mimdraid {
@@ -18,13 +19,26 @@ TracePlayer::TracePlayer(Simulator* sim, const Trace* trace, SubmitFn submit,
 RunResult TracePlayer::Run() {
   first_arrival_sim_us_ = sim_->Now();
   last_outstanding_change_ = sim_->Now();
+  if (options_.collector != nullptr) {
+    options_.collector->OnMarker("trace replay begin", sim_->Now());
+  }
   ScheduleNextArrival();
   // Drain: the run ends when every scheduled arrival has fired and every
   // submitted I/O has completed.
   while (pending_arrivals_ > 0 || outstanding_ > 0) {
     MIMDRAID_CHECK(sim_->Step());
   }
+  if (options_.collector != nullptr) {
+    options_.collector->OnMarker("trace replay end", sim_->Now());
+  }
   result_.completed = completed_;
+  if (result_.saturated) {
+    // Arrivals are chained one at a time, so once saturation stops the chain
+    // every record at or past next_record_ is never offered. Together with
+    // the arrivals discarded by Arrive(), that is the full drop count.
+    result_.dropped =
+        dropped_ + (trace_->records.size() - next_record_);
+  }
   result_.elapsed_us = sim_->Now() - first_arrival_sim_us_;
   result_.iops = result_.elapsed_us > 0
                      ? static_cast<double>(completed_) /
@@ -59,9 +73,15 @@ void TracePlayer::Arrive(size_t index) {
   const TraceRecord& rec = trace_->records[index];
   if (outstanding_ >= options_.max_outstanding) {
     // The array cannot keep up with the offered rate; declare saturation and
-    // stop offering load so the run terminates.
+    // stop offering load so the run terminates. The record that tripped the
+    // cap is discarded, not submitted — count it so the caller can reconcile
+    // completed + dropped against the records offered.
     result_.saturated = true;
     stopped_arrivals_ = true;
+    ++dropped_;
+    if (options_.collector != nullptr) {
+      options_.collector->OnMarker("saturated", sim_->Now());
+    }
     return;
   }
   const SimTime now = sim_->Now();
@@ -116,6 +136,9 @@ RunResult ClosedLoopDriver::Run() {
   while (outstanding_ > 0) {
     MIMDRAID_CHECK(sim_->Step());
   }
+  if (options_.collector != nullptr) {
+    options_.collector->OnMarker("measure end", sim_->Now());
+  }
   result_.completed = completions_;
   result_.elapsed_us = sim_->Now() - measure_start_us_;
   result_.iops = result_.elapsed_us > 0
@@ -151,6 +174,9 @@ void ClosedLoopDriver::IssueOne() {
     }
     if (completions_ == options_.warmup_ops) {
       measure_start_us_ = sim_->Now();
+      if (options_.collector != nullptr) {
+        options_.collector->OnMarker("measure begin", sim_->Now());
+      }
     } else if (completions_ > options_.warmup_ops &&
                recorded_ < options_.measure_ops) {
       // Failed completions count toward the measured quota (the run must

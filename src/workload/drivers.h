@@ -19,6 +19,8 @@
 
 namespace mimdraid {
 
+class TraceCollector;
+
 using IoDoneFn = std::function<void(const IoResult&)>;
 using SubmitFn =
     std::function<void(DiskOp op, uint64_t lba, uint32_t sectors, IoDoneFn)>;
@@ -32,6 +34,10 @@ struct RunResult {
   // The offered load outran the array (outstanding exceeded the cap); mean
   // latency is meaningless past this point.
   bool saturated = false;
+  // Trace records never submitted because the run saturated: the record that
+  // tripped the cap plus everything after it. On every run,
+  // completed + dropped + still-pending == records offered.
+  uint64_t dropped = 0;
   double mean_outstanding = 0.0;  // time-averaged queue depth
 };
 
@@ -39,6 +45,9 @@ struct TracePlayerOptions {
   double rate_scale = 1.0;
   size_t max_outstanding = 20'000;
   size_t warmup_ios = 200;  // completions before recording starts
+  // Optional observability: the driver drops replay begin/end and saturation
+  // markers into the collector's timeline. Borrowed; may be nullptr.
+  TraceCollector* collector = nullptr;
 };
 
 // Replays a trace open-loop against `submit`, timing each request from its
@@ -65,6 +74,7 @@ class TracePlayer {
   size_t outstanding_ = 0;
   uint64_t submitted_ = 0;
   uint64_t completed_ = 0;
+  uint64_t dropped_ = 0;  // arrivals discarded after saturation tripped
   bool stopped_arrivals_ = false;
   RunResult result_;
   SimTime last_outstanding_change_ = 0;
@@ -83,6 +93,9 @@ struct ClosedLoopOptions {
   uint64_t warmup_ops = 300;
   uint64_t measure_ops = 4000;
   uint64_t seed = 7;
+  // Optional observability: measurement-window begin/end markers. Borrowed;
+  // may be nullptr.
+  TraceCollector* collector = nullptr;
 };
 
 // Keeps `outstanding` random requests in flight; measures throughput and

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/util/histogram.h"
 #include "src/util/rng.h"
 
@@ -25,6 +27,24 @@ TEST(Histogram, NegativeClampsToZeroBucket) {
   Histogram h(10.0, 4);
   h.Add(-5.0);
   EXPECT_EQ(h.counts()[0], 1u);
+}
+
+TEST(Histogram, HugeSampleLandsInOverflow) {
+  // Samples beyond SIZE_MAX * width used to hit an undefined double -> size_t
+  // conversion; they must land in the overflow bucket instead.
+  Histogram h(10.0, 4);
+  h.Add(1e300);
+  h.Add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, TinyQuantileUsesFirstSample) {
+  // q small enough that q*total rounds to 0 must still report the bucket of
+  // the first sample, not the (empty) first bucket.
+  Histogram h(1.0, 10);
+  h.Add(5.5);  // single sample in bucket [5,6)
+  EXPECT_DOUBLE_EQ(h.QuantileUpperBound(0.001), 6.0);
 }
 
 TEST(Histogram, QuantileUpperBound) {

@@ -178,6 +178,39 @@ TEST(TracePlayer, SaturationDetected) {
   EXPECT_TRUE(r.saturated);
 }
 
+TEST(TracePlayer, SaturationAccountsForEveryRecord) {
+  Simulator sim;
+  Trace t = SmallTrace();
+  t.records.resize(300);
+  SubmitFn black_hole = [&sim](DiskOp, uint64_t, uint32_t, IoDoneFn done) {
+    sim.ScheduleAfter(100'000'000'000LL, [&sim, done = std::move(done)]() {
+      IoResult r;
+      r.completion_us = sim.Now();
+      done(r);
+    });
+  };
+  TracePlayerOptions options;
+  options.max_outstanding = 50;
+  TracePlayer player(&sim, &t, std::move(black_hole), options);
+  const RunResult r = player.Run();
+  ASSERT_TRUE(r.saturated);
+  // Conservation: every trace record was either completed or counted as
+  // dropped — the record that tripped the cap used to vanish uncounted.
+  EXPECT_GE(r.dropped, 1u);
+  EXPECT_EQ(r.completed + r.dropped, t.records.size());
+}
+
+TEST(TracePlayer, UnsaturatedRunDropsNothing) {
+  Simulator sim;
+  Trace t = SmallTrace();
+  t.records.resize(200);
+  TracePlayer player(&sim, &t, FakeBackend(&sim), {});
+  const RunResult r = player.Run();
+  EXPECT_FALSE(r.saturated);
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.completed, t.records.size());
+}
+
 TEST(ClosedLoop, CompletesMeasureOps) {
   Simulator sim;
   ClosedLoopOptions options;

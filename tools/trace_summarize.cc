@@ -1,0 +1,248 @@
+// Validates and summarizes a Chrome trace-event JSON file emitted by
+// WriteChromeTrace (src/obs/chrome_trace.cc).
+//
+//   trace_summarize [--check] trace.json [more.json ...]
+//
+// For each file: parses the JSON with the in-repo parser, checks the
+// trace-event schema invariants the exporter guarantees (every "b" has a
+// matching "e", per-slot "X" events never overlap, phase args on the end
+// event sum to the span duration within 1 µs), and prints a per-file
+// summary. With --check, prints only PASS/FAIL lines and exits non-zero on
+// the first violated invariant — the mode CI uses as a regression gate.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json_lite.h"
+
+namespace {
+
+using mimdraid::json_lite::Parse;
+using mimdraid::json_lite::ParseResult;
+using mimdraid::json_lite::Value;
+
+struct Span {
+  double ts = 0.0;
+  double dur = 0.0;
+};
+
+struct FileStats {
+  size_t events = 0;
+  size_t disk_ops = 0;
+  size_t requests = 0;
+  size_t counters = 0;
+  size_t markers = 0;
+  double min_ts = 0.0;
+  double max_ts = 0.0;
+  bool span_valid = false;
+  double sum_request_us = 0.0;
+  double sum_phase_us = 0.0;
+  double worst_phase_gap_us = 0.0;
+  std::map<int, std::vector<Span>> slot_spans;
+};
+
+void ObserveTs(FileStats* s, double ts) {
+  if (!s->span_valid) {
+    s->min_ts = ts;
+    s->max_ts = ts;
+    s->span_valid = true;
+    return;
+  }
+  if (ts < s->min_ts) s->min_ts = ts;
+  if (ts > s->max_ts) s->max_ts = ts;
+}
+
+bool Fail(const std::string& path, const std::string& why) {
+  std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(), why.c_str());
+  return false;
+}
+
+bool Summarize(const std::string& path, bool check_only) {
+  std::ifstream in(path);
+  if (!in) {
+    return Fail(path, "cannot open");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const ParseResult parsed = Parse(buf.str());
+  if (!parsed.ok) {
+    char why[256];
+    std::snprintf(why, sizeof(why), "JSON parse error at offset %zu: %s",
+                  parsed.error_offset, parsed.error.c_str());
+    return Fail(path, why);
+  }
+  if (!parsed.value.is_object()) {
+    return Fail(path, "top-level value is not an object");
+  }
+  const Value* events = parsed.value.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Fail(path, "missing traceEvents array");
+  }
+
+  FileStats s;
+  // request id -> begin timestamp; drained as "e" events match.
+  std::map<double, double> open_requests;
+  for (const Value& ev : events->AsArray()) {
+    if (!ev.is_object()) {
+      return Fail(path, "traceEvents element is not an object");
+    }
+    ++s.events;
+    const std::string ph = ev.GetString("ph");
+    if (ph.empty()) {
+      return Fail(path, "event missing ph");
+    }
+    if (ph == "M") {
+      continue;  // metadata carries no timestamp
+    }
+    const Value* ts_v = ev.Find("ts");
+    if (ts_v == nullptr || !ts_v->is_number()) {
+      return Fail(path, "non-metadata event missing numeric ts");
+    }
+    const double ts = ts_v->AsNumber();
+    ObserveTs(&s, ts);
+
+    if (ph == "X") {
+      ++s.disk_ops;
+      const double dur = ev.GetNumber("dur", -1.0);
+      if (dur < 0.0) {
+        return Fail(path, "X event missing dur");
+      }
+      ObserveTs(&s, ts + dur);
+      const int slot = static_cast<int>(ev.GetNumber("tid", -1.0));
+      if (slot < 0) {
+        return Fail(path, "X event missing tid");
+      }
+      s.slot_spans[slot].push_back(Span{ts, dur});
+    } else if (ph == "b") {
+      const Value* id = ev.Find("id");
+      if (id == nullptr || !id->is_number()) {
+        return Fail(path, "b event missing id");
+      }
+      if (!open_requests.emplace(id->AsNumber(), ts).second) {
+        return Fail(path, "duplicate open request id");
+      }
+    } else if (ph == "e") {
+      const Value* id = ev.Find("id");
+      if (id == nullptr || !id->is_number()) {
+        return Fail(path, "e event missing id");
+      }
+      auto it = open_requests.find(id->AsNumber());
+      if (it == open_requests.end()) {
+        return Fail(path, "e event without matching b");
+      }
+      const double e2e = ts - it->second;
+      open_requests.erase(it);
+      ++s.requests;
+      const Value* args = ev.Find("args");
+      if (args == nullptr || !args->is_object()) {
+        return Fail(path, "request end event missing args");
+      }
+      const double phase_sum =
+          args->GetNumber("queue_us") + args->GetNumber("overhead_us") +
+          args->GetNumber("seek_us") + args->GetNumber("rotational_us") +
+          args->GetNumber("transfer_us") + args->GetNumber("recovery_us");
+      const double gap = phase_sum > e2e ? phase_sum - e2e : e2e - phase_sum;
+      if (gap > s.worst_phase_gap_us) {
+        s.worst_phase_gap_us = gap;
+      }
+      s.sum_request_us += e2e;
+      s.sum_phase_us += phase_sum;
+    } else if (ph == "C") {
+      ++s.counters;
+    } else if (ph == "i") {
+      ++s.markers;
+    } else {
+      return Fail(path, "unknown event phase '" + ph + "'");
+    }
+  }
+
+  if (!open_requests.empty()) {
+    char why[128];
+    std::snprintf(why, sizeof(why), "%zu request spans never completed",
+                  open_requests.size());
+    return Fail(path, why);
+  }
+  // Phase-sum invariant: the exporter books recovery_us as the exact
+  // residual, so any gap beyond 1 µs means broken attribution.
+  if (s.worst_phase_gap_us > 1.0) {
+    char why[128];
+    std::snprintf(why, sizeof(why),
+                  "phase sum deviates from e2e latency by %.3f µs",
+                  s.worst_phase_gap_us);
+    return Fail(path, why);
+  }
+  // Serial-per-slot invariant: SimDisk serves one command at a time, so two
+  // X events on one track must not overlap (events are appended in
+  // completion order, hence sorted by start within each slot).
+  for (const auto& [slot, spans] : s.slot_spans) {
+    for (size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i].ts < spans[i - 1].ts + spans[i - 1].dur) {
+        char why[128];
+        std::snprintf(why, sizeof(why),
+                      "slot %d has overlapping disk ops at ts %.0f", slot,
+                      spans[i].ts);
+        return Fail(path, why);
+      }
+    }
+  }
+
+  if (check_only) {
+    std::printf("PASS %s: %zu events, %zu requests, %zu disk ops\n",
+                path.c_str(), s.events, s.requests, s.disk_ops);
+    return true;
+  }
+
+  const double span_s =
+      s.span_valid ? (s.max_ts - s.min_ts) / 1e6 : 0.0;
+  std::printf("%s\n", path.c_str());
+  std::printf("  events        %zu (%zu disk ops, %zu requests, "
+              "%zu counters, %zu markers)\n",
+              s.events, s.disk_ops, s.requests, s.counters, s.markers);
+  std::printf("  span          %.3f s\n", span_s);
+  if (s.requests > 0) {
+    std::printf("  mean latency  %.1f µs (phase sum %.1f µs, worst "
+                "attribution gap %.3f µs)\n",
+                s.sum_request_us / static_cast<double>(s.requests),
+                s.sum_phase_us / static_cast<double>(s.requests),
+                s.worst_phase_gap_us);
+  }
+  for (const auto& [slot, spans] : s.slot_spans) {
+    double busy = 0.0;
+    for (const Span& sp : spans) {
+      busy += sp.dur;
+    }
+    std::printf("  slot %-3d      %zu ops, utilization %.1f%%\n", slot,
+                spans.size(),
+                span_s > 0.0 ? 100.0 * busy / (span_s * 1e6) : 0.0);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_only = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check_only = true;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: %s [--check] trace.json [...]\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (const std::string& p : paths) {
+    ok = Summarize(p, check_only) && ok;
+  }
+  return ok ? 0 : 1;
+}
