@@ -9,9 +9,6 @@
 #include <memory>
 
 #include "bench/bench_common.h"
-#include "src/calib/predictor.h"
-#include "src/raid5/raid5_controller.h"
-#include "src/raid5/raid5_layout.h"
 
 using namespace mimdraid;
 using namespace mimdraid::bench;
@@ -66,30 +63,15 @@ Outcome RunRaid5() {
   Outcome out{};
   out.capacity_frac = static_cast<double>(kDisks - 1) / kDisks;
   for (int pass = 0; pass < 2; ++pass) {
-    Simulator sim;
-    std::vector<std::unique_ptr<SimDisk>> disks;
-    std::vector<std::unique_ptr<AccessPredictor>> preds;
-    std::vector<SimDisk*> dptr;
-    std::vector<AccessPredictor*> pptr;
-    Rng rng(41);
-    for (int i = 0; i < kDisks; ++i) {
-      disks.push_back(std::make_unique<SimDisk>(
-          &sim, MakeSt39133Geometry(), MakeSt39133SeekProfile(),
-          DiskNoiseModel::None(), 50 + i, rng.UniformDouble() * 6000.0));
-      preds.push_back(
-          std::make_unique<OraclePredictor>(disks.back().get(), 0.0));
-      dptr.push_back(disks.back().get());
-      pptr.push_back(preds.back().get());
-    }
-    const uint64_t per_disk = kDataset / (kDisks - 1) + 128;
-    Raid5Layout layout(kDisks, 128, per_disk);
-    Raid5ControllerOptions copts;
-    copts.scheduler = SchedulerKind::kSatf;
-    copts.max_scan = 128;
-    Raid5Controller controller(&sim, dptr, pptr, &layout, copts);
+    Raid5RigConfig rig;
+    rig.disks = kDisks;
+    rig.dataset_sectors = kDataset;
+    rig.max_scan = 128;
+    rig.seed = 41;
+    std::unique_ptr<MimdRaid> array = MakeRaid5Array(rig);
 
     ClosedLoopOptions loop;
-    loop.dataset_sectors = std::min(kDataset, layout.data_capacity_sectors());
+    loop.dataset_sectors = kDataset;
     loop.sectors = 8;
     loop.warmup_ops = 200;
     if (pass == 0) {
@@ -101,11 +83,7 @@ Outcome RunRaid5() {
       loop.read_frac = 0.6;
       loop.measure_ops = 3500;
     }
-    SubmitFn submit = [&controller](DiskOp op, uint64_t lba, uint32_t sectors,
-                                    IoDoneFn done) {
-      controller.Submit(op, lba, sectors, std::move(done));
-    };
-    ClosedLoopDriver driver(&sim, std::move(submit), loop);
+    ClosedLoopDriver driver(&array->sim(), array->Submitter(), loop);
     const RunResult r = driver.Run();
     if (pass == 0) {
       out.read_ms = r.latency.MeanMs();

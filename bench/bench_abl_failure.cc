@@ -8,9 +8,6 @@
 #include <memory>
 
 #include "bench/bench_common.h"
-#include "src/calib/predictor.h"
-#include "src/raid5/raid5_controller.h"
-#include "src/raid5/raid5_layout.h"
 
 using namespace mimdraid;
 using namespace mimdraid::bench;
@@ -71,51 +68,33 @@ Outcome RunRaid10() {
 Outcome RunRaid5() {
   Outcome out;
   for (int pass = 0; pass < 2; ++pass) {
-    Simulator sim;
-    std::vector<std::unique_ptr<SimDisk>> disks;
-    std::vector<std::unique_ptr<AccessPredictor>> preds;
-    std::vector<SimDisk*> dptr;
-    std::vector<AccessPredictor*> pptr;
-    Rng rng(13);
-    for (int i = 0; i < kDisks; ++i) {
-      disks.push_back(std::make_unique<SimDisk>(
-          &sim, MakeSt39133Geometry(), MakeSt39133SeekProfile(),
-          DiskNoiseModel::None(), 70 + i, rng.UniformDouble() * 6000.0));
-      preds.push_back(
-          std::make_unique<OraclePredictor>(disks.back().get(), 0.0));
-      dptr.push_back(disks.back().get());
-      pptr.push_back(preds.back().get());
-    }
-    Raid5Layout layout(kDisks, 128, kDataset / (kDisks - 1) + 128);
-    Raid5ControllerOptions copts;
-    copts.scheduler = SchedulerKind::kSatf;
-    Raid5Controller controller(&sim, dptr, pptr, &layout, copts);
+    Raid5RigConfig rig;
+    rig.disks = kDisks;
+    rig.dataset_sectors = kDataset;
+    rig.seed = 13;
+    std::unique_ptr<MimdRaid> array = MakeRaid5Array(rig);
     if (pass == 1) {
-      controller.FailDisk(0);
+      MIMDRAID_CHECK(array->backend().FailDisk(0));
     }
     ClosedLoopOptions loop;
-    loop.dataset_sectors = std::min(kDataset, layout.data_capacity_sectors());
+    loop.dataset_sectors = kDataset;
     loop.outstanding = 1;
     loop.read_frac = 1.0;
     loop.sectors = 8;
     loop.warmup_ops = 150;
     loop.measure_ops = 2500;
-    SubmitFn submit = [&controller](DiskOp op, uint64_t lba, uint32_t sectors,
-                                    IoDoneFn done) {
-      controller.Submit(op, lba, sectors, std::move(done));
-    };
-    ClosedLoopDriver driver(&sim, std::move(submit), loop);
+    ClosedLoopDriver driver(&array->sim(), array->Submitter(), loop);
     const RunResult r = driver.Run();
     if (pass == 0) {
       out.healthy_ms = r.latency.MeanMs();
     } else {
       out.degraded_ms = r.latency.MeanMs();
-      const SimTime start = sim.Now();
+      const SimTime start = array->sim().Now();
       SimTime rebuilt = -1;
-      controller.Rebuild(0,
-                         [&](const IoResult& r) { rebuilt = r.completion_us; });
+      array->backend().Rebuild(
+          0, [&](const IoResult& res) { rebuilt = res.completion_us; });
       while (rebuilt < 0) {
-        sim.Step();
+        array->sim().Step();
       }
       out.rebuild_minutes = SecondsFromUs(rebuilt - start) / 60.0;
     }

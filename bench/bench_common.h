@@ -116,6 +116,45 @@ inline ArrayAspect Aspect(int ds, int dr, int dm = 1) {
   return a;
 }
 
+// RAID-5 rig on the MimdRaid backend-selection path: same drive model,
+// predictor wiring, and assembly as the mirror rigs, rotating parity instead
+// of replicas. Drive via array->Submitter() (or array->backend().Submit);
+// fail/rebuild via array->raid5() or the ArrayBackend interface.
+struct Raid5RigConfig {
+  int disks = 6;
+  uint64_t dataset_sectors = 1'000'000;
+  SchedulerKind scheduler = SchedulerKind::kSatf;
+  size_t max_scan = 0;
+  uint32_t stripe_unit_sectors = 128;
+  uint64_t seed = 42;
+  bool enable_fault_injection = false;
+  FaultInjectorOptions fault;
+  uint32_t disk_error_fail_threshold = 0;
+  uint32_t hot_spares = 0;
+  SimTime scrub_interval_us = 0;
+  TraceCollector* collector = nullptr;
+  InvariantAuditor* auditor = nullptr;
+};
+
+inline std::unique_ptr<MimdRaid> MakeRaid5Array(const Raid5RigConfig& config) {
+  MimdRaidOptions options;
+  options.backend = ArrayBackendKind::kRaid5;
+  options.aspect = Aspect(config.disks, 1, 1);
+  options.scheduler = config.scheduler;
+  options.max_scan = config.max_scan;
+  options.dataset_sectors = config.dataset_sectors;
+  options.stripe_unit_sectors = config.stripe_unit_sectors;
+  options.seed = config.seed;
+  options.enable_fault_injection = config.enable_fault_injection;
+  options.fault = config.fault;
+  options.disk_error_fail_threshold = config.disk_error_fail_threshold;
+  options.hot_spares = config.hot_spares;
+  options.scrub_interval_us = config.scrub_interval_us;
+  options.collector = config.collector;
+  options.auditor = config.auditor;
+  return std::make_unique<MimdRaid>(options);
+}
+
 }  // namespace bench
 }  // namespace mimdraid
 

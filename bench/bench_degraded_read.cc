@@ -7,12 +7,8 @@
 // near its degraded latency; RAID-5 pays the reconstruct fan-out either way.
 #include <cstdio>
 #include <memory>
-#include <vector>
 
 #include "bench/bench_common.h"
-#include "src/calib/predictor.h"
-#include "src/raid5/raid5_controller.h"
-#include "src/raid5/raid5_layout.h"
 #include "src/workload/drivers.h"
 
 using namespace mimdraid;
@@ -43,30 +39,29 @@ ClosedLoopOptions ReadLoop(uint64_t dataset) {
   return loop;
 }
 
-Row RunMirror() {
+// One phase against either backend; both rigs come off the MimdRaid
+// assembly path and are driven through the shared ArrayBackend interface.
+double RunPhase(MimdRaid* array, Phase phase, bool* rebuilt) {
+  if (phase != Phase::kHealthy) {
+    MIMDRAID_CHECK(array->backend().FailDisk(0));
+  }
+  if (phase == Phase::kRebuilding) {
+    array->backend().Rebuild(
+        0, [rebuilt](const IoResult&) { *rebuilt = true; });
+  }
+  ClosedLoopDriver driver(&array->sim(), array->Submitter(),
+                          ReadLoop(kDataset));
+  return driver.Run().latency.MeanMs();
+}
+
+template <typename MakeArray>
+Row RunScheme(MakeArray make_array) {
   Row row;
   for (Phase phase :
        {Phase::kHealthy, Phase::kDegraded, Phase::kRebuilding}) {
-    MimdRaidOptions options;
-    options.aspect = Aspect(3, 1, 2);
-    options.scheduler = SchedulerKind::kSatf;
-    options.dataset_sectors = kDataset;
-    MimdRaid array(options);
+    std::unique_ptr<MimdRaid> array = make_array();
     bool rebuilt = false;
-    if (phase != Phase::kHealthy) {
-      MIMDRAID_CHECK(array.controller().FailDisk(0));
-    }
-    if (phase == Phase::kRebuilding) {
-      array.controller().RebuildDisk(
-          0, [&rebuilt](const IoResult&) { rebuilt = true; });
-    }
-    SubmitFn submit = [&array](DiskOp op, uint64_t lba, uint32_t sectors,
-                               IoDoneFn done) {
-      array.controller().Submit(op, lba, sectors, std::move(done));
-    };
-    ClosedLoopDriver driver(&array.sim(), std::move(submit),
-                            ReadLoop(kDataset));
-    const double ms = driver.Run().latency.MeanMs();
+    const double ms = RunPhase(array.get(), phase, &rebuilt);
     switch (phase) {
       case Phase::kHealthy:
         row.healthy_ms = ms;
@@ -83,58 +78,24 @@ Row RunMirror() {
   return row;
 }
 
+Row RunMirror() {
+  return RunScheme([] {
+    MimdRaidOptions options;
+    options.aspect = Aspect(3, 1, 2);
+    options.scheduler = SchedulerKind::kSatf;
+    options.dataset_sectors = kDataset;
+    return std::make_unique<MimdRaid>(options);
+  });
+}
+
 Row RunRaid5() {
-  Row row;
-  for (Phase phase :
-       {Phase::kHealthy, Phase::kDegraded, Phase::kRebuilding}) {
-    Simulator sim;
-    std::vector<std::unique_ptr<SimDisk>> disks;
-    std::vector<std::unique_ptr<AccessPredictor>> preds;
-    std::vector<SimDisk*> dptr;
-    std::vector<AccessPredictor*> pptr;
-    Rng rng(13);
-    for (int i = 0; i < kDisks; ++i) {
-      disks.push_back(std::make_unique<SimDisk>(
-          &sim, MakeSt39133Geometry(), MakeSt39133SeekProfile(),
-          DiskNoiseModel::None(), 70 + i, rng.UniformDouble() * 6000.0));
-      preds.push_back(
-          std::make_unique<OraclePredictor>(disks.back().get(), 0.0));
-      dptr.push_back(disks.back().get());
-      pptr.push_back(preds.back().get());
-    }
-    Raid5Layout layout(kDisks, 128, kDataset / (kDisks - 1) + 128);
-    Raid5ControllerOptions copts;
-    copts.scheduler = SchedulerKind::kSatf;
-    Raid5Controller controller(&sim, dptr, pptr, &layout, copts);
-    bool rebuilt = false;
-    if (phase != Phase::kHealthy) {
-      controller.FailDisk(0);
-    }
-    if (phase == Phase::kRebuilding) {
-      controller.Rebuild(0, [&rebuilt](const IoResult&) { rebuilt = true; });
-    }
-    SubmitFn submit = [&controller](DiskOp op, uint64_t lba, uint32_t sectors,
-                                    IoDoneFn done) {
-      controller.Submit(op, lba, sectors, std::move(done));
-    };
-    const uint64_t dataset =
-        std::min(kDataset, layout.data_capacity_sectors());
-    ClosedLoopDriver driver(&sim, std::move(submit), ReadLoop(dataset));
-    const double ms = driver.Run().latency.MeanMs();
-    switch (phase) {
-      case Phase::kHealthy:
-        row.healthy_ms = ms;
-        break;
-      case Phase::kDegraded:
-        row.degraded_ms = ms;
-        break;
-      case Phase::kRebuilding:
-        row.rebuilding_ms = ms;
-        row.rebuild_finished_mid_run = rebuilt;
-        break;
-    }
-  }
-  return row;
+  return RunScheme([] {
+    Raid5RigConfig rig;
+    rig.disks = kDisks;
+    rig.dataset_sectors = kDataset;
+    rig.seed = 13;
+    return MakeRaid5Array(rig);
+  });
 }
 
 void PrintRow(const char* name, const Row& r) {

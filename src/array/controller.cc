@@ -13,6 +13,19 @@ namespace {
 IoStatus Worse(IoStatus a, IoStatus b) {
   return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
 }
+
+DriveSetOptions EngineOptions(const ArrayControllerOptions& options) {
+  DriveSetOptions dso;
+  dso.scheduler = options.scheduler;
+  dso.max_scan = options.max_scan;
+  dso.auditor = options.auditor;
+  dso.fault_injector = options.fault_injector;
+  dso.collector = options.collector;
+  dso.retry = options.retry;
+  dso.disk_error_fail_threshold = options.disk_error_fail_threshold;
+  dso.scrub_interval_us = options.scrub_interval_us;
+  return dso;
+}
 }  // namespace
 
 ArrayController::ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
@@ -20,47 +33,26 @@ ArrayController::ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
                                  const ArrayLayout* layout,
                                  const ArrayControllerOptions& options)
     : sim_(sim),
-      disks_(std::move(disks)),
-      predictors_(std::move(predictors)),
       layout_(layout),
       options_(options),
       auditor_(options.auditor),
       collector_(options.collector) {
   MIMDRAID_CHECK(sim != nullptr);
   MIMDRAID_CHECK(layout != nullptr);
-  MIMDRAID_CHECK_EQ(disks_.size(), layout->num_disks());
-  MIMDRAID_CHECK_EQ(predictors_.size(), disks_.size());
-  const size_t n = disks_.size();
-  schedulers_.reserve(n);
-  fg_.resize(n);
-  delayed_.resize(n);
+  MIMDRAID_CHECK_EQ(disks.size(), layout->num_disks());
+  MIMDRAID_CHECK_EQ(predictors.size(), disks.size());
+  const size_t n = disks.size();
   recalibration_events_.resize(n, 0);
-  failed_.resize(n, false);
-  error_counts_.resize(n, 0);
-  if (auditor_ != nullptr) {
-    sim_->set_auditor(auditor_);
-  }
-  for (size_t i = 0; i < n; ++i) {
-    auto scheduler = MakeScheduler(options.scheduler, options.max_scan);
-    if (auditor_ != nullptr) {
-      disks_[i]->SetAuditor(auditor_, static_cast<uint32_t>(i));
-      scheduler = MakeAuditedScheduler(std::move(scheduler), auditor_);
-    }
-    if (options_.fault_injector != nullptr) {
-      disks_[i]->SetFaultInjector(options_.fault_injector,
-                                  static_cast<uint32_t>(i));
-    }
-    if (collector_ != nullptr) {
-      disks_[i]->SetTraceCollector(collector_, static_cast<uint32_t>(i));
-    }
-    schedulers_.push_back(std::move(scheduler));
-    if (options_.recalibration_interval_us > 0) {
+  drives_ = std::make_unique<DriveSet>(sim, std::move(disks),
+                                       std::move(predictors),
+                                       static_cast<DriveSetClient*>(this),
+                                       EngineOptions(options));
+  if (options_.recalibration_interval_us > 0) {
+    for (size_t i = 0; i < n; ++i) {
       ScheduleRecalibration(static_cast<uint32_t>(i));
     }
   }
-  if (options_.scrub_interval_us > 0) {
-    ScheduleScrubTick();
-  }
+  drives_->StartScrub();
 }
 
 ArrayController::~ArrayController() {
@@ -72,50 +64,21 @@ ArrayController::~ArrayController() {
   StopScrub();
 }
 
-void ArrayController::StopScrub() {
-  if (scrub_event_ != 0) {
-    sim_->Cancel(scrub_event_);
-    scrub_event_ = 0;
-  }
-}
-
-void ArrayController::AddSpare(SimDisk* disk, AccessPredictor* predictor) {
-  MIMDRAID_CHECK(disk != nullptr);
-  MIMDRAID_CHECK(predictor != nullptr);
-  spares_.emplace_back(disk, predictor);
-}
-
-size_t ArrayController::TotalQueued() const {
-  size_t total = 0;
-  for (const auto& q : fg_) {
-    total += q.size();
-  }
-  return total;
-}
-
 void ArrayController::AuditQuiescent() const {
   if (auditor_ == nullptr) {
     return;
   }
-  size_t delayed_queued = 0;
-  for (const auto& q : delayed_) {
-    delayed_queued += q.size();
-  }
-  auditor_->CheckQuiescent(TotalQueued(), delayed_queued, nvram_.size(),
+  auditor_->CheckQuiescent(drives_->TotalFgQueued(),
+                           drives_->TotalDelayedQueued(), nvram_.size(),
                            stale_sectors_.size(), inflight_writes_.size(),
                            parked_.size());
 }
 
 bool ArrayController::Idle() const {
-  if (!ops_.empty() || !parked_.empty() || pending_recovery_ > 0) {
+  if (!ops_.empty() || !parked_.empty() || drives_->pending_recovery() > 0) {
     return false;
   }
-  for (size_t i = 0; i < disks_.size(); ++i) {
-    if (disks_[i]->busy() || !fg_[i].empty() || !delayed_[i].empty()) {
-      return false;
-    }
-  }
-  return true;
+  return drives_->AllDrivesQuiet();
 }
 
 void ArrayController::Submit(DiskOp op, uint64_t lba, uint32_t sectors,
@@ -238,7 +201,7 @@ bool ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
   for (int m = 0; m < dm; ++m) {
     DiskCandidates dc;
     dc.disk = frag.replicas[static_cast<size_t>(m) * dr].disk;
-    if (failed_[dc.disk]) {
+    if (drives_->failed(dc.disk)) {
       continue;
     }
     for (int r = 0; r < dr; ++r) {
@@ -275,13 +238,13 @@ bool ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
     const DiskCandidates* best_idle = nullptr;
     double best_cost = std::numeric_limits<double>::infinity();
     for (const DiskCandidates& dc : candidates) {
-      if (disks_[dc.disk]->busy() || !fg_[dc.disk].empty()) {
+      if (drives_->disk(dc.disk)->busy() || !drives_->fg(dc.disk).empty()) {
         continue;
       }
       for (uint64_t cand : dc.lbas) {
-        const AccessPlan plan = predictors_[dc.disk]->Predict(
+        const AccessPlan plan = drives_->predictor(dc.disk)->Predict(
             sim_->Now(), cand, frag.sectors, /*is_write=*/false);
-        const double cost = predictors_[dc.disk]->EffectiveServiceUs(plan);
+        const double cost = drives_->predictor(dc.disk)->EffectiveServiceUs(plan);
         if (cost < best_cost) {
           best_cost = cost;
           best_idle = &dc;
@@ -301,19 +264,19 @@ bool ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
 
   for (const DiskCandidates* dc : targets) {
     QueuedRequest entry;
-    entry.id = next_entry_id_++;
+    entry.id = drives_->AllocEntryId();
     entry.op = DiskOp::kRead;
     entry.sectors = frag.sectors;
     entry.candidate_lbas = dc->lbas;
     entry.arrival_us = sim_->Now();
     entry.tag = frag_key;
     frag.queued.emplace_back(dc->disk, entry.id);
-    EnqueueFg(dc->disk, std::move(entry));
+    drives_->EnqueueFg(dc->disk, std::move(entry));
   }
   // Dispatch after all duplicates are queued so cancellation state is
   // complete before the first pick.
   for (const DiskCandidates* dc : targets) {
-    MaybeDispatch(dc->disk);
+    drives_->MaybeDispatch(dc->disk);
   }
   return true;
 }
@@ -327,7 +290,7 @@ bool ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
     // replica; the fragment completes when all land.
     uint32_t live = 0;
     for (const ReplicaLocation& loc : frag.replicas) {
-      if (!failed_[loc.disk]) {
+      if (!drives_->failed(loc.disk)) {
         ++live;
       }
     }
@@ -339,21 +302,21 @@ bool ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
     frag.entries_remaining = live;
     std::vector<uint32_t> touched;
     for (const ReplicaLocation& loc : frag.replicas) {
-      if (failed_[loc.disk]) {
+      if (drives_->failed(loc.disk)) {
         continue;
       }
       QueuedRequest entry;
-      entry.id = next_entry_id_++;
+      entry.id = drives_->AllocEntryId();
       entry.op = DiskOp::kWrite;
       entry.sectors = frag.sectors;
       entry.candidate_lbas = {loc.lba};
       entry.arrival_us = sim_->Now();
       entry.tag = frag_key;
-      EnqueueFg(loc.disk, std::move(entry));
+      drives_->EnqueueFg(loc.disk, std::move(entry));
       touched.push_back(loc.disk);
     }
     for (uint32_t d : touched) {
-      MaybeDispatch(d);
+      drives_->MaybeDispatch(d);
     }
     return true;
   }
@@ -365,11 +328,11 @@ bool ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
   std::vector<uint32_t> touched;
   for (int m = 0; m < dm; ++m) {
     const uint32_t disk = frag.replicas[static_cast<size_t>(m) * dr].disk;
-    if (failed_[disk]) {
+    if (drives_->failed(disk)) {
       continue;
     }
     QueuedRequest entry;
-    entry.id = next_entry_id_++;
+    entry.id = drives_->AllocEntryId();
     entry.op = DiskOp::kWrite;
     entry.sectors = frag.sectors;
     entry.arrival_us = sim_->Now();
@@ -379,7 +342,7 @@ bool ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
           frag.replicas[static_cast<size_t>(m) * dr + r].lba);
     }
     frag.queued.emplace_back(disk, entry.id);
-    EnqueueFg(disk, std::move(entry));
+    drives_->EnqueueFg(disk, std::move(entry));
     touched.push_back(disk);
   }
   if (touched.empty()) {
@@ -387,26 +350,9 @@ bool ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
     return false;
   }
   for (uint32_t d : touched) {
-    MaybeDispatch(d);
+    drives_->MaybeDispatch(d);
   }
   return true;
-}
-
-void ArrayController::EnqueueFg(uint32_t disk, QueuedRequest entry) {
-  if (auditor_ != nullptr) {
-    auditor_->OnEntryQueued(disk, entry.id, entry.delayed);
-  }
-  fg_[disk].push_back(std::move(entry));
-  if (collector_ != nullptr) {
-    collector_->OnQueueDepth(disk, sim_->Now(), fg_[disk].size());
-  }
-}
-
-void ArrayController::EnqueueDelayed(uint32_t disk, QueuedRequest entry) {
-  if (auditor_ != nullptr) {
-    auditor_->OnEntryQueued(disk, entry.id, entry.delayed);
-  }
-  delayed_[disk].push_back(std::move(entry));
 }
 
 void ArrayController::AuditMappedFragments(
@@ -426,66 +372,17 @@ void ArrayController::AuditMappedFragments(
   }
   auditor_->OnArrayMap(lba, sectors, layout_->aspect().dm,
                        layout_->aspect().dr, layout_->num_disks(),
-                       disks_.empty() ? 0 : disks_[0]->num_sectors(),
+                       drives_->num_slots() == 0
+                           ? 0
+                           : drives_->disk(0)->num_sectors(),
                        audit_frags);
 }
 
-void ArrayController::MaybeDispatch(uint32_t disk) {
-  if (failed_[disk] || disks_[disk]->busy()) {
-    return;
-  }
-  std::vector<QueuedRequest>& queue =
-      !fg_[disk].empty() ? fg_[disk] : delayed_[disk];
-  if (queue.empty()) {
-    return;
-  }
-  const bool from_fg = &queue == &fg_[disk];
-  ScheduleContext ctx;
-  ctx.now = sim_->Now();
-  ctx.predictor = predictors_[disk];
-  ctx.layout = &disks_[disk]->layout();
-  ctx.collector = collector_;
-  ctx.disk = disk;
-  const SchedulerPick pick = schedulers_[disk]->Pick(queue, ctx);
-  QueuedRequest entry = std::move(queue[pick.queue_index]);
-  queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick.queue_index));
-  if (auditor_ != nullptr) {
-    auditor_->OnEntryDispatched(disk, entry.id);
-  }
-  if (collector_ != nullptr && from_fg) {
-    collector_->OnQueueDepth(disk, sim_->Now(), fg_[disk].size());
-  }
-
+void ArrayController::OnEntryDispatched(uint32_t disk,
+                                        const QueuedRequest& entry) {
   if (!entry.delayed && !entry.maintenance) {
     CancelSiblings(entry.tag, disk, entry.id);
   }
-
-  // Non-positional schedulers (FCFS/LOOK/...) do not produce a prediction;
-  // compute one so head tracking and accuracy statistics work under every
-  // policy.
-  double predicted = pick.predicted_service_us;
-  if (predicted <= 0.0) {
-    predicted = predictors_[disk]
-                    ->Predict(sim_->Now(), pick.lba, entry.sectors,
-                              entry.op == DiskOp::kWrite)
-                    .total_us;
-  }
-  predictors_[disk]->OnDispatch(sim_->Now(), pick.lba, entry.sectors,
-                                entry.op == DiskOp::kWrite, predicted);
-  const uint64_t chosen_lba = pick.lba;
-  disks_[disk]->Start(
-      entry.op, chosen_lba, entry.sectors,
-      [this, disk, entry = std::move(entry), chosen_lba,
-       predicted](const DiskOpResult& result) {
-        predictors_[disk]->OnCompletion(result.completion_us, chosen_lba,
-                                        entry.sectors);
-        if (collector_ != nullptr && result.ok()) {
-          collector_->OnPrediction(disk, result.completion_us, predicted,
-                                   static_cast<double>(result.ServiceUs()));
-        }
-        OnEntryComplete(disk, entry, chosen_lba, result);
-        MaybeDispatch(disk);
-      });
 }
 
 void ArrayController::CancelSiblings(uint64_t frag_key, uint32_t winner_disk,
@@ -497,7 +394,7 @@ void ArrayController::CancelSiblings(uint64_t frag_key, uint32_t winner_disk,
     if (disk == winner_disk && entry_id == winner_entry) {
       continue;
     }
-    auto& q = fg_[disk];
+    auto& q = drives_->fg(disk);
     for (size_t i = 0; i < q.size(); ++i) {
       if (q[i].id == entry_id) {
         q.erase(q.begin() + static_cast<ptrdiff_t>(i));
@@ -518,23 +415,17 @@ void ArrayController::CancelSiblings(uint64_t frag_key, uint32_t winner_disk,
 void ArrayController::OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
                                       uint64_t chosen_lba,
                                       const DiskOpResult& result) {
-  if (auditor_ != nullptr) {
-    auditor_->OnEntryCompleted(disk, entry.id);
-  }
+  // The engine has already reported the completion to the auditor and, for
+  // failures, opened the fault record and run the fault counters (possibly
+  // auto-failing the slot). Only the mirror policy's bookkeeping runs here.
   if (!result.ok()) {
-    // Open a fault record before any recovery: the handler must close it
-    // with exactly one resolution (retry/failover/repair/surface/abandon).
-    if (auditor_ != nullptr) {
-      auditor_->OnIoFault(disk, entry.id);
-    }
-    CountFault(disk, result.status);
     HandleEntryFailure(disk, entry, chosen_lba, result);
     return;
   }
   if (entry.maintenance) {
     if (auto sit = scrub_reads_.find(entry.id); sit != scrub_reads_.end()) {
       scrub_reads_.erase(sit);
-      ++fstats_.scrub_reads;
+      ++fstats().scrub_reads;
       return;
     }
     if (auto rit = rebuild_read_done_.find(entry.id);
@@ -552,7 +443,8 @@ void ArrayController::OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
       return;
     }
     ++stats_.maintenance_reads;
-    if (auto* hp = dynamic_cast<HeadPositionPredictor*>(predictors_[disk])) {
+    if (auto* hp =
+            dynamic_cast<HeadPositionPredictor*>(drives_->predictor(disk))) {
       hp->AddReferenceObservation(result.completion_us);
     }
     return;
@@ -615,7 +507,7 @@ void ArrayController::CompleteFragment(uint64_t frag_key, FragState& frag,
       }
       for (const ReplicaLocation& loc : frag.replicas) {
         if ((loc.disk == chosen_disk && loc.lba == chosen_lba) ||
-            failed_[loc.disk]) {
+            drives_->failed(loc.disk)) {
           continue;
         }
         AddDelayedWrite(loc.disk, loc.lba, frag.sectors);
@@ -630,10 +522,10 @@ void ArrayController::CompleteFragment(uint64_t frag_key, FragState& frag,
     // rewritten with the data just served from a surviving copy; the drive's
     // firmware remaps the latent sector on write, clearing the error.
     for (const ReplicaLocation& bad : frag.bad_replicas) {
-      if (failed_[bad.disk]) {
+      if (drives_->failed(bad.disk)) {
         continue;
       }
-      ++fstats_.repairs_queued;
+      ++fstats().repairs_queued;
       AddDelayedWrite(bad.disk, bad.lba, frag.sectors);
     }
     EnforceDelayedTableLimit();
@@ -654,7 +546,7 @@ void ArrayController::CompleteFragment(uint64_t frag_key, FragState& frag,
         ++stats_.writes_completed;
       }
     } else {
-      ++fstats_.unrecoverable_completions;
+      ++fstats().unrecoverable_completions;
     }
     IoResult io;
     io.status = opstate.status;
@@ -684,34 +576,6 @@ void ArrayController::CompleteFragmentUnrecoverable(uint64_t frag_key,
 
 // --- Fault recovery -------------------------------------------------------
 
-void ArrayController::CountFault(uint32_t disk, IoStatus status) {
-  switch (status) {
-    case IoStatus::kMediaError:
-      ++fstats_.media_errors_seen;
-      break;
-    case IoStatus::kTimeout:
-      ++fstats_.timeouts_seen;
-      break;
-    case IoStatus::kDiskFailed:
-      ++fstats_.disk_failed_seen;
-      break;
-    default:
-      break;
-  }
-  if (failed_[disk]) {
-    return;  // already declared failed; no further escalation
-  }
-  if (status == IoStatus::kDiskFailed) {
-    AutoFailDisk(disk);
-    return;
-  }
-  ++error_counts_[disk];
-  if (options_.disk_error_fail_threshold > 0 &&
-      error_counts_[disk] >= options_.disk_error_fail_threshold) {
-    AutoFailDisk(disk);
-  }
-}
-
 void ArrayController::ResolveFault(uint64_t entry_id,
                                    FaultResolution resolution,
                                    bool target_disk_failed) {
@@ -729,12 +593,7 @@ void ArrayController::NoteOpRecoveryAttempt(uint64_t op_id) {
 
 void ArrayController::ScheduleRecovery(uint32_t attempt,
                                        std::function<void()> fn) {
-  ++pending_recovery_;
-  sim_->ScheduleAfter(options_.retry.BackoffUs(attempt),
-                      [this, fn = std::move(fn)]() {
-                        --pending_recovery_;
-                        fn();
-                      });
+  drives_->ScheduleRecovery(attempt, std::move(fn));
 }
 
 void ArrayController::HandleEntryFailure(uint32_t disk,
@@ -763,10 +622,10 @@ void ArrayController::HandleReadFailure(uint32_t disk,
 
   // A timeout says nothing about the media; retry in place (bounded, with
   // backoff) before writing the path off.
-  if (result.status == IoStatus::kTimeout && !failed_[disk] &&
+  if (result.status == IoStatus::kTimeout && !drives_->failed(disk) &&
       frag.attempts + 1 < options_.retry.max_attempts) {
     ++frag.attempts;
-    ++fstats_.retries_issued;
+    ++fstats().retries_issued;
     ResolveFault(entry.id, FaultResolution::kRetried, false);
     const uint64_t frag_key = entry.tag;
     ScheduleRecovery(frag.attempts, [this, frag_key]() {
@@ -783,7 +642,7 @@ void ArrayController::HandleReadFailure(uint32_t disk,
     // That specific replica is bad: never read it again for this fragment,
     // and rewrite it once a clean copy has been served (CompleteFragment).
     frag.bad_replicas.push_back(ReplicaLocation{disk, chosen_lba});
-  } else if (result.status == IoStatus::kTimeout && !failed_[disk]) {
+  } else if (result.status == IoStatus::kTimeout && !drives_->failed(disk)) {
     // Retries exhausted: treat the whole path as suspect for this fragment.
     for (const ReplicaLocation& loc : frag.replicas) {
       if (loc.disk == disk) {
@@ -791,10 +650,11 @@ void ArrayController::HandleReadFailure(uint32_t disk,
       }
     }
   }
-  // kDiskFailed needs no bookkeeping: failed_[disk] excludes the disk.
+  // kDiskFailed needs no bookkeeping: the engine's failed flag excludes the
+  // disk from candidate sets.
 
-  ++fstats_.failovers;
-  const bool target_failed = failed_[disk];
+  ++fstats().failovers;
+  const bool target_failed = drives_->failed(disk);
   if (SubmitReadFragment(frag, entry.tag)) {
     ResolveFault(entry.id, FaultResolution::kFailedOver, target_failed);
   } else {
@@ -817,8 +677,8 @@ void ArrayController::HandleWriteFailure(uint32_t disk,
   if (!options_.foreground_write_propagation) {
     // First-copy write: duplicates were cancelled at dispatch, so this entry
     // carried the fragment alone.
-    if (failed_[disk]) {
-      ++fstats_.failovers;
+    if (drives_->failed(disk)) {
+      ++fstats().failovers;
       if (SubmitWriteFragment(frag, frag_key)) {
         ResolveFault(entry.id, FaultResolution::kFailedOver, true);
       } else {
@@ -830,7 +690,7 @@ void ArrayController::HandleWriteFailure(uint32_t disk,
     // data exists nowhere else yet, so giving up is not an option until the
     // disk itself is declared dead.
     ++frag.attempts;
-    ++fstats_.retries_issued;
+    ++fstats().retries_issued;
     ResolveFault(entry.id, FaultResolution::kRetried, false);
     ScheduleRecovery(frag.attempts, [this, frag_key]() {
       auto fit = frags_.find(frag_key);
@@ -843,7 +703,7 @@ void ArrayController::HandleWriteFailure(uint32_t disk,
   }
 
   // Foreground propagation: each entry is one replica.
-  if (failed_[disk]) {
+  if (drives_->failed(disk)) {
     // This copy is lost; surviving copies carry the fragment. If none
     // succeeded by the time all entries account, the write is unrecoverable.
     ResolveFault(entry.id, FaultResolution::kAbandoned, true);
@@ -851,23 +711,23 @@ void ArrayController::HandleWriteFailure(uint32_t disk,
     return;
   }
   QueuedRequest retry;
-  retry.id = next_entry_id_++;
+  retry.id = drives_->AllocEntryId();
   retry.op = DiskOp::kWrite;
   retry.sectors = entry.sectors;
   retry.candidate_lbas = {chosen_lba};
   retry.tag = frag_key;
   retry.attempts = entry.attempts + 1;
-  ++fstats_.retries_issued;
+  ++fstats().retries_issued;
   ResolveFault(entry.id, FaultResolution::kRetried, false);
   ScheduleRecovery(retry.attempts,
                    [this, disk, retry = std::move(retry)]() mutable {
-                     if (failed_[disk]) {
+                     if (drives_->failed(disk)) {
                        LoseWriteReplica(retry.tag);
                        return;
                      }
                      retry.arrival_us = sim_->Now();
-                     EnqueueFg(disk, std::move(retry));
-                     MaybeDispatch(disk);
+                     drives_->EnqueueFg(disk, std::move(retry));
+                     drives_->MaybeDispatch(disk);
                    });
 }
 
@@ -892,7 +752,7 @@ void ArrayController::HandleDelayedFailure(uint32_t disk,
   (void)result;
   const std::optional<uint64_t> owner = nvram_.OwnerOf(disk, chosen_lba);
   const bool is_owner = owner.has_value() && *owner == entry.id;
-  if (failed_[disk]) {
+  if (drives_->failed(disk)) {
     if (is_owner) {
       nvram_.Erase(disk, chosen_lba);
       if (auditor_ != nullptr) {
@@ -902,7 +762,7 @@ void ArrayController::HandleDelayedFailure(uint32_t disk,
         stale_sectors_.erase(ReplicaKey(disk, chosen_lba + s));
       }
     }
-    ++fstats_.propagations_abandoned;
+    ++fstats().propagations_abandoned;
     ResolveFault(entry.id, FaultResolution::kAbandoned, true);
     return;
   }
@@ -919,16 +779,16 @@ void ArrayController::HandleDelayedFailure(uint32_t disk,
   if (auditor_ != nullptr) {
     auditor_->OnNvramErase(disk, chosen_lba);
   }
-  ++fstats_.retries_issued;
+  ++fstats().retries_issued;
   ResolveFault(entry.id, FaultResolution::kRetried, false);
   const uint32_t attempts = entry.attempts + 1;
   const uint32_t sectors = entry.sectors;
   ScheduleRecovery(attempts, [this, disk, chosen_lba, sectors, attempts]() {
-    if (failed_[disk]) {
+    if (drives_->failed(disk)) {
       for (uint32_t s = 0; s < sectors; ++s) {
         stale_sectors_.erase(ReplicaKey(disk, chosen_lba + s));
       }
-      ++fstats_.propagations_abandoned;
+      ++fstats().propagations_abandoned;
       return;
     }
     AddDelayedWrite(disk, chosen_lba, sectors, attempts);
@@ -945,7 +805,7 @@ void ArrayController::HandleMaintenanceFailure(uint32_t disk,
     auto fn = std::move(rit->second);
     rebuild_read_done_.erase(rit);
     fn(result);  // restarts the fragment copy with a different source
-    ResolveFault(entry.id, FaultResolution::kFailedOver, failed_[disk]);
+    ResolveFault(entry.id, FaultResolution::kFailedOver, drives_->failed(disk));
     return;
   }
   if (auto wit = rebuild_write_done_.find(entry.id);
@@ -954,24 +814,25 @@ void ArrayController::HandleMaintenanceFailure(uint32_t disk,
     rebuild_write_done_.erase(wit);
     fn(result);  // retries the copy, or records it lost if the target died
     ResolveFault(entry.id,
-                 failed_[disk] ? FaultResolution::kAbandoned
-                               : FaultResolution::kRetried,
-                 failed_[disk]);
+                 drives_->failed(disk) ? FaultResolution::kAbandoned
+                                       : FaultResolution::kRetried,
+                 drives_->failed(disk));
     return;
   }
   if (auto sit = scrub_reads_.find(entry.id); sit != scrub_reads_.end()) {
     const ScrubTarget target = sit->second;
     scrub_reads_.erase(sit);
-    ++fstats_.scrub_reads;
-    if (result.status == IoStatus::kMediaError && !failed_[target.disk]) {
+    ++fstats().scrub_reads;
+    if (result.status == IoStatus::kMediaError &&
+        !drives_->failed(target.disk)) {
       // Latent sector error caught by the sweep: rewrite the replica with
       // the logically equivalent data the scrubber reads from its siblings
       // in the same pass; the drive remaps the sector on write.
-      ++fstats_.scrub_repairs;
-      ++fstats_.repairs_queued;
+      ++fstats().scrub_repairs;
+      ++fstats().repairs_queued;
       AddDelayedWrite(target.disk, target.lba, target.sectors);
       ResolveFault(entry.id, FaultResolution::kRepaired, false);
-    } else if (failed_[target.disk]) {
+    } else if (drives_->failed(target.disk)) {
       ResolveFault(entry.id, FaultResolution::kAbandoned, true);
     } else {
       // Transient noise on a verification read: the next sweep revisits the
@@ -982,28 +843,17 @@ void ArrayController::HandleMaintenanceFailure(uint32_t disk,
   }
   // Recalibration reference read: nothing to recover — the observation is
   // simply missed and the next timer issues a fresh one.
-  ResolveFault(entry.id, FaultResolution::kSurfaced, failed_[disk]);
+  ResolveFault(entry.id, FaultResolution::kSurfaced, drives_->failed(disk));
 }
 
-void ArrayController::AutoFailDisk(uint32_t disk) {
-  if (failed_[disk]) {
-    return;
-  }
-  failed_[disk] = true;
-  ++fstats_.auto_disk_failures;
-  if (options_.fault_injector != nullptr) {
-    // Threshold-triggered failures: make the verdict binding so the drive
-    // cannot half-work its way back into the array.
-    options_.fault_injector->FailStop(disk);
-  }
+void ArrayController::OnSlotFailed(uint32_t disk) {
   AbandonDelayedQueue(disk);
   RerouteQueuedEntries(disk);
-  PromoteSpareIfAvailable(disk);
 }
 
 void ArrayController::AbandonDelayedQueue(uint32_t disk) {
-  std::vector<QueuedRequest> drained = std::move(delayed_[disk]);
-  delayed_[disk].clear();
+  std::vector<QueuedRequest> drained = std::move(drives_->delayed(disk));
+  drives_->delayed(disk).clear();
   for (QueuedRequest& e : drained) {
     if (auditor_ != nullptr) {
       auditor_->OnEntryCancelled(disk, e.id);
@@ -1039,13 +889,13 @@ void ArrayController::AbandonDelayedQueue(uint32_t disk) {
     for (uint32_t s = 0; s < e.sectors; ++s) {
       stale_sectors_.erase(ReplicaKey(disk, e.candidate_lbas.front() + s));
     }
-    ++fstats_.propagations_abandoned;
+    ++fstats().propagations_abandoned;
   }
 }
 
 void ArrayController::RerouteQueuedEntries(uint32_t disk) {
-  std::vector<QueuedRequest> moved = std::move(fg_[disk]);
-  fg_[disk].clear();
+  std::vector<QueuedRequest> moved = std::move(drives_->fg(disk));
+  drives_->fg(disk).clear();
   if (collector_ != nullptr && !moved.empty()) {
     collector_->OnQueueDepth(disk, sim_->Now(), 0);
   }
@@ -1068,7 +918,7 @@ void ArrayController::RerouteQueuedEntries(uint32_t disk) {
       for (uint32_t s = 0; s < e.sectors; ++s) {
         stale_sectors_.erase(ReplicaKey(disk, e.candidate_lbas.front() + s));
       }
-      ++fstats_.propagations_abandoned;
+      ++fstats().propagations_abandoned;
       continue;
     }
     auto fit = frags_.find(e.tag);
@@ -1086,7 +936,7 @@ void ArrayController::RerouteQueuedEntries(uint32_t disk) {
       if (!frag.queued.empty()) {
         continue;
       }
-      ++fstats_.failovers;
+      ++fstats().failovers;
       NoteOpRecoveryAttempt(frag.op_id);
       if (e.op == DiskOp::kRead) {
         SubmitReadFragment(frag, e.tag);
@@ -1100,82 +950,46 @@ void ArrayController::RerouteQueuedEntries(uint32_t disk) {
   }
 }
 
-void ArrayController::PromoteSpareIfAvailable(uint32_t disk) {
-  if (spares_.empty() || layout_->aspect().dm < 2) {
-    return;
-  }
-  auto [spare_disk, spare_predictor] = spares_.front();
-  spares_.erase(spares_.begin());
-  disks_[disk] = spare_disk;
-  predictors_[disk] = spare_predictor;
-  if (auditor_ != nullptr) {
-    auditor_->OnDiskReplaced(disk);
-    spare_disk->SetAuditor(auditor_, disk);
-  }
-  if (options_.fault_injector != nullptr) {
-    options_.fault_injector->ReplaceDisk(disk);
-    spare_disk->SetFaultInjector(options_.fault_injector, disk);
-  }
-  if (collector_ != nullptr) {
-    spare_disk->SetTraceCollector(collector_, disk);
-  }
-  ++fstats_.spares_promoted;
+bool ArrayController::SparePromotionAllowed(uint32_t disk) {
+  (void)disk;
+  // An SR-Array column (Dm == 1) has nothing to rebuild a spare from.
+  return layout_->aspect().dm >= 2;
+}
+
+void ArrayController::OnSparePromoted(uint32_t disk) {
   RebuildDisk(disk, [this](const IoResult& r) {
     if (r.status == IoStatus::kOk) {
-      ++fstats_.spare_rebuilds_completed;
+      ++fstats().spare_rebuilds_completed;
     }
   });
 }
 
 // --- Background scrubbing -------------------------------------------------
 
-bool ArrayController::ScrubCanRun() const {
-  if (!ops_.empty() || !parked_.empty() || pending_recovery_ > 0 ||
-      RebuildInProgress()) {
-    return false;
-  }
-  for (size_t i = 0; i < disks_.size(); ++i) {
-    if (failed_[i]) {
-      continue;
-    }
-    if (disks_[i]->busy() || !fg_[i].empty() || !delayed_[i].empty()) {
-      return false;
-    }
-  }
-  return true;
+bool ArrayController::ScrubEligible() const {
+  // The engine has already checked its own half of the gate (recovery
+  // timers, live-drive quiescence).
+  return ops_.empty() && parked_.empty() && !RebuildInProgress();
 }
 
-void ArrayController::ScheduleScrubTick() {
-  scrub_event_ = sim_->ScheduleAfter(options_.scrub_interval_us, [this]() {
-    scrub_event_ = 0;
-    ScrubTick();
-    ScheduleScrubTick();
-  });
-}
-
-void ArrayController::ScrubTick() {
-  // Idle-gating is the rate limit: a tick that finds any foreground or
-  // recovery work simply skips its turn.
-  if (!ScrubCanRun()) {
-    return;
-  }
+void ArrayController::ScrubStep() {
   const uint64_t dataset = layout_->dataset_sectors();
   if (dataset == 0) {
     return;
   }
   if (scrub_cursor_ >= dataset) {
     scrub_cursor_ = 0;
-    ++fstats_.scrub_sweeps_completed;
+    ++fstats().scrub_sweeps_completed;
   }
   const uint32_t span = static_cast<uint32_t>(std::min<uint64_t>(
       layout_->stripe_unit_sectors(), dataset - scrub_cursor_));
   for (const ArrayFragment& f : layout_->Map(scrub_cursor_, span)) {
     for (const ReplicaLocation& loc : f.replicas) {
-      if (failed_[loc.disk]) {
+      if (drives_->failed(loc.disk)) {
         continue;
       }
       QueuedRequest e;
-      e.id = next_entry_id_++;
+      e.id = drives_->AllocEntryId();
       e.op = DiskOp::kRead;
       e.sectors = f.sectors;
       e.candidate_lbas = {loc.lba};
@@ -1183,8 +997,8 @@ void ArrayController::ScrubTick() {
       e.maintenance = true;
       scrub_reads_[e.id] = ScrubTarget{loc.disk, loc.lba, f.sectors};
       const uint32_t d = loc.disk;
-      EnqueueDelayed(d, std::move(e));
-      MaybeDispatch(d);
+      drives_->EnqueueDelayed(d, std::move(e));
+      drives_->MaybeDispatch(d);
     }
   }
   scrub_cursor_ += span;
@@ -1198,7 +1012,7 @@ void ArrayController::AddDelayedWrite(uint32_t disk, uint64_t lba,
     // If the superseded entry is still queued, it simply carries the newer
     // data ("data dies young", Section 3.4) — nothing more to do. If it is
     // already in flight, a fresh propagation must follow it.
-    for (const auto* q : {&delayed_[disk], &fg_[disk]}) {
+    for (const auto* q : {&drives_->delayed(disk), &drives_->fg(disk)}) {
       for (const QueuedRequest& e : *q) {
         if (e.id == *existing_owner) {
           return;  // still queued; superseded in place
@@ -1211,7 +1025,7 @@ void ArrayController::AddDelayedWrite(uint32_t disk, uint64_t lba,
     }
   }
   QueuedRequest entry;
-  entry.id = next_entry_id_++;
+  entry.id = drives_->AllocEntryId();
   entry.op = DiskOp::kWrite;
   entry.sectors = sectors;
   entry.candidate_lbas = {lba};
@@ -1221,7 +1035,7 @@ void ArrayController::AddDelayedWrite(uint32_t disk, uint64_t lba,
   const uint64_t owner_id = entry.id;
   // Queue registration precedes the table insert so the auditor sees the
   // NVRAM entry owned by an already-live delayed entry.
-  EnqueueDelayed(disk, std::move(entry));
+  drives_->EnqueueDelayed(disk, std::move(entry));
   nvram_.Put(NvramEntry{disk, lba, sectors}, owner_id);
   if (auditor_ != nullptr) {
     auditor_->OnNvramPut(disk, lba, owner_id);
@@ -1229,7 +1043,7 @@ void ArrayController::AddDelayedWrite(uint32_t disk, uint64_t lba,
   for (uint32_t s = 0; s < sectors; ++s) {
     stale_sectors_.insert(ReplicaKey(disk, lba + s));
   }
-  MaybeDispatch(disk);
+  drives_->MaybeDispatch(disk);
 }
 
 void ArrayController::CancelPendingDelayed(uint32_t disk, uint64_t lba) {
@@ -1244,7 +1058,7 @@ void ArrayController::CancelPendingDelayed(uint32_t disk, uint64_t lba) {
   }
   ++stats_.delayed_writes_discarded;
   // The entry may sit in the delayed queue or (if forced out) the FG queue.
-  for (auto* q : {&delayed_[disk], &fg_[disk]}) {
+  for (auto* q : {&drives_->delayed(disk), &drives_->fg(disk)}) {
     for (size_t i = 0; i < q->size(); ++i) {
       if ((*q)[i].id == *owner) {
         for (uint32_t s = 0; s < (*q)[i].sectors; ++s) {
@@ -1270,27 +1084,28 @@ void ArrayController::EnforceDelayedTableLimit() {
     // Force the oldest still-queued delayed write into its FG queue.
     uint32_t best_disk = 0;
     uint64_t best_id = UINT64_MAX;
-    for (uint32_t d = 0; d < delayed_.size(); ++d) {
-      if (!delayed_[d].empty() && delayed_[d].front().id < best_id) {
-        best_id = delayed_[d].front().id;
+    for (uint32_t d = 0; d < drives_->num_slots(); ++d) {
+      if (!drives_->delayed(d).empty() &&
+          drives_->delayed(d).front().id < best_id) {
+        best_id = drives_->delayed(d).front().id;
         best_disk = d;
       }
     }
     if (best_id == UINT64_MAX) {
       return;  // everything pending is already in flight or forced
     }
-    QueuedRequest entry = std::move(delayed_[best_disk].front());
-    delayed_[best_disk].erase(delayed_[best_disk].begin());
-    fg_[best_disk].push_back(std::move(entry));
+    QueuedRequest entry = std::move(drives_->delayed(best_disk).front());
+    drives_->delayed(best_disk).erase(drives_->delayed(best_disk).begin());
+    drives_->fg(best_disk).push_back(std::move(entry));
     ++stats_.delayed_writes_forced;
-    MaybeDispatch(best_disk);
+    drives_->MaybeDispatch(best_disk);
   }
 }
 
 void ArrayController::RestorePropagations(
     const std::vector<NvramEntry>& entries) {
   for (const NvramEntry& e : entries) {
-    MIMDRAID_CHECK_LT(e.disk, disks_.size());
+    MIMDRAID_CHECK_LT(e.disk, drives_->num_slots());
     AddDelayedWrite(e.disk, e.lba, e.sectors);
   }
   EnforceDelayedTableLimit();
@@ -1341,25 +1156,25 @@ void ArrayController::WakeParked() {
 }
 
 bool ArrayController::FailDisk(uint32_t disk) {
-  MIMDRAID_CHECK_LT(disk, failed_.size());
-  MIMDRAID_CHECK(!failed_[disk]);
-  MIMDRAID_CHECK(!disks_[disk]->busy());
-  MIMDRAID_CHECK(fg_[disk].empty());
+  MIMDRAID_CHECK_LT(disk, drives_->num_slots());
+  MIMDRAID_CHECK(!drives_->failed(disk));
+  MIMDRAID_CHECK(!drives_->disk(disk)->busy());
+  MIMDRAID_CHECK(drives_->fg(disk).empty());
   if (layout_->aspect().dm < 2) {
     // An SR-Array/stripe column has no cross-disk copy: losing the disk
     // loses data (the paper's Section 2.5 reliability tradeoff).
     return false;
   }
-  failed_[disk] = true;
+  drives_->MarkFailed(disk);
   // Pending propagations to the failed disk are meaningless now.
   AbandonDelayedQueue(disk);
   return true;
 }
 
 void ArrayController::RebuildDisk(uint32_t disk, DoneFn done) {
-  MIMDRAID_CHECK(failed_[disk]);
+  MIMDRAID_CHECK(drives_->failed(disk));
   MIMDRAID_CHECK_GE(layout_->aspect().dm, 2);
-  failed_[disk] = false;  // replacement drive in the slot
+  drives_->MarkReplaced(disk);  // replacement drive in the slot
   RebuildNextFragment(disk, 0, std::move(done));
 }
 
@@ -1368,7 +1183,7 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
   // Stream the dataset fragment by fragment; for each fragment with replicas
   // on `disk`, read a surviving copy and rewrite this disk's copies. The copy
   // traffic rides the delayed queues, yielding to foreground work.
-  if (failed_[disk]) {
+  if (drives_->failed(disk)) {
     // The replacement itself died mid-rebuild; abort the stream.
     if (done) {
       done(IoResult{IoStatus::kDiskFailed, sim_->Now(), 0});
@@ -1387,7 +1202,7 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
       for (const ReplicaLocation& loc : f.replicas) {
         if (loc.disk == disk) {
           targets.push_back(loc);
-        } else if (source == nullptr && !failed_[loc.disk] &&
+        } else if (source == nullptr && !drives_->failed(loc.disk) &&
                    !bad_sources_.contains(ReplicaKey(loc.disk, loc.lba))) {
           source = &loc;
         }
@@ -1398,7 +1213,7 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
       if (source == nullptr) {
         // Every surviving copy is failed or known bad: this fragment cannot
         // be re-populated. Count it and keep rebuilding the rest.
-        ++fstats_.rebuild_fragments_lost;
+        ++fstats().rebuild_fragments_lost;
         continue;
       }
       const uint64_t frag_start = f.logical_lba;
@@ -1408,7 +1223,7 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
       const uint64_t source_lba = source->lba;
 
       QueuedRequest read_entry;
-      read_entry.id = next_entry_id_++;
+      read_entry.id = drives_->AllocEntryId();
       read_entry.op = DiskOp::kRead;
       read_entry.sectors = len;
       read_entry.candidate_lbas = {source_lba};
@@ -1422,12 +1237,12 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
                 // The source replica is bad: exclude it from future sourcing
                 // and rewrite it from whichever copy the restart picks.
                 bad_sources_.insert(ReplicaKey(source_disk, source_lba));
-                if (!failed_[source_disk]) {
-                  ++fstats_.repairs_queued;
+                if (!drives_->failed(source_disk)) {
+                  ++fstats().repairs_queued;
                   AddDelayedWrite(source_disk, source_lba, len);
                 }
               }
-              ++fstats_.failovers;
+              ++fstats().failovers;
               RebuildNextFragment(disk, frag_start, std::move(done));
               return;
             }
@@ -1436,8 +1251,8 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
               EnqueueRebuildWrite(loc, len, writes_left, disk, resume, done);
             }
           };
-      EnqueueDelayed(source_disk, std::move(read_entry));
-      MaybeDispatch(source_disk);
+      drives_->EnqueueDelayed(source_disk, std::move(read_entry));
+      drives_->MaybeDispatch(source_disk);
       return;  // continue from the completion callbacks
     }
     lba += span;
@@ -1451,19 +1266,19 @@ void ArrayController::EnqueueRebuildWrite(ReplicaLocation loc, uint32_t len,
                                           std::shared_ptr<size_t> writes_left,
                                           uint32_t rebuild_disk,
                                           uint64_t resume, DoneFn done) {
-  if (failed_[loc.disk]) {
+  if (drives_->failed(loc.disk)) {
     // The target slot died between sourcing the copy and issuing the write;
     // an entry queued to a failed disk would never dispatch. The fragment is
     // lost and the stream advances (RebuildNextFragment aborts the rebuild
     // when the target itself is the failed disk).
-    ++fstats_.rebuild_fragments_lost;
+    ++fstats().rebuild_fragments_lost;
     if (--*writes_left == 0) {
       RebuildNextFragment(rebuild_disk, resume, std::move(done));
     }
     return;
   }
   QueuedRequest w;
-  w.id = next_entry_id_++;
+  w.id = drives_->AllocEntryId();
   w.op = DiskOp::kWrite;
   w.sectors = len;
   w.candidate_lbas = {loc.lba};
@@ -1471,14 +1286,14 @@ void ArrayController::EnqueueRebuildWrite(ReplicaLocation loc, uint32_t len,
   w.maintenance = true;
   rebuild_write_done_[w.id] = [this, loc, len, writes_left, rebuild_disk,
                                resume, done](const DiskOpResult& r) mutable {
-    if (r.status != IoStatus::kOk && !failed_[loc.disk]) {
+    if (r.status != IoStatus::kOk && !drives_->failed(loc.disk)) {
       // Transient failure of the copy write: retry after backoff. The write
       // itself repairs any latent error at the target (firmware remap).
-      ++fstats_.retries_issued;
+      ++fstats().retries_issued;
       ScheduleRecovery(1, [this, loc, len, writes_left, rebuild_disk, resume,
                            done]() mutable {
-        if (failed_[loc.disk]) {
-          ++fstats_.rebuild_fragments_lost;
+        if (drives_->failed(loc.disk)) {
+          ++fstats().rebuild_fragments_lost;
           if (--*writes_left == 0) {
             RebuildNextFragment(rebuild_disk, resume, std::move(done));
           }
@@ -1490,7 +1305,7 @@ void ArrayController::EnqueueRebuildWrite(ReplicaLocation loc, uint32_t len,
       return;
     }
     if (r.status != IoStatus::kOk) {
-      ++fstats_.rebuild_fragments_lost;  // target slot died mid-copy
+      ++fstats().rebuild_fragments_lost;  // target slot died mid-copy
     } else {
       ++rebuild_copied_;
     }
@@ -1498,24 +1313,24 @@ void ArrayController::EnqueueRebuildWrite(ReplicaLocation loc, uint32_t len,
       RebuildNextFragment(rebuild_disk, resume, std::move(done));
     }
   };
-  EnqueueDelayed(loc.disk, std::move(w));
-  MaybeDispatch(loc.disk);
+  drives_->EnqueueDelayed(loc.disk, std::move(w));
+  drives_->MaybeDispatch(loc.disk);
 }
 
 void ArrayController::ScheduleRecalibration(uint32_t disk) {
   recalibration_events_[disk] =
       sim_->ScheduleAfter(options_.recalibration_interval_us, [this, disk]() {
-    auto* hp = dynamic_cast<HeadPositionPredictor*>(predictors_[disk]);
+    auto* hp = dynamic_cast<HeadPositionPredictor*>(drives_->predictor(disk));
     if (hp != nullptr) {
       QueuedRequest entry;
-      entry.id = next_entry_id_++;
+      entry.id = drives_->AllocEntryId();
       entry.op = DiskOp::kRead;
       entry.sectors = 1;
       entry.candidate_lbas = {hp->reference_lba()};
       entry.arrival_us = sim_->Now();
       entry.maintenance = true;
-      EnqueueFg(disk, std::move(entry));
-      MaybeDispatch(disk);
+      drives_->EnqueueFg(disk, std::move(entry));
+      drives_->MaybeDispatch(disk);
     }
     ScheduleRecalibration(disk);
   });
@@ -1532,6 +1347,31 @@ bool ArrayController::ReplicaIsStale(uint32_t disk, uint64_t lba,
     }
   }
   return false;
+}
+
+void ArrayController::ExportStats(StatsRegistry* registry) const {
+  ExportFaultStats(drives_->fstats(), registry);
+  registry->Set("array.reads_completed",
+                static_cast<double>(stats_.reads_completed));
+  registry->Set("array.writes_completed",
+                static_cast<double>(stats_.writes_completed));
+  registry->Set("array.delayed_writes_completed",
+                static_cast<double>(stats_.delayed_writes_completed));
+  registry->Set("array.delayed_writes_forced",
+                static_cast<double>(stats_.delayed_writes_forced));
+  registry->Set("array.delayed_writes_discarded",
+                static_cast<double>(stats_.delayed_writes_discarded));
+  registry->Set("array.read_duplicates_cancelled",
+                static_cast<double>(stats_.read_duplicates_cancelled));
+  registry->Set("array.maintenance_reads",
+                static_cast<double>(stats_.maintenance_reads));
+  registry->Set("array.parked_reads",
+                static_cast<double>(stats_.parked_reads));
+  registry->Set("array.stale_fallback_reads",
+                static_cast<double>(stats_.stale_fallback_reads));
+  registry->Set("array.delayed_backlog", static_cast<double>(nvram_.size()));
+  registry->Set("array.rebuild_copied_fragments",
+                static_cast<double>(rebuild_copied_));
 }
 
 }  // namespace mimdraid

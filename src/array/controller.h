@@ -1,9 +1,15 @@
 // The Disk Configuration + Scheduling layers of the prototype (Sections 3.1,
 // 3.3, 3.4): translates logical array I/O into per-drive queue entries,
-// schedules each drive independently, implements the mirror read heuristic
-// (idle-closest dispatch, duplicate-and-cancel when busy), and propagates
-// write replicas in the background through per-disk delayed-write queues
-// backed by an NVRAM metadata table with a force-out threshold.
+// implements the mirror read heuristic (idle-closest dispatch,
+// duplicate-and-cancel when busy), and propagates write replicas in the
+// background through per-disk delayed-write queues backed by an NVRAM
+// metadata table with a force-out threshold.
+//
+// The per-drive machinery — scheduler queues, the dispatch loop, fault
+// counting, auto-fail, hot-spare promotion, the scrub timer, observer
+// wiring — lives in the shared DriveSet engine (src/io/drive_set.h); this
+// class is the mirror *policy* over that engine and one of the two
+// ArrayBackend implementations.
 #ifndef MIMDRAID_SRC_ARRAY_CONTROLLER_H_
 #define MIMDRAID_SRC_ARRAY_CONTROLLER_H_
 
@@ -19,6 +25,8 @@
 #include "src/calib/predictor.h"
 #include "src/disk/access_predictor.h"
 #include "src/disk/sim_disk.h"
+#include "src/io/array_backend.h"
+#include "src/io/drive_set.h"
 #include "src/obs/trace_collector.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/auditor.h"
@@ -93,13 +101,13 @@ struct ArrayStats {
   uint64_t stale_fallback_reads = 0;
 };
 
-class ArrayController {
+class ArrayController : public ArrayBackend, private DriveSetClient {
  public:
   // Completion carries a full IoResult: kOk, or kUnrecoverable when every
   // recovery avenue (retry, replica failover, repair) is exhausted. The
   // intermediate statuses (kMediaError/kTimeout/kDiskFailed) are absorbed by
   // the recovery machinery and never surface here.
-  using DoneFn = std::function<void(const IoResult&)>;
+  using DoneFn = ArrayBackend::DoneFn;
 
   // `disks` and `predictors` are parallel arrays of size
   // layout->num_disks(); the controller borrows them.
@@ -113,18 +121,21 @@ class ArrayController {
 
   // Cancels pending maintenance timers. The controller must be idle (no
   // in-flight disk operation holds a completion callback into it).
-  ~ArrayController();
+  ~ArrayController() override;
 
   // Submits a logical I/O. `done` fires at the simulated completion time
   // (first-copy time for writes unless foreground propagation is on).
-  void Submit(DiskOp op, uint64_t lba, uint32_t sectors, DoneFn done);
+  void Submit(DiskOp op, uint64_t lba, uint32_t sectors, DoneFn done) override;
 
   const ArrayStats& stats() const { return stats_; }
   const ArrayLayout& layout() const { return *layout_; }
+  uint64_t dataset_sectors() const override {
+    return layout_->dataset_sectors();
+  }
 
   // Outstanding foreground entries across all drive queues (dispatched
   // requests excluded).
-  size_t TotalQueued() const;
+  size_t TotalQueued() const { return drives_->TotalFgQueued(); }
   // Pending background replica propagations (the NVRAM table occupancy).
   size_t DelayedBacklog() const { return nvram_.size(); }
   // The delayed-write metadata table (what NVRAM preserves across a crash).
@@ -133,13 +144,13 @@ class ArrayController {
   // recorded in a surviving NVRAM snapshot. Call on a freshly constructed
   // controller before offering load.
   void RestorePropagations(const std::vector<NvramEntry>& entries);
-  size_t QueueDepth(uint32_t disk) const { return fg_[disk].size(); }
-  bool Idle() const;
+  size_t QueueDepth(uint32_t disk) const { return drives_->fg(disk).size(); }
+  bool Idle() const override;
 
   // Runs the auditor's terminal consistency check (queues, NVRAM table,
   // stale markers, parked reads must all be empty). Call once the array
   // reports Idle(); a no-op when no auditor is attached.
-  void AuditQuiescent() const;
+  void AuditQuiescent() const override;
 
   // --- Disk failure and rebuild (the Section 2.5 reliability argument). ---
   // Marks a disk failed. Every block with a surviving copy (Dm >= 2, or
@@ -147,14 +158,17 @@ class ArrayController {
   // if the configuration cannot tolerate the loss (Dm == 1: an SR-Array
   // column has no cross-disk copy — data loss). The array must be quiescent
   // on that disk (no in-flight command).
-  bool FailDisk(uint32_t disk);
-  bool IsFailed(uint32_t disk) const { return failed_[disk]; }
+  bool FailDisk(uint32_t disk) override;
+  bool IsFailed(uint32_t disk) const override { return drives_->failed(disk); }
   // Re-populates a replaced disk from its mirror twins, fragment stream by
   // fragment stream; `done` fires when redundancy is restored. Requires
   // Dm >= 2.
   void RebuildDisk(uint32_t disk, DoneFn done);
+  void Rebuild(uint32_t disk, DoneFn done) override {
+    RebuildDisk(disk, std::move(done));
+  }
   uint64_t rebuild_copied_fragments() const { return rebuild_copied_; }
-  bool RebuildInProgress() const {
+  bool RebuildInProgress() const override {
     return !rebuild_read_done_.empty() || !rebuild_write_done_.empty();
   }
 
@@ -162,16 +176,27 @@ class ArrayController {
   // Registers a standby drive (and its predictor) the controller may promote
   // into a failed slot. Borrowed; must outlive the controller. The spare is
   // wired to the auditor/injector only on promotion.
-  void AddSpare(SimDisk* disk, AccessPredictor* predictor);
-  size_t spares_available() const { return spares_.size(); }
-  const FaultRecoveryStats& fault_stats() const { return fstats_; }
-  uint64_t disk_error_count(uint32_t disk) const { return error_counts_[disk]; }
+  void AddSpare(SimDisk* disk, AccessPredictor* predictor) override {
+    drives_->AddSpare(disk, predictor);
+  }
+  size_t spares_available() const override {
+    return drives_->spares_available();
+  }
+  const FaultRecoveryStats& fault_stats() const override {
+    return drives_->fstats();
+  }
+  uint64_t disk_error_count(uint32_t disk) const {
+    return drives_->error_count(disk);
+  }
+
+  // Publishes "fault.*" and "array.*" counters.
+  void ExportStats(StatsRegistry* registry) const override;
 
   // Cancels the periodic scrub timer (in-flight scrub reads drain normally).
   // Call before draining to quiescence; the destructor also cancels it.
-  void StopScrub();
+  void StopScrub() override { drives_->StopScrub(); }
   uint64_t scrub_sweeps_completed() const {
-    return fstats_.scrub_sweeps_completed;
+    return drives_->fstats().scrub_sweeps_completed;
   }
 
  private:
@@ -216,19 +241,28 @@ class ArrayController {
     return (static_cast<uint64_t>(disk) << 48) | lba;
   }
 
+  // --- DriveSetClient hooks ---
+  void OnEntryDispatched(uint32_t disk, const QueuedRequest& entry) override;
+  void OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
+                       uint64_t chosen_lba, const DiskOpResult& result) override;
+  // Engine fail-stopped the slot: abandon its propagations and reroute its
+  // queued foreground entries before any spare promotion.
+  void OnSlotFailed(uint32_t disk) override;
+  bool SparePromotionAllowed(uint32_t disk) override;
+  void OnSparePromoted(uint32_t disk) override;
+  bool ScrubEligible() const override;
+  // One scrub chunk: reads every live replica of the next stripe unit of the
+  // logical space.
+  void ScrubStep() override;
+
   void SubmitInternal(DiskOp op, uint64_t lba, uint32_t sectors, DoneFn done,
                       SimTime issue_us);
   // Both return false when no live candidate disk remains; the fragment is
   // then completed with kUnrecoverable instead of being queued.
   bool SubmitReadFragment(FragState& frag, uint64_t frag_key);
   bool SubmitWriteFragment(FragState& frag, uint64_t frag_key);
-  void EnqueueFg(uint32_t disk, QueuedRequest entry);
-  void EnqueueDelayed(uint32_t disk, QueuedRequest entry);
   void AuditMappedFragments(uint64_t lba, uint32_t sectors,
                             const std::vector<ArrayFragment>& fragments) const;
-  void MaybeDispatch(uint32_t disk);
-  void OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
-                       uint64_t chosen_lba, const DiskOpResult& result);
   // `leg` is the decomposition of the disk op whose completion completed the
   // fragment; nullptr on paths with no such op (unrecoverable completions,
   // lost foreground-propagation replicas).
@@ -253,7 +287,7 @@ class ArrayController {
 
   // --- Fault recovery ---
   // Dispatches a failed entry's recovery; called from OnEntryComplete for
-  // every non-kOk completion after the auditor has the fault on record.
+  // every non-kOk completion after the engine has the fault on record.
   void HandleEntryFailure(uint32_t disk, const QueuedRequest& entry,
                           uint64_t chosen_lba, const DiskOpResult& result);
   void HandleReadFailure(uint32_t disk, const QueuedRequest& entry,
@@ -265,16 +299,10 @@ class ArrayController {
   void HandleMaintenanceFailure(uint32_t disk, const QueuedRequest& entry,
                                 uint64_t chosen_lba,
                                 const DiskOpResult& result);
-  void CountFault(uint32_t disk, IoStatus status);
   void ResolveFault(uint64_t entry_id, FaultResolution resolution,
                     bool target_disk_failed);
-  // Error-threshold / fail-stop response: marks the disk failed, abandons
-  // its pending propagations, reroutes its queued entries, and promotes a
-  // hot spare when one is registered (Dm >= 2).
-  void AutoFailDisk(uint32_t disk);
   void AbandonDelayedQueue(uint32_t disk);
   void RerouteQueuedEntries(uint32_t disk);
-  void PromoteSpareIfAvailable(uint32_t disk);
   // Schedules `fn` after the retry backoff for `attempt`; Idle() stays false
   // until every such recovery event has fired.
   void ScheduleRecovery(uint32_t attempt, std::function<void()> fn);
@@ -284,27 +312,22 @@ class ArrayController {
   // accounts it and completes the fragment when all entries are in.
   void LoseWriteReplica(uint64_t frag_key);
 
-  // --- Background scrubbing ---
-  void ScheduleScrubTick();
-  void ScrubTick();
-  bool ScrubCanRun() const;
+  FaultRecoveryStats& fstats() { return drives_->fstats(); }
 
   Simulator* sim_;
-  std::vector<SimDisk*> disks_;
-  std::vector<AccessPredictor*> predictors_;
   const ArrayLayout* layout_;
   ArrayControllerOptions options_;
   InvariantAuditor* auditor_ = nullptr;
   TraceCollector* collector_ = nullptr;
 
-  std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  // The shared drive-pool engine: queues, dispatch, fault counting,
+  // auto-fail, spares, the scrub timer. Constructed in the ctor body.
+  std::unique_ptr<DriveSet> drives_;
+
   std::vector<EventId> recalibration_events_;
-  std::vector<std::vector<QueuedRequest>> fg_;
-  std::vector<std::vector<QueuedRequest>> delayed_;
 
   uint64_t next_op_id_ = 1;
   uint64_t next_frag_key_ = 1;
-  uint64_t next_entry_id_ = 1;
   std::unordered_map<uint64_t, OpState> ops_;
   std::unordered_map<uint64_t, FragState> frags_;
 
@@ -318,7 +341,6 @@ class ArrayController {
   std::unordered_map<uint64_t, int> inflight_writes_;
   std::vector<ParkedRequest> parked_;
 
-  std::vector<bool> failed_;
   uint64_t rebuild_copied_ = 0;
   // Rebuild plumbing: completion hooks for the maintenance-tagged copy ops.
   // Both receive the DiskOpResult so the failure path can reroute (pick a
@@ -331,16 +353,7 @@ class ArrayController {
   // sourcing; never picked again (keyed by ReplicaKey).
   std::unordered_set<uint64_t> bad_sources_;
 
-  // --- Fault recovery state ---
-  FaultRecoveryStats fstats_;
-  std::vector<uint64_t> error_counts_;  // per-slot faults observed
-  // Pending backoff/recovery timers; Idle() is false while any is armed.
-  size_t pending_recovery_ = 0;
-  // Hot-spare pool, promoted in registration order.
-  std::vector<std::pair<SimDisk*, AccessPredictor*>> spares_;
-
   // --- Background scrubbing state ---
-  EventId scrub_event_ = 0;
   uint64_t scrub_cursor_ = 0;  // next logical LBA to sweep
   // In-flight scrub reads: entry id -> target replica.
   struct ScrubTarget {

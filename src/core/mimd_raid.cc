@@ -80,21 +80,65 @@ MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
     }
   }
 
-  layout_ = std::make_unique<ArrayLayout>(
-      &disks_[0]->layout(), options_.aspect, options_.stripe_unit_sectors,
-      options_.dataset_sectors, options_.placement_mode);
+  BuildBackend();
+}
 
+ArrayController& MimdRaid::controller() {
+  MIMDRAID_CHECK(controller_ != nullptr);  // mirror backend only
+  return *controller_;
+}
+
+Raid5Controller& MimdRaid::raid5() {
+  MIMDRAID_CHECK(raid5_ != nullptr);  // RAID-5 backend only
+  return *raid5_;
+}
+
+const ArrayLayout& MimdRaid::layout() const {
+  MIMDRAID_CHECK(layout_ != nullptr);  // mirror backend only
+  return *layout_;
+}
+
+const Raid5Layout& MimdRaid::raid5_layout() const {
+  MIMDRAID_CHECK(raid5_layout_ != nullptr);  // RAID-5 backend only
+  return *raid5_layout_;
+}
+
+void MimdRaid::BuildBackend() {
   std::vector<SimDisk*> disk_ptrs;
   std::vector<AccessPredictor*> pred_ptrs;
   for (size_t i = 0; i < disks_.size(); ++i) {
     disk_ptrs.push_back(disks_[i].get());
     pred_ptrs.push_back(predictors_[i].get());
   }
-  controller_ = std::make_unique<ArrayController>(
-      &sim_, std::move(disk_ptrs), std::move(pred_ptrs), layout_.get(),
-      ControllerOptions());
+  if (options_.backend == ArrayBackendKind::kMirror) {
+    layout_ = std::make_unique<ArrayLayout>(
+        &disks_[0]->layout(), options_.aspect, options_.stripe_unit_sectors,
+        options_.dataset_sectors, options_.placement_mode);
+    controller_ = std::make_unique<ArrayController>(
+        &sim_, std::move(disk_ptrs), std::move(pred_ptrs), layout_.get(),
+        ControllerOptions());
+    backend_ = controller_.get();
+  } else {
+    const uint32_t n = static_cast<uint32_t>(disks_.size());
+    MIMDRAID_CHECK_GE(n, 3u);
+    // The aspect supplies only the disk budget here; replica dimensions are
+    // meaningless under parity.
+    MIMDRAID_CHECK_EQ(options_.aspect.dr, 1);
+    MIMDRAID_CHECK_EQ(options_.aspect.dm, 1);
+    const uint64_t unit = options_.stripe_unit_sectors;
+    // One disk's worth of parity: size each drive so the N-1 data shares
+    // cover the dataset, rounded up to whole stripe units.
+    const uint64_t per_data = (options_.dataset_sectors + n - 2) / (n - 1);
+    const uint64_t per_disk = (per_data + unit - 1) / unit * unit;
+    raid5_layout_ = std::make_unique<Raid5Layout>(
+        n, options_.stripe_unit_sectors, per_disk);
+    raid5_ = std::make_unique<Raid5Controller>(
+        &sim_, std::move(disk_ptrs), std::move(pred_ptrs),
+        raid5_layout_.get(), Raid5Options());
+    backend_ = raid5_.get();
+  }
   for (size_t i = 0; i < spare_disks_.size(); ++i) {
-    controller_->AddSpare(spare_disks_[i].get(), spare_predictors_[i].get());
+    backend_->AddSpare(spare_disks_[i].get(), spare_predictors_[i].get());
   }
 }
 
@@ -110,10 +154,25 @@ ArrayControllerOptions MimdRaid::ControllerOptions() const {
   copts.disk_error_fail_threshold = options_.disk_error_fail_threshold;
   copts.scrub_interval_us = options_.scrub_interval_us;
   copts.collector = options_.collector;
+  copts.auditor = options_.auditor;
   return copts;
 }
 
+Raid5ControllerOptions MimdRaid::Raid5Options() const {
+  Raid5ControllerOptions ropts;
+  ropts.scheduler = options_.scheduler;
+  ropts.max_scan = options_.max_scan;
+  ropts.auditor = options_.auditor;
+  ropts.fault_injector = injector_.get();
+  ropts.collector = options_.collector;
+  ropts.retry = options_.retry;
+  ropts.disk_error_fail_threshold = options_.disk_error_fail_threshold;
+  ropts.scrub_interval_us = options_.scrub_interval_us;
+  return ropts;
+}
+
 void MimdRaid::Reshape(const ArrayAspect& aspect, SimTime migration_us) {
+  MIMDRAID_CHECK(options_.backend == ArrayBackendKind::kMirror);
   MIMDRAID_CHECK_EQ(static_cast<size_t>(aspect.TotalDisks()), disks_.size());
   MIMDRAID_CHECK_GE(migration_us, 0);
   // Quiesce: all foreground work and background propagation must finish
@@ -125,29 +184,16 @@ void MimdRaid::Reshape(const ArrayAspect& aspect, SimTime migration_us) {
   // set; reshaping a partially-failed array is unsupported.
   MIMDRAID_CHECK_EQ(controller_->spares_available(), spare_disks_.size());
   controller_.reset();
+  backend_ = nullptr;
   sim_.RunUntil(sim_.Now() + migration_us);
 
   options_.aspect = aspect;
-  layout_ = std::make_unique<ArrayLayout>(
-      &disks_[0]->layout(), options_.aspect, options_.stripe_unit_sectors,
-      options_.dataset_sectors, options_.placement_mode);
-  std::vector<SimDisk*> disk_ptrs;
-  std::vector<AccessPredictor*> pred_ptrs;
-  for (size_t i = 0; i < disks_.size(); ++i) {
-    disk_ptrs.push_back(disks_[i].get());
-    pred_ptrs.push_back(predictors_[i].get());
-  }
-  controller_ = std::make_unique<ArrayController>(
-      &sim_, std::move(disk_ptrs), std::move(pred_ptrs), layout_.get(),
-      ControllerOptions());
-  for (size_t i = 0; i < spare_disks_.size(); ++i) {
-    controller_->AddSpare(spare_disks_[i].get(), spare_predictors_[i].get());
-  }
+  BuildBackend();
 }
 
 SubmitFn MimdRaid::Submitter() {
   return [this](DiskOp op, uint64_t lba, uint32_t sectors, IoDoneFn done) {
-    controller_->Submit(op, lba, sectors, std::move(done));
+    backend_->Submit(op, lba, sectors, std::move(done));
   };
 }
 

@@ -17,7 +17,11 @@
 #include "src/disk/geometry.h"
 #include "src/disk/seek_profile.h"
 #include "src/disk/sim_disk.h"
+#include "src/io/array_backend.h"
 #include "src/model/configurator.h"
+#include "src/raid5/raid5_controller.h"
+#include "src/raid5/raid5_layout.h"
+#include "src/sim/auditor.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/io_status.h"
 #include "src/sim/simulator.h"
@@ -26,6 +30,11 @@
 namespace mimdraid {
 
 struct MimdRaidOptions {
+  // Redundancy policy layered over the shared DriveSet engine. kMirror is the
+  // paper's replica-based design (SR/ML/ABL via `aspect`); kRaid5 runs
+  // rotating parity over the same disk budget (aspect.TotalDisks() drives,
+  // one disk's worth of capacity spent on parity).
+  ArrayBackendKind backend = ArrayBackendKind::kMirror;
   ArrayAspect aspect;  // Ds x Dr x Dm; TotalDisks() is the disk budget
   SchedulerKind scheduler = SchedulerKind::kRsatf;
   size_t max_scan = 0;
@@ -76,6 +85,11 @@ struct MimdRaidOptions {
   // collector (see src/obs/trace_collector.h). Borrowed; must outlive the
   // MimdRaid. nullptr (the default) disables tracing entirely.
   TraceCollector* collector = nullptr;
+
+  // Debug tripwire: when set, the backend wires this runtime invariant
+  // auditor into the simulator, every disk, and every per-drive scheduler.
+  // Borrowed; must outlive the MimdRaid. Observes only.
+  InvariantAuditor* auditor = nullptr;
 };
 
 class MimdRaid {
@@ -83,8 +97,22 @@ class MimdRaid {
   explicit MimdRaid(const MimdRaidOptions& options);
 
   Simulator& sim() { return sim_; }
-  ArrayController& controller() { return *controller_; }
-  const ArrayLayout& layout() const { return *layout_; }
+
+  // The policy-neutral face of the array: Submit/Fail/Rebuild/AddSpare/
+  // stats export, whichever backend is configured.
+  ArrayBackend& backend() { return *backend_; }
+  const ArrayBackend& backend() const { return *backend_; }
+  ArrayBackendKind backend_kind() const { return options_.backend; }
+
+  // Backend-specific access; each CHECKs that its backend is the one
+  // configured.
+  ArrayController& controller();
+  Raid5Controller& raid5();
+
+  // Mirror-only: the replica layout. CHECKs on the RAID-5 backend.
+  const ArrayLayout& layout() const;
+  // RAID-5-only: the parity layout. CHECKs on the mirror backend.
+  const Raid5Layout& raid5_layout() const;
   const MimdRaidOptions& options() const { return options_; }
 
   // Array disks only; hot spares are owned separately until promoted.
@@ -102,11 +130,15 @@ class MimdRaid {
   // migration): drains outstanding work, advances simulated time by
   // `migration_us` (the re-layout copy), then rebuilds the layout and
   // controller. Pending background propagations are completed during the
-  // drain. The new aspect must use the same number of disks.
+  // drain. The new aspect must use the same number of disks. Mirror-only.
   void Reshape(const ArrayAspect& aspect, SimTime migration_us);
 
  private:
   ArrayControllerOptions ControllerOptions() const;
+  Raid5ControllerOptions Raid5Options() const;
+  // (Re)creates the configured backend over disks_/predictors_ and registers
+  // the hot spares with it.
+  void BuildBackend();
 
   MimdRaidOptions options_;
   Simulator sim_;
@@ -116,7 +148,10 @@ class MimdRaid {
   std::vector<std::unique_ptr<SimDisk>> spare_disks_;
   std::vector<std::unique_ptr<AccessPredictor>> spare_predictors_;
   std::unique_ptr<ArrayLayout> layout_;
+  std::unique_ptr<Raid5Layout> raid5_layout_;
   std::unique_ptr<ArrayController> controller_;
+  std::unique_ptr<Raid5Controller> raid5_;
+  ArrayBackend* backend_ = nullptr;  // whichever of the two is live
 };
 
 }  // namespace mimdraid

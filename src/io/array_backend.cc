@@ -1,0 +1,39 @@
+#include "src/io/array_backend.h"
+
+namespace mimdraid {
+
+void ExportFaultStats(const FaultRecoveryStats& stats,
+                      StatsRegistry* registry) {
+  registry->Set("fault.media_errors_seen",
+                static_cast<double>(stats.media_errors_seen));
+  registry->Set("fault.timeouts_seen",
+                static_cast<double>(stats.timeouts_seen));
+  registry->Set("fault.disk_failed_seen",
+                static_cast<double>(stats.disk_failed_seen));
+  registry->Set("fault.retries_issued",
+                static_cast<double>(stats.retries_issued));
+  registry->Set("fault.failovers", static_cast<double>(stats.failovers));
+  registry->Set("fault.reconstructions",
+                static_cast<double>(stats.reconstructions));
+  registry->Set("fault.repairs_queued",
+                static_cast<double>(stats.repairs_queued));
+  registry->Set("fault.unrecoverable_completions",
+                static_cast<double>(stats.unrecoverable_completions));
+  registry->Set("fault.auto_disk_failures",
+                static_cast<double>(stats.auto_disk_failures));
+  registry->Set("fault.spares_promoted",
+                static_cast<double>(stats.spares_promoted));
+  registry->Set("fault.spare_rebuilds_completed",
+                static_cast<double>(stats.spare_rebuilds_completed));
+  registry->Set("fault.propagations_abandoned",
+                static_cast<double>(stats.propagations_abandoned));
+  registry->Set("fault.rebuild_fragments_lost",
+                static_cast<double>(stats.rebuild_fragments_lost));
+  registry->Set("fault.scrub_reads", static_cast<double>(stats.scrub_reads));
+  registry->Set("fault.scrub_repairs",
+                static_cast<double>(stats.scrub_repairs));
+  registry->Set("fault.scrub_sweeps_completed",
+                static_cast<double>(stats.scrub_sweeps_completed));
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,81 @@
+// The backend-neutral face of an array: what MimdRaid, benches, and the
+// conformance suite program against. A backend is a redundancy policy
+// (mirroring, rotated parity, ...) layered over the shared DriveSet engine;
+// everything here is policy-independent: logical I/O submission, explicit
+// failure/rebuild control, the hot-spare pool, idle/quiescence queries, and
+// stats export.
+#ifndef MIMDRAID_SRC_IO_ARRAY_BACKEND_H_
+#define MIMDRAID_SRC_IO_ARRAY_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/disk/access_predictor.h"
+#include "src/disk/sim_disk.h"
+#include "src/obs/stats_registry.h"
+#include "src/sim/io_status.h"
+#include "src/stats/fault_stats.h"
+
+namespace mimdraid {
+
+// Which redundancy policy an assembled array runs over the DriveSet engine.
+enum class ArrayBackendKind {
+  kMirror,  // ArrayController: Ds x Dr x Dm replica layout (SR/ML/ABL)
+  kRaid5,   // Raid5Controller: left-symmetric rotating parity
+};
+
+class ArrayBackend {
+ public:
+  // Completion carries a full IoResult: kOk, or kUnrecoverable when every
+  // recovery avenue (retry, failover, reconstruction, repair) is exhausted.
+  // Intermediate statuses are absorbed by the recovery machinery and never
+  // surface here.
+  using DoneFn = std::function<void(const IoResult&)>;
+
+  virtual ~ArrayBackend() = default;
+
+  // Submits a logical I/O against the backend's logical address space
+  // ([0, dataset_sectors())). `done` fires at the simulated completion time.
+  virtual void Submit(DiskOp op, uint64_t lba, uint32_t sectors,
+                      DoneFn done) = 0;
+
+  // Logical capacity in sectors.
+  virtual uint64_t dataset_sectors() const = 0;
+
+  // --- Failure, rebuild, spares ---
+  // Marks a disk failed; returns false if the configuration cannot tolerate
+  // the loss (no redundancy covering the disk — data loss).
+  virtual bool FailDisk(uint32_t disk) = 0;
+  virtual bool IsFailed(uint32_t disk) const = 0;
+  // Re-populates a replaced drive in `disk`'s slot from the surviving
+  // redundancy; `done` fires when redundancy is restored.
+  virtual void Rebuild(uint32_t disk, DoneFn done) = 0;
+  virtual bool RebuildInProgress() const = 0;
+  // Registers a standby drive + predictor (borrowed) for automatic promotion
+  // into a slot the engine fail-stops.
+  virtual void AddSpare(SimDisk* disk, AccessPredictor* predictor) = 0;
+  virtual size_t spares_available() const = 0;
+
+  // --- Quiescence and teardown ---
+  // No logical op outstanding, every queue empty, no recovery timer armed.
+  virtual bool Idle() const = 0;
+  // Cancels the periodic scrub timer (in-flight scrub work drains normally).
+  // Call before draining to quiescence.
+  virtual void StopScrub() = 0;
+  // Runs the auditor's terminal consistency check; a no-op when no auditor
+  // is attached. Call once Idle() reports true.
+  virtual void AuditQuiescent() const = 0;
+
+  // --- Stats ---
+  virtual const FaultRecoveryStats& fault_stats() const = 0;
+  // Publishes the backend's counters under stable names ("fault.*" plus a
+  // backend-specific prefix) so traced runs carry backend stats.
+  virtual void ExportStats(StatsRegistry* registry) const = 0;
+};
+
+// Publishes every FaultRecoveryStats counter under "fault.<field>".
+void ExportFaultStats(const FaultRecoveryStats& stats, StatsRegistry* registry);
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_IO_ARRAY_BACKEND_H_

@@ -1,0 +1,387 @@
+#include "src/io/drive_set.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+DriveSet::DriveSet(Simulator* sim, std::vector<SimDisk*> disks,
+                   std::vector<AccessPredictor*> predictors,
+                   DriveSetClient* client, const DriveSetOptions& options)
+    : sim_(sim),
+      disks_(std::move(disks)),
+      predictors_(std::move(predictors)),
+      client_(client),
+      options_(options) {
+  MIMDRAID_CHECK(sim != nullptr);
+  MIMDRAID_CHECK(client != nullptr);
+  MIMDRAID_CHECK(!disks_.empty());
+  MIMDRAID_CHECK_EQ(predictors_.size(), disks_.size());
+  const size_t n = disks_.size();
+  schedulers_.reserve(n);
+  fg_.resize(n);
+  delayed_.resize(n);
+  failed_.resize(n, false);
+  error_counts_.resize(n, 0);
+  if (options_.auditor != nullptr) {
+    sim_->set_auditor(options_.auditor);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto scheduler = MakeScheduler(options_.scheduler, options_.max_scan);
+    if (options_.auditor != nullptr) {
+      disks_[i]->SetAuditor(options_.auditor, static_cast<uint32_t>(i));
+      scheduler = MakeAuditedScheduler(std::move(scheduler), options_.auditor);
+    }
+    if (options_.fault_injector != nullptr) {
+      disks_[i]->SetFaultInjector(options_.fault_injector,
+                                  static_cast<uint32_t>(i));
+    }
+    if (options_.collector != nullptr) {
+      disks_[i]->SetTraceCollector(options_.collector,
+                                   static_cast<uint32_t>(i));
+    }
+    schedulers_.push_back(std::move(scheduler));
+  }
+}
+
+DriveSet::~DriveSet() { StopScrub(); }
+
+void DriveSet::StartScrub() {
+  if (options_.scrub_interval_us > 0 && scrub_event_ == 0) {
+    ScheduleScrubTick();
+  }
+}
+
+void DriveSet::StopScrub() {
+  if (scrub_event_ != 0) {
+    sim_->Cancel(scrub_event_);
+    scrub_event_ = 0;
+  }
+}
+
+void DriveSet::AddSpare(SimDisk* disk, AccessPredictor* predictor) {
+  MIMDRAID_CHECK(disk != nullptr);
+  MIMDRAID_CHECK(predictor != nullptr);
+  spares_.emplace_back(disk, predictor);
+}
+
+size_t DriveSet::TotalFgQueued() const {
+  size_t total = 0;
+  for (const auto& q : fg_) {
+    total += q.size();
+  }
+  return total;
+}
+
+size_t DriveSet::TotalDelayedQueued() const {
+  size_t total = 0;
+  for (const auto& q : delayed_) {
+    total += q.size();
+  }
+  return total;
+}
+
+bool DriveSet::AllDrivesQuiet() const {
+  for (size_t i = 0; i < disks_.size(); ++i) {
+    if (disks_[i]->busy() || !fg_[i].empty() || !delayed_[i].empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DriveSet::LiveDrivesQuiet() const {
+  for (size_t i = 0; i < disks_.size(); ++i) {
+    if (failed_[i]) {
+      continue;
+    }
+    if (disks_[i]->busy() || !fg_[i].empty() || !delayed_[i].empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void DriveSet::EnqueueFg(uint32_t slot, QueuedRequest entry) {
+  if (options_.auditor != nullptr) {
+    options_.auditor->OnEntryQueued(slot, entry.id, entry.delayed);
+  }
+  fg_[slot].push_back(std::move(entry));
+  if (options_.collector != nullptr) {
+    options_.collector->OnQueueDepth(slot, sim_->Now(), fg_[slot].size());
+  }
+}
+
+void DriveSet::EnqueueDelayed(uint32_t slot, QueuedRequest entry) {
+  if (options_.auditor != nullptr) {
+    options_.auditor->OnEntryQueued(slot, entry.id, entry.delayed);
+  }
+  delayed_[slot].push_back(std::move(entry));
+}
+
+void DriveSet::MaybeDispatch(uint32_t slot) {
+  if (failed_[slot] || disks_[slot]->busy()) {
+    return;
+  }
+  std::vector<QueuedRequest>& queue =
+      !fg_[slot].empty() ? fg_[slot] : delayed_[slot];
+  if (queue.empty()) {
+    return;
+  }
+  const bool from_fg = &queue == &fg_[slot];
+  ScheduleContext ctx;
+  ctx.now = sim_->Now();
+  ctx.predictor = predictors_[slot];
+  ctx.layout = &disks_[slot]->layout();
+  ctx.collector = options_.collector;
+  ctx.disk = slot;
+  const SchedulerPick pick = schedulers_[slot]->Pick(queue, ctx);
+  QueuedRequest entry = std::move(queue[pick.queue_index]);
+  queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick.queue_index));
+  if (options_.auditor != nullptr) {
+    options_.auditor->OnEntryDispatched(slot, entry.id);
+  }
+  if (options_.collector != nullptr && from_fg) {
+    options_.collector->OnQueueDepth(slot, sim_->Now(), fg_[slot].size());
+  }
+
+  client_->OnEntryDispatched(slot, entry);
+
+  // Non-positional schedulers (FCFS/LOOK/...) do not produce a prediction;
+  // compute one so head tracking and accuracy statistics work under every
+  // policy.
+  double predicted = pick.predicted_service_us;
+  if (predicted <= 0.0) {
+    predicted = predictors_[slot]
+                    ->Predict(sim_->Now(), pick.lba, entry.sectors,
+                              entry.op == DiskOp::kWrite)
+                    .total_us;
+  }
+  predictors_[slot]->OnDispatch(sim_->Now(), pick.lba, entry.sectors,
+                                entry.op == DiskOp::kWrite, predicted);
+  const uint64_t chosen_lba = pick.lba;
+  disks_[slot]->Start(
+      entry.op, chosen_lba, entry.sectors,
+      [this, slot, entry = std::move(entry), chosen_lba,
+       predicted](const DiskOpResult& result) {
+        predictors_[slot]->OnCompletion(result.completion_us, chosen_lba,
+                                        entry.sectors);
+        if (options_.collector != nullptr && result.ok()) {
+          options_.collector->OnPrediction(
+              slot, result.completion_us, predicted,
+              static_cast<double>(result.ServiceUs()));
+        }
+        HandleCompletion(slot, entry, chosen_lba, result);
+        MaybeDispatch(slot);
+      });
+}
+
+void DriveSet::HandleCompletion(uint32_t slot, const QueuedRequest& entry,
+                                uint64_t chosen_lba,
+                                const DiskOpResult& result) {
+  if (options_.auditor != nullptr) {
+    options_.auditor->OnEntryCompleted(slot, entry.id);
+  }
+  if (!result.ok()) {
+    // Open a fault record before any recovery: whoever retires the fault
+    // (engine-level command retry or the policy) must close it with exactly
+    // one resolution.
+    if (options_.auditor != nullptr) {
+      options_.auditor->OnIoFault(slot, entry.id);
+    }
+    CountFault(slot, result.status);
+  }
+
+  auto cit = command_done_.find(entry.id);
+  if (cit == command_done_.end()) {
+    client_->OnEntryComplete(slot, entry, chosen_lba, result);
+    return;
+  }
+  CommandDoneFn done = std::move(cit->second);
+  command_done_.erase(cit);
+  if (!result.ok() && result.status != IoStatus::kDiskFailed &&
+      entry.attempts + 1 < options_.retry.max_attempts && !failed_[slot]) {
+    // Transient error or timeout: retry the command after backoff with a
+    // fresh queue entry.
+    ++fstats_.retries_issued;
+    ResolveFault(entry.id, FaultResolution::kRetried, false);
+    ++pending_recovery_;
+    const DiskOp op = entry.op;
+    const uint32_t sectors = entry.sectors;
+    const uint32_t attempts = entry.attempts;
+    sim_->ScheduleAfter(options_.retry.BackoffUs(attempts),
+                        [this, slot, op, chosen_lba, sectors, attempts,
+                         done = std::move(done)]() mutable {
+                          --pending_recovery_;
+                          EnqueueCommand(slot, op, chosen_lba, sectors,
+                                         std::move(done), attempts + 1);
+                        });
+    return;
+  }
+  done(result, entry.id);
+}
+
+uint64_t DriveSet::EnqueueCommand(uint32_t slot, DiskOp op, uint64_t lba,
+                                  uint32_t sectors, CommandDoneFn done,
+                                  uint32_t attempts) {
+  if (failed_[slot]) {
+    // The slot died between planning and enqueue: complete with kDiskFailed
+    // through the event queue so callers re-plan from a clean stack.
+    CompleteDeferred([this, done = std::move(done)] {
+      DiskOpResult failure;
+      failure.status = IoStatus::kDiskFailed;
+      failure.start_us = sim_->Now();
+      failure.completion_us = sim_->Now();
+      done(failure, 0);
+    });
+    return 0;
+  }
+  QueuedRequest entry;
+  entry.id = next_entry_id_++;
+  entry.op = op;
+  entry.sectors = sectors;
+  entry.candidate_lbas = {lba};
+  entry.arrival_us = sim_->Now();
+  entry.attempts = attempts;
+  const uint64_t id = entry.id;
+  command_done_[id] = std::move(done);
+  EnqueueFg(slot, std::move(entry));
+  MaybeDispatch(slot);
+  return id;
+}
+
+void DriveSet::FailQueuedCommands(uint32_t slot) {
+  std::vector<QueuedRequest> drained;
+  drained.swap(fg_[slot]);
+  if (options_.collector != nullptr && !drained.empty()) {
+    options_.collector->OnQueueDepth(slot, sim_->Now(), 0);
+  }
+  DiskOpResult failure;
+  failure.status = IoStatus::kDiskFailed;
+  failure.start_us = sim_->Now();
+  failure.completion_us = sim_->Now();
+  for (QueuedRequest& entry : drained) {
+    if (options_.auditor != nullptr) {
+      options_.auditor->OnEntryCancelled(slot, entry.id);
+    }
+    auto it = command_done_.find(entry.id);
+    if (it == command_done_.end()) {
+      continue;
+    }
+    auto done = std::move(it->second);
+    command_done_.erase(it);
+    done(failure, 0);
+  }
+}
+
+void DriveSet::CountFault(uint32_t slot, IoStatus status) {
+  switch (status) {
+    case IoStatus::kMediaError:
+      ++fstats_.media_errors_seen;
+      break;
+    case IoStatus::kTimeout:
+      ++fstats_.timeouts_seen;
+      break;
+    case IoStatus::kDiskFailed:
+      ++fstats_.disk_failed_seen;
+      break;
+    default:
+      break;
+  }
+  if (failed_[slot]) {
+    return;  // already declared failed; no further escalation
+  }
+  if (status == IoStatus::kDiskFailed) {
+    AutoFail(slot);
+    return;
+  }
+  ++error_counts_[slot];
+  if (options_.disk_error_fail_threshold > 0 &&
+      error_counts_[slot] >= options_.disk_error_fail_threshold) {
+    AutoFail(slot);
+  }
+}
+
+void DriveSet::AutoFail(uint32_t slot) {
+  if (failed_[slot]) {
+    return;
+  }
+  failed_[slot] = true;
+  ++fstats_.auto_disk_failures;
+  if (options_.fault_injector != nullptr) {
+    // Threshold-triggered failures: make the verdict binding so the drive
+    // cannot half-work its way back into the array.
+    options_.fault_injector->FailStop(slot);
+  }
+  client_->OnSlotFailed(slot);
+  PromoteSpareIfAvailable(slot);
+}
+
+void DriveSet::PromoteSpareIfAvailable(uint32_t slot) {
+  if (spares_.empty() || !client_->SparePromotionAllowed(slot)) {
+    return;
+  }
+  auto [spare_disk, spare_predictor] = spares_.front();
+  spares_.erase(spares_.begin());
+  disks_[slot] = spare_disk;
+  predictors_[slot] = spare_predictor;
+  if (options_.auditor != nullptr) {
+    options_.auditor->OnDiskReplaced(slot);
+    spare_disk->SetAuditor(options_.auditor, slot);
+  }
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->ReplaceDisk(slot);
+    spare_disk->SetFaultInjector(options_.fault_injector, slot);
+  }
+  if (options_.collector != nullptr) {
+    spare_disk->SetTraceCollector(options_.collector, slot);
+  }
+  ++fstats_.spares_promoted;
+  client_->OnSparePromoted(slot);
+}
+
+void DriveSet::ScheduleRecovery(uint32_t attempt, std::function<void()> fn) {
+  ++pending_recovery_;
+  sim_->ScheduleAfter(options_.retry.BackoffUs(attempt),
+                      [this, fn = std::move(fn)]() {
+                        --pending_recovery_;
+                        fn();
+                      });
+}
+
+void DriveSet::CompleteDeferred(std::function<void()> fn) {
+  ++pending_recovery_;
+  sim_->ScheduleAfter(0, [this, fn = std::move(fn)]() {
+    --pending_recovery_;
+    fn();
+  });
+}
+
+void DriveSet::ResolveFault(uint64_t entry_id, FaultResolution resolution,
+                            bool target_disk_failed) {
+  if (options_.auditor != nullptr) {
+    options_.auditor->OnFaultResolved(entry_id, resolution,
+                                      target_disk_failed);
+  }
+}
+
+void DriveSet::ScheduleScrubTick() {
+  scrub_event_ = sim_->ScheduleAfter(options_.scrub_interval_us, [this]() {
+    scrub_event_ = 0;
+    ScrubTick();
+    ScheduleScrubTick();
+  });
+}
+
+void DriveSet::ScrubTick() {
+  // Idle-gating is the rate limit: a tick that finds any foreground or
+  // recovery work simply skips its turn.
+  if (pending_recovery_ > 0 || !client_->ScrubEligible() ||
+      !LiveDrivesQuiet()) {
+    return;
+  }
+  client_->ScrubStep();
+}
+
+}  // namespace mimdraid

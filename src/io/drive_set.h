@@ -1,0 +1,270 @@
+// The shared drive-pool engine underneath every array backend.
+//
+// Historically the mirror/SR-Array controller and the RAID-5 controller each
+// owned their own copy of the per-drive machinery: scheduler queues, the
+// dispatch loop, bounded retry with backoff, consecutive-error auto-fail,
+// fail-stop response, hot-spare promotion, the idle-gated scrub timer, and
+// the wiring of the three observer layers (InvariantAuditor, FaultInjector,
+// TraceCollector). DriveSet extracts that machinery once; a backend is now a
+// policy layer (mirror heuristics + delayed propagation on one side, parity
+// geometry + RMW planning on the other) speaking to the engine through the
+// DriveSetClient hooks below.
+//
+// Two usage styles coexist, matching the two controllers' historical shapes:
+//  * Raw entries: the policy allocates ids (AllocEntryId), builds
+//    QueuedRequest values, enqueues them (EnqueueFg/EnqueueDelayed), and gets
+//    every completion through DriveSetClient::OnEntryComplete. The engine does
+//    the observer bookkeeping and fault counting; recovery is entirely the
+//    policy's (the mirror path, whose retry unit is the *fragment*).
+//  * Commands: EnqueueCommand registers a per-entry done callback and the
+//    engine runs bounded retry with backoff for transient statuses itself,
+//    delivering only terminal results (the RAID-5 path, whose retry unit is
+//    the *disk command*).
+#ifndef MIMDRAID_SRC_IO_DRIVE_SET_H_
+#define MIMDRAID_SRC_IO_DRIVE_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/disk/access_predictor.h"
+#include "src/disk/sim_disk.h"
+#include "src/obs/trace_collector.h"
+#include "src/sched/queued_request.h"
+#include "src/sched/scheduler.h"
+#include "src/sim/auditor.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/io_status.h"
+#include "src/sim/simulator.h"
+#include "src/stats/fault_stats.h"
+
+namespace mimdraid {
+
+struct DriveSetOptions {
+  SchedulerKind scheduler = SchedulerKind::kSatf;
+  // Cap on SATF-class scan depth per dispatch (0 = whole queue).
+  size_t max_scan = 0;
+  // Observers. All borrowed; each must outlive the DriveSet. The engine wires
+  // them into the simulator, every disk, every per-drive scheduler, and every
+  // promoted spare; attaching any of them changes no scheduling decision.
+  InvariantAuditor* auditor = nullptr;
+  FaultInjector* fault_injector = nullptr;
+  TraceCollector* collector = nullptr;
+  // Bounded retry with exponential backoff, used by the engine for command
+  // execution and by policies for their own recovery timers.
+  RetryPolicy retry;
+  // Consecutive-error budget per slot before the engine declares the drive
+  // failed and promotes a hot spare (0 = never auto-fail on error count; an
+  // explicit kDiskFailed verdict always auto-fails).
+  uint32_t disk_error_fail_threshold = 0;
+  // Period of the background scrubber (0 = off). Each tick that finds every
+  // live drive quiet, no recovery timer armed, and the policy eligible
+  // (DriveSetClient::ScrubEligible) runs one policy-defined ScrubStep.
+  // Idle-gating is the rate limit: scrubbing never competes with foreground
+  // work.
+  SimTime scrub_interval_us = 0;
+};
+
+// Policy hooks a backend implements on top of the engine. Calls arrive
+// synchronously from inside the engine's dispatch/completion/failure paths.
+class DriveSetClient {
+ public:
+  virtual ~DriveSetClient() = default;
+
+  // An entry was picked and removed from a queue, observers notified, and is
+  // about to be predicted + started on the drive. The mirror policy cancels
+  // duplicate siblings here.
+  virtual void OnEntryDispatched(uint32_t /*disk*/,
+                                 const QueuedRequest& /*entry*/) {}
+
+  // A raw (non-command) entry completed. The engine has already run the
+  // observer bookkeeping and fault accounting (including a possible
+  // auto-fail); recovery policy for the entry is the client's.
+  virtual void OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
+                               uint64_t chosen_lba,
+                               const DiskOpResult& result) = 0;
+
+  // The engine fail-stopped `disk` (explicit kDiskFailed verdict or the
+  // consecutive-error threshold). The policy must dispose of the work it
+  // still has queued there (abandon propagations, reroute or fail entries);
+  // the engine touches no queue on this path. Called before any spare
+  // promotion.
+  virtual void OnSlotFailed(uint32_t disk) = 0;
+
+  // May the engine promote a hot spare into the failed slot right now? A
+  // policy with no redundancy to rebuild from says no.
+  virtual bool SparePromotionAllowed(uint32_t /*disk*/) { return true; }
+
+  // A spare took over `disk`'s slot (observers rewired, injector slot
+  // reset). The slot is still marked failed; the policy starts its rebuild,
+  // which clears the mark.
+  virtual void OnSparePromoted(uint32_t disk) = 0;
+
+  // Policy-level scrub gating beyond the engine's (no outstanding logical
+  // ops, no rebuild in progress, ...).
+  virtual bool ScrubEligible() const { return true; }
+
+  // Issue the next chunk of verification work. Called at most once per timer
+  // tick, only when the whole stack is idle.
+  virtual void ScrubStep() {}
+};
+
+class DriveSet {
+ public:
+  // Terminal result of a command, plus the id of the queue entry that carried
+  // it (0 for synthetic completions that never held a queue slot — enqueue on
+  // an already-failed drive, or a drain). A non-kOk result with a non-zero id
+  // has an open auditor fault record the policy must resolve exactly once
+  // (ResolveFault); the engine resolves the faults it retires itself
+  // (engine-level retries).
+  using CommandDoneFn = std::function<void(const DiskOpResult&, uint64_t)>;
+
+  // `disks` and `predictors` are parallel, same-size, borrowed. `client` is
+  // borrowed and must outlive the DriveSet; no hook is called from the
+  // constructor.
+  DriveSet(Simulator* sim, std::vector<SimDisk*> disks,
+           std::vector<AccessPredictor*> predictors, DriveSetClient* client,
+           const DriveSetOptions& options);
+
+  DriveSet(const DriveSet&) = delete;
+  DriveSet& operator=(const DriveSet&) = delete;
+
+  // Cancels the scrub timer. In-flight disk operations must have drained
+  // (their completion callbacks hold `this`).
+  ~DriveSet();
+
+  // --- Slots ---
+  size_t num_slots() const { return disks_.size(); }
+  Simulator* sim() { return sim_; }
+  SimDisk* disk(uint32_t slot) { return disks_[slot]; }
+  const SimDisk* disk(uint32_t slot) const { return disks_[slot]; }
+  AccessPredictor* predictor(uint32_t slot) { return predictors_[slot]; }
+  bool failed(uint32_t slot) const { return failed_[slot]; }
+  // Manual failure/replacement bookkeeping for policy-initiated transitions
+  // (FailDisk / Rebuild): flips the flag without stats, injector fail-stop,
+  // client hooks, or spare promotion.
+  void MarkFailed(uint32_t slot) { failed_[slot] = true; }
+  void MarkReplaced(uint32_t slot) { failed_[slot] = false; }
+  uint64_t error_count(uint32_t slot) const { return error_counts_[slot]; }
+
+  InvariantAuditor* auditor() { return options_.auditor; }
+  FaultInjector* fault_injector() { return options_.fault_injector; }
+  TraceCollector* collector() { return options_.collector; }
+  const DriveSetOptions& options() const { return options_; }
+  FaultRecoveryStats& fstats() { return fstats_; }
+  const FaultRecoveryStats& fstats() const { return fstats_; }
+
+  // --- Queues ---
+  // Queue conservation: every entry id comes from AllocEntryId, is reported
+  // queued once (EnqueueFg/EnqueueDelayed), and leaves exactly once — by
+  // dispatch or by a policy-side cancellation the policy reports to the
+  // auditor itself (the mutable refs exist for those paths: sibling
+  // cancellation, reroute-on-failure, delayed-table force-out).
+  uint64_t AllocEntryId() { return next_entry_id_++; }
+  std::vector<QueuedRequest>& fg(uint32_t slot) { return fg_[slot]; }
+  std::vector<QueuedRequest>& delayed(uint32_t slot) { return delayed_[slot]; }
+  const std::vector<QueuedRequest>& fg(uint32_t slot) const {
+    return fg_[slot];
+  }
+  const std::vector<QueuedRequest>& delayed(uint32_t slot) const {
+    return delayed_[slot];
+  }
+  void EnqueueFg(uint32_t slot, QueuedRequest entry);
+  void EnqueueDelayed(uint32_t slot, QueuedRequest entry);
+  // Picks and starts the next entry on `slot` if the drive is live and idle.
+  // Foreground entries always outrank delayed ones.
+  void MaybeDispatch(uint32_t slot);
+  size_t TotalFgQueued() const;
+  size_t TotalDelayedQueued() const;
+  // Every slot (failed included) idle with empty queues — the drive half of a
+  // backend's Idle().
+  bool AllDrivesQuiet() const;
+  // Like AllDrivesQuiet but failed slots are skipped (scrub gating).
+  bool LiveDrivesQuiet() const;
+
+  // --- Command execution (engine-run bounded retry) ---
+  // Queues one single-disk command. Transient failures (media error, timeout)
+  // are retried by the engine up to retry.max_attempts with backoff; `done`
+  // sees only kOk, a terminal transient failure, or kDiskFailed (after the
+  // engine has fail-stopped the slot). Enqueueing on an already-failed slot
+  // completes with a synthetic kDiskFailed through the event queue so callers
+  // re-plan from a clean stack. Returns the entry id (0 for that synthetic
+  // path).
+  uint64_t EnqueueCommand(uint32_t slot, DiskOp op, uint64_t lba,
+                          uint32_t sectors, CommandDoneFn done,
+                          uint32_t attempts = 0);
+  // Drains `slot`'s foreground queue, completing every still-queued command
+  // with a synthetic kDiskFailed (id 0). Non-command entries are cancelled
+  // with the auditor and dropped — policies that mix raw entries with
+  // commands must reroute their raw entries themselves.
+  void FailQueuedCommands(uint32_t slot);
+
+  // --- Failure response ---
+  // Declares `slot` failed in response to an error verdict: marks it, counts
+  // it, makes the injector verdict binding (FailStop), lets the policy
+  // dispose of queued work (OnSlotFailed), then promotes a hot spare if one
+  // is registered and the policy allows it. Idempotent.
+  void AutoFail(uint32_t slot);
+  // Registers a standby drive + predictor (borrowed). Wired to the observers
+  // only on promotion.
+  void AddSpare(SimDisk* disk, AccessPredictor* predictor);
+  size_t spares_available() const { return spares_.size(); }
+
+  // --- Recovery timers ---
+  // Runs `fn` after the retry backoff for `attempt`; pending_recovery() stays
+  // non-zero until every such timer has fired (backends fold it into Idle()).
+  void ScheduleRecovery(uint32_t attempt, std::function<void()> fn);
+  // Runs `fn` at the next event-queue turn (synthetic completions that must
+  // not run inside the caller's stack frame), bracketed the same way.
+  void CompleteDeferred(std::function<void()> fn);
+  size_t pending_recovery() const { return pending_recovery_; }
+
+  // Closes an open auditor fault record; a no-op without an auditor.
+  void ResolveFault(uint64_t entry_id, FaultResolution resolution,
+                    bool target_disk_failed);
+
+  // Arms the periodic scrub timer (no-op when scrub_interval_us == 0). Called
+  // by the backend after it finishes its own constructor-time scheduling so
+  // timer-creation order — and therefore same-timestamp tie-breaking — is
+  // identical to the pre-engine controllers.
+  void StartScrub();
+  // Cancels the periodic scrub timer (in-flight scrub work drains normally).
+  void StopScrub();
+
+ private:
+  void HandleCompletion(uint32_t slot, const QueuedRequest& entry,
+                        uint64_t chosen_lba, const DiskOpResult& result);
+  void CountFault(uint32_t slot, IoStatus status);
+  void PromoteSpareIfAvailable(uint32_t slot);
+  void ScheduleScrubTick();
+  void ScrubTick();
+
+  Simulator* sim_;
+  std::vector<SimDisk*> disks_;
+  std::vector<AccessPredictor*> predictors_;
+  DriveSetClient* client_;
+  DriveSetOptions options_;
+
+  std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  std::vector<std::vector<QueuedRequest>> fg_;
+  std::vector<std::vector<QueuedRequest>> delayed_;
+  uint64_t next_entry_id_ = 1;
+
+  // Registered command callbacks, keyed by entry id.
+  std::unordered_map<uint64_t, CommandDoneFn> command_done_;
+
+  std::vector<bool> failed_;
+  std::vector<uint64_t> error_counts_;
+  std::vector<std::pair<SimDisk*, AccessPredictor*>> spares_;
+  size_t pending_recovery_ = 0;
+  EventId scrub_event_ = 0;
+
+  FaultRecoveryStats fstats_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_IO_DRIVE_SET_H_

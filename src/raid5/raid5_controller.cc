@@ -1,6 +1,7 @@
 #include "src/raid5/raid5_controller.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "src/util/check.h"
@@ -14,6 +15,19 @@ IoStatus Worse(IoStatus a, IoStatus b) {
   return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
 }
 
+DriveSetOptions EngineOptions(const Raid5ControllerOptions& options) {
+  DriveSetOptions engine;
+  engine.scheduler = options.scheduler;
+  engine.max_scan = options.max_scan;
+  engine.auditor = options.auditor;
+  engine.fault_injector = options.fault_injector;
+  engine.collector = options.collector;
+  engine.retry = options.retry;
+  engine.disk_error_fail_threshold = options.disk_error_fail_threshold;
+  engine.scrub_interval_us = options.scrub_interval_us;
+  return engine;
+}
+
 }  // namespace
 
 Raid5Controller::Raid5Controller(Simulator* sim, std::vector<SimDisk*> disks,
@@ -21,90 +35,162 @@ Raid5Controller::Raid5Controller(Simulator* sim, std::vector<SimDisk*> disks,
                                  const Raid5Layout* layout,
                                  const Raid5ControllerOptions& options)
     : sim_(sim),
-      disks_(std::move(disks)),
-      predictors_(std::move(predictors)),
       layout_(layout),
       options_(options),
+      auditor_(options.auditor),
       collector_(options.collector) {
   MIMDRAID_CHECK(sim != nullptr);
   MIMDRAID_CHECK(layout != nullptr);
-  MIMDRAID_CHECK_EQ(disks_.size(), layout->num_disks());
-  MIMDRAID_CHECK_EQ(predictors_.size(), disks_.size());
-  const size_t n = disks_.size();
-  queues_.resize(n);
-  failed_.resize(n, false);
-  for (size_t i = 0; i < n; ++i) {
-    schedulers_.push_back(MakeScheduler(options.scheduler, options.max_scan));
-    disks_[i]->SetFaultInjector(options_.fault_injector,
-                                static_cast<uint32_t>(i));
-    if (collector_ != nullptr) {
-      disks_[i]->SetTraceCollector(collector_, static_cast<uint32_t>(i));
-    }
-  }
+  MIMDRAID_CHECK_EQ(disks.size(), layout->num_disks());
+  MIMDRAID_CHECK_EQ(predictors.size(), disks.size());
+  drives_ = std::make_unique<DriveSet>(sim, std::move(disks),
+                                       std::move(predictors),
+                                       static_cast<DriveSetClient*>(this),
+                                       EngineOptions(options));
+  drives_->StartScrub();
 }
+
+Raid5Controller::~Raid5Controller() = default;
 
 bool Raid5Controller::Idle() const {
-  if (!ops_.empty() || rebuilding_disk_ >= 0 || pending_recovery_ > 0) {
+  if (!ops_.empty() || rebuilding_disk_ >= 0 ||
+      drives_->pending_recovery() > 0) {
     return false;
   }
-  for (size_t i = 0; i < disks_.size(); ++i) {
-    if (disks_[i]->busy() || !queues_[i].empty()) {
-      return false;
-    }
-  }
-  return true;
+  return drives_->AllDrivesQuiet();
 }
 
-void Raid5Controller::FailDisk(uint32_t disk) {
-  MIMDRAID_CHECK_LT(disk, failed_.size());
-  if (failed_[disk]) {
+void Raid5Controller::AuditQuiescent() const {
+  if (auditor_ == nullptr) {
     return;
   }
-  failed_[disk] = true;
-  if (options_.fault_injector != nullptr) {
-    options_.fault_injector->FailStop(disk);
+  auditor_->CheckQuiescent(drives_->TotalFgQueued(),
+                           drives_->TotalDelayedQueued(),
+                           /*nvram_entries=*/0, /*stale_sectors=*/0,
+                           /*inflight_writes=*/0, /*parked_requests=*/0);
+}
+
+void Raid5Controller::ExportStats(StatsRegistry* registry) const {
+  MIMDRAID_CHECK(registry != nullptr);
+  ExportFaultStats(drives_->fstats(), registry);
+  registry->Set("raid5.reads_completed",
+                static_cast<double>(stats_.reads_completed));
+  registry->Set("raid5.writes_completed",
+                static_cast<double>(stats_.writes_completed));
+  registry->Set("raid5.rmw_writes", static_cast<double>(stats_.rmw_writes));
+  registry->Set("raid5.full_stripe_writes",
+                static_cast<double>(stats_.full_stripe_writes));
+  registry->Set("raid5.degraded_reads",
+                static_cast<double>(stats_.degraded_reads));
+  registry->Set("raid5.degraded_writes",
+                static_cast<double>(stats_.degraded_writes));
+  registry->Set("raid5.rebuilt_rows",
+                static_cast<double>(stats_.rebuilt_rows));
+}
+
+bool Raid5Controller::FailDisk(uint32_t disk) {
+  MIMDRAID_CHECK_LT(disk, drives_->num_slots());
+  if (drives_->failed(disk)) {
+    return true;
+  }
+  drives_->MarkFailed(disk);
+  if (drives_->fault_injector() != nullptr) {
+    drives_->fault_injector()->FailStop(disk);
   }
   // Outstanding queue entries for the failed disk cannot complete on it; they
   // are re-driven through their failure handlers (degraded service or
   // kUnrecoverable), exactly as on an auto-detected failure.
-  DrainQueue(disk);
+  drives_->FailQueuedCommands(disk);
+  return true;
 }
 
-void Raid5Controller::AutoFailDisk(uint32_t disk) {
-  if (failed_[disk]) {
+void Raid5Controller::OnEntryComplete(uint32_t /*disk*/,
+                                      const QueuedRequest& /*entry*/,
+                                      uint64_t /*chosen_lba*/,
+                                      const DiskOpResult& /*result*/) {
+  // Every RAID-5 sub-op registers a command callback with the engine; a
+  // completion falling through to the raw-entry hook means the command table
+  // lost an entry.
+  MIMDRAID_CHECK(false);
+}
+
+void Raid5Controller::OnSlotFailed(uint32_t disk) {
+  drives_->FailQueuedCommands(disk);
+}
+
+bool Raid5Controller::SparePromotionAllowed(uint32_t /*disk*/) {
+  return rebuilding_disk_ < 0;
+}
+
+void Raid5Controller::OnSparePromoted(uint32_t disk) {
+  // The spare holds no data yet: rebuild the slot from parity immediately.
+  // Fragments planned before promotion keep treating the slot as unusable
+  // (DiskUsable is rebuild-cursor aware), so service stays correct while the
+  // reconstruction streams.
+  Rebuild(disk, [this](const IoResult& r) {
+    if (r.status == IoStatus::kOk) {
+      ++fstats().spare_rebuilds_completed;
+    }
+  });
+}
+
+bool Raid5Controller::ScrubEligible() const {
+  return ops_.empty() && rebuilding_disk_ < 0;
+}
+
+void Raid5Controller::ScrubStep() {
+  const uint32_t rows = layout_->num_rows();
+  if (rows == 0) {
     return;
   }
-  failed_[disk] = true;
-  ++fstats_.auto_disk_failures;
-  if (options_.fault_injector != nullptr) {
-    options_.fault_injector->FailStop(disk);
+  if (scrub_cursor_ >= rows) {
+    scrub_cursor_ = 0;
+    ++fstats().scrub_sweeps_completed;
   }
-  DrainQueue(disk);
-}
-
-void Raid5Controller::DrainQueue(uint32_t disk) {
-  std::vector<QueuedRequest> drained;
-  drained.swap(queues_[disk]);
-  if (collector_ != nullptr && !drained.empty()) {
-    collector_->OnQueueDepth(disk, sim_->Now(), 0);
-  }
-  DiskOpResult failure;
-  failure.status = IoStatus::kDiskFailed;
-  failure.start_us = sim_->Now();
-  failure.completion_us = sim_->Now();
-  for (QueuedRequest& entry : drained) {
-    auto it = entry_done_.find(entry.id);
-    if (it == entry_done_.end()) {
+  const uint32_t row = scrub_cursor_++;
+  const uint32_t unit = layout_->stripe_unit_sectors();
+  const uint64_t lba = static_cast<uint64_t>(row) * unit;
+  for (uint32_t d = 0; d < layout_->num_disks(); ++d) {
+    if (!DiskUsable(d, row)) {
       continue;
     }
-    auto done = std::move(it->second);
-    entry_done_.erase(it);
-    done(failure);
+    EnqueueDiskOp(
+        d, DiskOp::kRead, lba, unit,
+        [this, d, lba, unit](const DiskOpResult& r, uint64_t id) {
+          ++fstats().scrub_reads;
+          if (r.ok()) {
+            return;
+          }
+          if (r.status == IoStatus::kMediaError && !drives_->failed(d)) {
+            // Latent sector error caught before a failure could turn it into
+            // data loss: rewrite the unit so the drive reallocates the bad
+            // sectors. The replacement data is reconstructible from the row
+            // peers read by this same sweep.
+            ++fstats().scrub_repairs;
+            ++fstats().repairs_queued;
+            EnqueueDiskOp(d, DiskOp::kWrite, lba, unit,
+                          [this](const DiskOpResult& w, uint64_t wid) {
+                            if (!w.ok()) {
+                              ResolveCommandFault(
+                                  wid, FaultResolution::kSurfaced,
+                                  w.status == IoStatus::kDiskFailed);
+                            }
+                          });
+            ResolveCommandFault(id, FaultResolution::kRepaired,
+                                /*target_disk_failed=*/false);
+            return;
+          }
+          const bool disk_failed = drives_->failed(d);
+          ResolveCommandFault(id,
+                              disk_failed ? FaultResolution::kAbandoned
+                                          : FaultResolution::kSurfaced,
+                              disk_failed);
+        });
   }
 }
 
 bool Raid5Controller::DiskUsable(uint32_t disk, uint32_t row) const {
-  if (!failed_[disk]) {
+  if (!drives_->failed(disk)) {
     if (rebuilding_disk_ == static_cast<int>(disk)) {
       return row < rebuilt_rows_;
     }
@@ -148,26 +234,33 @@ void Raid5Controller::SubmitReadFragment(uint64_t op_id,
 
   if (!force_degraded && DiskUsable(frag.data_disk, frag.row)) {
     work->phase_remaining = 1;
-    EnqueueDiskOp(frag.data_disk, DiskOp::kRead, frag.disk_lba, frag.sectors,
-                  [this, work](const DiskOpResult& r) {
-                    if (work->abandoned) {
-                      return;
-                    }
-                    if (r.ok()) {
-                      FragmentPhaseDone(work, r.completion_us, &r);
-                      return;
-                    }
-                    // Direct read failed past the retry budget: fail over to
-                    // peer reconstruction. A media error additionally queues
-                    // a repair rewrite once the data is back in hand.
-                    work->abandoned = true;
-                    NoteOpRecovery(work->op_id);
-                    ++fstats_.failovers;
-                    const bool repair = r.status == IoStatus::kMediaError &&
-                                        !failed_[work->frag.data_disk];
-                    SubmitReadFragment(work->op_id, work->frag,
-                                       /*force_degraded=*/true, repair);
-                  });
+    EnqueueDiskOp(
+        frag.data_disk, DiskOp::kRead, frag.disk_lba, frag.sectors,
+        [this, work](const DiskOpResult& r, uint64_t id) {
+          if (work->abandoned) {
+            if (!r.ok()) {
+              ResolveCommandFault(id, FaultResolution::kSurfaced,
+                                  r.status == IoStatus::kDiskFailed);
+            }
+            return;
+          }
+          if (r.ok()) {
+            FragmentPhaseDone(work, r.completion_us, &r);
+            return;
+          }
+          // Direct read failed past the retry budget: fail over to peer
+          // reconstruction. A media error additionally queues a repair
+          // rewrite once the data is back in hand.
+          work->abandoned = true;
+          NoteOpRecovery(work->op_id);
+          ++fstats().failovers;
+          const bool repair = r.status == IoStatus::kMediaError &&
+                              !drives_->failed(work->frag.data_disk);
+          ResolveCommandFault(id, FaultResolution::kFailedOver,
+                              drives_->failed(work->frag.data_disk));
+          SubmitReadFragment(work->op_id, work->frag,
+                             /*force_degraded=*/true, repair);
+        });
     return;
   }
 
@@ -190,16 +283,20 @@ void Raid5Controller::SubmitReadFragment(uint64_t op_id,
   work->degraded = true;
   work->phase_remaining = static_cast<int>(peers.size());
   ++stats_.degraded_reads;
-  ++fstats_.reconstructions;
+  ++fstats().reconstructions;
   for (uint32_t peer : peers) {
     EnqueueDiskOp(peer, DiskOp::kRead, frag.disk_lba, frag.sectors,
-                  [this, work](const DiskOpResult& r) {
+                  [this, work](const DiskOpResult& r, uint64_t id) {
+                    if (!r.ok()) {
+                      // A fault while reconstructing an already-missing
+                      // member: the loss is surfaced to the submitter.
+                      ResolveCommandFault(id, FaultResolution::kSurfaced,
+                                          r.status == IoStatus::kDiskFailed);
+                    }
                     if (work->abandoned) {
                       return;
                     }
                     if (!r.ok()) {
-                      // A fault while reconstructing an already-missing
-                      // member: unrecoverable.
                       work->status =
                           Worse(work->status, IoStatus::kUnrecoverable);
                     }
@@ -221,8 +318,12 @@ void Raid5Controller::SubmitWriteFragment(uint64_t op_id,
   const bool parity_ok = DiskUsable(frag.parity_disk, frag.row);
 
   // Shared handler for every read-phase sub-op of a write fragment.
-  auto read_cb = [this, work](const DiskOpResult& r) {
+  auto read_cb = [this, work](const DiskOpResult& r, uint64_t id) {
     if (work->abandoned) {
+      if (!r.ok()) {
+        ResolveCommandFault(id, FaultResolution::kSurfaced,
+                            r.status == IoStatus::kDiskFailed);
+      }
       return;
     }
     if (!r.ok()) {
@@ -230,6 +331,8 @@ void Raid5Controller::SubmitWriteFragment(uint64_t op_id,
         // Row membership changed under us: re-plan against the survivors.
         work->abandoned = true;
         NoteOpRecovery(work->op_id);
+        ResolveCommandFault(id, FaultResolution::kFailedOver,
+                            /*target_disk_failed=*/true);
         SubmitWriteFragment(work->op_id, work->frag, work->force_degraded);
         return;
       }
@@ -238,13 +341,17 @@ void Raid5Controller::SubmitWriteFragment(uint64_t op_id,
         // neither.
         work->abandoned = true;
         NoteOpRecovery(work->op_id);
-        ++fstats_.failovers;
+        ++fstats().failovers;
+        ResolveCommandFault(id, FaultResolution::kFailedOver,
+                            /*target_disk_failed=*/false);
         SubmitWriteFragment(work->op_id, work->frag, /*force_degraded=*/true);
         return;
       }
       // Already reconstructing and a peer unit is unreadable: the new parity
       // cannot be computed.
       work->status = Worse(work->status, IoStatus::kUnrecoverable);
+      ResolveCommandFault(id, FaultResolution::kSurfaced,
+                          /*target_disk_failed=*/false);
     }
     FragmentPhaseDone(work, r.completion_us, &r);
   };
@@ -298,7 +405,7 @@ void Raid5Controller::SubmitWriteFragment(uint64_t op_id,
     return;
   }
 
-  if (failed_[frag.data_disk] && failed_[frag.parity_disk]) {
+  if (drives_->failed(frag.data_disk) && drives_->failed(frag.parity_disk)) {
     // Both row members for this fragment are gone: nothing can be written.
     CompleteFragmentFailed(op_id, IoStatus::kUnrecoverable);
     return;
@@ -357,9 +464,15 @@ void Raid5Controller::FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
       // Reconstructed data in hand: rewrite the latent-bad sectors so the
       // drive reallocates them. Best-effort — if the rewrite fails the next
       // read simply degrades again.
-      ++fstats_.repairs_queued;
+      ++fstats().repairs_queued;
       EnqueueDiskOp(frag.data_disk, DiskOp::kWrite, frag.disk_lba,
-                    frag.sectors, [](const DiskOpResult&) {});
+                    frag.sectors,
+                    [this](const DiskOpResult& w, uint64_t id) {
+                      if (!w.ok()) {
+                        ResolveCommandFault(id, FaultResolution::kSurfaced,
+                                            w.status == IoStatus::kDiskFailed);
+                      }
+                    });
     }
     OpPartDone(work->op_id, completion, work->status, last);
     return;
@@ -374,8 +487,12 @@ void Raid5Controller::FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
   const bool data_ok = DiskUsable(frag.data_disk, frag.row);
   const bool parity_ok = DiskUsable(frag.parity_disk, frag.row);
   auto writes = std::make_shared<int>(0);
-  auto on_write = [this, work, writes](const DiskOpResult& r) {
+  auto on_write = [this, work, writes](const DiskOpResult& r, uint64_t id) {
     if (work->abandoned) {
+      if (!r.ok()) {
+        ResolveCommandFault(id, FaultResolution::kSurfaced,
+                            r.status == IoStatus::kDiskFailed);
+      }
       return;
     }
     if (!r.ok()) {
@@ -384,10 +501,14 @@ void Raid5Controller::FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
         // member is (re)written by the new plan.
         work->abandoned = true;
         NoteOpRecovery(work->op_id);
+        ResolveCommandFault(id, FaultResolution::kFailedOver,
+                            /*target_disk_failed=*/true);
         SubmitWriteFragment(work->op_id, work->frag, work->force_degraded);
         return;
       }
       work->status = Worse(work->status, IoStatus::kUnrecoverable);
+      ResolveCommandFault(id, FaultResolution::kSurfaced,
+                          /*target_disk_failed=*/false);
     }
     MIMDRAID_CHECK_GT(*writes, 0);
     if (--*writes == 0) {
@@ -446,7 +567,7 @@ void Raid5Controller::OpPartDone(uint64_t op_id, SimTime completion,
         ++stats_.writes_completed;
       }
     } else {
-      ++fstats_.unrecoverable_completions;
+      ++fstats().unrecoverable_completions;
     }
     if (collector_ != nullptr) {
       collector_->OnRequestComplete(op_id, out.status, out.completion_us,
@@ -462,11 +583,8 @@ void Raid5Controller::OpPartDone(uint64_t op_id, SimTime completion,
 }
 
 void Raid5Controller::CompleteFragmentFailed(uint64_t op_id, IoStatus status) {
-  ++pending_recovery_;
-  sim_->ScheduleAfter(0, [this, op_id, status] {
-    --pending_recovery_;
-    OpPartDone(op_id, sim_->Now(), status);
-  });
+  drives_->CompleteDeferred(
+      [this, op_id, status] { OpPartDone(op_id, sim_->Now(), status); });
 }
 
 void Raid5Controller::NoteOpRecovery(uint64_t op_id) {
@@ -476,130 +594,26 @@ void Raid5Controller::NoteOpRecovery(uint64_t op_id) {
   }
 }
 
-void Raid5Controller::CountFault(IoStatus status) {
-  switch (status) {
-    case IoStatus::kMediaError:
-      ++fstats_.media_errors_seen;
-      break;
-    case IoStatus::kTimeout:
-      ++fstats_.timeouts_seen;
-      break;
-    case IoStatus::kDiskFailed:
-      ++fstats_.disk_failed_seen;
-      break;
-    default:
-      break;
-  }
+void Raid5Controller::EnqueueDiskOp(uint32_t disk, DiskOp op, uint64_t lba,
+                                    uint32_t sectors,
+                                    DriveSet::CommandDoneFn done,
+                                    uint32_t attempts) {
+  drives_->EnqueueCommand(disk, op, lba, sectors, std::move(done), attempts);
 }
 
-void Raid5Controller::EnqueueDiskOp(
-    uint32_t disk, DiskOp op, uint64_t lba, uint32_t sectors,
-    std::function<void(const DiskOpResult&)> done, uint32_t attempts) {
-  if (failed_[disk]) {
-    // The slot died between planning and enqueue: complete with kDiskFailed
-    // through the event queue so callers re-plan from a clean stack.
-    ++pending_recovery_;
-    sim_->ScheduleAfter(0, [this, done] {
-      --pending_recovery_;
-      DiskOpResult failure;
-      failure.status = IoStatus::kDiskFailed;
-      failure.start_us = sim_->Now();
-      failure.completion_us = sim_->Now();
-      done(failure);
-    });
-    return;
+void Raid5Controller::ResolveCommandFault(uint64_t id,
+                                          FaultResolution resolution,
+                                          bool target_disk_failed) {
+  if (id != 0) {
+    drives_->ResolveFault(id, resolution, target_disk_failed);
   }
-  QueuedRequest entry;
-  entry.id = next_entry_id_++;
-  entry.op = op;
-  entry.sectors = sectors;
-  entry.candidate_lbas = {lba};
-  entry.arrival_us = sim_->Now();
-  entry.attempts = attempts;
-  entry_done_[entry.id] = std::move(done);
-  queues_[disk].push_back(std::move(entry));
-  if (collector_ != nullptr) {
-    collector_->OnQueueDepth(disk, sim_->Now(), queues_[disk].size());
-  }
-  MaybeDispatch(disk);
-}
-
-void Raid5Controller::MaybeDispatch(uint32_t disk) {
-  if (failed_[disk] || disks_[disk]->busy() || queues_[disk].empty()) {
-    return;
-  }
-  ScheduleContext ctx;
-  ctx.now = sim_->Now();
-  ctx.predictor = predictors_[disk];
-  ctx.layout = &disks_[disk]->layout();
-  ctx.collector = collector_;
-  ctx.disk = disk;
-  const SchedulerPick pick = schedulers_[disk]->Pick(queues_[disk], ctx);
-  QueuedRequest entry = std::move(queues_[disk][pick.queue_index]);
-  queues_[disk].erase(queues_[disk].begin() +
-                      static_cast<ptrdiff_t>(pick.queue_index));
-  if (collector_ != nullptr) {
-    collector_->OnQueueDepth(disk, sim_->Now(), queues_[disk].size());
-  }
-  double predicted = pick.predicted_service_us;
-  if (predicted <= 0.0) {
-    predicted = predictors_[disk]
-                    ->Predict(sim_->Now(), pick.lba, entry.sectors,
-                              entry.op == DiskOp::kWrite)
-                    .total_us;
-  }
-  predictors_[disk]->OnDispatch(sim_->Now(), pick.lba, entry.sectors,
-                                entry.op == DiskOp::kWrite, predicted);
-  const uint64_t entry_id = entry.id;
-  const uint64_t lba = pick.lba;
-  const uint32_t sectors = entry.sectors;
-  const DiskOp op = entry.op;
-  const uint32_t attempts = entry.attempts;
-  disks_[disk]->Start(
-      op, lba, sectors,
-      [this, disk, entry_id, lba, sectors, op,
-       attempts, predicted](const DiskOpResult& result) {
-        predictors_[disk]->OnCompletion(result.completion_us, lba, sectors);
-        if (collector_ != nullptr && result.ok()) {
-          collector_->OnPrediction(disk, result.completion_us, predicted,
-                                   static_cast<double>(result.ServiceUs()));
-        }
-        auto it = entry_done_.find(entry_id);
-        MIMDRAID_CHECK(it != entry_done_.end());
-        auto done = std::move(it->second);
-        entry_done_.erase(it);
-        if (!result.ok()) {
-          CountFault(result.status);
-          if (result.status == IoStatus::kDiskFailed) {
-            AutoFailDisk(disk);
-            done(result);
-          } else if (attempts + 1 < options_.retry.max_attempts &&
-                     !failed_[disk]) {
-            // Transient error or timeout: retry the command after backoff
-            // with a fresh queue entry.
-            ++fstats_.retries_issued;
-            ++pending_recovery_;
-            sim_->ScheduleAfter(
-                options_.retry.BackoffUs(attempts),
-                [this, disk, op, lba, sectors, attempts, done] {
-                  --pending_recovery_;
-                  EnqueueDiskOp(disk, op, lba, sectors, done, attempts + 1);
-                });
-          } else {
-            done(result);
-          }
-        } else {
-          done(result);
-        }
-        MaybeDispatch(disk);
-      });
 }
 
 void Raid5Controller::Rebuild(uint32_t disk, DoneFn done) {
-  MIMDRAID_CHECK(failed_[disk]);
-  failed_[disk] = false;  // the replacement drive is in the slot
-  if (options_.fault_injector != nullptr) {
-    options_.fault_injector->ReplaceDisk(disk);
+  MIMDRAID_CHECK(drives_->failed(disk));
+  drives_->MarkReplaced(disk);  // the replacement drive is in the slot
+  if (drives_->fault_injector() != nullptr) {
+    drives_->fault_injector()->ReplaceDisk(disk);
   }
   rebuilding_disk_ = static_cast<int>(disk);
   rebuilt_rows_ = 0;
@@ -625,7 +639,7 @@ void Raid5Controller::AbortRebuild(uint32_t disk) {
 void Raid5Controller::RebuildNextRow() {
   MIMDRAID_CHECK_GE(rebuilding_disk_, 0);
   const uint32_t disk = static_cast<uint32_t>(rebuilding_disk_);
-  if (failed_[disk]) {
+  if (drives_->failed(disk)) {
     // The replacement drive itself died.
     AbortRebuild(disk);
     return;
@@ -637,14 +651,14 @@ void Raid5Controller::RebuildNextRow() {
     const std::vector<uint32_t> peers = layout_->RowPeers(row, disk);
     bool peers_ok = !peers.empty();
     for (uint32_t peer : peers) {
-      if (failed_[peer]) {
+      if (drives_->failed(peer)) {
         peers_ok = false;
       }
     }
     if (!peers_ok) {
       // Another disk failed: this row cannot be reconstructed. Note the loss
       // and keep going — later faults must not wedge the rebuild.
-      ++fstats_.rebuild_fragments_lost;
+      ++fstats().rebuild_fragments_lost;
       ++rebuild_rows_lost_;
       ++rebuilt_rows_;
       continue;
@@ -652,39 +666,46 @@ void Raid5Controller::RebuildNextRow() {
     auto remaining = std::make_shared<int>(static_cast<int>(peers.size()));
     auto lost = std::make_shared<bool>(false);
     auto after_reads = [this, disk, lba, unit, remaining,
-                        lost](const DiskOpResult& r) {
+                        lost](const DiskOpResult& r, uint64_t id) {
       if (!r.ok()) {
+        ResolveCommandFault(id, FaultResolution::kSurfaced,
+                            r.status == IoStatus::kDiskFailed);
         *lost = true;
       }
       if (--*remaining > 0) {
         return;
       }
-      if (failed_[disk]) {
+      if (drives_->failed(disk)) {
         AbortRebuild(disk);
         return;
       }
       if (*lost) {
-        ++fstats_.rebuild_fragments_lost;
+        ++fstats().rebuild_fragments_lost;
         ++rebuild_rows_lost_;
         ++rebuilt_rows_;
         RebuildNextRow();
         return;
       }
-      EnqueueDiskOp(disk, DiskOp::kWrite, lba, unit,
-                    [this, disk](const DiskOpResult& w) {
-                      if (!w.ok() && failed_[disk]) {
-                        AbortRebuild(disk);
-                        return;
-                      }
-                      if (!w.ok()) {
-                        ++fstats_.rebuild_fragments_lost;
-                        ++rebuild_rows_lost_;
-                      } else {
-                        ++stats_.rebuilt_rows;
-                      }
-                      ++rebuilt_rows_;
-                      RebuildNextRow();
-                    });
+      EnqueueDiskOp(
+          disk, DiskOp::kWrite, lba, unit,
+          [this, disk](const DiskOpResult& w, uint64_t wid) {
+            if (!w.ok()) {
+              ResolveCommandFault(wid, FaultResolution::kSurfaced,
+                                  w.status == IoStatus::kDiskFailed);
+            }
+            if (!w.ok() && drives_->failed(disk)) {
+              AbortRebuild(disk);
+              return;
+            }
+            if (!w.ok()) {
+              ++fstats().rebuild_fragments_lost;
+              ++rebuild_rows_lost_;
+            } else {
+              ++stats_.rebuilt_rows;
+            }
+            ++rebuilt_rows_;
+            RebuildNextRow();
+          });
     };
     for (uint32_t peer : peers) {
       EnqueueDiskOp(peer, DiskOp::kRead, lba, unit, after_reads);

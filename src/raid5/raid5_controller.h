@@ -7,13 +7,20 @@
 //
 // Fault handling: every disk sub-operation carries an IoStatus. Transient
 // media errors and timeouts are retried a bounded number of times with
-// exponential backoff; a persistent media error on a direct read degrades the
-// fragment to peer reconstruction (and queues a repair rewrite so the drive
-// reallocates the bad sector); a kDiskFailed verdict fail-stops the slot and
-// re-plans affected fragments against the surviving row members. When a
-// fragment's data cannot be recovered (a second fault inside a reconstruction
-// set), the operation completes gracefully with IoStatus::kUnrecoverable —
-// the controller never crashes on a double failure.
+// exponential backoff by the shared DriveSet engine; a persistent media error
+// on a direct read degrades the fragment to peer reconstruction (and queues a
+// repair rewrite so the drive reallocates the bad sector); a kDiskFailed
+// verdict fail-stops the slot and re-plans affected fragments against the
+// surviving row members. When a fragment's data cannot be recovered (a second
+// fault inside a reconstruction set), the operation completes gracefully with
+// IoStatus::kUnrecoverable — the controller never crashes on a double
+// failure.
+//
+// The per-drive machinery — scheduler queues, dispatch, bounded retry, fault
+// counting, auto-fail, hot-spare promotion, the scrub timer, observer
+// wiring — lives in the shared DriveSet engine (src/io/drive_set.h); this
+// class is the parity *policy* over that engine and one of the two
+// ArrayBackend implementations.
 #ifndef MIMDRAID_SRC_RAID5_RAID5_CONTROLLER_H_
 #define MIMDRAID_SRC_RAID5_RAID5_CONTROLLER_H_
 
@@ -25,9 +32,12 @@
 
 #include "src/disk/access_predictor.h"
 #include "src/disk/sim_disk.h"
+#include "src/io/array_backend.h"
+#include "src/io/drive_set.h"
 #include "src/obs/trace_collector.h"
 #include "src/raid5/raid5_layout.h"
 #include "src/sched/scheduler.h"
+#include "src/sim/auditor.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/io_status.h"
 #include "src/sim/simulator.h"
@@ -38,6 +48,10 @@ namespace mimdraid {
 struct Raid5ControllerOptions {
   SchedulerKind scheduler = SchedulerKind::kSatf;
   size_t max_scan = 0;
+  // Debug tripwire: when set, the controller wires this runtime invariant
+  // auditor into the simulator, every disk, and every per-drive scheduler.
+  // Borrowed; must outlive the controller. Observes only.
+  InvariantAuditor* auditor = nullptr;
   // Optional fault injection: wired into every disk so media accesses can
   // fail. nullptr leaves the fault path dormant (every access returns kOk).
   FaultInjector* fault_injector = nullptr;
@@ -48,6 +62,16 @@ struct Raid5ControllerOptions {
   // Bounded retry with exponential backoff for transient errors and timeouts
   // on individual disk commands.
   RetryPolicy retry;
+  // Consecutive-error budget per disk before the engine declares the drive
+  // failed and promotes a hot spare (0 = never auto-fail on errors; an
+  // explicit kDiskFailed status always auto-fails).
+  uint32_t disk_error_fail_threshold = 0;
+  // Period of the background scrubber (0 = off). Each tick that finds the
+  // array otherwise idle reads every usable unit of the next parity row; a
+  // media error triggers a repair-rewrite of the unit (the data is logically
+  // reconstructible from the row peers read in the same pass). Idle-gating is
+  // the rate limit: scrubbing never competes with foreground work.
+  SimTime scrub_interval_us = 0;
 };
 
 struct Raid5Stats {
@@ -60,9 +84,9 @@ struct Raid5Stats {
   uint64_t rebuilt_rows = 0;
 };
 
-class Raid5Controller {
+class Raid5Controller : public ArrayBackend, private DriveSetClient {
  public:
-  using DoneFn = std::function<void(const IoResult&)>;
+  using DoneFn = ArrayBackend::DoneFn;
 
   Raid5Controller(Simulator* sim, std::vector<SimDisk*> disks,
                   std::vector<AccessPredictor*> predictors,
@@ -72,28 +96,65 @@ class Raid5Controller {
   Raid5Controller(const Raid5Controller&) = delete;
   Raid5Controller& operator=(const Raid5Controller&) = delete;
 
-  void Submit(DiskOp op, uint64_t lba, uint32_t sectors, DoneFn done);
+  ~Raid5Controller() override;
+
+  void Submit(DiskOp op, uint64_t lba, uint32_t sectors, DoneFn done) override;
+
+  // Logical capacity (parity excluded).
+  uint64_t dataset_sectors() const override {
+    return layout_->data_capacity_sectors();
+  }
 
   // Marks a disk failed: reads reconstruct from peers; writes maintain
   // parity. A second failure is survived gracefully — fragments that need
   // both missing disks complete with IoStatus::kUnrecoverable instead of
   // crashing; fragments whose members survive keep being served. Outstanding
-  // queue entries for the disk are re-driven against the survivors.
-  void FailDisk(uint32_t disk);
-  bool IsFailed(uint32_t disk) const { return failed_[disk]; }
+  // queue entries for the disk are re-driven against the survivors. Always
+  // returns true: rotated parity covers every single-disk loss.
+  bool FailDisk(uint32_t disk) override;
+  bool IsFailed(uint32_t disk) const override { return drives_->failed(disk); }
 
   // Reconstructs the (replaced) failed disk row by row; `done` fires when the
   // array is fully redundant again (status kOk), when rows were lost to
   // additional faults (kUnrecoverable), or when the replacement drive itself
   // failed mid-rebuild (kDiskFailed). Foreground traffic may continue; rows
   // not yet rebuilt keep being served degraded.
-  void Rebuild(uint32_t disk, DoneFn done);
-  bool RebuildInProgress() const { return rebuilding_disk_ >= 0; }
+  void Rebuild(uint32_t disk, DoneFn done) override;
+  bool RebuildInProgress() const override { return rebuilding_disk_ >= 0; }
+
+  // Registers a standby drive + predictor (borrowed) the engine promotes
+  // into a slot it fail-stops; the controller then rebuilds the slot row by
+  // row from parity.
+  void AddSpare(SimDisk* disk, AccessPredictor* predictor) override {
+    drives_->AddSpare(disk, predictor);
+  }
+  size_t spares_available() const override {
+    return drives_->spares_available();
+  }
 
   const Raid5Stats& stats() const { return stats_; }
-  const FaultRecoveryStats& fault_stats() const { return fstats_; }
+  const FaultRecoveryStats& fault_stats() const override {
+    return drives_->fstats();
+  }
+  uint64_t disk_error_count(uint32_t disk) const {
+    return drives_->error_count(disk);
+  }
   const Raid5Layout& layout() const { return *layout_; }
-  bool Idle() const;
+  bool Idle() const override;
+
+  // Publishes "fault.*" and "raid5.*" counters.
+  void ExportStats(StatsRegistry* registry) const override;
+
+  // Cancels the periodic scrub timer (in-flight scrub reads drain normally).
+  void StopScrub() override { drives_->StopScrub(); }
+  uint64_t scrub_sweeps_completed() const {
+    return drives_->fstats().scrub_sweeps_completed;
+  }
+
+  // Runs the auditor's terminal consistency check (queues empty, every fault
+  // record closed). Call once Idle() reports true; a no-op without an
+  // auditor.
+  void AuditQuiescent() const override;
 
  private:
   struct PendingOp {
@@ -135,15 +196,31 @@ class Raid5Controller {
     IoStatus status = IoStatus::kOk;
   };
 
+  // --- DriveSetClient hooks ---
+  // Every RAID-5 disk sub-op is an engine command; raw entries never reach
+  // the policy.
+  void OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
+                       uint64_t chosen_lba, const DiskOpResult& result) override;
+  void OnSlotFailed(uint32_t disk) override;
+  // One rebuild at a time: a promotion while another slot is rebuilding
+  // would clobber the rebuild cursor, so the spare stays pooled.
+  bool SparePromotionAllowed(uint32_t disk) override;
+  void OnSparePromoted(uint32_t disk) override;
+  bool ScrubEligible() const override;
+  // One scrub chunk: reads every usable unit of the next parity row.
+  void ScrubStep() override;
+
   void SubmitReadFragment(uint64_t op_id, const Raid5Fragment& frag,
                           bool force_degraded = false,
                           bool repair_on_success = false);
   void SubmitWriteFragment(uint64_t op_id, const Raid5Fragment& frag,
                            bool force_degraded = false);
   void EnqueueDiskOp(uint32_t disk, DiskOp op, uint64_t lba, uint32_t sectors,
-                     std::function<void(const DiskOpResult&)> done,
-                     uint32_t attempts = 0);
-  void MaybeDispatch(uint32_t disk);
+                     DriveSet::CommandDoneFn done, uint32_t attempts = 0);
+  // Closes the auditor fault record of a terminal command failure the policy
+  // is absorbing (a no-op for synthetic completions, id == 0).
+  void ResolveCommandFault(uint64_t id, FaultResolution resolution,
+                           bool target_disk_failed);
   // `last` is the disk sub-op result that produced `completion` (nullptr on
   // synthetic completions); it feeds the per-request service decomposition.
   void FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
@@ -155,46 +232,36 @@ class Raid5Controller {
   // event queue (never synchronously inside Submit).
   void CompleteFragmentFailed(uint64_t op_id, IoStatus status);
   void NoteOpRecovery(uint64_t op_id);
-  void CountFault(IoStatus status);
-  // Fail-stops a slot in response to a kDiskFailed verdict and re-drives its
-  // queued entries through their failure handlers.
-  void AutoFailDisk(uint32_t disk);
-  void DrainQueue(uint32_t disk);
   void AbortRebuild(uint32_t disk);
   // True if the disk is usable for the given row right now (alive, or
   // already rebuilt past it).
   bool DiskUsable(uint32_t disk, uint32_t row) const;
   void RebuildNextRow();
 
+  FaultRecoveryStats& fstats() { return drives_->fstats(); }
+
   Simulator* sim_;
-  std::vector<SimDisk*> disks_;
-  std::vector<AccessPredictor*> predictors_;
   const Raid5Layout* layout_;
   Raid5ControllerOptions options_;
+  InvariantAuditor* auditor_ = nullptr;
   TraceCollector* collector_ = nullptr;
 
-  std::vector<std::unique_ptr<Scheduler>> schedulers_;
-  std::vector<std::vector<QueuedRequest>> queues_;
-  std::unordered_map<uint64_t, std::function<void(const DiskOpResult&)>>
-      entry_done_;
-  uint64_t next_entry_id_ = 1;
+  // The shared drive-pool engine: queues, dispatch, bounded retry, fault
+  // counting, auto-fail, spares, the scrub timer.
+  std::unique_ptr<DriveSet> drives_;
 
   std::unordered_map<uint64_t, PendingOp> ops_;
   uint64_t next_op_id_ = 1;
 
-  std::vector<bool> failed_;
   // Rebuild progress: rows < rebuilt_rows_ of rebuilding_disk_ are valid.
   int rebuilding_disk_ = -1;
   uint32_t rebuilt_rows_ = 0;
   DoneFn rebuild_done_;
   uint64_t rebuild_rows_lost_ = 0;  // rows lost during the current rebuild
 
-  // Backoff timers and scheduled synthetic completions in flight; keeps
-  // Idle() false while recovery work is pending.
-  size_t pending_recovery_ = 0;
+  uint32_t scrub_cursor_ = 0;  // next parity row to sweep
 
   Raid5Stats stats_;
-  FaultRecoveryStats fstats_;
 };
 
 }  // namespace mimdraid

@@ -1,0 +1,389 @@
+// Backend conformance: the observable contract every ArrayBackend
+// implementation must honor, run against both backends (mirror and RAID-5)
+// over the shared DriveSet engine. Rigs come off the MimdRaid
+// backend-selection path — the same assembly the benches and experiments use
+// — with the invariant auditor attached throughout, so every scenario also
+// proves fault conservation (no failed sub-op is silently dropped).
+//
+// The contract under test:
+//   * healthy mixed I/O completes kOk, exactly once per op;
+//   * a tolerated explicit failure degrades service but never surfaces an
+//     intermediate status;
+//   * Rebuild() restores redundancy (IsFailed clears, service recovers);
+//   * transient faults are absorbed by the engine's retry machinery;
+//   * redundancy exhaustion surfaces kUnrecoverable — never a hang, never an
+//     intermediate status;
+//   * a detected fail-stop promotes a hot spare and auto-rebuilds onto it;
+//   * the idle scrub sweeper finds and repairs planted latent errors;
+//   * ExportStats publishes fault.* plus a backend-specific prefix.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/mimd_raid.h"
+#include "src/obs/stats_registry.h"
+#include "src/util/rng.h"
+
+namespace mimdraid {
+namespace {
+
+constexpr uint64_t kDataset = 2400;
+constexpr uint64_t kStepBudget = 30'000'000;
+
+struct RigConfig {
+  bool faults = false;
+  FaultInjectorOptions fault;
+  uint32_t disk_error_fail_threshold = 0;
+  uint32_t hot_spares = 0;
+  SimTime scrub_interval_us = 0;
+  InvariantAuditor* auditor = nullptr;
+  uint64_t seed = 5;
+};
+
+// Four small test drives for either backend: the mirror runs them as two
+// mirrored columns (2x1x2), RAID-5 as a 4-disk rotating-parity group.
+std::unique_ptr<MimdRaid> MakeArray(ArrayBackendKind kind,
+                                    const RigConfig& rig = {}) {
+  MimdRaidOptions options;
+  options.backend = kind;
+  if (kind == ArrayBackendKind::kMirror) {
+    options.aspect.ds = 2;
+    options.aspect.dr = 1;
+    options.aspect.dm = 2;
+  } else {
+    options.aspect.ds = 4;
+    options.aspect.dr = 1;
+    options.aspect.dm = 1;
+  }
+  options.scheduler = SchedulerKind::kSatf;
+  options.dataset_sectors = kDataset;
+  options.stripe_unit_sectors = 16;
+  options.geometry = MakeTestGeometry();
+  options.profile = MakeTestSeekProfile();
+  options.seed = rig.seed;
+  options.enable_fault_injection = rig.faults;
+  options.fault = rig.fault;
+  options.fault.seed = rig.seed;
+  options.disk_error_fail_threshold = rig.disk_error_fail_threshold;
+  options.hot_spares = rig.hot_spares;
+  options.scrub_interval_us = rig.scrub_interval_us;
+  options.auditor = rig.auditor;
+  return std::make_unique<MimdRaid>(options);
+}
+
+struct IoTally {
+  int done = 0;
+  int ok = 0;
+  int unrecoverable = 0;
+  int intermediate = 0;  // must stay zero: the contract's core clause
+};
+
+// Submits `ops` random operations and pumps the simulator until all have
+// completed exactly once.
+void RunMix(MimdRaid* array, int ops, uint64_t seed, double read_frac,
+            IoTally* tally) {
+  Rng rng(seed);
+  std::vector<int> completions(ops, 0);
+  for (int i = 0; i < ops; ++i) {
+    const uint32_t sectors = 1 + static_cast<uint32_t>(rng.UniformU64(24));
+    const uint64_t lba =
+        rng.UniformU64(array->backend().dataset_sectors() - sectors);
+    const DiskOp op =
+        rng.Bernoulli(read_frac) ? DiskOp::kRead : DiskOp::kWrite;
+    array->backend().Submit(op, lba, sectors, [tally, &completions,
+                                               i](const IoResult& r) {
+      ++completions[i];
+      ++tally->done;
+      switch (r.status) {
+        case IoStatus::kOk:
+          ++tally->ok;
+          break;
+        case IoStatus::kUnrecoverable:
+          ++tally->unrecoverable;
+          break;
+        default:
+          ++tally->intermediate;
+          ADD_FAILURE() << "op " << i << " surfaced intermediate status "
+                        << IoStatusName(r.status);
+      }
+    });
+    if (rng.Bernoulli(0.3)) {
+      array->sim().RunUntil(array->sim().Now() +
+                            static_cast<SimTime>(rng.UniformU64(10'000)));
+    }
+  }
+  uint64_t steps = 0;
+  while (tally->done < ops) {
+    ASSERT_TRUE(array->sim().Step()) << "simulator ran dry";
+    ASSERT_LT(++steps, kStepBudget) << "completions lost";
+  }
+  for (int i = 0; i < ops; ++i) {
+    ASSERT_EQ(completions[i], 1) << "op " << i;
+  }
+}
+
+// Stops the scrubber and drains the backend to full quiescence.
+void DrainAll(MimdRaid* array) {
+  array->backend().StopScrub();
+  uint64_t steps = 0;
+  while ((!array->backend().Idle() || array->backend().RebuildInProgress()) &&
+         array->sim().Step()) {
+    ASSERT_LT(++steps, kStepBudget) << "drain wedged";
+  }
+  EXPECT_TRUE(array->backend().Idle());
+}
+
+// Plants a persistent latent sector error under logical `lba` on one
+// redundancy-covered copy (the other copies keep the data recoverable).
+void PlantLatentError(MimdRaid* array, uint64_t lba) {
+  FaultInjector* injector = array->fault_injector();
+  ASSERT_NE(injector, nullptr);
+  if (array->backend_kind() == ArrayBackendKind::kMirror) {
+    for (const ArrayFragment& f : array->layout().Map(lba, 1)) {
+      injector->InjectLatentError(f.replicas[0].disk, f.replicas[0].lba);
+    }
+  } else {
+    for (const Raid5Fragment& f : array->raid5_layout().Map(lba, 1)) {
+      injector->InjectLatentError(f.data_disk, f.disk_lba);
+    }
+  }
+}
+
+class BackendConformance
+    : public ::testing::TestWithParam<ArrayBackendKind> {};
+
+TEST_P(BackendConformance, HealthyMixedIoCompletesOk) {
+  InvariantAuditor auditor;
+  RigConfig rig;
+  rig.auditor = &auditor;
+  auto array = MakeArray(GetParam(), rig);
+  IoTally tally;
+  RunMix(array.get(), 200, 11, 0.6, &tally);
+  DrainAll(array.get());
+  EXPECT_EQ(tally.ok, 200);
+  EXPECT_EQ(tally.unrecoverable, 0);
+  EXPECT_EQ(tally.intermediate, 0);
+  EXPECT_EQ(array->backend().fault_stats().TotalFaultsSeen(), 0u);
+  array->backend().AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+  EXPECT_GT(auditor.checks_run(), 0u);
+}
+
+TEST_P(BackendConformance, DegradedIoSurvivesToleratedFailure) {
+  InvariantAuditor auditor;
+  RigConfig rig;
+  rig.auditor = &auditor;
+  auto array = MakeArray(GetParam(), rig);
+  ASSERT_TRUE(array->backend().FailDisk(0));
+  EXPECT_TRUE(array->backend().IsFailed(0));
+  IoTally tally;
+  RunMix(array.get(), 150, 23, 0.6, &tally);
+  DrainAll(array.get());
+  EXPECT_EQ(tally.ok, 150) << "single tolerated failure must not lose data";
+  EXPECT_EQ(tally.intermediate, 0);
+  array->backend().AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+}
+
+TEST_P(BackendConformance, RebuildRestoresRedundancy) {
+  InvariantAuditor auditor;
+  RigConfig rig;
+  rig.auditor = &auditor;
+  auto array = MakeArray(GetParam(), rig);
+  // Dirty the array, lose a disk, serve degraded, then rebuild in place.
+  IoTally warm;
+  RunMix(array.get(), 60, 31, 0.4, &warm);
+  DrainAll(array.get());
+  ASSERT_TRUE(array->backend().FailDisk(0));
+  IoTally degraded;
+  RunMix(array.get(), 60, 37, 0.6, &degraded);
+  DrainAll(array.get());
+
+  bool rebuilt = false;
+  IoResult rebuild_result;
+  array->backend().Rebuild(0, [&](const IoResult& r) {
+    rebuild_result = r;
+    rebuilt = true;
+  });
+  uint64_t steps = 0;
+  while (!rebuilt) {
+    ASSERT_TRUE(array->sim().Step());
+    ASSERT_LT(++steps, kStepBudget) << "rebuild wedged";
+  }
+  EXPECT_EQ(rebuild_result.status, IoStatus::kOk);
+  EXPECT_FALSE(array->backend().IsFailed(0));
+  DrainAll(array.get());
+  EXPECT_FALSE(array->backend().RebuildInProgress());
+
+  IoTally healthy;
+  RunMix(array.get(), 60, 41, 0.6, &healthy);
+  DrainAll(array.get());
+  EXPECT_EQ(healthy.ok, 60);
+  array->backend().AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+}
+
+TEST_P(BackendConformance, TransientFaultsAreAbsorbedByRetry) {
+  InvariantAuditor auditor;
+  RigConfig rig;
+  rig.auditor = &auditor;
+  rig.faults = true;
+  rig.fault.transient_error_prob = 0.05;
+  rig.fault.timeout_prob = 0.01;
+  rig.fault.watchdog_timeout_us = 50'000;
+  auto array = MakeArray(GetParam(), rig);
+  IoTally tally;
+  RunMix(array.get(), 200, 43, 0.6, &tally);
+  DrainAll(array.get());
+  EXPECT_EQ(tally.intermediate, 0);
+  EXPECT_EQ(tally.done, 200);
+  const FaultRecoveryStats& fs = array->backend().fault_stats();
+  EXPECT_GT(fs.TotalFaultsSeen(), 0u) << "fault mix injected nothing";
+  EXPECT_GT(fs.retries_issued, 0u);
+  array->backend().AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+}
+
+TEST_P(BackendConformance, RedundancyExhaustionSurfacesUnrecoverable) {
+  InvariantAuditor auditor;
+  RigConfig rig;
+  rig.auditor = &auditor;
+  auto array = MakeArray(GetParam(), rig);
+  // Take out two disks that share redundancy: for the mirror, both copies of
+  // logical block 0's column; for RAID-5, any two disks.
+  uint32_t first = 0;
+  uint32_t second = 1;
+  if (GetParam() == ArrayBackendKind::kMirror) {
+    const std::vector<ArrayFragment> frags = array->layout().Map(0, 1);
+    ASSERT_GE(frags[0].replicas.size(), 2u);
+    first = frags[0].replicas[0].disk;
+    second = frags[0].replicas[1].disk;
+  }
+  ASSERT_TRUE(array->backend().FailDisk(first));
+  ASSERT_TRUE(array->backend().FailDisk(second));
+  IoTally tally;
+  RunMix(array.get(), 120, 47, 0.6, &tally);
+  DrainAll(array.get());
+  EXPECT_EQ(tally.intermediate, 0)
+      << "exhausted redundancy must surface kUnrecoverable, nothing else";
+  EXPECT_GT(tally.unrecoverable, 0) << "two shared-redundancy disks lost "
+                                       "but nothing surfaced as data loss";
+  EXPECT_GT(array->backend().fault_stats().unrecoverable_completions, 0u);
+  array->backend().AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+}
+
+TEST_P(BackendConformance, DetectedFailStopPromotesSpareAndRebuilds) {
+  InvariantAuditor auditor;
+  RigConfig rig;
+  rig.auditor = &auditor;
+  rig.faults = true;
+  rig.hot_spares = 1;
+  auto array = MakeArray(GetParam(), rig);
+  EXPECT_EQ(array->backend().spares_available(), 1u);
+  array->fault_injector()->FailStop(0);
+  // Writes across the whole dataset guarantee the dead drive is touched, so
+  // the engine detects the fail-stop, promotes the spare into the slot, and
+  // kicks off the automatic rebuild.
+  IoTally tally;
+  RunMix(array.get(), 150, 53, 0.0, &tally);
+  DrainAll(array.get());
+  EXPECT_EQ(tally.intermediate, 0);
+  EXPECT_EQ(tally.ok, 150) << "spare-backed failure must not lose writes";
+  const FaultRecoveryStats& fs = array->backend().fault_stats();
+  EXPECT_EQ(fs.spares_promoted, 1u);
+  EXPECT_EQ(fs.spare_rebuilds_completed, 1u);
+  EXPECT_EQ(array->backend().spares_available(), 0u);
+  EXPECT_FALSE(array->backend().IsFailed(0))
+      << "auto-rebuild onto the promoted spare must clear the failed flag";
+  array->backend().AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+}
+
+TEST_P(BackendConformance, IdleScrubRepairsPlantedLatentErrors) {
+  InvariantAuditor auditor;
+  RigConfig rig;
+  rig.auditor = &auditor;
+  rig.faults = true;
+  rig.scrub_interval_us = 20'000;
+  auto array = MakeArray(GetParam(), rig);
+  PlantLatentError(array.get(), 100);
+  PlantLatentError(array.get(), 800);
+  PlantLatentError(array.get(), 1600);
+  // No foreground work at all: only the idle sweeper touches the drives.
+  array->sim().RunUntil(array->sim().Now() + 4'000'000);
+  DrainAll(array.get());
+  const FaultRecoveryStats& fs = array->backend().fault_stats();
+  EXPECT_GT(fs.scrub_reads, 0u) << "scrub sweeper never ran";
+  EXPECT_GE(fs.scrub_repairs, 3u) << "planted latent errors not repaired";
+  // The repairs rewrote the bad copies: a fresh sweep finds nothing new.
+  array->backend().AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+  EXPECT_GT(auditor.checks_run(), 0u);
+}
+
+TEST_P(BackendConformance, ExportStatsPublishesFaultAndBackendCounters) {
+  auto array = MakeArray(GetParam());
+  IoTally tally;
+  RunMix(array.get(), 80, 59, 0.5, &tally);
+  DrainAll(array.get());
+  StatsRegistry registry;
+  array->backend().ExportStats(&registry);
+  // The policy-independent fault block is always present...
+  EXPECT_TRUE(registry.Contains("fault.retries_issued"));
+  EXPECT_TRUE(registry.Contains("fault.failovers"));
+  EXPECT_TRUE(registry.Contains("fault.scrub_reads"));
+  EXPECT_TRUE(registry.Contains("fault.spares_promoted"));
+  // ...plus the backend's own prefix with real traffic behind it.
+  const std::string prefix = GetParam() == ArrayBackendKind::kMirror
+                                 ? "array.reads_completed"
+                                 : "raid5.reads_completed";
+  EXPECT_TRUE(registry.Contains(prefix));
+  EXPECT_GT(registry.Get(prefix), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendConformance,
+    ::testing::Values(ArrayBackendKind::kMirror, ArrayBackendKind::kRaid5),
+    [](const ::testing::TestParamInfo<ArrayBackendKind>& param) {
+      return param.param == ArrayBackendKind::kMirror ? "Mirror" : "Raid5";
+    });
+
+// ---------------------------------------------------------------------------
+// Corruption injection: the negative control for the auditor wiring. A
+// healthy RAID-5 run passes the terminal check; a deliberately orphaned
+// fault record (a failed sub-op the policy never resolves — the bug class
+// the fault-conservation invariant exists to catch) must trip it.
+// ---------------------------------------------------------------------------
+
+TEST(BackendConformance, AuditorCatchesOrphanedFaultRecordOnRaid5) {
+  InvariantAuditor auditor;
+  std::vector<std::string> messages;
+  auditor.set_failure_handler(
+      [&](const std::string& m) { messages.push_back(m); });
+  RigConfig rig;
+  rig.auditor = &auditor;
+  auto array = MakeArray(ArrayBackendKind::kRaid5, rig);
+  IoTally tally;
+  RunMix(array.get(), 60, 61, 0.6, &tally);
+  DrainAll(array.get());
+  // Positive control: the real run is clean.
+  array->backend().AuditQuiescent();
+  ASSERT_EQ(auditor.violations(), 0u);
+
+  // Seeded corruption: report a disk sub-op failure that no recovery path
+  // ever resolves, then claim quiescence.
+  auditor.OnIoFault(/*disk=*/2, /*entry_id=*/0xDEADBEEF);
+  array->backend().AuditQuiescent();
+  EXPECT_GE(auditor.violations(), 1u)
+      << "orphaned fault record passed the terminal consistency check";
+  ASSERT_FALSE(messages.empty());
+  EXPECT_NE(messages.back().find("fault"), std::string::npos)
+      << "violation message does not identify the fault leak: "
+      << messages.back();
+}
+
+}  // namespace
+}  // namespace mimdraid

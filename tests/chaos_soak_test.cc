@@ -7,27 +7,25 @@
 // consistency check, and the whole run must be bit-for-bit reproducible for
 // a given seed.
 //
+// Both rigs come off the MimdRaid backend-selection path and run the same
+// DriveSet engine underneath; the soaks here are the parity check that the
+// mirror policy and the RAID-5 policy drive the shared
+// retry/auto-fail/spare-promotion/scrub machinery equally hard.
+//
 // Environment knobs (CI):
 //   MIMDRAID_CHAOS_SEED     — run a single seed instead of the fixed three.
+//   MIMDRAID_CHAOS_BACKEND  — "mirror" or "raid5": run only that backend's
+//                             soaks (CI matrixes chaos across backends).
 //   MIMDRAID_CHAOS_SUMMARY  — append per-seed fault/recovery counter summaries
 //                             to this file (uploaded as a CI artifact).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <fstream>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "src/array/array_layout.h"
-#include "src/array/controller.h"
-#include "src/calib/predictor.h"
-#include "src/disk/sim_disk.h"
-#include "src/raid5/raid5_controller.h"
-#include "src/raid5/raid5_layout.h"
-#include "src/sim/auditor.h"
-#include "src/sim/fault_injector.h"
-#include "src/sim/simulator.h"
+#include "src/core/mimd_raid.h"
 #include "src/util/rng.h"
 
 namespace mimdraid {
@@ -40,6 +38,12 @@ std::vector<uint64_t> ChaosSeeds() {
     return {std::strtoull(env, nullptr, 10)};
   }
   return {std::begin(kDefaultSeeds), std::end(kDefaultSeeds)};
+}
+
+// True when MIMDRAID_CHAOS_BACKEND is unset or names `backend`.
+bool BackendSelected(const char* backend) {
+  const char* env = std::getenv("MIMDRAID_CHAOS_BACKEND");
+  return env == nullptr || std::string(env) == backend;
 }
 
 void AppendSummary(const std::string& header, const FaultRecoveryStats& fstats,
@@ -75,6 +79,27 @@ struct ChaosDigest {
   }
 };
 
+// Chaos rig shared by both backends: small test drives, the full fault mix,
+// auditor, error-threshold auto-fail, one hot spare, and the scrub sweeper.
+MimdRaidOptions ChaosOptions(ArrayBackendKind backend, uint64_t seed,
+                             InvariantAuditor* auditor) {
+  MimdRaidOptions options;
+  options.backend = backend;
+  options.dataset_sectors = 2400;
+  options.stripe_unit_sectors = 16;
+  options.geometry = MakeTestGeometry();
+  options.profile = MakeTestSeekProfile();
+  options.seed = seed;
+  options.enable_fault_injection = true;
+  options.fault.seed = seed;
+  options.fault.watchdog_timeout_us = 50'000;
+  options.disk_error_fail_threshold = 6;
+  options.scrub_interval_us = 100'000;
+  options.hot_spares = 1;
+  options.auditor = auditor;
+  return options;
+}
+
 // ---------------------------------------------------------------------------
 // Mirrored-array chaos.
 // ---------------------------------------------------------------------------
@@ -84,52 +109,26 @@ void RunMirrorChaos(uint64_t seed, bool write_summary, ChaosDigest* out) {
   constexpr int kOps = 600;
   constexpr uint64_t kStepBudget = 30'000'000;
 
-  Simulator sim;
-  ArrayAspect aspect;
-  aspect.ds = 2;
-  aspect.dr = 1;
-  aspect.dm = 2;
-  const int d = aspect.TotalDisks();
-
-  FaultInjectorOptions fopts;
-  fopts.seed = seed;
-  fopts.latent_error_prob = 0.002;
-  fopts.transient_error_prob = 0.004;
-  fopts.timeout_prob = 0.002;
-  fopts.watchdog_timeout_us = 50'000;
-  FaultInjector injector(fopts);
-
-  std::vector<std::unique_ptr<SimDisk>> disks;
-  std::vector<std::unique_ptr<AccessPredictor>> preds;
-  std::vector<SimDisk*> dptr;
-  std::vector<AccessPredictor*> pptr;
-  for (int i = 0; i < d + 1; ++i) {  // one hot spare
-    disks.push_back(std::make_unique<SimDisk>(
-        &sim, MakeTestGeometry(), MakeTestSeekProfile(),
-        DiskNoiseModel::None(), 61 + i, i * 777.0));
-    preds.push_back(std::make_unique<OraclePredictor>(disks.back().get(), 0.0));
-    if (i < d) {
-      dptr.push_back(disks.back().get());
-      pptr.push_back(preds.back().get());
-    }
-  }
-  ArrayLayout layout(&disks[0]->layout(), aspect, 16, kDataset);
-
   InvariantAuditor auditor;
-  ArrayControllerOptions copts;
-  copts.auditor = &auditor;
-  copts.fault_injector = &injector;
-  copts.disk_error_fail_threshold = 6;
-  copts.scrub_interval_us = 100'000;
-  ArrayController controller(&sim, dptr, pptr, &layout, copts);
-  controller.AddSpare(disks[d].get(), preds[d].get());
+  MimdRaidOptions options =
+      ChaosOptions(ArrayBackendKind::kMirror, seed, &auditor);
+  options.aspect.ds = 2;
+  options.aspect.dr = 1;
+  options.aspect.dm = 2;
+  options.fault.latent_error_prob = 0.002;
+  options.fault.transient_error_prob = 0.004;
+  options.fault.timeout_prob = 0.002;
+  MimdRaid array(options);
+  Simulator& sim = array.sim();
+  ArrayController& controller = array.controller();
+  FaultInjector& injector = *array.fault_injector();
 
   // Seed a few guaranteed latent errors so the scrubber and failover paths
   // have deterministic work even if the stochastic mix comes up quiet.
   Rng rng(seed);
   for (int i = 0; i < 4; ++i) {
     const uint64_t lba = rng.UniformU64(kDataset - 4);
-    for (const ArrayFragment& f : layout.Map(lba, 1)) {
+    for (const ArrayFragment& f : array.layout().Map(lba, 1)) {
       injector.InjectLatentError(f.replicas[0].disk, f.replicas[0].lba);
     }
   }
@@ -201,6 +200,9 @@ void RunMirrorChaos(uint64_t seed, bool write_summary, ChaosDigest* out) {
 }
 
 TEST(ChaosSoak, MirroredArraySurvivesRandomFaultMix) {
+  if (!BackendSelected("mirror")) {
+    GTEST_SKIP() << "MIMDRAID_CHAOS_BACKEND selects another backend";
+  }
   for (const uint64_t seed : ChaosSeeds()) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     ChaosDigest digest;
@@ -209,6 +211,9 @@ TEST(ChaosSoak, MirroredArraySurvivesRandomFaultMix) {
 }
 
 TEST(ChaosSoak, MirrorRunIsDeterministicForSeed) {
+  if (!BackendSelected("mirror")) {
+    GTEST_SKIP() << "MIMDRAID_CHAOS_BACKEND selects another backend";
+  }
   const uint64_t seed = ChaosSeeds().front();
   ChaosDigest a;
   ChaosDigest b;
@@ -218,112 +223,161 @@ TEST(ChaosSoak, MirrorRunIsDeterministicForSeed) {
 }
 
 // ---------------------------------------------------------------------------
-// RAID-5 chaos: stochastic faults plus a mid-run fail-stop, then a rebuild.
+// RAID-5 chaos: stochastic faults plus a mid-run fail-stop, with the same
+// engine feature set as the mirror soak — auditor, error-threshold
+// auto-fail, a hot spare (promotion + automatic rebuild), and the scrub
+// sweeper.
 // ---------------------------------------------------------------------------
 
-TEST(ChaosSoak, Raid5SurvivesFaultMixWithMidRunFailStop) {
-  for (const uint64_t seed : ChaosSeeds()) {
-    SCOPED_TRACE("seed " + std::to_string(seed));
-    constexpr int kOps = 400;
-    constexpr uint64_t kStepBudget = 30'000'000;
+void RunRaid5Chaos(uint64_t seed, bool write_summary, ChaosDigest* out) {
+  constexpr uint32_t kDisks = 5;
+  constexpr int kOps = 400;
+  constexpr uint64_t kStepBudget = 30'000'000;
 
-    Simulator sim;
-    FaultInjectorOptions fopts;
-    fopts.seed = seed;
-    fopts.latent_error_prob = 0.001;
-    fopts.transient_error_prob = 0.003;
-    fopts.timeout_prob = 0.002;
-    fopts.watchdog_timeout_us = 50'000;
-    FaultInjector injector(fopts);
+  InvariantAuditor auditor;
+  MimdRaidOptions options =
+      ChaosOptions(ArrayBackendKind::kRaid5, seed, &auditor);
+  options.aspect.ds = kDisks;
+  options.aspect.dr = 1;
+  options.aspect.dm = 1;
+  // 2000 usable sectors per disk once the parity share is carved out.
+  options.dataset_sectors = 8000;
+  options.fault.latent_error_prob = 0.001;
+  options.fault.transient_error_prob = 0.003;
+  options.fault.timeout_prob = 0.002;
+  MimdRaid array(options);
+  Simulator& sim = array.sim();
+  Raid5Controller& controller = array.raid5();
+  const Raid5Layout& layout = array.raid5_layout();
+  FaultInjector& injector = *array.fault_injector();
 
-    std::vector<std::unique_ptr<SimDisk>> disks;
-    std::vector<std::unique_ptr<AccessPredictor>> preds;
-    std::vector<SimDisk*> dptr;
-    std::vector<AccessPredictor*> pptr;
-    for (uint32_t i = 0; i < 5; ++i) {
-      disks.push_back(std::make_unique<SimDisk>(
-          &sim, MakeTestGeometry(), MakeTestSeekProfile(),
-          DiskNoiseModel::None(), 17 + i, i * 500.0));
-      preds.push_back(
-          std::make_unique<OraclePredictor>(disks.back().get(), 0.0));
-      dptr.push_back(disks.back().get());
-      pptr.push_back(preds.back().get());
+  Rng rng(seed * 31 + 7);
+  const uint32_t victim = static_cast<uint32_t>(rng.UniformU64(kDisks));
+  const int failstop_at = kOps / 3;
+
+  // Guaranteed latent errors, as in the mirror soak, so the scrubber's
+  // repair-rewrite path has deterministic work.
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t lba = rng.UniformU64(layout.data_capacity_sectors() - 4);
+    for (const Raid5Fragment& f : layout.Map(lba, 1)) {
+      injector.InjectLatentError(f.data_disk, f.disk_lba);
     }
-    Raid5Layout layout(5, 16, 2000);
-    Raid5ControllerOptions copts;
-    copts.fault_injector = &injector;
-    Raid5Controller controller(&sim, dptr, pptr, &layout, copts);
+  }
 
-    Rng rng(seed * 31 + 7);
-    const uint32_t victim = static_cast<uint32_t>(rng.UniformU64(5));
-    const int failstop_at = kOps / 3;
-
-    std::vector<int> completions(kOps, 0);
-    int done = 0;
-    for (int i = 0; i < kOps; ++i) {
-      if (i == failstop_at) {
-        injector.FailStop(victim);  // detected on the next access
+  std::vector<int> completions(kOps, 0);
+  ChaosDigest digest;
+  int done = 0;
+  for (int i = 0; i < kOps; ++i) {
+    if (i == failstop_at) {
+      injector.FailStop(victim);  // detected on the next access
+    }
+    const uint32_t sectors = 1 + static_cast<uint32_t>(rng.UniformU64(24));
+    const uint64_t lba =
+        rng.UniformU64(layout.data_capacity_sectors() - sectors);
+    const DiskOp op = rng.Bernoulli(0.6) ? DiskOp::kRead : DiskOp::kWrite;
+    controller.Submit(op, lba, sectors, [&, i](const IoResult& r) {
+      ++completions[i];
+      ++done;
+      EXPECT_TRUE(r.status == IoStatus::kOk ||
+                  r.status == IoStatus::kUnrecoverable)
+          << "op " << i << " surfaced intermediate status "
+          << IoStatusName(r.status);
+      digest.completion_time_sum += static_cast<uint64_t>(r.completion_us);
+      if (r.status == IoStatus::kOk) {
+        ++digest.ok;
+      } else {
+        ++digest.unrecoverable;
       }
-      const uint32_t sectors = 1 + static_cast<uint32_t>(rng.UniformU64(24));
-      const uint64_t lba =
-          rng.UniformU64(layout.data_capacity_sectors() - sectors);
-      const DiskOp op = rng.Bernoulli(0.6) ? DiskOp::kRead : DiskOp::kWrite;
-      controller.Submit(op, lba, sectors, [&, i](const IoResult& r) {
-        ++completions[i];
-        ++done;
-        EXPECT_TRUE(r.status == IoStatus::kOk ||
-                    r.status == IoStatus::kUnrecoverable)
-            << "op " << i << " surfaced intermediate status "
-            << IoStatusName(r.status);
-      });
-      if (rng.Bernoulli(0.3)) {
-        sim.RunUntil(sim.Now() + static_cast<SimTime>(rng.UniformU64(20'000)));
-      }
+    });
+    if (rng.Bernoulli(0.3)) {
+      sim.RunUntil(sim.Now() + static_cast<SimTime>(rng.UniformU64(20'000)));
     }
+  }
 
-    uint64_t steps = 0;
-    while (done < kOps) {
-      ASSERT_TRUE(sim.Step()) << "simulator ran dry with ops outstanding";
-      ASSERT_LT(++steps, kStepBudget) << "soak wedged: completions lost";
+  uint64_t steps = 0;
+  while (done < kOps) {
+    ASSERT_TRUE(sim.Step()) << "simulator ran dry with ops outstanding";
+    ASSERT_LT(++steps, kStepBudget) << "soak wedged: completions lost";
+  }
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_EQ(completions[i], 1) << "op " << i;
+  }
+
+  // Idle scrub window (latent-error repair), then stop the sweeper and drain
+  // everything: in-flight scrub reads, spare rebuild, deferred recovery.
+  sim.RunUntil(sim.Now() + 3'000'000);
+  controller.StopScrub();
+  steps = 0;
+  while (!controller.Idle() && sim.Step()) {
+    ASSERT_LT(++steps, kStepBudget) << "drain wedged";
+  }
+  EXPECT_TRUE(controller.Idle());
+
+  // The detected fail-stop normally consumes the hot spare (promotion +
+  // automatic rebuild clears the failed flag). If the spare went to an
+  // earlier threshold auto-fail, rebuild the victim in place — kOk when
+  // every row reconstructed, kUnrecoverable when rows were lost to the
+  // stochastic mix; either way it must terminate.
+  if (controller.IsFailed(victim)) {
+    bool rebuilt = false;
+    IoResult rebuild_result;
+    controller.Rebuild(victim, [&](const IoResult& r) {
+      rebuild_result = r;
+      rebuilt = true;
+    });
+    steps = 0;
+    while (!rebuilt) {
+      ASSERT_TRUE(sim.Step());
+      ASSERT_LT(++steps, kStepBudget) << "rebuild wedged";
     }
-    for (int i = 0; i < kOps; ++i) {
-      ASSERT_EQ(completions[i], 1) << "op " << i;
-    }
+    EXPECT_TRUE(rebuild_result.status == IoStatus::kOk ||
+                rebuild_result.status == IoStatus::kUnrecoverable ||
+                rebuild_result.status == IoStatus::kDiskFailed);
     steps = 0;
     while (!controller.Idle() && sim.Step()) {
-      ASSERT_LT(++steps, kStepBudget) << "drain wedged";
+      ASSERT_LT(++steps, kStepBudget);
     }
-    EXPECT_TRUE(controller.Idle());
-
-    // Consistency after rebuild: replace the fail-stopped disk and rebuild.
-    // kOk when every row reconstructed; kUnrecoverable when rows were lost to
-    // the stochastic fault mix — either way the rebuild must terminate.
-    if (controller.IsFailed(victim)) {
-      bool rebuilt = false;
-      IoResult rebuild_result;
-      controller.Rebuild(victim, [&](const IoResult& r) {
-        rebuild_result = r;
-        rebuilt = true;
-      });
-      steps = 0;
-      while (!rebuilt) {
-        ASSERT_TRUE(sim.Step());
-        ASSERT_LT(++steps, kStepBudget) << "rebuild wedged";
-      }
-      EXPECT_TRUE(rebuild_result.status == IoStatus::kOk ||
-                  rebuild_result.status == IoStatus::kUnrecoverable ||
-                  rebuild_result.status == IoStatus::kDiskFailed);
-      steps = 0;
-      while (!controller.Idle() && sim.Step()) {
-        ASSERT_LT(++steps, kStepBudget);
-      }
-    }
-
-    const FaultRecoveryStats& fs = controller.fault_stats();
-    EXPECT_GT(fs.TotalFaultsSeen(), 0u);
-    AppendSummary("chaos seed " + std::to_string(seed) + " (raid5 5-disk)", fs,
-                  injector.counters());
   }
+
+  controller.AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+  EXPECT_GT(auditor.checks_run(), 0u);
+
+  const FaultRecoveryStats& fs = controller.fault_stats();
+  EXPECT_GT(fs.TotalFaultsSeen(), 0u) << "chaos mix injected nothing";
+  EXPECT_GT(fs.scrub_reads, 0u);
+  digest.faults_seen = fs.TotalFaultsSeen();
+  digest.retries = fs.retries_issued;
+  digest.failovers = fs.failovers;
+
+  if (write_summary) {
+    AppendSummary("chaos seed " + std::to_string(seed) + " (raid5 5-disk+1)",
+                  fs, injector.counters());
+  }
+  *out = digest;
+}
+
+TEST(ChaosSoak, Raid5SurvivesFaultMixWithMidRunFailStop) {
+  if (!BackendSelected("raid5")) {
+    GTEST_SKIP() << "MIMDRAID_CHAOS_BACKEND selects another backend";
+  }
+  for (const uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ChaosDigest digest;
+    RunRaid5Chaos(seed, /*write_summary=*/true, &digest);
+  }
+}
+
+TEST(ChaosSoak, Raid5RunIsDeterministicForSeed) {
+  if (!BackendSelected("raid5")) {
+    GTEST_SKIP() << "MIMDRAID_CHAOS_BACKEND selects another backend";
+  }
+  const uint64_t seed = ChaosSeeds().front();
+  ChaosDigest a;
+  ChaosDigest b;
+  RunRaid5Chaos(seed, /*write_summary=*/false, &a);
+  RunRaid5Chaos(seed, /*write_summary=*/false, &b);
+  EXPECT_TRUE(a == b) << "same seed produced different runs";
 }
 
 }  // namespace
