@@ -89,42 +89,57 @@ double AdaptiveSystem(std::vector<double>* per_phase, size_t* reshapes) {
   return total / 1000.0;
 }
 
+struct SystemResult {
+  std::vector<double> phases;
+  double total_ms = 0.0;
+  size_t reshapes = 0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Ablation: adaptive reconfiguration",
               "static shapes vs monitor->advisor->reshape across phases");
+  DeferredSweep<SystemResult> sweep;
+  sweep.Defer([] {
+    SystemResult r;
+    r.total_ms = StaticSystem(Aspect(6, 1), SchedulerKind::kSatf, &r.phases);
+    return r;
+  });
+  sweep.Defer([] {
+    SystemResult r;
+    r.total_ms = StaticSystem(Aspect(3, 2), SchedulerKind::kRsatf, &r.phases);
+    return r;
+  });
+  sweep.Defer([] {
+    SystemResult r;
+    r.total_ms = AdaptiveSystem(&r.phases, &r.reshapes);
+    return r;
+  });
+  sweep.Run();
+
   std::printf("%-26s", "system");
   for (const PhaseSpec& p : kPhases) {
     std::printf(" %-12s", p.label);
   }
   std::printf(" %s\n", "total op-time");
 
-  auto report = [&](const char* label, const std::vector<double>& phases,
-                    double total_ms, size_t reshapes) {
+  auto report = [&](const char* label, const SystemResult& r) {
     std::printf("%-26s", label);
-    for (double ms : phases) {
+    for (double ms : r.phases) {
       std::printf(" %-12.2f", ms);
     }
-    std::printf(" %8.0f ms", total_ms);
-    if (reshapes > 0) {
-      std::printf("  (%zu reshapes)", reshapes);
+    std::printf(" %8.0f ms", r.total_ms);
+    if (r.reshapes > 0) {
+      std::printf("  (%zu reshapes)", r.reshapes);
     }
     std::printf("\n");
   };
 
-  std::vector<double> phases;
-  double total = StaticSystem(Aspect(6, 1), SchedulerKind::kSatf, &phases);
-  report("static 6x1x1 stripe", phases, total, 0);
-
-  phases.clear();
-  total = StaticSystem(Aspect(3, 2), SchedulerKind::kRsatf, &phases);
-  report("static 3x2x1 SR", phases, total, 0);
-
-  phases.clear();
-  size_t reshapes = 0;
-  total = AdaptiveSystem(&phases, &reshapes);
-  report("adaptive", phases, total, reshapes);
+  report("static 6x1x1 stripe", sweep.Next());
+  report("static 3x2x1 SR", sweep.Next());
+  report("adaptive", sweep.Next());
 
   std::printf("\nexpected: the static SR wins the read phases but pays in the\n"
               "write flood; the stripe is the mirror image; the adaptive\n"

@@ -7,6 +7,7 @@
 // usable capacity fraction, random-read latency, and mixed random throughput.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_common.h"
 
@@ -94,30 +95,44 @@ Outcome RunRaid5() {
   return out;
 }
 
+struct Row {
+  const char* label;
+  ArrayAspect aspect;
+  SchedulerKind sched;
+};
+
+const std::vector<Row>& Rows() {
+  static const std::vector<Row> rows = {
+      {"6x1x1 stripe (SATF)", Aspect(6, 1), SchedulerKind::kSatf},
+      {"3x2x1 SR (RSATF)", Aspect(3, 2), SchedulerKind::kRsatf},
+      {"2x3x1 SR (RSATF)", Aspect(2, 3), SchedulerKind::kRsatf},
+      {"3x1x2 RAID-10 (SATF)", Aspect(3, 1, 2), SchedulerKind::kSatf},
+      {"1x6x1 SR (RSATF)", Aspect(1, 6), SchedulerKind::kRsatf},
+      {"1x1x6 mirror (SATF)", Aspect(1, 1, 6), SchedulerKind::kSatf},
+  };
+  return rows;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Ablation: the capacity-performance frontier",
               "six disks, every scheme (reads q=1; 60/40 mix q=16, fg prop)");
+  DeferredSweep<Outcome> sweep;
+  sweep.Defer([] { return RunRaid5(); });
+  for (const Row& row : Rows()) {
+    sweep.Defer([row] { return RunArray(row.aspect, row.sched); });
+  }
+  sweep.Run();
+
   std::printf("%-22s %-10s %-14s %s\n", "scheme", "capacity",
               "read latency", "mixed throughput");
-  struct Row {
-    const char* label;
-    ArrayAspect aspect;
-    SchedulerKind sched;
-  };
-  const Outcome raid5 = RunRaid5();
+  const Outcome raid5 = sweep.Next();
   std::printf("%-22s %-10.2f %10.2f ms  %8.0f IOPS\n", "RAID-5 (SATF)",
               raid5.capacity_frac, raid5.read_ms, raid5.mixed_iops);
-  for (const Row& row : {
-           Row{"6x1x1 stripe (SATF)", Aspect(6, 1), SchedulerKind::kSatf},
-           Row{"3x2x1 SR (RSATF)", Aspect(3, 2), SchedulerKind::kRsatf},
-           Row{"2x3x1 SR (RSATF)", Aspect(2, 3), SchedulerKind::kRsatf},
-           Row{"3x1x2 RAID-10 (SATF)", Aspect(3, 1, 2), SchedulerKind::kSatf},
-           Row{"1x6x1 SR (RSATF)", Aspect(1, 6), SchedulerKind::kRsatf},
-           Row{"1x1x6 mirror (SATF)", Aspect(1, 1, 6), SchedulerKind::kSatf},
-       }) {
-    const Outcome o = RunArray(row.aspect, row.sched);
+  for (const Row& row : Rows()) {
+    const Outcome o = sweep.Next();
     std::printf("%-22s %-10.2f %10.2f ms  %8.0f IOPS\n", row.label,
                 1.0 / row.aspect.ReplicasPerBlock(), o.read_ms, o.mixed_iops);
   }

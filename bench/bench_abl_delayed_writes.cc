@@ -44,18 +44,26 @@ Outcome Run(size_t table_limit, bool foreground, double write_frac,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Ablation: delayed writes",
               "NVRAM table limit and propagation policy (2x3 SR, 50% writes)");
+  DeferredSweep<Outcome> sweep;
+  for (size_t limit : {size_t{10}, size_t{100}, size_t{1000}, size_t{10000}}) {
+    sweep.Defer([limit] { return Run(limit, /*foreground=*/false, 0.5, 16); });
+  }
+  sweep.Defer([] { return Run(10000, /*foreground=*/true, 0.5, 16); });
+  sweep.Run();
+
   std::printf("%-26s %-12s %-10s %-10s\n", "policy", "latency ms", "forced",
               "discarded");
   for (size_t limit : {size_t{10}, size_t{100}, size_t{1000}, size_t{10000}}) {
-    const Outcome o = Run(limit, /*foreground=*/false, 0.5, 16);
+    const Outcome o = sweep.Next();
     std::printf("background, table=%-7zu %-12.2f %-10llu %-10llu\n", limit,
                 o.mean_ms, static_cast<unsigned long long>(o.forced),
                 static_cast<unsigned long long>(o.discarded));
   }
-  const Outcome fg = Run(10000, /*foreground=*/true, 0.5, 16);
+  const Outcome fg = sweep.Next();
   std::printf("%-26s %-12.2f %-10llu %-10llu\n", "foreground propagation",
               fg.mean_ms, static_cast<unsigned long long>(fg.forced),
               static_cast<unsigned long long>(fg.discarded));

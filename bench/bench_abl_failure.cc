@@ -104,16 +104,22 @@ Outcome RunRaid5() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Ablation: failure and rebuild",
               "six disks, one lost: RAID-10 vs RAID-5 (8 KB random reads)");
+  DeferredSweep<Outcome> sweep;
+  sweep.Defer([] { return RunRaid10(); });
+  sweep.Defer([] { return RunRaid5(); });
+  sweep.Run();
+
   std::printf("%-16s %-12s %-12s %-12s %s\n", "scheme", "healthy", "degraded",
               "slowdown", "rebuild time");
-  const Outcome r10 = RunRaid10();
+  const Outcome r10 = sweep.Next();
   std::printf("%-16s %-9.2f ms %-9.2f ms %-12.2f %.1f min\n", "RAID-10",
               r10.healthy_ms, r10.degraded_ms,
               r10.degraded_ms / r10.healthy_ms, r10.rebuild_minutes);
-  const Outcome r5 = RunRaid5();
+  const Outcome r5 = sweep.Next();
   std::printf("%-16s %-9.2f ms %-9.2f ms %-12.2f %.1f min\n", "RAID-5",
               r5.healthy_ms, r5.degraded_ms, r5.degraded_ms / r5.healthy_ms,
               r5.rebuild_minutes);

@@ -138,23 +138,32 @@ Outcome RunFirmware(FirmwarePolicy policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Ablation: host vs firmware scheduling",
               "one noisy drive, 512 B random reads, queue 16");
+  DeferredSweep<Outcome> sweep;
+  sweep.Defer([] { return RunHost(SchedulerKind::kFcfs); });
+  sweep.Defer([] { return RunHost(SchedulerKind::kLook); });
+  sweep.Defer([] { return RunHost(SchedulerKind::kSatf); });
+  sweep.Defer([] { return RunFirmware(FirmwarePolicy::kFcfs); });
+  sweep.Defer([] { return RunFirmware(FirmwarePolicy::kSatf); });
+  sweep.Run();
+
   std::printf("%-32s %-10s %s\n", "scheduler", "IOPS", "mean latency");
-  const Outcome host_fcfs = RunHost(SchedulerKind::kFcfs);
+  const Outcome host_fcfs = sweep.Next();
   std::printf("%-32s %-10.0f %.2f ms\n", "host FCFS", host_fcfs.iops,
               host_fcfs.mean_ms);
-  const Outcome host_look = RunHost(SchedulerKind::kLook);
+  const Outcome host_look = sweep.Next();
   std::printf("%-32s %-10.0f %.2f ms\n", "host LOOK (software)",
               host_look.iops, host_look.mean_ms);
-  const Outcome host_satf = RunHost(SchedulerKind::kSatf);
+  const Outcome host_satf = sweep.Next();
   std::printf("%-32s %-10.0f %.2f ms\n", "host SATF (software predictor)",
               host_satf.iops, host_satf.mean_ms);
-  const Outcome fw_fcfs = RunFirmware(FirmwarePolicy::kFcfs);
+  const Outcome fw_fcfs = sweep.Next();
   std::printf("%-32s %-10.0f %.2f ms\n", "firmware FCFS (tags)", fw_fcfs.iops,
               fw_fcfs.mean_ms);
-  const Outcome fw_satf = RunFirmware(FirmwarePolicy::kSatf);
+  const Outcome fw_satf = sweep.Next();
   std::printf("%-32s %-10.0f %.2f ms\n", "firmware SATF (perfect)",
               fw_satf.iops, fw_satf.mean_ms);
   std::printf(

@@ -65,40 +65,57 @@ double SequentialSweep(PlacementMode mode, SchedulerKind sched, DiskOp op,
   return static_cast<double>(kOps) * kReq * 512.0 / 1e6 / secs;
 }
 
-Outcome Run(PlacementMode mode) {
+double RandomReadMs(PlacementMode mode) {
+  MimdRaidOptions options;
+  options.aspect = Aspect(2, 3);
+  options.scheduler = SchedulerKind::kRsatf;
+  options.dataset_sectors = 4'000'000;
+  options.placement_mode = mode;
+  options.seed = 31;
+  MimdRaid array(options);
+  ClosedLoopOptions loop;
+  loop.outstanding = 1;
+  loop.read_frac = 1.0;
+  loop.sectors = 8;
+  loop.warmup_ops = 200;
+  loop.measure_ops = 3000;
+  return RunClosedLoopOnArray(array, loop).latency.MeanMs();
+}
+
+void DeferOutcome(DeferredSweep<double>& sweep, PlacementMode mode) {
+  sweep.Defer([mode] { return RandomReadMs(mode); });
+  sweep.Defer([mode] {
+    return SequentialSweep(mode, SchedulerKind::kRsatf, DiskOp::kRead, 32);
+  });
+  sweep.Defer([mode] {
+    return SequentialSweep(mode, SchedulerKind::kFcfs, DiskOp::kRead, 33);
+  });
+  sweep.Defer([mode] {
+    return SequentialSweep(mode, SchedulerKind::kRsatf, DiskOp::kWrite, 34);
+  });
+}
+
+Outcome NextOutcome(DeferredSweep<double>& sweep) {
   Outcome out{};
-  {
-    MimdRaidOptions options;
-    options.aspect = Aspect(2, 3);
-    options.scheduler = SchedulerKind::kRsatf;
-    options.dataset_sectors = 4'000'000;
-    options.placement_mode = mode;
-    options.seed = 31;
-    MimdRaid array(options);
-    ClosedLoopOptions loop;
-    loop.outstanding = 1;
-    loop.read_frac = 1.0;
-    loop.sectors = 8;
-    loop.warmup_ops = 200;
-    loop.measure_ops = 3000;
-    out.random_ms = RunClosedLoopOnArray(array, loop).latency.MeanMs();
-  }
-  out.seq_read_mb_s =
-      SequentialSweep(mode, SchedulerKind::kRsatf, DiskOp::kRead, 32);
-  out.seq_read_naive_mb_s =
-      SequentialSweep(mode, SchedulerKind::kFcfs, DiskOp::kRead, 33);
-  out.seq_write_mb_s =
-      SequentialSweep(mode, SchedulerKind::kRsatf, DiskOp::kWrite, 34);
+  out.random_ms = sweep.Next();
+  out.seq_read_mb_s = sweep.Next();
+  out.seq_read_naive_mb_s = sweep.Next();
+  out.seq_write_mb_s = sweep.Next();
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Ablation: replica placement",
               "intra-track vs cross-track (Dr = 3)");
-  const Outcome cross = Run(PlacementMode::kCrossTrack);
-  const Outcome intra = Run(PlacementMode::kIntraTrack);
+  DeferredSweep<double> sweep;
+  DeferOutcome(sweep, PlacementMode::kCrossTrack);
+  DeferOutcome(sweep, PlacementMode::kIntraTrack);
+  sweep.Run();
+  const Outcome cross = NextOutcome(sweep);
+  const Outcome intra = NextOutcome(sweep);
   std::printf("%-22s %-16s %-16s %-16s %-16s\n", "placement",
               "8KB random ms", "seq read MB/s", "naive read MB/s",
               "seq write MB/s");

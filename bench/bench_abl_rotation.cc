@@ -16,39 +16,54 @@
 using namespace mimdraid;
 using namespace mimdraid::bench;
 
-int main() {
+namespace {
+
+double MeasureEvenReplicaRotationUs(int dr) {
+  Simulator sim;
+  SimDisk disk(&sim, MakeSt39133Geometry(), MakeSt39133SeekProfile(),
+               DiskNoiseModel::None(), /*seed=*/7, /*phase=*/0.0);
+  const DiskLayout& layout = disk.layout();
+  SrDiskPlacement placement(&layout, dr);
+  const DiskTimingModel& truth = disk.DebugTimingModel();
+  Rng rng(13);
+  Summary rot;
+  for (int i = 0; i < 6000; ++i) {
+    const uint64_t s = rng.UniformU64(placement.capacity_sectors());
+    const double now = rng.UniformDouble(0.0, 1e9);
+    // Head already on the right cylinder: isolate the rotational choice.
+    const Chs chs = layout.ToChs(placement.PhysicalLba(s, 0));
+    const HeadState head{chs.cylinder, chs.head};
+    double best = 1e18;
+    for (int r = 0; r < dr; ++r) {
+      const AccessPlan plan = truth.Plan(
+          head, now, placement.PhysicalLba(s, r), 1, /*is_write=*/false);
+      // Head switches between replica tracks do not count as rotation.
+      best = std::min(best, plan.rotational_us);
+    }
+    rot.Add(best);
+  }
+  return rot.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Ablation: rotational replication",
               "Equations (2)/(3) vs measurement");
   const double r_us = 6000.0;
+  DeferredSweep<double> sweep;
+  for (int dr : {1, 2, 3, 4, 6}) {
+    sweep.Defer([dr] { return MeasureEvenReplicaRotationUs(dr); });
+  }
+  sweep.Run();
+
   std::printf("%-5s %-18s %-18s %-18s %-18s\n", "Dr", "model even R/2Dr",
               "model random", "measured (even)", "write cost Eq(3)");
   for (int dr : {1, 2, 3, 4, 6}) {
-    Simulator sim;
-    SimDisk disk(&sim, MakeSt39133Geometry(), MakeSt39133SeekProfile(),
-                 DiskNoiseModel::None(), /*seed=*/7, /*phase=*/0.0);
-    const DiskLayout& layout = disk.layout();
-    SrDiskPlacement placement(&layout, dr);
-    const DiskTimingModel& truth = disk.DebugTimingModel();
-    Rng rng(13);
-    Summary rot;
-    for (int i = 0; i < 6000; ++i) {
-      const uint64_t s = rng.UniformU64(placement.capacity_sectors());
-      const double now = rng.UniformDouble(0.0, 1e9);
-      // Head already on the right cylinder: isolate the rotational choice.
-      const Chs chs = layout.ToChs(placement.PhysicalLba(s, 0));
-      const HeadState head{chs.cylinder, chs.head};
-      double best = 1e18;
-      for (int r = 0; r < dr; ++r) {
-        const AccessPlan plan = truth.Plan(
-            head, now, placement.PhysicalLba(s, r), 1, /*is_write=*/false);
-        // Head switches between replica tracks do not count as rotation.
-        best = std::min(best, plan.rotational_us);
-      }
-      rot.Add(best);
-    }
     std::printf("%-5d %-18.0f %-18.0f %-18.0f %-18.0f\n", dr,
                 EvenReplicaReadRotationUs(r_us, dr),
-                RandomReplicaReadRotationUs(r_us, dr), rot.mean(),
+                RandomReplicaReadRotationUs(r_us, dr), sweep.Next(),
                 ReplicaWriteRotationUs(r_us, dr));
   }
   std::printf("\nexpected: measured rotation tracks R/2Dr (even placement),\n"

@@ -71,17 +71,25 @@ Outcome Run(double slack_us, bool adaptive) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Ablation: slack",
               "rotation misses vs wasted rotation (2x3 SR-Array, RSATF)");
+  DeferredSweep<Outcome> sweep;
+  for (double s : {0.0, 100.0, 250.0, 500.0, 1000.0, 2000.0}) {
+    sweep.Defer([s] { return Run(s, /*adaptive=*/false); });
+  }
+  sweep.Defer([] { return Run(450.0, /*adaptive=*/true); });
+  sweep.Run();
+
   std::printf("%-20s %-8s %-12s %-12s %s\n", "policy", "miss%", "demerit us",
               "latency ms", "final slack us");
   for (double s : {0.0, 100.0, 250.0, 500.0, 1000.0, 2000.0}) {
-    const Outcome o = Run(s, /*adaptive=*/false);
+    const Outcome o = sweep.Next();
     std::printf("fixed %-14.0f %-8.2f %-12.0f %-12.2f %.0f\n", s, o.miss_pct,
                 o.demerit_us, o.latency_ms, o.final_slack_us);
   }
-  const Outcome o = Run(450.0, /*adaptive=*/true);
+  const Outcome o = sweep.Next();
   std::printf("%-20s %-8.2f %-12.0f %-12.2f %.0f\n", "adaptive (paper)",
               o.miss_pct, o.demerit_us, o.latency_ms, o.final_slack_us);
   std::printf("\nexpected: tiny slack -> misses and high demerit; huge slack\n"

@@ -8,6 +8,7 @@
 // ablation quantifies what that costs a RAID-10 and shows the SR-Array
 // (same-disk replicas) is immune.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 
@@ -34,25 +35,39 @@ double MeasureMeanMs(const ArrayAspect& aspect, SchedulerKind sched,
   return RunClosedLoopOnArray(array, loop).latency.MeanMs();
 }
 
+struct Row {
+  const char* label;
+  ArrayAspect aspect;
+  SchedulerKind sched;
+};
+
+const std::vector<Row>& Rows() {
+  static const std::vector<Row> rows = {
+      {"3x1x2 RAID-10 (SATF)", Aspect(3, 1, 2), SchedulerKind::kSatf},
+      {"1x1x6 mirror (SATF)", Aspect(1, 1, 6), SchedulerKind::kSatf},
+      {"3x2x1 SR (RSATF)", Aspect(3, 2), SchedulerKind::kRsatf},
+      {"1x6x1 SR (RSATF)", Aspect(1, 6), SchedulerKind::kRsatf},
+  };
+  return rows;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Ablation: spindle synchronization",
               "striped mirror vs SR-Array (random reads, six disks)");
+  DeferredSweep<double> sweep;
+  for (const Row& row : Rows()) {
+    sweep.Defer([row] { return MeasureMeanMs(row.aspect, row.sched, true); });
+    sweep.Defer([row] { return MeasureMeanMs(row.aspect, row.sched, false); });
+  }
+  sweep.Run();
+
   std::printf("%-24s %-14s %-14s\n", "configuration", "synced", "unsynced");
-  struct Row {
-    const char* label;
-    ArrayAspect aspect;
-    SchedulerKind sched;
-  };
-  for (const Row& row : {
-           Row{"3x1x2 RAID-10 (SATF)", Aspect(3, 1, 2), SchedulerKind::kSatf},
-           Row{"1x1x6 mirror (SATF)", Aspect(1, 1, 6), SchedulerKind::kSatf},
-           Row{"3x2x1 SR (RSATF)", Aspect(3, 2), SchedulerKind::kRsatf},
-           Row{"1x6x1 SR (RSATF)", Aspect(1, 6), SchedulerKind::kRsatf},
-       }) {
-    const double synced = MeasureMeanMs(row.aspect, row.sched, true);
-    const double unsynced = MeasureMeanMs(row.aspect, row.sched, false);
+  for (const Row& row : Rows()) {
+    const double synced = sweep.Next();
+    const double unsynced = sweep.Next();
     std::printf("%-24s %-14.2f %-14.2f (%+.1f%%)\n", row.label, synced,
                 unsynced, 100.0 * (unsynced - synced) / synced);
   }

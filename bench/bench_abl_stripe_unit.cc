@@ -29,14 +29,26 @@ double Run(uint32_t unit_sectors, uint32_t io_sectors) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Ablation: striping unit",
               "2x3 SR-Array, queue 8, 70% reads (mean ms)");
+  DeferredSweep<double> sweep;
+  for (uint32_t unit : {16u, 32u, 64u, 128u, 256u, 512u}) {
+    for (uint32_t io : {8u, 128u, 512u}) {
+      sweep.Defer([unit, io] { return Run(unit, io); });
+    }
+  }
+  sweep.Run();
+
   std::printf("%-12s %-12s %-12s %-12s\n", "unit", "4 KB I/O", "64 KB I/O",
               "256 KB I/O");
   for (uint32_t unit : {16u, 32u, 64u, 128u, 256u, 512u}) {
-    std::printf("%4u KB      %-12.2f %-12.2f %-12.2f\n", unit / 2,
-                Run(unit, 8), Run(unit, 128), Run(unit, 512));
+    const double ms_4k = sweep.Next();
+    const double ms_64k = sweep.Next();
+    const double ms_256k = sweep.Next();
+    std::printf("%4u KB      %-12.2f %-12.2f %-12.2f\n", unit / 2, ms_4k,
+                ms_64k, ms_256k);
   }
   std::printf("\nthe prototype's 64 KiB unit (128 sectors) sits at the knee:\n"
               "small units splinter large I/O into per-disk commands; very\n"

@@ -15,6 +15,18 @@ using namespace mimdraid::bench;
 
 namespace {
 
+ArrayAspect SrAspectFor(const ModelDiskParams& disk_params,
+                        const TraceStats& stats, int d) {
+  ConfiguratorInputs inputs;
+  inputs.num_disks = d;
+  inputs.max_seek_us = disk_params.max_seek_us;
+  inputs.rotation_us = disk_params.rotation_us;
+  inputs.p = 1.0;  // idle time masks propagation at original speed
+  inputs.queue_depth = 1.0;
+  inputs.locality = stats.seek_locality;
+  return ChooseConfig(inputs).aspect;
+}
+
 void RunWorkload(const char* label, const Trace& trace) {
   const TraceStats stats = ComputeTraceStats(trace);
   const ModelDiskParams disk_params =
@@ -25,6 +37,24 @@ void RunWorkload(const char* label, const Trace& trace) {
                              noise.post_overhead_mean_us +
                              stats.mean_request_sectors * 25.0;
 
+  DeferredSweep<TraceRunOutput> sweep;
+  auto defer = [&sweep, &trace](const ArrayAspect& aspect,
+                                SchedulerKind sched) {
+    TraceRunConfig cfg;
+    cfg.aspect = aspect;
+    cfg.scheduler = sched;
+    sweep.Defer([&trace, cfg] { return RunTraceConfig(trace, cfg); });
+  };
+  for (int d : {1, 2, 4, 6, 8, 12}) {
+    defer(SrAspectFor(disk_params, stats, d), SchedulerKind::kRsatf);
+    defer(Aspect(d, 1), SchedulerKind::kSatf);
+    if (d % 2 == 0) {
+      defer(Aspect(d / 2, 1, 2), SchedulerKind::kSatf);
+    }
+    defer(Aspect(1, 1, d), SchedulerKind::kSatf);
+  }
+  sweep.Run();
+
   std::printf("\n%s (L=%.2f, dataset %.1f GB, original speed)\n", label,
               stats.seek_locality, stats.data_size_gb);
   std::printf("%-6s %-10s %-10s %-10s %-10s %-10s %-10s\n", "disks",
@@ -32,33 +62,15 @@ void RunWorkload(const char* label, const Trace& trace) {
               "model");
 
   for (int d : {1, 2, 4, 6, 8, 12}) {
-    ConfiguratorInputs inputs;
-    inputs.num_disks = d;
-    inputs.max_seek_us = disk_params.max_seek_us;
-    inputs.rotation_us = disk_params.rotation_us;
-    inputs.p = 1.0;  // idle time masks propagation at original speed
-    inputs.queue_depth = 1.0;
-    inputs.locality = stats.seek_locality;
-    const ArrayAspect sr = ChooseConfig(inputs).aspect;
-
-    TraceRunConfig cfg;
-    cfg.aspect = sr;
-    cfg.scheduler = SchedulerKind::kRsatf;
-    const TraceRunOutput sr_out = RunTraceConfig(trace, cfg);
-
-    cfg.aspect = Aspect(d, 1);
-    cfg.scheduler = SchedulerKind::kSatf;
-    const TraceRunOutput stripe_out = RunTraceConfig(trace, cfg);
-
+    const ArrayAspect sr = SrAspectFor(disk_params, stats, d);
+    const TraceRunOutput sr_out = sweep.Next();
+    const TraceRunOutput stripe_out = sweep.Next();
     TraceRunOutput raid_out;
     raid_out.mean_ms = -2.0;  // n/a
     if (d % 2 == 0) {
-      cfg.aspect = Aspect(d / 2, 1, 2);
-      raid_out = RunTraceConfig(trace, cfg);
+      raid_out = sweep.Next();
     }
-
-    cfg.aspect = Aspect(1, 1, d);
-    const TraceRunOutput mirror_out = RunTraceConfig(trace, cfg);
+    const TraceRunOutput mirror_out = sweep.Next();
 
     const double model_ms =
         (SrMixedLatencyUs(disk_params.max_seek_us, disk_params.rotation_us,
@@ -77,7 +89,8 @@ void RunWorkload(const char* label, const Trace& trace) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Figure 6", "Cello response time vs number of disks");
   RunWorkload("(a) Cello base",
               GenerateSyntheticTrace(CelloBaseParams(2 * 3600, 21)));

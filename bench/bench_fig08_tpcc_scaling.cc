@@ -12,39 +12,58 @@
 using namespace mimdraid;
 using namespace mimdraid::bench;
 
-int main() {
+namespace {
+
+ArrayAspect SrAspectFor(const ModelDiskParams& disk_params,
+                        const TraceStats& stats, int d) {
+  ConfiguratorInputs inputs;
+  inputs.num_disks = d;
+  inputs.max_seek_us = disk_params.max_seek_us;
+  inputs.rotation_us = disk_params.rotation_us;
+  // Moderate utilization leaves idle time for most propagations.
+  inputs.p = 0.9;
+  inputs.queue_depth = 1.0;
+  inputs.locality = stats.seek_locality;
+  return ChooseConfig(inputs).aspect;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Figure 8", "TPC-C response time vs number of disks");
   const Trace trace = GenerateSyntheticTrace(TpccParams(/*duration_s=*/90, 41));
   const TraceStats stats = ComputeTraceStats(trace);
   const ModelDiskParams disk_params =
       StandardModelParams(trace.dataset_sectors);
 
+  DeferredSweep<TraceRunOutput> sweep;
+  auto defer = [&sweep, &trace](const ArrayAspect& aspect,
+                                SchedulerKind sched) {
+    TraceRunConfig cfg;
+    cfg.aspect = aspect;
+    cfg.scheduler = sched;
+    sweep.Defer([&trace, cfg] { return RunTraceConfig(trace, cfg); });
+  };
+  for (int d : {12, 18, 24, 36}) {
+    defer(Aspect(d, 1), SchedulerKind::kSatf);
+    defer(Aspect(d / 2, 1, 2), SchedulerKind::kSatf);
+    defer(SrAspectFor(disk_params, stats, d), SchedulerKind::kRsatf);
+  }
+  for (int dr : {1, 2, 3, 4, 6}) {
+    defer(Aspect(36 / dr, dr), SchedulerKind::kRsatf);
+  }
+  sweep.Run();
+
   std::printf("\n(a) configurations, original rate (%.0f IO/s)\n",
               stats.io_rate_per_s);
   std::printf("%-6s %-10s %-10s %-12s %s\n", "disks", "striping", "RAID-10",
               "SR-Array", "(SR aspect)");
   for (int d : {12, 18, 24, 36}) {
-    TraceRunConfig cfg;
-    cfg.aspect = Aspect(d, 1);
-    cfg.scheduler = SchedulerKind::kSatf;
-    const TraceRunOutput stripe = RunTraceConfig(trace, cfg);
-
-    cfg.aspect = Aspect(d / 2, 1, 2);
-    const TraceRunOutput raid = RunTraceConfig(trace, cfg);
-
-    ConfiguratorInputs inputs;
-    inputs.num_disks = d;
-    inputs.max_seek_us = disk_params.max_seek_us;
-    inputs.rotation_us = disk_params.rotation_us;
-    // Moderate utilization leaves idle time for most propagations.
-    inputs.p = 0.9;
-    inputs.queue_depth = 1.0;
-    inputs.locality = stats.seek_locality;
-    const ArrayAspect sr = ChooseConfig(inputs).aspect;
-    cfg.aspect = sr;
-    cfg.scheduler = SchedulerKind::kRsatf;
-    const TraceRunOutput sr_out = RunTraceConfig(trace, cfg);
-
+    const ArrayAspect sr = SrAspectFor(disk_params, stats, d);
+    const TraceRunOutput stripe = sweep.Next();
+    const TraceRunOutput raid = sweep.Next();
+    const TraceRunOutput sr_out = sweep.Next();
     std::printf("%-6d %-10s %-10s %-12s %s\n", d,
                 FormatMs(stripe.mean_ms).c_str(),
                 FormatMs(raid.mean_ms).c_str(),
@@ -54,11 +73,9 @@ int main() {
   std::printf("\n(b) SR-Array alternatives at 36 disks\n");
   std::printf("%-10s %s\n", "aspect", "mean response");
   for (int dr : {1, 2, 3, 4, 6}) {
-    TraceRunConfig cfg;
-    cfg.aspect = Aspect(36 / dr, dr);
-    cfg.scheduler = SchedulerKind::kRsatf;
-    const TraceRunOutput out = RunTraceConfig(trace, cfg);
-    std::printf("%-10s %s ms\n", cfg.aspect.ToString().c_str(),
+    const ArrayAspect aspect = Aspect(36 / dr, dr);
+    const TraceRunOutput out = sweep.Next();
+    std::printf("%-10s %s ms\n", aspect.ToString().c_str(),
                 FormatMs(out.mean_ms).c_str());
   }
   std::printf("\npaper shape: SR-Array < RAID-10 < striping at every size;\n"

@@ -25,6 +25,19 @@ struct Series {
 void Sweep(const char* label, const Trace& trace,
            const std::vector<Series>& series,
            const std::vector<double>& scales) {
+  DeferredSweep<TraceRunOutput> sweep;
+  for (double scale : scales) {
+    for (const Series& s : series) {
+      TraceRunConfig cfg;
+      cfg.aspect = s.aspect;
+      cfg.scheduler = s.sched;
+      cfg.rate_scale = scale;
+      cfg.max_outstanding = 2000;
+      sweep.Defer([&trace, cfg] { return RunTraceConfig(trace, cfg); });
+    }
+  }
+  sweep.Run();
+
   std::printf("\n%s\n", label);
   std::printf("%-8s", "scale");
   for (const Series& s : series) {
@@ -33,14 +46,8 @@ void Sweep(const char* label, const Trace& trace,
   std::printf("\n");
   for (double scale : scales) {
     std::printf("%-8.1f", scale);
-    for (const Series& s : series) {
-      TraceRunConfig cfg;
-      cfg.aspect = s.aspect;
-      cfg.scheduler = s.sched;
-      cfg.rate_scale = scale;
-      cfg.max_outstanding = 2000;
-      const TraceRunOutput out = RunTraceConfig(trace, cfg);
-      std::printf(" %-16s", FormatMs(out.mean_ms).c_str());
+    for (size_t i = 0; i < series.size(); ++i) {
+      std::printf(" %-16s", FormatMs(sweep.Next().mean_ms).c_str());
     }
     std::printf("\n");
   }
@@ -48,7 +55,8 @@ void Sweep(const char* label, const Trace& trace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Figure 9", "Local schedulers vs I/O rate (mean response, ms)");
 
   const Trace cello =

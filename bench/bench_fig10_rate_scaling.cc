@@ -26,6 +26,19 @@ void Sweep(const char* label, const Trace& trace,
            const std::vector<Series>& series,
            const std::vector<double>& scales, double slo_ms) {
   const TraceStats stats = ComputeTraceStats(trace);
+  DeferredSweep<TraceRunOutput> sweep;
+  for (double scale : scales) {
+    for (const Series& s : series) {
+      TraceRunConfig cfg;
+      cfg.aspect = s.aspect;
+      cfg.scheduler = s.sched;
+      cfg.rate_scale = scale;
+      cfg.max_outstanding = 2500;
+      sweep.Defer([&trace, cfg] { return RunTraceConfig(trace, cfg); });
+    }
+  }
+  sweep.Run();
+
   std::printf("\n%s (base rate %.0f IO/s)\n", label, stats.io_rate_per_s);
   std::printf("%-8s", "scale");
   for (const Series& s : series) {
@@ -36,12 +49,7 @@ void Sweep(const char* label, const Trace& trace,
   for (double scale : scales) {
     std::printf("%-8.1f", scale);
     for (size_t i = 0; i < series.size(); ++i) {
-      TraceRunConfig cfg;
-      cfg.aspect = series[i].aspect;
-      cfg.scheduler = series[i].sched;
-      cfg.rate_scale = scale;
-      cfg.max_outstanding = 2500;
-      const TraceRunOutput out = RunTraceConfig(trace, cfg);
+      const TraceRunOutput out = sweep.Next();
       if (out.mean_ms >= 0.0 && out.mean_ms <= slo_ms) {
         sustainable[i] = scale;
       }
@@ -58,7 +66,8 @@ void Sweep(const char* label, const Trace& trace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Figure 10", "Response time vs offered rate (mean, ms)");
 
   const Trace cello =

@@ -36,6 +36,18 @@ double MeasureIops(const ArrayAspect& aspect, SchedulerKind sched,
   return RunClosedLoopOnArray(array, loop).iops;
 }
 
+ArrayAspect SrAspectFor(const ModelDiskParams& params, int d,
+                        uint32_t outstanding) {
+  ConfiguratorInputs in;
+  in.num_disks = d;
+  in.max_seek_us = params.max_seek_us;
+  in.rotation_us = params.rotation_us;
+  in.p = 1.0;
+  in.queue_depth = static_cast<double>(outstanding) / d;
+  in.locality = kLocality;
+  return ChooseConfig(in).aspect;
+}
+
 void Sweep(uint32_t outstanding) {
   const ModelDiskParams params = StandardModelParams(kDataset);
   const DiskNoiseModel noise = DiskNoiseModel::None();
@@ -47,27 +59,35 @@ void Sweep(uint32_t outstanding) {
   const double to_us = noise.overhead_mean_us + noise.post_overhead_mean_us +
                        profile.short_a_us + 23.0;
 
+  DeferredSweep<double> sweep;
+  for (int d : {2, 4, 6, 8, 12}) {
+    const ArrayAspect sr = SrAspectFor(params, d, outstanding);
+    sweep.Defer([d, outstanding] {
+      return MeasureIops(Aspect(d, 1), SchedulerKind::kSatf, outstanding);
+    });
+    sweep.Defer([d, outstanding] {
+      return d % 2 == 0 ? MeasureIops(Aspect(d / 2, 1, 2),
+                                      SchedulerKind::kSatf, outstanding)
+                        : -1.0;
+    });
+    sweep.Defer(
+        [sr, outstanding] { return MeasureIops(sr, SchedulerKind::kRsatf,
+                                               outstanding); });
+    sweep.Defer(
+        [sr, outstanding] { return MeasureIops(sr, SchedulerKind::kRlook,
+                                               outstanding); });
+  }
+  sweep.Run();
+
   std::printf("\nqueue length %u (IOPS)\n", outstanding);
   std::printf("%-6s %-9s %-9s %-11s %-11s %-10s %s\n", "disks", "stripe",
               "RAID-10", "SR RSATF", "SR RLOOK", "model N_D", "(SR aspect)");
   for (int d : {2, 4, 6, 8, 12}) {
-    ConfiguratorInputs in;
-    in.num_disks = d;
-    in.max_seek_us = params.max_seek_us;
-    in.rotation_us = params.rotation_us;
-    in.p = 1.0;
-    in.queue_depth = static_cast<double>(outstanding) / d;
-    in.locality = kLocality;
-    const ArrayAspect sr = ChooseConfig(in).aspect;
-
-    const double stripe = MeasureIops(Aspect(d, 1), SchedulerKind::kSatf,
-                                      outstanding);
-    const double raid = d % 2 == 0
-                            ? MeasureIops(Aspect(d / 2, 1, 2),
-                                          SchedulerKind::kSatf, outstanding)
-                            : -1.0;
-    const double rsatf = MeasureIops(sr, SchedulerKind::kRsatf, outstanding);
-    const double rlook = MeasureIops(sr, SchedulerKind::kRlook, outstanding);
+    const ArrayAspect sr = SrAspectFor(params, d, outstanding);
+    const double stripe = sweep.Next();
+    const double raid = sweep.Next();
+    const double rsatf = sweep.Next();
+    const double rlook = sweep.Next();
 
     // Equations (12), (15), (16) with the chosen integer aspect.
     const double q = std::max(1.0, static_cast<double>(outstanding) / d);
@@ -92,7 +112,8 @@ void Sweep(uint32_t outstanding) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Figure 12",
               "Random-read throughput vs disks (512 B, locality index 3)");
   Sweep(8);

@@ -47,21 +47,32 @@ void Sweep(uint32_t outstanding) {
   const double to_us = noise.overhead_mean_us + noise.post_overhead_mean_us +
                        profile.short_a_us + 23.0;
 
+  DeferredSweep<double> sweep;
+  auto defer = [&sweep, outstanding](const ArrayAspect& aspect,
+                                     SchedulerKind sched, double w) {
+    sweep.Defer([aspect, sched, outstanding, w] {
+      return MeasureIops(aspect, sched, outstanding, w);
+    });
+  };
+  for (double w : {0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0}) {
+    defer(Aspect(3, 2), SchedulerKind::kRlook, w);
+    defer(Aspect(3, 2), SchedulerKind::kRsatf, w);
+    defer(Aspect(6, 1), SchedulerKind::kLook, w);
+    defer(Aspect(6, 1), SchedulerKind::kSatf, w);
+    defer(Aspect(3, 1, 2), SchedulerKind::kSatf, w);
+  }
+  sweep.Run();
+
   std::printf("\nqueue length %u (IOPS)\n", outstanding);
   std::printf("%-8s %-10s %-10s %-10s %-10s %-10s %s\n", "write%",
               "SR RLOOK", "SR RSATF", "strp LOOK", "strp SATF", "R10 SATF",
               "model(3x2)");
   for (double w : {0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0}) {
-    const double rlook =
-        MeasureIops(Aspect(3, 2), SchedulerKind::kRlook, outstanding, w);
-    const double rsatf =
-        MeasureIops(Aspect(3, 2), SchedulerKind::kRsatf, outstanding, w);
-    const double look =
-        MeasureIops(Aspect(6, 1), SchedulerKind::kLook, outstanding, w);
-    const double satf =
-        MeasureIops(Aspect(6, 1), SchedulerKind::kSatf, outstanding, w);
-    const double raid =
-        MeasureIops(Aspect(3, 1, 2), SchedulerKind::kSatf, outstanding, w);
+    const double rlook = sweep.Next();
+    const double rsatf = sweep.Next();
+    const double look = sweep.Next();
+    const double satf = sweep.Next();
+    const double raid = sweep.Next();
 
     // Equation (16) for the 3x2 SR-Array: p = read fraction (every write is
     // a foreground propagation here). Each logical write costs Dr physical
@@ -84,7 +95,8 @@ void Sweep(uint32_t outstanding) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
   PrintHeader("Figure 13",
               "Throughput vs foreground write ratio (six disks, 512 B)");
   Sweep(8);

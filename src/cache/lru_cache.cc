@@ -32,8 +32,16 @@ bool LruBlockCache::Lookup(uint64_t lba, uint32_t sectors) {
 
 void LruBlockCache::Insert(uint64_t lba, uint32_t sectors) {
   MIMDRAID_CHECK_GT(sectors, 0u);
-  const uint64_t first = lba / block_sectors_;
+  uint64_t first = lba / block_sectors_;
   const uint64_t last = (lba + sectors - 1) / block_sectors_;
+  // A range wider than the whole cache can only keep its trailing blocks
+  // resident: installing the leading ones would make this very call evict
+  // them again (churning the list and throwing away pre-existing residents
+  // for nothing). Clamp to the blocks that can actually survive, which also
+  // guarantees Insert never evicts a block it installed in the same call.
+  if (last - first + 1 > capacity_blocks_) {
+    first = last - capacity_blocks_ + 1;
+  }
   for (uint64_t b = first; b <= last; ++b) {
     auto it = map_.find(b);
     if (it != map_.end()) {

@@ -27,6 +27,9 @@ class LruBlockCache {
   bool Lookup(uint64_t lba, uint32_t sectors);
 
   // Installs the blocks covering the range, evicting LRU blocks as needed.
+  // A range wider than the whole cache installs only its trailing
+  // `capacity_blocks()` blocks (the leading ones could never stay resident);
+  // blocks installed by one call are never evicted by that same call.
   void Insert(uint64_t lba, uint32_t sectors);
 
   uint64_t hits() const { return hits_; }

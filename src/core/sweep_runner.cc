@@ -1,0 +1,118 @@
+#include "src/core/sweep_runner.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace mimdraid {
+
+SweepRunner::SweepRunner(size_t jobs) : jobs_(ResolveJobs(jobs)) {
+  if (jobs_ <= 1) {
+    return;  // serial mode: Submit() runs tasks inline
+  }
+  workers_.reserve(jobs_);
+  for (size_t i = 0; i < jobs_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void SweepRunner::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // The exact serial path: run now, on this thread, in submission order.
+    try {
+      task();
+    } catch (...) {
+      RecordError(std::current_exception());
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void SweepRunner::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void SweepRunner::RunAll(std::vector<std::function<void()>> tasks) {
+  for (std::function<void()>& task : tasks) {
+    Submit(std::move(task));
+  }
+  Wait();
+}
+
+void SweepRunner::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return;  // shutdown with nothing left to drain
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    try {
+      task();
+    } catch (...) {
+      RecordError(std::current_exception());
+    }
+    lock.lock();
+    if (--outstanding_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void SweepRunner::RecordError(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error_ == nullptr) {
+    first_error_ = error;
+  }
+}
+
+size_t SweepRunner::ResolveJobs(size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("MIMDRAID_JOBS");
+      env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+uint64_t SweepRunner::PointSeed(uint64_t base_seed, uint64_t point_index) {
+  // SplitMix64 finalizer over a golden-ratio stride: a full-avalanche mix, so
+  // (base, i) and (base, i+1) — or (base, i) and (base+1, i) — share no
+  // structure.
+  uint64_t z = base_seed + 0x9E3779B97F4A7C15ull * (point_index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace mimdraid

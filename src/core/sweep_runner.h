@@ -1,0 +1,84 @@
+// Parallel sweep engine for the figure/ablation benches.
+//
+// Every sweep point in the evaluation suite is an independent deterministic
+// experiment: it builds its own Simulator, array, and workload, runs to
+// completion, and reports numbers. Nothing is shared between points, so the
+// (configuration × rate × queue-depth) grids the benches iterate can run on
+// every core. SweepRunner is the small worker pool that does that: submit
+// closures, wait for the pool to drain, read results from wherever the
+// closures stored them (each point owns its own result slot, so no result
+// synchronization is needed beyond the pool's own barrier).
+//
+// Determinism contract: a point must derive all of its randomness from seeds
+// it owns — either a fixed per-point seed from its config (as the figure
+// benches do) or a stream derived via PointSeed(base, index) — and must not
+// touch stdout, globals, or any other point's state. Under that contract the
+// results are identical for every job count, and a caller that prints in
+// submission order produces byte-identical output to a serial run.
+#ifndef MIMDRAID_SRC_CORE_SWEEP_RUNNER_H_
+#define MIMDRAID_SRC_CORE_SWEEP_RUNNER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mimdraid {
+
+class SweepRunner {
+ public:
+  // `jobs` worker threads; 0 resolves via ResolveJobs(). With jobs == 1 no
+  // threads are spawned at all: Submit() runs the task inline on the calling
+  // thread, which is the exact old serial execution path.
+  explicit SweepRunner(size_t jobs = 0);
+  ~SweepRunner();
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  size_t jobs() const { return jobs_; }
+
+  // Enqueues one task; it may run on any worker thread (or inline when
+  // jobs == 1). Tasks must not submit to the same runner from a worker.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. If any task threw, the
+  // first exception (in completion order) is rethrown here, once.
+  void Wait();
+
+  // Convenience: Submit() everything, then Wait().
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  // Job-count resolution shared by every bench: an explicit request (> 0)
+  // wins, then the MIMDRAID_JOBS environment variable, then
+  // std::thread::hardware_concurrency(), then 1.
+  static size_t ResolveJobs(size_t requested);
+
+  // Deterministic per-point seed stream (SplitMix64 over the pair), so a
+  // point's RNG depends only on (base_seed, point_index) — never on which
+  // worker ran it or in what order. Distinct indices give decorrelated
+  // streams even for adjacent base seeds.
+  static uint64_t PointSeed(uint64_t base_seed, uint64_t point_index);
+
+ private:
+  void WorkerLoop();
+  void RecordError(std::exception_ptr error);
+
+  const size_t jobs_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or shutdown
+  std::condition_variable idle_cv_;  // Wait(): outstanding dropped to zero
+  std::deque<std::function<void()>> queue_;
+  size_t outstanding_ = 0;  // queued + currently running tasks
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_CORE_SWEEP_RUNNER_H_

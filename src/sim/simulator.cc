@@ -16,6 +16,7 @@ EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
   const uint64_t seq = next_seq_++;
   // seq doubles as the event id: unique and monotonically increasing.
   heap_.push(Event{at, seq, seq, std::move(fn)});
+  pending_ids_.insert(seq);
   return seq;
 }
 
@@ -25,32 +26,44 @@ EventId Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == 0 || id >= next_seq_) {
+  // Only a still-pending id may enter the lazy-deletion set: a fired (or
+  // already-cancelled, or never-issued) id has no heap entry left to skip,
+  // and inserting it would corrupt the bookkeeping forever.
+  if (pending_ids_.erase(id) == 0) {
     return false;
   }
-  return cancelled_.insert(id).second;
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::DropCancelledTop() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) {
+      return true;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+  return false;
 }
 
 bool Simulator::Step() {
-  while (!heap_.empty()) {
-    Event ev = heap_.top();
-    heap_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    if (auditor_ != nullptr) {
-      auditor_->OnEventFired(now_, ev.at);
-    } else {
-      MIMDRAID_CHECK_GE(ev.at, now_);
-    }
-    now_ = ev.at;
-    ++events_fired_;
-    ev.fn();
-    return true;
+  if (!DropCancelledTop()) {
+    return false;
   }
-  return false;
+  Event ev = heap_.top();
+  heap_.pop();
+  pending_ids_.erase(ev.id);
+  if (auditor_ != nullptr) {
+    auditor_->OnEventFired(now_, ev.at);
+  } else {
+    MIMDRAID_CHECK_GE(ev.at, now_);
+  }
+  now_ = ev.at;
+  ++events_fired_;
+  ev.fn();
+  return true;
 }
 
 void Simulator::Run() {
@@ -61,17 +74,7 @@ void Simulator::Run() {
 void Simulator::RunUntil(SimTime deadline) {
   MIMDRAID_CHECK_GE(deadline, now_);
   for (;;) {
-    // Peek past cancelled entries.
-    while (!heap_.empty()) {
-      const Event& top = heap_.top();
-      auto it = cancelled_.find(top.id);
-      if (it == cancelled_.end()) {
-        break;
-      }
-      cancelled_.erase(it);
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().at > deadline) {
+    if (!DropCancelledTop() || heap_.top().at > deadline) {
       now_ = deadline;
       return;
     }

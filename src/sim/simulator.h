@@ -43,7 +43,8 @@ class Simulator {
   EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
 
   // Cancels a pending event. Cancelling an already-fired or already-cancelled
-  // event is a harmless no-op; returns whether the event was still pending.
+  // event is a harmless no-op; returns whether the event was still pending
+  // (false for fired, cancelled, or never-issued ids).
   bool Cancel(EventId id);
 
   // Runs events until the queue is empty.
@@ -56,8 +57,8 @@ class Simulator {
   // Fires the single earliest event. Returns false if the queue is empty.
   bool Step();
 
-  // Number of pending (non-cancelled) events.
-  size_t PendingEvents() const { return heap_.size() - cancelled_.size(); }
+  // Number of pending (non-cancelled, non-fired) events.
+  size_t PendingEvents() const { return pending_ids_.size(); }
 
   // Total events fired since construction (for tests / sanity checks).
   uint64_t events_fired() const { return events_fired_; }
@@ -89,10 +90,18 @@ class Simulator {
     }
   };
 
+  // Pops cancelled entries off the top of the heap until a live event (or
+  // nothing) remains; the single owner of the cancelled-set bookkeeping.
+  // Returns whether heap_.top() is a live event.
+  bool DropCancelledTop();
+
   SimTime now_ = 0;
   InvariantAuditor* auditor_ = nullptr;
   uint64_t next_seq_ = 1;
   std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
+  // Ids scheduled but neither fired nor cancelled. Membership is what makes
+  // Cancel() on a fired id a true no-op and PendingEvents() exact.
+  std::unordered_set<EventId> pending_ids_;
   // Lazy-deletion set: cancelled ids are skipped when popped.
   std::unordered_set<EventId> cancelled_;
   uint64_t events_fired_ = 0;

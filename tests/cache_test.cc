@@ -71,6 +71,52 @@ TEST(LruCache, HitRate) {
   EXPECT_NEAR(cache.HitRate(), 2.0 / 3.0, 1e-9);
 }
 
+// Regression: an Insert spanning more blocks than the cache holds used to
+// evict blocks it had installed earlier in the same call, so a Lookup of the
+// surviving tail could still miss and the list churned through every block.
+TEST(LruCache, InsertWiderThanCacheKeepsTrailingBlocks) {
+  LruBlockCache cache(16 * 512 * 2, 16);  // 2 blocks
+  cache.Insert(0, 16 * 5);                // blocks 0..4
+  EXPECT_EQ(cache.resident_blocks(), 2u);
+  EXPECT_TRUE(cache.Lookup(3 * 16, 2 * 16));  // blocks 3,4 resident
+  EXPECT_FALSE(cache.Lookup(0, 16));
+  EXPECT_FALSE(cache.Lookup(2 * 16, 16));
+}
+
+TEST(LruCache, InsertExactlyCapacityRetainsWholeRange) {
+  LruBlockCache cache(16 * 512 * 3, 16);  // 3 blocks
+  cache.Insert(160, 16);                  // pre-existing resident
+  cache.Insert(0, 16 * 3);                // blocks 0..2, evicts block 10
+  EXPECT_TRUE(cache.Lookup(0, 16 * 3));
+  EXPECT_FALSE(cache.Lookup(160, 16));
+}
+
+TEST(LruCache, SingleBlockCapacityEdgeCase) {
+  LruBlockCache cache(16 * 512, 16);  // 1 block
+  cache.Insert(0, 16 * 4);            // blocks 0..3 -> only block 3 stays
+  EXPECT_EQ(cache.resident_blocks(), 1u);
+  EXPECT_TRUE(cache.Lookup(3 * 16, 16));
+  EXPECT_FALSE(cache.Lookup(0, 16));
+}
+
+// A partial hit is one miss, and the resident prefix must NOT be touched:
+// a failed range lookup is not a use of the blocks that happened to be there.
+TEST(LruCache, PartialHitCountsOneMissAndTouchesNothing) {
+  LruBlockCache cache(16 * 512 * 2, 16);  // 2 blocks
+  cache.Insert(0, 16);                    // block 0 (LRU after next insert)
+  cache.Insert(16, 16);                   // block 1 (MRU)
+  // Range covers blocks 0..2; block 2 missing -> miss, exactly one count.
+  const uint64_t misses_before = cache.misses();
+  EXPECT_FALSE(cache.Lookup(0, 16 * 3));
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+  // If the failed lookup had touched block 0, block 1 would now be LRU and
+  // the next insert would evict it. Pin that block 0 is still the victim.
+  cache.Insert(32, 16);  // block 2
+  EXPECT_FALSE(cache.Lookup(0, 16));
+  EXPECT_TRUE(cache.Lookup(16, 16));
+  EXPECT_TRUE(cache.Lookup(32, 16));
+}
+
 TEST(LruCache, LargeWorkingSetBounded) {
   LruBlockCache cache(16 * 512 * 100, 16);
   for (uint64_t i = 0; i < 1000; ++i) {

@@ -164,5 +164,204 @@ TEST(SchedulerOptimality, RlookFollowsLookRequestOrder) {
   }
 }
 
+// --- LOOK edge cases: direction reversal and same-cylinder tie-breaks. ---
+
+class LookEdgeCases : public ::testing::Test {
+ protected:
+  LookEdgeCases()
+      : disk_(&sim_, MakeTestGeometry(), MakeTestSeekProfile(),
+              DiskNoiseModel::None(), 1, 0.0),
+        predictor_(&disk_, 0.0) {
+    ctx_.now = 0;
+    ctx_.predictor = &predictor_;
+    ctx_.layout = &disk_.layout();
+  }
+
+  QueuedRequest AtCylinder(uint64_t id, uint32_t cylinder, SimTime arrival) {
+    const uint64_t lba = disk_.layout().ToLba(Chs{cylinder, 0, 0});
+    EXPECT_NE(lba, kInvalidLba) << "cylinder " << cylinder;
+    QueuedRequest r;
+    r.id = id;
+    r.op = DiskOp::kRead;
+    r.sectors = 1;
+    r.candidate_lbas = {lba};
+    r.arrival_us = arrival;
+    return r;
+  }
+
+  std::vector<uint64_t> DrainIds(Scheduler& sched,
+                                 std::vector<QueuedRequest> queue) {
+    std::vector<uint64_t> order;
+    while (!queue.empty()) {
+      const SchedulerPick pick = sched.Pick(queue, ctx_);
+      order.push_back(queue[pick.queue_index].id);
+      queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick.queue_index));
+    }
+    return order;
+  }
+
+  Simulator sim_;
+  SimDisk disk_;
+  OraclePredictor predictor_;
+  ScheduleContext ctx_;
+};
+
+TEST_F(LookEdgeCases, ReversesOnlyWhenAheadExhausted) {
+  // Upward from cylinder 0: 10, 30, 50; then nothing ahead, so the sweep
+  // reverses and services the remaining lower cylinders in descending order.
+  auto sched = MakeScheduler(SchedulerKind::kLook);
+  std::vector<QueuedRequest> queue;
+  queue.push_back(AtCylinder(1, 50, 0));
+  queue.push_back(AtCylinder(2, 10, 0));
+  queue.push_back(AtCylinder(3, 30, 0));
+  queue.push_back(AtCylinder(4, 20, 0));
+  queue.push_back(AtCylinder(5, 40, 0));
+  // First pass picks 10, 20, 30, 40, 50 — no reversal needed at all.
+  EXPECT_EQ(DrainIds(*sched, queue), (std::vector<uint64_t>{2, 4, 3, 5, 1}));
+
+  // A fresh elevator that services 50 first must reverse to reach the rest:
+  // descending 30, then 10.
+  auto sched2 = MakeScheduler(SchedulerKind::kLook);
+  std::vector<QueuedRequest> high_first;
+  high_first.push_back(AtCylinder(1, 50, 0));
+  const SchedulerPick first = sched2->Pick(high_first, ctx_);
+  EXPECT_EQ(high_first[first.queue_index].id, 1u);  // arm now at 50, going up
+  high_first.clear();
+  high_first.push_back(AtCylinder(2, 10, 0));
+  high_first.push_back(AtCylinder(3, 30, 0));
+  EXPECT_EQ(DrainIds(*sched2, high_first), (std::vector<uint64_t>{3, 2}));
+}
+
+TEST_F(LookEdgeCases, SameCylinderTieBreaksByEarliestArrival) {
+  auto sched = MakeScheduler(SchedulerKind::kLook);
+  std::vector<QueuedRequest> queue;
+  queue.push_back(AtCylinder(1, 20, /*arrival=*/500));
+  queue.push_back(AtCylinder(2, 20, /*arrival=*/100));
+  queue.push_back(AtCylinder(3, 20, /*arrival=*/300));
+  EXPECT_EQ(DrainIds(*sched, queue), (std::vector<uint64_t>{2, 3, 1}));
+
+  // The tie-break is by arrival time, not queue position: reversing the
+  // submission order must not change the service order.
+  auto sched2 = MakeScheduler(SchedulerKind::kLook);
+  std::vector<QueuedRequest> reversed;
+  reversed.push_back(AtCylinder(3, 20, /*arrival=*/300));
+  reversed.push_back(AtCylinder(2, 20, /*arrival=*/100));
+  reversed.push_back(AtCylinder(1, 20, /*arrival=*/500));
+  EXPECT_EQ(DrainIds(*sched2, reversed), (std::vector<uint64_t>{2, 3, 1}));
+}
+
+TEST_F(LookEdgeCases, CurrentCylinderStaysEligible) {
+  // Service cylinder 40 on the way up, then requests at 40 and below:
+  // eligibility is non-strict (cyl >= current going up), so the second
+  // request at 40 is serviced with no arm movement and no reversal; only
+  // then does the sweep turn around for 15.
+  auto sched = MakeScheduler(SchedulerKind::kLook);
+  std::vector<QueuedRequest> queue;
+  queue.push_back(AtCylinder(1, 40, 0));
+  const SchedulerPick first = sched->Pick(queue, ctx_);
+  EXPECT_EQ(queue[first.queue_index].id, 1u);
+  queue.clear();
+  queue.push_back(AtCylinder(2, 15, 0));
+  queue.push_back(AtCylinder(3, 40, 0));
+  EXPECT_EQ(DrainIds(*sched, queue), (std::vector<uint64_t>{3, 2}));
+}
+
+// --- RSATF max_scan: the scan window is a strict queue prefix. ---
+
+class RsatfMaxScan : public ::testing::Test {
+ protected:
+  RsatfMaxScan()
+      : disk_(&sim_, MakeTestGeometry(), MakeTestSeekProfile(),
+              DiskNoiseModel::None(), 1, 0.0),
+        predictor_(&disk_, 0.0),
+        rng_(77) {
+    ctx_.now = 0;
+    ctx_.predictor = &predictor_;
+    ctx_.layout = &disk_.layout();
+  }
+
+  QueuedRequest RandomRequest(uint64_t id, int candidates) {
+    QueuedRequest r;
+    r.id = id;
+    r.op = DiskOp::kRead;
+    r.sectors = 1;
+    for (int c = 0; c < candidates; ++c) {
+      r.candidate_lbas.push_back(rng_.UniformU64(disk_.num_sectors() - 1));
+    }
+    r.arrival_us = static_cast<SimTime>(rng_.UniformU64(1000));
+    return r;
+  }
+
+  Simulator sim_;
+  SimDisk disk_;
+  OraclePredictor predictor_;
+  ScheduleContext ctx_;
+  Rng rng_;
+};
+
+TEST_F(RsatfMaxScan, WindowedPickEqualsFullPickOnPrefix) {
+  // RSATF with max_scan=k on the whole queue behaves exactly like unbounded
+  // RSATF restricted to the first k entries.
+  constexpr size_t kWindow = 4;
+  auto windowed = MakeScheduler(SchedulerKind::kRsatf, kWindow);
+  auto unbounded = MakeScheduler(SchedulerKind::kRsatf);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<QueuedRequest> queue;
+    for (int i = 0; i < 12; ++i) {
+      queue.push_back(RandomRequest(trial * 100 + i, 1 + trial % 3));
+    }
+    ctx_.now = trial * 4321;
+    const SchedulerPick w = windowed->Pick(queue, ctx_);
+    const std::vector<QueuedRequest> prefix(queue.begin(),
+                                            queue.begin() + kWindow);
+    const SchedulerPick u = unbounded->Pick(prefix, ctx_);
+    EXPECT_EQ(w.queue_index, u.queue_index) << "trial " << trial;
+    EXPECT_EQ(w.lba, u.lba) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(w.predicted_service_us, u.predicted_service_us);
+  }
+}
+
+TEST_F(RsatfMaxScan, CheaperCandidateBeyondWindowIsIgnored) {
+  // Sort single-candidate requests most-expensive-first, so the globally
+  // cheapest request sits at the back of the queue. Unbounded RSATF takes it;
+  // max_scan must confine the pick to the prefix window ahead of it.
+  constexpr size_t kWindow = 4;
+  auto cost = [&](const QueuedRequest& r) {
+    const AccessPlan plan =
+        predictor_.Predict(ctx_.now, r.candidate_lbas[0], r.sectors, false);
+    return predictor_.EffectiveServiceUs(plan);
+  };
+  std::vector<QueuedRequest> queue;
+  for (uint64_t i = 0; i < 10; ++i) {
+    queue.push_back(RandomRequest(i + 1, 1));
+  }
+  std::sort(queue.begin(), queue.end(),
+            [&](const QueuedRequest& a, const QueuedRequest& b) {
+              return cost(a) > cost(b);
+            });
+  ASSERT_LT(cost(queue.back()), cost(queue[kWindow - 1]));
+
+  auto unbounded = MakeScheduler(SchedulerKind::kRsatf);
+  EXPECT_EQ(unbounded->Pick(queue, ctx_).queue_index, queue.size() - 1);
+  auto windowed = MakeScheduler(SchedulerKind::kRsatf, kWindow);
+  EXPECT_LT(windowed->Pick(queue, ctx_).queue_index, kWindow);
+}
+
+TEST_F(RsatfMaxScan, ZeroAndOversizeWindowsScanTheWholeQueue) {
+  auto zero = MakeScheduler(SchedulerKind::kRsatf, 0);
+  auto oversize = MakeScheduler(SchedulerKind::kRsatf, 1000);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<QueuedRequest> queue;
+    for (int i = 0; i < 10; ++i) {
+      queue.push_back(RandomRequest(trial * 50 + i, 2));
+    }
+    ctx_.now = trial * 999;
+    const SchedulerPick a = zero->Pick(queue, ctx_);
+    const SchedulerPick b = oversize->Pick(queue, ctx_);
+    EXPECT_EQ(a.queue_index, b.queue_index);
+    EXPECT_EQ(a.lba, b.lba);
+  }
+}
+
 }  // namespace
 }  // namespace mimdraid

@@ -116,6 +116,73 @@ TEST(Simulator, EventsScheduledDuringRunAreExecuted) {
   EXPECT_EQ(sim.Now(), 45);
 }
 
+// Regression: Cancel used to accept the id of an already-fired event,
+// permanently inserting it into the lazy-deletion set and making
+// PendingEvents() (then computed as heap size minus cancelled size)
+// underflow and wrap to ~2^64.
+TEST(Simulator, CancelFiredEventIsNoOp) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(10, [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  // The stale cancel must not eat a later event either.
+  bool fired = false;
+  sim.ScheduleAfter(5, [&] { fired = true; });
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(Simulator, PendingEventsExactAfterFiredIdCancels) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(sim.ScheduleAt(10 * (i + 1), [] {}));
+  }
+  sim.RunUntil(20);  // fires ids[0], ids[1]
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  EXPECT_FALSE(sim.Cancel(ids[0]));
+  EXPECT_FALSE(sim.Cancel(ids[1]));
+  EXPECT_EQ(sim.PendingEvents(), 2u);  // never underflows
+  EXPECT_TRUE(sim.Cancel(ids[2]));
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_EQ(sim.events_fired(), 3u);
+}
+
+// An event cancelling itself from inside its own callback has already fired.
+TEST(Simulator, CancelSelfInsideCallbackIsNoOp) {
+  Simulator sim;
+  EventId id = 0;
+  bool cancel_result = true;
+  id = sim.ScheduleAt(10, [&] { cancel_result = sim.Cancel(id); });
+  sim.Run();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(Simulator, RunUntilDrainsCancelledEntriesExactlyOnce) {
+  Simulator sim;
+  // Interleave live and cancelled events around the deadline, then make sure
+  // the shared pop-next-live helper leaves the accounting exact.
+  const EventId a = sim.ScheduleAt(10, [] {});
+  const EventId b = sim.ScheduleAt(20, [] {});
+  const EventId c = sim.ScheduleAt(30, [] {});
+  sim.ScheduleAt(40, [] {});
+  EXPECT_TRUE(sim.Cancel(a));
+  EXPECT_TRUE(sim.Cancel(c));
+  sim.RunUntil(30);
+  EXPECT_EQ(sim.events_fired(), 1u);  // only b
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  EXPECT_FALSE(sim.Cancel(b));
+  sim.Run();
+  EXPECT_EQ(sim.events_fired(), 2u);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
 TEST(Simulator, PendingEventsAccounting) {
   Simulator sim;
   const EventId a = sim.ScheduleAt(10, [] {});
