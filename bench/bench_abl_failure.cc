@@ -45,7 +45,7 @@ Outcome RunRaid10() {
     options.scheduler = SchedulerKind::kSatf;
     options.dataset_sectors = kDataset;
     MimdRaid array(options);
-    MIMDRAID_CHECK(array.controller().FailDisk(0));
+    MIMDRAID_CHECK(array.controller().FailDisk(SlotId(0)));
     ClosedLoopOptions loop;
     loop.outstanding = 1;
     loop.read_frac = 1.0;
@@ -54,10 +54,10 @@ Outcome RunRaid10() {
     loop.measure_ops = 2500;
     out.degraded_ms = RunClosedLoopOnArray(array, loop).latency.MeanMs();
     const SimTime start = array.sim().Now();
-    SimTime rebuilt = -1;
+    SimTime rebuilt(-1);
     array.controller().RebuildDisk(
         0, [&](const IoResult& r) { rebuilt = r.completion_us; });
-    while (rebuilt < 0) {
+    while (rebuilt < SimTime(0)) {
       array.sim().Step();
     }
     out.rebuild_minutes = SecondsFromUs(rebuilt - start) / 60.0;
@@ -74,7 +74,7 @@ Outcome RunRaid5() {
     rig.seed = 13;
     std::unique_ptr<MimdRaid> array = MakeRaid5Array(rig);
     if (pass == 1) {
-      MIMDRAID_CHECK(array->backend().FailDisk(0));
+      MIMDRAID_CHECK(array->backend().FailDisk(SlotId(0)));
     }
     ClosedLoopOptions loop;
     loop.dataset_sectors = kDataset;
@@ -90,10 +90,10 @@ Outcome RunRaid5() {
     } else {
       out.degraded_ms = r.latency.MeanMs();
       const SimTime start = array->sim().Now();
-      SimTime rebuilt = -1;
+      SimTime rebuilt(-1);
       array->backend().Rebuild(
-          0, [&](const IoResult& res) { rebuilt = res.completion_us; });
-      while (rebuilt < 0) {
+          SlotId(0), [&](const IoResult& res) { rebuilt = res.completion_us; });
+      while (rebuilt < SimTime(0)) {
         array->sim().Step();
       }
       out.rebuild_minutes = SecondsFromUs(rebuilt - start) / 60.0;

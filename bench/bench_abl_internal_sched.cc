@@ -50,7 +50,7 @@ Outcome RunClosed(Simulator* sim, SubmitOne submit) {
     const SimTime t0 = sim->Now();
     submit(rng, [&, t0](SimTime completion) {
       ++done;
-      latency.Add(static_cast<double>(completion - t0));
+      latency.Add(static_cast<double>((completion - t0).us()));
       if (done + static_cast<int>(kQueue) <= kOps) {
         issue();
       }
@@ -86,7 +86,10 @@ Outcome RunHost(SchedulerKind kind) {
     if (disk.busy() || queue.empty()) {
       return;
     }
-    ScheduleContext ctx{sim.Now(), predictor.get(), &disk.layout()};
+    ScheduleContext ctx;
+    ctx.now = sim.Now();
+    ctx.predictor = predictor.get();
+    ctx.layout = &disk.layout();
     const SchedulerPick pick = sched->Pick(queue, ctx);
     QueuedRequest entry = std::move(queue[pick.queue_index]);
     queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick.queue_index));
@@ -97,7 +100,7 @@ Outcome RunHost(SchedulerKind kind) {
     }
     predictor->OnDispatch(sim.Now(), pick.lba, entry.sectors, false, predicted);
     const uint64_t id = entry.id;
-    const uint64_t lba = pick.lba;
+    const BlockAddr lba = pick.lba;
     const uint32_t sectors = entry.sectors;
     disk.Start(entry.op, lba, sectors, [&, id, lba,
                                         sectors](const DiskOpResult& r) {
@@ -115,7 +118,7 @@ Outcome RunHost(SchedulerKind kind) {
     entry.id = next_id++;
     entry.op = DiskOp::kRead;
     entry.sectors = 1;
-    entry.candidate_lbas = {rng.UniformU64(disk.num_sectors())};
+    entry.candidate_lbas = {BlockAddr(rng.UniformU64(disk.num_sectors()))};
     entry.arrival_us = sim.Now();
     done_map[entry.id] = std::move(cb);
     queue.push_back(std::move(entry));
@@ -129,7 +132,7 @@ Outcome RunFirmware(FirmwarePolicy policy) {
   SimDisk& disk = *drive_ptr;
   InternalQueueDisk drive(&disk, policy);
   return RunClosed(&sim, [&](Rng& rng, std::function<void(SimTime)> cb) {
-    drive.Submit(DiskOp::kRead, rng.UniformU64(disk.num_sectors()), 1,
+    drive.Submit(DiskOp::kRead, BlockAddr(rng.UniformU64(disk.num_sectors())), 1,
                  [cb = std::move(cb)](const DiskOpResult& r) {
                    cb(r.completion_us);
                  });

@@ -140,6 +140,7 @@ struct TraceRunOutput {
 inline TraceRunOutput RunTraceConfig(const Trace& trace,
                                      const TraceRunConfig& config) {
   const char* trace_dir = std::getenv("MIMDRAID_TRACE_DIR");
+  // mdl-ok(MDL005): this rig IS the harness; it owns the collector it lends
   std::unique_ptr<TraceCollector> collector;
   if (trace_dir != nullptr) {
     collector = std::make_unique<TraceCollector>();
@@ -159,6 +160,7 @@ inline TraceRunOutput RunTraceConfig(const Trace& trace,
   popt.collector = collector.get();
   const RunResult r = RunTraceOnArray(array, trace, popt);
   if (collector != nullptr) {
+    // mdl-ok(MDL004): process-wide atomic file counter, documented above
     static std::atomic<int> seq{0};
     const int file_id = tl_sweep_point_index >= 0
                             ? tl_sweep_point_index
@@ -220,7 +222,7 @@ struct Raid5RigConfig {
   FaultInjectorOptions fault;
   uint32_t disk_error_fail_threshold = 0;
   uint32_t hot_spares = 0;
-  SimTime scrub_interval_us = 0;
+  SimDuration scrub_interval_us;
   TraceCollector* collector = nullptr;
   InvariantAuditor* auditor = nullptr;
 };

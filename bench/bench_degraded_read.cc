@@ -43,11 +43,11 @@ ClosedLoopOptions ReadLoop(uint64_t dataset) {
 // assembly path and are driven through the shared ArrayBackend interface.
 double RunPhase(MimdRaid* array, Phase phase, bool* rebuilt) {
   if (phase != Phase::kHealthy) {
-    MIMDRAID_CHECK(array->backend().FailDisk(0));
+    MIMDRAID_CHECK(array->backend().FailDisk(SlotId(0)));
   }
   if (phase == Phase::kRebuilding) {
     array->backend().Rebuild(
-        0, [rebuilt](const IoResult&) { *rebuilt = true; });
+        SlotId(0), [rebuilt](const IoResult&) { *rebuilt = true; });
   }
   ClosedLoopDriver driver(&array->sim(), array->Submitter(),
                           ReadLoop(kDataset));

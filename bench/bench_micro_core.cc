@@ -20,15 +20,18 @@ struct Fixture {
         layout(&geometry),
         profile(MakeSt39133SeekProfile()),
         timing(&layout, profile, 0.0),
+        placement3(&layout, 3),
         rng(1) {}
   DiskGeometry geometry;
   DiskLayout layout;
   SeekProfile profile;
   DiskTimingModel timing;
+  SrDiskPlacement placement3;
   Rng rng;
 };
 
 Fixture& F() {
+  // mdl-ok(MDL004): serial google-benchmark binary, never in a parallel sweep
   static Fixture f;
   return f;
 }
@@ -60,7 +63,7 @@ BENCHMARK(BM_TimingPlan);
 
 void BM_PlacementPhysicalLba(benchmark::State& state) {
   Fixture& f = F();
-  static SrDiskPlacement placement(&f.layout, 3);
+  SrDiskPlacement& placement = f.placement3;
   uint64_t s = 5;
   int r = 0;
   for (auto _ : state) {
@@ -79,7 +82,7 @@ void BM_SimDiskOp(benchmark::State& state) {
   for (auto _ : state) {
     const uint64_t lba = rng.UniformU64(disk.num_sectors() - 8);
     bool done = false;
-    disk.Start(DiskOp::kRead, lba, 8, [&](const DiskOpResult&) {
+    disk.Start(DiskOp::kRead, BlockAddr(lba), 8, [&](const DiskOpResult&) {
       done = true;
     });
     while (!done) {
@@ -104,18 +107,20 @@ void BM_RsatfPick(benchmark::State& state) {
     req.op = DiskOp::kRead;
     req.sectors = 8;
     const uint64_t s = rng.UniformU64(placement.capacity_sectors() - 8);
-    req.candidate_lbas = placement.AllReplicas(s);
+    for (const uint64_t cand : placement.AllReplicas(s)) {
+      req.candidate_lbas.push_back(BlockAddr(cand));
+    }
     queue.push_back(std::move(req));
   }
   RsatfScheduler sched;
   ScheduleContext ctx;
   ctx.predictor = &predictor;
   ctx.layout = &disk.layout();
-  SimTime now = 0;
+  SimTime now;
   for (auto _ : state) {
     ctx.now = now;
     benchmark::DoNotOptimize(sched.Pick(queue, ctx));
-    now += 1000;
+    now += SimDuration(1000);
   }
   state.SetComplexityN(static_cast<int64_t>(queue_len));
 }

@@ -46,7 +46,7 @@ int main() {
               geo.CapacityBytes() / 1e9, geo.num_cylinders, geo.num_heads,
               geo.zones.size());
   std::printf("%-22s %-28s %u (R = %lld us)\n", "RPM", "10000", geo.rpm,
-              static_cast<long long>(geo.RotationUs()));
+              static_cast<long long>(geo.RotationUs().us()));
   std::printf("%-22s %-28s %.1f ms read, %.1f ms write (measured)\n",
               "Average seek", "5.2 ms read, 6.0 ms write",
               read_seek.mean() / 1000.0, write_seek.mean() / 1000.0);

@@ -26,7 +26,7 @@ int main() {
   options.dataset_sectors = trace.dataset_sectors;
   options.noise = DiskNoiseModel::Prototype();
   options.use_oracle_predictor = false;
-  options.recalibration_interval_us = 120'000'000;
+  options.recalibration_interval_us = SimDuration(120'000'000);
   options.calibration.seek.num_distances = 12;
   options.max_scan = 128;
   MimdRaid array(options);

@@ -75,23 +75,23 @@ int main() {
     // is inside the slack (on a replicated layout the scheduler would take
     // the next replica instead).
     uint64_t lba = rng.UniformU64(disk.num_sectors());
-    AccessPlan plan = predictor.Predict(sim.Now(), lba, 1, false);
+    AccessPlan plan = predictor.Predict(sim.Now(), BlockAddr(lba), 1, false);
     for (int retry = 0;
          retry < 8 && plan.rotational_us < predictor.SlackUs(); ++retry) {
       lba = rng.UniformU64(disk.num_sectors());
-      plan = predictor.Predict(sim.Now(), lba, 1, false);
+      plan = predictor.Predict(sim.Now(), BlockAddr(lba), 1, false);
     }
-    predictor.OnDispatch(sim.Now(), lba, 1, false, plan.total_us);
+    predictor.OnDispatch(sim.Now(), BlockAddr(lba), 1, false, plan.total_us);
     bool done = false;
-    SimTime completion = 0;
-    disk.Start(DiskOp::kRead, lba, 1, [&](const DiskOpResult& r) {
+    SimTime completion(0);
+    disk.Start(DiskOp::kRead, BlockAddr(lba), 1, [&](const DiskOpResult& r) {
       completion = r.completion_us;
       done = true;
     });
     while (!done) {
       sim.Step();
     }
-    predictor.OnCompletion(completion, lba, 1);
+    predictor.OnCompletion(completion, BlockAddr(lba), 1);
   }
   const PredictorStats& stats = predictor.stats();
   std::printf("  requests:                 %d\n", kOps);

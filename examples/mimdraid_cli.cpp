@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
   if (flags.GetBool("noisy", false)) {
     options.noise = DiskNoiseModel::Prototype();
     options.use_oracle_predictor = false;
-    options.recalibration_interval_us = 120'000'000;
+    options.recalibration_interval_us = SimDuration(120'000'000);
     options.calibration.seek.num_distances = 12;
   }
   MimdRaid array(options);

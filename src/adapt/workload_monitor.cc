@@ -33,7 +33,7 @@ void WorkloadMonitor::OnSubmit(DiskOp op, uint64_t lba, uint32_t sectors,
 
   ++submitted_;
   outstanding_integral_ += static_cast<double>(outstanding_) *
-                           static_cast<double>(now - last_change_us_);
+                           static_cast<double>((now - last_change_us_).us());
   last_change_us_ = now;
   ++outstanding_;
 }
@@ -41,7 +41,7 @@ void WorkloadMonitor::OnSubmit(DiskOp op, uint64_t lba, uint32_t sectors,
 void WorkloadMonitor::OnComplete(SimTime now) {
   MIMDRAID_CHECK_GT(outstanding_, 0u);
   outstanding_integral_ += static_cast<double>(outstanding_) *
-                           static_cast<double>(now - last_change_us_);
+                           static_cast<double>((now - last_change_us_).us());
   last_change_us_ = now;
   --outstanding_;
   ++completed_;
@@ -54,7 +54,8 @@ WorkloadProfile WorkloadMonitor::Snapshot(int disks,
   if (samples_.size() < 2) {
     return p;
   }
-  const SimTime span = samples_.back().time_us - samples_.front().time_us;
+  const SimDuration span =
+      samples_.back().time_us - samples_.front().time_us;
   uint64_t reads = 0;
   double dist_sum = 0.0;
   double sector_sum = 0.0;
@@ -68,15 +69,15 @@ WorkloadProfile WorkloadMonitor::Snapshot(int disks,
   const double n = static_cast<double>(samples_.size());
   p.read_frac = static_cast<double>(reads) / n;
   p.mean_request_sectors = sector_sum / n;
-  p.io_per_s = span > 0 ? n / SecondsFromUs(span) : 0.0;
+  p.io_per_s = span > SimDuration(0) ? n / SecondsFromUs(span) : 0.0;
   const double mean_dist = dist_sum / (n - 1);
   const double random_dist = static_cast<double>(dataset_sectors_) / 3.0;
   p.locality = mean_dist > 0.0 ? std::max(1.0, random_dist / mean_dist) : 1.0;
 
-  const SimTime elapsed = last_change_us_ - window_start_us_;
+  const SimDuration elapsed = last_change_us_ - window_start_us_;
   p.mean_queue_depth =
-      elapsed > 0
-          ? outstanding_integral_ / static_cast<double>(elapsed)
+      elapsed > SimDuration(0)
+          ? outstanding_integral_ / static_cast<double>(elapsed.us())
           : static_cast<double>(outstanding_);
 
   // Utilization: offered disk-time per wall-time. Idle headroom masks write

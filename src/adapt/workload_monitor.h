@@ -66,10 +66,10 @@ class WorkloadMonitor {
   uint64_t submitted_ = 0;
   uint64_t completed_ = 0;
   // Time-averaged outstanding count.
-  SimTime last_change_us_ = 0;
+  SimTime last_change_us_;
   uint64_t outstanding_ = 0;
   double outstanding_integral_ = 0.0;
-  SimTime window_start_us_ = 0;
+  SimTime window_start_us_;
 };
 
 }  // namespace mimdraid

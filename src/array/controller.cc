@@ -42,12 +42,12 @@ ArrayController::ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
   MIMDRAID_CHECK_EQ(disks.size(), layout->num_disks());
   MIMDRAID_CHECK_EQ(predictors.size(), disks.size());
   const size_t n = disks.size();
-  recalibration_events_.resize(n, 0);
+  recalibration_events_.resize(n);
   drives_ = std::make_unique<DriveSet>(sim, std::move(disks),
                                        std::move(predictors),
                                        static_cast<DriveSetClient*>(this),
                                        EngineOptions(options));
-  if (options_.recalibration_interval_us > 0) {
+  if (options_.recalibration_interval_us > SimDuration(0)) {
     for (size_t i = 0; i < n; ++i) {
       ScheduleRecalibration(static_cast<uint32_t>(i));
     }
@@ -57,8 +57,10 @@ ArrayController::ArrayController(Simulator* sim, std::vector<SimDisk*> disks,
 
 ArrayController::~ArrayController() {
   for (EventId id : recalibration_events_) {
-    if (id != 0) {
-      sim_->Cancel(id);
+    if (id.valid()) {
+      // The timer callback re-arms itself before returning, so a valid
+      // handle always names a pending event and cancellation cannot miss.
+      MIMDRAID_CHECK(sim_->Cancel(id));
     }
   }
   StopScrub();
@@ -195,13 +197,13 @@ bool ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
   // Per-disk candidate sets, stale replicas excluded.
   struct DiskCandidates {
     uint32_t disk;
-    std::vector<uint64_t> lbas;
+    std::vector<BlockAddr> lbas;
   };
   std::vector<DiskCandidates> candidates;
   for (int m = 0; m < dm; ++m) {
     DiskCandidates dc;
     dc.disk = frag.replicas[static_cast<size_t>(m) * dr].disk;
-    if (drives_->failed(dc.disk)) {
+    if (drives_->failed(SlotId(dc.disk))) {
       continue;
     }
     for (int r = 0; r < dr; ++r) {
@@ -217,7 +219,7 @@ bool ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
         continue;
       }
       if (ignore_stale || !ReplicaIsStale(loc.disk, loc.lba, frag.sectors)) {
-        dc.lbas.push_back(loc.lba);
+        dc.lbas.push_back(BlockAddr(loc.lba));
       }
     }
     if (!dc.lbas.empty()) {
@@ -238,13 +240,13 @@ bool ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
     const DiskCandidates* best_idle = nullptr;
     double best_cost = std::numeric_limits<double>::infinity();
     for (const DiskCandidates& dc : candidates) {
-      if (drives_->disk(dc.disk)->busy() || !drives_->fg(dc.disk).empty()) {
+      if (drives_->disk(SlotId(dc.disk))->busy() || !drives_->fg(SlotId(dc.disk)).empty()) {
         continue;
       }
-      for (uint64_t cand : dc.lbas) {
-        const AccessPlan plan = drives_->predictor(dc.disk)->Predict(
+      for (BlockAddr cand : dc.lbas) {
+        const AccessPlan plan = drives_->predictor(SlotId(dc.disk))->Predict(
             sim_->Now(), cand, frag.sectors, /*is_write=*/false);
-        const double cost = drives_->predictor(dc.disk)->EffectiveServiceUs(plan);
+        const double cost = drives_->predictor(SlotId(dc.disk))->EffectiveServiceUs(plan);
         if (cost < best_cost) {
           best_cost = cost;
           best_idle = &dc;
@@ -271,12 +273,12 @@ bool ArrayController::SubmitReadFragment(FragState& frag, uint64_t frag_key) {
     entry.arrival_us = sim_->Now();
     entry.tag = frag_key;
     frag.queued.emplace_back(dc->disk, entry.id);
-    drives_->EnqueueFg(dc->disk, std::move(entry));
+    drives_->EnqueueFg(SlotId(dc->disk), std::move(entry));
   }
   // Dispatch after all duplicates are queued so cancellation state is
   // complete before the first pick.
   for (const DiskCandidates* dc : targets) {
-    drives_->MaybeDispatch(dc->disk);
+    drives_->MaybeDispatch(SlotId(dc->disk));
   }
   return true;
 }
@@ -290,7 +292,7 @@ bool ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
     // replica; the fragment completes when all land.
     uint32_t live = 0;
     for (const ReplicaLocation& loc : frag.replicas) {
-      if (!drives_->failed(loc.disk)) {
+      if (!drives_->failed(SlotId(loc.disk))) {
         ++live;
       }
     }
@@ -302,21 +304,21 @@ bool ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
     frag.entries_remaining = live;
     std::vector<uint32_t> touched;
     for (const ReplicaLocation& loc : frag.replicas) {
-      if (drives_->failed(loc.disk)) {
+      if (drives_->failed(SlotId(loc.disk))) {
         continue;
       }
       QueuedRequest entry;
       entry.id = drives_->AllocEntryId();
       entry.op = DiskOp::kWrite;
       entry.sectors = frag.sectors;
-      entry.candidate_lbas = {loc.lba};
+      entry.candidate_lbas = {BlockAddr(loc.lba)};
       entry.arrival_us = sim_->Now();
       entry.tag = frag_key;
-      drives_->EnqueueFg(loc.disk, std::move(entry));
+      drives_->EnqueueFg(SlotId(loc.disk), std::move(entry));
       touched.push_back(loc.disk);
     }
     for (uint32_t d : touched) {
-      drives_->MaybeDispatch(d);
+      drives_->MaybeDispatch(SlotId(d));
     }
     return true;
   }
@@ -328,7 +330,7 @@ bool ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
   std::vector<uint32_t> touched;
   for (int m = 0; m < dm; ++m) {
     const uint32_t disk = frag.replicas[static_cast<size_t>(m) * dr].disk;
-    if (drives_->failed(disk)) {
+    if (drives_->failed(SlotId(disk))) {
       continue;
     }
     QueuedRequest entry;
@@ -339,10 +341,10 @@ bool ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
     entry.tag = frag_key;
     for (int r = 0; r < dr; ++r) {
       entry.candidate_lbas.push_back(
-          frag.replicas[static_cast<size_t>(m) * dr + r].lba);
+          BlockAddr(frag.replicas[static_cast<size_t>(m) * dr + r].lba));
     }
     frag.queued.emplace_back(disk, entry.id);
-    drives_->EnqueueFg(disk, std::move(entry));
+    drives_->EnqueueFg(SlotId(disk), std::move(entry));
     touched.push_back(disk);
   }
   if (touched.empty()) {
@@ -350,7 +352,7 @@ bool ArrayController::SubmitWriteFragment(FragState& frag, uint64_t frag_key) {
     return false;
   }
   for (uint32_t d : touched) {
-    drives_->MaybeDispatch(d);
+    drives_->MaybeDispatch(SlotId(d));
   }
   return true;
 }
@@ -374,12 +376,13 @@ void ArrayController::AuditMappedFragments(
                        layout_->aspect().dr, layout_->num_disks(),
                        drives_->num_slots() == 0
                            ? 0
-                           : drives_->disk(0)->num_sectors(),
+                           : drives_->disk(SlotId(0))->num_sectors(),
                        audit_frags);
 }
 
-void ArrayController::OnEntryDispatched(uint32_t disk,
+void ArrayController::OnEntryDispatched(SlotId slot,
                                         const QueuedRequest& entry) {
+  const uint32_t disk = slot.value();
   if (!entry.delayed && !entry.maintenance) {
     CancelSiblings(entry.tag, disk, entry.id);
   }
@@ -394,7 +397,7 @@ void ArrayController::CancelSiblings(uint64_t frag_key, uint32_t winner_disk,
     if (disk == winner_disk && entry_id == winner_entry) {
       continue;
     }
-    auto& q = drives_->fg(disk);
+    auto& q = drives_->fg(SlotId(disk));
     for (size_t i = 0; i < q.size(); ++i) {
       if (q[i].id == entry_id) {
         q.erase(q.begin() + static_cast<ptrdiff_t>(i));
@@ -412,9 +415,12 @@ void ArrayController::CancelSiblings(uint64_t frag_key, uint32_t winner_disk,
   frag.queued.clear();
 }
 
-void ArrayController::OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
-                                      uint64_t chosen_lba,
+void ArrayController::OnEntryComplete(SlotId slot,
+                                      const QueuedRequest& entry,
+                                      BlockAddr chosen_addr,
                                       const DiskOpResult& result) {
+  const uint32_t disk = slot.value();
+  const uint64_t chosen_lba = chosen_addr.value();
   // The engine has already reported the completion to the auditor and, for
   // failures, opened the fault record and run the fault counters (possibly
   // auto-failing the slot). Only the mirror policy's bookkeeping runs here.
@@ -444,7 +450,7 @@ void ArrayController::OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
     }
     ++stats_.maintenance_reads;
     if (auto* hp =
-            dynamic_cast<HeadPositionPredictor*>(drives_->predictor(disk))) {
+            dynamic_cast<HeadPositionPredictor*>(drives_->predictor(SlotId(disk)))) {
       hp->AddReferenceObservation(result.completion_us);
     }
     return;
@@ -507,7 +513,7 @@ void ArrayController::CompleteFragment(uint64_t frag_key, FragState& frag,
       }
       for (const ReplicaLocation& loc : frag.replicas) {
         if ((loc.disk == chosen_disk && loc.lba == chosen_lba) ||
-            drives_->failed(loc.disk)) {
+            drives_->failed(SlotId(loc.disk))) {
           continue;
         }
         AddDelayedWrite(loc.disk, loc.lba, frag.sectors);
@@ -522,7 +528,7 @@ void ArrayController::CompleteFragment(uint64_t frag_key, FragState& frag,
     // rewritten with the data just served from a surviving copy; the drive's
     // firmware remaps the latent sector on write, clearing the error.
     for (const ReplicaLocation& bad : frag.bad_replicas) {
-      if (drives_->failed(bad.disk)) {
+      if (drives_->failed(SlotId(bad.disk))) {
         continue;
       }
       ++fstats().repairs_queued;
@@ -622,7 +628,7 @@ void ArrayController::HandleReadFailure(uint32_t disk,
 
   // A timeout says nothing about the media; retry in place (bounded, with
   // backoff) before writing the path off.
-  if (result.status == IoStatus::kTimeout && !drives_->failed(disk) &&
+  if (result.status == IoStatus::kTimeout && !drives_->failed(SlotId(disk)) &&
       frag.attempts + 1 < options_.retry.max_attempts) {
     ++frag.attempts;
     ++fstats().retries_issued;
@@ -642,7 +648,7 @@ void ArrayController::HandleReadFailure(uint32_t disk,
     // That specific replica is bad: never read it again for this fragment,
     // and rewrite it once a clean copy has been served (CompleteFragment).
     frag.bad_replicas.push_back(ReplicaLocation{disk, chosen_lba});
-  } else if (result.status == IoStatus::kTimeout && !drives_->failed(disk)) {
+  } else if (result.status == IoStatus::kTimeout && !drives_->failed(SlotId(disk))) {
     // Retries exhausted: treat the whole path as suspect for this fragment.
     for (const ReplicaLocation& loc : frag.replicas) {
       if (loc.disk == disk) {
@@ -654,7 +660,7 @@ void ArrayController::HandleReadFailure(uint32_t disk,
   // disk from candidate sets.
 
   ++fstats().failovers;
-  const bool target_failed = drives_->failed(disk);
+  const bool target_failed = drives_->failed(SlotId(disk));
   if (SubmitReadFragment(frag, entry.tag)) {
     ResolveFault(entry.id, FaultResolution::kFailedOver, target_failed);
   } else {
@@ -677,7 +683,7 @@ void ArrayController::HandleWriteFailure(uint32_t disk,
   if (!options_.foreground_write_propagation) {
     // First-copy write: duplicates were cancelled at dispatch, so this entry
     // carried the fragment alone.
-    if (drives_->failed(disk)) {
+    if (drives_->failed(SlotId(disk))) {
       ++fstats().failovers;
       if (SubmitWriteFragment(frag, frag_key)) {
         ResolveFault(entry.id, FaultResolution::kFailedOver, true);
@@ -703,7 +709,7 @@ void ArrayController::HandleWriteFailure(uint32_t disk,
   }
 
   // Foreground propagation: each entry is one replica.
-  if (drives_->failed(disk)) {
+  if (drives_->failed(SlotId(disk))) {
     // This copy is lost; surviving copies carry the fragment. If none
     // succeeded by the time all entries account, the write is unrecoverable.
     ResolveFault(entry.id, FaultResolution::kAbandoned, true);
@@ -714,20 +720,20 @@ void ArrayController::HandleWriteFailure(uint32_t disk,
   retry.id = drives_->AllocEntryId();
   retry.op = DiskOp::kWrite;
   retry.sectors = entry.sectors;
-  retry.candidate_lbas = {chosen_lba};
+  retry.candidate_lbas = {BlockAddr(chosen_lba)};
   retry.tag = frag_key;
   retry.attempts = entry.attempts + 1;
   ++fstats().retries_issued;
   ResolveFault(entry.id, FaultResolution::kRetried, false);
   ScheduleRecovery(retry.attempts,
                    [this, disk, retry = std::move(retry)]() mutable {
-                     if (drives_->failed(disk)) {
+                     if (drives_->failed(SlotId(disk))) {
                        LoseWriteReplica(retry.tag);
                        return;
                      }
                      retry.arrival_us = sim_->Now();
-                     drives_->EnqueueFg(disk, std::move(retry));
-                     drives_->MaybeDispatch(disk);
+                     drives_->EnqueueFg(SlotId(disk), std::move(retry));
+                     drives_->MaybeDispatch(SlotId(disk));
                    });
 }
 
@@ -752,7 +758,7 @@ void ArrayController::HandleDelayedFailure(uint32_t disk,
   (void)result;
   const std::optional<uint64_t> owner = nvram_.OwnerOf(disk, chosen_lba);
   const bool is_owner = owner.has_value() && *owner == entry.id;
-  if (drives_->failed(disk)) {
+  if (drives_->failed(SlotId(disk))) {
     if (is_owner) {
       nvram_.Erase(disk, chosen_lba);
       if (auditor_ != nullptr) {
@@ -784,7 +790,7 @@ void ArrayController::HandleDelayedFailure(uint32_t disk,
   const uint32_t attempts = entry.attempts + 1;
   const uint32_t sectors = entry.sectors;
   ScheduleRecovery(attempts, [this, disk, chosen_lba, sectors, attempts]() {
-    if (drives_->failed(disk)) {
+    if (drives_->failed(SlotId(disk))) {
       for (uint32_t s = 0; s < sectors; ++s) {
         stale_sectors_.erase(ReplicaKey(disk, chosen_lba + s));
       }
@@ -805,7 +811,7 @@ void ArrayController::HandleMaintenanceFailure(uint32_t disk,
     auto fn = std::move(rit->second);
     rebuild_read_done_.erase(rit);
     fn(result);  // restarts the fragment copy with a different source
-    ResolveFault(entry.id, FaultResolution::kFailedOver, drives_->failed(disk));
+    ResolveFault(entry.id, FaultResolution::kFailedOver, drives_->failed(SlotId(disk)));
     return;
   }
   if (auto wit = rebuild_write_done_.find(entry.id);
@@ -814,9 +820,9 @@ void ArrayController::HandleMaintenanceFailure(uint32_t disk,
     rebuild_write_done_.erase(wit);
     fn(result);  // retries the copy, or records it lost if the target died
     ResolveFault(entry.id,
-                 drives_->failed(disk) ? FaultResolution::kAbandoned
+                 drives_->failed(SlotId(disk)) ? FaultResolution::kAbandoned
                                        : FaultResolution::kRetried,
-                 drives_->failed(disk));
+                 drives_->failed(SlotId(disk)));
     return;
   }
   if (auto sit = scrub_reads_.find(entry.id); sit != scrub_reads_.end()) {
@@ -824,7 +830,7 @@ void ArrayController::HandleMaintenanceFailure(uint32_t disk,
     scrub_reads_.erase(sit);
     ++fstats().scrub_reads;
     if (result.status == IoStatus::kMediaError &&
-        !drives_->failed(target.disk)) {
+        !drives_->failed(SlotId(target.disk))) {
       // Latent sector error caught by the sweep: rewrite the replica with
       // the logically equivalent data the scrubber reads from its siblings
       // in the same pass; the drive remaps the sector on write.
@@ -832,7 +838,7 @@ void ArrayController::HandleMaintenanceFailure(uint32_t disk,
       ++fstats().repairs_queued;
       AddDelayedWrite(target.disk, target.lba, target.sectors);
       ResolveFault(entry.id, FaultResolution::kRepaired, false);
-    } else if (drives_->failed(target.disk)) {
+    } else if (drives_->failed(SlotId(target.disk))) {
       ResolveFault(entry.id, FaultResolution::kAbandoned, true);
     } else {
       // Transient noise on a verification read: the next sweep revisits the
@@ -843,17 +849,18 @@ void ArrayController::HandleMaintenanceFailure(uint32_t disk,
   }
   // Recalibration reference read: nothing to recover — the observation is
   // simply missed and the next timer issues a fresh one.
-  ResolveFault(entry.id, FaultResolution::kSurfaced, drives_->failed(disk));
+  ResolveFault(entry.id, FaultResolution::kSurfaced, drives_->failed(SlotId(disk)));
 }
 
-void ArrayController::OnSlotFailed(uint32_t disk) {
+void ArrayController::OnSlotFailed(SlotId slot) {
+  const uint32_t disk = slot.value();
   AbandonDelayedQueue(disk);
   RerouteQueuedEntries(disk);
 }
 
 void ArrayController::AbandonDelayedQueue(uint32_t disk) {
-  std::vector<QueuedRequest> drained = std::move(drives_->delayed(disk));
-  drives_->delayed(disk).clear();
+  std::vector<QueuedRequest> drained = std::move(drives_->delayed(SlotId(disk)));
+  drives_->delayed(SlotId(disk)).clear();
   for (QueuedRequest& e : drained) {
     if (auditor_ != nullptr) {
       auditor_->OnEntryCancelled(disk, e.id);
@@ -881,21 +888,21 @@ void ArrayController::AbandonDelayedQueue(uint32_t disk) {
       continue;
     }
     // Pending propagation to a dead disk: meaningless now.
-    if (nvram_.EraseIfOwner(disk, e.candidate_lbas.front(), e.id)) {
+    if (nvram_.EraseIfOwner(disk, e.candidate_lbas.front().value(), e.id)) {
       if (auditor_ != nullptr) {
-        auditor_->OnNvramErase(disk, e.candidate_lbas.front());
+        auditor_->OnNvramErase(disk, e.candidate_lbas.front().value());
       }
     }
     for (uint32_t s = 0; s < e.sectors; ++s) {
-      stale_sectors_.erase(ReplicaKey(disk, e.candidate_lbas.front() + s));
+      stale_sectors_.erase(ReplicaKey(disk, e.candidate_lbas.front().value() + s));
     }
     ++fstats().propagations_abandoned;
   }
 }
 
 void ArrayController::RerouteQueuedEntries(uint32_t disk) {
-  std::vector<QueuedRequest> moved = std::move(drives_->fg(disk));
-  drives_->fg(disk).clear();
+  std::vector<QueuedRequest> moved = std::move(drives_->fg(SlotId(disk)));
+  drives_->fg(SlotId(disk)).clear();
   if (collector_ != nullptr && !moved.empty()) {
     collector_->OnQueueDepth(disk, sim_->Now(), 0);
   }
@@ -910,13 +917,13 @@ void ArrayController::RerouteQueuedEntries(uint32_t disk) {
     }
     if (e.delayed) {
       // Propagation forced into the FG queue by the table limit.
-      if (nvram_.EraseIfOwner(disk, e.candidate_lbas.front(), e.id)) {
+      if (nvram_.EraseIfOwner(disk, e.candidate_lbas.front().value(), e.id)) {
         if (auditor_ != nullptr) {
-          auditor_->OnNvramErase(disk, e.candidate_lbas.front());
+          auditor_->OnNvramErase(disk, e.candidate_lbas.front().value());
         }
       }
       for (uint32_t s = 0; s < e.sectors; ++s) {
-        stale_sectors_.erase(ReplicaKey(disk, e.candidate_lbas.front() + s));
+        stale_sectors_.erase(ReplicaKey(disk, e.candidate_lbas.front().value() + s));
       }
       ++fstats().propagations_abandoned;
       continue;
@@ -950,14 +957,14 @@ void ArrayController::RerouteQueuedEntries(uint32_t disk) {
   }
 }
 
-bool ArrayController::SparePromotionAllowed(uint32_t disk) {
-  (void)disk;
+bool ArrayController::SparePromotionAllowed(SlotId slot) {
+  (void)slot;
   // An SR-Array column (Dm == 1) has nothing to rebuild a spare from.
   return layout_->aspect().dm >= 2;
 }
 
-void ArrayController::OnSparePromoted(uint32_t disk) {
-  RebuildDisk(disk, [this](const IoResult& r) {
+void ArrayController::OnSparePromoted(SlotId slot) {
+  RebuildDisk(slot.value(), [this](const IoResult& r) {
     if (r.status == IoStatus::kOk) {
       ++fstats().spare_rebuilds_completed;
     }
@@ -985,20 +992,20 @@ void ArrayController::ScrubStep() {
       layout_->stripe_unit_sectors(), dataset - scrub_cursor_));
   for (const ArrayFragment& f : layout_->Map(scrub_cursor_, span)) {
     for (const ReplicaLocation& loc : f.replicas) {
-      if (drives_->failed(loc.disk)) {
+      if (drives_->failed(SlotId(loc.disk))) {
         continue;
       }
       QueuedRequest e;
       e.id = drives_->AllocEntryId();
       e.op = DiskOp::kRead;
       e.sectors = f.sectors;
-      e.candidate_lbas = {loc.lba};
+      e.candidate_lbas = {BlockAddr(loc.lba)};
       e.arrival_us = sim_->Now();
       e.maintenance = true;
       scrub_reads_[e.id] = ScrubTarget{loc.disk, loc.lba, f.sectors};
       const uint32_t d = loc.disk;
-      drives_->EnqueueDelayed(d, std::move(e));
-      drives_->MaybeDispatch(d);
+      drives_->EnqueueDelayed(SlotId(d), std::move(e));
+      drives_->MaybeDispatch(SlotId(d));
     }
   }
   scrub_cursor_ += span;
@@ -1012,7 +1019,7 @@ void ArrayController::AddDelayedWrite(uint32_t disk, uint64_t lba,
     // If the superseded entry is still queued, it simply carries the newer
     // data ("data dies young", Section 3.4) — nothing more to do. If it is
     // already in flight, a fresh propagation must follow it.
-    for (const auto* q : {&drives_->delayed(disk), &drives_->fg(disk)}) {
+    for (const auto* q : {&drives_->delayed(SlotId(disk)), &drives_->fg(SlotId(disk))}) {
       for (const QueuedRequest& e : *q) {
         if (e.id == *existing_owner) {
           return;  // still queued; superseded in place
@@ -1028,14 +1035,14 @@ void ArrayController::AddDelayedWrite(uint32_t disk, uint64_t lba,
   entry.id = drives_->AllocEntryId();
   entry.op = DiskOp::kWrite;
   entry.sectors = sectors;
-  entry.candidate_lbas = {lba};
+  entry.candidate_lbas = {BlockAddr(lba)};
   entry.arrival_us = sim_->Now();
   entry.delayed = true;
   entry.attempts = attempts;
   const uint64_t owner_id = entry.id;
   // Queue registration precedes the table insert so the auditor sees the
   // NVRAM entry owned by an already-live delayed entry.
-  drives_->EnqueueDelayed(disk, std::move(entry));
+  drives_->EnqueueDelayed(SlotId(disk), std::move(entry));
   nvram_.Put(NvramEntry{disk, lba, sectors}, owner_id);
   if (auditor_ != nullptr) {
     auditor_->OnNvramPut(disk, lba, owner_id);
@@ -1043,7 +1050,7 @@ void ArrayController::AddDelayedWrite(uint32_t disk, uint64_t lba,
   for (uint32_t s = 0; s < sectors; ++s) {
     stale_sectors_.insert(ReplicaKey(disk, lba + s));
   }
-  drives_->MaybeDispatch(disk);
+  drives_->MaybeDispatch(SlotId(disk));
 }
 
 void ArrayController::CancelPendingDelayed(uint32_t disk, uint64_t lba) {
@@ -1058,7 +1065,7 @@ void ArrayController::CancelPendingDelayed(uint32_t disk, uint64_t lba) {
   }
   ++stats_.delayed_writes_discarded;
   // The entry may sit in the delayed queue or (if forced out) the FG queue.
-  for (auto* q : {&drives_->delayed(disk), &drives_->fg(disk)}) {
+  for (auto* q : {&drives_->delayed(SlotId(disk)), &drives_->fg(SlotId(disk))}) {
     for (size_t i = 0; i < q->size(); ++i) {
       if ((*q)[i].id == *owner) {
         for (uint32_t s = 0; s < (*q)[i].sectors; ++s) {
@@ -1085,20 +1092,20 @@ void ArrayController::EnforceDelayedTableLimit() {
     uint32_t best_disk = 0;
     uint64_t best_id = UINT64_MAX;
     for (uint32_t d = 0; d < drives_->num_slots(); ++d) {
-      if (!drives_->delayed(d).empty() &&
-          drives_->delayed(d).front().id < best_id) {
-        best_id = drives_->delayed(d).front().id;
+      if (!drives_->delayed(SlotId(d)).empty() &&
+          drives_->delayed(SlotId(d)).front().id < best_id) {
+        best_id = drives_->delayed(SlotId(d)).front().id;
         best_disk = d;
       }
     }
     if (best_id == UINT64_MAX) {
       return;  // everything pending is already in flight or forced
     }
-    QueuedRequest entry = std::move(drives_->delayed(best_disk).front());
-    drives_->delayed(best_disk).erase(drives_->delayed(best_disk).begin());
-    drives_->fg(best_disk).push_back(std::move(entry));
+    QueuedRequest entry = std::move(drives_->delayed(SlotId(best_disk)).front());
+    drives_->delayed(SlotId(best_disk)).erase(drives_->delayed(SlotId(best_disk)).begin());
+    drives_->fg(SlotId(best_disk)).push_back(std::move(entry));
     ++stats_.delayed_writes_forced;
-    drives_->MaybeDispatch(best_disk);
+    drives_->MaybeDispatch(SlotId(best_disk));
   }
 }
 
@@ -1155,26 +1162,27 @@ void ArrayController::WakeParked() {
   }
 }
 
-bool ArrayController::FailDisk(uint32_t disk) {
+bool ArrayController::FailDisk(SlotId slot) {
+  const uint32_t disk = slot.value();
   MIMDRAID_CHECK_LT(disk, drives_->num_slots());
-  MIMDRAID_CHECK(!drives_->failed(disk));
-  MIMDRAID_CHECK(!drives_->disk(disk)->busy());
-  MIMDRAID_CHECK(drives_->fg(disk).empty());
+  MIMDRAID_CHECK(!drives_->failed(SlotId(disk)));
+  MIMDRAID_CHECK(!drives_->disk(SlotId(disk))->busy());
+  MIMDRAID_CHECK(drives_->fg(SlotId(disk)).empty());
   if (layout_->aspect().dm < 2) {
     // An SR-Array/stripe column has no cross-disk copy: losing the disk
     // loses data (the paper's Section 2.5 reliability tradeoff).
     return false;
   }
-  drives_->MarkFailed(disk);
+  drives_->MarkFailed(SlotId(disk));
   // Pending propagations to the failed disk are meaningless now.
   AbandonDelayedQueue(disk);
   return true;
 }
 
 void ArrayController::RebuildDisk(uint32_t disk, DoneFn done) {
-  MIMDRAID_CHECK(drives_->failed(disk));
+  MIMDRAID_CHECK(drives_->failed(SlotId(disk)));
   MIMDRAID_CHECK_GE(layout_->aspect().dm, 2);
-  drives_->MarkReplaced(disk);  // replacement drive in the slot
+  drives_->MarkReplaced(SlotId(disk));  // replacement drive in the slot
   RebuildNextFragment(disk, 0, std::move(done));
 }
 
@@ -1183,7 +1191,7 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
   // Stream the dataset fragment by fragment; for each fragment with replicas
   // on `disk`, read a surviving copy and rewrite this disk's copies. The copy
   // traffic rides the delayed queues, yielding to foreground work.
-  if (drives_->failed(disk)) {
+  if (drives_->failed(SlotId(disk))) {
     // The replacement itself died mid-rebuild; abort the stream.
     if (done) {
       done(IoResult{IoStatus::kDiskFailed, sim_->Now(), 0});
@@ -1202,7 +1210,7 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
       for (const ReplicaLocation& loc : f.replicas) {
         if (loc.disk == disk) {
           targets.push_back(loc);
-        } else if (source == nullptr && !drives_->failed(loc.disk) &&
+        } else if (source == nullptr && !drives_->failed(SlotId(loc.disk)) &&
                    !bad_sources_.contains(ReplicaKey(loc.disk, loc.lba))) {
           source = &loc;
         }
@@ -1226,7 +1234,7 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
       read_entry.id = drives_->AllocEntryId();
       read_entry.op = DiskOp::kRead;
       read_entry.sectors = len;
-      read_entry.candidate_lbas = {source_lba};
+      read_entry.candidate_lbas = {BlockAddr(source_lba)};
       read_entry.arrival_us = sim_->Now();
       read_entry.maintenance = true;
       rebuild_read_done_[read_entry.id] =
@@ -1237,7 +1245,7 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
                 // The source replica is bad: exclude it from future sourcing
                 // and rewrite it from whichever copy the restart picks.
                 bad_sources_.insert(ReplicaKey(source_disk, source_lba));
-                if (!drives_->failed(source_disk)) {
+                if (!drives_->failed(SlotId(source_disk))) {
                   ++fstats().repairs_queued;
                   AddDelayedWrite(source_disk, source_lba, len);
                 }
@@ -1251,8 +1259,8 @@ void ArrayController::RebuildNextFragment(uint32_t disk, uint64_t next_lba,
               EnqueueRebuildWrite(loc, len, writes_left, disk, resume, done);
             }
           };
-      drives_->EnqueueDelayed(source_disk, std::move(read_entry));
-      drives_->MaybeDispatch(source_disk);
+      drives_->EnqueueDelayed(SlotId(source_disk), std::move(read_entry));
+      drives_->MaybeDispatch(SlotId(source_disk));
       return;  // continue from the completion callbacks
     }
     lba += span;
@@ -1266,7 +1274,7 @@ void ArrayController::EnqueueRebuildWrite(ReplicaLocation loc, uint32_t len,
                                           std::shared_ptr<size_t> writes_left,
                                           uint32_t rebuild_disk,
                                           uint64_t resume, DoneFn done) {
-  if (drives_->failed(loc.disk)) {
+  if (drives_->failed(SlotId(loc.disk))) {
     // The target slot died between sourcing the copy and issuing the write;
     // an entry queued to a failed disk would never dispatch. The fragment is
     // lost and the stream advances (RebuildNextFragment aborts the rebuild
@@ -1281,18 +1289,18 @@ void ArrayController::EnqueueRebuildWrite(ReplicaLocation loc, uint32_t len,
   w.id = drives_->AllocEntryId();
   w.op = DiskOp::kWrite;
   w.sectors = len;
-  w.candidate_lbas = {loc.lba};
+  w.candidate_lbas = {BlockAddr(loc.lba)};
   w.arrival_us = sim_->Now();
   w.maintenance = true;
   rebuild_write_done_[w.id] = [this, loc, len, writes_left, rebuild_disk,
                                resume, done](const DiskOpResult& r) mutable {
-    if (r.status != IoStatus::kOk && !drives_->failed(loc.disk)) {
+    if (r.status != IoStatus::kOk && !drives_->failed(SlotId(loc.disk))) {
       // Transient failure of the copy write: retry after backoff. The write
       // itself repairs any latent error at the target (firmware remap).
       ++fstats().retries_issued;
       ScheduleRecovery(1, [this, loc, len, writes_left, rebuild_disk, resume,
                            done]() mutable {
-        if (drives_->failed(loc.disk)) {
+        if (drives_->failed(SlotId(loc.disk))) {
           ++fstats().rebuild_fragments_lost;
           if (--*writes_left == 0) {
             RebuildNextFragment(rebuild_disk, resume, std::move(done));
@@ -1313,24 +1321,24 @@ void ArrayController::EnqueueRebuildWrite(ReplicaLocation loc, uint32_t len,
       RebuildNextFragment(rebuild_disk, resume, std::move(done));
     }
   };
-  drives_->EnqueueDelayed(loc.disk, std::move(w));
-  drives_->MaybeDispatch(loc.disk);
+  drives_->EnqueueDelayed(SlotId(loc.disk), std::move(w));
+  drives_->MaybeDispatch(SlotId(loc.disk));
 }
 
 void ArrayController::ScheduleRecalibration(uint32_t disk) {
   recalibration_events_[disk] =
       sim_->ScheduleAfter(options_.recalibration_interval_us, [this, disk]() {
-    auto* hp = dynamic_cast<HeadPositionPredictor*>(drives_->predictor(disk));
+    auto* hp = dynamic_cast<HeadPositionPredictor*>(drives_->predictor(SlotId(disk)));
     if (hp != nullptr) {
       QueuedRequest entry;
       entry.id = drives_->AllocEntryId();
       entry.op = DiskOp::kRead;
       entry.sectors = 1;
-      entry.candidate_lbas = {hp->reference_lba()};
+      entry.candidate_lbas = {BlockAddr(hp->reference_lba())};
       entry.arrival_us = sim_->Now();
       entry.maintenance = true;
-      drives_->EnqueueFg(disk, std::move(entry));
-      drives_->MaybeDispatch(disk);
+      drives_->EnqueueFg(SlotId(disk), std::move(entry));
+      drives_->MaybeDispatch(SlotId(disk));
     }
     ScheduleRecalibration(disk);
   });

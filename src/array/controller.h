@@ -46,7 +46,7 @@ struct ArrayControllerOptions {
   size_t delayed_table_limit = 10'000;
   // Period of maintenance reference-sector reads feeding re-calibration
   // (paper: two minutes). 0 disables.
-  SimTime recalibration_interval_us = 0;
+  SimDuration recalibration_interval_us;
   // When true, every replica of a write is written in the foreground and the
   // write completes only after all copies land (the "foreground propagation"
   // mode of Figures 5 and 13). When false, the write completes after the
@@ -84,7 +84,7 @@ struct ArrayControllerOptions {
   // logical space; a media error triggers a repair-rewrite from a surviving
   // copy. Idle-gating is the rate limit: scrubbing never competes with
   // foreground work.
-  SimTime scrub_interval_us = 0;
+  SimDuration scrub_interval_us;
 };
 
 struct ArrayStats {
@@ -144,7 +144,9 @@ class ArrayController : public ArrayBackend, private DriveSetClient {
   // recorded in a surviving NVRAM snapshot. Call on a freshly constructed
   // controller before offering load.
   void RestorePropagations(const std::vector<NvramEntry>& entries);
-  size_t QueueDepth(uint32_t disk) const { return drives_->fg(disk).size(); }
+  size_t QueueDepth(uint32_t disk) const {
+    return drives_->fg(SlotId(disk)).size();
+  }
   bool Idle() const override;
 
   // Runs the auditor's terminal consistency check (queues, NVRAM table,
@@ -158,14 +160,14 @@ class ArrayController : public ArrayBackend, private DriveSetClient {
   // if the configuration cannot tolerate the loss (Dm == 1: an SR-Array
   // column has no cross-disk copy — data loss). The array must be quiescent
   // on that disk (no in-flight command).
-  bool FailDisk(uint32_t disk) override;
-  bool IsFailed(uint32_t disk) const override { return drives_->failed(disk); }
+  bool FailDisk(SlotId disk) override;
+  bool IsFailed(SlotId disk) const override { return drives_->failed(disk); }
   // Re-populates a replaced disk from its mirror twins, fragment stream by
   // fragment stream; `done` fires when redundancy is restored. Requires
   // Dm >= 2.
   void RebuildDisk(uint32_t disk, DoneFn done);
-  void Rebuild(uint32_t disk, DoneFn done) override {
-    RebuildDisk(disk, std::move(done));
+  void Rebuild(SlotId disk, DoneFn done) override {
+    RebuildDisk(disk.value(), std::move(done));
   }
   uint64_t rebuild_copied_fragments() const { return rebuild_copied_; }
   bool RebuildInProgress() const override {
@@ -186,7 +188,7 @@ class ArrayController : public ArrayBackend, private DriveSetClient {
     return drives_->fstats();
   }
   uint64_t disk_error_count(uint32_t disk) const {
-    return drives_->error_count(disk);
+    return drives_->error_count(SlotId(disk));
   }
 
   // Publishes "fault.*" and "array.*" counters.
@@ -224,7 +226,7 @@ class ArrayController : public ArrayBackend, private DriveSetClient {
     DiskOp op = DiskOp::kRead;
     uint32_t fragments_remaining = 0;
     DoneFn done;
-    SimTime issue_us = 0;
+    SimTime issue_us;
     IoStatus status = IoStatus::kOk;  // worst status over fragments
     uint32_t recovery_attempts = 0;   // retries/failovers spent on this op
   };
@@ -242,14 +244,15 @@ class ArrayController : public ArrayBackend, private DriveSetClient {
   }
 
   // --- DriveSetClient hooks ---
-  void OnEntryDispatched(uint32_t disk, const QueuedRequest& entry) override;
-  void OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
-                       uint64_t chosen_lba, const DiskOpResult& result) override;
+  void OnEntryDispatched(SlotId slot, const QueuedRequest& entry) override;
+  void OnEntryComplete(SlotId slot, const QueuedRequest& entry,
+                       BlockAddr chosen_addr,
+                       const DiskOpResult& result) override;
   // Engine fail-stopped the slot: abandon its propagations and reroute its
   // queued foreground entries before any spare promotion.
-  void OnSlotFailed(uint32_t disk) override;
-  bool SparePromotionAllowed(uint32_t disk) override;
-  void OnSparePromoted(uint32_t disk) override;
+  void OnSlotFailed(SlotId slot) override;
+  bool SparePromotionAllowed(SlotId slot) override;
+  void OnSparePromoted(SlotId slot) override;
   bool ScrubEligible() const override;
   // One scrub chunk: reads every live replica of the next stripe unit of the
   // logical space.

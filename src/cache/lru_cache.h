@@ -24,7 +24,7 @@ class LruBlockCache {
 
   // True if all blocks covering [lba, lba+sectors) are resident. Touches the
   // blocks (moves them to MRU) when they are.
-  bool Lookup(uint64_t lba, uint32_t sectors);
+  [[nodiscard]] bool Lookup(uint64_t lba, uint32_t sectors);
 
   // Installs the blocks covering the range, evicting LRU blocks as needed.
   // A range wider than the whole cache installs only its trailing

@@ -25,12 +25,12 @@ CalibrationResult CalibrateDisk(Simulator* sim, SimDisk* disk,
 
   // --- 1. Rotation period and phase from reference reads. ---
   RotationEstimator estimator(
-      static_cast<double>(disk->geometry().RotationUs()));
+      static_cast<double>(disk->geometry().RotationUs().us()));
   double interval = options.initial_interval_us;
   for (int i = 0; i < options.reference_reads; ++i) {
     const DiskOpResult res = sync.Read(options.reference_lba, 1);
     estimator.AddObservation(res.completion_us);
-    sync.Sleep(static_cast<SimTime>(interval));
+    sync.Sleep(SimDuration(static_cast<int64_t>(interval)));
     interval = std::min(interval * options.interval_growth,
                         options.max_interval_us);
   }

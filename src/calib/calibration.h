@@ -52,7 +52,7 @@ struct CalibrationResult {
   bool profile_extracted = false;
   std::optional<ProbeResult> probe;
   uint64_t total_probes = 0;
-  SimTime calibration_time_us = 0;
+  SimDuration calibration_time_us;
 };
 
 // Lattice phase (reference-read completion lattice) -> spindle phase usable

@@ -35,13 +35,14 @@ HeadPositionPredictor::HeadPositionPredictor(
   head_.head = 0;
 }
 
-AccessPlan HeadPositionPredictor::Predict(SimTime now, uint64_t lba,
+AccessPlan HeadPositionPredictor::Predict(SimTime now, BlockAddr lba,
                                           uint32_t sectors,
                                           bool is_write) const {
-  return timing_->Plan(head_, static_cast<double>(now), lba, sectors, is_write);
+  return timing_->Plan(head_, static_cast<double>(now.us()), lba.value(),
+                       sectors, is_write);
 }
 
-void HeadPositionPredictor::OnDispatch(SimTime now, uint64_t lba,
+void HeadPositionPredictor::OnDispatch(SimTime now, BlockAddr lba,
                                        uint32_t sectors, bool is_write,
                                        double predicted_service_us) {
   (void)lba;
@@ -51,18 +52,19 @@ void HeadPositionPredictor::OnDispatch(SimTime now, uint64_t lba,
   pending_ = Pending{now, predicted_service_us};
 }
 
-void HeadPositionPredictor::OnCompletion(SimTime completion_us, uint64_t lba,
+void HeadPositionPredictor::OnCompletion(SimTime completion_us, BlockAddr lba,
                                          uint32_t sectors) {
   MIMDRAID_CHECK(pending_.has_value());
   const Pending p = *pending_;
   pending_.reset();
 
   // Arm position after the access.
-  const Chs last = layout_->ToChs(lba + sectors - 1);
+  const Chs last = layout_->ToChs(lba.value() + sectors - 1);
   head_.cylinder = last.cylinder;
   head_.head = last.head;
 
-  const double actual = static_cast<double>(completion_us - p.dispatch_us);
+  const double actual =
+      static_cast<double>((completion_us - p.dispatch_us).us());
   const double error = actual - p.predicted_service_us;
   ++stats_.predictions;
   stats_.access_time_us.Add(actual);
@@ -124,12 +126,12 @@ OraclePredictor::OraclePredictor(const SimDisk* disk, double slack_us)
       disk->noise().overhead_mean_us + disk->noise().post_overhead_mean_us;
 }
 
-AccessPlan OraclePredictor::Predict(SimTime now, uint64_t lba,
+AccessPlan OraclePredictor::Predict(SimTime now, BlockAddr lba,
                                     uint32_t sectors, bool is_write) const {
   const double pre = disk_->noise().overhead_mean_us;
   AccessPlan plan = disk_->DebugTimingModel().Plan(
-      disk_->DebugHeadState(), static_cast<double>(now) + pre, lba, sectors,
-      is_write);
+      disk_->DebugHeadState(), static_cast<double>(now.us()) + pre,
+      lba.value(), sectors, is_write);
   plan.total_us += overhead_mean_us_;
   return plan;
 }
@@ -138,7 +140,7 @@ double OraclePredictor::RotationUs() const {
   return disk_->DebugTimingModel().rotation_us();
 }
 
-void OraclePredictor::OnDispatch(SimTime now, uint64_t lba, uint32_t sectors,
+void OraclePredictor::OnDispatch(SimTime now, BlockAddr lba, uint32_t sectors,
                                  bool is_write, double predicted_service_us) {
   (void)lba;
   (void)sectors;
@@ -147,14 +149,14 @@ void OraclePredictor::OnDispatch(SimTime now, uint64_t lba, uint32_t sectors,
   pending_ = {now, predicted_service_us};
 }
 
-void OraclePredictor::OnCompletion(SimTime completion_us, uint64_t lba,
+void OraclePredictor::OnCompletion(SimTime completion_us, BlockAddr lba,
                                    uint32_t sectors) {
   (void)lba;
   (void)sectors;
   MIMDRAID_CHECK(pending_.has_value());
   const auto [dispatch, predicted] = *pending_;
   pending_.reset();
-  const double actual = static_cast<double>(completion_us - dispatch);
+  const double actual = static_cast<double>((completion_us - dispatch).us());
   const double error = actual - predicted;
   ++stats_.predictions;
   stats_.access_time_us.Add(actual);

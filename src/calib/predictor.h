@@ -66,14 +66,14 @@ class HeadPositionPredictor : public AccessPredictor {
                         const SlackFeedbackOptions& slack_options = {});
 
   // --- AccessPredictor ---
-  AccessPlan Predict(SimTime now, uint64_t lba, uint32_t sectors,
+  AccessPlan Predict(SimTime now, BlockAddr lba, uint32_t sectors,
                      bool is_write) const override;
   double SlackUs() const override { return slack_us_; }
   double RotationUs() const override { return timing_->rotation_us(); }
   HeadState Head() const override { return head_; }
-  void OnDispatch(SimTime now, uint64_t lba, uint32_t sectors, bool is_write,
+  void OnDispatch(SimTime now, BlockAddr lba, uint32_t sectors, bool is_write,
                   double predicted_service_us) override;
-  void OnCompletion(SimTime completion_us, uint64_t lba,
+  void OnCompletion(SimTime completion_us, BlockAddr lba,
                     uint32_t sectors) override;
 
   // --- Periodic re-calibration (the paper's two-minute reference reads). ---
@@ -115,14 +115,14 @@ class OraclePredictor : public AccessPredictor {
   // slack covering the overhead spread.
   OraclePredictor(const SimDisk* disk, double slack_us);
 
-  AccessPlan Predict(SimTime now, uint64_t lba, uint32_t sectors,
+  AccessPlan Predict(SimTime now, BlockAddr lba, uint32_t sectors,
                      bool is_write) const override;
   double SlackUs() const override { return slack_us_; }
   double RotationUs() const override;
   HeadState Head() const override { return disk_->DebugHeadState(); }
-  void OnDispatch(SimTime now, uint64_t lba, uint32_t sectors, bool is_write,
+  void OnDispatch(SimTime now, BlockAddr lba, uint32_t sectors, bool is_write,
                   double predicted_service_us) override;
-  void OnCompletion(SimTime completion_us, uint64_t lba,
+  void OnCompletion(SimTime completion_us, BlockAddr lba,
                     uint32_t sectors) override;
 
   const PredictorStats& stats() const { return stats_; }

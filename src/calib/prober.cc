@@ -44,7 +44,7 @@ double DiskProber::MeasureEndAngle(uint64_t lba, int repeats) {
   double delta_sum = 0.0;
   for (int r = 0; r < repeats; ++r) {
     const DiskOpResult res = disk_->Read(lba, 1);
-    const double a = SpindleAngleAt(static_cast<double>(res.completion_us));
+    const double a = SpindleAngleAt(static_cast<double>(res.completion_us.us()));
     if (r == 0) {
       base = a;
     } else {

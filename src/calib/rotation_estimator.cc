@@ -13,7 +13,7 @@ RotationEstimator::RotationEstimator(double nominal_rotation_us)
 }
 
 void RotationEstimator::AddObservation(SimTime completion_us) {
-  const double t = static_cast<double>(completion_us);
+  const double t = static_cast<double>(completion_us.us());
   double k = 0.0;
   if (!observations_.empty()) {
     const auto& [k_prev, t_prev] = observations_.back();

@@ -174,7 +174,7 @@ bool SeekCurveExtractor::ProbeFits(uint32_t from_cylinder,
   const uint32_t spt = geo.SectorsPerTrack(to_cylinder);
   const double slot_us = rotation_us_ / spt;
 
-  const double t_issue = static_cast<double>(disk_->sim().Now());
+  const double t_issue = static_cast<double>(disk_->sim().Now().us());
   // Find a sector on the target track whose slot starts just after
   // t_issue + guess, skipping any positions without a natural LBA.
   double target_angle = SpindleAngleAt(t_issue + guess_us);
@@ -202,7 +202,7 @@ bool SeekCurveExtractor::ProbeFits(uint32_t from_cylinder,
   const DiskOpResult result =
       disk_->Access(is_write ? DiskOp::kWrite : DiskOp::kRead, lba, 1);
   const double extra_revs = std::round(
-      (static_cast<double>(result.completion_us) - predicted_completion) /
+      (static_cast<double>(result.completion_us.us()) - predicted_completion) /
       rotation_us_);
   return extra_revs <= 0.0;
 }

@@ -8,7 +8,8 @@ DiskOpResult SyncDisk::Access(DiskOp op, uint64_t lba, uint32_t sectors) {
   MIMDRAID_CHECK(!disk_->busy());
   bool done = false;
   DiskOpResult result;
-  disk_->Start(op, lba, sectors, [&done, &result](const DiskOpResult& r) {
+  disk_->Start(op, BlockAddr(lba), sectors,
+               [&done, &result](const DiskOpResult& r) {
     result = r;
     done = true;
   });
@@ -19,7 +20,7 @@ DiskOpResult SyncDisk::Access(DiskOp op, uint64_t lba, uint32_t sectors) {
   return result;
 }
 
-void SyncDisk::Sleep(SimTime duration_us) {
+void SyncDisk::Sleep(SimDuration duration_us) {
   sim_->RunUntil(sim_->Now() + duration_us);
 }
 

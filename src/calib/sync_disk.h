@@ -25,7 +25,7 @@ class SyncDisk {
   }
 
   // Advances simulated time (the pause between probe batches).
-  void Sleep(SimTime duration_us);
+  void Sleep(SimDuration duration_us);
 
   SimDisk& disk() { return *disk_; }
   Simulator& sim() { return *sim_; }

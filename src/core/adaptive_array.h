@@ -31,7 +31,7 @@ struct AdaptiveArrayOptions {
 };
 
 struct ReshapeEvent {
-  SimTime at_us = 0;
+  SimTime at_us;
   ArrayAspect from;
   ArrayAspect to;
   double predicted_gain = 1.0;

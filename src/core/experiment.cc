@@ -18,7 +18,7 @@ ModelDiskParams ModelParamsForDataset(const DiskGeometry& geometry,
   ModelDiskParams p;
   const uint32_t span = placement.CylinderSpan(capped);
   p.max_seek_us = profile.SeekUs(std::max(span, 1u), /*is_write=*/false);
-  p.rotation_us = static_cast<double>(geometry.RotationUs());
+  p.rotation_us = static_cast<double>(geometry.RotationUs().us());
   return p;
 }
 
@@ -47,7 +47,7 @@ RunResult RunTraceWithCache(MimdRaid& array, const Trace& trace,
                         DiskOp op, uint64_t lba, uint32_t sectors,
                         IoDoneFn done) {
     if (op == DiskOp::kRead && cache->Lookup(lba, sectors)) {
-      sim->ScheduleAfter(static_cast<SimTime>(hit_latency_us),
+      sim->ScheduleAfter(SimDuration(static_cast<int64_t>(hit_latency_us)),
                          [sim, done = std::move(done)]() {
                            IoResult hit;
                            hit.completion_us = sim->Now();

@@ -25,7 +25,7 @@ MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
 
   Rng rng(options_.seed);
   const double rotation_nominal =
-      static_cast<double>(options_.geometry.RotationUs());
+      static_cast<double>(options_.geometry.RotationUs().us());
   const int total_drives = d + static_cast<int>(options_.hot_spares);
   for (int i = 0; i < total_drives; ++i) {
     const double phase =
@@ -171,10 +171,10 @@ Raid5ControllerOptions MimdRaid::Raid5Options() const {
   return ropts;
 }
 
-void MimdRaid::Reshape(const ArrayAspect& aspect, SimTime migration_us) {
+void MimdRaid::Reshape(const ArrayAspect& aspect, SimDuration migration_us) {
   MIMDRAID_CHECK(options_.backend == ArrayBackendKind::kMirror);
   MIMDRAID_CHECK_EQ(static_cast<size_t>(aspect.TotalDisks()), disks_.size());
-  MIMDRAID_CHECK_GE(migration_us, 0);
+  MIMDRAID_CHECK_GE(migration_us, SimDuration(0));
   // Quiesce: all foreground work and background propagation must finish
   // before the old controller (and its callbacks) can be torn down.
   while (!controller_->Idle()) {

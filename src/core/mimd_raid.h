@@ -63,7 +63,7 @@ struct MimdRaidOptions {
 
   // Controller.
   size_t delayed_table_limit = 10'000;
-  SimTime recalibration_interval_us = 0;
+  SimDuration recalibration_interval_us;
   bool foreground_write_propagation = false;
 
   // Fault handling. The injector is instantiated (and wired into every disk)
@@ -75,7 +75,7 @@ struct MimdRaidOptions {
   // (0 disables auto-failing on error count; kDiskFailed always fail-stops).
   uint32_t disk_error_fail_threshold = 0;
   // Idle-time background scrub period (0 disables scrubbing).
-  SimTime scrub_interval_us = 0;
+  SimDuration scrub_interval_us;
   // Extra drives kept spinning; promoted automatically when a disk
   // fail-stops, followed by an automatic rebuild.
   uint32_t hot_spares = 0;
@@ -131,7 +131,7 @@ class MimdRaid {
   // `migration_us` (the re-layout copy), then rebuilds the layout and
   // controller. Pending background propagations are completed during the
   // drain. The new aspect must use the same number of disks. Mirror-only.
-  void Reshape(const ArrayAspect& aspect, SimTime migration_us);
+  void Reshape(const ArrayAspect& aspect, SimDuration migration_us);
 
  private:
   ArrayControllerOptions ControllerOptions() const;

@@ -25,7 +25,7 @@ class AccessPredictor {
   // assuming zero request overhead (overhead shows up only as rotational
   // misses, which the slack mechanism guards against). Must not mutate
   // tracking state.
-  virtual AccessPlan Predict(SimTime now, uint64_t lba, uint32_t sectors,
+  virtual AccessPlan Predict(SimTime now, BlockAddr lba, uint32_t sectors,
                              bool is_write) const = 0;
 
   // The slack (Section 3.2): a predicted rotational wait below this value is
@@ -41,12 +41,12 @@ class AccessPredictor {
   virtual HeadState Head() const = 0;
 
   // Called when a request is dispatched to the (idle) disk.
-  virtual void OnDispatch(SimTime now, uint64_t lba, uint32_t sectors,
+  virtual void OnDispatch(SimTime now, BlockAddr lba, uint32_t sectors,
                           bool is_write, double predicted_service_us) = 0;
 
   // Called when the in-flight request completes. The predictor updates its
   // head estimate and prediction-accuracy statistics.
-  virtual void OnCompletion(SimTime completion_us, uint64_t lba,
+  virtual void OnCompletion(SimTime completion_us, BlockAddr lba,
                             uint32_t sectors) = 0;
 
   // Service-time estimate with the slack policy applied: a first rotational

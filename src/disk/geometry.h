@@ -33,7 +33,9 @@ struct DiskGeometry {
   std::vector<Zone> zones;  // sorted by first_cylinder; zones[0].first_cylinder == 0
 
   // Full-rotation time R in microseconds.
-  SimTime RotationUs() const { return static_cast<SimTime>(60.0 * 1e6 / rpm); }
+  SimDuration RotationUs() const {
+    return SimDuration(static_cast<int64_t>(60.0 * 1e6 / rpm));
+  }
 
   // Index into zones for a cylinder.
   uint32_t ZoneIndexOf(uint32_t cylinder) const;
@@ -53,7 +55,7 @@ struct DiskGeometry {
 
   // Time for one sector slot to pass under the head on the given cylinder.
   double SlotTimeUs(uint32_t cylinder) const {
-    return static_cast<double>(RotationUs()) / SectorsPerTrack(cylinder);
+    return static_cast<double>(RotationUs().us()) / SectorsPerTrack(cylinder);
   }
 
   // Validates internal consistency (sorted zones, non-zero sizes, skews < SPT).

@@ -14,7 +14,7 @@ InternalQueueDisk::InternalQueueDisk(SimDisk* disk, FirmwarePolicy policy,
   MIMDRAID_CHECK_GT(queue_depth, 0u);
 }
 
-void InternalQueueDisk::Submit(DiskOp op, uint64_t lba, uint32_t sectors,
+void InternalQueueDisk::Submit(DiskOp op, BlockAddr lba, uint32_t sectors,
                                DiskCompletionFn done) {
   // The tag limit only bounds what a real drive would accept at once; going
   // beyond it would simply leave commands host-side. Timing-wise the two
@@ -42,8 +42,8 @@ size_t InternalQueueDisk::PickNext() const {
     const Command& c = queue_[i];
     const AccessPlan plan =
         truth.Plan(disk_->DebugHeadState(),
-                   static_cast<double>(disk_->NowUs()) + pre, c.lba, c.sectors,
-                   c.op == DiskOp::kWrite);
+                   static_cast<double>(disk_->NowUs().us()) + pre,
+                   c.lba.value(), c.sectors, c.op == DiskOp::kWrite);
     if (plan.total_us < best_cost) {
       best_cost = plan.total_us;
       best = i;

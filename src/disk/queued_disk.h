@@ -35,7 +35,8 @@ class InternalQueueDisk {
                     uint32_t queue_depth = 32);
 
   // Accepts the command immediately; `done` fires at completion.
-  void Submit(DiskOp op, uint64_t lba, uint32_t sectors, DiskCompletionFn done);
+  void Submit(DiskOp op, BlockAddr lba, uint32_t sectors,
+              DiskCompletionFn done);
 
   size_t queued() const { return queue_.size(); }
   bool Idle() const { return queue_.empty() && !disk_->busy(); }
@@ -47,15 +48,15 @@ class InternalQueueDisk {
   // Attaches the observability collector for the host-visible queue-depth
   // series of this drive (nullptr detaches). The wrapped SimDisk has its own
   // SetTraceCollector for the per-command records.
-  void SetTraceCollector(TraceCollector* collector, uint32_t slot) {
+  void SetTraceCollector(TraceCollector* collector, SlotId slot) {
     collector_ = collector;
-    trace_slot_ = slot;
+    trace_slot_ = slot.value();
   }
 
  private:
   struct Command {
     DiskOp op;
-    uint64_t lba;
+    BlockAddr lba;
     uint32_t sectors;
     DiskCompletionFn done;
   };

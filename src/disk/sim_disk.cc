@@ -9,7 +9,7 @@ namespace mimdraid {
 
 namespace {
 // Electronics-only rejection time of a fail-stopped drive.
-constexpr SimTime kFailFastUs = 100;
+constexpr SimDuration kFailFastUs = SimDuration(100);
 }  // namespace
 
 SimDisk::SimDisk(Simulator* sim, const DiskGeometry& geometry,
@@ -28,8 +28,9 @@ SimDisk::SimDisk(Simulator* sim, const DiskGeometry& geometry,
   head_.head = 0;
 }
 
-void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
+void SimDisk::Start(DiskOp op, BlockAddr addr, uint32_t sectors,
                     DiskCompletionFn done) {
+  const uint64_t lba = addr.value();
   MIMDRAID_CHECK(!busy_);
   MIMDRAID_CHECK_GT(sectors, 0u);
   MIMDRAID_CHECK_LE(lba + sectors, layout_->num_data_sectors());
@@ -48,7 +49,7 @@ void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
     // immediately; a hung drive holds it until the host watchdog (a simulator
     // timer armed per dispatched op) expires and aborts it. Either way the
     // arm does not move and the spindle state is untouched.
-    const SimTime hold =
+    const SimDuration hold =
         fault.status == IoStatus::kDiskFailed
             ? kFailFastUs
             : fault_injector_->options().watchdog_timeout_us;
@@ -56,7 +57,7 @@ void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
     result.status = fault.status;
     result.start_us = start;
     result.completion_us = start + hold;
-    result.overhead_us = static_cast<double>(hold);
+    result.overhead_us = static_cast<double>(hold.us());
     DiskOpAudit audit;
     if (auditor_ != nullptr) {
       audit = AuditFor(result, lba, sectors, op == DiskOp::kWrite, head_);
@@ -108,7 +109,7 @@ void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
   }
 
   const AccessPlan plan =
-      timing_->Plan(head_, static_cast<double>(start) + overhead, lba, sectors,
+      timing_->Plan(head_, static_cast<double>(start.us()) + overhead, lba, sectors,
                     op == DiskOp::kWrite);
   if (fault.service_multiplier > 1.0) {
     // Fail-slow drive: the mechanical access is stretched; book the stretch
@@ -119,7 +120,8 @@ void SimDisk::Start(DiskOp op, uint64_t lba, uint32_t sectors,
                             noise_.post_overhead_stddev_us);
   post = std::max(post, 0.0);
   const double total = overhead + plan.total_us + post;
-  const SimTime completion = start + static_cast<SimTime>(total + 0.5);
+  const SimTime completion =
+      start + SimDuration(static_cast<int64_t>(total + 0.5));
 
   DiskOpResult result;
   result.status = fault.status;

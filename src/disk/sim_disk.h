@@ -69,8 +69,8 @@ struct DiskOpResult {
   // the layer above decides between retry, failover, reconstruction, and
   // surfacing the error (see src/sim/io_status.h).
   IoStatus status = IoStatus::kOk;
-  SimTime start_us = 0;
-  SimTime completion_us = 0;
+  SimTime start_us;
+  SimTime completion_us;
   // Decomposition of the service time (ground truth; used by statistics and
   // tests, never by the calibration layer).
   double overhead_us = 0.0;
@@ -78,7 +78,7 @@ struct DiskOpResult {
   double rotational_us = 0.0;
   double transfer_us = 0.0;
 
-  SimTime ServiceUs() const { return completion_us - start_us; }
+  SimDuration ServiceUs() const { return completion_us - start_us; }
   bool ok() const { return status == IoStatus::kOk; }
 };
 
@@ -101,7 +101,7 @@ class SimDisk {
   // Begins servicing a request. The disk must be idle. `done` fires at the
   // simulated completion time, after the disk has returned to idle, so the
   // callback may immediately start the next request.
-  void Start(DiskOp op, uint64_t lba, uint32_t sectors, DiskCompletionFn done);
+  void Start(DiskOp op, BlockAddr lba, uint32_t sectors, DiskCompletionFn done);
 
   bool busy() const { return busy_; }
 
@@ -116,9 +116,9 @@ class SimDisk {
 
   // Attaches the runtime invariant auditor (nullptr detaches); `disk_index`
   // identifies this drive in audit reports. Borrowed, must outlive the disk.
-  void SetAuditor(InvariantAuditor* auditor, uint32_t disk_index) {
+  void SetAuditor(InvariantAuditor* auditor, SlotId disk_index) {
     auditor_ = auditor;
-    audit_disk_index_ = disk_index;
+    audit_disk_index_ = disk_index.value();
   }
 
   // Attaches the fault injector (nullptr detaches); `disk_index` is the array
@@ -133,9 +133,9 @@ class SimDisk {
   // Writes covering a latent-bad LBA trigger the firmware write-reallocation
   // path: the sector is remapped to spare space (DiskLayout::AddBadSector)
   // and the latent error is cleared — rewriting a bad replica repairs it.
-  void SetFaultInjector(FaultInjector* injector, uint32_t disk_index) {
+  void SetFaultInjector(FaultInjector* injector, SlotId disk_index) {
     fault_injector_ = injector;
-    audit_disk_index_ = disk_index;
+    audit_disk_index_ = disk_index.value();
   }
   FaultInjector* fault_injector() const { return fault_injector_; }
 
@@ -143,9 +143,9 @@ class SimDisk {
   // this drive's track in the trace. Borrowed, must outlive the disk. Kept
   // separate from audit_disk_index_ so tracing composes with auditing and
   // fault injection without ordering constraints between the Set* calls.
-  void SetTraceCollector(TraceCollector* collector, uint32_t slot) {
+  void SetTraceCollector(TraceCollector* collector, SlotId slot) {
     collector_ = collector;
-    trace_slot_ = slot;
+    trace_slot_ = slot.value();
   }
   TraceCollector* trace_collector() const { return collector_; }
 

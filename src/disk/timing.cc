@@ -14,7 +14,7 @@ DiskTimingModel::DiskTimingModel(const DiskLayout* layout,
       profile_(profile),
       rotation_us_(rotation_us_override > 0.0
                        ? rotation_us_override
-                       : static_cast<double>(layout->geometry().RotationUs())),
+                       : static_cast<double>(layout->geometry().RotationUs().us())),
       spindle_phase_us_(spindle_phase_us) {
   MIMDRAID_CHECK(layout != nullptr);
 }

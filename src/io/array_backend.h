@@ -45,11 +45,11 @@ class ArrayBackend {
   // --- Failure, rebuild, spares ---
   // Marks a disk failed; returns false if the configuration cannot tolerate
   // the loss (no redundancy covering the disk — data loss).
-  virtual bool FailDisk(uint32_t disk) = 0;
-  virtual bool IsFailed(uint32_t disk) const = 0;
+  virtual bool FailDisk(SlotId disk) = 0;
+  virtual bool IsFailed(SlotId disk) const = 0;
   // Re-populates a replaced drive in `disk`'s slot from the surviving
   // redundancy; `done` fires when redundancy is restored.
-  virtual void Rebuild(uint32_t disk, DoneFn done) = 0;
+  virtual void Rebuild(SlotId disk, DoneFn done) = 0;
   virtual bool RebuildInProgress() const = 0;
   // Registers a standby drive + predictor (borrowed) for automatic promotion
   // into a slot the engine fail-stops.

@@ -30,16 +30,16 @@ DriveSet::DriveSet(Simulator* sim, std::vector<SimDisk*> disks,
   for (size_t i = 0; i < n; ++i) {
     auto scheduler = MakeScheduler(options_.scheduler, options_.max_scan);
     if (options_.auditor != nullptr) {
-      disks_[i]->SetAuditor(options_.auditor, static_cast<uint32_t>(i));
+      disks_[i]->SetAuditor(options_.auditor, SlotId(static_cast<uint32_t>(i)));
       scheduler = MakeAuditedScheduler(std::move(scheduler), options_.auditor);
     }
     if (options_.fault_injector != nullptr) {
       disks_[i]->SetFaultInjector(options_.fault_injector,
-                                  static_cast<uint32_t>(i));
+                                  SlotId(static_cast<uint32_t>(i)));
     }
     if (options_.collector != nullptr) {
       disks_[i]->SetTraceCollector(options_.collector,
-                                   static_cast<uint32_t>(i));
+                                   SlotId(static_cast<uint32_t>(i)));
     }
     schedulers_.push_back(std::move(scheduler));
   }
@@ -48,15 +48,17 @@ DriveSet::DriveSet(Simulator* sim, std::vector<SimDisk*> disks,
 DriveSet::~DriveSet() { StopScrub(); }
 
 void DriveSet::StartScrub() {
-  if (options_.scrub_interval_us > 0 && scrub_event_ == 0) {
+  if (options_.scrub_interval_us > SimDuration(0) && !scrub_event_.valid()) {
     ScheduleScrubTick();
   }
 }
 
 void DriveSet::StopScrub() {
-  if (scrub_event_ != 0) {
-    sim_->Cancel(scrub_event_);
-    scrub_event_ = 0;
+  if (scrub_event_.valid()) {
+    // The tick body clears the handle before running, so a valid handle
+    // always names a pending event and cancellation cannot miss.
+    MIMDRAID_CHECK(sim_->Cancel(scrub_event_));
+    scrub_event_ = EventId();
   }
 }
 
@@ -103,47 +105,47 @@ bool DriveSet::LiveDrivesQuiet() const {
   return true;
 }
 
-void DriveSet::EnqueueFg(uint32_t slot, QueuedRequest entry) {
+void DriveSet::EnqueueFg(SlotId slot, QueuedRequest entry) {
   if (options_.auditor != nullptr) {
-    options_.auditor->OnEntryQueued(slot, entry.id, entry.delayed);
+    options_.auditor->OnEntryQueued(slot.value(), entry.id, entry.delayed);
   }
-  fg_[slot].push_back(std::move(entry));
+  fg_[slot.value()].push_back(std::move(entry));
   if (options_.collector != nullptr) {
-    options_.collector->OnQueueDepth(slot, sim_->Now(), fg_[slot].size());
+    options_.collector->OnQueueDepth(slot.value(), sim_->Now(), fg_[slot.value()].size());
   }
 }
 
-void DriveSet::EnqueueDelayed(uint32_t slot, QueuedRequest entry) {
+void DriveSet::EnqueueDelayed(SlotId slot, QueuedRequest entry) {
   if (options_.auditor != nullptr) {
-    options_.auditor->OnEntryQueued(slot, entry.id, entry.delayed);
+    options_.auditor->OnEntryQueued(slot.value(), entry.id, entry.delayed);
   }
-  delayed_[slot].push_back(std::move(entry));
+  delayed_[slot.value()].push_back(std::move(entry));
 }
 
-void DriveSet::MaybeDispatch(uint32_t slot) {
-  if (failed_[slot] || disks_[slot]->busy()) {
+void DriveSet::MaybeDispatch(SlotId slot) {
+  if (failed_[slot.value()] || disks_[slot.value()]->busy()) {
     return;
   }
   std::vector<QueuedRequest>& queue =
-      !fg_[slot].empty() ? fg_[slot] : delayed_[slot];
+      !fg_[slot.value()].empty() ? fg_[slot.value()] : delayed_[slot.value()];
   if (queue.empty()) {
     return;
   }
-  const bool from_fg = &queue == &fg_[slot];
+  const bool from_fg = &queue == &fg_[slot.value()];
   ScheduleContext ctx;
   ctx.now = sim_->Now();
-  ctx.predictor = predictors_[slot];
-  ctx.layout = &disks_[slot]->layout();
+  ctx.predictor = predictors_[slot.value()];
+  ctx.layout = &disks_[slot.value()]->layout();
   ctx.collector = options_.collector;
   ctx.disk = slot;
-  const SchedulerPick pick = schedulers_[slot]->Pick(queue, ctx);
+  const SchedulerPick pick = schedulers_[slot.value()]->Pick(queue, ctx);
   QueuedRequest entry = std::move(queue[pick.queue_index]);
   queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick.queue_index));
   if (options_.auditor != nullptr) {
-    options_.auditor->OnEntryDispatched(slot, entry.id);
+    options_.auditor->OnEntryDispatched(slot.value(), entry.id);
   }
   if (options_.collector != nullptr && from_fg) {
-    options_.collector->OnQueueDepth(slot, sim_->Now(), fg_[slot].size());
+    options_.collector->OnQueueDepth(slot.value(), sim_->Now(), fg_[slot.value()].size());
   }
 
   client_->OnEntryDispatched(slot, entry);
@@ -153,42 +155,42 @@ void DriveSet::MaybeDispatch(uint32_t slot) {
   // policy.
   double predicted = pick.predicted_service_us;
   if (predicted <= 0.0) {
-    predicted = predictors_[slot]
+    predicted = predictors_[slot.value()]
                     ->Predict(sim_->Now(), pick.lba, entry.sectors,
                               entry.op == DiskOp::kWrite)
                     .total_us;
   }
-  predictors_[slot]->OnDispatch(sim_->Now(), pick.lba, entry.sectors,
+  predictors_[slot.value()]->OnDispatch(sim_->Now(), pick.lba, entry.sectors,
                                 entry.op == DiskOp::kWrite, predicted);
-  const uint64_t chosen_lba = pick.lba;
-  disks_[slot]->Start(
+  const BlockAddr chosen_lba = pick.lba;
+  disks_[slot.value()]->Start(
       entry.op, chosen_lba, entry.sectors,
       [this, slot, entry = std::move(entry), chosen_lba,
        predicted](const DiskOpResult& result) {
-        predictors_[slot]->OnCompletion(result.completion_us, chosen_lba,
+        predictors_[slot.value()]->OnCompletion(result.completion_us, chosen_lba,
                                         entry.sectors);
         if (options_.collector != nullptr && result.ok()) {
           options_.collector->OnPrediction(
-              slot, result.completion_us, predicted,
-              static_cast<double>(result.ServiceUs()));
+              slot.value(), result.completion_us, predicted,
+              static_cast<double>(result.ServiceUs().us()));
         }
         HandleCompletion(slot, entry, chosen_lba, result);
         MaybeDispatch(slot);
       });
 }
 
-void DriveSet::HandleCompletion(uint32_t slot, const QueuedRequest& entry,
-                                uint64_t chosen_lba,
+void DriveSet::HandleCompletion(SlotId slot, const QueuedRequest& entry,
+                                BlockAddr chosen_lba,
                                 const DiskOpResult& result) {
   if (options_.auditor != nullptr) {
-    options_.auditor->OnEntryCompleted(slot, entry.id);
+    options_.auditor->OnEntryCompleted(slot.value(), entry.id);
   }
   if (!result.ok()) {
     // Open a fault record before any recovery: whoever retires the fault
     // (engine-level command retry or the policy) must close it with exactly
     // one resolution.
     if (options_.auditor != nullptr) {
-      options_.auditor->OnIoFault(slot, entry.id);
+      options_.auditor->OnIoFault(slot.value(), entry.id);
     }
     CountFault(slot, result.status);
   }
@@ -201,7 +203,7 @@ void DriveSet::HandleCompletion(uint32_t slot, const QueuedRequest& entry,
   CommandDoneFn done = std::move(cit->second);
   command_done_.erase(cit);
   if (!result.ok() && result.status != IoStatus::kDiskFailed &&
-      entry.attempts + 1 < options_.retry.max_attempts && !failed_[slot]) {
+      entry.attempts + 1 < options_.retry.max_attempts && !failed_[slot.value()]) {
     // Transient error or timeout: retry the command after backoff with a
     // fresh queue entry.
     ++fstats_.retries_issued;
@@ -214,18 +216,21 @@ void DriveSet::HandleCompletion(uint32_t slot, const QueuedRequest& entry,
                         [this, slot, op, chosen_lba, sectors, attempts,
                          done = std::move(done)]() mutable {
                           --pending_recovery_;
-                          EnqueueCommand(slot, op, chosen_lba, sectors,
-                                         std::move(done), attempts + 1);
+                          // The retry keeps the original entry's identity in
+                          // `done`; the fresh queue id is engine-internal.
+                          (void)EnqueueCommand(  // mdl-ok(MDL002): retry id unused
+                              slot, op, chosen_lba, sectors, std::move(done),
+                              attempts + 1);
                         });
     return;
   }
   done(result, entry.id);
 }
 
-uint64_t DriveSet::EnqueueCommand(uint32_t slot, DiskOp op, uint64_t lba,
+uint64_t DriveSet::EnqueueCommand(SlotId slot, DiskOp op, BlockAddr lba,
                                   uint32_t sectors, CommandDoneFn done,
                                   uint32_t attempts) {
-  if (failed_[slot]) {
+  if (failed_[slot.value()]) {
     // The slot died between planning and enqueue: complete with kDiskFailed
     // through the event queue so callers re-plan from a clean stack.
     CompleteDeferred([this, done = std::move(done)] {
@@ -251,11 +256,11 @@ uint64_t DriveSet::EnqueueCommand(uint32_t slot, DiskOp op, uint64_t lba,
   return id;
 }
 
-void DriveSet::FailQueuedCommands(uint32_t slot) {
+void DriveSet::FailQueuedCommands(SlotId slot) {
   std::vector<QueuedRequest> drained;
-  drained.swap(fg_[slot]);
+  drained.swap(fg_[slot.value()]);
   if (options_.collector != nullptr && !drained.empty()) {
-    options_.collector->OnQueueDepth(slot, sim_->Now(), 0);
+    options_.collector->OnQueueDepth(slot.value(), sim_->Now(), 0);
   }
   DiskOpResult failure;
   failure.status = IoStatus::kDiskFailed;
@@ -263,7 +268,7 @@ void DriveSet::FailQueuedCommands(uint32_t slot) {
   failure.completion_us = sim_->Now();
   for (QueuedRequest& entry : drained) {
     if (options_.auditor != nullptr) {
-      options_.auditor->OnEntryCancelled(slot, entry.id);
+      options_.auditor->OnEntryCancelled(slot.value(), entry.id);
     }
     auto it = command_done_.find(entry.id);
     if (it == command_done_.end()) {
@@ -275,7 +280,7 @@ void DriveSet::FailQueuedCommands(uint32_t slot) {
   }
 }
 
-void DriveSet::CountFault(uint32_t slot, IoStatus status) {
+void DriveSet::CountFault(SlotId slot, IoStatus status) {
   switch (status) {
     case IoStatus::kMediaError:
       ++fstats_.media_errors_seen;
@@ -289,49 +294,49 @@ void DriveSet::CountFault(uint32_t slot, IoStatus status) {
     default:
       break;
   }
-  if (failed_[slot]) {
+  if (failed_[slot.value()]) {
     return;  // already declared failed; no further escalation
   }
   if (status == IoStatus::kDiskFailed) {
     AutoFail(slot);
     return;
   }
-  ++error_counts_[slot];
+  ++error_counts_[slot.value()];
   if (options_.disk_error_fail_threshold > 0 &&
-      error_counts_[slot] >= options_.disk_error_fail_threshold) {
+      error_counts_[slot.value()] >= options_.disk_error_fail_threshold) {
     AutoFail(slot);
   }
 }
 
-void DriveSet::AutoFail(uint32_t slot) {
-  if (failed_[slot]) {
+void DriveSet::AutoFail(SlotId slot) {
+  if (failed_[slot.value()]) {
     return;
   }
-  failed_[slot] = true;
+  failed_[slot.value()] = true;
   ++fstats_.auto_disk_failures;
   if (options_.fault_injector != nullptr) {
     // Threshold-triggered failures: make the verdict binding so the drive
     // cannot half-work its way back into the array.
-    options_.fault_injector->FailStop(slot);
+    options_.fault_injector->FailStop(slot.value());
   }
   client_->OnSlotFailed(slot);
   PromoteSpareIfAvailable(slot);
 }
 
-void DriveSet::PromoteSpareIfAvailable(uint32_t slot) {
+void DriveSet::PromoteSpareIfAvailable(SlotId slot) {
   if (spares_.empty() || !client_->SparePromotionAllowed(slot)) {
     return;
   }
   auto [spare_disk, spare_predictor] = spares_.front();
   spares_.erase(spares_.begin());
-  disks_[slot] = spare_disk;
-  predictors_[slot] = spare_predictor;
+  disks_[slot.value()] = spare_disk;
+  predictors_[slot.value()] = spare_predictor;
   if (options_.auditor != nullptr) {
-    options_.auditor->OnDiskReplaced(slot);
+    options_.auditor->OnDiskReplaced(slot.value());
     spare_disk->SetAuditor(options_.auditor, slot);
   }
   if (options_.fault_injector != nullptr) {
-    options_.fault_injector->ReplaceDisk(slot);
+    options_.fault_injector->ReplaceDisk(slot.value());
     spare_disk->SetFaultInjector(options_.fault_injector, slot);
   }
   if (options_.collector != nullptr) {
@@ -352,7 +357,7 @@ void DriveSet::ScheduleRecovery(uint32_t attempt, std::function<void()> fn) {
 
 void DriveSet::CompleteDeferred(std::function<void()> fn) {
   ++pending_recovery_;
-  sim_->ScheduleAfter(0, [this, fn = std::move(fn)]() {
+  sim_->ScheduleAfter(SimDuration(0), [this, fn = std::move(fn)]() {
     --pending_recovery_;
     fn();
   });
@@ -368,7 +373,7 @@ void DriveSet::ResolveFault(uint64_t entry_id, FaultResolution resolution,
 
 void DriveSet::ScheduleScrubTick() {
   scrub_event_ = sim_->ScheduleAfter(options_.scrub_interval_us, [this]() {
-    scrub_event_ = 0;
+    scrub_event_ = EventId();
     ScrubTick();
     ScheduleScrubTick();
   });

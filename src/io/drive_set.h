@@ -65,7 +65,7 @@ struct DriveSetOptions {
   // (DriveSetClient::ScrubEligible) runs one policy-defined ScrubStep.
   // Idle-gating is the rate limit: scrubbing never competes with foreground
   // work.
-  SimTime scrub_interval_us = 0;
+  SimDuration scrub_interval_us;
 };
 
 // Policy hooks a backend implements on top of the engine. Calls arrive
@@ -77,14 +77,14 @@ class DriveSetClient {
   // An entry was picked and removed from a queue, observers notified, and is
   // about to be predicted + started on the drive. The mirror policy cancels
   // duplicate siblings here.
-  virtual void OnEntryDispatched(uint32_t /*disk*/,
+  virtual void OnEntryDispatched(SlotId /*disk*/,
                                  const QueuedRequest& /*entry*/) {}
 
   // A raw (non-command) entry completed. The engine has already run the
   // observer bookkeeping and fault accounting (including a possible
   // auto-fail); recovery policy for the entry is the client's.
-  virtual void OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
-                               uint64_t chosen_lba,
+  virtual void OnEntryComplete(SlotId disk, const QueuedRequest& entry,
+                               BlockAddr chosen_lba,
                                const DiskOpResult& result) = 0;
 
   // The engine fail-stopped `disk` (explicit kDiskFailed verdict or the
@@ -92,16 +92,16 @@ class DriveSetClient {
   // still has queued there (abandon propagations, reroute or fail entries);
   // the engine touches no queue on this path. Called before any spare
   // promotion.
-  virtual void OnSlotFailed(uint32_t disk) = 0;
+  virtual void OnSlotFailed(SlotId disk) = 0;
 
   // May the engine promote a hot spare into the failed slot right now? A
   // policy with no redundancy to rebuild from says no.
-  virtual bool SparePromotionAllowed(uint32_t /*disk*/) { return true; }
+  virtual bool SparePromotionAllowed(SlotId /*disk*/) { return true; }
 
   // A spare took over `disk`'s slot (observers rewired, injector slot
   // reset). The slot is still marked failed; the policy starts its rebuild,
   // which clears the mark.
-  virtual void OnSparePromoted(uint32_t disk) = 0;
+  virtual void OnSparePromoted(SlotId disk) = 0;
 
   // Policy-level scrub gating beyond the engine's (no outstanding logical
   // ops, no rebuild in progress, ...).
@@ -139,16 +139,18 @@ class DriveSet {
   // --- Slots ---
   size_t num_slots() const { return disks_.size(); }
   Simulator* sim() { return sim_; }
-  SimDisk* disk(uint32_t slot) { return disks_[slot]; }
-  const SimDisk* disk(uint32_t slot) const { return disks_[slot]; }
-  AccessPredictor* predictor(uint32_t slot) { return predictors_[slot]; }
-  bool failed(uint32_t slot) const { return failed_[slot]; }
+  SimDisk* disk(SlotId slot) { return disks_[slot.value()]; }
+  const SimDisk* disk(SlotId slot) const { return disks_[slot.value()]; }
+  AccessPredictor* predictor(SlotId slot) { return predictors_[slot.value()]; }
+  bool failed(SlotId slot) const { return failed_[slot.value()]; }
   // Manual failure/replacement bookkeeping for policy-initiated transitions
   // (FailDisk / Rebuild): flips the flag without stats, injector fail-stop,
   // client hooks, or spare promotion.
-  void MarkFailed(uint32_t slot) { failed_[slot] = true; }
-  void MarkReplaced(uint32_t slot) { failed_[slot] = false; }
-  uint64_t error_count(uint32_t slot) const { return error_counts_[slot]; }
+  void MarkFailed(SlotId slot) { failed_[slot.value()] = true; }
+  void MarkReplaced(SlotId slot) { failed_[slot.value()] = false; }
+  uint64_t error_count(SlotId slot) const {
+    return error_counts_[slot.value()];
+  }
 
   InvariantAuditor* auditor() { return options_.auditor; }
   FaultInjector* fault_injector() { return options_.fault_injector; }
@@ -163,20 +165,22 @@ class DriveSet {
   // dispatch or by a policy-side cancellation the policy reports to the
   // auditor itself (the mutable refs exist for those paths: sibling
   // cancellation, reroute-on-failure, delayed-table force-out).
-  uint64_t AllocEntryId() { return next_entry_id_++; }
-  std::vector<QueuedRequest>& fg(uint32_t slot) { return fg_[slot]; }
-  std::vector<QueuedRequest>& delayed(uint32_t slot) { return delayed_[slot]; }
-  const std::vector<QueuedRequest>& fg(uint32_t slot) const {
-    return fg_[slot];
+  [[nodiscard]] uint64_t AllocEntryId() { return next_entry_id_++; }
+  std::vector<QueuedRequest>& fg(SlotId slot) { return fg_[slot.value()]; }
+  std::vector<QueuedRequest>& delayed(SlotId slot) {
+    return delayed_[slot.value()];
   }
-  const std::vector<QueuedRequest>& delayed(uint32_t slot) const {
-    return delayed_[slot];
+  const std::vector<QueuedRequest>& fg(SlotId slot) const {
+    return fg_[slot.value()];
   }
-  void EnqueueFg(uint32_t slot, QueuedRequest entry);
-  void EnqueueDelayed(uint32_t slot, QueuedRequest entry);
+  const std::vector<QueuedRequest>& delayed(SlotId slot) const {
+    return delayed_[slot.value()];
+  }
+  void EnqueueFg(SlotId slot, QueuedRequest entry);
+  void EnqueueDelayed(SlotId slot, QueuedRequest entry);
   // Picks and starts the next entry on `slot` if the drive is live and idle.
   // Foreground entries always outrank delayed ones.
-  void MaybeDispatch(uint32_t slot);
+  void MaybeDispatch(SlotId slot);
   size_t TotalFgQueued() const;
   size_t TotalDelayedQueued() const;
   // Every slot (failed included) idle with empty queues — the drive half of a
@@ -193,21 +197,21 @@ class DriveSet {
   // completes with a synthetic kDiskFailed through the event queue so callers
   // re-plan from a clean stack. Returns the entry id (0 for that synthetic
   // path).
-  uint64_t EnqueueCommand(uint32_t slot, DiskOp op, uint64_t lba,
+  [[nodiscard]] uint64_t EnqueueCommand(SlotId slot, DiskOp op, BlockAddr lba,
                           uint32_t sectors, CommandDoneFn done,
                           uint32_t attempts = 0);
   // Drains `slot`'s foreground queue, completing every still-queued command
   // with a synthetic kDiskFailed (id 0). Non-command entries are cancelled
   // with the auditor and dropped — policies that mix raw entries with
   // commands must reroute their raw entries themselves.
-  void FailQueuedCommands(uint32_t slot);
+  void FailQueuedCommands(SlotId slot);
 
   // --- Failure response ---
   // Declares `slot` failed in response to an error verdict: marks it, counts
   // it, makes the injector verdict binding (FailStop), lets the policy
   // dispose of queued work (OnSlotFailed), then promotes a hot spare if one
   // is registered and the policy allows it. Idempotent.
-  void AutoFail(uint32_t slot);
+  void AutoFail(SlotId slot);
   // Registers a standby drive + predictor (borrowed). Wired to the observers
   // only on promotion.
   void AddSpare(SimDisk* disk, AccessPredictor* predictor);
@@ -235,10 +239,10 @@ class DriveSet {
   void StopScrub();
 
  private:
-  void HandleCompletion(uint32_t slot, const QueuedRequest& entry,
-                        uint64_t chosen_lba, const DiskOpResult& result);
-  void CountFault(uint32_t slot, IoStatus status);
-  void PromoteSpareIfAvailable(uint32_t slot);
+  void HandleCompletion(SlotId slot, const QueuedRequest& entry,
+                        BlockAddr chosen_lba, const DiskOpResult& result);
+  void CountFault(SlotId slot, IoStatus status);
+  void PromoteSpareIfAvailable(SlotId slot);
   void ScheduleScrubTick();
   void ScrubTick();
 
@@ -260,7 +264,7 @@ class DriveSet {
   std::vector<uint64_t> error_counts_;
   std::vector<std::pair<SimDisk*, AccessPredictor*>> spares_;
   size_t pending_recovery_ = 0;
-  EventId scrub_event_ = 0;
+  EventId scrub_event_;
 
   FaultRecoveryStats fstats_;
 };

@@ -68,7 +68,13 @@ std::string Num(double v) {
 
 std::string Num(SimTime v) {
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v.us());
+  return buf;
+}
+
+std::string Num(SimDuration v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v.us());
   return buf;
 }
 

@@ -48,8 +48,8 @@ void TraceCollector::OnRequestComplete(uint64_t id, IoStatus status,
   PhaseBreakdown& p = rec.phases;
   if (leg != nullptr) {
     p.queue_us = leg->disk_start_us >= leg->entry_arrival_us
-                     ? static_cast<double>(leg->disk_start_us -
-                                           leg->entry_arrival_us)
+                     ? static_cast<double>(
+                           (leg->disk_start_us - leg->entry_arrival_us).us())
                      : 0.0;
     p.overhead_us = leg->overhead_us;
     p.seek_us = leg->seek_us;
@@ -164,7 +164,7 @@ std::vector<SlotSummary> TraceCollector::SlotSummaries() const {
     if (op.status != IoStatus::kOk) {
       ++s.failed_ops;
     }
-    s.busy_us += static_cast<double>(op.completion_us - op.start_us);
+    s.busy_us += static_cast<double>((op.completion_us - op.start_us).us());
   }
   return slots;
 }
@@ -172,12 +172,12 @@ std::vector<SlotSummary> TraceCollector::SlotSummaries() const {
 std::string TraceCollector::Summary() const {
   std::string out;
   char line[256];
-  const SimTime span = span_end_ - span_start_;
+  const SimDuration span = span_end_ - span_start_;
   std::snprintf(line, sizeof(line),
                 "trace: %zu requests, %zu disk ops, %zu queue samples, "
                 "span %.3f s\n",
                 requests_.size(), disk_ops_.size(), queue_depths_.size(),
-                static_cast<double>(span) / 1e6);
+                static_cast<double>(span.us()) / 1e6);
   out += line;
 
   if (!requests_.empty()) {
@@ -234,7 +234,8 @@ void TraceCollector::ExportTo(StatsRegistry* registry) const {
   MIMDRAID_CHECK(registry != nullptr);
   registry->Set("trace.requests", static_cast<double>(requests_.size()));
   registry->Set("trace.disk_ops", static_cast<double>(disk_ops_.size()));
-  registry->Set("trace.span_us", static_cast<double>(span_end_ - span_start_));
+  registry->Set("trace.span_us",
+                static_cast<double>((span_end_ - span_start_).us()));
   const PhaseBreakdown m = MeanPhases();
   registry->Set("trace.phase.queue_us", m.queue_us);
   registry->Set("trace.phase.overhead_us", m.overhead_us);
@@ -250,7 +251,7 @@ void TraceCollector::ExportTo(StatsRegistry* registry) const {
   registry->Set("trace.scheduler.picks",
                 static_cast<double>(scheduler_picks_));
   const std::vector<SlotSummary> slots = SlotSummaries();
-  const SimTime span = span_end_ - span_start_;
+  const SimDuration span = span_end_ - span_start_;
   for (size_t i = 0; i < slots.size(); ++i) {
     char name[64];
     std::snprintf(name, sizeof(name), "trace.slot.%02zu.utilization", i);
@@ -268,8 +269,8 @@ void TraceCollector::Clear() {
   scheduler_picks_ = 0;
   scheduler_candidates_ = 0;
   num_slots_ = 0;
-  span_start_ = 0;
-  span_end_ = 0;
+  span_start_ = SimTime();
+  span_end_ = SimTime();
   span_valid_ = false;
 }
 

@@ -57,8 +57,8 @@ struct PhaseBreakdown {
 // enqueued (its QueuedRequest::arrival_us); the remaining fields come from
 // the DiskOpResult ground-truth decomposition.
 struct FinalLeg {
-  SimTime entry_arrival_us = 0;
-  SimTime disk_start_us = 0;
+  SimTime entry_arrival_us;
+  SimTime disk_start_us;
   double overhead_us = 0.0;
   double seek_us = 0.0;
   double rotational_us = 0.0;
@@ -71,14 +71,14 @@ struct RequestRecord {
   bool is_write = false;
   uint64_t lba = 0;
   uint32_t sectors = 0;
-  SimTime arrival_us = 0;
-  SimTime completion_us = 0;
+  SimTime arrival_us;
+  SimTime completion_us;
   IoStatus status = IoStatus::kOk;
   uint32_t recovery_attempts = 0;
   PhaseBreakdown phases;
 
   double EndToEndUs() const {
-    return static_cast<double>(completion_us - arrival_us);
+    return static_cast<double>((completion_us - arrival_us).us());
   }
 };
 
@@ -89,8 +89,8 @@ struct DiskOpRecord {
   uint64_t lba = 0;
   uint32_t sectors = 0;
   IoStatus status = IoStatus::kOk;
-  SimTime start_us = 0;
-  SimTime completion_us = 0;
+  SimTime start_us;
+  SimTime completion_us;
   double overhead_us = 0.0;
   double seek_us = 0.0;
   double rotational_us = 0.0;
@@ -99,7 +99,7 @@ struct DiskOpRecord {
 
 struct QueueDepthSample {
   uint32_t slot = 0;
-  SimTime t_us = 0;
+  SimTime t_us;
   uint32_t depth = 0;
 };
 
@@ -107,7 +107,7 @@ struct QueueDepthSample {
 // (kOk completions only) — the runtime analogue of the paper's Table 2.
 struct PredictionSample {
   uint32_t slot = 0;
-  SimTime t_us = 0;          // completion time of the dispatched command
+  SimTime t_us;          // completion time of the dispatched command
   double predicted_us = 0.0;
   double actual_us = 0.0;
 
@@ -116,7 +116,7 @@ struct PredictionSample {
 
 struct TraceMarker {
   std::string name;
-  SimTime t_us = 0;
+  SimTime t_us;
 };
 
 // Per-slot rollup over the recorded disk ops.
@@ -125,8 +125,10 @@ struct SlotSummary {
   uint64_t failed_ops = 0;
   double busy_us = 0.0;  // sum of service times
 
-  double Utilization(SimTime span_us) const {
-    return span_us > 0 ? busy_us / static_cast<double>(span_us) : 0.0;
+  double Utilization(SimDuration span_us) const {
+    return span_us > SimDuration(0)
+               ? busy_us / static_cast<double>(span_us.us())
+               : 0.0;
   }
 };
 
@@ -208,8 +210,8 @@ class TraceCollector {
   uint64_t scheduler_picks_ = 0;
   uint64_t scheduler_candidates_ = 0;
   uint32_t num_slots_ = 0;
-  SimTime span_start_ = 0;
-  SimTime span_end_ = 0;
+  SimTime span_start_;
+  SimTime span_end_;
   bool span_valid_ = false;
 };
 

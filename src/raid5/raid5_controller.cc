@@ -88,14 +88,14 @@ void Raid5Controller::ExportStats(StatsRegistry* registry) const {
                 static_cast<double>(stats_.rebuilt_rows));
 }
 
-bool Raid5Controller::FailDisk(uint32_t disk) {
-  MIMDRAID_CHECK_LT(disk, drives_->num_slots());
+bool Raid5Controller::FailDisk(SlotId disk) {
+  MIMDRAID_CHECK_LT(disk.value(), drives_->num_slots());
   if (drives_->failed(disk)) {
     return true;
   }
   drives_->MarkFailed(disk);
   if (drives_->fault_injector() != nullptr) {
-    drives_->fault_injector()->FailStop(disk);
+    drives_->fault_injector()->FailStop(disk.value());
   }
   // Outstanding queue entries for the failed disk cannot complete on it; they
   // are re-driven through their failure handlers (degraded service or
@@ -104,9 +104,9 @@ bool Raid5Controller::FailDisk(uint32_t disk) {
   return true;
 }
 
-void Raid5Controller::OnEntryComplete(uint32_t /*disk*/,
+void Raid5Controller::OnEntryComplete(SlotId /*disk*/,
                                       const QueuedRequest& /*entry*/,
-                                      uint64_t /*chosen_lba*/,
+                                      BlockAddr /*chosen_lba*/,
                                       const DiskOpResult& /*result*/) {
   // Every RAID-5 sub-op registers a command callback with the engine; a
   // completion falling through to the raw-entry hook means the command table
@@ -114,15 +114,15 @@ void Raid5Controller::OnEntryComplete(uint32_t /*disk*/,
   MIMDRAID_CHECK(false);
 }
 
-void Raid5Controller::OnSlotFailed(uint32_t disk) {
+void Raid5Controller::OnSlotFailed(SlotId disk) {
   drives_->FailQueuedCommands(disk);
 }
 
-bool Raid5Controller::SparePromotionAllowed(uint32_t /*disk*/) {
+bool Raid5Controller::SparePromotionAllowed(SlotId /*disk*/) {
   return rebuilding_disk_ < 0;
 }
 
-void Raid5Controller::OnSparePromoted(uint32_t disk) {
+void Raid5Controller::OnSparePromoted(SlotId disk) {
   // The spare holds no data yet: rebuild the slot from parity immediately.
   // Fragments planned before promotion keep treating the slot as unusable
   // (DiskUsable is rebuild-cursor aware), so service stays correct while the
@@ -161,7 +161,8 @@ void Raid5Controller::ScrubStep() {
           if (r.ok()) {
             return;
           }
-          if (r.status == IoStatus::kMediaError && !drives_->failed(d)) {
+          if (r.status == IoStatus::kMediaError &&
+              !drives_->failed(SlotId(d))) {
             // Latent sector error caught before a failure could turn it into
             // data loss: rewrite the unit so the drive reallocates the bad
             // sectors. The replacement data is reconstructible from the row
@@ -180,7 +181,7 @@ void Raid5Controller::ScrubStep() {
                                 /*target_disk_failed=*/false);
             return;
           }
-          const bool disk_failed = drives_->failed(d);
+          const bool disk_failed = drives_->failed(SlotId(d));
           ResolveCommandFault(id,
                               disk_failed ? FaultResolution::kAbandoned
                                           : FaultResolution::kSurfaced,
@@ -190,7 +191,7 @@ void Raid5Controller::ScrubStep() {
 }
 
 bool Raid5Controller::DiskUsable(uint32_t disk, uint32_t row) const {
-  if (!drives_->failed(disk)) {
+  if (!drives_->failed(SlotId(disk))) {
     if (rebuilding_disk_ == static_cast<int>(disk)) {
       return row < rebuilt_rows_;
     }
@@ -254,10 +255,11 @@ void Raid5Controller::SubmitReadFragment(uint64_t op_id,
           work->abandoned = true;
           NoteOpRecovery(work->op_id);
           ++fstats().failovers;
-          const bool repair = r.status == IoStatus::kMediaError &&
-                              !drives_->failed(work->frag.data_disk);
+          const bool repair =
+              r.status == IoStatus::kMediaError &&
+              !drives_->failed(SlotId(work->frag.data_disk));
           ResolveCommandFault(id, FaultResolution::kFailedOver,
-                              drives_->failed(work->frag.data_disk));
+                              drives_->failed(SlotId(work->frag.data_disk)));
           SubmitReadFragment(work->op_id, work->frag,
                              /*force_degraded=*/true, repair);
         });
@@ -405,7 +407,8 @@ void Raid5Controller::SubmitWriteFragment(uint64_t op_id,
     return;
   }
 
-  if (drives_->failed(frag.data_disk) && drives_->failed(frag.parity_disk)) {
+  if (drives_->failed(SlotId(frag.data_disk)) &&
+      drives_->failed(SlotId(frag.parity_disk))) {
     // Both row members for this fragment are gone: nothing can be written.
     CompleteFragmentFailed(op_id, IoStatus::kUnrecoverable);
     return;
@@ -598,7 +601,10 @@ void Raid5Controller::EnqueueDiskOp(uint32_t disk, DiskOp op, uint64_t lba,
                                     uint32_t sectors,
                                     DriveSet::CommandDoneFn done,
                                     uint32_t attempts) {
-  drives_->EnqueueCommand(disk, op, lba, sectors, std::move(done), attempts);
+  // RAID-5 tracks its stripe ops by its own op ids; the engine entry id is
+  // only meaningful to the DriveSet retry machinery.
+  (void)drives_->EnqueueCommand(  // mdl-ok(MDL002): engine id unused by policy
+      SlotId(disk), op, BlockAddr(lba), sectors, std::move(done), attempts);
 }
 
 void Raid5Controller::ResolveCommandFault(uint64_t id,
@@ -609,13 +615,13 @@ void Raid5Controller::ResolveCommandFault(uint64_t id,
   }
 }
 
-void Raid5Controller::Rebuild(uint32_t disk, DoneFn done) {
+void Raid5Controller::Rebuild(SlotId disk, DoneFn done) {
   MIMDRAID_CHECK(drives_->failed(disk));
   drives_->MarkReplaced(disk);  // the replacement drive is in the slot
   if (drives_->fault_injector() != nullptr) {
-    drives_->fault_injector()->ReplaceDisk(disk);
+    drives_->fault_injector()->ReplaceDisk(disk.value());
   }
-  rebuilding_disk_ = static_cast<int>(disk);
+  rebuilding_disk_ = static_cast<int>(disk.value());
   rebuilt_rows_ = 0;
   rebuild_rows_lost_ = 0;
   rebuild_done_ = std::move(done);
@@ -639,7 +645,7 @@ void Raid5Controller::AbortRebuild(uint32_t disk) {
 void Raid5Controller::RebuildNextRow() {
   MIMDRAID_CHECK_GE(rebuilding_disk_, 0);
   const uint32_t disk = static_cast<uint32_t>(rebuilding_disk_);
-  if (drives_->failed(disk)) {
+  if (drives_->failed(SlotId(disk))) {
     // The replacement drive itself died.
     AbortRebuild(disk);
     return;
@@ -651,7 +657,7 @@ void Raid5Controller::RebuildNextRow() {
     const std::vector<uint32_t> peers = layout_->RowPeers(row, disk);
     bool peers_ok = !peers.empty();
     for (uint32_t peer : peers) {
-      if (drives_->failed(peer)) {
+      if (drives_->failed(SlotId(peer))) {
         peers_ok = false;
       }
     }
@@ -675,7 +681,7 @@ void Raid5Controller::RebuildNextRow() {
       if (--*remaining > 0) {
         return;
       }
-      if (drives_->failed(disk)) {
+      if (drives_->failed(SlotId(disk))) {
         AbortRebuild(disk);
         return;
       }
@@ -693,7 +699,7 @@ void Raid5Controller::RebuildNextRow() {
               ResolveCommandFault(wid, FaultResolution::kSurfaced,
                                   w.status == IoStatus::kDiskFailed);
             }
-            if (!w.ok() && drives_->failed(disk)) {
+            if (!w.ok() && drives_->failed(SlotId(disk))) {
               AbortRebuild(disk);
               return;
             }

@@ -71,7 +71,7 @@ struct Raid5ControllerOptions {
   // media error triggers a repair-rewrite of the unit (the data is logically
   // reconstructible from the row peers read in the same pass). Idle-gating is
   // the rate limit: scrubbing never competes with foreground work.
-  SimTime scrub_interval_us = 0;
+  SimDuration scrub_interval_us;
 };
 
 struct Raid5Stats {
@@ -111,15 +111,15 @@ class Raid5Controller : public ArrayBackend, private DriveSetClient {
   // crashing; fragments whose members survive keep being served. Outstanding
   // queue entries for the disk are re-driven against the survivors. Always
   // returns true: rotated parity covers every single-disk loss.
-  bool FailDisk(uint32_t disk) override;
-  bool IsFailed(uint32_t disk) const override { return drives_->failed(disk); }
+  bool FailDisk(SlotId disk) override;
+  bool IsFailed(SlotId disk) const override { return drives_->failed(disk); }
 
   // Reconstructs the (replaced) failed disk row by row; `done` fires when the
   // array is fully redundant again (status kOk), when rows were lost to
   // additional faults (kUnrecoverable), or when the replacement drive itself
   // failed mid-rebuild (kDiskFailed). Foreground traffic may continue; rows
   // not yet rebuilt keep being served degraded.
-  void Rebuild(uint32_t disk, DoneFn done) override;
+  void Rebuild(SlotId disk, DoneFn done) override;
   bool RebuildInProgress() const override { return rebuilding_disk_ >= 0; }
 
   // Registers a standby drive + predictor (borrowed) the engine promotes
@@ -136,7 +136,7 @@ class Raid5Controller : public ArrayBackend, private DriveSetClient {
   const FaultRecoveryStats& fault_stats() const override {
     return drives_->fstats();
   }
-  uint64_t disk_error_count(uint32_t disk) const {
+  uint64_t disk_error_count(SlotId disk) const {
     return drives_->error_count(disk);
   }
   const Raid5Layout& layout() const { return *layout_; }
@@ -160,7 +160,7 @@ class Raid5Controller : public ArrayBackend, private DriveSetClient {
   struct PendingOp {
     uint32_t remaining = 0;
     DoneFn done;
-    SimTime last_completion = 0;
+    SimTime last_completion;
     DiskOp op = DiskOp::kRead;
     // Worst status across the op's fragments; only kOk or kUnrecoverable is
     // surfaced to the submitter.
@@ -199,13 +199,14 @@ class Raid5Controller : public ArrayBackend, private DriveSetClient {
   // --- DriveSetClient hooks ---
   // Every RAID-5 disk sub-op is an engine command; raw entries never reach
   // the policy.
-  void OnEntryComplete(uint32_t disk, const QueuedRequest& entry,
-                       uint64_t chosen_lba, const DiskOpResult& result) override;
-  void OnSlotFailed(uint32_t disk) override;
+  void OnEntryComplete(SlotId disk, const QueuedRequest& entry,
+                       BlockAddr chosen_lba,
+                       const DiskOpResult& result) override;
+  void OnSlotFailed(SlotId disk) override;
   // One rebuild at a time: a promotion while another slot is rebuilding
   // would clobber the rebuild cursor, so the spare stays pooled.
-  bool SparePromotionAllowed(uint32_t disk) override;
-  void OnSparePromoted(uint32_t disk) override;
+  bool SparePromotionAllowed(SlotId disk) override;
+  void OnSparePromoted(SlotId disk) override;
   bool ScrubEligible() const override;
   // One scrub chunk: reads every usable unit of the next parity row.
   void ScrubStep() override;

@@ -8,8 +8,8 @@
 namespace mimdraid {
 namespace {
 
-uint32_t CylinderOf(const ScheduleContext& ctx, uint64_t lba) {
-  return ctx.layout->ToChs(lba).cylinder;
+uint32_t CylinderOf(const ScheduleContext& ctx, BlockAddr lba) {
+  return ctx.layout->ToChs(lba.value()).cylinder;
 }
 
 }  // namespace
@@ -33,10 +33,10 @@ SchedulerPick SstfScheduler::Pick(const std::vector<QueuedRequest>& queue,
   MIMDRAID_CHECK(ctx.predictor != nullptr);
   const uint32_t head_cyl = ctx.predictor->Head().cylinder;
   size_t best = 0;
-  uint64_t best_lba = queue[0].candidate_lbas.front();
+  BlockAddr best_lba = queue[0].candidate_lbas.front();
   uint32_t best_dist = std::numeric_limits<uint32_t>::max();
   for (size_t i = 0; i < queue.size(); ++i) {
-    for (uint64_t lba : queue[i].candidate_lbas) {
+    for (BlockAddr lba : queue[i].candidate_lbas) {
       const uint32_t cyl = CylinderOf(ctx, lba);
       const uint32_t dist = cyl > head_cyl ? cyl - head_cyl : head_cyl - cyl;
       if (dist < best_dist) {
@@ -56,7 +56,7 @@ size_t LookScheduler::PickIndex(const std::vector<QueuedRequest>& queue,
   for (int attempt = 0; attempt < 2; ++attempt) {
     size_t best = queue.size();
     uint32_t best_cyl = 0;
-    SimTime best_arrival = 0;
+    SimTime best_arrival;
     for (size_t i = 0; i < queue.size(); ++i) {
       const uint32_t cyl = CylinderOf(ctx, queue[i].candidate_lbas.front());
       const bool eligible = direction_ > 0 ? cyl >= current_cylinder_

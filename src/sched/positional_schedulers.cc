@@ -19,7 +19,7 @@ struct CandidateCost {
 };
 
 CandidateCost CostOf(const ScheduleContext& ctx, const QueuedRequest& req,
-                     uint64_t lba) {
+                     BlockAddr lba) {
   const AccessPlan plan = ctx.predictor->Predict(
       ctx.now, lba, req.sectors, req.op == DiskOp::kWrite);
   return CandidateCost{ctx.predictor->EffectiveServiceUs(plan), plan.total_us};
@@ -45,7 +45,7 @@ SchedulerPick SatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
     }
   }
   if (ctx.collector != nullptr) {
-    ctx.collector->OnSchedulerScan(ctx.disk, scan);
+    ctx.collector->OnSchedulerScan(ctx.disk.value(), scan);
   }
   return SchedulerPick{best, queue[best].candidate_lbas.front(),
                        best_cost.predicted_us};
@@ -58,11 +58,11 @@ SchedulerPick RsatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
   const size_t scan = max_scan_ == 0 ? queue.size()
                                      : std::min(max_scan_, queue.size());
   size_t best = 0;
-  uint64_t best_lba = queue[0].candidate_lbas.front();
+  BlockAddr best_lba = queue[0].candidate_lbas.front();
   CandidateCost best_cost{std::numeric_limits<double>::infinity(), 0.0};
   uint64_t examined = 0;
   for (size_t i = 0; i < scan; ++i) {
-    for (uint64_t lba : queue[i].candidate_lbas) {
+    for (BlockAddr lba : queue[i].candidate_lbas) {
       const CandidateCost cost = CostOf(ctx, queue[i], lba);
       ++examined;
       if (cost.effective_us < best_cost.effective_us) {
@@ -73,7 +73,7 @@ SchedulerPick RsatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
     }
   }
   if (ctx.collector != nullptr) {
-    ctx.collector->OnSchedulerScan(ctx.disk, examined);
+    ctx.collector->OnSchedulerScan(ctx.disk.value(), examined);
   }
   return SchedulerPick{best, best_lba, best_cost.predicted_us};
 }
@@ -85,15 +85,15 @@ SchedulerPick AsatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
   const size_t scan = max_scan_ == 0 ? queue.size()
                                      : std::min(max_scan_, queue.size());
   size_t best = 0;
-  uint64_t best_lba = queue[0].candidate_lbas.front();
+  BlockAddr best_lba = queue[0].candidate_lbas.front();
   double best_aged = std::numeric_limits<double>::infinity();
   CandidateCost best_cost{0.0, 0.0};
   uint64_t examined = 0;
   for (size_t i = 0; i < scan; ++i) {
     const double age_credit =
         age_weight_ *
-        static_cast<double>(ctx.now - queue[i].arrival_us);
-    for (uint64_t lba : queue[i].candidate_lbas) {
+        static_cast<double>((ctx.now - queue[i].arrival_us).us());
+    for (BlockAddr lba : queue[i].candidate_lbas) {
       const CandidateCost cost = CostOf(ctx, queue[i], lba);
       ++examined;
       const double aged = cost.effective_us - age_credit;
@@ -106,7 +106,7 @@ SchedulerPick AsatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
     }
   }
   if (ctx.collector != nullptr) {
-    ctx.collector->OnSchedulerScan(ctx.disk, examined);
+    ctx.collector->OnSchedulerScan(ctx.disk.value(), examined);
   }
   return SchedulerPick{best, best_lba, best_cost.predicted_us};
 }
@@ -117,9 +117,9 @@ SchedulerPick RlookScheduler::Pick(const std::vector<QueuedRequest>& queue,
   // LOOK chooses the request (all replicas of an entry share a cylinder);
   // the rotationally closest replica is then taken.
   const size_t i = PickIndex(queue, ctx);
-  uint64_t best_lba = queue[i].candidate_lbas.front();
+  BlockAddr best_lba = queue[i].candidate_lbas.front();
   CandidateCost best_cost{std::numeric_limits<double>::infinity(), 0.0};
-  for (uint64_t lba : queue[i].candidate_lbas) {
+  for (BlockAddr lba : queue[i].candidate_lbas) {
     const CandidateCost cost = CostOf(ctx, queue[i], lba);
     if (cost.effective_us < best_cost.effective_us) {
       best_cost = cost;
@@ -127,7 +127,8 @@ SchedulerPick RlookScheduler::Pick(const std::vector<QueuedRequest>& queue,
     }
   }
   if (ctx.collector != nullptr) {
-    ctx.collector->OnSchedulerScan(ctx.disk, queue[i].candidate_lbas.size());
+    ctx.collector->OnSchedulerScan(ctx.disk.value(),
+                                  queue[i].candidate_lbas.size());
   }
   return SchedulerPick{i, best_lba, best_cost.predicted_us};
 }

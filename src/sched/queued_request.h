@@ -21,8 +21,8 @@ struct QueuedRequest {
   uint64_t id = 0;
   DiskOp op = DiskOp::kRead;
   uint32_t sectors = 0;
-  std::vector<uint64_t> candidate_lbas;
-  SimTime arrival_us = 0;
+  std::vector<BlockAddr> candidate_lbas;
+  SimTime arrival_us;
   // Background replica propagation (serviced only when the foreground queue
   // is empty; see Section 3.4).
   bool delayed = false;

@@ -28,7 +28,7 @@ class AuditedScheduler final : public Scheduler {
     auditor_->OnSchedulerPick(
         inner_->name(), queue.size(), pick.queue_index, pick.lba,
         index_ok ? queue[pick.queue_index].candidate_lbas
-                 : std::vector<uint64_t>{},
+                 : std::vector<BlockAddr>{},
         pick.predicted_service_us);
     return pick;
   }

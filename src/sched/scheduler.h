@@ -23,18 +23,18 @@ class InvariantAuditor;
 class TraceCollector;
 
 struct ScheduleContext {
-  SimTime now = 0;
+  SimTime now;
   AccessPredictor* predictor = nullptr;  // required by SATF-class policies
   const DiskLayout* layout = nullptr;
   // Optional observability: when set, SATF-class policies report how many
   // candidates they examined per pick (cost of a scheduling decision).
   TraceCollector* collector = nullptr;
-  uint32_t disk = 0;  // slot label for collector reports
+  SlotId disk;  // slot label for collector reports
 };
 
 struct SchedulerPick {
   size_t queue_index = 0;
-  uint64_t lba = 0;                   // chosen replica
+  BlockAddr lba;                      // chosen replica
   double predicted_service_us = 0.0;  // 0 for non-positional policies
 };
 

@@ -70,7 +70,7 @@ void InvariantAuditor::OnDiskOpComplete(const DiskOpAudit& op) {
                        << " out of range (num_heads " << op.num_heads << ")");
 
   // Service-time decomposition must account for the whole service time.
-  const double service = static_cast<double>(op.completion_us - op.start_us);
+  const double service = static_cast<double>((op.completion_us - op.start_us).us());
   const double sum =
       op.overhead_us + op.seek_us + op.rotational_us + op.transfer_us;
   AUDIT_EXPECT(std::abs(service - sum) <= kDecompositionToleranceUs,
@@ -117,8 +117,8 @@ void InvariantAuditor::OnDiskOpComplete(const DiskOpAudit& op) {
 
 void InvariantAuditor::OnSchedulerPick(const std::string& scheduler_name,
                                        size_t queue_size, size_t picked_index,
-                                       uint64_t chosen_lba,
-                                       const std::vector<uint64_t>& candidates,
+                                       BlockAddr chosen_lba,
+                                       const std::vector<BlockAddr>& candidates,
                                        double predicted_service_us) {
   AUDIT_EXPECT(queue_size > 0, scheduler_name << ": picked from an empty "
                                                  "queue");
@@ -127,7 +127,7 @@ void InvariantAuditor::OnSchedulerPick(const std::string& scheduler_name,
                               << " out of range (queue size " << queue_size
                               << ")");
   bool found = false;
-  for (uint64_t cand : candidates) {
+  for (BlockAddr cand : candidates) {
     if (cand == chosen_lba) {
       found = true;
       break;

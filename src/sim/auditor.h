@@ -85,8 +85,8 @@ struct DiskOpAudit {
   bool is_write = false;
   uint64_t lba = 0;
   uint32_t sectors = 0;
-  SimTime start_us = 0;
-  SimTime completion_us = 0;
+  SimTime start_us;
+  SimTime completion_us;
   // Ground-truth service decomposition (overhead includes pre+post).
   double overhead_us = 0.0;
   double seek_us = 0.0;
@@ -130,8 +130,8 @@ class InvariantAuditor {
 
   // --- Scheduler hooks ---
   void OnSchedulerPick(const std::string& scheduler_name, size_t queue_size,
-                       size_t picked_index, uint64_t chosen_lba,
-                       const std::vector<uint64_t>& candidates,
+                       size_t picked_index, BlockAddr chosen_lba,
+                       const std::vector<BlockAddr>& candidates,
                        double predicted_service_us);
 
   // --- Array controller: queue conservation ---
@@ -199,7 +199,7 @@ class InvariantAuditor {
   struct DiskConstants {
     double spindle_phase_us = 0.0;
     double rotation_us = 0.0;
-    SimTime last_completion_us = 0;
+    SimTime last_completion_us;
     bool seen = false;
   };
   std::unordered_map<uint32_t, DiskConstants> disk_constants_;

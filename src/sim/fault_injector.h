@@ -42,7 +42,7 @@ struct FaultInjectorOptions {
   double timeout_prob = 0.0;
   // Host command watchdog: a hung command is aborted (and completes with
   // IoStatus::kTimeout) this long after dispatch.
-  SimTime watchdog_timeout_us = 250'000;
+  SimDuration watchdog_timeout_us = SimDuration(250'000);
   // Extra service time a drive spends in internal retries before reporting a
   // media error (a handful of revolutions of re-reads).
   double media_retry_penalty_us = 25'000.0;

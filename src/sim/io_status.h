@@ -17,7 +17,9 @@
 
 namespace mimdraid {
 
-enum class IoStatus : uint8_t {
+// [[nodiscard]]: a dropped IoStatus is how data-loss events get silently
+// swallowed — every producer's status must be inspected or explicitly voided.
+enum class [[nodiscard]] IoStatus : uint8_t {
   kOk = 0,
   // Persistent media error (latent sector error): every read of the sector
   // fails until the data is rewritten, which lets the drive remap the sector
@@ -53,7 +55,7 @@ inline const char* IoStatusName(IoStatus s) {
 // What a logical I/O submitter gets back from a controller.
 struct IoResult {
   IoStatus status = IoStatus::kOk;
-  SimTime completion_us = 0;
+  SimTime completion_us;
   // Recovery work the controller spent on this op (retries + failovers +
   // reconstructions). 0 on the fast path.
   uint32_t recovery_attempts = 0;
@@ -64,15 +66,15 @@ struct IoResult {
 // until max_attempts recovery steps have been spent on the sub-operation.
 struct RetryPolicy {
   uint32_t max_attempts = 3;
-  SimTime backoff_base_us = 1'000;
+  SimDuration backoff_base_us = SimDuration(1'000);
   double backoff_multiplier = 2.0;
 
-  SimTime BackoffUs(uint32_t attempt) const {
-    double b = static_cast<double>(backoff_base_us);
+  SimDuration BackoffUs(uint32_t attempt) const {
+    double b = static_cast<double>(backoff_base_us.us());
     for (uint32_t i = 0; i < attempt; ++i) {
       b *= backoff_multiplier;
     }
-    return static_cast<SimTime>(b);
+    return SimDuration(static_cast<int64_t>(b));
   }
 };
 

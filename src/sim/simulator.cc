@@ -15,13 +15,14 @@ EventId Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
   }
   const uint64_t seq = next_seq_++;
   // seq doubles as the event id: unique and monotonically increasing.
-  heap_.push(Event{at, seq, seq, std::move(fn)});
-  pending_ids_.insert(seq);
-  return seq;
+  const EventId id(seq);
+  heap_.push(Event{at, seq, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
 }
 
-EventId Simulator::ScheduleAfter(SimTime delay, std::function<void()> fn) {
-  MIMDRAID_CHECK_GE(delay, 0);
+EventId Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  MIMDRAID_CHECK_GE(delay, SimDuration(0));
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 

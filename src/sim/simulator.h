@@ -24,9 +24,6 @@ namespace mimdraid {
 
 class InvariantAuditor;
 
-// Opaque handle for cancelling a scheduled event. 0 is never a valid id.
-using EventId = uint64_t;
-
 class Simulator {
  public:
   Simulator() = default;
@@ -39,13 +36,15 @@ class Simulator {
   // Returns an id usable with Cancel().
   EventId ScheduleAt(SimTime at, std::function<void()> fn);
 
-  // Schedules `fn` to run `delay` microseconds from now.
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn);
+  // Schedules `fn` to run `delay` from now.
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
 
   // Cancels a pending event. Cancelling an already-fired or already-cancelled
   // event is a harmless no-op; returns whether the event was still pending
-  // (false for fired, cancelled, or never-issued ids).
-  bool Cancel(EventId id);
+  // (false for fired, cancelled, or never-issued ids). The result is
+  // [[nodiscard]]: the PR 2 livelock class started with a caller assuming a
+  // Cancel it never checked had won the race against the event firing.
+  [[nodiscard]] bool Cancel(EventId id);
 
   // Runs events until the queue is empty.
   void Run();
@@ -95,7 +94,7 @@ class Simulator {
   // Returns whether heap_.top() is a live event.
   bool DropCancelledTop();
 
-  SimTime now_ = 0;
+  SimTime now_;
   InvariantAuditor* auditor_ = nullptr;
   uint64_t next_seq_ = 1;
   std::priority_queue<Event, std::vector<Event>, EventLater> heap_;

@@ -64,7 +64,7 @@ class ThroughputMeter {
   }
 
  private:
-  SimTime start_us_ = 0;
+  SimTime start_us_;
   uint64_t completed_ = 0;
   bool started_ = false;
 };

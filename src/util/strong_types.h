@@ -1,0 +1,249 @@
+// Compile-time strong types for the quantities the simulator moves around.
+//
+// Motivation (ISSUE 6 / mimdraid-lint): the Simulator::Cancel and
+// LruBlockCache bugs fixed in PR 5 were *dimension* and *lifecycle* errors a
+// compiler could have rejected. These wrappers make the illegal states
+// unrepresentable:
+//
+//   * SimTime      — an absolute instant, microseconds since simulation start.
+//   * SimDuration  — a span of simulated time, microseconds.
+//   * SlotId       — an array slot (drive position) index.
+//   * BlockAddr    — a logical block address on one drive (512 B sectors).
+//   * EventId      — a Simulator event handle; default-constructed == invalid.
+//
+// Only dimensionally valid arithmetic exists:
+//
+//   time + duration -> time        time - time     -> duration
+//   duration +/- duration          duration * k, duration / k (dimensionless)
+//   time + time                    -> does not compile
+//   SlotId  <-> BlockAddr          -> does not compile (no conversions)
+//
+// All constructors are explicit and there are no implicit conversions to the
+// underlying integers, so raw ints never silently cross a dimension boundary;
+// unwrap with .us() / .value() / .raw() at the arithmetic-heavy leaves
+// (geometry, timing) where plain integers win, and re-wrap at the API edge.
+//
+// Negative-compile coverage: tests/negative_compile/ proves the two headline
+// rejections (SimTime + SimTime, SlotId -> BlockAddr) stay rejected.
+#ifndef MIMDRAID_SRC_UTIL_STRONG_TYPES_H_
+#define MIMDRAID_SRC_UTIL_STRONG_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mimdraid {
+
+// A span of simulated time, in microseconds. Signed: backoff math and
+// time-until-deadline computations legitimately go negative.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(int64_t us) : us_(us) {}
+
+  static constexpr SimDuration Us(int64_t us) { return SimDuration(us); }
+
+  constexpr int64_t us() const { return us_; }
+
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+    return SimDuration(a.us_ + b.us_);
+  }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+    return SimDuration(a.us_ - b.us_);
+  }
+  constexpr SimDuration operator-() const { return SimDuration(-us_); }
+
+  constexpr SimDuration& operator+=(SimDuration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+
+  // Scaling by a dimensionless factor keeps the dimension. Integer factors
+  // scale exactly; double factors truncate like the historical
+  // static_cast<SimTime>(double) conversion did.
+  friend constexpr SimDuration operator*(SimDuration d, int64_t k) {
+    return SimDuration(d.us_ * k);
+  }
+  friend constexpr SimDuration operator*(int64_t k, SimDuration d) {
+    return SimDuration(k * d.us_);
+  }
+  friend constexpr SimDuration operator*(SimDuration d, double k) {
+    return SimDuration(static_cast<int64_t>(static_cast<double>(d.us_) * k));
+  }
+  friend constexpr SimDuration operator*(double k, SimDuration d) {
+    return d * k;
+  }
+  friend constexpr SimDuration operator/(SimDuration d, int64_t k) {
+    return SimDuration(d.us_ / k);
+  }
+  // Ratio of two spans is dimensionless.
+  friend constexpr double Ratio(SimDuration a, SimDuration b) {
+    return static_cast<double>(a.us_) / static_cast<double>(b.us_);
+  }
+
+  friend constexpr bool operator==(SimDuration a, SimDuration b) = default;
+  friend constexpr auto operator<=>(SimDuration a, SimDuration b) = default;
+
+ private:
+  int64_t us_ = 0;
+};
+
+// An absolute instant of simulated time, microseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(int64_t us) : us_(us) {}
+  // An instant is "start + span"; the explicit form reads naturally at call
+  // sites like RunUntil(SimTime(UsFromSeconds(10.0))).
+  constexpr explicit SimTime(SimDuration since_start)
+      : us_(since_start.us()) {}
+
+  static constexpr SimTime Us(int64_t us) { return SimTime(us); }
+
+  constexpr int64_t us() const { return us_; }
+  // The span from simulation start to this instant.
+  constexpr SimDuration SinceStart() const { return SimDuration(us_); }
+
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) {
+    return SimTime(t.us_ + d.us());
+  }
+  friend constexpr SimTime operator+(SimDuration d, SimTime t) {
+    return t + d;
+  }
+  friend constexpr SimTime operator-(SimTime t, SimDuration d) {
+    return SimTime(t.us_ - d.us());
+  }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) {
+    return SimDuration(a.us_ - b.us_);
+  }
+
+  constexpr SimTime& operator+=(SimDuration d) {
+    us_ += d.us();
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimDuration d) {
+    us_ -= d.us();
+    return *this;
+  }
+
+  friend constexpr bool operator==(SimTime a, SimTime b) = default;
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+ private:
+  int64_t us_ = 0;
+};
+
+// An array slot (drive position). Ordinal: comparison and ++ exist for
+// iteration, but a SlotId never converts to or from a BlockAddr.
+class SlotId {
+ public:
+  constexpr SlotId() = default;
+  constexpr explicit SlotId(uint32_t v) : v_(v) {}
+
+  constexpr uint32_t value() const { return v_; }
+
+  constexpr SlotId& operator++() {
+    ++v_;
+    return *this;
+  }
+
+  friend constexpr bool operator==(SlotId a, SlotId b) = default;
+  friend constexpr auto operator<=>(SlotId a, SlotId b) = default;
+
+ private:
+  uint32_t v_ = 0;
+};
+
+// A logical block address on one drive, in 512 B sectors. Offset arithmetic
+// exists (addr + sectors, addr - addr -> distance); cross-dimension mixing
+// does not.
+class BlockAddr {
+ public:
+  constexpr BlockAddr() = default;
+  constexpr explicit BlockAddr(uint64_t lba) : lba_(lba) {}
+
+  constexpr uint64_t value() const { return lba_; }
+
+  friend constexpr BlockAddr operator+(BlockAddr a, uint64_t sectors) {
+    return BlockAddr(a.lba_ + sectors);
+  }
+  friend constexpr BlockAddr operator-(BlockAddr a, uint64_t sectors) {
+    return BlockAddr(a.lba_ - sectors);
+  }
+  // Distance between two addresses, in sectors (signed).
+  friend constexpr int64_t operator-(BlockAddr a, BlockAddr b) {
+    return static_cast<int64_t>(a.lba_) - static_cast<int64_t>(b.lba_);
+  }
+
+  friend constexpr bool operator==(BlockAddr a, BlockAddr b) = default;
+  friend constexpr auto operator<=>(BlockAddr a, BlockAddr b) = default;
+
+ private:
+  uint64_t lba_ = 0;
+};
+
+// Handle for cancelling a scheduled Simulator event. Default-constructed is
+// the invalid handle (never issued by ScheduleAt/ScheduleAfter); use valid()
+// instead of comparing against raw zero.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr explicit EventId(uint64_t raw) : raw_(raw) {}
+
+  constexpr uint64_t raw() const { return raw_; }
+  constexpr bool valid() const { return raw_ != 0; }
+
+  friend constexpr bool operator==(EventId a, EventId b) = default;
+  friend constexpr auto operator<=>(EventId a, EventId b) = default;
+
+ private:
+  uint64_t raw_ = 0;
+};
+
+// Printers keep MIMDRAID_CHECK_* failure messages informative.
+inline std::ostream& operator<<(std::ostream& os, SimDuration d) {
+  return os << d.us() << "us";
+}
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << "@" << t.us() << "us";
+}
+inline std::ostream& operator<<(std::ostream& os, SlotId s) {
+  return os << "slot" << s.value();
+}
+inline std::ostream& operator<<(std::ostream& os, BlockAddr a) {
+  return os << "lba" << a.value();
+}
+inline std::ostream& operator<<(std::ostream& os, EventId id) {
+  return os << "evt#" << id.raw();
+}
+
+}  // namespace mimdraid
+
+// Hash support so the strong ids drop into unordered containers.
+template <>
+struct std::hash<mimdraid::EventId> {
+  size_t operator()(mimdraid::EventId id) const noexcept {
+    return std::hash<uint64_t>{}(id.raw());
+  }
+};
+
+template <>
+struct std::hash<mimdraid::SlotId> {
+  size_t operator()(mimdraid::SlotId s) const noexcept {
+    return std::hash<uint32_t>{}(s.value());
+  }
+};
+
+template <>
+struct std::hash<mimdraid::BlockAddr> {
+  size_t operator()(mimdraid::BlockAddr a) const noexcept {
+    return std::hash<uint64_t>{}(a.value());
+  }
+};
+
+#endif  // MIMDRAID_SRC_UTIL_STRONG_TYPES_H_

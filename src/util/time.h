@@ -1,36 +1,44 @@
 // Simulated-time representation.
 //
-// All simulator timestamps and durations are in microseconds, carried in a
-// signed 64-bit integer (rollover at ~292,000 simulated years). A strong
-// typedef is deliberately avoided: timestamps flow through arithmetic-heavy
-// geometry code where the ergonomics of plain integers win, and the unit is
-// encoded in every variable name (`_us` suffix by convention).
+// All simulator timestamps and durations are in microseconds. Since ISSUE 6
+// they are *strong types* (src/util/strong_types.h): SimTime is an absolute
+// instant, SimDuration a span, and only dimensionally valid arithmetic
+// compiles (time + duration, time - time; never time + time). The
+// arithmetic-heavy geometry/timing leaves still run on plain integers and
+// doubles — unwrap with .us() at those leaves and re-wrap at the API edge.
 #ifndef MIMDRAID_SRC_UTIL_TIME_H_
 #define MIMDRAID_SRC_UTIL_TIME_H_
 
 #include <cstdint>
 
+#include "src/util/strong_types.h"
+
 namespace mimdraid {
 
-// Microseconds, either a timestamp (since simulation start) or a duration.
-using SimTime = int64_t;
+inline constexpr SimTime kSimTimeNever = SimTime(INT64_MAX);
 
-inline constexpr SimTime kSimTimeNever = INT64_MAX;
-
-inline constexpr SimTime UsFromMs(double ms) {
-  return static_cast<SimTime>(ms * 1000.0);
+inline constexpr SimDuration UsFromMs(double ms) {
+  return SimDuration(static_cast<int64_t>(ms * 1000.0));
 }
 
-inline constexpr double MsFromUs(SimTime us) {
-  return static_cast<double>(us) / 1000.0;
+inline constexpr double MsFromUs(SimDuration d) {
+  return static_cast<double>(d.us()) / 1000.0;
 }
 
-inline constexpr SimTime UsFromSeconds(double s) {
-  return static_cast<SimTime>(s * 1e6);
+inline constexpr double MsFromUs(SimTime t) {
+  return static_cast<double>(t.us()) / 1000.0;
 }
 
-inline constexpr double SecondsFromUs(SimTime us) {
-  return static_cast<double>(us) / 1e6;
+inline constexpr SimDuration UsFromSeconds(double s) {
+  return SimDuration(static_cast<int64_t>(s * 1e6));
+}
+
+inline constexpr double SecondsFromUs(SimDuration d) {
+  return static_cast<double>(d.us()) / 1e6;
+}
+
+inline constexpr double SecondsFromUs(SimTime t) {
+  return static_cast<double>(t.us()) / 1e6;
 }
 
 }  // namespace mimdraid

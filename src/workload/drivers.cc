@@ -40,14 +40,14 @@ RunResult TracePlayer::Run() {
         dropped_ + (trace_->records.size() - next_record_);
   }
   result_.elapsed_us = sim_->Now() - first_arrival_sim_us_;
-  result_.iops = result_.elapsed_us > 0
+  result_.iops = result_.elapsed_us > SimDuration(0)
                      ? static_cast<double>(completed_) /
                            SecondsFromUs(result_.elapsed_us)
                      : 0.0;
   result_.mean_outstanding =
-      result_.elapsed_us > 0
+      result_.elapsed_us > SimDuration(0)
           ? outstanding_time_integral_ /
-                static_cast<double>(result_.elapsed_us)
+                static_cast<double>(result_.elapsed_us.us())
           : 0.0;
   return result_;
 }
@@ -61,8 +61,9 @@ void TracePlayer::ScheduleNextArrival() {
   const SimTime t0 = trace_->records.front().time_us;
   const SimTime when =
       first_arrival_sim_us_ +
-      static_cast<SimTime>(static_cast<double>(rec.time_us - t0) /
-                           options_.rate_scale);
+      SimDuration(static_cast<int64_t>(
+          static_cast<double>((rec.time_us - t0).us()) /
+          options_.rate_scale));
   ++pending_arrivals_;
   sim_->ScheduleAt(std::max(when, sim_->Now()),
                    [this, index]() { Arrive(index); });
@@ -87,7 +88,7 @@ void TracePlayer::Arrive(size_t index) {
   const SimTime now = sim_->Now();
   outstanding_time_integral_ +=
       static_cast<double>(outstanding_) *
-      static_cast<double>(now - last_outstanding_change_);
+      static_cast<double>((now - last_outstanding_change_).us());
   last_outstanding_change_ = now;
   ++outstanding_;
   ++submitted_;
@@ -99,7 +100,7 @@ void TracePlayer::Arrive(size_t index) {
             const SimTime t = sim_->Now();
             outstanding_time_integral_ +=
                 static_cast<double>(outstanding_) *
-                static_cast<double>(t - last_outstanding_change_);
+                static_cast<double>((t - last_outstanding_change_).us());
             last_outstanding_change_ = t;
             --outstanding_;
             ++completed_;
@@ -107,7 +108,7 @@ void TracePlayer::Arrive(size_t index) {
               ++result_.failed;
             } else if (record) {
               result_.latency.Record(
-                  static_cast<double>(r.completion_us - arrival));
+                  static_cast<double>((r.completion_us - arrival).us()));
             }
           });
   ScheduleNextArrival();
@@ -141,7 +142,7 @@ RunResult ClosedLoopDriver::Run() {
   }
   result_.completed = completions_;
   result_.elapsed_us = sim_->Now() - measure_start_us_;
-  result_.iops = result_.elapsed_us > 0
+  result_.iops = result_.elapsed_us > SimDuration(0)
                      ? static_cast<double>(recorded_) /
                            SecondsFromUs(result_.elapsed_us)
                      : 0.0;
@@ -184,7 +185,8 @@ void ClosedLoopDriver::IssueOne() {
       // sample.
       ++recorded_;
       if (r.status == IoStatus::kOk) {
-        result_.latency.Record(static_cast<double>(r.completion_us - issue));
+        result_.latency.Record(
+            static_cast<double>((r.completion_us - issue).us()));
       }
       if (recorded_ >= options_.measure_ops) {
         stop_issuing_ = true;

@@ -30,7 +30,7 @@ struct RunResult {
   uint64_t completed = 0;   // all completed operations
   uint64_t failed = 0;      // completions surfaced with a non-kOk status
   double iops = 0.0;        // completions / measured second
-  SimTime elapsed_us = 0;
+  SimDuration elapsed_us;
   // The offered load outran the array (outstanding exceeded the cap); mean
   // latency is meaningless past this point.
   bool saturated = false;
@@ -77,9 +77,9 @@ class TracePlayer {
   uint64_t dropped_ = 0;  // arrivals discarded after saturation tripped
   bool stopped_arrivals_ = false;
   RunResult result_;
-  SimTime last_outstanding_change_ = 0;
+  SimTime last_outstanding_change_;
   double outstanding_time_integral_ = 0.0;
-  SimTime first_arrival_sim_us_ = 0;
+  SimTime first_arrival_sim_us_;
 };
 
 struct ClosedLoopOptions {
@@ -118,7 +118,7 @@ class ClosedLoopDriver {
   uint64_t recorded_ = 0;
   uint64_t outstanding_ = 0;
   bool stop_issuing_ = false;
-  SimTime measure_start_us_ = 0;
+  SimTime measure_start_us_;
   RunResult result_;
 };
 

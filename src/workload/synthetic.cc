@@ -76,11 +76,10 @@ Trace GenerateSyntheticTrace(const SyntheticTraceParams& params) {
 
   double fresh_prob = 1.0 / params.target_locality;
   const double mean_gap_us = 1e6 / params.io_per_s;
-  const SimTime end_us = UsFromSeconds(params.duration_s);
-  const SimTime burst_us =
-      params.sync_burst_period_s > 0.0
-          ? UsFromSeconds(params.sync_burst_period_s)
-          : 0;
+  const SimTime end_us = SimTime(UsFromSeconds(params.duration_s));
+  const SimDuration burst_us = params.sync_burst_period_s > 0.0
+                                   ? UsFromSeconds(params.sync_burst_period_s)
+                                   : SimDuration(0);
 
   // Async writes (sync-daemon flushes) target recently dirtied data, so they
   // carry the locality of the foreground stream; the fresh probability of
@@ -114,11 +113,11 @@ Trace GenerateSyntheticTrace(const SyntheticTraceParams& params) {
   uint64_t seq_cursor = prev_lba;
   while (true) {
     t += rng.Exponential(mean_gap_us);
-    if (t >= static_cast<double>(end_us)) {
+    if (t >= static_cast<double>(end_us.us())) {
       break;
     }
     TraceRecord rec;
-    rec.time_us = static_cast<SimTime>(t);
+    rec.time_us = SimTime(static_cast<int64_t>(t));
     rec.sectors = SampleSize(params.size_dist, rng);
 
     // Operation mix first: async flushes have their own placement rule.
@@ -153,8 +152,10 @@ Trace GenerateSyntheticTrace(const SyntheticTraceParams& params) {
       rec.lba = AlignClamp(
           static_cast<double>(recent[rng.UniformU64(recent.size())]),
           rec.sectors, params.dataset_sectors);
-      if (burst_us > 0) {
-        rec.time_us = ((rec.time_us / burst_us) + 1) * burst_us;
+      if (burst_us > SimDuration(0)) {
+        // Round up to the next flush tick (integer tick arithmetic).
+        rec.time_us =
+            SimTime((rec.time_us.us() / burst_us.us() + 1) * burst_us.us());
         if (rec.time_us >= end_us) {
           continue;
         }

@@ -29,7 +29,7 @@ TraceStats ComputeTraceStats(const Trace& trace) {
   uint64_t prev_lba = trace.records.front().lba;
   // Last-write timestamps at 8 KiB block granularity.
   constexpr uint32_t kBlockSectors = 16;
-  constexpr SimTime kHourUs = 3'600'000'000LL;
+  constexpr SimDuration kHourUs(3'600'000'000LL);
   std::unordered_map<uint64_t, SimTime> last_write;
 
   for (const TraceRecord& r : trace.records) {
@@ -80,10 +80,11 @@ Trace ScaleTraceRate(const Trace& trace, double scale) {
   out.name = trace.name;
   out.dataset_sectors = trace.dataset_sectors;
   out.records.reserve(trace.records.size());
-  const SimTime t0 = trace.records.empty() ? 0 : trace.records.front().time_us;
+  const SimTime t0 =
+      trace.records.empty() ? SimTime(0) : trace.records.front().time_us;
   for (TraceRecord r : trace.records) {
-    r.time_us =
-        t0 + static_cast<SimTime>(static_cast<double>(r.time_us - t0) / scale);
+    r.time_us = t0 + SimDuration(static_cast<int64_t>(
+                         static_cast<double>((r.time_us - t0).us()) / scale));
     out.records.push_back(r);
   }
   return out;

@@ -11,7 +11,7 @@
 namespace mimdraid {
 
 struct TraceRecord {
-  SimTime time_us = 0;
+  SimTime time_us;
   bool is_write = false;
   // Writes issued by background daemons (e.g. the 30-second sync sweep);
   // excluded from response-time reporting, as in the paper.
@@ -25,8 +25,10 @@ struct Trace {
   uint64_t dataset_sectors = 0;  // logical footprint the trace addresses
   std::vector<TraceRecord> records;
 
-  SimTime DurationUs() const {
-    return records.empty() ? 0 : records.back().time_us - records.front().time_us;
+  SimDuration DurationUs() const {
+    return records.empty()
+               ? SimDuration(0)
+               : records.back().time_us - records.front().time_us;
   }
 };
 

@@ -28,7 +28,7 @@ bool SaveTrace(const Trace& trace, const std::string& path) {
   for (const TraceRecord& r : trace.records) {
     const char op = r.is_write ? (r.is_async ? 'A' : 'W') : 'R';
     if (std::fprintf(f.get(), "%lld %c %" PRIu64 " %u\n",
-                     static_cast<long long>(r.time_us), op, r.lba,
+                     static_cast<long long>(r.time_us.us()), op, r.lba,
                      r.sectors) < 0) {
       return false;
     }
@@ -68,7 +68,7 @@ bool LoadTrace(const std::string& path, Trace* trace) {
       return false;
     }
     TraceRecord rec;
-    rec.time_us = time_us;
+    rec.time_us = SimTime(time_us);
     rec.is_write = op != 'R';
     rec.is_async = op == 'A';
     rec.lba = lba;

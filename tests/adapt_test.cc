@@ -18,12 +18,12 @@ constexpr uint64_t kDataset = 2'000'000;
 TEST(WorkloadMonitor, TracksRateAndMix) {
   WorkloadMonitor mon(kDataset);
   Rng rng(1);
-  SimTime t = 0;
+  SimTime t;
   for (int i = 0; i < 1000; ++i) {
-    t += 10'000;  // 100 IO/s
+    t += SimDuration(10'000);  // 100 IO/s
     const DiskOp op = i % 4 == 0 ? DiskOp::kWrite : DiskOp::kRead;
     mon.OnSubmit(op, rng.UniformU64(kDataset), 8, t);
-    mon.OnComplete(t + 3000);
+    mon.OnComplete(t + SimDuration(3000));
   }
   const WorkloadProfile p = mon.Snapshot(/*disks=*/4, /*mean_service_us=*/5000);
   EXPECT_NEAR(p.io_per_s, 100.0, 5.0);
@@ -36,17 +36,17 @@ TEST(WorkloadMonitor, TracksRateAndMix) {
 TEST(WorkloadMonitor, DetectsLocality) {
   WorkloadMonitor mon(kDataset);
   Rng rng(2);
-  SimTime t = 0;
+  SimTime t;
   uint64_t cursor = kDataset / 2;
   for (int i = 0; i < 2000; ++i) {
-    t += 10'000;
+    t += SimDuration(10'000);
     if (rng.Bernoulli(0.1)) {
       cursor = rng.UniformU64(kDataset - 8);
     } else {
       cursor = (cursor + 8) % (kDataset - 8);
     }
     mon.OnSubmit(DiskOp::kRead, cursor, 8, t);
-    mon.OnComplete(t + 3000);
+    mon.OnComplete(t + SimDuration(3000));
   }
   const WorkloadProfile p = mon.Snapshot(4, 5000);
   // ~10% far jumps -> L near 10.
@@ -57,19 +57,19 @@ TEST(WorkloadMonitor, DetectsLocality) {
 TEST(WorkloadMonitor, WindowFollowsPhaseChange) {
   WorkloadMonitor mon(kDataset, /*window=*/256);
   Rng rng(3);
-  SimTime t = 0;
+  SimTime t;
   // Phase 1: pure reads.
   for (int i = 0; i < 1000; ++i) {
-    t += 1000;
+    t += SimDuration(1000);
     mon.OnSubmit(DiskOp::kRead, rng.UniformU64(kDataset), 8, t);
-    mon.OnComplete(t + 100);
+    mon.OnComplete(t + SimDuration(100));
   }
   EXPECT_NEAR(mon.Snapshot(4, 5000).read_frac, 1.0, 1e-9);
   // Phase 2: pure writes; the window forgets phase 1.
   for (int i = 0; i < 1000; ++i) {
-    t += 1000;
+    t += SimDuration(1000);
     mon.OnSubmit(DiskOp::kWrite, rng.UniformU64(kDataset), 8, t);
-    mon.OnComplete(t + 100);
+    mon.OnComplete(t + SimDuration(100));
   }
   EXPECT_NEAR(mon.Snapshot(4, 5000).read_frac, 0.0, 1e-9);
 }
@@ -77,24 +77,24 @@ TEST(WorkloadMonitor, WindowFollowsPhaseChange) {
 TEST(WorkloadMonitor, UtilizationDrivesPEstimate) {
   WorkloadMonitor mon(kDataset);
   Rng rng(4);
-  SimTime t = 0;
+  SimTime t;
   for (int i = 0; i < 500; ++i) {
-    t += 100'000;  // 10 IO/s: low load
+    t += SimDuration(100'000);  // 10 IO/s: low load
     mon.OnSubmit(i % 2 == 0 ? DiskOp::kRead : DiskOp::kWrite,
                  rng.UniformU64(kDataset), 8, t);
-    mon.OnComplete(t + 5000);
+    mon.OnComplete(t + SimDuration(5000));
   }
   const WorkloadProfile low = mon.Snapshot(/*disks=*/6, 5000);
   // 10 IO/s * 5ms / 6 disks: nearly idle -> propagation maskable -> p ~ 1.
   EXPECT_GT(low.p_estimate, 0.9);
 
   WorkloadMonitor hot(kDataset);
-  t = 0;
+  t = SimTime(0);
   for (int i = 0; i < 500; ++i) {
-    t += 1'000;  // 1000 IO/s on one disk: saturated
+    t += SimDuration(1'000);  // 1000 IO/s on one disk: saturated
     hot.OnSubmit(i % 2 == 0 ? DiskOp::kRead : DiskOp::kWrite,
                  rng.UniformU64(kDataset), 8, t);
-    hot.OnComplete(t + 5000);
+    hot.OnComplete(t + SimDuration(5000));
   }
   const WorkloadProfile high = hot.Snapshot(/*disks=*/1, 5000);
   // Saturated: p collapses toward the read fraction.

@@ -36,9 +36,9 @@ struct Rig {
   }
 
   SimTime Do(DiskOp op, uint64_t lba, uint32_t sectors) {
-    SimTime completion = -1;
+    SimTime completion(-1);
     controller->Submit(op, lba, sectors, [&](const IoResult& r) { completion = r.completion_us; });
-    while (completion < 0) {
+    while (completion < SimTime(0)) {
       EXPECT_TRUE(sim.Step());
     }
     return completion;
@@ -61,13 +61,13 @@ struct Rig {
 
 TEST(ArrayFailure, SrArrayCannotTolerateDiskLoss) {
   Rig rig(1, 2, 1);
-  EXPECT_FALSE(rig.controller->FailDisk(0));  // Dm == 1: data loss
-  EXPECT_FALSE(rig.controller->IsFailed(0));
+  EXPECT_FALSE(rig.controller->FailDisk(SlotId(0)));  // Dm == 1: data loss
+  EXPECT_FALSE(rig.controller->IsFailed(SlotId(0)));
 }
 
 TEST(ArrayFailure, MirrorServesReadsAfterFailure) {
   Rig rig(2, 1, 2);  // four disks, two mirrored columns
-  ASSERT_TRUE(rig.controller->FailDisk(0));
+  ASSERT_TRUE(rig.controller->FailDisk(SlotId(0)));
   Rng rng(5);
   for (int i = 0; i < 30; ++i) {
     rig.Do(DiskOp::kRead, rng.UniformU64(3000 - 8), 8);
@@ -79,7 +79,7 @@ TEST(ArrayFailure, MirrorServesReadsAfterFailure) {
 
 TEST(ArrayFailure, MirrorWritesSkipFailedDisk) {
   Rig rig(1, 1, 2);
-  ASSERT_TRUE(rig.controller->FailDisk(1));
+  ASSERT_TRUE(rig.controller->FailDisk(SlotId(1)));
   for (int i = 0; i < 10; ++i) {
     rig.Do(DiskOp::kWrite, static_cast<uint64_t>(i) * 16, 8);
   }
@@ -98,17 +98,18 @@ TEST(ArrayFailure, DegradedReadLatencyNoWorseThanSingleCopy) {
   for (int i = 0; i < 60; ++i) {
     const uint64_t lba = rng.UniformU64(3000 - 8);
     const SimTime t0 = healthy.sim.Now();
-    healthy_lat.Add(static_cast<double>(healthy.Do(DiskOp::kRead, lba, 8) - t0));
+    healthy_lat.Add(
+        static_cast<double>((healthy.Do(DiskOp::kRead, lba, 8) - t0).us()));
   }
   Rig degraded(1, 1, 2);
-  ASSERT_TRUE(degraded.controller->FailDisk(1));
+  ASSERT_TRUE(degraded.controller->FailDisk(SlotId(1)));
   Rng rng2(7);
   Summary degraded_lat;
   for (int i = 0; i < 60; ++i) {
     const uint64_t lba = rng2.UniformU64(3000 - 8);
     const SimTime t0 = degraded.sim.Now();
     degraded_lat.Add(
-        static_cast<double>(degraded.Do(DiskOp::kRead, lba, 8) - t0));
+        static_cast<double>((degraded.Do(DiskOp::kRead, lba, 8) - t0).us()));
   }
   EXPECT_GT(degraded_lat.mean(), healthy_lat.mean() * 0.95);
 }
@@ -120,14 +121,14 @@ TEST(ArrayFailure, RebuildRestoresService) {
     rig.Do(DiskOp::kWrite, static_cast<uint64_t>(i) * 32, 8);
   }
   rig.Drain();
-  ASSERT_TRUE(rig.controller->FailDisk(1));
-  SimTime rebuilt_at = -1;
+  ASSERT_TRUE(rig.controller->FailDisk(SlotId(1)));
+  SimTime rebuilt_at(-1);
   rig.controller->RebuildDisk(1, [&](const IoResult& r) { rebuilt_at = r.completion_us; });
-  while (rebuilt_at < 0) {
+  while (rebuilt_at < SimTime(0)) {
     ASSERT_TRUE(rig.sim.Step());
   }
   EXPECT_GT(rig.controller->rebuild_copied_fragments(), 0u);
-  EXPECT_FALSE(rig.controller->IsFailed(1));
+  EXPECT_FALSE(rig.controller->IsFailed(SlotId(1)));
   // The rebuilt disk serves reads again.
   const uint64_t before = rig.disks[1]->ops_completed();
   Rng rng(9);
@@ -140,8 +141,8 @@ TEST(ArrayFailure, RebuildRestoresService) {
 
 TEST(ArrayFailure, ForegroundTrafficContinuesDuringRebuild) {
   Rig rig(1, 1, 2, /*dataset=*/1600);
-  ASSERT_TRUE(rig.controller->FailDisk(0));
-  SimTime rebuilt_at = -1;
+  ASSERT_TRUE(rig.controller->FailDisk(SlotId(0)));
+  SimTime rebuilt_at(-1);
   rig.controller->RebuildDisk(0, [&](const IoResult& r) { rebuilt_at = r.completion_us; });
   Rng rng(11);
   int done = 0;
@@ -150,7 +151,7 @@ TEST(ArrayFailure, ForegroundTrafficContinuesDuringRebuild) {
     rig.controller->Submit(DiskOp::kRead, rng.UniformU64(1600 - 8), 8,
                            [&](const IoResult&) { ++done; });
   }
-  while (done < kOps || rebuilt_at < 0) {
+  while (done < kOps || rebuilt_at < SimTime(0)) {
     ASSERT_TRUE(rig.sim.Step());
   }
   rig.Drain();

@@ -31,7 +31,7 @@ class AsatfTest : public ::testing::Test {
     for (uint32_t h = 0; h < 12 && lba == kInvalidLba; ++h) {
       lba = disk_.layout().ToLba(Chs{cylinder, h, 0});
     }
-    r.candidate_lbas = {lba};
+    r.candidate_lbas = {BlockAddr(lba)};
     r.arrival_us = arrival;
     return r;
   }
@@ -44,7 +44,7 @@ class AsatfTest : public ::testing::Test {
     uint64_t next_id = 1;
     const uint32_t near_cyl = 100;
     const uint32_t far_cyl = 6000;
-    SimTime now = 0;
+    SimTime now;
     queue.push_back(Req(next_id++, far_cyl, now));
     const uint64_t far_id = queue.back().id;
     // Keep a few near requests in the queue at all times.
@@ -59,7 +59,7 @@ class AsatfTest : public ::testing::Test {
       if (served_far) {
         return dispatch;
       }
-      now += 3000;  // ~one request service time
+      now += SimDuration(3000);  // ~one request service time
       queue.push_back(Req(next_id++, near_cyl + dispatch % 5, now));
     }
     return max_dispatches + 1;
@@ -100,11 +100,11 @@ TEST_F(AsatfTest, ZeroWeightDegeneratesToSatf) {
   for (int i = 0; i < 12; ++i) {
     const QueuedRequest r =
         Req(i + 1, static_cast<uint32_t>(rng.UniformU64(6900)),
-            static_cast<SimTime>(rng.UniformU64(50000)));
+            SimTime(static_cast<int64_t>(rng.UniformU64(50000))));
     q1.push_back(r);
     q2.push_back(r);
   }
-  ctx_.now = 60000;
+  ctx_.now = SimTime(60000);
   // ASATF considers all replicas; with single candidates it must match SATF.
   EXPECT_EQ(zero.Pick(q1, ctx_).queue_index, satf.Pick(q2, ctx_).queue_index);
 }
@@ -123,7 +123,7 @@ TEST_F(AsatfTest, AsatfThroughputCloseToSatf) {
     Rng local(11);
     std::vector<QueuedRequest> queue;
     uint64_t id = 1;
-    SimTime now = 0;
+    SimTime now;
     for (int i = 0; i < 16; ++i) {
       queue.push_back(Req(id++, static_cast<uint32_t>(local.UniformU64(6900)),
                           now));
@@ -133,7 +133,7 @@ TEST_F(AsatfTest, AsatfThroughputCloseToSatf) {
       const SchedulerPick pick = sched->Pick(queue, ctx_);
       *pair += pick.predicted_service_us;
       queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick.queue_index));
-      now += 3000;
+      now += SimDuration(3000);
       queue.push_back(Req(id++, static_cast<uint32_t>(local.UniformU64(6900)),
                           now));
     }

@@ -36,8 +36,8 @@ DiskOpAudit MakeCleanOp() {
   op.disk = 0;
   op.lba = 100;
   op.sectors = 8;
-  op.start_us = 1'000;
-  op.completion_us = 1'000 + 5'000;
+  op.start_us = SimTime(1'000);
+  op.completion_us = SimTime(1'000 + 5'000);
   op.overhead_us = 500.0;
   op.seek_us = 2'000.0;
   op.rotational_us = 1'500.0;
@@ -64,16 +64,16 @@ AuditFragment MakeFragment(uint64_t logical_lba, uint32_t sectors,
 
 TEST(AuditorTest, CleanEventStreamPasses) {
   RecordingAuditor rec;
-  rec.auditor().OnEventScheduled(0, 50);
-  rec.auditor().OnEventFired(0, 50);
-  rec.auditor().OnEventScheduled(50, 50);  // same-time scheduling is legal
+  rec.auditor().OnEventScheduled(SimTime(0), SimTime(50));
+  rec.auditor().OnEventFired(SimTime(0), SimTime(50));
+  rec.auditor().OnEventScheduled(SimTime(50), SimTime(50));  // same-time scheduling is legal
   EXPECT_EQ(rec.auditor().violations(), 0u);
   EXPECT_GT(rec.auditor().checks_run(), 0u);
 }
 
 TEST(AuditorTest, CatchesEventScheduledInThePast) {
   RecordingAuditor rec;
-  rec.auditor().OnEventScheduled(/*now=*/100, /*at=*/99);
+  rec.auditor().OnEventScheduled(/*now=*/SimTime(100), /*at=*/SimTime(99));
   ASSERT_EQ(rec.auditor().violations(), 1u);
   EXPECT_NE(rec.auditor().last_violation().find("99"), std::string::npos);
   EXPECT_NE(rec.auditor().last_violation().find("100"), std::string::npos);
@@ -81,7 +81,7 @@ TEST(AuditorTest, CatchesEventScheduledInThePast) {
 
 TEST(AuditorTest, CatchesClockRunningBackwards) {
   RecordingAuditor rec;
-  rec.auditor().OnEventFired(/*now_before=*/200, /*at=*/150);
+  rec.auditor().OnEventFired(/*now_before=*/SimTime(200), /*at=*/SimTime(150));
   EXPECT_EQ(rec.auditor().violations(), 1u);
 }
 
@@ -91,8 +91,8 @@ TEST(AuditorTest, CatchesCorruptedSimulatorClock) {
   RecordingAuditor rec;
   Simulator sim;
   sim.set_auditor(&rec.auditor());
-  sim.ScheduleAt(10, [] {});
-  sim.CorruptClockForTest(500);  // warp past the pending event
+  sim.ScheduleAt(SimTime(10), [] {});
+  sim.CorruptClockForTest(SimTime(500));  // warp past the pending event
   ASSERT_TRUE(sim.Step());      // fires the t=10 event at now=500
   EXPECT_EQ(rec.auditor().violations(), 1u);
   EXPECT_NE(rec.auditor().last_violation().find("clock already reads"),
@@ -103,8 +103,8 @@ TEST(AuditorTest, CatchesSchedulingIntoCorruptedPast) {
   RecordingAuditor rec;
   Simulator sim;
   sim.set_auditor(&rec.auditor());
-  sim.CorruptClockForTest(1'000);
-  sim.ScheduleAt(10, [] {});
+  sim.CorruptClockForTest(SimTime(1'000));
+  sim.ScheduleAt(SimTime(10), [] {});
   EXPECT_EQ(rec.auditor().violations(), 1u);
 }
 
@@ -115,8 +115,8 @@ TEST(AuditorTest, CleanDiskOpPasses) {
   rec.auditor().OnDiskOpComplete(MakeCleanOp());
   rec.auditor().OnDiskOpComplete([] {
     DiskOpAudit next = MakeCleanOp();
-    next.start_us = 7'000;
-    next.completion_us = 12'000;
+    next.start_us = SimTime(7'000);
+    next.completion_us = SimTime(12'000);
     return next;
   }());
   EXPECT_EQ(rec.auditor().violations(), 0u);
@@ -126,8 +126,8 @@ TEST(AuditorTest, CatchesSpindlePhaseDrift) {
   RecordingAuditor rec;
   rec.auditor().OnDiskOpComplete(MakeCleanOp());
   DiskOpAudit drifted = MakeCleanOp();
-  drifted.start_us = 7'000;
-  drifted.completion_us = 12'000;
+  drifted.start_us = SimTime(7'000);
+  drifted.completion_us = SimTime(12'000);
   drifted.spindle_phase_us = 456.0;  // a physical constant changed
   rec.auditor().OnDiskOpComplete(drifted);
   ASSERT_EQ(rec.auditor().violations(), 1u);
@@ -147,8 +147,8 @@ TEST(AuditorTest, CatchesOverlappingOpsOnOneSpindle) {
   RecordingAuditor rec;
   rec.auditor().OnDiskOpComplete(MakeCleanOp());
   DiskOpAudit overlapping = MakeCleanOp();
-  overlapping.start_us = 5'500;  // first op completes at 6'000
-  overlapping.completion_us = 10'500;
+  overlapping.start_us = SimTime(5'500);  // first op completes at 6'000
+  overlapping.completion_us = SimTime(10'500);
   rec.auditor().OnDiskOpComplete(overlapping);
   EXPECT_EQ(rec.auditor().violations(), 1u);
 }
@@ -166,14 +166,17 @@ TEST(AuditorTest, CatchesServiceDecompositionMismatch) {
 TEST(AuditorTest, CatchesPickIndexOutsideQueue) {
   RecordingAuditor rec;
   rec.auditor().OnSchedulerPick("RSATF", /*queue_size=*/3, /*picked_index=*/3,
-                                /*chosen_lba=*/42, {42}, 100.0);
+                                /*chosen_lba=*/BlockAddr(42), {BlockAddr(42)},
+                                100.0);
   EXPECT_EQ(rec.auditor().violations(), 1u);
 }
 
 TEST(AuditorTest, CatchesPickOfLbaTheEntryDoesNotOffer) {
   RecordingAuditor rec;
   rec.auditor().OnSchedulerPick("RSATF", /*queue_size=*/2, /*picked_index=*/0,
-                                /*chosen_lba=*/999, {10, 20, 30}, 100.0);
+                                /*chosen_lba=*/BlockAddr(999),
+                                {BlockAddr(10), BlockAddr(20), BlockAddr(30)},
+                                100.0);
   ASSERT_EQ(rec.auditor().violations(), 1u);
   EXPECT_NE(rec.auditor().last_violation().find("999"), std::string::npos);
 }
@@ -344,7 +347,7 @@ TEST(AuditorTest, TrulyQuiescentPasses) {
 
 TEST(AuditorDeathTest, DefaultHandlerAbortsWithOperands) {
   InvariantAuditor auditor;
-  EXPECT_DEATH(auditor.OnEventScheduled(/*now=*/100, /*at=*/99),
+  EXPECT_DEATH(auditor.OnEventScheduled(/*now=*/SimTime(100), /*at=*/SimTime(99)),
                "AUDIT failed");
 }
 

@@ -37,7 +37,7 @@ struct RigConfig {
   FaultInjectorOptions fault;
   uint32_t disk_error_fail_threshold = 0;
   uint32_t hot_spares = 0;
-  SimTime scrub_interval_us = 0;
+  SimDuration scrub_interval_us;
   InvariantAuditor* auditor = nullptr;
   uint64_t seed = 5;
 };
@@ -111,7 +111,7 @@ void RunMix(MimdRaid* array, int ops, uint64_t seed, double read_frac,
     });
     if (rng.Bernoulli(0.3)) {
       array->sim().RunUntil(array->sim().Now() +
-                            static_cast<SimTime>(rng.UniformU64(10'000)));
+                            SimDuration(static_cast<int64_t>(rng.UniformU64(10'000))));
     }
   }
   uint64_t steps = 0;
@@ -176,8 +176,8 @@ TEST_P(BackendConformance, DegradedIoSurvivesToleratedFailure) {
   RigConfig rig;
   rig.auditor = &auditor;
   auto array = MakeArray(GetParam(), rig);
-  ASSERT_TRUE(array->backend().FailDisk(0));
-  EXPECT_TRUE(array->backend().IsFailed(0));
+  ASSERT_TRUE(array->backend().FailDisk(SlotId(0)));
+  EXPECT_TRUE(array->backend().IsFailed(SlotId(0)));
   IoTally tally;
   RunMix(array.get(), 150, 23, 0.6, &tally);
   DrainAll(array.get());
@@ -196,14 +196,14 @@ TEST_P(BackendConformance, RebuildRestoresRedundancy) {
   IoTally warm;
   RunMix(array.get(), 60, 31, 0.4, &warm);
   DrainAll(array.get());
-  ASSERT_TRUE(array->backend().FailDisk(0));
+  ASSERT_TRUE(array->backend().FailDisk(SlotId(0)));
   IoTally degraded;
   RunMix(array.get(), 60, 37, 0.6, &degraded);
   DrainAll(array.get());
 
   bool rebuilt = false;
   IoResult rebuild_result;
-  array->backend().Rebuild(0, [&](const IoResult& r) {
+  array->backend().Rebuild(SlotId(0), [&](const IoResult& r) {
     rebuild_result = r;
     rebuilt = true;
   });
@@ -213,7 +213,7 @@ TEST_P(BackendConformance, RebuildRestoresRedundancy) {
     ASSERT_LT(++steps, kStepBudget) << "rebuild wedged";
   }
   EXPECT_EQ(rebuild_result.status, IoStatus::kOk);
-  EXPECT_FALSE(array->backend().IsFailed(0));
+  EXPECT_FALSE(array->backend().IsFailed(SlotId(0)));
   DrainAll(array.get());
   EXPECT_FALSE(array->backend().RebuildInProgress());
 
@@ -232,7 +232,7 @@ TEST_P(BackendConformance, TransientFaultsAreAbsorbedByRetry) {
   rig.faults = true;
   rig.fault.transient_error_prob = 0.05;
   rig.fault.timeout_prob = 0.01;
-  rig.fault.watchdog_timeout_us = 50'000;
+  rig.fault.watchdog_timeout_us = SimDuration(50'000);
   auto array = MakeArray(GetParam(), rig);
   IoTally tally;
   RunMix(array.get(), 200, 43, 0.6, &tally);
@@ -261,8 +261,8 @@ TEST_P(BackendConformance, RedundancyExhaustionSurfacesUnrecoverable) {
     first = frags[0].replicas[0].disk;
     second = frags[0].replicas[1].disk;
   }
-  ASSERT_TRUE(array->backend().FailDisk(first));
-  ASSERT_TRUE(array->backend().FailDisk(second));
+  ASSERT_TRUE(array->backend().FailDisk(SlotId(first)));
+  ASSERT_TRUE(array->backend().FailDisk(SlotId(second)));
   IoTally tally;
   RunMix(array.get(), 120, 47, 0.6, &tally);
   DrainAll(array.get());
@@ -296,7 +296,7 @@ TEST_P(BackendConformance, DetectedFailStopPromotesSpareAndRebuilds) {
   EXPECT_EQ(fs.spares_promoted, 1u);
   EXPECT_EQ(fs.spare_rebuilds_completed, 1u);
   EXPECT_EQ(array->backend().spares_available(), 0u);
-  EXPECT_FALSE(array->backend().IsFailed(0))
+  EXPECT_FALSE(array->backend().IsFailed(SlotId(0)))
       << "auto-rebuild onto the promoted spare must clear the failed flag";
   array->backend().AuditQuiescent();
   EXPECT_EQ(auditor.violations(), 0u);
@@ -307,13 +307,13 @@ TEST_P(BackendConformance, IdleScrubRepairsPlantedLatentErrors) {
   RigConfig rig;
   rig.auditor = &auditor;
   rig.faults = true;
-  rig.scrub_interval_us = 20'000;
+  rig.scrub_interval_us = SimDuration(20'000);
   auto array = MakeArray(GetParam(), rig);
   PlantLatentError(array.get(), 100);
   PlantLatentError(array.get(), 800);
   PlantLatentError(array.get(), 1600);
   // No foreground work at all: only the idle sweeper touches the drives.
-  array->sim().RunUntil(array->sim().Now() + 4'000'000);
+  array->sim().RunUntil(array->sim().Now() + SimDuration(4'000'000));
   DrainAll(array.get());
   const FaultRecoveryStats& fs = array->backend().fault_stats();
   EXPECT_GT(fs.scrub_reads, 0u) << "scrub sweeper never ran";

@@ -65,9 +65,9 @@ TEST(LruCache, ReinsertDoesNotDuplicate) {
 TEST(LruCache, HitRate) {
   LruBlockCache cache(1 << 20, 16);
   cache.Insert(0, 16);
-  cache.Lookup(0, 16);
-  cache.Lookup(0, 16);
-  cache.Lookup(1024, 16);
+  EXPECT_TRUE(cache.Lookup(0, 16));
+  EXPECT_TRUE(cache.Lookup(0, 16));
+  EXPECT_FALSE(cache.Lookup(1024, 16));
   EXPECT_NEAR(cache.HitRate(), 2.0 / 3.0, 1e-9);
 }
 

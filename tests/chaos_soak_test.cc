@@ -92,9 +92,9 @@ MimdRaidOptions ChaosOptions(ArrayBackendKind backend, uint64_t seed,
   options.seed = seed;
   options.enable_fault_injection = true;
   options.fault.seed = seed;
-  options.fault.watchdog_timeout_us = 50'000;
+  options.fault.watchdog_timeout_us = SimDuration(50'000);
   options.disk_error_fail_threshold = 6;
-  options.scrub_interval_us = 100'000;
+  options.scrub_interval_us = SimDuration(100'000);
   options.hot_spares = 1;
   options.auditor = auditor;
   return options;
@@ -147,7 +147,7 @@ void RunMirrorChaos(uint64_t seed, bool write_summary, ChaosDigest* out) {
                   r.status == IoStatus::kUnrecoverable)
           << "op " << i << " surfaced intermediate status "
           << IoStatusName(r.status);
-      digest.completion_time_sum += static_cast<uint64_t>(r.completion_us);
+      digest.completion_time_sum += static_cast<uint64_t>(r.completion_us.us());
       if (r.status == IoStatus::kOk) {
         ++digest.ok;
       } else {
@@ -155,7 +155,8 @@ void RunMirrorChaos(uint64_t seed, bool write_summary, ChaosDigest* out) {
       }
     });
     if (rng.Bernoulli(0.3)) {
-      sim.RunUntil(sim.Now() + static_cast<SimTime>(rng.UniformU64(20'000)));
+      sim.RunUntil(sim.Now() +
+                   SimDuration(static_cast<int64_t>(rng.UniformU64(20'000))));
     }
   }
 
@@ -171,7 +172,7 @@ void RunMirrorChaos(uint64_t seed, bool write_summary, ChaosDigest* out) {
 
   // Let the idle array scrub for a while (latent-error repair), then stop the
   // sweeper and drain everything: foreground, propagations, spare rebuild.
-  sim.RunUntil(sim.Now() + 3'000'000);
+  sim.RunUntil(sim.Now() + SimDuration(3'000'000));
   controller.StopScrub();
   steps = 0;
   while ((!controller.Idle() || controller.RebuildInProgress()) &&
@@ -282,7 +283,7 @@ void RunRaid5Chaos(uint64_t seed, bool write_summary, ChaosDigest* out) {
                   r.status == IoStatus::kUnrecoverable)
           << "op " << i << " surfaced intermediate status "
           << IoStatusName(r.status);
-      digest.completion_time_sum += static_cast<uint64_t>(r.completion_us);
+      digest.completion_time_sum += static_cast<uint64_t>(r.completion_us.us());
       if (r.status == IoStatus::kOk) {
         ++digest.ok;
       } else {
@@ -290,7 +291,8 @@ void RunRaid5Chaos(uint64_t seed, bool write_summary, ChaosDigest* out) {
       }
     });
     if (rng.Bernoulli(0.3)) {
-      sim.RunUntil(sim.Now() + static_cast<SimTime>(rng.UniformU64(20'000)));
+      sim.RunUntil(sim.Now() +
+                   SimDuration(static_cast<int64_t>(rng.UniformU64(20'000))));
     }
   }
 
@@ -305,7 +307,7 @@ void RunRaid5Chaos(uint64_t seed, bool write_summary, ChaosDigest* out) {
 
   // Idle scrub window (latent-error repair), then stop the sweeper and drain
   // everything: in-flight scrub reads, spare rebuild, deferred recovery.
-  sim.RunUntil(sim.Now() + 3'000'000);
+  sim.RunUntil(sim.Now() + SimDuration(3'000'000));
   controller.StopScrub();
   steps = 0;
   while (!controller.Idle() && sim.Step()) {
@@ -318,10 +320,10 @@ void RunRaid5Chaos(uint64_t seed, bool write_summary, ChaosDigest* out) {
   // earlier threshold auto-fail, rebuild the victim in place — kOk when
   // every row reconstructed, kUnrecoverable when rows were lost to the
   // stochastic mix; either way it must terminate.
-  if (controller.IsFailed(victim)) {
+  if (controller.IsFailed(SlotId(victim))) {
     bool rebuilt = false;
     IoResult rebuild_result;
-    controller.Rebuild(victim, [&](const IoResult& r) {
+    controller.Rebuild(SlotId(victim), [&](const IoResult& r) {
       rebuild_result = r;
       rebuilt = true;
     });

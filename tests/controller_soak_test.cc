@@ -65,7 +65,7 @@ TEST_P(ControllerSoak, AllOpsCompleteAndDrain) {
   Rng rng(static_cast<uint64_t>(param.ds * 100 + param.dr * 10 + param.dm));
   constexpr int kOps = 400;
   int done = 0;
-  SimTime last_completion = 0;
+  SimTime last_completion;
   for (int i = 0; i < kOps; ++i) {
     const uint32_t sectors = 1 + static_cast<uint32_t>(rng.UniformU64(24));
     const uint64_t lba = rng.UniformU64(dataset - sectors);
@@ -74,12 +74,13 @@ TEST_P(ControllerSoak, AllOpsCompleteAndDrain) {
     controller.Submit(op, lba, sectors, [&](const IoResult& r) {
       ++done;
       EXPECT_EQ(r.status, IoStatus::kOk);
-      EXPECT_GE(r.completion_us, last_completion - 1'000'000);
+      EXPECT_GE(r.completion_us, last_completion - SimDuration(1'000'000));
       last_completion = std::max(last_completion, r.completion_us);
     });
     // Interleave: sometimes let the array make progress mid-burst.
     if (rng.Bernoulli(0.3)) {
-      sim.RunUntil(sim.Now() + static_cast<SimTime>(rng.UniformU64(20'000)));
+      sim.RunUntil(sim.Now() +
+                   SimDuration(static_cast<int64_t>(rng.UniformU64(20'000))));
     }
   }
   while (done < kOps) {

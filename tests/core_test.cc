@@ -158,7 +158,7 @@ TEST(MimdRaid, CalibratedPredictorEndToEnd) {
   MimdRaidOptions options = BaseOptions(1, 2, 1);
   options.noise = DiskNoiseModel::Prototype();
   options.use_oracle_predictor = false;
-  options.recalibration_interval_us = 2'000'000;
+  options.recalibration_interval_us = SimDuration(2'000'000);
   options.calibration.seek.num_distances = 10;
   MimdRaid array(options);
   const RunResult r = RunClosedLoopOnArray(array, ReadLoop(2, 1200));

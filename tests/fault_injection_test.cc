@@ -107,13 +107,13 @@ TEST(FaultInjector, ReplaceDiskClearsSlotFaultState) {
 struct DiskRig {
   DiskRig() : disk(&sim, MakeTestGeometry(), MakeTestSeekProfile(),
                    DiskNoiseModel::None(), 11, 0.0) {
-    disk.SetFaultInjector(&injector, 0);
+    disk.SetFaultInjector(&injector, SlotId(0));
   }
 
   DiskOpResult Do(DiskOp op, uint64_t lba, uint32_t sectors) {
     DiskOpResult out;
     bool done = false;
-    disk.Start(op, lba, sectors, [&](const DiskOpResult& r) {
+    disk.Start(op, BlockAddr(lba), sectors, [&](const DiskOpResult& r) {
       out = r;
       done = true;
     });
@@ -171,15 +171,15 @@ TEST(SimDiskFaults, FailStopRejectsWithoutMechanicalWork) {
 TEST(SimDiskFaults, TimeoutCompletesAtWatchdogDeadline) {
   FaultInjectorOptions opts;
   opts.timeout_prob = 1.0;
-  opts.watchdog_timeout_us = 123'000;
+  opts.watchdog_timeout_us = SimDuration(123'000);
   Simulator sim;
   FaultInjector injector(opts);
   SimDisk disk(&sim, MakeTestGeometry(), MakeTestSeekProfile(),
                DiskNoiseModel::None(), 3, 0.0);
-  disk.SetFaultInjector(&injector, 0);
+  disk.SetFaultInjector(&injector, SlotId(0));
   DiskOpResult out;
   bool done = false;
-  disk.Start(DiskOp::kRead, 0, 8, [&](const DiskOpResult& r) {
+  disk.Start(DiskOp::kRead, BlockAddr(0), 8, [&](const DiskOpResult& r) {
     out = r;
     done = true;
   });
@@ -187,7 +187,7 @@ TEST(SimDiskFaults, TimeoutCompletesAtWatchdogDeadline) {
     ASSERT_TRUE(sim.Step());
   }
   EXPECT_EQ(out.status, IoStatus::kTimeout);
-  EXPECT_EQ(out.ServiceUs(), 123'000);
+  EXPECT_EQ(out.ServiceUs(), SimDuration(123'000));
 }
 
 // ---------------------------------------------------------------------------
@@ -196,7 +196,8 @@ TEST(SimDiskFaults, TimeoutCompletesAtWatchdogDeadline) {
 
 struct ArrayRig {
   ArrayRig(int ds, int dr, int dm, const FaultInjectorOptions& fopts,
-           uint32_t fail_threshold = 0, SimTime scrub_interval_us = 0,
+           uint32_t fail_threshold = 0,
+           SimDuration scrub_interval_us = SimDuration(0),
            uint32_t spares = 0, uint64_t dataset = 3000)
       : injector(fopts) {
     aspect.ds = ds;
@@ -329,7 +330,8 @@ TEST(ArrayRecovery, MediaErrorFailsOverToMirrorAndRepairs) {
   EXPECT_GT(rig.injector.counters().write_repairs, 0u);
   EXPECT_LT(rig.injector.LatentErrorCount(0), planted);
   EXPECT_GT(rig.disks[0]->layout().num_remapped_sectors(), 0u);
-  EXPECT_FALSE(rig.controller->IsFailed(0));  // threshold 0: never auto-fail
+  EXPECT_FALSE(
+      rig.controller->IsFailed(SlotId(0)));  // threshold 0: never auto-fail
 }
 
 TEST(ArrayRecovery, ConcurrentReadsSurviveInFlightRemap) {
@@ -363,7 +365,8 @@ TEST(ArrayRecovery, ConcurrentReadsSurviveInFlightRemap) {
 
 TEST(ArrayRecovery, ErrorThresholdAutoFailsAndPromotesHotSpare) {
   ArrayRig rig(1, 1, 2, FaultInjectorOptions{}, /*fail_threshold=*/3,
-               /*scrub_interval_us=*/0, /*spares=*/1, /*dataset=*/800);
+               /*scrub_interval_us=*/SimDuration(0), /*spares=*/1,
+               /*dataset=*/800);
   rig.PlantLatentEverywhere(0, 800);
 
   Rng rng(17);
@@ -379,7 +382,7 @@ TEST(ArrayRecovery, ErrorThresholdAutoFailsAndPromotesHotSpare) {
   EXPECT_EQ(fs.spare_rebuilds_completed, 1u);
   EXPECT_EQ(rig.controller->spares_available(), 0u);
   // The promoted spare was rebuilt and put back in service.
-  EXPECT_FALSE(rig.controller->IsFailed(0));
+  EXPECT_FALSE(rig.controller->IsFailed(SlotId(0)));
   EXPECT_TRUE(rig.injector.IsFailStopped(0) == false);
   // Post-rebuild reads still all succeed.
   for (int i = 0; i < 20; ++i) {
@@ -391,7 +394,8 @@ TEST(ArrayRecovery, ErrorThresholdAutoFailsAndPromotesHotSpare) {
 
 TEST(ArrayRecovery, FailStopDiskIsDetectedAndReplaced) {
   ArrayRig rig(2, 1, 2, FaultInjectorOptions{}, /*fail_threshold=*/0,
-               /*scrub_interval_us=*/0, /*spares=*/1, /*dataset=*/1600);
+               /*scrub_interval_us=*/SimDuration(0), /*spares=*/1,
+               /*dataset=*/1600);
   rig.injector.FailStop(1);
 
   Rng rng(19);
@@ -406,12 +410,13 @@ TEST(ArrayRecovery, FailStopDiskIsDetectedAndReplaced) {
   EXPECT_EQ(fs.auto_disk_failures, 1u);
   EXPECT_EQ(fs.spares_promoted, 1u);
   EXPECT_EQ(fs.spare_rebuilds_completed, 1u);
-  EXPECT_FALSE(rig.controller->IsFailed(1));
+  EXPECT_FALSE(rig.controller->IsFailed(SlotId(1)));
 }
 
 TEST(ArrayRecovery, ScrubberFindsAndRepairsLatentErrors) {
   ArrayRig rig(1, 1, 2, FaultInjectorOptions{}, /*fail_threshold=*/0,
-               /*scrub_interval_us=*/20'000, /*spares=*/0, /*dataset=*/640);
+               /*scrub_interval_us=*/SimDuration(20'000), /*spares=*/0,
+               /*dataset=*/640);
   for (uint64_t lba : {3ull, 100ull, 401ull}) {
     for (const ArrayFragment& f : rig.layout->Map(lba, 1)) {
       rig.injector.InjectLatentError(f.replicas[0].disk, f.replicas[0].lba);
@@ -421,7 +426,7 @@ TEST(ArrayRecovery, ScrubberFindsAndRepairsLatentErrors) {
 
   // No foreground traffic: the idle-gated scrubber owns the array. Give it
   // time for at least one full sweep plus the repair rewrites.
-  rig.sim.RunUntil(5'000'000);
+  rig.sim.RunUntil(SimTime(5'000'000));
   rig.Drain();
 
   const FaultRecoveryStats& fs = rig.controller->fault_stats();
@@ -435,11 +440,12 @@ TEST(ArrayRecovery, ScrubberFindsAndRepairsLatentErrors) {
 
 TEST(ArrayRecovery, ScrubberYieldsToForegroundTraffic) {
   ArrayRig rig(1, 1, 2, FaultInjectorOptions{}, /*fail_threshold=*/0,
-               /*scrub_interval_us=*/10'000, /*spares=*/0, /*dataset=*/640);
+               /*scrub_interval_us=*/SimDuration(10'000), /*spares=*/0,
+               /*dataset=*/640);
   // Keep the array busy: back-to-back foreground reads for 2 simulated
   // seconds. The idle-gated scrubber must stand aside the whole time.
   Rng rng(23);
-  while (rig.sim.Now() < 2'000'000) {
+  while (rig.sim.Now() < SimTime(2'000'000)) {
     rig.Do(DiskOp::kRead, rng.UniformU64(640 - 8), 8);
   }
   EXPECT_EQ(rig.controller->fault_stats().scrub_reads, 0u);
@@ -542,10 +548,10 @@ TEST(Raid5Recovery, DoubleFailureReadsSurfaceUnrecoverable) {
     const auto frag = rig.layout->Map(0, 8)[0];
     const uint32_t first = reverse ? frag.parity_disk : frag.data_disk;
     const uint32_t second = reverse ? frag.data_disk : frag.parity_disk;
-    rig.controller->FailDisk(first);
-    rig.controller->FailDisk(second);
-    EXPECT_TRUE(rig.controller->IsFailed(frag.data_disk));
-    EXPECT_TRUE(rig.controller->IsFailed(frag.parity_disk));
+    rig.controller->FailDisk(SlotId(first));
+    rig.controller->FailDisk(SlotId(second));
+    EXPECT_TRUE(rig.controller->IsFailed(SlotId(frag.data_disk)));
+    EXPECT_TRUE(rig.controller->IsFailed(SlotId(frag.parity_disk)));
 
     // This fragment needs its dead data disk plus a full reconstruction set
     // that includes the other dead disk: unrecoverable, not a crash.
@@ -558,7 +564,7 @@ TEST(Raid5Recovery, DoubleFailureReadsSurfaceUnrecoverable) {
     for (uint64_t lba = 0; lba < rig.layout->data_capacity_sectors() && !found;
          lba += 16) {
       const auto f = rig.layout->Map(lba, 8)[0];
-      if (!rig.controller->IsFailed(f.data_disk)) {
+      if (!rig.controller->IsFailed(SlotId(f.data_disk))) {
         healthy_lba = lba;
         found = true;
       }
@@ -573,8 +579,8 @@ TEST(Raid5Recovery, DoubleFailureReadsSurfaceUnrecoverable) {
 TEST(Raid5Recovery, DoubleFailureMixedTrafficNeverCrashes) {
   for (const uint64_t seed : {29ull, 31ull}) {
     Raid5Rig rig(5);
-    rig.controller->FailDisk(1);
-    rig.controller->FailDisk(3);
+    rig.controller->FailDisk(SlotId(1));
+    rig.controller->FailDisk(SlotId(3));
     Rng rng(seed);
     int done = 0;
     constexpr int kOps = 150;
@@ -607,7 +613,7 @@ TEST(Raid5Recovery, FailStopVerdictAutoFailsTheSlot) {
   const FaultRecoveryStats& fs = rig.controller->fault_stats();
   EXPECT_GT(fs.disk_failed_seen, 0u);
   EXPECT_EQ(fs.auto_disk_failures, 1u);
-  EXPECT_TRUE(rig.controller->IsFailed(frag.data_disk));
+  EXPECT_TRUE(rig.controller->IsFailed(SlotId(frag.data_disk)));
   EXPECT_EQ(rig.controller->stats().degraded_reads, 1u);
   rig.Drain();
 }
@@ -616,16 +622,16 @@ TEST(Raid5Recovery, RebuildSurvivesSecondFailureMidway) {
   // Fail disk 0, start its rebuild, then kill another disk mid-rebuild: the
   // rebuild must terminate (some rows lost, counted), never wedge.
   Raid5Rig rig;
-  rig.controller->FailDisk(0);
+  rig.controller->FailDisk(SlotId(0));
   IoResult rebuild_result;
   bool rebuilt = false;
-  rig.controller->Rebuild(0, [&](const IoResult& r) {
+  rig.controller->Rebuild(SlotId(0), [&](const IoResult& r) {
     rebuild_result = r;
     rebuilt = true;
   });
   // Let a few rows rebuild, then fail a survivor.
-  rig.sim.RunUntil(rig.sim.Now() + 40'000);
-  rig.controller->FailDisk(2);
+  rig.sim.RunUntil(rig.sim.Now() + SimDuration(40'000));
+  rig.controller->FailDisk(SlotId(2));
   while (!rebuilt) {
     ASSERT_TRUE(rig.sim.Step());
   }

@@ -9,7 +9,7 @@ TEST(Geometry, St39133IsValid) {
   const DiskGeometry g = MakeSt39133Geometry();
   EXPECT_TRUE(g.Valid());
   EXPECT_EQ(g.rpm, 10000u);
-  EXPECT_EQ(g.RotationUs(), 6000);
+  EXPECT_EQ(g.RotationUs().us(), 6000);
   EXPECT_EQ(g.num_heads, 12u);
   EXPECT_EQ(g.zones.size(), 10u);
 }

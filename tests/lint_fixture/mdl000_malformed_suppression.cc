@@ -1,0 +1,15 @@
+// Lint fixture: MDL000 — suppression comments must carry a reason.
+// Not compiled into any target; consumed by the lint fixture test only.
+#include <cstdint>
+
+namespace mimdraid {
+namespace lint_fixture {
+
+uint64_t Sequence() {
+  // mdl-ok(MDL004):
+  static uint64_t seq = 0;  // reason missing above: both lines are findings
+  return ++seq;
+}
+
+}  // namespace lint_fixture
+}  // namespace mimdraid

@@ -1,0 +1,21 @@
+// Lint fixture: MDL001 — completion callback dropped on an early-return path.
+// Not compiled into any target; consumed by the lint fixture test only.
+#include <functional>
+
+#include "src/io/array_backend.h"
+
+namespace mimdraid {
+namespace lint_fixture {
+
+// The guard returns without invoking or forwarding `done`: the request would
+// hang forever. This is the exact shape MDL001 exists to catch.
+void SubmitGuarded(bool shutting_down, ArrayBackend::DoneFn done) {
+  if (shutting_down) {
+    return;  // seeded violation: `done` dropped on this path
+  }
+  IoResult r;
+  done(r);
+}
+
+}  // namespace lint_fixture
+}  // namespace mimdraid

@@ -1,0 +1,22 @@
+// Lint fixture: MDL002 — must-use results silently dropped.
+// Not compiled into any target; consumed by the lint fixture test only.
+#include "src/sim/simulator.h"
+
+namespace mimdraid {
+namespace lint_fixture {
+
+void ForgetPendingTimer(Simulator* sim, EventId id) {
+  sim->Cancel(id);  // seeded violation: success/failure never inspected
+}
+
+void VoidWithoutRationale(Simulator* sim, EventId id) {
+  (void)sim->Cancel(id);  // seeded violation: cast with no rationale
+}
+
+void SanctionedDiscard(Simulator* sim, EventId id) {
+  // mdl-ok(MDL002): teardown path, a missed cancel is harmless here
+  (void)sim->Cancel(id);
+}
+
+}  // namespace lint_fixture
+}  // namespace mimdraid

@@ -1,0 +1,20 @@
+// Lint fixture: MDL003 — microsecond value mixed with a bare literal.
+// Not compiled into any target; consumed by the lint fixture test only.
+
+namespace mimdraid {
+namespace lint_fixture {
+
+bool DeadlineSoon(double deadline_us) {
+  return deadline_us < 5000;  // seeded violation: unit-less 5000
+}
+
+double Pad(double slack_us) {
+  return slack_us + 250;  // seeded violation: unit-less 250
+}
+
+bool ZeroCompareIsFine(double wait_us) {
+  return wait_us > 0;  // comparisons against 0 carry no unit: not flagged
+}
+
+}  // namespace lint_fixture
+}  // namespace mimdraid

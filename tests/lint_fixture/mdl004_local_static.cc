@@ -1,0 +1,19 @@
+// Lint fixture: MDL004 — function-local static mutable state.
+// Not compiled into any target; consumed by the lint fixture test only.
+#include <cstdint>
+
+namespace mimdraid {
+namespace lint_fixture {
+
+uint64_t NextRunId() {
+  static uint64_t counter = 0;  // seeded violation: hidden cross-run state
+  return ++counter;
+}
+
+int TableSize() {
+  static constexpr int kSize = 64;  // constexpr is immutable: not flagged
+  return kSize;
+}
+
+}  // namespace lint_fixture
+}  // namespace mimdraid

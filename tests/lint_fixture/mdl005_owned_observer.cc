@@ -1,0 +1,19 @@
+// Lint fixture: MDL005 — borrowed observer held in an owning smart pointer.
+// Not compiled into any target; consumed by the lint fixture test only.
+#include <memory>
+
+#include "src/obs/trace_collector.h"
+
+namespace mimdraid {
+namespace lint_fixture {
+
+struct BadRig {
+  std::unique_ptr<TraceCollector> collector;  // seeded violation: owning hold
+};
+
+struct GoodRig {
+  TraceCollector* collector = nullptr;  // borrowed raw pointer: not flagged
+};
+
+}  // namespace lint_fixture
+}  // namespace mimdraid

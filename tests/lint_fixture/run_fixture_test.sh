@@ -1,0 +1,26 @@
+#!/bin/sh
+# Lint gate, run from ctest.
+#
+# 1. mimdraid_lint over the seeded fixtures must report exactly the golden
+#    findings (byte-identical, exit 1): every check fires and stays anchored.
+# 2. mimdraid_lint over the real tree must report nothing (exit 0).
+set -e
+repo="$1"
+if [ -z "$repo" ]; then
+  echo "usage: $0 <repo-root>" >&2
+  exit 2
+fi
+cd "$repo"
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+if python3 tools/analyze/mimdraid_lint tests/lint_fixture >"$out" 2>/dev/null
+then
+  echo "FAIL: lint reported no findings on the seeded fixtures" >&2
+  exit 1
+fi
+diff -u tests/lint_fixture/expected_findings.txt "$out"
+
+python3 tools/analyze/mimdraid_lint src bench tests examples tools
+echo "lint fixture + clean-tree gates passed"

@@ -1,0 +1,28 @@
+// Control case: the dimensionally valid strong-type operations must keep
+// compiling. If this file fails, the negative cases above are failing for
+// the wrong reason (broken include path, toolchain flags, ...), not because
+// the type system rejected them.
+#include "src/util/strong_types.h"
+
+int main() {
+  using mimdraid::BlockAddr;
+  using mimdraid::SimDuration;
+  using mimdraid::SimTime;
+  using mimdraid::SlotId;
+
+  SimTime t(100);
+  SimDuration d(25);
+  t += d;
+  const SimTime later = t + d;
+  const SimDuration gap = later - t;
+  const SimDuration total = gap + later.SinceStart();
+  (void)total;
+
+  SlotId slot(2);
+  ++slot;
+  BlockAddr addr(4096);
+  const BlockAddr next = addr + 8;
+  const int64_t span = next - addr;
+  (void)span;
+  return slot.value() == 3 && addr.value() == 4096 ? 0 : 1;
+}

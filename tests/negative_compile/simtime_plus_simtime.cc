@@ -1,0 +1,12 @@
+// Negative-compile case: adding two absolute times is dimensionally
+// meaningless, so SimTime + SimTime must not compile. (SimTime + SimDuration
+// and SimTime - SimTime are the valid forms; see control_ok.cc.)
+#include "src/util/strong_types.h"
+
+int main() {
+  mimdraid::SimTime a(1);
+  mimdraid::SimTime b(2);
+  auto c = a + b;  // expected error: no operator+(SimTime, SimTime)
+  (void)c;
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Negative-compile case: a drive slot index must never flow into a
+// block-address parameter; the two id spaces are unrelated dimensions.
+#include "src/util/strong_types.h"
+
+namespace {
+void TakesAddr(mimdraid::BlockAddr addr) { (void)addr; }
+}  // namespace
+
+int main() {
+  mimdraid::SlotId slot(3);
+  TakesAddr(slot);  // expected error: SlotId does not convert to BlockAddr
+  return 0;
+}

@@ -90,7 +90,7 @@ TEST(TraceCollector, RecordsDiskOpsQueueDepthAndMarkers) {
   // Disk-op decompositions are internally consistent too.
   for (const DiskOpRecord& op : collector.disk_ops()) {
     const double service =
-        static_cast<double>(op.completion_us - op.start_us);
+        static_cast<double>((op.completion_us - op.start_us).us());
     const double parts =
         op.overhead_us + op.seek_us + op.rotational_us + op.transfer_us;
     EXPECT_NEAR(service, parts, 1.0) << "slot " << op.slot;
@@ -262,7 +262,7 @@ TEST(JsonLite, RejectsMalformedDocuments) {
 TEST(JsonLite, RoundTripsEmittedEscapes) {
   // The escaping used by the Chrome exporter must survive our own parser.
   TraceCollector collector;
-  collector.OnMarker("odd \"name\"\twith\nescapes\\", 5);
+  collector.OnMarker("odd \"name\"\twith\nescapes\\", SimTime(5));
   const std::string json = ChromeTraceJson(collector);
   const json_lite::ParseResult r = json_lite::Parse(json);
   ASSERT_TRUE(r.ok) << r.error;
@@ -318,9 +318,9 @@ TEST(StatsRegistry, CollectorExportPublishesSummaries) {
 
 TEST(TraceCollector, ClearResetsEverything) {
   TraceCollector collector;
-  collector.OnRequestArrival(1, false, 0, 1, 100);
-  collector.OnMarker("m", 200);
-  collector.OnQueueDepth(0, 150, 3);
+  collector.OnRequestArrival(1, false, 0, 1, SimTime(100));
+  collector.OnMarker("m", SimTime(200));
+  collector.OnQueueDepth(0, SimTime(150), 3);
   EXPECT_EQ(collector.open_requests(), 1u);
   collector.Clear();
   EXPECT_EQ(collector.open_requests(), 0u);
@@ -328,7 +328,7 @@ TEST(TraceCollector, ClearResetsEverything) {
   EXPECT_TRUE(collector.markers().empty());
   EXPECT_TRUE(collector.queue_depths().empty());
   EXPECT_EQ(collector.num_slots(), 0u);
-  EXPECT_EQ(collector.SpanEndUs(), 0u);
+  EXPECT_EQ(collector.SpanEndUs(), SimTime(0));
 }
 
 TEST(ThroughputMeter, UnstartedMeterReportsZero) {
@@ -338,11 +338,11 @@ TEST(ThroughputMeter, UnstartedMeterReportsZero) {
   // Without Start() there is no observation window; the rate must read 0
   // instead of dividing by "time since simulated zero".
   EXPECT_FALSE(meter.started());
-  EXPECT_EQ(meter.Iops(1'000'000), 0.0);
-  meter.Start(1'000'000);
+  EXPECT_EQ(meter.Iops(SimTime(1'000'000)), 0.0);
+  meter.Start(SimTime(1'000'000));
   meter.RecordCompletion();
   EXPECT_TRUE(meter.started());
-  EXPECT_DOUBLE_EQ(meter.Iops(2'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(meter.Iops(SimTime(2'000'000)), 1.0);
 }
 
 }  // namespace

@@ -20,18 +20,19 @@ PredictorStats RunPredictedWorkload(SimDisk& disk, Simulator& sim,
   PredictorStats stats;
   for (int i = 0; i < ops; ++i) {
     const uint64_t lba = rng.UniformU64(disk.num_sectors());
-    const AccessPlan plan = predictor->Predict(sim.Now(), lba, 1, false);
-    predictor->OnDispatch(sim.Now(), lba, 1, false, plan.total_us);
+    const AccessPlan plan =
+        predictor->Predict(sim.Now(), BlockAddr(lba), 1, false);
+    predictor->OnDispatch(sim.Now(), BlockAddr(lba), 1, false, plan.total_us);
     bool done = false;
-    SimTime completion = 0;
-    disk.Start(DiskOp::kRead, lba, 1, [&](const DiskOpResult& r) {
+    SimTime completion;
+    disk.Start(DiskOp::kRead, BlockAddr(lba), 1, [&](const DiskOpResult& r) {
       completion = r.completion_us;
       done = true;
     });
     while (!done) {
       sim.Step();
     }
-    predictor->OnCompletion(completion, lba, 1);
+    predictor->OnCompletion(completion, BlockAddr(lba), 1);
   }
   return predictor->stats();
 }
@@ -90,23 +91,23 @@ TEST_F(CalibratedPredictorTest, TableTwoStyleAccuracy) {
     // Mirror the scheduler's behavior: skip targets whose rotational wait is
     // inside the slack (RSATF would take another replica).
     uint64_t lba = rng.UniformU64(disk_.num_sectors());
-    AccessPlan plan = predictor->Predict(sim_.Now(), lba, 1, false);
+    AccessPlan plan = predictor->Predict(sim_.Now(), BlockAddr(lba), 1, false);
     for (int retry = 0;
          retry < 8 && plan.rotational_us < predictor->SlackUs(); ++retry) {
       lba = rng.UniformU64(disk_.num_sectors());
-      plan = predictor->Predict(sim_.Now(), lba, 1, false);
+      plan = predictor->Predict(sim_.Now(), BlockAddr(lba), 1, false);
     }
-    predictor->OnDispatch(sim_.Now(), lba, 1, false, plan.total_us);
+    predictor->OnDispatch(sim_.Now(), BlockAddr(lba), 1, false, plan.total_us);
     bool done = false;
-    SimTime completion = 0;
-    disk_.Start(DiskOp::kRead, lba, 1, [&](const DiskOpResult& r) {
+    SimTime completion;
+    disk_.Start(DiskOp::kRead, BlockAddr(lba), 1, [&](const DiskOpResult& r) {
       completion = r.completion_us;
       done = true;
     });
     while (!done) {
       sim_.Step();
     }
-    predictor->OnCompletion(completion, lba, 1);
+    predictor->OnCompletion(completion, BlockAddr(lba), 1);
   }
   const PredictorStats& stats = predictor->stats();
   // Paper (Table 2): 0.22% misses. Give headroom but require high accuracy.
@@ -123,8 +124,9 @@ TEST_F(CalibratedPredictorTest, SlackFeedbackRaisesSlackUnderMisses) {
   const double initial = predictor.SlackUs();
   // Feed it a stream of misses: predicted far below actual.
   for (int i = 0; i < 200; ++i) {
-    predictor.OnDispatch(0, 0, 1, false, 100.0);
-    predictor.OnCompletion(100 + 5900, 0, 1);  // error ~ +5.9 ms = miss
+    predictor.OnDispatch(SimTime(0), BlockAddr(0), 1, false, 100.0);
+    predictor.OnCompletion(SimTime(100 + 5900), BlockAddr(0),
+                           1);  // error ~ +5.9 ms = miss
   }
   EXPECT_GT(predictor.SlackUs(), initial);
 }
@@ -136,8 +138,8 @@ TEST_F(CalibratedPredictorTest, SlackFeedbackDecaysWhenAccurate) {
   HeadPositionPredictor predictor(&disk_.layout(), MakeTestSeekProfile(),
                                   6000.0, 0.0, 0, slack);
   for (int i = 0; i < 500; ++i) {
-    predictor.OnDispatch(0, 0, 1, false, 100.0);
-    predictor.OnCompletion(100, 0, 1);  // exact
+    predictor.OnDispatch(SimTime(0), BlockAddr(0), 1, false, 100.0);
+    predictor.OnCompletion(SimTime(100), BlockAddr(0), 1);  // exact
   }
   EXPECT_LT(predictor.SlackUs(), 800.0);
   EXPECT_GE(predictor.SlackUs(), slack.min_slack_us);
@@ -147,8 +149,8 @@ TEST_F(CalibratedPredictorTest, HeadTrackingFollowsCompletions) {
   HeadPositionPredictor predictor(&disk_.layout(), MakeTestSeekProfile(),
                                   6000.0, 0.0, 0);
   const uint64_t lba = 3000;
-  predictor.OnDispatch(0, lba, 4, false, 0.0);
-  predictor.OnCompletion(10000, lba, 4);
+  predictor.OnDispatch(SimTime(0), BlockAddr(lba), 4, false, 0.0);
+  predictor.OnCompletion(SimTime(10000), BlockAddr(lba), 4);
   const Chs last = disk_.layout().ToChs(lba + 3);
   EXPECT_EQ(predictor.Head().cylinder, last.cylinder);
   EXPECT_EQ(predictor.Head().head, last.head);

@@ -25,7 +25,8 @@ TEST_F(QueuedDiskTest, AcceptsManyAndCompletesAll) {
   Rng rng(3);
   int done = 0;
   for (int i = 0; i < 50; ++i) {
-    drive.Submit(DiskOp::kRead, rng.UniformU64(disk_.num_sectors() - 4), 4,
+    drive.Submit(DiskOp::kRead, BlockAddr(rng.UniformU64(disk_.num_sectors() - 4)),
+                 4,
                  [&](const DiskOpResult&) { ++done; });
   }
   sim_.Run();
@@ -37,7 +38,7 @@ TEST_F(QueuedDiskTest, FcfsPreservesOrder) {
   InternalQueueDisk drive(&disk_, FirmwarePolicy::kFcfs);
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    drive.Submit(DiskOp::kRead, static_cast<uint64_t>(i) * 500, 4,
+    drive.Submit(DiskOp::kRead, BlockAddr(static_cast<uint64_t>(i) * 500), 4,
                  [&order, i](const DiskOpResult&) { order.push_back(i); });
   }
   sim_.Run();
@@ -52,7 +53,8 @@ TEST_F(QueuedDiskTest, SatfReordersForPosition) {
   Rng rng(7);
   int done = 0;
   for (int i = 0; i < 60; ++i) {
-    drive.Submit(DiskOp::kRead, rng.UniformU64(disk_.num_sectors() - 4), 4,
+    drive.Submit(DiskOp::kRead, BlockAddr(rng.UniformU64(disk_.num_sectors() - 4)),
+                 4,
                  [&](const DiskOpResult&) { ++done; });
   }
   sim_.Run();
@@ -63,8 +65,8 @@ TEST_F(QueuedDiskTest, SatfReordersForPosition) {
 TEST_F(QueuedDiskTest, SatfFasterThanFcfsUnderLoad) {
   // Same request set, both policies, closed queue of 16: firmware SATF must
   // finish sooner.
-  SimTime fcfs_end = 0;
-  SimTime satf_end = 0;
+  SimTime fcfs_end;
+  SimTime satf_end;
   for (FirmwarePolicy policy : {FirmwarePolicy::kFcfs, FirmwarePolicy::kSatf}) {
     Simulator sim;
     SimDisk disk(&sim, MakeTestGeometry(), MakeTestSeekProfile(),
@@ -72,7 +74,8 @@ TEST_F(QueuedDiskTest, SatfFasterThanFcfsUnderLoad) {
     InternalQueueDisk drive(&disk, policy);
     Rng rng(11);
     for (int i = 0; i < 200; ++i) {
-      drive.Submit(DiskOp::kRead, rng.UniformU64(disk.num_sectors() - 4), 4,
+      drive.Submit(DiskOp::kRead, BlockAddr(rng.UniformU64(disk.num_sectors() - 4)),
+                   4,
                    [](const DiskOpResult&) {});
     }
     sim.Run();
@@ -86,7 +89,7 @@ TEST_F(QueuedDiskTest, TagLimitBoundsFirmwareScan) {
   InternalQueueDisk drive(&disk_, FirmwarePolicy::kSatf, /*queue_depth=*/1);
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    drive.Submit(DiskOp::kRead, static_cast<uint64_t>(9 - i) * 700, 4,
+    drive.Submit(DiskOp::kRead, BlockAddr(static_cast<uint64_t>(9 - i) * 700), 4,
                  [&order, i](const DiskOpResult&) { order.push_back(i); });
   }
   sim_.Run();

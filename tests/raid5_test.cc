@@ -95,9 +95,9 @@ struct Rig {
   }
 
   SimTime Do(DiskOp op, uint64_t lba, uint32_t sectors) {
-    SimTime completion = -1;
+    SimTime completion(-1);
     controller->Submit(op, lba, sectors, [&](const IoResult& r) { completion = r.completion_us; });
-    while (completion < 0) {
+    while (completion < SimTime(0)) {
       EXPECT_TRUE(sim.Step());
     }
     return completion;
@@ -147,13 +147,13 @@ TEST(Raid5Controller, SmallWriteSlowerThanStripeWrite) {
   Rig rig2;
   const SimTime read_done = rig2.Do(DiskOp::kRead, 160, 8);
   // The RMW write costs roughly a full extra rotation beyond a read.
-  EXPECT_GT(write_done - 0, read_done + 3000);
+  EXPECT_GT(write_done - SimTime(0), (read_done + SimDuration(3000)).SinceStart());
 }
 
 TEST(Raid5Controller, DegradedReadFansOutToPeers) {
   Rig rig;
   const auto frag = rig.layout->Map(0, 8)[0];
-  rig.controller->FailDisk(frag.data_disk);
+  rig.controller->FailDisk(SlotId(frag.data_disk));
   rig.Do(DiskOp::kRead, 0, 8);
   EXPECT_EQ(rig.controller->stats().degraded_reads, 1u);
   uint64_t total_ops = 0;
@@ -166,7 +166,7 @@ TEST(Raid5Controller, DegradedReadFansOutToPeers) {
 TEST(Raid5Controller, DegradedWriteToLostParityJustWritesData) {
   Rig rig;
   const auto frag = rig.layout->Map(0, 8)[0];
-  rig.controller->FailDisk(frag.parity_disk);
+  rig.controller->FailDisk(SlotId(frag.parity_disk));
   rig.Do(DiskOp::kWrite, 0, 8);
   rig.Drain();
   EXPECT_EQ(rig.controller->stats().degraded_writes, 1u);
@@ -180,7 +180,7 @@ TEST(Raid5Controller, DegradedWriteToLostParityJustWritesData) {
 TEST(Raid5Controller, DegradedWriteToLostDataReconstructs) {
   Rig rig;
   const auto frag = rig.layout->Map(0, 8)[0];
-  rig.controller->FailDisk(frag.data_disk);
+  rig.controller->FailDisk(SlotId(frag.data_disk));
   rig.Do(DiskOp::kWrite, 0, 8);
   rig.Drain();
   EXPECT_EQ(rig.controller->stats().degraded_writes, 1u);
@@ -194,14 +194,14 @@ TEST(Raid5Controller, DegradedWriteToLostDataReconstructs) {
 
 TEST(Raid5Controller, RebuildRestoresRedundancy) {
   Rig rig;
-  rig.controller->FailDisk(2);
-  SimTime rebuilt_at = -1;
-  rig.controller->Rebuild(2, [&](const IoResult& r) { rebuilt_at = r.completion_us; });
-  while (rebuilt_at < 0) {
+  rig.controller->FailDisk(SlotId(2));
+  SimTime rebuilt_at(-1);
+  rig.controller->Rebuild(SlotId(2), [&](const IoResult& r) { rebuilt_at = r.completion_us; });
+  while (rebuilt_at < SimTime(0)) {
     ASSERT_TRUE(rig.sim.Step());
   }
   EXPECT_EQ(rig.controller->stats().rebuilt_rows, rig.layout->num_rows());
-  EXPECT_FALSE(rig.controller->IsFailed(2));
+  EXPECT_FALSE(rig.controller->IsFailed(SlotId(2)));
   // Reads are normal again.
   const auto frag = rig.layout->Map(0, 8)[0];
   (void)frag;
@@ -211,9 +211,9 @@ TEST(Raid5Controller, RebuildRestoresRedundancy) {
 
 TEST(Raid5Controller, TrafficDuringRebuildStaysCorrect) {
   Rig rig;
-  rig.controller->FailDisk(1);
-  SimTime rebuilt_at = -1;
-  rig.controller->Rebuild(1, [&](const IoResult& r) { rebuilt_at = r.completion_us; });
+  rig.controller->FailDisk(SlotId(1));
+  SimTime rebuilt_at(-1);
+  rig.controller->Rebuild(SlotId(1), [&](const IoResult& r) { rebuilt_at = r.completion_us; });
   // Issue reads across the array while the rebuild streams.
   Rng rng(9);
   int done = 0;
@@ -223,7 +223,7 @@ TEST(Raid5Controller, TrafficDuringRebuildStaysCorrect) {
         rng.UniformU64(rig.layout->data_capacity_sectors() - 8);
     rig.controller->Submit(DiskOp::kRead, lba, 8, [&](const IoResult&) { ++done; });
   }
-  while (done < kOps || rebuilt_at < 0) {
+  while (done < kOps || rebuilt_at < SimTime(0)) {
     ASSERT_TRUE(rig.sim.Step());
   }
   rig.Drain();

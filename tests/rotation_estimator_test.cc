@@ -36,7 +36,7 @@ TEST(RotationEstimator, NoisyLatticeConverges) {
   for (int i = 0; i < 40; ++i) {
     const int k = 3 + static_cast<int>(rng.UniformU64(5));
     t += k * true_r;
-    est.AddObservation(static_cast<SimTime>(t + rng.Normal(0.0, 15.0)));
+    est.AddObservation(SimTime(static_cast<int64_t>(t + rng.Normal(0.0, 15.0))));
   }
   EXPECT_NEAR(est.rotation_us(), true_r, 0.5);
   EXPECT_LT(est.ResidualRmsUs(), 60.0);
@@ -44,16 +44,16 @@ TEST(RotationEstimator, NoisyLatticeConverges) {
 
 TEST(RotationEstimator, RejectsAbsurdFit) {
   RotationEstimator est(6000.0);
-  est.AddObservation(0);
-  est.AddObservation(6000);
-  est.AddObservation(12000);
+  est.AddObservation(SimTime(0));
+  est.AddObservation(SimTime(6000));
+  est.AddObservation(SimTime(12000));
   EXPECT_NEAR(est.rotation_us(), 6000.0, 1.0);
 }
 
 TEST(RotationEstimator, TrimKeepsRecentWindow) {
   RotationEstimator est(6000.0);
   for (int i = 0; i < 100; ++i) {
-    est.AddObservation(static_cast<SimTime>(i * 6001.0));
+    est.AddObservation(SimTime(static_cast<int64_t>(i * 6001.0)));
   }
   est.TrimTo(10);
   EXPECT_EQ(est.num_observations(), 10u);
@@ -62,8 +62,8 @@ TEST(RotationEstimator, TrimKeepsRecentWindow) {
 
 TEST(RotationEstimator, NotReadyWithTwoObservations) {
   RotationEstimator est(6000.0);
-  est.AddObservation(100);
-  est.AddObservation(6100);
+  est.AddObservation(SimTime(100));
+  est.AddObservation(SimTime(6100));
   EXPECT_FALSE(est.Ready());
 }
 
@@ -90,7 +90,7 @@ TEST(RotationEstimatorEndToEnd, CalibratesSimulatedDrive) {
       disk.layout(), options.reference_lba, cal.lattice_phase_us,
       cal.rotation_us);
   const DiskTimingModel& truth = disk.DebugTimingModel();
-  const double t_probe = static_cast<double>(sim.Now()) + 12345.0;
+  const double t_probe = static_cast<double>(sim.Now().us()) + 12345.0;
   DiskTimingModel estimate(&disk.layout(), MakeTestSeekProfile(),
                            spindle_phase, cal.rotation_us);
   // Angle estimates agree within ~1% of a rotation, modulo the constant

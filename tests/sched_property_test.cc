@@ -21,7 +21,7 @@ class SchedulerProperty : public ::testing::TestWithParam<SchedulerKind> {
               DiskNoiseModel::None(), 1, 0.0),
         predictor_(&disk_, 0.0),
         rng_(42) {
-    ctx_.now = 0;
+    ctx_.now = SimTime(0);
     ctx_.predictor = &predictor_;
     ctx_.layout = &disk_.layout();
   }
@@ -33,9 +33,9 @@ class SchedulerProperty : public ::testing::TestWithParam<SchedulerKind> {
     r.sectors = 1 + static_cast<uint32_t>(rng_.UniformU64(16));
     for (int c = 0; c < candidates; ++c) {
       r.candidate_lbas.push_back(
-          rng_.UniformU64(disk_.layout().num_data_sectors() - r.sectors));
+          BlockAddr(rng_.UniformU64(disk_.layout().num_data_sectors() - r.sectors)));
     }
-    r.arrival_us = static_cast<SimTime>(rng_.UniformU64(100000));
+    r.arrival_us = SimTime(static_cast<int64_t>(rng_.UniformU64(100000)));
     return r;
   }
 
@@ -55,7 +55,7 @@ TEST_P(SchedulerProperty, PickIsAlwaysValid) {
       queue.push_back(RandomRequest(trial * 100 + i,
                                     1 + static_cast<int>(rng_.UniformU64(3))));
     }
-    ctx_.now = trial * 5000;
+    ctx_.now = SimTime(trial * 5000);
     const SchedulerPick pick = sched->Pick(queue, ctx_);
     ASSERT_LT(pick.queue_index, queue.size());
     const auto& cands = queue[pick.queue_index].candidate_lbas;
@@ -71,14 +71,14 @@ TEST_P(SchedulerProperty, DrainsEveryRequestExactlyOnce) {
     queue.push_back(RandomRequest(i + 1, 2));
     ids.insert(i + 1);
   }
-  SimTime now = 0;
+  SimTime now;  // default-constructed: t=0
   while (!queue.empty()) {
     ctx_.now = now;
     const SchedulerPick pick = sched->Pick(queue, ctx_);
     ASSERT_LT(pick.queue_index, queue.size());
     EXPECT_EQ(ids.erase(queue[pick.queue_index].id), 1u);
     queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick.queue_index));
-    now += 3000;
+    now += SimDuration(3000);
   }
   EXPECT_TRUE(ids.empty());
 }
@@ -98,7 +98,7 @@ TEST(SchedulerOptimality, SatfMinimizesOverPrimaries) {
   SimDisk disk(&sim, MakeTestGeometry(), MakeTestSeekProfile(),
                DiskNoiseModel::None(), 1, 0.0);
   OraclePredictor predictor(&disk, 0.0);
-  ScheduleContext ctx{12345, &predictor, &disk.layout()};
+  ScheduleContext ctx{SimTime(12345), &predictor, &disk.layout()};
   Rng rng(7);
   auto satf = MakeScheduler(SchedulerKind::kSatf);
   for (int trial = 0; trial < 30; ++trial) {
@@ -108,10 +108,10 @@ TEST(SchedulerOptimality, SatfMinimizesOverPrimaries) {
       r.id = i + 1;
       r.op = DiskOp::kRead;
       r.sectors = 4;
-      r.candidate_lbas = {rng.UniformU64(disk.num_sectors() - 4)};
+      r.candidate_lbas = {BlockAddr(rng.UniformU64(disk.num_sectors() - 4))};
       queue.push_back(std::move(r));
     }
-    ctx.now = trial * 7777;
+    ctx.now = SimTime(trial * 7777);
     const SchedulerPick pick = satf->Pick(queue, ctx);
     double best = 1e18;
     for (const QueuedRequest& r : queue) {
@@ -131,7 +131,7 @@ TEST(SchedulerOptimality, RlookFollowsLookRequestOrder) {
   SimDisk disk(&sim, MakeTestGeometry(), MakeTestSeekProfile(),
                DiskNoiseModel::None(), 1, 0.0);
   OraclePredictor predictor(&disk, 0.0);
-  ScheduleContext ctx{0, &predictor, &disk.layout()};
+  ScheduleContext ctx{SimTime(0), &predictor, &disk.layout()};
   Rng rng(9);
   auto rlook = MakeScheduler(SchedulerKind::kRlook);
   auto look = MakeScheduler(SchedulerKind::kLook);
@@ -143,7 +143,7 @@ TEST(SchedulerOptimality, RlookFollowsLookRequestOrder) {
     r.op = DiskOp::kRead;
     r.sectors = 1;
     const uint64_t primary = rng.UniformU64(disk.num_sectors() - 1);
-    r.candidate_lbas = {primary};
+    r.candidate_lbas = {BlockAddr(primary)};
     q2.push_back(r);  // LOOK sees only the primary
     // RLOOK also sees a same-cylinder alternate.
     const Chs chs = disk.layout().ToChs(primary);
@@ -151,7 +151,7 @@ TEST(SchedulerOptimality, RlookFollowsLookRequestOrder) {
     const uint64_t alt =
         disk.layout().ToLba(Chs{chs.cylinder, other_head, chs.sector});
     if (alt != kInvalidLba) {
-      r.candidate_lbas.push_back(alt);
+      r.candidate_lbas.push_back(BlockAddr(alt));
     }
     q1.push_back(std::move(r));
   }
@@ -172,20 +172,20 @@ class LookEdgeCases : public ::testing::Test {
       : disk_(&sim_, MakeTestGeometry(), MakeTestSeekProfile(),
               DiskNoiseModel::None(), 1, 0.0),
         predictor_(&disk_, 0.0) {
-    ctx_.now = 0;
+    ctx_.now = SimTime(0);
     ctx_.predictor = &predictor_;
     ctx_.layout = &disk_.layout();
   }
 
-  QueuedRequest AtCylinder(uint64_t id, uint32_t cylinder, SimTime arrival) {
+  QueuedRequest AtCylinder(uint64_t id, uint32_t cylinder, int64_t arrival) {
     const uint64_t lba = disk_.layout().ToLba(Chs{cylinder, 0, 0});
     EXPECT_NE(lba, kInvalidLba) << "cylinder " << cylinder;
     QueuedRequest r;
     r.id = id;
     r.op = DiskOp::kRead;
     r.sectors = 1;
-    r.candidate_lbas = {lba};
-    r.arrival_us = arrival;
+    r.candidate_lbas = {BlockAddr(lba)};
+    r.arrival_us = SimTime(arrival);
     return r;
   }
 
@@ -275,7 +275,7 @@ class RsatfMaxScan : public ::testing::Test {
               DiskNoiseModel::None(), 1, 0.0),
         predictor_(&disk_, 0.0),
         rng_(77) {
-    ctx_.now = 0;
+    ctx_.now = SimTime(0);
     ctx_.predictor = &predictor_;
     ctx_.layout = &disk_.layout();
   }
@@ -286,9 +286,9 @@ class RsatfMaxScan : public ::testing::Test {
     r.op = DiskOp::kRead;
     r.sectors = 1;
     for (int c = 0; c < candidates; ++c) {
-      r.candidate_lbas.push_back(rng_.UniformU64(disk_.num_sectors() - 1));
+      r.candidate_lbas.push_back(BlockAddr(rng_.UniformU64(disk_.num_sectors() - 1)));
     }
-    r.arrival_us = static_cast<SimTime>(rng_.UniformU64(1000));
+    r.arrival_us = SimTime(static_cast<int64_t>(rng_.UniformU64(1000)));
     return r;
   }
 
@@ -310,7 +310,7 @@ TEST_F(RsatfMaxScan, WindowedPickEqualsFullPickOnPrefix) {
     for (int i = 0; i < 12; ++i) {
       queue.push_back(RandomRequest(trial * 100 + i, 1 + trial % 3));
     }
-    ctx_.now = trial * 4321;
+    ctx_.now = SimTime(trial * 4321);
     const SchedulerPick w = windowed->Pick(queue, ctx_);
     const std::vector<QueuedRequest> prefix(queue.begin(),
                                             queue.begin() + kWindow);
@@ -355,7 +355,7 @@ TEST_F(RsatfMaxScan, ZeroAndOversizeWindowsScanTheWholeQueue) {
     for (int i = 0; i < 10; ++i) {
       queue.push_back(RandomRequest(trial * 50 + i, 2));
     }
-    ctx_.now = trial * 999;
+    ctx_.now = SimTime(trial * 999);
     const SchedulerPick a = zero->Pick(queue, ctx_);
     const SchedulerPick b = oversize->Pick(queue, ctx_);
     EXPECT_EQ(a.queue_index, b.queue_index);

@@ -16,13 +16,13 @@ class SchedTest : public ::testing::Test {
       : disk_(&sim_, MakeTestGeometry(), MakeTestSeekProfile(),
               DiskNoiseModel::None(), /*seed=*/1, /*spindle_phase_us=*/0.0),
         predictor_(&disk_, 0.0) {
-    ctx_.now = 0;
+    ctx_.now = SimTime(0);
     ctx_.predictor = &predictor_;
     ctx_.layout = &disk_.layout();
   }
 
   // Queue entry whose primary candidate lies on the given cylinder.
-  QueuedRequest ReqAtCylinder(uint32_t cylinder, SimTime arrival = 0) {
+  QueuedRequest ReqAtCylinder(uint32_t cylinder, SimTime arrival = SimTime(0)) {
     QueuedRequest r;
     r.id = next_id_++;
     r.op = DiskOp::kRead;
@@ -32,7 +32,7 @@ class SchedTest : public ::testing::Test {
       lba = disk_.layout().ToLba(Chs{cylinder, h, 0});
     }
     EXPECT_NE(lba, kInvalidLba);
-    r.candidate_lbas = {lba};
+    r.candidate_lbas = {BlockAddr(lba)};
     r.arrival_us = arrival;
     return r;
   }
@@ -47,9 +47,9 @@ class SchedTest : public ::testing::Test {
 TEST_F(SchedTest, FcfsPicksEarliestArrival) {
   FcfsScheduler sched;
   std::vector<QueuedRequest> q;
-  q.push_back(ReqAtCylinder(10, 300));
-  q.push_back(ReqAtCylinder(20, 100));
-  q.push_back(ReqAtCylinder(30, 200));
+  q.push_back(ReqAtCylinder(10, SimTime(300)));
+  q.push_back(ReqAtCylinder(20, SimTime(100)));
+  q.push_back(ReqAtCylinder(30, SimTime(200)));
   EXPECT_EQ(sched.Pick(q, ctx_).queue_index, 1u);
 }
 
@@ -67,12 +67,12 @@ TEST_F(SchedTest, SstfConsidersAllReplicas) {
   SstfScheduler sched;
   std::vector<QueuedRequest> q;
   QueuedRequest multi = ReqAtCylinder(50);
-  multi.candidate_lbas.push_back(disk_.layout().ToLba(Chs{1, 0, 0}));
+  multi.candidate_lbas.push_back(BlockAddr(disk_.layout().ToLba(Chs{1, 0, 0})));
   q.push_back(ReqAtCylinder(10));
   q.push_back(multi);
   const SchedulerPick pick = sched.Pick(q, ctx_);
   EXPECT_EQ(pick.queue_index, 1u);  // cylinder-1 replica wins
-  EXPECT_EQ(disk_.layout().ToChs(pick.lba).cylinder, 1u);
+  EXPECT_EQ(disk_.layout().ToChs(pick.lba.value()).cylinder, 1u);
 }
 
 TEST_F(SchedTest, LookSweepsUpThenDown) {
@@ -83,26 +83,26 @@ TEST_F(SchedTest, LookSweepsUpThenDown) {
   q.push_back(ReqAtCylinder(20));
   // Sweep starts upward from cylinder 0: order 10, 20, 30.
   SchedulerPick p = sched.Pick(q, ctx_);
-  EXPECT_EQ(disk_.layout().ToChs(p.lba).cylinder, 10u);
+  EXPECT_EQ(disk_.layout().ToChs(p.lba.value()).cylinder, 10u);
   q.erase(q.begin() + static_cast<ptrdiff_t>(p.queue_index));
   p = sched.Pick(q, ctx_);
-  EXPECT_EQ(disk_.layout().ToChs(p.lba).cylinder, 20u);
+  EXPECT_EQ(disk_.layout().ToChs(p.lba.value()).cylinder, 20u);
   q.erase(q.begin() + static_cast<ptrdiff_t>(p.queue_index));
   // Now a request below the current position arrives: direction reverses
   // only once the sweep is exhausted.
   q.push_back(ReqAtCylinder(5));
   p = sched.Pick(q, ctx_);
-  EXPECT_EQ(disk_.layout().ToChs(p.lba).cylinder, 30u);
+  EXPECT_EQ(disk_.layout().ToChs(p.lba.value()).cylinder, 30u);
   q.erase(q.begin() + static_cast<ptrdiff_t>(p.queue_index));
   p = sched.Pick(q, ctx_);
-  EXPECT_EQ(disk_.layout().ToChs(p.lba).cylinder, 5u);
+  EXPECT_EQ(disk_.layout().ToChs(p.lba.value()).cylinder, 5u);
 }
 
 TEST_F(SchedTest, LookServicesEqualCylinderByArrival) {
   LookScheduler sched;
   std::vector<QueuedRequest> q;
-  q.push_back(ReqAtCylinder(10, 500));
-  q.push_back(ReqAtCylinder(10, 100));
+  q.push_back(ReqAtCylinder(10, SimTime(500)));
+  q.push_back(ReqAtCylinder(10, SimTime(100)));
   EXPECT_EQ(sched.Pick(q, ctx_).queue_index, 1u);
 }
 
@@ -112,16 +112,16 @@ TEST_F(SchedTest, ClookWrapsToLowestCylinder) {
   q.push_back(ReqAtCylinder(30));
   q.push_back(ReqAtCylinder(50));
   SchedulerPick p = sched.Pick(q, ctx_);
-  EXPECT_EQ(disk_.layout().ToChs(p.lba).cylinder, 30u);
+  EXPECT_EQ(disk_.layout().ToChs(p.lba.value()).cylinder, 30u);
   q.erase(q.begin() + static_cast<ptrdiff_t>(p.queue_index));
   p = sched.Pick(q, ctx_);
-  EXPECT_EQ(disk_.layout().ToChs(p.lba).cylinder, 50u);
+  EXPECT_EQ(disk_.layout().ToChs(p.lba.value()).cylinder, 50u);
   q.erase(q.begin() + static_cast<ptrdiff_t>(p.queue_index));
   // Below current position: C-LOOK wraps instead of reversing.
   q.push_back(ReqAtCylinder(5));
   q.push_back(ReqAtCylinder(2));
   p = sched.Pick(q, ctx_);
-  EXPECT_EQ(disk_.layout().ToChs(p.lba).cylinder, 2u);
+  EXPECT_EQ(disk_.layout().ToChs(p.lba.value()).cylinder, 2u);
 }
 
 TEST_F(SchedTest, SatfPicksShortestPredictedAccess) {
@@ -150,12 +150,12 @@ TEST_F(SchedTest, RsatfChoosesMinimumCostReplica) {
   QueuedRequest r = ReqAtCylinder(40);
   const uint64_t near_lba = disk_.layout().ToLba(Chs{2, 0, 0});
   ASSERT_NE(near_lba, kInvalidLba);
-  r.candidate_lbas.push_back(near_lba);
+  r.candidate_lbas.push_back(BlockAddr(near_lba));
   q.push_back(r);
   const SchedulerPick pick = sched.Pick(q, ctx_);
   // Whichever replica it picks must have the minimal predicted service time.
   double best = std::numeric_limits<double>::infinity();
-  for (uint64_t cand : r.candidate_lbas) {
+  for (BlockAddr cand : r.candidate_lbas) {
     const AccessPlan plan = predictor_.Predict(ctx_.now, cand, 1, false);
     best = std::min(best, predictor_.EffectiveServiceUs(plan));
   }
@@ -173,12 +173,12 @@ TEST_F(SchedTest, RlookFollowsLookOrderThenBestReplica) {
   QueuedRequest near = ReqAtCylinder(5);
   const uint64_t replica2 = disk_.layout().ToLba(Chs{5, 1, 20});
   ASSERT_NE(replica2, kInvalidLba);
-  near.candidate_lbas.push_back(replica2);
+  near.candidate_lbas.push_back(BlockAddr(replica2));
   q.push_back(ReqAtCylinder(50));
   q.push_back(near);
   const SchedulerPick pick = sched.Pick(q, ctx_);
   EXPECT_EQ(pick.queue_index, 1u);
-  EXPECT_EQ(disk_.layout().ToChs(pick.lba).cylinder, 5u);
+  EXPECT_EQ(disk_.layout().ToChs(pick.lba.value()).cylinder, 5u);
 }
 
 TEST_F(SchedTest, RsatfReplicaChoiceReducesPredictedCost) {
@@ -192,7 +192,7 @@ TEST_F(SchedTest, RsatfReplicaChoiceReducesPredictedCost) {
   for (uint32_t s = 0; s < 30; s += 3) {
     std::vector<QueuedRequest> q;
     QueuedRequest r = ReqAtCylinder(7);
-    const Chs base = disk_.layout().ToChs(r.candidate_lbas[0]);
+    const Chs base = disk_.layout().ToChs(r.candidate_lbas[0].value());
     // Opposite-angle replica on the next head.
     const double angle = disk_.layout().AngleOf(base);
     double opposite = angle + 0.5 + static_cast<double>(s) / 60.0;
@@ -201,10 +201,10 @@ TEST_F(SchedTest, RsatfReplicaChoiceReducesPredictedCost) {
     }
     const uint64_t rep = disk_.layout().LbaForAngle(7, base.head + 1, opposite);
     ASSERT_NE(rep, kInvalidLba);
-    r.candidate_lbas.push_back(rep);
+    r.candidate_lbas.push_back(BlockAddr(rep));
     q.push_back(r);
     ScheduleContext ctx = ctx_;
-    ctx.now = static_cast<SimTime>(s) * 137;
+    ctx.now = SimTime(static_cast<int64_t>(s) * 137);
     rsatf_total += rsatf.Pick(q, ctx).predicted_service_us;
     satf_total += satf.Pick(q, ctx).predicted_service_us;
   }

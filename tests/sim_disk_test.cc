@@ -15,7 +15,7 @@ class SimDiskTest : public ::testing::Test {
   DiskOpResult Access(DiskOp op, uint64_t lba, uint32_t sectors) {
     DiskOpResult result;
     bool done = false;
-    disk_.Start(op, lba, sectors, [&](const DiskOpResult& r) {
+    disk_.Start(op, BlockAddr(lba), sectors, [&](const DiskOpResult& r) {
       result = r;
       done = true;
     });
@@ -31,7 +31,7 @@ class SimDiskTest : public ::testing::Test {
 
 TEST_F(SimDiskTest, BusyDuringServiceIdleAfter) {
   bool done = false;
-  disk_.Start(DiskOp::kRead, 0, 1, [&](const DiskOpResult&) {
+  disk_.Start(DiskOp::kRead, BlockAddr(0), 1, [&](const DiskOpResult&) {
     done = true;
     EXPECT_FALSE(disk_.busy());  // callback runs after the disk frees
   });
@@ -43,7 +43,7 @@ TEST_F(SimDiskTest, BusyDuringServiceIdleAfter) {
 
 TEST_F(SimDiskTest, CompletionDecompositionSums) {
   const DiskOpResult r = Access(DiskOp::kRead, 100, 4);
-  EXPECT_NEAR(static_cast<double>(r.ServiceUs()),
+  EXPECT_NEAR(static_cast<double>(r.ServiceUs().us()),
               r.overhead_us + r.seek_us + r.rotational_us + r.transfer_us, 1.0);
 }
 
@@ -60,9 +60,9 @@ TEST_F(SimDiskTest, BackToBackSameSectorCostsFullRotation) {
   Access(DiskOp::kRead, 50, 1);
   const SimTime t0 = sim_.Now();
   const DiskOpResult r2 = Access(DiskOp::kRead, 50, 1);
-  const SimTime gap = r2.completion_us - t0;
-  EXPECT_GT(gap, 5000);
-  EXPECT_LT(gap, 7000);
+  const SimDuration gap = r2.completion_us - t0;
+  EXPECT_GT(gap, SimDuration(5000));
+  EXPECT_LT(gap, SimDuration(7000));
 }
 
 TEST_F(SimDiskTest, HeadStateTracksLastAccess) {
@@ -80,11 +80,11 @@ TEST_F(SimDiskTest, DeterministicAcrossInstances) {
   DiskOpResult b;
   bool done_a = false;
   bool done_b = false;
-  disk_.Start(DiskOp::kRead, 123, 8, [&](const DiskOpResult& r) {
+  disk_.Start(DiskOp::kRead, BlockAddr(123), 8, [&](const DiskOpResult& r) {
     a = r;
     done_a = true;
   });
-  disk2.Start(DiskOp::kRead, 123, 8, [&](const DiskOpResult& r) {
+  disk2.Start(DiskOp::kRead, BlockAddr(123), 8, [&](const DiskOpResult& r) {
     b = r;
     done_b = true;
   });
@@ -102,7 +102,7 @@ TEST_F(SimDiskTest, SpindlePhaseOffsetsCompletionTimes) {
   DiskOpResult a = Access(DiskOp::kRead, 400, 1);
   DiskOpResult b;
   bool done = false;
-  shifted.Start(DiskOp::kRead, 400, 1, [&](const DiskOpResult& r) {
+  shifted.Start(DiskOp::kRead, BlockAddr(400), 1, [&](const DiskOpResult& r) {
     b = r;
     done = true;
   });
@@ -119,12 +119,13 @@ TEST_F(SimDiskTest, WritesSlowerThanReadsAcrossSeeks) {
                 DiskNoiseModel::None(), /*seed=*/1, /*spindle_phase_us=*/0.0);
   // Mirror the same starting state on disk2.
   bool unused = false;
-  disk2.Start(DiskOp::kRead, 0, 1, [&](const DiskOpResult&) { unused = true; });
+  disk2.Start(DiskOp::kRead, BlockAddr(0), 1,
+              [&](const DiskOpResult&) { unused = true; });
   sim2.Run();
   const DiskOpResult r = Access(DiskOp::kRead, 5000, 1);
   DiskOpResult w;
   bool done = false;
-  disk2.Start(DiskOp::kWrite, 5000, 1, [&](const DiskOpResult& res) {
+  disk2.Start(DiskOp::kWrite, BlockAddr(5000), 1, [&](const DiskOpResult& res) {
     w = res;
     done = true;
   });
@@ -145,7 +146,7 @@ TEST(SimDiskNoise, JitterVariesCompletions) {
   for (int i = 0; i < 10; ++i) {
     bool done = false;
     DiskOpResult r;
-    disk.Start(DiskOp::kRead, 5, 1, [&](const DiskOpResult& res) {
+    disk.Start(DiskOp::kRead, BlockAddr(5), 1, [&](const DiskOpResult& res) {
       r = res;
       done = true;
     });
@@ -167,7 +168,7 @@ TEST(SimDiskRotation, OverrideAffectsBackToBackGap) {
   auto access = [&](uint64_t lba) {
     bool done = false;
     DiskOpResult r;
-    disk.Start(DiskOp::kRead, lba, 1, [&](const DiskOpResult& res) {
+    disk.Start(DiskOp::kRead, BlockAddr(lba), 1, [&](const DiskOpResult& res) {
       r = res;
       done = true;
     });
@@ -177,9 +178,9 @@ TEST(SimDiskRotation, OverrideAffectsBackToBackGap) {
   };
   const DiskOpResult r1 = access(7);
   const DiskOpResult r2 = access(7);
-  const SimTime gap = r2.completion_us - r1.completion_us;
+  const SimDuration gap = r2.completion_us - r1.completion_us;
   // One full (slow) rotation, not the nominal 6000.
-  EXPECT_NEAR(static_cast<double>(gap), 6006.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(gap.us()), 6006.0, 2.0);
 }
 
 }  // namespace
@@ -204,7 +205,7 @@ TEST(SimDiskZbr, OuterZoneFasterThanInner) {
     constexpr uint32_t kReq = 1024;
     for (int i = 0; i < kOps; ++i) {
       bool done = false;
-      disk.Start(DiskOp::kRead, lba, kReq,
+      disk.Start(DiskOp::kRead, BlockAddr(lba), kReq,
                  [&](const DiskOpResult&) { done = true; });
       while (!done) {
         sim.Step();

@@ -9,25 +9,25 @@ namespace {
 
 TEST(Simulator, StartsAtZero) {
   Simulator sim;
-  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.Now(), SimTime(0));
 }
 
 TEST(Simulator, EventsFireInTimeOrder) {
   Simulator sim;
   std::vector<int> order;
-  sim.ScheduleAt(30, [&] { order.push_back(3); });
-  sim.ScheduleAt(10, [&] { order.push_back(1); });
-  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.ScheduleAt(SimTime(30), [&] { order.push_back(3); });
+  sim.ScheduleAt(SimTime(10), [&] { order.push_back(1); });
+  sim.ScheduleAt(SimTime(20), [&] { order.push_back(2); });
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(sim.Now(), 30);
+  EXPECT_EQ(sim.Now(), SimTime(30));
 }
 
 TEST(Simulator, SameTimeEventsFifo) {
   Simulator sim;
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    sim.ScheduleAt(100, [&order, i] { order.push_back(i); });
+    sim.ScheduleAt(SimTime(100), [&order, i] { order.push_back(i); });
   }
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
@@ -35,18 +35,18 @@ TEST(Simulator, SameTimeEventsFifo) {
 
 TEST(Simulator, ScheduleAfterUsesNow) {
   Simulator sim;
-  SimTime fired_at = -1;
-  sim.ScheduleAt(50, [&] {
-    sim.ScheduleAfter(25, [&] { fired_at = sim.Now(); });
+  SimTime fired_at(-1);
+  sim.ScheduleAt(SimTime(50), [&] {
+    sim.ScheduleAfter(SimDuration(25), [&] { fired_at = sim.Now(); });
   });
   sim.Run();
-  EXPECT_EQ(fired_at, 75);
+  EXPECT_EQ(fired_at, SimTime(75));
 }
 
 TEST(Simulator, CancelPreventsFiring) {
   Simulator sim;
   bool fired = false;
-  const EventId id = sim.ScheduleAt(10, [&] { fired = true; });
+  const EventId id = sim.ScheduleAt(SimTime(10), [&] { fired = true; });
   EXPECT_TRUE(sim.Cancel(id));
   sim.Run();
   EXPECT_FALSE(fired);
@@ -54,21 +54,21 @@ TEST(Simulator, CancelPreventsFiring) {
 
 TEST(Simulator, CancelTwiceIsFalse) {
   Simulator sim;
-  const EventId id = sim.ScheduleAt(10, [] {});
+  const EventId id = sim.ScheduleAt(SimTime(10), [] {});
   EXPECT_TRUE(sim.Cancel(id));
   EXPECT_FALSE(sim.Cancel(id));
 }
 
 TEST(Simulator, CancelInvalidIdIsFalse) {
   Simulator sim;
-  EXPECT_FALSE(sim.Cancel(0));
-  EXPECT_FALSE(sim.Cancel(12345));
+  EXPECT_FALSE(sim.Cancel(EventId()));
+  EXPECT_FALSE(sim.Cancel(EventId(12345)));
 }
 
 TEST(Simulator, StepReturnsFalseWhenEmpty) {
   Simulator sim;
   EXPECT_FALSE(sim.Step());
-  sim.ScheduleAt(1, [] {});
+  sim.ScheduleAt(SimTime(1), [] {});
   EXPECT_TRUE(sim.Step());
   EXPECT_FALSE(sim.Step());
 }
@@ -76,30 +76,30 @@ TEST(Simulator, StepReturnsFalseWhenEmpty) {
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
   std::vector<SimTime> fired;
-  sim.ScheduleAt(10, [&] { fired.push_back(10); });
-  sim.ScheduleAt(20, [&] { fired.push_back(20); });
-  sim.ScheduleAt(30, [&] { fired.push_back(30); });
-  sim.RunUntil(20);
-  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
-  EXPECT_EQ(sim.Now(), 20);
+  sim.ScheduleAt(SimTime(10), [&] { fired.push_back(SimTime(10)); });
+  sim.ScheduleAt(SimTime(20), [&] { fired.push_back(SimTime(20)); });
+  sim.ScheduleAt(SimTime(30), [&] { fired.push_back(SimTime(30)); });
+  sim.RunUntil(SimTime(20));
+  EXPECT_EQ(fired, (std::vector<SimTime>{SimTime(10), SimTime(20)}));
+  EXPECT_EQ(sim.Now(), SimTime(20));
   sim.Run();
   EXPECT_EQ(fired.size(), 3u);
 }
 
 TEST(Simulator, RunUntilAdvancesClockWhenQueueDrains) {
   Simulator sim;
-  sim.RunUntil(500);
-  EXPECT_EQ(sim.Now(), 500);
+  sim.RunUntil(SimTime(500));
+  EXPECT_EQ(sim.Now(), SimTime(500));
 }
 
 TEST(Simulator, RunUntilSkipsCancelledHead) {
   Simulator sim;
   bool fired = false;
-  const EventId id = sim.ScheduleAt(10, [&] { fired = true; });
-  sim.Cancel(id);
-  sim.RunUntil(100);
+  const EventId id = sim.ScheduleAt(SimTime(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunUntil(SimTime(100));
   EXPECT_FALSE(fired);
-  EXPECT_EQ(sim.Now(), 100);
+  EXPECT_EQ(sim.Now(), SimTime(100));
 }
 
 TEST(Simulator, EventsScheduledDuringRunAreExecuted) {
@@ -107,13 +107,13 @@ TEST(Simulator, EventsScheduledDuringRunAreExecuted) {
   int count = 0;
   std::function<void()> chain = [&]() {
     if (++count < 10) {
-      sim.ScheduleAfter(5, chain);
+      sim.ScheduleAfter(SimDuration(5), chain);
     }
   };
-  sim.ScheduleAt(0, chain);
+  sim.ScheduleAt(SimTime(0), chain);
   sim.Run();
   EXPECT_EQ(count, 10);
-  EXPECT_EQ(sim.Now(), 45);
+  EXPECT_EQ(sim.Now(), SimTime(45));
 }
 
 // Regression: Cancel used to accept the id of an already-fired event,
@@ -122,13 +122,13 @@ TEST(Simulator, EventsScheduledDuringRunAreExecuted) {
 // underflow and wrap to ~2^64.
 TEST(Simulator, CancelFiredEventIsNoOp) {
   Simulator sim;
-  const EventId id = sim.ScheduleAt(10, [] {});
+  const EventId id = sim.ScheduleAt(SimTime(10), [] {});
   sim.Run();
   EXPECT_FALSE(sim.Cancel(id));
   EXPECT_EQ(sim.PendingEvents(), 0u);
   // The stale cancel must not eat a later event either.
   bool fired = false;
-  sim.ScheduleAfter(5, [&] { fired = true; });
+  sim.ScheduleAfter(SimDuration(5), [&] { fired = true; });
   EXPECT_EQ(sim.PendingEvents(), 1u);
   sim.Run();
   EXPECT_TRUE(fired);
@@ -139,9 +139,9 @@ TEST(Simulator, PendingEventsExactAfterFiredIdCancels) {
   Simulator sim;
   std::vector<EventId> ids;
   for (int i = 0; i < 4; ++i) {
-    ids.push_back(sim.ScheduleAt(10 * (i + 1), [] {}));
+    ids.push_back(sim.ScheduleAt(SimTime(10 * (i + 1)), [] {}));
   }
-  sim.RunUntil(20);  // fires ids[0], ids[1]
+  sim.RunUntil(SimTime(20));  // fires ids[0], ids[1]
   EXPECT_EQ(sim.PendingEvents(), 2u);
   EXPECT_FALSE(sim.Cancel(ids[0]));
   EXPECT_FALSE(sim.Cancel(ids[1]));
@@ -156,9 +156,9 @@ TEST(Simulator, PendingEventsExactAfterFiredIdCancels) {
 // An event cancelling itself from inside its own callback has already fired.
 TEST(Simulator, CancelSelfInsideCallbackIsNoOp) {
   Simulator sim;
-  EventId id = 0;
+  EventId id;
   bool cancel_result = true;
-  id = sim.ScheduleAt(10, [&] { cancel_result = sim.Cancel(id); });
+  id = sim.ScheduleAt(SimTime(10), [&] { cancel_result = sim.Cancel(id); });
   sim.Run();
   EXPECT_FALSE(cancel_result);
   EXPECT_EQ(sim.PendingEvents(), 0u);
@@ -168,13 +168,13 @@ TEST(Simulator, RunUntilDrainsCancelledEntriesExactlyOnce) {
   Simulator sim;
   // Interleave live and cancelled events around the deadline, then make sure
   // the shared pop-next-live helper leaves the accounting exact.
-  const EventId a = sim.ScheduleAt(10, [] {});
-  const EventId b = sim.ScheduleAt(20, [] {});
-  const EventId c = sim.ScheduleAt(30, [] {});
-  sim.ScheduleAt(40, [] {});
+  const EventId a = sim.ScheduleAt(SimTime(10), [] {});
+  const EventId b = sim.ScheduleAt(SimTime(20), [] {});
+  const EventId c = sim.ScheduleAt(SimTime(30), [] {});
+  sim.ScheduleAt(SimTime(40), [] {});
   EXPECT_TRUE(sim.Cancel(a));
   EXPECT_TRUE(sim.Cancel(c));
-  sim.RunUntil(30);
+  sim.RunUntil(SimTime(30));
   EXPECT_EQ(sim.events_fired(), 1u);  // only b
   EXPECT_EQ(sim.PendingEvents(), 1u);
   EXPECT_FALSE(sim.Cancel(b));
@@ -185,10 +185,10 @@ TEST(Simulator, RunUntilDrainsCancelledEntriesExactlyOnce) {
 
 TEST(Simulator, PendingEventsAccounting) {
   Simulator sim;
-  const EventId a = sim.ScheduleAt(10, [] {});
-  sim.ScheduleAt(20, [] {});
+  const EventId a = sim.ScheduleAt(SimTime(10), [] {});
+  sim.ScheduleAt(SimTime(20), [] {});
   EXPECT_EQ(sim.PendingEvents(), 2u);
-  sim.Cancel(a);
+  EXPECT_TRUE(sim.Cancel(a));
   EXPECT_EQ(sim.PendingEvents(), 1u);
   sim.Run();
   EXPECT_EQ(sim.PendingEvents(), 0u);

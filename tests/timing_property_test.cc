@@ -80,7 +80,7 @@ TEST_P(TimingProperty, EndStateMatchesLastSector) {
 
 TEST_P(TimingProperty, SingleSectorBoundedByMaxSeekPlusRotation) {
   const double bound = profile_.MaxSeekUs(geo_.num_cylinders) +
-                       static_cast<double>(geo_.RotationUs()) +
+                       static_cast<double>(geo_.RotationUs().us()) +
                        geo_.SlotTimeUs(0) + 1.0;
   for (int i = 0; i < 400; ++i) {
     const uint64_t lba = rng_.UniformU64(layout_.num_data_sectors());
@@ -104,7 +104,7 @@ TEST_P(TimingProperty, SequentialFullTrackNeverLosesARotation) {
     const HeadState at{chs.cylinder, chs.head};
     const AccessPlan p = model_.Plan(at, rng_.UniformDouble(0, 1e8),
                                      track_start, spt, false);
-    const double rotation = static_cast<double>(geo_.RotationUs());
+    const double rotation = static_cast<double>(geo_.RotationUs().us());
     EXPECT_NEAR(p.transfer_us, rotation, 1e-6);
     EXPECT_LT(p.rotational_us, rotation);
   }

@@ -262,10 +262,10 @@ TEST(CheckDeath, DcheckActiveExactlyInDebugBuilds) {
 }
 
 TEST(TimeHelpers, Conversions) {
-  EXPECT_EQ(UsFromMs(2.5), 2500);
-  EXPECT_DOUBLE_EQ(MsFromUs(2500), 2.5);
-  EXPECT_EQ(UsFromSeconds(1.5), 1'500'000);
-  EXPECT_DOUBLE_EQ(SecondsFromUs(1'500'000), 1.5);
+  EXPECT_EQ(UsFromMs(2.5), SimDuration(2500));
+  EXPECT_DOUBLE_EQ(MsFromUs(SimDuration(2500)), 2.5);
+  EXPECT_EQ(UsFromSeconds(1.5), SimDuration(1'500'000));
+  EXPECT_DOUBLE_EQ(SecondsFromUs(SimDuration(1'500'000)), 1.5);
 }
 
 }  // namespace

@@ -47,7 +47,7 @@ TEST(Synthetic, AsyncWritesQuantizedToSyncPeriod) {
   for (const TraceRecord& r : t.records) {
     if (r.is_async) {
       ++asyncs;
-      EXPECT_EQ(r.time_us % 30'000'000, 0);
+      EXPECT_EQ(r.time_us.us() % 30'000'000, 0);
     }
   }
   EXPECT_GT(asyncs, 0);
@@ -93,15 +93,15 @@ TEST(TraceScaling, HalvesInterArrivalAtScaleTwo) {
   const Trace t = SmallTrace();
   const Trace fast = ScaleTraceRate(t, 2.0);
   ASSERT_EQ(fast.records.size(), t.records.size());
-  EXPECT_NEAR(static_cast<double>(fast.DurationUs()),
-              static_cast<double>(t.DurationUs()) / 2.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(fast.DurationUs().us()),
+              static_cast<double>(t.DurationUs().us()) / 2.0, 2.0);
 }
 
 TEST(TraceStats, ComputesDataSize) {
   Trace t;
   t.dataset_sectors = 2'000'000;  // ~1 GB
-  t.records.push_back({0, false, false, 0, 8});
-  t.records.push_back({1'000'000, true, false, 100, 8});
+  t.records.push_back({SimTime(0), false, false, 0, 8});
+  t.records.push_back({SimTime(1'000'000), true, false, 100, 8});
   const TraceStats s = ComputeTraceStats(t);
   EXPECT_NEAR(s.data_size_gb, 1.024, 0.01);
   EXPECT_EQ(s.io_count, 2u);
@@ -111,9 +111,11 @@ TEST(TraceStats, ComputesDataSize) {
 TEST(TraceStats, ReadAfterWriteDetectsRecentWrite) {
   Trace t;
   t.dataset_sectors = 10'000;
-  t.records.push_back({0, true, false, 64, 16});           // write
-  t.records.push_back({1'000'000, false, false, 64, 16});  // read soon after
-  t.records.push_back({2'000'000, false, false, 5'000, 16});  // unrelated
+  t.records.push_back({SimTime(0), true, false, 64, 16});  // write
+  t.records.push_back(
+      {SimTime(1'000'000), false, false, 64, 16});  // read soon after
+  t.records.push_back(
+      {SimTime(2'000'000), false, false, 5'000, 16});  // unrelated
   const TraceStats s = ComputeTraceStats(t);
   EXPECT_NEAR(s.read_after_write_frac, 1.0 / 3.0, 1e-9);
 }
@@ -121,7 +123,7 @@ TEST(TraceStats, ReadAfterWriteDetectsRecentWrite) {
 // A trivially fast fake backend: completes everything after 1 ms.
 SubmitFn FakeBackend(Simulator* sim) {
   return [sim](DiskOp, uint64_t, uint32_t, IoDoneFn done) {
-    sim->ScheduleAfter(1000, [sim, done = std::move(done)]() {
+    sim->ScheduleAfter(SimDuration(1000), [sim, done = std::move(done)]() {
       IoResult r;
       r.completion_us = sim->Now();
       done(r);
@@ -154,9 +156,9 @@ TEST(TracePlayer, RateScaleCompressesElapsedTime) {
   TracePlayer fast(&sim2, &t, FakeBackend(&sim2), fast_options);
   const RunResult a = slow.Run();
   const RunResult b = fast.Run();
-  EXPECT_NEAR(static_cast<double>(a.elapsed_us) / 4.0,
-              static_cast<double>(b.elapsed_us),
-              static_cast<double>(a.elapsed_us) * 0.05);
+  EXPECT_NEAR(static_cast<double>(a.elapsed_us.us()) / 4.0,
+              static_cast<double>(b.elapsed_us.us()),
+              static_cast<double>(a.elapsed_us.us()) * 0.05);
 }
 
 TEST(TracePlayer, SaturationDetected) {
@@ -165,7 +167,7 @@ TEST(TracePlayer, SaturationDetected) {
   t.records.resize(300);
   // Backend that never completes anything within the run.
   SubmitFn black_hole = [&sim](DiskOp, uint64_t, uint32_t, IoDoneFn done) {
-    sim.ScheduleAfter(100'000'000'000LL, [&sim, done = std::move(done)]() {
+    sim.ScheduleAfter(SimDuration(100'000'000'000LL), [&sim, done = std::move(done)]() {
       IoResult r;
       r.completion_us = sim.Now();
       done(r);
@@ -183,7 +185,7 @@ TEST(TracePlayer, SaturationAccountsForEveryRecord) {
   Trace t = SmallTrace();
   t.records.resize(300);
   SubmitFn black_hole = [&sim](DiskOp, uint64_t, uint32_t, IoDoneFn done) {
-    sim.ScheduleAfter(100'000'000'000LL, [&sim, done = std::move(done)]() {
+    sim.ScheduleAfter(SimDuration(100'000'000'000LL), [&sim, done = std::move(done)]() {
       IoResult r;
       r.completion_us = sim.Now();
       done(r);
@@ -230,7 +232,7 @@ TEST(ClosedLoop, FootprintFractionRestrictsRange) {
   uint64_t max_lba = 0;
   SubmitFn recorder = [&](DiskOp, uint64_t lba, uint32_t, IoDoneFn done) {
     max_lba = std::max(max_lba, lba);
-    sim.ScheduleAfter(10, [&sim, done = std::move(done)]() {
+    sim.ScheduleAfter(SimDuration(10), [&sim, done = std::move(done)]() {
       IoResult r;
       r.completion_us = sim.Now();
       done(r);

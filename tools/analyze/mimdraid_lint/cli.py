@@ -1,0 +1,80 @@
+"""Command-line driver for mimdraid_lint.
+
+Usage:
+    python3 tools/analyze/mimdraid_lint [--json] [--list-checks] PATH...
+
+Paths may be files or directories (searched recursively for .h/.cc/.cpp).
+Fixture trees (tests/lint_fixture, tests/negative_compile) are skipped when
+reached through a directory walk, but lint them directly by naming them on
+the command line. Exit status is 1 when any finding is reported, else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from checks import CHECKS, Finding, run_checks
+from lexer import lex
+
+_EXTS = {".h", ".cc", ".cpp"}
+_WALK_EXCLUDES = {"lint_fixture", "negative_compile", "build",
+                  "third_party", ".git"}
+
+
+def _collect(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+            continue
+        for root, dirs, names in os.walk(p):
+            dirs[:] = sorted(d for d in dirs if d not in _WALK_EXCLUDES)
+            for name in sorted(names):
+                if os.path.splitext(name)[1] in _EXTS:
+                    files.append(os.path.join(root, name))
+    return files
+
+
+def _relpath(p: str) -> str:
+    rel = os.path.relpath(p)
+    return rel if not rel.startswith("..") else p
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="mimdraid_lint", description=__doc__)
+    ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as a JSON array")
+    ap.add_argument("--list-checks", action="store_true",
+                    help="print check IDs and rationales, then exit")
+    args = ap.parse_args(argv)
+
+    if args.list_checks:
+        for check_id in sorted(CHECKS):
+            print(f"{check_id}: {CHECKS[check_id]}")
+        return 0
+    if not args.paths:
+        ap.error("no paths given")
+
+    findings: list[Finding] = []
+    for path in _collect(args.paths):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        findings.extend(run_checks(lex(_relpath(path), text)))
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+
+    if args.json:
+        print(json.dumps([f.__dict__ for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f"{f.path}:{f.line}: {f.check}: {f.message}")
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,226 @@
+"""Lightweight structural AST over the token stream.
+
+Two layers:
+
+  * function extraction — every `(...) ... { ... }` unit (free function,
+    method, or lambda) with its parameter tokens and body token range;
+  * statement trees — a function body parsed into nested Block/If/Loop/
+    Return/Expr statements, enough structure for the path-sensitive
+    callback-drop check (MDL001) without a real C++ front end.
+
+The parser is deliberately forgiving: anything it cannot classify becomes an
+opaque Expr statement, which the checks treat conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from lexer import LexedFile, Token
+
+
+@dataclass
+class Function:
+    name: str                 # "" for lambdas
+    params: list[Token]       # tokens between the parameter parens
+    body: list[Token]         # tokens between the body braces (exclusive)
+    line: int                 # line of the opening body brace
+    is_lambda: bool
+
+
+def _match_forward(tokens: list[Token], i: int, open_p: str,
+                   close_p: str) -> int:
+    """Index of the matching close token for the open token at `i`."""
+    depth = 0
+    j = i
+    while j < len(tokens):
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text == open_p:
+                depth += 1
+            elif t.text == close_p:
+                depth -= 1
+                if depth == 0:
+                    return j
+        j += 1
+    return len(tokens) - 1
+
+
+_BODY_QUALIFIERS = {
+    "const", "noexcept", "override", "final", "mutable", "->", "&", "&&",
+}
+# `) {` preceded by one of these is a control statement, not a function.
+_CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "do", "else"}
+
+
+def extract_functions(lf: LexedFile) -> list[Function]:
+    """All function-like units: name(args) {...} and lambdas [..](..){...}."""
+    tokens = lf.tokens
+    out: list[Function] = []
+    i = 0
+    while i < len(tokens):
+        t = tokens[i]
+        if not (t.kind == "punct" and t.text == "("):
+            i += 1
+            continue
+        close = _match_forward(tokens, i, "(", ")")
+        # Scan past trailing qualifiers / trailing-return tokens to `{`.
+        j = close + 1
+        while j < len(tokens):
+            tj = tokens[j]
+            if tj.kind == "id" and tj.text in _BODY_QUALIFIERS:
+                j += 1
+                continue
+            if tj.kind == "punct" and tj.text in _BODY_QUALIFIERS:
+                j += 1
+                continue
+            if tj.kind == "id" or (tj.kind == "punct" and tj.text == "::"):
+                # trailing return type tokens after ->
+                if j > close + 1 and tokens[j - 1].kind == "punct" \
+                        and tokens[j - 1].text in {"->", "::"}:
+                    j += 1
+                    continue
+                if j > close + 1 and tokens[j - 1].kind == "id":
+                    j += 1
+                    continue
+            break
+        if not (j < len(tokens) and tokens[j].kind == "punct"
+                and tokens[j].text == "{"):
+            i += 1
+            continue
+        # Classify the head: lambda, control statement, or named function.
+        name = ""
+        is_lambda = False
+        k = i - 1
+        if k >= 0 and tokens[k].kind == "punct" and tokens[k].text == "]":
+            is_lambda = True
+        elif k >= 0 and tokens[k].kind == "id":
+            if tokens[k].text in _CONTROL_KEYWORDS:
+                i += 1
+                continue
+            name = tokens[k].text
+        else:
+            i += 1
+            continue
+        body_close = _match_forward(tokens, j, "{", "}")
+        out.append(Function(
+            name=name,
+            params=tokens[i + 1:close],
+            body=tokens[j + 1:body_close],
+            line=tokens[j].line,
+            is_lambda=is_lambda,
+        ))
+        i = close + 1  # nested lambdas inside the body are found too
+    return out
+
+
+# --- Statement tree -------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    kind: str                       # "expr" | "return" | "if" | "loop" |
+                                    # "block" | "switch"
+    tokens: list[Token] = field(default_factory=list)  # head/expr tokens
+    line: int = 0
+    then: list["Stmt"] = field(default_factory=list)
+    els: list["Stmt"] = field(default_factory=list)
+
+
+def parse_block(tokens: list[Token]) -> list[Stmt]:
+    """Parse a brace-less token run (a function/block body) into statements."""
+    stmts: list[Stmt] = []
+    i = 0
+    n = len(tokens)
+
+    def subblock(j: int) -> tuple[list[Stmt], int]:
+        """Parse either `{...}` or a single statement starting at j."""
+        if j < n and tokens[j].kind == "punct" and tokens[j].text == "{":
+            close = _match_forward(tokens, j, "{", "}")
+            return parse_block(tokens[j + 1:close]), close + 1
+        # single statement: up to `;` (depth-0)
+        k = j
+        depth = 0
+        while k < n:
+            t = tokens[k]
+            if t.kind == "punct":
+                if t.text in "([{":
+                    depth += 1
+                elif t.text in ")]}":
+                    depth -= 1
+                elif t.text == ";" and depth == 0:
+                    break
+            k += 1
+        return parse_block(tokens[j:k + 1]), k + 1
+
+    while i < n:
+        t = tokens[i]
+        if t.kind == "punct" and t.text == "{":
+            close = _match_forward(tokens, i, "{", "}")
+            stmts.append(Stmt("block", line=t.line,
+                              then=parse_block(tokens[i + 1:close])))
+            i = close + 1
+            continue
+        if t.kind == "id" and t.text in {"if", "while", "for", "switch"}:
+            kind = "if" if t.text == "if" else \
+                   ("switch" if t.text == "switch" else "loop")
+            j = i + 1
+            if j < n and tokens[j].kind == "id" and tokens[j].text == "constexpr":
+                j += 1
+            if j < n and tokens[j].kind == "punct" and tokens[j].text == "(":
+                cond_close = _match_forward(tokens, j, "(", ")")
+                head = tokens[j + 1:cond_close]
+                body, nxt = subblock(cond_close + 1)
+                st = Stmt(kind, tokens=head, line=t.line, then=body)
+                # else / else-if chain
+                if kind == "if" and nxt < n and tokens[nxt].kind == "id" \
+                        and tokens[nxt].text == "else":
+                    els, nxt2 = subblock(nxt + 1)
+                    st.els = els
+                    nxt = nxt2
+                stmts.append(st)
+                i = nxt
+                continue
+            i = j
+            continue
+        if t.kind == "id" and t.text == "do":
+            body, nxt = subblock(i + 1)
+            # consume `while (...);`
+            while nxt < n and not (tokens[nxt].kind == "punct"
+                                   and tokens[nxt].text == ";"):
+                nxt += 1
+            stmts.append(Stmt("loop", line=t.line, then=body))
+            i = nxt + 1
+            continue
+        if t.kind == "id" and t.text == "return":
+            k = i
+            depth = 0
+            while k < n:
+                tk = tokens[k]
+                if tk.kind == "punct":
+                    if tk.text in "([{":
+                        depth += 1
+                    elif tk.text in ")]}":
+                        depth -= 1
+                    elif tk.text == ";" and depth == 0:
+                        break
+                k += 1
+            stmts.append(Stmt("return", tokens=tokens[i + 1:k], line=t.line))
+            i = k + 1
+            continue
+        # plain statement to `;`
+        k = i
+        depth = 0
+        while k < n:
+            tk = tokens[k]
+            if tk.kind == "punct":
+                if tk.text in "([{":
+                    depth += 1
+                elif tk.text in ")]}":
+                    depth -= 1
+                elif tk.text == ";" and depth == 0:
+                    break
+            k += 1
+        stmts.append(Stmt("expr", tokens=tokens[i:k], line=t.line))
+        i = k + 1
+    return stmts

@@ -1,0 +1,143 @@
+"""Tokenizer for the subset of C++ the mimdraid lint checks care about.
+
+Produces a stream of (kind, text, line) tokens with comments and string
+literals stripped out of the stream but comments preserved per-line so the
+suppression scanner (`// mdl-ok(MDLxxx): reason`) can find them. Preprocessor
+directives are dropped whole; the checks operate on the post-lex token stream
+only, never on raw source text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "id" | "num" | "str" | "char" | "punct"
+    text: str
+    line: int
+
+
+# Multi-character operators first so the scanner is longest-match.
+_PUNCTS = [
+    "<<=", ">>=", "->*", "...", "<=>",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "{", "}", "(", ")", "[", "]", "<", ">", ";", ",", ".", "+", "-", "*",
+    "/", "%", "=", "&", "|", "^", "!", "~", "?", ":", "#",
+]
+_PUNCT_RE = re.compile("|".join(re.escape(p) for p in _PUNCTS))
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+# C++14 digit separators (1'000'000), hex, suffixes (u, LL, f...).
+_NUM_RE = re.compile(
+    r"(?:0[xX][0-9a-fA-F']+|[0-9][0-9']*(?:\.[0-9']*)?(?:[eE][+-]?[0-9]+)?)"
+    r"[a-zA-Z]*"
+)
+
+
+class LexedFile:
+    """Token stream plus per-line comment text for one source file."""
+
+    def __init__(self, path: str, tokens: list[Token],
+                 comments: dict[int, list[str]]):
+        self.path = path
+        self.tokens = tokens
+        self.comments = comments  # line -> comment bodies on that line
+
+    def comment_on(self, line: int) -> str:
+        return " ".join(self.comments.get(line, []))
+
+
+def lex(path: str, text: str) -> LexedFile:
+    tokens: list[Token] = []
+    comments: dict[int, list[str]] = {}
+    i = 0
+    line = 1
+    n = len(text)
+    at_line_start = True
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        # Preprocessor directive: swallow to end of line (with continuations).
+        if c == "#" and at_line_start:
+            while i < n and text[i] != "\n":
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    i += 2
+                    line += 1
+                    continue
+                i += 1
+            continue
+        at_line_start = False
+        # Comments.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j < 0:
+                j = n
+            comments.setdefault(line, []).append(text[i + 2:j].strip())
+            i = j
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j < 0:
+                j = n
+            body = text[i + 2:j]
+            comments.setdefault(line, []).append(body.strip())
+            line += body.count("\n")
+            i = j + 2
+            continue
+        # String / char literals (raw strings handled crudely but safely).
+        if c == '"' or (c == "R" and text[i:i + 2] == 'R"'):
+            if c == "R":
+                m = re.match(r'R"([^(]*)\(', text[i:])
+                if m:
+                    delim = ")" + m.group(1) + '"'
+                    j = text.find(delim, i + m.end())
+                    if j < 0:
+                        j = n
+                    line += text.count("\n", i, j)
+                    tokens.append(Token("str", "<rawstr>", line))
+                    i = j + len(delim)
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            tokens.append(Token("str", "<str>", line))
+            i = j + 1
+            continue
+        if c == "'" and not (tokens and tokens[-1].kind == "num"):
+            j = i + 1
+            while j < n and text[j] != "'":
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            tokens.append(Token("char", "<char>", line))
+            i = j + 1
+            continue
+        m = _ID_RE.match(text, i)
+        if m:
+            tokens.append(Token("id", m.group(0), line))
+            i = m.end()
+            continue
+        m = _NUM_RE.match(text, i)
+        if m:
+            tokens.append(Token("num", m.group(0), line))
+            i = m.end()
+            continue
+        m = _PUNCT_RE.match(text, i)
+        if m:
+            tokens.append(Token("punct", m.group(0), line))
+            i = m.end()
+            continue
+        i += 1  # unknown byte: skip
+    return LexedFile(path, tokens, comments)

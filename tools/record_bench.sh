@@ -1,0 +1,61 @@
+#!/bin/sh
+# Records the bench_micro_core numbers into BENCH_core.json at the repo root.
+#
+# The file is a tracked performance baseline: re-run this script on the
+# reference machine after a change that is expected to move the hot paths
+# (layout mapping, access planning, scheduler picks) and commit the diff so
+# reviewers see the before/after. Numbers from other machines are for local
+# comparison only — don't commit them.
+#
+# Usage: tools/record_bench.sh [build-dir]   (default: build)
+set -e
+build_dir="${1:-build}"
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+bench="$repo/$build_dir/bench/bench_micro_core"
+
+if [ ! -x "$bench" ]; then
+  echo "building bench_micro_core..." >&2
+  cmake --build "$repo/$build_dir" --target bench_micro_core -j "$(nproc)"
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+"$bench" --benchmark_format=json --benchmark_out="$raw" \
+    --benchmark_out_format=json >&2
+
+python3 - "$raw" "$repo/BENCH_core.json" <<'EOF'
+import json
+import platform
+import sys
+
+with open(sys.argv[1]) as f:
+    raw = json.load(f)
+
+ctx = raw.get("context", {})
+benchmarks = []
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "BigO":
+        continue
+    benchmarks.append({
+        "name": b["name"],
+        "real_time_ns": round(b.get("real_time", 0.0), 2),
+        "cpu_time_ns": round(b.get("cpu_time", 0.0), 2),
+        "iterations": b.get("iterations", 0),
+    })
+
+out = {
+    "bench": "bench_micro_core",
+    "machine": {
+        "host_arch": platform.machine(),
+        "num_cpus": ctx.get("num_cpus"),
+        "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+        "cpu_scaling_enabled": ctx.get("cpu_scaling_enabled"),
+        "library_build_type": ctx.get("library_build_type"),
+    },
+    "benchmarks": benchmarks,
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"wrote {sys.argv[2]} ({len(benchmarks)} entries)")
+EOF
