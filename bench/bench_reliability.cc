@@ -1,0 +1,208 @@
+// Reliability frontier: MTTDL and expected data-loss rates next to the
+// capacity the paper's schemes spend and the performance they buy.
+//
+// The paper trades capacity for performance; this bench adds the third axis.
+// For each redundancy scheme the fleet-lifetime simulator (src/rel) runs a
+// Monte Carlo over multi-year trials — whole-disk failures from the
+// configured hazard, latent sector errors accumulating between scrubs,
+// rebuild windows calibrated by running the real rebuild path on the real
+// engine — and reports MTTDL with a 95% confidence interval plus expected
+// data-loss events per year, both whole-array and sector-class.
+//
+// Lifetimes are accelerated (MTTF far below datasheet) so the Monte Carlo
+// resolves every scheme's loss rate in seconds; the *ordering* across
+// schemes is the result, exactly as with the paper's performance figures.
+// For single-fault-tolerant schemes the exact Markov closed form is printed
+// next to the simulated estimate — the estimator's CI brackets it.
+//
+// Determinism: every trial seeds from PointSeed(base, trial); output is
+// byte-identical for any --jobs value.
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/rel/fleet_sim.h"
+#include "src/rel/hazard.h"
+#include "src/rel/mttdl.h"
+#include "src/rel/rebuild_calib.h"
+#include "src/stats/estimate.h"
+
+using namespace mimdraid;
+using namespace mimdraid::bench;
+
+namespace {
+
+// Accelerated lifetime so losses are observable in a bounded Monte Carlo.
+constexpr double kMttfHours = 10'000.0;
+// Field-plausible latent-sector-error arrival rate per disk-hour.
+constexpr double kLseRatePerHour = 1.0e-3;
+// ST39133 capacity (9.1 GB / 512 B sectors): what the calibrated rebuild
+// rate is scaled to.
+constexpr uint64_t kDiskSectors = 17'783'240;
+constexpr double kHorizonHours = 10.0 * kHoursPerYear;  // one trial
+constexpr uint32_t kTrials = 400;
+constexpr uint64_t kBaseSeed = 20260808;
+constexpr double kScrubPeriodHours = 168.0;  // weekly
+
+struct SchemeRow {
+  const char* label;
+  uint32_t disks;
+  uint32_t fault_tolerance;
+  // Which embedded rebuild path calibrates the window (mirror copy vs.
+  // parity reconstruction).
+  ArrayBackendKind rebuild_like;
+  double capacity_frac;
+};
+
+const std::vector<SchemeRow>& Schemes() {
+  static const std::vector<SchemeRow> rows = {
+      {"mirror pair (2, m=1)", 2, 1, ArrayBackendKind::kMirror, 0.50},
+      {"RAID-5 group (6, m=1)", 6, 1, ArrayBackendKind::kRaid5, 5.0 / 6.0},
+      {"6+2 erasure (8, m=2)", 8, 2, ArrayBackendKind::kRaid5, 6.0 / 8.0},
+  };
+  return rows;
+}
+
+struct SchemeOutcome {
+  double rebuild_hours = 0.0;
+  rel::MttdlEstimate estimate;
+};
+
+SchemeOutcome RunScheme(const SchemeRow& row, rel::ScrubPolicy scrub) {
+  SchemeOutcome out;
+  const rel::RebuildCalibration calib =
+      rel::CalibrateRebuild(row.rebuild_like, kBaseSeed);
+  out.rebuild_hours = calib.HoursForCapacity(kDiskSectors);
+
+  rel::MonteCarloOptions mc;
+  mc.fleet.disks = row.disks;
+  mc.fleet.fault_tolerance = row.fault_tolerance;
+  mc.fleet.lifetime.hazard = LifetimeHazard::kExponential;
+  mc.fleet.lifetime.mttf_hours = kMttfHours;
+  mc.fleet.lifetime.lse_rate_per_hour = kLseRatePerHour;
+  mc.fleet.rebuild_model = rel::RebuildTimeModel::kFixed;
+  mc.fleet.rebuild_hours = out.rebuild_hours;
+  mc.fleet.scrub = scrub;
+  mc.fleet.scrub_period_hours = kScrubPeriodHours;
+  if (scrub == rel::ScrubPolicy::kUtilizationGated) {
+    // A busy array: foreground load denies the idle-gated scrubber the
+    // disks 60% of the time, stretching the effective period.
+    mc.fleet.utilization = 0.6;
+  }
+  mc.fleet.horizon_hours = kHorizonHours;
+  mc.trials = kTrials;
+  mc.base_seed = kBaseSeed;
+  // Trials run serially inside the point; the DeferredSweep parallelizes
+  // across points, keeping output independent of the job count.
+  mc.jobs = 1;
+  out.estimate = rel::RunFleetMonteCarlo(mc);
+  return out;
+}
+
+const char* PolicyName(rel::ScrubPolicy p) {
+  switch (p) {
+    case rel::ScrubPolicy::kOff:
+      return "off";
+    case rel::ScrubPolicy::kFixedPeriod:
+      return "fixed-period";
+    case rel::ScrubPolicy::kStaggered:
+      return "staggered";
+    case rel::ScrubPolicy::kUtilizationGated:
+      return "util-gated";
+  }
+  return "?";
+}
+
+std::string FormatYears(double hours) {
+  char buf[32];
+  if (hours == std::numeric_limits<double>::infinity()) {
+    std::snprintf(buf, sizeof(buf), "inf");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", hours / kHoursPerYear);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitBenchSweep(argc, argv);
+  PrintHeader("Reliability frontier",
+              "capacity vs. performance vs. MTTDL (accelerated lifetimes)");
+  std::printf(
+      "fleet model: exponential lifetimes MTTF=%.0f h (accelerated), LSE\n"
+      "rate %.0e /disk-h, weekly scrub, calibrated rebuild windows;\n"
+      "%u trials x %.0f simulated years each, 95%% CIs.\n\n",
+      kMttfHours, kLseRatePerHour, kTrials,
+      kHorizonHours / kHoursPerYear);
+
+  DeferredSweep<SchemeOutcome> frontier;
+  for (const SchemeRow& row : Schemes()) {
+    frontier.Defer(
+        [row] { return RunScheme(row, rel::ScrubPolicy::kFixedPeriod); });
+  }
+  const std::vector<rel::ScrubPolicy> policies = {
+      rel::ScrubPolicy::kOff, rel::ScrubPolicy::kFixedPeriod,
+      rel::ScrubPolicy::kStaggered, rel::ScrubPolicy::kUtilizationGated};
+  DeferredSweep<SchemeOutcome> scrub_sweep;
+  for (const rel::ScrubPolicy policy : policies) {
+    scrub_sweep.Defer(
+        [policy] { return RunScheme(Schemes()[1], policy); });
+  }
+  frontier.Run();
+  scrub_sweep.Run();
+
+  std::printf("%-22s %-9s %-9s %-22s %-10s %-12s %s\n", "scheme", "capacity",
+              "rebuild", "MTTDL yr [95% CI]", "closed", "array-loss",
+              "sector-loss");
+  std::printf("%-22s %-9s %-9s %-22s %-10s %-12s %s\n", "", "", "(hours)",
+              "", "form yr", "(/yr)", "(/yr)");
+  for (const SchemeRow& row : Schemes()) {
+    const SchemeOutcome o = frontier.Next();
+    const rel::MttdlEstimate& e = o.estimate;
+    char ci[64];
+    std::snprintf(ci, sizeof(ci), "%s [%s, %s]",
+                  FormatYears(e.mttdl_hours.point).c_str(),
+                  FormatYears(e.mttdl_hours.lo).c_str(),
+                  FormatYears(e.mttdl_hours.hi).c_str());
+    char closed[32];
+    if (row.fault_tolerance == 1) {
+      std::snprintf(closed, sizeof(closed), "%s",
+                    FormatYears(rel::ClosedFormMttdlSingleFault(
+                                    row.disks, kMttfHours, o.rebuild_hours))
+                        .c_str());
+    } else {
+      std::snprintf(closed, sizeof(closed), "-");
+    }
+    std::printf("%-22s %-9.2f %-9.2f %-22s %-10s %-12.4f %.4f\n", row.label,
+                row.capacity_frac, o.rebuild_hours, ci, closed,
+                e.array_loss_per_year.point, e.sector_loss_per_year.point);
+  }
+
+  std::printf("\nscrub policy (RAID-5 group, weekly period):\n");
+  std::printf("%-14s %-8s %-12s %-12s %-12s %s\n", "policy", "sweeps",
+              "LSE cleared", "array-loss", "sector-loss", "coverage");
+  for (const rel::ScrubPolicy policy : policies) {
+    const SchemeOutcome o = scrub_sweep.Next();
+    const rel::FleetTrialResult& t = o.estimate.totals;
+    std::printf("%-14s %-8llu %-12llu %-12.4f %-12.4f %.2f\n",
+                PolicyName(policy),
+                static_cast<unsigned long long>(t.scrub_sweeps),
+                static_cast<unsigned long long>(t.lse_scrub_cleared),
+                o.estimate.array_loss_per_year.point,
+                o.estimate.sector_loss_per_year.point,
+                t.last_sweep_coverage);
+  }
+
+  std::printf(
+      "\nthe third axis: replication spends capacity and earns both latency\n"
+      "(fig 7) and MTTDL — fewer disks per group and a copy-speed rebuild\n"
+      "shorten the critical window; parity groups amortize capacity across\n"
+      "more disks and pay with a wider window and a higher loss rate.\n"
+      "scrubbing does not move whole-array MTTDL but suppresses the\n"
+      "sector-loss class by clearing latent errors before a rebuild needs\n"
+      "the sectors.\n");
+  return 0;
+}

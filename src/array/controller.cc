@@ -24,6 +24,7 @@ DriveSetOptions EngineOptions(const ArrayControllerOptions& options) {
   dso.retry = options.retry;
   dso.disk_error_fail_threshold = options.disk_error_fail_threshold;
   dso.scrub_interval_us = options.scrub_interval_us;
+  dso.scrub_gating = options.scrub_gating;
   return dso;
 }
 }  // namespace
@@ -430,6 +431,7 @@ void ArrayController::OnEntryComplete(SlotId slot,
   }
   if (entry.maintenance) {
     if (auto sit = scrub_reads_.find(entry.id); sit != scrub_reads_.end()) {
+      fstats().scrub_sectors_read += sit->second.sectors;
       scrub_reads_.erase(sit);
       ++fstats().scrub_reads;
       return;
@@ -829,6 +831,9 @@ void ArrayController::HandleMaintenanceFailure(uint32_t disk,
     const ScrubTarget target = sit->second;
     scrub_reads_.erase(sit);
     ++fstats().scrub_reads;
+    // The read covered its sectors even when it surfaced a media error: the
+    // sweep's job is discovery, and discovery is what happened.
+    fstats().scrub_sectors_read += target.sectors;
     if (result.status == IoStatus::kMediaError &&
         !drives_->failed(SlotId(target.disk))) {
       // Latent sector error caught by the sweep: rewrite the replica with
@@ -987,14 +992,23 @@ void ArrayController::ScrubStep() {
   if (scrub_cursor_ >= dataset) {
     scrub_cursor_ = 0;
     ++fstats().scrub_sweeps_completed;
+    fstats().scrub_last_sweep_coverage =
+        sweep_sectors_nominal_ == 0
+            ? 0.0
+            : static_cast<double>(sweep_sectors_issued_) /
+                  static_cast<double>(sweep_sectors_nominal_);
+    sweep_sectors_issued_ = 0;
+    sweep_sectors_nominal_ = 0;
   }
   const uint32_t span = static_cast<uint32_t>(std::min<uint64_t>(
       layout_->stripe_unit_sectors(), dataset - scrub_cursor_));
   for (const ArrayFragment& f : layout_->Map(scrub_cursor_, span)) {
     for (const ReplicaLocation& loc : f.replicas) {
+      sweep_sectors_nominal_ += f.sectors;
       if (drives_->failed(SlotId(loc.disk))) {
         continue;
       }
+      sweep_sectors_issued_ += f.sectors;
       QueuedRequest e;
       e.id = drives_->AllocEntryId();
       e.op = DiskOp::kRead;

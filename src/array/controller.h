@@ -85,6 +85,11 @@ struct ArrayControllerOptions {
   // copy. Idle-gating is the rate limit: scrubbing never competes with
   // foreground work.
   SimDuration scrub_interval_us;
+  // Whether scrub ticks defer to foreground activity (historical default) or
+  // fire on every period regardless of engine load (fixed-period policy for
+  // reliability studies). The policy-level gate (no logical ops, no rebuild)
+  // applies under both modes.
+  ScrubGating scrub_gating = ScrubGating::kIdleGated;
 };
 
 struct ArrayStats {
@@ -197,6 +202,8 @@ class ArrayController : public ArrayBackend, private DriveSetClient {
   // Cancels the periodic scrub timer (in-flight scrub reads drain normally).
   // Call before draining to quiescence; the destructor also cancels it.
   void StopScrub() override { drives_->StopScrub(); }
+  // Re-arms the timer; the next step resumes from scrub_cursor_ as it stood.
+  void StartScrub() override { drives_->StartScrub(); }
   uint64_t scrub_sweeps_completed() const {
     return drives_->fstats().scrub_sweeps_completed;
   }
@@ -358,6 +365,11 @@ class ArrayController : public ArrayBackend, private DriveSetClient {
 
   // --- Background scrubbing state ---
   uint64_t scrub_cursor_ = 0;  // next logical LBA to sweep
+  // Per-sweep coverage tallies: sectors of scrub reads issued this sweep vs.
+  // what a fully-live array would have issued over the same logical span.
+  // Their ratio lands in fstats().scrub_last_sweep_coverage at sweep wrap.
+  uint64_t sweep_sectors_issued_ = 0;
+  uint64_t sweep_sectors_nominal_ = 0;
   // In-flight scrub reads: entry id -> target replica.
   struct ScrubTarget {
     uint32_t disk = 0;

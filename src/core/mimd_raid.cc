@@ -153,6 +153,7 @@ ArrayControllerOptions MimdRaid::ControllerOptions() const {
   copts.retry = options_.retry;
   copts.disk_error_fail_threshold = options_.disk_error_fail_threshold;
   copts.scrub_interval_us = options_.scrub_interval_us;
+  copts.scrub_gating = options_.scrub_gating;
   copts.collector = options_.collector;
   copts.auditor = options_.auditor;
   return copts;
@@ -168,6 +169,7 @@ Raid5ControllerOptions MimdRaid::Raid5Options() const {
   ropts.retry = options_.retry;
   ropts.disk_error_fail_threshold = options_.disk_error_fail_threshold;
   ropts.scrub_interval_us = options_.scrub_interval_us;
+  ropts.scrub_gating = options_.scrub_gating;
   return ropts;
 }
 

@@ -76,6 +76,9 @@ struct MimdRaidOptions {
   uint32_t disk_error_fail_threshold = 0;
   // Idle-time background scrub period (0 disables scrubbing).
   SimDuration scrub_interval_us;
+  // kIdleGated (default) defers scrub ticks to foreground activity;
+  // kAlways fires a scrub step every period regardless of engine load.
+  ScrubGating scrub_gating = ScrubGating::kIdleGated;
   // Extra drives kept spinning; promoted automatically when a disk
   // fail-stops, followed by an automatic rebuild.
   uint32_t hot_spares = 0;

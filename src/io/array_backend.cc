@@ -34,6 +34,10 @@ void ExportFaultStats(const FaultRecoveryStats& stats,
                 static_cast<double>(stats.scrub_repairs));
   registry->Set("fault.scrub_sweeps_completed",
                 static_cast<double>(stats.scrub_sweeps_completed));
+  registry->Set("fault.scrub_sectors_read",
+                static_cast<double>(stats.scrub_sectors_read));
+  registry->Set("fault.scrub_last_sweep_coverage",
+                stats.scrub_last_sweep_coverage);
 }
 
 }  // namespace mimdraid

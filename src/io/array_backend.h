@@ -62,6 +62,11 @@ class ArrayBackend {
   // Cancels the periodic scrub timer (in-flight scrub work drains normally).
   // Call before draining to quiescence.
   virtual void StopScrub() = 0;
+  // Re-arms the periodic scrub timer after a StopScrub (a no-op when already
+  // armed or when the backend was configured without scrubbing). Sweep state
+  // survives the stop/start pair: the next step resumes from the cursor the
+  // last one left.
+  virtual void StartScrub() = 0;
   // Runs the auditor's terminal consistency check; a no-op when no auditor
   // is attached. Call once Idle() reports true.
   virtual void AuditQuiescent() const = 0;

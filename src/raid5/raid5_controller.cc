@@ -25,6 +25,7 @@ DriveSetOptions EngineOptions(const Raid5ControllerOptions& options) {
   engine.retry = options.retry;
   engine.disk_error_fail_threshold = options.disk_error_fail_threshold;
   engine.scrub_interval_us = options.scrub_interval_us;
+  engine.scrub_gating = options.scrub_gating;
   return engine;
 }
 
@@ -146,18 +147,28 @@ void Raid5Controller::ScrubStep() {
   if (scrub_cursor_ >= rows) {
     scrub_cursor_ = 0;
     ++fstats().scrub_sweeps_completed;
+    fstats().scrub_last_sweep_coverage =
+        sweep_sectors_nominal_ == 0
+            ? 0.0
+            : static_cast<double>(sweep_sectors_issued_) /
+                  static_cast<double>(sweep_sectors_nominal_);
+    sweep_sectors_issued_ = 0;
+    sweep_sectors_nominal_ = 0;
   }
   const uint32_t row = scrub_cursor_++;
   const uint32_t unit = layout_->stripe_unit_sectors();
   const uint64_t lba = static_cast<uint64_t>(row) * unit;
   for (uint32_t d = 0; d < layout_->num_disks(); ++d) {
+    sweep_sectors_nominal_ += unit;
     if (!DiskUsable(d, row)) {
       continue;
     }
+    sweep_sectors_issued_ += unit;
     EnqueueDiskOp(
         d, DiskOp::kRead, lba, unit,
         [this, d, lba, unit](const DiskOpResult& r, uint64_t id) {
           ++fstats().scrub_reads;
+          fstats().scrub_sectors_read += unit;
           if (r.ok()) {
             return;
           }

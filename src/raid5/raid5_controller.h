@@ -72,6 +72,11 @@ struct Raid5ControllerOptions {
   // reconstructible from the row peers read in the same pass). Idle-gating is
   // the rate limit: scrubbing never competes with foreground work.
   SimDuration scrub_interval_us;
+  // Whether scrub ticks defer to foreground activity (historical default) or
+  // fire on every period regardless of engine load (fixed-period policy for
+  // reliability studies). The policy-level gate (no logical ops, no rebuild)
+  // applies under both modes.
+  ScrubGating scrub_gating = ScrubGating::kIdleGated;
 };
 
 struct Raid5Stats {
@@ -147,6 +152,8 @@ class Raid5Controller : public ArrayBackend, private DriveSetClient {
 
   // Cancels the periodic scrub timer (in-flight scrub reads drain normally).
   void StopScrub() override { drives_->StopScrub(); }
+  // Re-arms the timer; the next step resumes from scrub_cursor_ as it stood.
+  void StartScrub() override { drives_->StartScrub(); }
   uint64_t scrub_sweeps_completed() const {
     return drives_->fstats().scrub_sweeps_completed;
   }
@@ -261,6 +268,10 @@ class Raid5Controller : public ArrayBackend, private DriveSetClient {
   uint64_t rebuild_rows_lost_ = 0;  // rows lost during the current rebuild
 
   uint32_t scrub_cursor_ = 0;  // next parity row to sweep
+  // Per-sweep coverage tallies (sectors issued vs. fully-live nominal); the
+  // ratio lands in fstats().scrub_last_sweep_coverage at sweep wrap.
+  uint64_t sweep_sectors_issued_ = 0;
+  uint64_t sweep_sectors_nominal_ = 0;
 
   Raid5Stats stats_;
 };

@@ -1,0 +1,240 @@
+#include "src/rel/fleet_sim.h"
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+namespace rel {
+
+namespace {
+
+FaultInjectorOptions InjectorOptions(const FleetOptions& options) {
+  FaultInjectorOptions fo;
+  fo.seed = options.seed;
+  fo.lifetime = options.lifetime;
+  return fo;
+}
+
+}  // namespace
+
+FleetSim::FleetSim(const FleetOptions& options)
+    : options_(options),
+      injector_(InjectorOptions(options)),
+      // Rebuild durations draw from their own stream so the per-slot hazard
+      // streams stay aligned with a FaultInjector run outside the fleet sim.
+      rebuild_rng_(options.seed ^ 0xD1B54A32D192ED03ull),
+      slots_(options.disks) {
+  MIMDRAID_CHECK_GE(options_.disks, 2u);
+  MIMDRAID_CHECK_GE(options_.fault_tolerance, 1u);
+  MIMDRAID_CHECK_LT(options_.fault_tolerance, options_.disks);
+  MIMDRAID_CHECK(options_.lifetime.hazard != LifetimeHazard::kNone);
+  MIMDRAID_CHECK_GT(options_.rebuild_hours, 0.0);
+  MIMDRAID_CHECK_GT(options_.horizon_hours, 0.0);
+  if (options_.scrub != ScrubPolicy::kOff) {
+    MIMDRAID_CHECK_GT(options_.scrub_period_hours, 0.0);
+  }
+  MIMDRAID_CHECK_GE(options_.utilization, 0.0);
+  MIMDRAID_CHECK_LT(options_.utilization, 1.0);
+}
+
+void FleetSim::Schedule(double at_hours, EventKind kind, uint32_t slot,
+                        uint64_t generation) {
+  queue_.push(Event{at_hours, kind, slot, generation, next_seq_++});
+}
+
+void FleetSim::ArmSlot(uint32_t slot, double now_hours) {
+  const uint64_t gen = slots_[slot].generation;
+  Schedule(now_hours + injector_.DrawLifetimeHours(slot),
+           EventKind::kDiskFailure, slot, gen);
+  if (options_.lifetime.lse_rate_per_hour > 0.0) {
+    Schedule(now_hours + injector_.DrawLseGapHours(slot),
+             EventKind::kLseArrival, slot, gen);
+  }
+}
+
+double FleetSim::EffectiveScrubPeriod() const {
+  if (options_.scrub == ScrubPolicy::kUtilizationGated) {
+    // Foreground load keeps the idle-gated scrubber off the disks a
+    // `utilization` fraction of the time; the sweep takes proportionally
+    // longer to come around.
+    return options_.scrub_period_hours / (1.0 - options_.utilization);
+  }
+  return options_.scrub_period_hours;
+}
+
+void FleetSim::ScheduleNextSweep(double now_hours, uint32_t slot) {
+  // Sweeps are array infrastructure, not disk state: they survive disk
+  // replacement, so they carry no meaningful generation.
+  Schedule(now_hours + EffectiveScrubPeriod(), EventKind::kScrubSweep, slot,
+           /*generation=*/0);
+}
+
+double FleetSim::DrawRebuildHours() {
+  if (options_.rebuild_model == RebuildTimeModel::kExponential) {
+    return rebuild_rng_.Exponential(options_.rebuild_hours);
+  }
+  return options_.rebuild_hours;
+}
+
+void FleetSim::SweepSlot(uint32_t slot) {
+  result_.lse_scrub_cleared += slots_[slot].outstanding_lses;
+  slots_[slot].outstanding_lses = 0;
+}
+
+void FleetSim::RenewArray(double now_hours) {
+  for (uint32_t i = 0; i < options_.disks; ++i) {
+    // The generation bump invalidates every pending disk-bound event of the
+    // old array, including in-flight rebuild completions.
+    ++slots_[i].generation;
+    slots_[i].failed = false;
+    slots_[i].outstanding_lses = 0;
+    injector_.ReplaceDisk(i);
+  }
+  failed_count_ = 0;
+  for (uint32_t i = 0; i < options_.disks; ++i) {
+    ArmSlot(i, now_hours);
+  }
+}
+
+void FleetSim::OnDiskFailure(const Event& e) {
+  Slot& slot = slots_[e.slot];
+  if (e.generation != slot.generation || slot.failed) {
+    return;
+  }
+  slot.failed = true;
+  // The dead disk's latent errors die with it (its data is now wholly
+  // missing, which the redundancy accounting below covers instead).
+  slot.outstanding_lses = 0;
+  ++failed_count_;
+  ++result_.disk_failures;
+  if (failed_count_ > options_.fault_tolerance) {
+    ++result_.data_loss_events;
+    RenewArray(e.at_hours);
+    return;
+  }
+  if (failed_count_ == options_.fault_tolerance) {
+    // Critical window: reconstruction must read every survivor end to end,
+    // so each survivor carrying unscrubbed LSEs has sectors it cannot
+    // deliver — one sector-loss event per afflicted disk. The rebuild's
+    // rewrite remaps those sectors, clearing the latent errors.
+    for (uint32_t i = 0; i < options_.disks; ++i) {
+      if (!slots_[i].failed && slots_[i].outstanding_lses > 0) {
+        ++result_.sector_loss_events;
+        slots_[i].outstanding_lses = 0;
+      }
+    }
+  }
+  // Replacement + rebuild begins immediately (the fleet model assumes the
+  // spare pool is replenished; finite-spare dynamics are an engine-level
+  // concern, tested against DriveSet directly).
+  Schedule(e.at_hours + DrawRebuildHours(), EventKind::kRebuildDone, e.slot,
+           slot.generation);
+}
+
+void FleetSim::OnRebuildDone(const Event& e) {
+  Slot& slot = slots_[e.slot];
+  if (e.generation != slot.generation || !slot.failed) {
+    return;
+  }
+  slot.failed = false;
+  MIMDRAID_CHECK_GT(failed_count_, 0u);
+  --failed_count_;
+  ++result_.rebuilds_completed;
+  // A fresh disk occupies the slot now: new generation, clean injector
+  // state (the slot's RNG stream position is preserved by contract).
+  ++slot.generation;
+  injector_.ReplaceDisk(e.slot);
+  ArmSlot(e.slot, e.at_hours);
+}
+
+void FleetSim::OnLseArrival(const Event& e) {
+  Slot& slot = slots_[e.slot];
+  if (e.generation != slot.generation || slot.failed) {
+    return;
+  }
+  ++result_.lse_arrivals;
+  if (failed_count_ == options_.fault_tolerance) {
+    // The array is already critical: this sector is needed by the rebuild
+    // and has no surviving redundancy — immediate sector loss.
+    ++result_.sector_loss_events;
+  } else {
+    ++slot.outstanding_lses;
+  }
+  Schedule(e.at_hours + injector_.DrawLseGapHours(e.slot),
+           EventKind::kLseArrival, e.slot, slot.generation);
+}
+
+void FleetSim::OnScrubSweep(const Event& e) {
+  ++result_.scrub_sweeps;
+  if (e.slot == kNoSlot) {
+    // Fleet-wide sweep: every live disk is covered; down slots are the
+    // coverage shortfall, exactly as the engine scrubber reports it.
+    uint32_t live = 0;
+    for (uint32_t i = 0; i < options_.disks; ++i) {
+      if (!slots_[i].failed) {
+        ++live;
+        SweepSlot(i);
+      }
+    }
+    result_.last_sweep_coverage =
+        static_cast<double>(live) / static_cast<double>(options_.disks);
+  } else {
+    if (!slots_[e.slot].failed) {
+      SweepSlot(e.slot);
+      result_.last_sweep_coverage = 1.0;
+    } else {
+      result_.last_sweep_coverage = 0.0;
+    }
+  }
+  ScheduleNextSweep(e.at_hours, e.slot);
+}
+
+FleetTrialResult FleetSim::Run() {
+  MIMDRAID_CHECK(!ran_);
+  ran_ = true;
+  for (uint32_t i = 0; i < options_.disks; ++i) {
+    ArmSlot(i, 0.0);
+  }
+  switch (options_.scrub) {
+    case ScrubPolicy::kOff:
+      break;
+    case ScrubPolicy::kFixedPeriod:
+    case ScrubPolicy::kUtilizationGated:
+      ScheduleNextSweep(0.0, kNoSlot);
+      break;
+    case ScrubPolicy::kStaggered: {
+      // Phase-offset the per-disk sweeps across one period so the fleet's
+      // scrub load is flat instead of bursty.
+      const double period = EffectiveScrubPeriod();
+      for (uint32_t i = 0; i < options_.disks; ++i) {
+        const double phase = period * static_cast<double>(i + 1) /
+                             static_cast<double>(options_.disks);
+        Schedule(phase, EventKind::kScrubSweep, i, /*generation=*/0);
+      }
+      break;
+    }
+  }
+  while (!queue_.empty() && queue_.top().at_hours <= options_.horizon_hours) {
+    const Event e = queue_.top();
+    queue_.pop();
+    ++result_.events_processed;
+    switch (e.kind) {
+      case EventKind::kDiskFailure:
+        OnDiskFailure(e);
+        break;
+      case EventKind::kRebuildDone:
+        OnRebuildDone(e);
+        break;
+      case EventKind::kLseArrival:
+        OnLseArrival(e);
+        break;
+      case EventKind::kScrubSweep:
+        OnScrubSweep(e);
+        break;
+    }
+  }
+  result_.observed_hours = options_.horizon_hours;
+  return result_;
+}
+
+}  // namespace rel
+}  // namespace mimdraid

@@ -1,0 +1,29 @@
+#include "src/rel/hazard.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+namespace rel {
+
+double WeibullMeanHours(double shape, double scale_hours) {
+  MIMDRAID_CHECK_GT(shape, 0.0);
+  MIMDRAID_CHECK_GT(scale_hours, 0.0);
+  return scale_hours * std::tgamma(1.0 + 1.0 / shape);
+}
+
+double ClosedFormMttdlSingleFault(uint32_t n, double mttf_hours,
+                                  double mttr_hours) {
+  MIMDRAID_CHECK_GE(n, 2u);
+  MIMDRAID_CHECK_GT(mttf_hours, 0.0);
+  MIMDRAID_CHECK_GT(mttr_hours, 0.0);
+  const double lambda = 1.0 / mttf_hours;
+  const double mu = 1.0 / mttr_hours;
+  const double nd = static_cast<double>(n);
+  return ((2.0 * nd - 1.0) * lambda + mu) /
+         (nd * (nd - 1.0) * lambda * lambda);
+}
+
+}  // namespace rel
+}  // namespace mimdraid

@@ -1,0 +1,41 @@
+// Closed-form reliability math for the fleet simulator's analytic
+// cross-checks.
+//
+// The fleet simulator (fleet_sim.h) is a general event-driven model; these
+// helpers provide the special cases with known answers so the simulator can
+// be validated against theory:
+//
+//   * the mean of the Weibull lifetime distribution the hazard draws sample
+//     (pins the inverse-CDF transform in FaultInjector::DrawLifetimeHours);
+//   * the Markov-chain MTTDL of a single-fault-tolerant array with
+//     exponential lifetimes (rate lambda = 1/MTTF) and exponential repair
+//     (rate mu = 1/MTTR). For an n-disk group tolerating one failure,
+//
+//         MTTDL = ((2n - 1) lambda + mu) / (n (n - 1) lambda^2)
+//
+//     which for the mirrored pair (n = 2) is the textbook
+//     (3 lambda + mu) / (2 lambda^2). The fleet simulator run in
+//     exponential-lifetime + exponential-rebuild mode realizes exactly this
+//     chain, so its Monte Carlo estimate must bracket this value (pinned by
+//     FleetSim.ExponentialModeMatchesClosedFormMttdl).
+#ifndef MIMDRAID_SRC_REL_HAZARD_H_
+#define MIMDRAID_SRC_REL_HAZARD_H_
+
+#include <cstdint>
+
+namespace mimdraid {
+namespace rel {
+
+// Mean of a Weibull(shape, scale) lifetime: scale * Gamma(1 + 1/shape).
+double WeibullMeanHours(double shape, double scale_hours);
+
+// Exact Markov-chain MTTDL of an n-disk single-fault-tolerant group
+// (mirrored pair, RAID-5 group) with exponential lifetimes of mean
+// mttf_hours and exponential repair of mean mttr_hours. n >= 2.
+double ClosedFormMttdlSingleFault(uint32_t n, double mttf_hours,
+                                  double mttr_hours);
+
+}  // namespace rel
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_REL_HAZARD_H_

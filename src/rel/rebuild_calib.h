@@ -1,0 +1,47 @@
+// Rebuild-window calibration: ties the fleet simulator's abstract
+// rebuild_hours to what the real array actually does.
+//
+// The length of the critical window is the single most important input to
+// any MTTDL estimate (the closed form is ~ MTTR / (n(n-1) lambda^2 MTTF^-2):
+// halve the rebuild and you double the MTTDL). Rather than invent a number,
+// this helper runs a short *embedded* simulation through the real stack —
+// a small MimdRaid with the requested backend, a failed disk, and the actual
+// row-by-row rebuild path over the DriveSet engine — measures the simulated
+// microseconds the rebuild took and the sectors it reconstructed, and
+// extrapolates linearly to any capacity:
+//
+//     hours(C) = measured_duration * (C / measured_sectors) / 3.6e9 us/hour
+//
+// Linear extrapolation is exact for the mechanism being modeled: rebuild is
+// a sequential sweep whose cost is proportional to the data moved (the
+// per-row constant is what the embedded run measures, including real seek,
+// rotation, and scheduling effects). The embedded run is deterministic per
+// seed, so calibrated fleet results stay bit-reproducible.
+#ifndef MIMDRAID_SRC_REL_REBUILD_CALIB_H_
+#define MIMDRAID_SRC_REL_REBUILD_CALIB_H_
+
+#include <cstdint>
+
+#include "src/io/array_backend.h"
+
+namespace mimdraid {
+namespace rel {
+
+struct RebuildCalibration {
+  // What the embedded run observed: one whole-disk rebuild, idle array.
+  double measured_duration_us = 0.0;
+  uint64_t measured_sectors = 0;
+
+  // Rebuild hours for a disk holding `capacity_sectors` of affected data,
+  // scaled linearly from the measured run.
+  double HoursForCapacity(uint64_t capacity_sectors) const;
+};
+
+// Runs the embedded fail + rebuild against a small array of the given
+// backend kind and measures the result. Deterministic per (kind, seed).
+RebuildCalibration CalibrateRebuild(ArrayBackendKind kind, uint64_t seed);
+
+}  // namespace rel
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_REL_REBUILD_CALIB_H_

@@ -1,5 +1,7 @@
 #include "src/sim/fault_injector.h"
 
+#include <cmath>
+
 #include "src/util/check.h"
 
 namespace mimdraid {
@@ -7,6 +9,13 @@ namespace mimdraid {
 FaultInjector::FaultInjector(const FaultInjectorOptions& options)
     : options_(options) {
   MIMDRAID_CHECK_GE(options.latent_error_prob, 0.0);
+  if (options.lifetime.hazard == LifetimeHazard::kExponential) {
+    MIMDRAID_CHECK_GT(options.lifetime.mttf_hours, 0.0);
+  } else if (options.lifetime.hazard == LifetimeHazard::kWeibull) {
+    MIMDRAID_CHECK_GT(options.lifetime.weibull_shape, 0.0);
+    MIMDRAID_CHECK_GT(options.lifetime.weibull_scale_hours, 0.0);
+  }
+  MIMDRAID_CHECK_GE(options.lifetime.lse_rate_per_hour, 0.0);
   MIMDRAID_CHECK_GE(options.transient_error_prob, 0.0);
   MIMDRAID_CHECK_GE(options.timeout_prob, 0.0);
   MIMDRAID_CHECK_GT(options.watchdog_timeout_us, SimDuration(0));
@@ -79,6 +88,28 @@ size_t FaultInjector::TotalLatentErrors() const {
     total += s.latent_lbas.size();
   }
   return total;
+}
+
+double FaultInjector::DrawLifetimeHours(uint32_t disk) {
+  const DiskLifetimeOptions& lt = options_.lifetime;
+  MIMDRAID_CHECK(lt.hazard != LifetimeHazard::kNone);
+  DiskFaultState& s = StateFor(disk);
+  ++counters_.lifetime_draws;
+  if (lt.hazard == LifetimeHazard::kExponential) {
+    return s.rng.Exponential(lt.mttf_hours);
+  }
+  // Weibull inverse CDF: T = c * (-ln(1 - U))^(1/s). -log1p(-u) keeps
+  // precision for small u, and u < 1 guarantees a finite draw.
+  const double u = s.rng.UniformDouble();
+  return lt.weibull_scale_hours *
+         std::pow(-std::log1p(-u), 1.0 / lt.weibull_shape);
+}
+
+double FaultInjector::DrawLseGapHours(uint32_t disk) {
+  MIMDRAID_CHECK_GT(options_.lifetime.lse_rate_per_hour, 0.0);
+  DiskFaultState& s = StateFor(disk);
+  ++counters_.lse_gap_draws;
+  return s.rng.Exponential(1.0 / options_.lifetime.lse_rate_per_hour);
 }
 
 FaultOutcome FaultInjector::OnAccess(uint32_t disk, bool is_write,

@@ -12,10 +12,23 @@
 //   * fail-slow drives — a configurable service-time multiplier;
 //   * fail-stop — dead electronics reject every command immediately.
 //
+// Beyond the per-access fault classes, the injector is also the randomness
+// source for *lifetime-scale* reliability modeling (src/rel): whole-disk
+// time-to-failure draws from a configurable hazard (constant-rate exponential
+// or Weibull, whose shape parameter covers both infant-mortality and wear-out
+// ends of the bathtub curve) and latent-sector-error interarrival draws from a
+// Poisson process. Keeping those draws here — on the same per-slot streams the
+// access-time faults use — makes a fleet-lifetime run reproducible per
+// (seed, slot) with the exact machinery the chaos suite already trusts.
+//
 // Determinism: each disk slot gets its own RNG stream forked from the seed,
 // so a run is bit-for-bit reproducible for a given (seed, workload) pair
 // regardless of how faults interleave across disks. Replacing a drive
-// (hot-spare promotion) resets the slot's fault state but not its stream.
+// (hot-spare promotion) resets the slot's fault state but not its stream:
+// ReplaceDisk MUST NOT advance, rewind, or reseed the slot's RNG, so runs
+// stay bit-reproducible across spare promotions (post-replacement draws are
+// identical to what the slot would have drawn without the promotion; pinned
+// by FaultInjector.ReplaceDiskPreservesSlotStreamPosition).
 #ifndef MIMDRAID_SRC_SIM_FAULT_INJECTOR_H_
 #define MIMDRAID_SRC_SIM_FAULT_INJECTOR_H_
 
@@ -31,8 +44,37 @@
 
 namespace mimdraid {
 
+// Whole-disk lifetime hazard. kExponential is the constant-rate memoryless
+// model every closed-form MTTDL expression assumes (the analytic cross-check
+// mode); kWeibull generalizes it: shape < 1 gives a decreasing hazard (infant
+// mortality), shape = 1 degenerates to exponential, shape > 1 an increasing
+// hazard (wear-out) — the two non-flat regimes of the bathtub curve.
+enum class LifetimeHazard {
+  kNone,         // lifetime draws disabled (DrawLifetimeHours CHECKs)
+  kExponential,  // rate 1/mttf_hours
+  kWeibull,      // scale weibull_scale_hours, shape weibull_shape
+};
+
+// Lifetime-scale reliability knobs (consumed by src/rel's fleet simulator;
+// inert for the per-access fault path).
+struct DiskLifetimeOptions {
+  LifetimeHazard hazard = LifetimeHazard::kNone;
+  // Mean time to failure for the exponential hazard.
+  double mttf_hours = 1.0e6;
+  // Weibull parameters. With shape s and scale c the mean lifetime is
+  // c * tgamma(1 + 1/s) (see rel::WeibullMeanHours).
+  double weibull_shape = 1.0;
+  double weibull_scale_hours = 1.0e6;
+  // Poisson arrival rate of latent sector errors per disk-hour (0 disables;
+  // DrawLseGapHours CHECKs). Field studies put this around 1e-4..1e-3 per
+  // hour for nearline drives.
+  double lse_rate_per_hour = 0.0;
+};
+
 struct FaultInjectorOptions {
   uint64_t seed = 1;
+  // Lifetime/hazard model for whole-disk failures and LSE accumulation.
+  DiskLifetimeOptions lifetime;
   // Per-access probability of planting a *new* persistent latent error at the
   // access's first LBA (reads only; the read that discovers it fails).
   double latent_error_prob = 0.0;
@@ -59,6 +101,8 @@ struct FaultInjectorCounters {
   uint64_t failstop_rejections = 0;
   uint64_t slow_accesses = 0;       // accesses stretched by a fail-slow drive
   uint64_t write_repairs = 0;       // latent errors cleared by a rewrite
+  uint64_t lifetime_draws = 0;      // whole-disk time-to-failure samples
+  uint64_t lse_gap_draws = 0;       // LSE interarrival samples
 };
 
 // Verdict for one media access.
@@ -87,7 +131,19 @@ class FaultInjector {
 
   // Replacement drive in the slot (hot-spare promotion): clears fail-stop,
   // fail-slow, pending transients, and the latent-error map for the slot.
+  // Contract: the slot's RNG stream position is preserved exactly — a draw
+  // made after ReplaceDisk returns the same value the slot would have drawn
+  // without it, so runs stay bit-reproducible across spare promotions
+  // (FaultInjector.ReplaceDiskPreservesSlotStreamPosition).
   void ReplaceDisk(uint32_t disk);
+
+  // --- Lifetime-scale draws (fleet reliability simulation, src/rel). ---
+  // Samples a whole-disk time-to-failure from the configured hazard, using
+  // `disk`'s private stream. CHECKs unless options.lifetime.hazard != kNone.
+  double DrawLifetimeHours(uint32_t disk);
+  // Samples the gap to the next latent-sector-error arrival (exponential with
+  // mean 1/lse_rate_per_hour). CHECKs unless lse_rate_per_hour > 0.
+  double DrawLseGapHours(uint32_t disk);
 
   // --- Queries. ---
   bool IsFailStopped(uint32_t disk) const;

@@ -1,0 +1,88 @@
+#include "src/stats/estimate.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+double NormalQuantile(double p) {
+  MIMDRAID_CHECK_GT(p, 0.0);
+  MIMDRAID_CHECK_LT(p, 1.0);
+  // Acklam's piecewise rational approximation to the probit function.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  static constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double ChiSquareQuantile(double p, double dof) {
+  MIMDRAID_CHECK_GT(dof, 0.0);
+  const double z = NormalQuantile(p);
+  // Wilson–Hilferty: (X/k)^(1/3) is approximately normal with mean
+  // 1 - 2/(9k) and variance 2/(9k).
+  const double h = 2.0 / (9.0 * dof);
+  const double t = 1.0 - h + z * std::sqrt(h);
+  return dof * t * t * t;
+}
+
+IntervalEstimate ExponentialMeanEstimate(double total_hours, uint64_t events,
+                                         double confidence) {
+  MIMDRAID_CHECK_GT(total_hours, 0.0);
+  MIMDRAID_CHECK_GT(confidence, 0.0);
+  MIMDRAID_CHECK_LT(confidence, 1.0);
+  const double alpha = 1.0 - confidence;
+  IntervalEstimate e;
+  const double events_d = static_cast<double>(events);
+  e.lo = 2.0 * total_hours /
+         ChiSquareQuantile(1.0 - alpha / 2.0, 2.0 * events_d + 2.0);
+  if (events == 0) {
+    e.point = std::numeric_limits<double>::infinity();
+    e.hi = std::numeric_limits<double>::infinity();
+    return e;
+  }
+  e.point = total_hours / events_d;
+  e.hi = 2.0 * total_hours / ChiSquareQuantile(alpha / 2.0, 2.0 * events_d);
+  return e;
+}
+
+IntervalEstimate EventsPerYearEstimate(double total_hours, uint64_t events,
+                                       double confidence) {
+  const IntervalEstimate mean =
+      ExponentialMeanEstimate(total_hours, events, confidence);
+  IntervalEstimate rate;
+  // The rate interval is the reciprocal of the mean-time interval (bounds
+  // swap); 1/inf reads as a clean zero.
+  rate.point = kHoursPerYear / mean.point;
+  rate.lo = kHoursPerYear / mean.hi;
+  rate.hi = kHoursPerYear / mean.lo;
+  return rate;
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,64 @@
+// Interval estimation for reliability experiments.
+//
+// The fleet Monte Carlo harness (src/rel) observes a total exposure time T
+// (hours of simulated array operation, summed over trials) and a count L of
+// data-loss events inside it. Under the renewal model the fleet simulator
+// implements — the array restarts from a fresh state after every loss — the
+// cycles are i.i.d. and the maximum-likelihood estimate of the mean time to
+// data loss is simply T / L. That estimator is also censoring-aware: trials
+// that reach the horizon without a loss still contribute their full observed
+// hours to T, shrinking the estimate's bias toward optimism that a
+// "completed cycles only" average would have.
+//
+// Confidence intervals come from the classic chi-square pivot for the
+// exponential mean: with L events in exposure T, a (1-a) CI for the mean is
+//
+//     [ 2T / chi2_{1-a/2, 2L+2} ,  2T / chi2_{a/2, 2L} ]
+//
+// (the +2 degrees of freedom on the lower bound make the interval valid for
+// the censored / "events counted in fixed exposure" regime, and give a
+// finite lower bound even at L = 0, where the upper bound is infinite).
+// Chi-square quantiles use the Wilson–Hilferty cube-root normal
+// approximation, accurate to a fraction of a percent for the dof this
+// subsystem encounters (2L with L >= a handful).
+#ifndef MIMDRAID_SRC_STATS_ESTIMATE_H_
+#define MIMDRAID_SRC_STATS_ESTIMATE_H_
+
+#include <cstdint>
+
+namespace mimdraid {
+
+// A point estimate bracketed by a confidence interval. `hi` may be +inf
+// (zero observed events bounds the mean only from below).
+struct IntervalEstimate {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+// Standard normal quantile (inverse CDF), Acklam's rational approximation
+// (|relative error| < 1.2e-9 over (0, 1)). p must be in (0, 1).
+double NormalQuantile(double p);
+
+// Chi-square quantile via the Wilson–Hilferty transform. p in (0, 1),
+// dof > 0.
+double ChiSquareQuantile(double p, double dof);
+
+// Mean time between events from total exposure `total_hours` containing
+// `events` events, with a two-sided `confidence` interval (e.g. 0.95).
+// events == 0 yields point = hi = +inf with a finite lower bound.
+IntervalEstimate ExponentialMeanEstimate(double total_hours, uint64_t events,
+                                         double confidence);
+
+// Event rate per year from the same observation (events / total exposure),
+// with the matching interval (reciprocal of the mean-time interval).
+IntervalEstimate EventsPerYearEstimate(double total_hours, uint64_t events,
+                                       double confidence);
+
+// Hours per (Julian) year; the single conversion constant the reliability
+// subsystem uses when quoting per-year rates.
+inline constexpr double kHoursPerYear = 8766.0;
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_STATS_ESTIMATE_H_

@@ -20,7 +20,9 @@ std::string FaultRecoveryStats::Summary() const {
      << " spare-rebuilds-done=" << spare_rebuilds_completed << "\n";
   os << "scrubber:           reads=" << scrub_reads
      << " repairs=" << scrub_repairs
-     << " sweeps=" << scrub_sweeps_completed << "\n";
+     << " sweeps=" << scrub_sweeps_completed
+     << " sectors=" << scrub_sectors_read
+     << " last-sweep-coverage=" << scrub_last_sweep_coverage << "\n";
   return os.str();
 }
 

@@ -38,6 +38,15 @@ struct FaultRecoveryStats {
   uint64_t scrub_reads = 0;
   uint64_t scrub_repairs = 0;
   uint64_t scrub_sweeps_completed = 0;
+  // Sectors of media actually verified by completed scrub reads (cumulative
+  // over every sweep; a mirror sweep reads every live replica, so this can
+  // exceed the logical dataset per sweep).
+  uint64_t scrub_sectors_read = 0;
+  // Coverage of the most recently *completed* sweep: sectors the sweep
+  // issued over the sectors a fully-live array would have issued. 1.0 on a
+  // healthy array; failed slots (replicas skipped) pull it below 1.0. Zero
+  // until the first sweep completes.
+  double scrub_last_sweep_coverage = 0.0;
 
   uint64_t TotalFaultsSeen() const {
     return media_errors_seen + timeouts_seen + disk_failed_seen;

@@ -318,6 +318,10 @@ TEST_P(BackendConformance, IdleScrubRepairsPlantedLatentErrors) {
   const FaultRecoveryStats& fs = array->backend().fault_stats();
   EXPECT_GT(fs.scrub_reads, 0u) << "scrub sweeper never ran";
   EXPECT_GE(fs.scrub_repairs, 3u) << "planted latent errors not repaired";
+  EXPECT_GT(fs.scrub_sectors_read, 0u) << "scrub read accounting missing";
+  ASSERT_GE(fs.scrub_sweeps_completed, 1u);
+  // Every disk was live for the whole sweep: full coverage.
+  EXPECT_DOUBLE_EQ(fs.scrub_last_sweep_coverage, 1.0);
   // The repairs rewrote the bad copies: a fresh sweep finds nothing new.
   array->backend().AuditQuiescent();
   EXPECT_EQ(auditor.violations(), 0u);
@@ -335,6 +339,8 @@ TEST_P(BackendConformance, ExportStatsPublishesFaultAndBackendCounters) {
   EXPECT_TRUE(registry.Contains("fault.retries_issued"));
   EXPECT_TRUE(registry.Contains("fault.failovers"));
   EXPECT_TRUE(registry.Contains("fault.scrub_reads"));
+  EXPECT_TRUE(registry.Contains("fault.scrub_sectors_read"));
+  EXPECT_TRUE(registry.Contains("fault.scrub_last_sweep_coverage"));
   EXPECT_TRUE(registry.Contains("fault.spares_promoted"));
   // ...plus the backend's own prefix with real traffic behind it.
   const std::string prefix = GetParam() == ArrayBackendKind::kMirror

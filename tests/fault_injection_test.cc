@@ -99,6 +99,51 @@ TEST(FaultInjector, ReplaceDiskClearsSlotFaultState) {
   EXPECT_EQ(injector.OnAccess(2, false, 0, 1).service_multiplier, 1.0);
 }
 
+TEST(FaultInjector, ReplaceDiskPreservesSlotStreamPosition) {
+  // The contract fault_injector.h documents: replacing the drive in a slot
+  // resets fault state but MUST NOT advance, rewind, or reseed the slot's
+  // RNG — post-replacement draws match a run with no replacement at all.
+  FaultInjectorOptions opts;
+  opts.seed = 31;
+  opts.transient_error_prob = 0.08;
+  opts.lifetime.hazard = LifetimeHazard::kWeibull;
+  opts.lifetime.weibull_shape = 1.5;
+  opts.lifetime.weibull_scale_hours = 40'000.0;
+  opts.lifetime.lse_rate_per_hour = 1.0e-4;
+  FaultInjector replaced(opts);
+  FaultInjector control(opts);
+  // Burn an identical prefix on both: access verdicts and lifetime draws all
+  // consume the slot stream.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(replaced.OnAccess(3, false, i, 4).status,
+              control.OnAccess(3, false, i, 4).status);
+  }
+  ASSERT_DOUBLE_EQ(replaced.DrawLifetimeHours(3), control.DrawLifetimeHours(3));
+  // Dirty the slot, then promote a replacement into it on one injector only.
+  replaced.InjectLatentError(3, 7);
+  replaced.InjectTransientErrors(3, 2);
+  replaced.FailStop(3);
+  replaced.ReplaceDisk(3);
+  // Every subsequent draw — lifetime, LSE gap, access verdict — must be the
+  // value the slot would have produced had the promotion never happened.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_DOUBLE_EQ(replaced.DrawLifetimeHours(3), control.DrawLifetimeHours(3))
+        << "lifetime draw " << i << " diverged after ReplaceDisk";
+    ASSERT_DOUBLE_EQ(replaced.DrawLseGapHours(3), control.DrawLseGapHours(3))
+        << "LSE gap draw " << i << " diverged after ReplaceDisk";
+  }
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(replaced.OnAccess(3, false, 1000 + i, 4).status,
+              control.OnAccess(3, false, 1000 + i, 4).status)
+        << "access verdict " << i << " diverged after ReplaceDisk";
+  }
+  // Untouched slots are unaffected either way.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(replaced.OnAccess(1, false, i, 1).status,
+              control.OnAccess(1, false, i, 1).status);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // SimDisk media path: latent errors fail reads until a write reallocates the
 // sector to spare space (DiskLayout::AddBadSector) and repairs the media.

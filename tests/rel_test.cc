@@ -1,0 +1,366 @@
+// Fleet-lifetime reliability subsystem (src/rel) and its estimators
+// (src/stats/estimate.h): hazard draws match their distributions, the
+// event-driven fleet simulator matches the Markov closed form in
+// exponential mode, trials are deterministic and O(reliability events),
+// and the rebuild calibration scales the embedded measurement linearly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/rel/fleet_sim.h"
+#include "src/rel/hazard.h"
+#include "src/rel/mttdl.h"
+#include "src/rel/rebuild_calib.h"
+#include "src/sim/fault_injector.h"
+#include "src/stats/estimate.h"
+
+namespace mimdraid {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Estimators.
+// ---------------------------------------------------------------------------
+
+TEST(Estimate, NormalQuantileMatchesTables) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959964, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.99), 2.326348, 1e-4);
+}
+
+TEST(Estimate, ChiSquareQuantileMatchesTables) {
+  // Wilson–Hilferty is good to a fraction of a percent at these dof.
+  EXPECT_NEAR(ChiSquareQuantile(0.95, 10.0), 18.307, 0.08);
+  EXPECT_NEAR(ChiSquareQuantile(0.05, 10.0), 3.940, 0.08);
+  EXPECT_NEAR(ChiSquareQuantile(0.975, 40.0), 59.342, 0.15);
+  EXPECT_NEAR(ChiSquareQuantile(0.025, 40.0), 24.433, 0.15);
+}
+
+TEST(Estimate, ExponentialMeanIntervalBehaves) {
+  // 100 events in 1e6 hours: point estimate 1e4, CI strictly brackets it.
+  const IntervalEstimate e = ExponentialMeanEstimate(1.0e6, 100, 0.95);
+  EXPECT_DOUBLE_EQ(e.point, 1.0e4);
+  EXPECT_LT(e.lo, e.point);
+  EXPECT_GT(e.hi, e.point);
+  // More events, same rate: the interval tightens.
+  const IntervalEstimate tight = ExponentialMeanEstimate(1.0e7, 1000, 0.95);
+  EXPECT_GT(tight.lo / tight.point, e.lo / e.point);
+  EXPECT_LT(tight.hi / tight.point, e.hi / e.point);
+}
+
+TEST(Estimate, ZeroEventsGivesFiniteLowerBoundOnly) {
+  const IntervalEstimate e = ExponentialMeanEstimate(5.0e5, 0, 0.95);
+  EXPECT_TRUE(std::isinf(e.point));
+  EXPECT_TRUE(std::isinf(e.hi));
+  EXPECT_GT(e.lo, 0.0);
+  EXPECT_TRUE(std::isfinite(e.lo));
+  const IntervalEstimate rate = EventsPerYearEstimate(5.0e5, 0, 0.95);
+  EXPECT_EQ(rate.point, 0.0);
+  EXPECT_EQ(rate.lo, 0.0);
+  EXPECT_GT(rate.hi, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Hazard draws.
+// ---------------------------------------------------------------------------
+
+double MeanLifetimeDraw(const DiskLifetimeOptions& lifetime, int n) {
+  FaultInjectorOptions fo;
+  fo.seed = 1234;
+  fo.lifetime = lifetime;
+  FaultInjector injector(fo);
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += injector.DrawLifetimeHours(0);
+  }
+  return sum / n;
+}
+
+TEST(Hazard, WeibullDrawMeanMatchesClosedForm) {
+  DiskLifetimeOptions lifetime;
+  lifetime.hazard = LifetimeHazard::kWeibull;
+  lifetime.weibull_shape = 2.0;  // wear-out regime
+  lifetime.weibull_scale_hours = 1000.0;
+  const double expected = rel::WeibullMeanHours(2.0, 1000.0);
+  EXPECT_NEAR(expected, 886.2269, 1e-3);  // 1000 * Gamma(1.5)
+  EXPECT_NEAR(MeanLifetimeDraw(lifetime, 40'000), expected,
+              0.02 * expected);
+}
+
+TEST(Hazard, WeibullShapeOneDegeneratesToExponential) {
+  DiskLifetimeOptions weibull;
+  weibull.hazard = LifetimeHazard::kWeibull;
+  weibull.weibull_shape = 1.0;
+  weibull.weibull_scale_hours = 500.0;
+  DiskLifetimeOptions expo;
+  expo.hazard = LifetimeHazard::kExponential;
+  expo.mttf_hours = 500.0;
+  EXPECT_NEAR(MeanLifetimeDraw(weibull, 40'000), 500.0, 15.0);
+  EXPECT_NEAR(MeanLifetimeDraw(expo, 40'000), 500.0, 15.0);
+}
+
+TEST(Hazard, InfantMortalityShapeSkewsEarly) {
+  // shape < 1: decreasing hazard — the median sits far below the mean.
+  DiskLifetimeOptions lifetime;
+  lifetime.hazard = LifetimeHazard::kWeibull;
+  lifetime.weibull_shape = 0.5;
+  lifetime.weibull_scale_hours = 1000.0;
+  FaultInjectorOptions fo;
+  fo.lifetime = lifetime;
+  FaultInjector injector(fo);
+  int below_mean = 0;
+  const double mean = rel::WeibullMeanHours(0.5, 1000.0);  // 2000 h
+  for (int i = 0; i < 10'000; ++i) {
+    if (injector.DrawLifetimeHours(0) < mean) {
+      ++below_mean;
+    }
+  }
+  EXPECT_GT(below_mean, 7'500);
+}
+
+TEST(Hazard, LseGapDrawsAreExponentialWithConfiguredRate) {
+  FaultInjectorOptions fo;
+  fo.seed = 77;
+  fo.lifetime.hazard = LifetimeHazard::kExponential;
+  fo.lifetime.lse_rate_per_hour = 1.0e-3;
+  FaultInjector injector(fo);
+  double sum = 0.0;
+  for (int i = 0; i < 40'000; ++i) {
+    sum += injector.DrawLseGapHours(3);
+  }
+  EXPECT_NEAR(sum / 40'000, 1000.0, 25.0);
+  EXPECT_EQ(injector.counters().lse_gap_draws, 40'000u);
+}
+
+TEST(Hazard, ClosedFormMatchesTextbookMirroredPair) {
+  // (3 lambda + mu) / (2 lambda^2) with MTTF 1000 h, MTTR 10 h.
+  EXPECT_NEAR(rel::ClosedFormMttdlSingleFault(2, 1000.0, 10.0), 51'500.0,
+              1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet simulator.
+// ---------------------------------------------------------------------------
+
+rel::FleetOptions MirrorPairCrossCheckOptions() {
+  rel::FleetOptions fleet;
+  fleet.disks = 2;
+  fleet.fault_tolerance = 1;
+  fleet.lifetime.hazard = LifetimeHazard::kExponential;
+  fleet.lifetime.mttf_hours = 1000.0;
+  fleet.rebuild_model = rel::RebuildTimeModel::kExponential;
+  fleet.rebuild_hours = 10.0;
+  fleet.horizon_hours = 200'000.0;
+  return fleet;
+}
+
+TEST(FleetSim, ExponentialModeMatchesClosedFormMttdl) {
+  // In exponential-lifetime + exponential-rebuild mode the simulator
+  // realizes exactly the Markov chain behind the closed form; the Monte
+  // Carlo 95% CI must bracket it.
+  rel::MonteCarloOptions mc;
+  mc.fleet = MirrorPairCrossCheckOptions();
+  mc.trials = 80;
+  mc.base_seed = 4242;
+  mc.jobs = 1;
+  const rel::MttdlEstimate est = rel::RunFleetMonteCarlo(mc);
+  const double closed = rel::ClosedFormMttdlSingleFault(2, 1000.0, 10.0);
+  EXPECT_GT(est.totals.data_loss_events, 100u);
+  EXPECT_LE(est.mttdl_hours.lo, closed);
+  EXPECT_GE(est.mttdl_hours.hi, closed);
+  // Sanity on the point estimate: within a third of the truth.
+  EXPECT_NEAR(est.mttdl_hours.point, closed, closed / 3.0);
+}
+
+TEST(FleetSim, DeterministicForPinnedSeedsAndAnyJobCount) {
+  rel::MonteCarloOptions mc;
+  mc.fleet = MirrorPairCrossCheckOptions();
+  mc.fleet.lifetime.lse_rate_per_hour = 1.0e-3;
+  mc.fleet.scrub = rel::ScrubPolicy::kFixedPeriod;
+  mc.fleet.scrub_period_hours = 168.0;
+  mc.trials = 40;
+  mc.base_seed = 99;
+  mc.jobs = 1;
+  const rel::MttdlEstimate serial = rel::RunFleetMonteCarlo(mc);
+  mc.jobs = 4;
+  const rel::MttdlEstimate parallel = rel::RunFleetMonteCarlo(mc);
+  EXPECT_EQ(serial.totals.data_loss_events, parallel.totals.data_loss_events);
+  EXPECT_EQ(serial.totals.sector_loss_events,
+            parallel.totals.sector_loss_events);
+  EXPECT_EQ(serial.totals.disk_failures, parallel.totals.disk_failures);
+  EXPECT_EQ(serial.totals.rebuilds_completed,
+            parallel.totals.rebuilds_completed);
+  EXPECT_EQ(serial.totals.lse_arrivals, parallel.totals.lse_arrivals);
+  EXPECT_EQ(serial.totals.events_processed, parallel.totals.events_processed);
+  EXPECT_DOUBLE_EQ(serial.mttdl_hours.point, parallel.mttdl_hours.point);
+}
+
+TEST(FleetSim, QuietYearCostsOnlyReliabilityEvents) {
+  // A fleet whose hazards essentially never fire inside the horizon: a
+  // simulated year must cost a handful of queue operations, not anything
+  // proportional to simulated time.
+  rel::FleetOptions fleet;
+  fleet.disks = 8;
+  fleet.fault_tolerance = 2;
+  fleet.lifetime.hazard = LifetimeHazard::kExponential;
+  fleet.lifetime.mttf_hours = 1.0e12;
+  fleet.horizon_hours = kHoursPerYear;
+  fleet.scrub = rel::ScrubPolicy::kFixedPeriod;
+  fleet.scrub_period_hours = 168.0;  // weekly: ~52 sweeps, the only events
+  fleet.seed = 7;
+  rel::FleetSim sim(fleet);
+  const rel::FleetTrialResult r = sim.Run();
+  EXPECT_EQ(r.disk_failures, 0u);
+  EXPECT_EQ(r.data_loss_events, 0u);
+  EXPECT_GE(r.scrub_sweeps, 52u);
+  EXPECT_LE(r.events_processed, 60u);
+}
+
+TEST(FleetSim, RenewalContinuesPastWholeArrayLoss) {
+  // Failure-dense regime: several losses inside one trial proves the
+  // renewal reset re-arms the array instead of wedging or ending early.
+  rel::FleetOptions fleet;
+  fleet.disks = 2;
+  fleet.fault_tolerance = 1;
+  fleet.lifetime.hazard = LifetimeHazard::kExponential;
+  fleet.lifetime.mttf_hours = 50.0;
+  fleet.rebuild_model = rel::RebuildTimeModel::kFixed;
+  fleet.rebuild_hours = 25.0;
+  fleet.horizon_hours = 20'000.0;
+  fleet.seed = 11;
+  rel::FleetSim sim(fleet);
+  const rel::FleetTrialResult r = sim.Run();
+  EXPECT_GT(r.data_loss_events, 5u);
+  EXPECT_GT(r.disk_failures, r.data_loss_events);
+  EXPECT_DOUBLE_EQ(r.observed_hours, 20'000.0);
+}
+
+TEST(FleetSim, ScrubClearsLatentErrorsAndSuppressesSectorLoss) {
+  rel::FleetOptions fleet;
+  fleet.disks = 6;
+  fleet.fault_tolerance = 1;
+  fleet.lifetime.hazard = LifetimeHazard::kExponential;
+  fleet.lifetime.mttf_hours = 10'000.0;
+  fleet.lifetime.lse_rate_per_hour = 1.0e-3;
+  fleet.rebuild_hours = 10.0;
+  fleet.horizon_hours = 10.0 * kHoursPerYear;
+
+  rel::MonteCarloOptions mc;
+  mc.fleet = fleet;
+  mc.trials = 60;
+  mc.base_seed = 314;
+  mc.jobs = 1;
+  mc.fleet.scrub = rel::ScrubPolicy::kOff;
+  const rel::MttdlEstimate unscrubbed = rel::RunFleetMonteCarlo(mc);
+  mc.fleet.scrub = rel::ScrubPolicy::kFixedPeriod;
+  mc.fleet.scrub_period_hours = 168.0;
+  const rel::MttdlEstimate scrubbed = rel::RunFleetMonteCarlo(mc);
+
+  EXPECT_EQ(unscrubbed.totals.lse_scrub_cleared, 0u);
+  EXPECT_GT(scrubbed.totals.lse_scrub_cleared, 0u);
+  EXPECT_GT(scrubbed.totals.scrub_sweeps, 0u);
+  // Scrubbing clears LSEs before rebuilds need the sectors: the sector-loss
+  // class collapses while whole-array losses stay put (same failure draws).
+  EXPECT_LT(scrubbed.totals.sector_loss_events * 4,
+            unscrubbed.totals.sector_loss_events);
+  EXPECT_EQ(scrubbed.totals.disk_failures, unscrubbed.totals.disk_failures);
+  EXPECT_DOUBLE_EQ(scrubbed.totals.last_sweep_coverage, 1.0);
+}
+
+TEST(FleetSim, StaggeredPolicySweepsPerDisk) {
+  rel::FleetOptions fleet;
+  fleet.disks = 4;
+  fleet.fault_tolerance = 1;
+  fleet.lifetime.hazard = LifetimeHazard::kExponential;
+  fleet.lifetime.mttf_hours = 1.0e12;  // quiet: isolate the scrub machinery
+  fleet.lifetime.lse_rate_per_hour = 1.0e-2;
+  fleet.horizon_hours = 1680.0;  // ten periods
+  fleet.scrub = rel::ScrubPolicy::kStaggered;
+  fleet.scrub_period_hours = 168.0;
+  fleet.seed = 5;
+  rel::FleetSim sim(fleet);
+  const rel::FleetTrialResult r = sim.Run();
+  // Four per-disk sweeps per period, ten periods (the last batch lands on
+  // the horizon boundary).
+  EXPECT_GE(r.scrub_sweeps, 36u);
+  EXPECT_GT(r.lse_scrub_cleared, 0u);
+  EXPECT_DOUBLE_EQ(r.last_sweep_coverage, 1.0);
+}
+
+TEST(FleetSim, UtilizationGatingStretchesThePeriod) {
+  rel::FleetOptions fleet;
+  fleet.disks = 4;
+  fleet.fault_tolerance = 1;
+  fleet.lifetime.hazard = LifetimeHazard::kExponential;
+  fleet.lifetime.mttf_hours = 1.0e12;
+  fleet.horizon_hours = 16'800.0;
+  fleet.scrub_period_hours = 168.0;
+  fleet.seed = 5;
+
+  fleet.scrub = rel::ScrubPolicy::kFixedPeriod;
+  rel::FleetSim fixed(fleet);
+  const uint64_t fixed_sweeps = fixed.Run().scrub_sweeps;
+
+  fleet.scrub = rel::ScrubPolicy::kUtilizationGated;
+  fleet.utilization = 0.5;  // busy half the time: half the sweep cadence
+  rel::FleetSim gated(fleet);
+  const uint64_t gated_sweeps = gated.Run().scrub_sweeps;
+
+  EXPECT_EQ(fixed_sweeps, 100u);
+  EXPECT_EQ(gated_sweeps, 50u);
+}
+
+TEST(FleetSim, CoverageDropsWhileASlotIsDown) {
+  // Long rebuilds + frequent sweeps: some sweep lands inside a failure
+  // window and reports partial coverage.
+  rel::FleetOptions fleet;
+  fleet.disks = 4;
+  fleet.fault_tolerance = 1;
+  fleet.lifetime.hazard = LifetimeHazard::kExponential;
+  fleet.lifetime.mttf_hours = 300.0;
+  fleet.rebuild_hours = 100.0;
+  fleet.horizon_hours = 1000.0;
+  fleet.scrub = rel::ScrubPolicy::kFixedPeriod;
+  fleet.scrub_period_hours = 10.0;
+  fleet.seed = 3;
+  rel::FleetSim sim(fleet);
+  const rel::FleetTrialResult r = sim.Run();
+  EXPECT_GT(r.disk_failures, 0u);
+  EXPECT_GT(r.scrub_sweeps, 0u);
+  EXPECT_LT(r.last_sweep_coverage, 1.0 + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild calibration.
+// ---------------------------------------------------------------------------
+
+TEST(RebuildCalib, MeasuresTheEmbeddedRebuildAndScalesLinearly) {
+  const rel::RebuildCalibration calib =
+      rel::CalibrateRebuild(ArrayBackendKind::kMirror, 5);
+  EXPECT_GT(calib.measured_sectors, 0u);
+  EXPECT_GT(calib.measured_duration_us, 0.0);
+  // Scaling is exactly linear in capacity.
+  const double one = calib.HoursForCapacity(calib.measured_sectors);
+  const double ten = calib.HoursForCapacity(calib.measured_sectors * 10);
+  EXPECT_NEAR(ten, 10.0 * one, 1e-9 * ten);
+  // The measured run itself converts back to its own duration.
+  EXPECT_NEAR(one, calib.measured_duration_us / 3.6e9, 1e-12);
+}
+
+TEST(RebuildCalib, DeterministicPerSeedAndDistinctPerBackend) {
+  const rel::RebuildCalibration a =
+      rel::CalibrateRebuild(ArrayBackendKind::kRaid5, 5);
+  const rel::RebuildCalibration b =
+      rel::CalibrateRebuild(ArrayBackendKind::kRaid5, 5);
+  EXPECT_DOUBLE_EQ(a.measured_duration_us, b.measured_duration_us);
+  EXPECT_EQ(a.measured_sectors, b.measured_sectors);
+  const rel::RebuildCalibration mirror =
+      rel::CalibrateRebuild(ArrayBackendKind::kMirror, 5);
+  // Different mechanisms (copy vs. parity reconstruction) measure
+  // differently.
+  EXPECT_NE(mirror.measured_duration_us, a.measured_duration_us);
+}
+
+}  // namespace
+}  // namespace mimdraid

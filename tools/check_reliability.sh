@@ -1,0 +1,49 @@
+#!/bin/sh
+# Reliability smoke gate for CI.
+#
+# Runs the fleet-lifetime Monte Carlo bench (bench_reliability) twice —
+# serially and with a worker pool — requires the two outputs byte-identical
+# (the PointSeed-per-trial design makes the estimate independent of the job
+# count), and pins the headline estimates: the seeds are fixed, so these
+# numbers are exact, not tolerances. A drift here means the fleet
+# simulator's draws, event ordering, or estimators changed.
+#
+# Usage: check_reliability.sh <path-to-bench_reliability> [summary-out]
+set -eu
+
+BENCH="${1:?usage: check_reliability.sh <bench_reliability> [summary-out]}"
+OUT="${2:-reliability-summary.txt}"
+
+"$BENCH" --jobs 2 > "$OUT"
+"$BENCH" --jobs 1 > "$OUT.serial"
+if ! diff -u "$OUT.serial" "$OUT"; then
+  echo "FAIL: bench_reliability output depends on the job count" >&2
+  exit 1
+fi
+rm -f "$OUT.serial"
+
+# Exact pinned estimates (seeds fixed in bench_reliability.cc).
+require() {
+  if ! grep -Fq "$1" "$OUT"; then
+    echo "FAIL: expected pinned line missing: $1" >&2
+    echo "--- actual output ---" >&2
+    cat "$OUT" >&2
+    exit 1
+  fi
+}
+
+# RAID-5 group: simulated MTTDL CI brackets the Markov closed form (83.2 yr).
+require "74.1 [56.8, 98.6]"
+require "83.2"
+# Mirror pair: wide CI (few losses) but bracketing its closed form too.
+require "4e+03 [719, 3.06e+05]"
+# Double-fault 6+2: no whole-array loss observed in 4000 trial-years.
+require "inf [1.09e+03, inf]"
+# Scrub-policy table: sweep and LSE-cleared counters are exact.
+require "fixed-period   208400   197881"
+require "staggered      1252000  198149"
+require "util-gated     83200    183666"
+# Scrub off: zero sweeps, an order of magnitude more sector losses.
+require "16.4213"
+
+echo "PASS: reliability frontier pinned estimates reproduced ($OUT)"
