@@ -4,6 +4,10 @@
 // (a SATF-class dispatch is O(queue x replicas) Plan() calls).
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "src/array/placement.h"
 #include "src/calib/predictor.h"
 #include "src/disk/sim_disk.h"
@@ -124,7 +128,50 @@ void BM_RsatfPick(benchmark::State& state) {
   }
   state.SetComplexityN(static_cast<int64_t>(queue_len));
 }
-BENCHMARK(BM_RsatfPick)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+BENCHMARK(BM_RsatfPick)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Complexity();
+
+// Closed-loop fleet: N independent disks on one simulator, each immediately
+// re-issuing on completion, so the event engine holds N pending completions
+// at all times. One iteration = one Step(); measures the engine's per-event
+// cost (calendar-queue pop + insert) at fleet scale, not disk mechanics.
+void BM_FleetSimStep(benchmark::State& state) {
+  const size_t fleet = static_cast<size_t>(state.range(0));
+  Simulator sim;
+  std::vector<std::unique_ptr<SimDisk>> disks;
+  std::vector<uint64_t> next_lba(fleet);
+  Rng rng(11);
+  disks.reserve(fleet);
+  for (size_t i = 0; i < fleet; ++i) {
+    disks.push_back(std::make_unique<SimDisk>(&sim, F().geometry, F().profile,
+                                              DiskNoiseModel::None(), i + 1,
+                                              0.0));
+    next_lba[i] = rng.UniformU64(disks[i]->num_sectors() - 8);
+  }
+  // Self-rescheduling issue loop per disk keeps exactly `fleet` events live.
+  std::function<void(size_t)> issue = [&](size_t i) {
+    disks[i]->Start(DiskOp::kRead, BlockAddr(next_lba[i]), 8,
+                    [&, i](const DiskOpResult&) {
+                      next_lba[i] =
+                          (next_lba[i] * 2654435761u + 9) %
+                          (disks[i]->num_sectors() - 8);
+                      issue(i);
+                    });
+  };
+  for (size_t i = 0; i < fleet; ++i) {
+    issue(i);
+  }
+  for (auto _ : state) {
+    sim.Step();
+  }
+  state.SetComplexityN(static_cast<int64_t>(fleet));
+}
+BENCHMARK(BM_FleetSimStep)->Arg(100)->Arg(1000)->Complexity();
 
 }  // namespace
 }  // namespace mimdraid

@@ -140,6 +140,15 @@ double OraclePredictor::RotationUs() const {
   return disk_->DebugTimingModel().rotation_us();
 }
 
+double OraclePredictor::AccessBoundUs(SimTime now, BlockAddr lba,
+                                      uint32_t sectors, bool is_write) const {
+  const double pre = disk_->noise().overhead_mean_us;
+  return disk_->DebugTimingModel().AccessLowerBoundUs(
+             disk_->DebugHeadState(), static_cast<double>(now.us()) + pre,
+             lba.value(), sectors, is_write) +
+         overhead_mean_us_;
+}
+
 void OraclePredictor::OnDispatch(SimTime now, BlockAddr lba, uint32_t sectors,
                                  bool is_write, double predicted_service_us) {
   (void)lba;

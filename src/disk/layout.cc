@@ -62,9 +62,11 @@ bool DiskLayout::AddBadSector(uint64_t lba) {
 
 Chs DiskLayout::ToChs(uint64_t lba) const {
   MIMDRAID_CHECK_LT(lba, num_data_sectors_);
-  auto it = remap_.find(lba);
-  if (it != remap_.end()) {
-    return it->second;
+  if (has_remaps()) {
+    auto it = remap_.find(lba);
+    if (it != remap_.end()) {
+      return it->second;
+    }
   }
   // Find the zone containing this LBA (zones are few; linear scan).
   uint32_t zi = 0;
@@ -110,8 +112,11 @@ uint64_t DiskLayout::ToLba(const Chs& chs) const {
 }
 
 uint32_t DiskLayout::TrackStartSlot(uint32_t cylinder, uint32_t head) const {
-  const uint32_t zi = geometry_->ZoneIndexOf(cylinder);
-  const Zone& z = geometry_->zones[zi];
+  return TrackStartSlot(cylinder, head, geometry_->ZoneOf(cylinder));
+}
+
+uint32_t DiskLayout::TrackStartSlot(uint32_t cylinder, uint32_t head,
+                                    const Zone& z) const {
   const uint32_t heads = geometry_->num_heads;
   // Skew accumulates along the logical track chain: (heads - 1) track skews
   // plus one cylinder skew per full cylinder traversed since the zone start,
@@ -125,8 +130,12 @@ uint32_t DiskLayout::TrackStartSlot(uint32_t cylinder, uint32_t head) const {
 }
 
 uint32_t DiskLayout::SlotOf(const Chs& chs) const {
-  const uint32_t spt = geometry_->SectorsPerTrack(chs.cylinder);
-  return (TrackStartSlot(chs.cylinder, chs.head) + chs.sector) % spt;
+  return SlotOf(chs, geometry_->ZoneOf(chs.cylinder));
+}
+
+uint32_t DiskLayout::SlotOf(const Chs& chs, const Zone& z) const {
+  return (TrackStartSlot(chs.cylinder, chs.head, z) + chs.sector) %
+         z.sectors_per_track;
 }
 
 double DiskLayout::AngleOf(const Chs& chs) const {

@@ -52,7 +52,12 @@ class DiskLayout {
   bool AddBadSector(uint64_t lba);
 
   size_t num_remapped_sectors() const { return remap_.size(); }
-  bool IsRemapped(uint64_t lba) const { return remap_.contains(lba); }
+  // Most drives carry zero remaps for a whole run; the empty check keeps the
+  // hot mapping paths free of hash lookups until the first AddBadSector.
+  bool has_remaps() const { return !remap_.empty(); }
+  bool IsRemapped(uint64_t lba) const {
+    return has_remaps() && remap_.contains(lba);
+  }
 
   // Physical location of an LBA (following any remap). lba < num_data_sectors.
   Chs ToChs(uint64_t lba) const;
@@ -61,8 +66,10 @@ class DiskLayout {
   // positions whose *natural* LBA has been remapped away.
   uint64_t ToLba(const Chs& chs) const;
 
-  // Physical rotational slot of a position, after skew.
+  // Physical rotational slot of a position, after skew. The Zone overload
+  // skips the per-call zone scan when the caller already resolved it.
   uint32_t SlotOf(const Chs& chs) const;
+  uint32_t SlotOf(const Chs& chs, const Zone& z) const;
 
   // Fraction of a revolution [0, 1) at which the sector's slot begins.
   double AngleOf(const Chs& chs) const;
@@ -80,6 +87,8 @@ class DiskLayout {
   // The rotational slot at which logical sector 0 of the track begins
   // (i.e. the accumulated skew of the track).
   uint32_t TrackStartSlot(uint32_t cylinder, uint32_t head) const;
+  uint32_t TrackStartSlot(uint32_t cylinder, uint32_t head,
+                          const Zone& z) const;
 
  private:
   struct ZoneExtent {

@@ -22,6 +22,9 @@ SimDisk::SimDisk(Simulator* sim, const DiskGeometry& geometry,
       noise_(noise),
       rng_(seed) {
   MIMDRAID_CHECK(sim != nullptr);
+  deterministic_noise_ = noise_.overhead_stddev_us == 0.0 &&
+                         noise_.post_overhead_stddev_us == 0.0 &&
+                         noise_.hiccup_prob <= 0.0;
   timing_ = std::make_unique<DiskTimingModel>(
       layout_.get(), profile, spindle_phase_us, rotation_us_override);
   head_.cylinder = layout_->first_data_cylinder();
@@ -58,28 +61,17 @@ void SimDisk::Start(DiskOp op, BlockAddr addr, uint32_t sectors,
     result.start_us = start;
     result.completion_us = start + hold;
     result.overhead_us = static_cast<double>(hold.us());
-    DiskOpAudit audit;
+    inflight_result_ = result;
     if (auditor_ != nullptr) {
-      audit = AuditFor(result, lba, sectors, op == DiskOp::kWrite, head_);
+      inflight_audit_ =
+          AuditFor(result, lba, sectors, op == DiskOp::kWrite, head_);
     }
-    const DiskOpRecord trace =
-        collector_ != nullptr
-            ? TraceFor(result, lba, sectors, op == DiskOp::kWrite)
-            : DiskOpRecord{};
-    sim_->ScheduleAt(result.completion_us,
-                     [this, result, audit, trace, cb = std::move(done)]() {
-      busy_ = false;
-      ++ops_failed_;
-      if (auditor_ != nullptr) {
-        auditor_->OnDiskOpComplete(audit);
-      }
-      if (collector_ != nullptr) {
-        collector_->OnDiskOp(trace);
-      }
-      if (cb) {
-        cb(result);
-      }
-    });
+    if (collector_ != nullptr) {
+      inflight_trace_ = TraceFor(result, lba, sectors, op == DiskOp::kWrite);
+    }
+    inflight_done_ = std::move(done);
+    inflight_mechanical_ = false;
+    sim_->ScheduleAt(result.completion_us, [this] { CompleteInflight(); });
     return;
   }
 
@@ -97,8 +89,14 @@ void SimDisk::Start(DiskOp op, BlockAddr addr, uint32_t sectors,
     }
   }
 
-  double overhead =
-      rng_.Normal(noise_.overhead_mean_us, noise_.overhead_stddev_us);
+  // Deterministic noise models (all stddevs zero, no hiccups) collapse the
+  // Gaussian draws to their means; skipping the sampler saves two Box-Muller
+  // pairs per op. The drive RNG has no other consumers, so partially-noisy
+  // models still take the sampling path with an unchanged stream.
+  double overhead = deterministic_noise_
+                        ? noise_.overhead_mean_us
+                        : rng_.Normal(noise_.overhead_mean_us,
+                                      noise_.overhead_stddev_us);
   overhead = std::max(overhead, 0.0);
   if (noise_.hiccup_prob > 0.0 && rng_.Bernoulli(noise_.hiccup_prob)) {
     overhead += rng_.Exponential(noise_.hiccup_mean_us);
@@ -116,8 +114,10 @@ void SimDisk::Start(DiskOp op, BlockAddr addr, uint32_t sectors,
     // as overhead so the decomposition still sums to the service time.
     overhead += (fault.service_multiplier - 1.0) * plan.total_us;
   }
-  double post = rng_.Normal(noise_.post_overhead_mean_us,
-                            noise_.post_overhead_stddev_us);
+  double post = deterministic_noise_
+                    ? noise_.post_overhead_mean_us
+                    : rng_.Normal(noise_.post_overhead_mean_us,
+                                  noise_.post_overhead_stddev_us);
   post = std::max(post, 0.0);
   const double total = overhead + plan.total_us + post;
   const SimTime completion =
@@ -132,36 +132,46 @@ void SimDisk::Start(DiskOp op, BlockAddr addr, uint32_t sectors,
   result.rotational_us = plan.rotational_us;
   result.transfer_us = plan.transfer_us;
 
-  // Pre-built audit/trace records (cheap PODs; only filled when observed).
-  DiskOpAudit audit;
+  // Pre-built audit/trace records (cheap PODs; only filled when observed),
+  // parked in the in-flight slot until the completion event fires.
+  inflight_plan_ = plan;
+  inflight_result_ = result;
   if (auditor_ != nullptr) {
-    audit = AuditFor(result, lba, sectors, op == DiskOp::kWrite,
-                     plan.end_state);
+    inflight_audit_ = AuditFor(result, lba, sectors, op == DiskOp::kWrite,
+                               plan.end_state);
   }
-  const DiskOpRecord trace =
-      collector_ != nullptr
-          ? TraceFor(result, lba, sectors, op == DiskOp::kWrite)
-          : DiskOpRecord{};
+  if (collector_ != nullptr) {
+    inflight_trace_ = TraceFor(result, lba, sectors, op == DiskOp::kWrite);
+  }
+  inflight_done_ = std::move(done);
+  inflight_mechanical_ = true;
 
-  sim_->ScheduleAt(completion,
-                   [this, plan, result, audit, trace, cb = std::move(done)]() {
-    head_ = plan.end_state;
-    busy_ = false;
-    if (result.status == IoStatus::kOk) {
-      ++ops_completed_;
-    } else {
-      ++ops_failed_;
-    }
-    if (auditor_ != nullptr) {
-      auditor_->OnDiskOpComplete(audit);
-    }
-    if (collector_ != nullptr) {
-      collector_->OnDiskOp(trace);
-    }
-    if (cb) {
-      cb(result);
-    }
-  });
+  sim_->ScheduleAt(completion, [this] { CompleteInflight(); });
+}
+
+void SimDisk::CompleteInflight() {
+  // Copy/move the in-flight state out before invoking the callback: the
+  // callback routinely Start()s the next request, which re-fills the slot.
+  const DiskOpResult result = inflight_result_;
+  if (inflight_mechanical_) {
+    head_ = inflight_plan_.end_state;
+  }
+  busy_ = false;
+  if (result.status == IoStatus::kOk) {
+    ++ops_completed_;
+  } else {
+    ++ops_failed_;
+  }
+  if (auditor_ != nullptr) {
+    auditor_->OnDiskOpComplete(inflight_audit_);
+  }
+  if (collector_ != nullptr) {
+    collector_->OnDiskOp(inflight_trace_);
+  }
+  DiskCompletionFn cb = std::move(inflight_done_);
+  if (cb) {
+    cb(result);
+  }
 }
 
 DiskOpRecord SimDisk::TraceFor(const DiskOpResult& result, uint64_t lba,

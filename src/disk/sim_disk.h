@@ -11,7 +11,6 @@
 #define MIMDRAID_SRC_DISK_SIM_DISK_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "src/disk/geometry.h"
@@ -23,6 +22,7 @@
 #include "src/sim/fault_injector.h"
 #include "src/sim/io_status.h"
 #include "src/sim/simulator.h"
+#include "src/util/inline_fn.h"
 #include "src/util/rng.h"
 
 namespace mimdraid {
@@ -82,7 +82,12 @@ struct DiskOpResult {
   bool ok() const { return status == IoStatus::kOk; }
 };
 
-using DiskCompletionFn = std::function<void(const DiskOpResult&)>;
+// Completion callback: move-only, invoked exactly once. The inline capacity
+// covers the engine's two big closures — DriveSet's dispatch completion
+// (carries a QueuedRequest) and InternalQueueDisk's firmware wrapper (carries
+// a nested DiskCompletionFn) — so the steady I/O path never heap-allocates a
+// callback.
+using DiskCompletionFn = InlineFn<void(const DiskOpResult&), 144>;
 
 class SimDisk {
  public:
@@ -164,6 +169,8 @@ class SimDisk {
                        const HeadState& end_state) const;
   DiskOpRecord TraceFor(const DiskOpResult& result, uint64_t lba,
                         uint32_t sectors, bool is_write) const;
+  // Fires at the simulated completion time of the in-flight operation.
+  void CompleteInflight();
 
   Simulator* sim_;
   DiskGeometry geometry_;
@@ -171,6 +178,8 @@ class SimDisk {
   std::unique_ptr<DiskTimingModel> timing_;
   DiskNoiseModel noise_;
   Rng rng_;
+  // All noise stddevs zero and no hiccups: overhead draws collapse to means.
+  bool deterministic_noise_ = false;
   HeadState head_;
   bool busy_ = false;
   uint64_t ops_completed_ = 0;
@@ -180,6 +189,19 @@ class SimDisk {
   uint32_t audit_disk_index_ = 0;
   TraceCollector* collector_ = nullptr;
   uint32_t trace_slot_ = 0;
+
+  // In-flight operation state. The disk services one request at a time, so
+  // the completion event only needs to capture `this` (8 bytes) instead of
+  // closing over plan/result/audit/trace/callback (~330 bytes, which forced
+  // a heap allocation per op under std::function). CompleteInflight() reads
+  // these, releases the disk to idle, then invokes the moved-out callback —
+  // which may immediately Start() the next request and overwrite them.
+  AccessPlan inflight_plan_;
+  DiskOpResult inflight_result_;
+  DiskOpAudit inflight_audit_;
+  DiskOpRecord inflight_trace_;
+  DiskCompletionFn inflight_done_;
+  bool inflight_mechanical_ = false;  // false: fault path, arm never moved
 };
 
 }  // namespace mimdraid

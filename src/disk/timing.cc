@@ -1,5 +1,6 @@
 #include "src/disk/timing.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/util/check.h"
@@ -17,6 +18,11 @@ DiskTimingModel::DiskTimingModel(const DiskLayout* layout,
                        : static_cast<double>(layout->geometry().RotationUs().us())),
       spindle_phase_us_(spindle_phase_us) {
   MIMDRAID_CHECK(layout != nullptr);
+  for (const Zone& zone : layout->geometry().zones) {
+    max_sectors_per_track_ = std::max(max_sectors_per_track_,
+                                      zone.sectors_per_track);
+  }
+  min_slot_time_us_ = rotation_us_ / max_sectors_per_track_;
 }
 
 double DiskTimingModel::SpindleAngleAt(double t_us) const {
@@ -46,6 +52,47 @@ double DiskTimingModel::TimeUntilAngle(double t_us, double angle) const {
   return delta * rotation_us_;
 }
 
+double DiskTimingModel::SeekLowerBoundUs(const HeadState& from, uint64_t lba,
+                                         uint32_t sectors,
+                                         bool is_write) const {
+  const Chs chs = layout_->ToChs(lba);
+  double seek = 0.0;
+  if (chs.cylinder != from.cylinder) {
+    const uint32_t dist = chs.cylinder > from.cylinder
+                              ? chs.cylinder - from.cylinder
+                              : from.cylinder - chs.cylinder;
+    seek = profile_.SeekUs(dist, is_write);
+  }
+  // Same rounding margin as AccessLowerBoundUs: Plan() accumulates the
+  // transfer run by run, which can round an ulp below sectors * min_slot.
+  return seek + sectors * min_slot_time_us_ - 1e-3;
+}
+
+double DiskTimingModel::AccessLowerBoundUs(const HeadState& from,
+                                           double start_us, uint64_t lba,
+                                           uint32_t sectors,
+                                           bool is_write) const {
+  const Chs chs = layout_->ToChs(lba);
+  double seek = 0.0;
+  if (chs.cylinder != from.cylinder) {
+    const uint32_t dist = chs.cylinder > from.cylinder
+                              ? chs.cylinder - from.cylinder
+                              : from.cylinder - chs.cylinder;
+    seek = profile_.SeekUs(dist, is_write);
+  }
+  const Zone& z = layout_->geometry().ZoneOf(chs.cylinder);
+  const double wait = TimeUntilAngle(
+      start_us, static_cast<double>(layout_->SlotOf(chs, z)) /
+                    z.sectors_per_track);
+  // Rounding margin: the bound and Plan() evaluate the same exact-arithmetic
+  // quantities through different association orders, so the bound can land a
+  // few ulps (~1e-11 us in practice) above the true total. One nanosecond of
+  // slack keeps this a certain lower bound; the only cost is a spare full
+  // prediction when a candidate's bound is within 1 ns of the running best.
+  constexpr double kRoundingMarginUs = 1e-3;
+  return std::max(seek, wait) + sectors * min_slot_time_us_ - kRoundingMarginUs;
+}
+
 AccessPlan DiskTimingModel::Plan(const HeadState& from, double start_us,
                                  uint64_t lba, uint32_t sectors,
                                  bool is_write) const {
@@ -59,7 +106,8 @@ AccessPlan DiskTimingModel::Plan(const HeadState& from, double start_us,
 
   while (remaining > 0) {
     const Chs chs = layout_->ToChs(next_lba);
-    const uint32_t spt = geo.SectorsPerTrack(chs.cylinder);
+    const Zone& zone = geo.ZoneOf(chs.cylinder);
+    const uint32_t spt = zone.sectors_per_track;
     const double slot_time = rotation_us_ / spt;
 
     // Length of the physically contiguous run on this track: LBAs advance one
@@ -68,13 +116,15 @@ AccessPlan DiskTimingModel::Plan(const HeadState& from, double start_us,
     if (run > remaining) {
       run = remaining;
     }
-    if (layout_->IsRemapped(next_lba)) {
-      run = 1;  // remapped sector lives alone on the spare track
-    } else {
-      for (uint32_t i = 1; i < run; ++i) {
-        if (layout_->IsRemapped(next_lba + i)) {
-          run = i;
-          break;
+    if (layout_->has_remaps()) {
+      if (layout_->IsRemapped(next_lba)) {
+        run = 1;  // remapped sector lives alone on the spare track
+      } else {
+        for (uint32_t i = 1; i < run; ++i) {
+          if (layout_->IsRemapped(next_lba + i)) {
+            run = i;
+            break;
+          }
         }
       }
     }
@@ -95,7 +145,7 @@ AccessPlan DiskTimingModel::Plan(const HeadState& from, double start_us,
     cur.head = chs.head;
 
     // Rotational wait until the run's first slot comes under the head.
-    const uint32_t slot = layout_->SlotOf(chs);
+    const uint32_t slot = layout_->SlotOf(chs, zone);
     const double wait = TimeUntilAngle(t, static_cast<double>(slot) / spt);
     plan.rotational_us += wait;
     t += wait;

@@ -52,6 +52,28 @@ class DiskTimingModel {
   AccessPlan Plan(const HeadState& from, double start_us, uint64_t lba,
                   uint32_t sectors, bool is_write) const;
 
+  // --- Cheap lower bounds on Plan(...).total_us, for scheduler pruning. ---
+  // Both avoid the run-splitting walk (and its per-sector remap probes), so
+  // they cost a ToChs + table lookup instead of a full timeline build.
+  //
+  // Phase-oblivious bound: first-run seek plus minimum transfer. Valid for
+  // every candidate replica on `lba`'s cylinder (the seek term depends only
+  // on the cylinder, the transfer term only on the sector count).
+  double SeekLowerBoundUs(const HeadState& from, uint64_t lba,
+                          uint32_t sectors, bool is_write) const;
+  // Phase-aware bound for one candidate:
+  //   max(seek, rotational wait from start_us) + sectors * MinSlotTimeUs().
+  // Validity: Plan >= seek + wait(start+seek) + transfer, and
+  // wait(start) <= seek + wait(start+seek) because the first slot passage
+  // after start+seek is never earlier than the first after start (the catch
+  // tolerance shifts both passages identically, so the inequality survives
+  // it).
+  double AccessLowerBoundUs(const HeadState& from, double start_us,
+                            uint64_t lba, uint32_t sectors,
+                            bool is_write) const;
+  // Fastest per-sector media transfer anywhere on the disk (outermost zone).
+  double MinSlotTimeUs() const { return min_slot_time_us_; }
+
   // Fraction of a revolution [0, 1) the platter has rotated past the index
   // mark at time t.
   double SpindleAngleAt(double t_us) const;
@@ -65,13 +87,21 @@ class DiskTimingModel {
 
   double spindle_phase_us() const { return spindle_phase_us_; }
   void set_spindle_phase_us(double phase_us) { spindle_phase_us_ = phase_us; }
-  void set_rotation_us(double rotation_us) { rotation_us_ = rotation_us; }
+  // Also refreshes MinSlotTimeUs(): the per-slot floor scales with the
+  // rotation period, and a stale (larger) floor would break the lower-bound
+  // guarantee after a downward re-estimate.
+  void set_rotation_us(double rotation_us) {
+    rotation_us_ = rotation_us;
+    min_slot_time_us_ = rotation_us_ / max_sectors_per_track_;
+  }
 
  private:
   const DiskLayout* layout_;
   SeekProfile profile_;
   double rotation_us_;
   double spindle_phase_us_;
+  double min_slot_time_us_ = 0.0;
+  uint32_t max_sectors_per_track_ = 1;
 };
 
 }  // namespace mimdraid

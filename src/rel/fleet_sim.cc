@@ -214,6 +214,7 @@ FleetTrialResult FleetSim::Run() {
     }
   }
   while (!queue_.empty() && queue_.top().at_hours <= options_.horizon_hours) {
+    // mdl-ok(MDL006): POD event, no closure; the pop would dangle a reference
     const Event e = queue_.top();
     queue_.pop();
     ++result_.events_processed;

@@ -27,6 +27,14 @@ CandidateCost CostOf(const ScheduleContext& ctx, const QueuedRequest& req,
 
 }  // namespace
 
+// Pruning in the Pick loops below must be *exact*: the figure goldens lock
+// the chosen requests byte for byte, so a candidate may be skipped only when
+// it provably cannot change the outcome. All comparisons against the running
+// best use strict `<` ("first strictly smaller wins"), so a candidate whose
+// cost lower bound exceeds the current best can neither win nor retie —
+// skipping its full prediction leaves the scan's result bit-identical. The
+// scan order itself is never reordered.
+
 SchedulerPick SatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
                                   const ScheduleContext& ctx) {
   MIMDRAID_CHECK(!queue.empty());
@@ -35,17 +43,25 @@ SchedulerPick SatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
                                      : std::min(max_scan_, queue.size());
   size_t best = 0;
   CandidateCost best_cost{std::numeric_limits<double>::infinity(), 0.0};
+  uint64_t examined = 0;
   for (size_t i = 0; i < scan; ++i) {
     // SATF proper is replica-oblivious: it evaluates the primary copy only.
-    const CandidateCost cost =
-        CostOf(ctx, queue[i], queue[i].candidate_lbas.front());
+    const QueuedRequest& req = queue[i];
+    const BlockAddr lba = req.candidate_lbas.front();
+    const bool is_write = req.op == DiskOp::kWrite;
+    if (ctx.predictor->AccessBoundUs(ctx.now, lba, req.sectors, is_write) >
+        best_cost.effective_us) {
+      continue;
+    }
+    const CandidateCost cost = CostOf(ctx, req, lba);
+    ++examined;
     if (cost.effective_us < best_cost.effective_us) {
       best_cost = cost;
       best = i;
     }
   }
   if (ctx.collector != nullptr) {
-    ctx.collector->OnSchedulerScan(ctx.disk.value(), scan);
+    ctx.collector->OnSchedulerScan(ctx.disk.value(), examined);
   }
   return SchedulerPick{best, queue[best].candidate_lbas.front(),
                        best_cost.predicted_us};
@@ -62,8 +78,18 @@ SchedulerPick RsatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
   CandidateCost best_cost{std::numeric_limits<double>::infinity(), 0.0};
   uint64_t examined = 0;
   for (size_t i = 0; i < scan; ++i) {
-    for (BlockAddr lba : queue[i].candidate_lbas) {
-      const CandidateCost cost = CostOf(ctx, queue[i], lba);
+    const QueuedRequest& req = queue[i];
+    const bool is_write = req.op == DiskOp::kWrite;
+    // The bound must be evaluated per replica, not once per entry: replicas
+    // normally share a cylinder, but a latent-bad-sector remap can move one
+    // to spare space on a different cylinder, so no single seek bound covers
+    // the candidate list.
+    for (BlockAddr lba : req.candidate_lbas) {
+      if (ctx.predictor->AccessBoundUs(ctx.now, lba, req.sectors, is_write) >
+          best_cost.effective_us) {
+        continue;
+      }
+      const CandidateCost cost = CostOf(ctx, req, lba);
       ++examined;
       if (cost.effective_us < best_cost.effective_us) {
         best_cost = cost;
@@ -90,11 +116,19 @@ SchedulerPick AsatfScheduler::Pick(const std::vector<QueuedRequest>& queue,
   CandidateCost best_cost{0.0, 0.0};
   uint64_t examined = 0;
   for (size_t i = 0; i < scan; ++i) {
+    const QueuedRequest& req = queue[i];
+    const bool is_write = req.op == DiskOp::kWrite;
     const double age_credit =
-        age_weight_ *
-        static_cast<double>((ctx.now - queue[i].arrival_us).us());
-    for (BlockAddr lba : queue[i].candidate_lbas) {
-      const CandidateCost cost = CostOf(ctx, queue[i], lba);
+        age_weight_ * static_cast<double>((ctx.now - req.arrival_us).us());
+    // Aged-cost analogue of the RSATF prune: aged >= bound - age_credit, so
+    // a bound beaten by best_aged even after the credit cannot win the scan.
+    for (BlockAddr lba : req.candidate_lbas) {
+      if (ctx.predictor->AccessBoundUs(ctx.now, lba, req.sectors, is_write) -
+              age_credit >
+          best_aged) {
+        continue;
+      }
+      const CandidateCost cost = CostOf(ctx, req, lba);
       ++examined;
       const double aged = cost.effective_us - age_credit;
       if (aged < best_aged) {
@@ -117,18 +151,25 @@ SchedulerPick RlookScheduler::Pick(const std::vector<QueuedRequest>& queue,
   // LOOK chooses the request (all replicas of an entry share a cylinder);
   // the rotationally closest replica is then taken.
   const size_t i = PickIndex(queue, ctx);
-  BlockAddr best_lba = queue[i].candidate_lbas.front();
+  const QueuedRequest& req = queue[i];
+  const bool is_write = req.op == DiskOp::kWrite;
+  BlockAddr best_lba = req.candidate_lbas.front();
   CandidateCost best_cost{std::numeric_limits<double>::infinity(), 0.0};
-  for (BlockAddr lba : queue[i].candidate_lbas) {
-    const CandidateCost cost = CostOf(ctx, queue[i], lba);
+  uint64_t examined = 0;
+  for (BlockAddr lba : req.candidate_lbas) {
+    if (ctx.predictor->AccessBoundUs(ctx.now, lba, req.sectors, is_write) >
+        best_cost.effective_us) {
+      continue;
+    }
+    const CandidateCost cost = CostOf(ctx, req, lba);
+    ++examined;
     if (cost.effective_us < best_cost.effective_us) {
       best_cost = cost;
       best_lba = lba;
     }
   }
   if (ctx.collector != nullptr) {
-    ctx.collector->OnSchedulerScan(ctx.disk.value(),
-                                  queue[i].candidate_lbas.size());
+    ctx.collector->OnSchedulerScan(ctx.disk.value(), examined);
   }
   return SchedulerPick{i, best_lba, best_cost.predicted_us};
 }

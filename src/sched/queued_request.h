@@ -5,7 +5,11 @@
 // replicas as candidates; the replica-aware schedulers (RLOOK, RSATF) choose
 // among them at dispatch time. Plain schedulers use the first candidate. By
 // construction all candidates of one entry live on the same cylinder (the
-// replicas of a block share a cylinder, on different tracks).
+// replicas of a block share a cylinder, on different tracks) — but note the
+// invariant is not absolute: a latent-bad-sector remap relocates a replica
+// to zone spare space, possibly on another cylinder, so per-entry shortcuts
+// keyed off one candidate's cylinder are unsound (schedulers bound costs per
+// replica for exactly this reason).
 #ifndef MIMDRAID_SRC_SCHED_QUEUED_REQUEST_H_
 #define MIMDRAID_SRC_SCHED_QUEUED_REQUEST_H_
 

@@ -1,0 +1,42 @@
+// Lint fixture: MDL006 — queue head copied by value.
+// Not compiled into any target; consumed by the lint fixture test only.
+#include <functional>
+#include <queue>
+
+namespace mimdraid {
+namespace lint_fixture {
+
+struct Pending {
+  double at = 0.0;
+  std::function<void()> fn;
+};
+
+void DrainCopying(std::priority_queue<Pending>& q) {
+  while (!q.empty()) {
+    Pending next = q.top();  // seeded violation: deep-copies the closure
+    q.pop();
+    next.fn();
+  }
+}
+
+double PeekInPlace(const std::priority_queue<Pending>& q) {
+  return q.top().at;  // in-place use: not flagged
+}
+
+void DrainByReference(std::priority_queue<Pending>& q) {
+  while (!q.empty()) {
+    const Pending& next = q.top();  // reference bind: not flagged
+    next.fn();
+    q.pop();
+  }
+}
+
+void DrainSuppressed(std::priority_queue<Pending>& q) {
+  // mdl-ok(MDL006): fixture exercising a reasoned suppression
+  Pending next = q.top();
+  q.pop();
+  next.fn();
+}
+
+}  // namespace lint_fixture
+}  // namespace mimdraid

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -193,6 +194,68 @@ TEST(Simulator, PendingEventsAccounting) {
   sim.Run();
   EXPECT_EQ(sim.PendingEvents(), 0u);
   EXPECT_EQ(sim.events_fired(), 1u);
+}
+
+// Regression: Cancel used to only mark the event dead in a lazy-deletion
+// set, keeping the callback closure (and everything it captured) alive until
+// the entry was eventually popped — which for a far-future watchdog timer
+// could be the whole run. Cancel must release the closure immediately.
+TEST(Simulator, CancelReleasesCallbackEagerly) {
+  Simulator sim;
+  auto payload = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = payload;
+  const EventId id =
+      sim.ScheduleAt(SimTime(1'000'000'000), [payload] { (void)*payload; });
+  payload.reset();
+  EXPECT_FALSE(watch.expired());  // the pending event holds the last ref
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_TRUE(watch.expired());  // released at Cancel, not at pop
+}
+
+// Regression: a schedule-far/cancel churn loop (the watchdog-per-op pattern)
+// used to grow the heap and the lazy-deletion set without bound within a
+// quiet period. With slot recycling and tombstone compaction both the pool
+// and the overflow stay bounded by the live event count, not the churn count.
+TEST(Simulator, CancelChurnBoundsQueue) {
+  Simulator sim;
+  for (int i = 0; i < 100'000; ++i) {
+    // Far future: always lands in the overflow heap, the worst case for
+    // tombstone accumulation.
+    const EventId id =
+        sim.ScheduleAfter(SimDuration(500'000'000 + i), [] {});
+    EXPECT_TRUE(sim.Cancel(id));
+  }
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_LE(sim.EventSlotsForTest(), 16u);
+  EXPECT_LE(sim.OverflowEntriesForTest(), 256u);
+  // Near-future churn exercises the ring path the same way.
+  for (int i = 0; i < 100'000; ++i) {
+    const EventId id = sim.ScheduleAfter(SimDuration(1 + (i % 100)), [] {});
+    EXPECT_TRUE(sim.Cancel(id));
+  }
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_LE(sim.EventSlotsForTest(), 16u);
+}
+
+// A cancelled event sitting exactly at the deadline must not drag the clock
+// past it (RunUntil contracts now() == deadline after the call), and a
+// cancelled event beyond the deadline must not stop the clock short.
+TEST(Simulator, RunUntilCancelledEventExactlyAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(SimTime(10), [&] { ++fired; });
+  const EventId at_deadline = sim.ScheduleAt(SimTime(20), [&] { ++fired; });
+  const EventId beyond = sim.ScheduleAt(SimTime(21), [&] { ++fired; });
+  EXPECT_TRUE(sim.Cancel(at_deadline));
+  EXPECT_TRUE(sim.Cancel(beyond));
+  sim.RunUntil(SimTime(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), SimTime(20));
+  // The clock parked at the deadline; scheduling at it again is legal.
+  sim.ScheduleAt(SimTime(20), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), SimTime(20));
 }
 
 }  // namespace

@@ -123,6 +123,47 @@ TEST_P(TimingProperty, WriteNeverFasterThanReadFromSameState) {
   }
 }
 
+// The scheduler-pruning lower bounds must never exceed the full plan's
+// total: a violation would let a scheduler skip a candidate that could have
+// won the scan, silently changing dispatch order. Checked with and without
+// bad-sector remaps (a remap relocates an LBA to zone spare space, possibly
+// on another cylinder) and after a rotation re-estimate (which moves the
+// per-slot transfer floor).
+TEST_P(TimingProperty, LowerBoundsNeverExceedPlanTotal) {
+  for (int round = 0; round < 3; ++round) {
+    if (round == 1) {
+      for (int i = 0; i < 100; ++i) {
+        layout_.AddBadSector(rng_.UniformU64(layout_.num_data_sectors()));
+      }
+    } else if (round == 2) {
+      model_.set_rotation_us(model_.rotation_us() * 1.0013);
+      model_.set_spindle_phase_us(41.9);
+    }
+    for (int i = 0; i < 4000; ++i) {
+      const HeadState head = RandomHead();
+      const double start = rng_.UniformDouble(0, 1e9);
+      const uint32_t sectors = 1 + static_cast<uint32_t>(rng_.UniformU64(64));
+      const uint64_t lba =
+          rng_.UniformU64(layout_.num_data_sectors() - sectors);
+      const bool is_write = rng_.Bernoulli(0.5);
+      const AccessPlan p = model_.Plan(head, start, lba, sectors, is_write);
+      ASSERT_LE(model_.SeekLowerBoundUs(head, lba, sectors, is_write),
+                p.total_us)
+          << "round=" << round << " lba=" << lba << " sectors=" << sectors;
+      ASSERT_LE(model_.AccessLowerBoundUs(head, start, lba, sectors, is_write),
+                p.total_us)
+          << "round=" << round << " lba=" << lba << " sectors=" << sectors
+          << " start=" << start;
+    }
+  }
+}
+
+TEST_P(TimingProperty, MinSlotTimeTracksRotationRefresh) {
+  const double before = model_.MinSlotTimeUs();
+  model_.set_rotation_us(model_.rotation_us() * 0.5);
+  EXPECT_DOUBLE_EQ(model_.MinSlotTimeUs(), before * 0.5);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Geometries, TimingProperty,
     ::testing::Values(std::tuple{Geo::kTest, 1}, std::tuple{Geo::kTest, 2},

@@ -43,6 +43,10 @@ CHECKS = {
               "StatsRegistry) are borrowed, never owned: storing them in "
               "owning smart pointers or new-ing them inverts the documented "
               "lifetime contract.",
+    "MDL006": "Binding a container's .top() by value copies the whole "
+              "element — for event/command queues that means deep-copying "
+              "the stored callback closure on every pop. Bind a const "
+              "reference (or move the element out) instead.",
 }
 
 # MDL001: parameter types that denote a completion callback.
@@ -368,6 +372,59 @@ def check_owned_observers(lf: LexedFile) -> list[Finding]:
     return out
 
 
+# --- MDL006 ---------------------------------------------------------------
+
+
+def check_top_copy(lf: LexedFile) -> list[Finding]:
+    """MDL006: `T x = q.top()` copies the queue head by value.
+
+    The motivating bug: the event loop did `Event ev = heap_.top()`, copying
+    a std::function closure (and its heap allocation) on every single event
+    pop. Only initializations/assignments without a `&` on the left-hand
+    side are flagged; `const auto& e = q.top()` and in-place uses
+    (`q.top().at <= deadline`) pass. Scoped to src/ like MDL004 — tests may
+    copy freely.
+    """
+    if not (lf.path.startswith("src/") or "lint_fixture" in lf.path):
+        return []
+    out: list[Finding] = []
+    toks = lf.tokens
+    for i, t in enumerate(toks):
+        if not (t.kind == "id" and t.text == "top"):
+            continue
+        if i + 2 >= len(toks) or toks[i + 1].text != "("                 or toks[i + 2].text != ")":
+            continue
+        if i == 0 or toks[i - 1].text not in {".", "->"}:
+            continue
+        # Walk back to the statement start; remember the nearest plain `=`.
+        j = i - 1
+        start = 0
+        eq = None
+        while j >= 0:
+            txt = toks[j].text
+            if txt in {";", "{", "}"}:
+                start = j + 1
+                break
+            if txt == "=" and eq is None:
+                eq = j
+            j -= 1
+        if eq is None:
+            continue  # used in place, not bound to a name
+        lhs = toks[start:eq]
+        if not lhs or any(t2.text == "&" for t2 in lhs):
+            continue  # reference binding is the recommended form
+        if any(t2.text in {"return", "("} for t2 in lhs):
+            continue  # not a simple declaration/assignment target
+        if _suppressed(lf, t.line, "MDL006"):
+            continue
+        out.append(Finding(
+            lf.path, t.line, "MDL006",
+            "queue head copied by value: bind `const auto&` (or move the "
+            "element out) instead of copying .top() — a by-value bind "
+            "deep-copies any stored callback closure"))
+    return out
+
+
 ALL_CHECKS = [
     check_suppression_format,
     check_callback_paths,
@@ -375,6 +432,7 @@ ALL_CHECKS = [
     check_unit_mixing,
     check_local_static,
     check_owned_observers,
+    check_top_copy,
 ]
 
 

@@ -1,15 +1,18 @@
 #!/bin/sh
-# Records the bench_micro_core numbers into BENCH_core.json at the repo root.
+# Records the bench_micro_core numbers into a tracked JSON baseline at the
+# repo root (default BENCH_sim.json).
 #
 # The file is a tracked performance baseline: re-run this script on the
 # reference machine after a change that is expected to move the hot paths
-# (layout mapping, access planning, scheduler picks) and commit the diff so
-# reviewers see the before/after. Numbers from other machines are for local
-# comparison only — don't commit them.
+# (layout mapping, access planning, scheduler picks, event engine) and commit
+# the diff so reviewers see the before/after. Numbers from other machines are
+# for local comparison only — don't commit them.
 #
-# Usage: tools/record_bench.sh [build-dir]   (default: build)
+# Usage: tools/record_bench.sh [build-dir] [output.json]
+#        (defaults: build BENCH_sim.json)
 set -e
 build_dir="${1:-build}"
+out_name="${2:-BENCH_sim.json}"
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 bench="$repo/$build_dir/bench/bench_micro_core"
 
@@ -23,7 +26,7 @@ trap 'rm -f "$raw"' EXIT
 "$bench" --benchmark_format=json --benchmark_out="$raw" \
     --benchmark_out_format=json >&2
 
-python3 - "$raw" "$repo/BENCH_core.json" <<'EOF'
+python3 - "$raw" "$repo/$out_name" <<'EOF'
 import json
 import platform
 import sys
