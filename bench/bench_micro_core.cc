@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/array/placement.h"
@@ -14,6 +15,7 @@
 #include "src/sched/positional_schedulers.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
+#include "src/va/virtual_array.h"
 
 namespace mimdraid {
 namespace {
@@ -172,6 +174,43 @@ void BM_FleetSimStep(benchmark::State& state) {
   state.SetComplexityN(static_cast<int64_t>(fleet));
 }
 BENCHMARK(BM_FleetSimStep)->Arg(100)->Arg(1000)->Complexity();
+
+// Virtual-array grant/release round trip on a mixed two-generation fleet of
+// N drives under the most-free policy (the sorting policy: O(N log N) per
+// grant). Bounds the control-plane cost of carving tenants out of the fleet.
+void BM_VaAllocate(benchmark::State& state) {
+  const size_t fleet_drives = static_cast<size_t>(state.range(0));
+  FleetSpec fleet;
+  DriveParams fast;
+  fast.name = "fast";
+  fast.geometry = MakeTestGeometry();
+  fast.profile = MakeTestSeekProfile();
+  DriveParams slow = fast;
+  slow.name = "slow";
+  slow.geometry.rpm = 7200;
+  slow.geometry.num_cylinders = 90;
+  fleet.generations = {fast, slow};
+  for (size_t d = 0; d < fleet_drives; ++d) {
+    fleet.slot_generation.push_back(d % 2);
+  }
+  VirtualArrayAllocator alloc(fleet, fleet_drives, VaPlacement::kMostFree,
+                              /*seed=*/7);
+  VaRequest request;
+  request.name = "bm";
+  request.backend = ArrayBackendKind::kMirror;
+  request.aspect.ds = 2;
+  request.aspect.dr = 1;
+  request.aspect.dm = 2;
+  request.dataset_sectors = 2400;
+  request.stripe_unit_sectors = 16;
+  for (auto _ : state) {
+    std::optional<VaAllocation> a = alloc.Allocate(request);
+    benchmark::DoNotOptimize(a);
+    alloc.Release(*a);
+  }
+  state.SetComplexityN(static_cast<int64_t>(fleet_drives));
+}
+BENCHMARK(BM_VaAllocate)->Arg(8)->Arg(64)->Arg(256)->Complexity();
 
 }  // namespace
 }  // namespace mimdraid

@@ -16,12 +16,21 @@
 // The stripe-column count is Ds*Dr; each column is a group of Dm mirrored
 // disks, for Ds*Dr*Dm disks total.
 //
+// Heterogeneous fleets: each physical disk may have its own DiskLayout
+// (different generation — zones, RPM, capacity). A column's capacity is the
+// minimum over its Dm mirrors, and stripe units are dealt to columns
+// capacity-weighted (argmin of (assigned+1)/weight, ties to the lowest
+// column) instead of plain round-robin, so big drives absorb proportionally
+// more of the dataset. With identical disks the weighted deal reduces
+// exactly to round-robin, so the homogeneous case is bit-for-bit unchanged.
+//
 // Degenerate shapes: Dx1x1 = striping, 1x1xD = D-way mirror, Dsx1x2 = the
 // common RAID-10, DsxDrx1 = SR-Array.
 #ifndef MIMDRAID_SRC_ARRAY_ARRAY_LAYOUT_H_
 #define MIMDRAID_SRC_ARRAY_ARRAY_LAYOUT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/array/placement.h"
@@ -55,6 +64,14 @@ class ArrayLayout {
               uint32_t stripe_unit_sectors, uint64_t dataset_sectors,
               PlacementMode placement_mode = PlacementMode::kCrossTrack);
 
+  // Heterogeneous array: one DiskLayout per physical slot, in DiskFor()
+  // order (disk_layouts.size() == aspect.TotalDisks()). The dataset must fit
+  // in the summed column capacities at replication degree Dr.
+  ArrayLayout(std::vector<const DiskLayout*> disk_layouts,
+              const ArrayAspect& aspect, uint32_t stripe_unit_sectors,
+              uint64_t dataset_sectors,
+              PlacementMode placement_mode = PlacementMode::kCrossTrack);
+
   const ArrayAspect& aspect() const { return aspect_; }
   uint64_t dataset_sectors() const { return dataset_sectors_; }
   uint32_t num_disks() const {
@@ -65,9 +82,22 @@ class ArrayLayout {
     return static_cast<uint32_t>(aspect_.ds * aspect_.dr);
   }
   uint32_t stripe_unit_sectors() const { return stripe_unit_sectors_; }
-  const SrDiskPlacement& placement() const { return placement_; }
 
-  // Logical sectors stored per disk (the per-column share of the dataset).
+  // Placement of a specific physical disk (per-slot geometry).
+  const SrDiskPlacement& placement_for(uint32_t disk) const {
+    return *placements_[placement_of_disk_[disk]];
+  }
+
+  // True when every disk shares one DiskLayout (the homogeneous case).
+  bool uniform() const { return placements_.size() == 1; }
+
+  // Logical sectors stored in stripe column `group`.
+  uint64_t column_sectors(uint32_t group) const {
+    return static_cast<uint64_t>(column_units_[group]) * stripe_unit_sectors_;
+  }
+
+  // Largest per-column share of the dataset (== every column's share in the
+  // homogeneous case). Rebuild work on any one disk is bounded by this.
   uint64_t per_disk_sectors() const { return per_disk_sectors_; }
 
   // Physical disk index of mirror copy m in stripe column `group`.
@@ -79,16 +109,23 @@ class ArrayLayout {
   std::vector<ArrayFragment> Map(uint64_t lba, uint32_t sectors) const;
 
   // Highest cylinder used on any disk (the seek span workloads experience).
-  uint32_t CylinderSpan() const {
-    return placement_.CylinderSpan(per_disk_sectors_);
-  }
+  uint32_t CylinderSpan() const;
 
  private:
+  // Stripe column and within-column unit row of stripe unit `unit_index`.
+  void LocateUnit(uint64_t unit_index, uint32_t* group, uint64_t* row) const;
+
   ArrayAspect aspect_;
   uint32_t stripe_unit_sectors_;
   uint64_t dataset_sectors_;
   uint64_t per_disk_sectors_ = 0;
-  SrDiskPlacement placement_;
+  // Deduplicated placements (one per distinct DiskLayout) + per-disk index.
+  std::vector<std::unique_ptr<SrDiskPlacement>> placements_;
+  std::vector<uint32_t> placement_of_disk_;
+  // Units dealt to each column; empty deal tables mean plain round-robin.
+  std::vector<uint32_t> column_units_;
+  std::vector<uint32_t> unit_group_;  // column of stripe unit i
+  std::vector<uint32_t> unit_row_;    // within-column row of stripe unit i
 };
 
 }  // namespace mimdraid

@@ -968,6 +968,13 @@ bool ArrayController::SparePromotionAllowed(SlotId slot) {
   return layout_->aspect().dm >= 2;
 }
 
+uint64_t ArrayController::UsedSpanSectors(SlotId slot) const {
+  const uint32_t group =
+      slot.value() / static_cast<uint32_t>(layout_->aspect().dm);
+  return layout_->placement_for(slot.value())
+      .PhysicalSpanSectors(layout_->column_sectors(group));
+}
+
 void ArrayController::OnSparePromoted(SlotId slot) {
   RebuildDisk(slot.value(), [this](const IoResult& r) {
     if (r.status == IoStatus::kOk) {

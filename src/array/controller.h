@@ -259,6 +259,9 @@ class ArrayController : public ArrayBackend, private DriveSetClient {
   // queued foreground entries before any spare promotion.
   void OnSlotFailed(SlotId slot) override;
   bool SparePromotionAllowed(SlotId slot) override;
+  // Physical span the slot's column occupies through its drive's placement —
+  // the extent a promoted spare must resolve.
+  uint64_t UsedSpanSectors(SlotId slot) const override;
   void OnSparePromoted(SlotId slot) override;
   bool ScrubEligible() const override;
   // One scrub chunk: reads every live replica of the next stripe unit of the

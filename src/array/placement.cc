@@ -150,4 +150,23 @@ uint32_t SrDiskPlacement::CylinderSpan(uint64_t sectors) const {
   return EntryFor(sectors - 1).cylinder;
 }
 
+uint64_t SrDiskPlacement::PhysicalSpanSectors(uint64_t sectors) const {
+  if (sectors == 0) {
+    return 0;
+  }
+  MIMDRAID_CHECK_LE(sectors, capacity_sectors_);
+  const CylinderEntry& e = EntryFor(sectors - 1);
+  // Every track of the last used cylinder's group region counts as touched:
+  // replicas rotate through the whole group, so the span ends at the last
+  // sector of the last group track.
+  const uint32_t tracks_used =
+      mode_ == PlacementMode::kCrossTrack
+          ? e.groups * static_cast<uint32_t>(dr_)
+          : e.groups;
+  const uint32_t last_head = e.first_head + tracks_used - 1;
+  const uint64_t last_lba = layout_->ToLba(Chs{e.cylinder, last_head, e.spt - 1});
+  MIMDRAID_CHECK_NE(last_lba, kInvalidLba);
+  return last_lba + 1;
+}
+
 }  // namespace mimdraid

@@ -69,6 +69,12 @@ class SrDiskPlacement {
   // (the seek span a workload of that footprint experiences).
   uint32_t CylinderSpan(uint64_t sectors) const;
 
+  // Physical LBAs this placement touches when `sectors` logical sectors are
+  // stored: one past the highest physical LBA of any replica. This is the
+  // address span a replacement drive must be able to resolve (spare
+  // compatibility) and the extent the virtual-array allocator reserves.
+  uint64_t PhysicalSpanSectors(uint64_t sectors) const;
+
  private:
   struct CylinderEntry {
     uint64_t first_logical = 0;  // first logical sector stored in this cylinder

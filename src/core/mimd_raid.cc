@@ -8,12 +8,22 @@
 namespace mimdraid {
 
 MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
-  if (options_.geometry.zones.empty()) {
-    options_.geometry = MakeSt39133Geometry();
-  }
-  MIMDRAID_CHECK(options_.geometry.Valid());
   const int d = options_.aspect.TotalDisks();
   MIMDRAID_CHECK_GE(d, 1);
+  const int total_drives = d + static_cast<int>(options_.hot_spares);
+  if (options_.fleet.empty()) {
+    // Homogeneous fleet synthesized from the single-drive-model options.
+    if (options_.geometry.zones.empty()) {
+      options_.geometry = MakeSt39133Geometry();
+    }
+    MIMDRAID_CHECK(options_.geometry.Valid());
+    options_.fleet = MakeHomogeneousFleet("default", options_.geometry,
+                                          options_.profile, options_.noise);
+  }
+  MIMDRAID_CHECK(options_.fleet.Valid());
+  MIMDRAID_CHECK(options_.fleet.slot_generation.empty() ||
+                 options_.fleet.slot_generation.size() ==
+                     static_cast<size_t>(total_drives));
 
   if (options_.enable_fault_injection || options_.hot_spares > 0) {
     FaultInjectorOptions fopts = options_.fault;
@@ -24,10 +34,11 @@ MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
   }
 
   Rng rng(options_.seed);
-  const double rotation_nominal =
-      static_cast<double>(options_.geometry.RotationUs().us());
-  const int total_drives = d + static_cast<int>(options_.hot_spares);
   for (int i = 0; i < total_drives; ++i) {
+    const DriveParams& model =
+        options_.fleet.generations[options_.fleet.GenerationFor(i)];
+    const double rotation_nominal =
+        static_cast<double>(model.geometry.RotationUs().us());
     const double phase =
         options_.synchronized_spindles
             ? 0.0
@@ -36,7 +47,7 @@ MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
     const double rotation =
         rotation_nominal * (1.0 + rng.UniformDouble(-tolerance, tolerance));
     auto disk = std::make_unique<SimDisk>(
-        &sim_, options_.geometry, options_.profile, options_.noise,
+        &sim_, model.geometry, model.profile, model.noise,
         rng.Next(), phase, rotation);
     if (i < d) {
       disks_.push_back(std::move(disk));
@@ -48,8 +59,11 @@ MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
   if (options_.use_oracle_predictor) {
     double slack = options_.oracle_slack_us;
     if (slack < 0.0) {
-      const bool noisy = options_.noise.overhead_stddev_us > 0.0 ||
-                         options_.noise.hiccup_prob > 0.0;
+      bool noisy = false;
+      for (const DriveParams& g : options_.fleet.generations) {
+        noisy = noisy || g.noise.overhead_stddev_us > 0.0 ||
+                g.noise.hiccup_prob > 0.0;
+      }
       slack = noisy ? 450.0 : 0.0;
     }
     for (auto& disk : disks_) {
@@ -61,22 +75,33 @@ MimdRaid::MimdRaid(const MimdRaidOptions& options) : options_(options) {
           std::make_unique<OraclePredictor>(disk.get(), slack));
     }
   } else {
-    // Extract the seek profile once (homogeneous drives), then run the cheap
-    // phase-only calibration per disk.
+    // Seek-profile extraction runs once per drive *generation* (identical
+    // drives share a full calibration); every disk then runs the cheap
+    // phase-only pass against its generation's profile.
     CalibrationOptions full = options_.calibration;
     full.extract_seek_profile = true;
-    const CalibrationResult shared =
-        CalibrateDisk(&sim_, disks_[0].get(), full);
     CalibrationOptions phase_only = options_.calibration;
     phase_only.extract_seek_profile = false;
     phase_only.probe_layout = false;
-    for (auto& disk : disks_) {
-      predictors_.push_back(MakeCalibratedPredictor(
-          &sim_, disk.get(), phase_only, &shared.profile, options_.slack));
+    std::vector<std::unique_ptr<CalibrationResult>> generation_calib(
+        options_.fleet.generations.size());
+    const auto calibrated = [&](size_t slot, SimDisk* disk) {
+      const uint32_t gen = options_.fleet.GenerationFor(slot);
+      if (generation_calib[gen] == nullptr) {
+        generation_calib[gen] =
+            std::make_unique<CalibrationResult>(CalibrateDisk(&sim_, disk,
+                                                              full));
+      }
+      return MakeCalibratedPredictor(&sim_, disk, phase_only,
+                                     &generation_calib[gen]->profile,
+                                     options_.slack);
+    };
+    for (size_t i = 0; i < disks_.size(); ++i) {
+      predictors_.push_back(calibrated(i, disks_[i].get()));
     }
-    for (auto& disk : spare_disks_) {
-      spare_predictors_.push_back(MakeCalibratedPredictor(
-          &sim_, disk.get(), phase_only, &shared.profile, options_.slack));
+    for (size_t i = 0; i < spare_disks_.size(); ++i) {
+      spare_predictors_.push_back(
+          calibrated(disks_.size() + i, spare_disks_[i].get()));
     }
   }
 
@@ -111,9 +136,17 @@ void MimdRaid::BuildBackend() {
     pred_ptrs.push_back(predictors_[i].get());
   }
   if (options_.backend == ArrayBackendKind::kMirror) {
+    // Every slot maps through its own drive's layout; mixed generations get
+    // capacity-weighted striping, identical drives exact round-robin.
+    std::vector<const DiskLayout*> disk_layouts;
+    disk_layouts.reserve(disks_.size());
+    for (const auto& disk : disks_) {
+      disk_layouts.push_back(&disk->layout());
+    }
     layout_ = std::make_unique<ArrayLayout>(
-        &disks_[0]->layout(), options_.aspect, options_.stripe_unit_sectors,
-        options_.dataset_sectors, options_.placement_mode);
+        std::move(disk_layouts), options_.aspect,
+        options_.stripe_unit_sectors, options_.dataset_sectors,
+        options_.placement_mode);
     controller_ = std::make_unique<ArrayController>(
         &sim_, std::move(disk_ptrs), std::move(pred_ptrs), layout_.get(),
         ControllerOptions());
@@ -130,6 +163,10 @@ void MimdRaid::BuildBackend() {
     // cover the dataset, rounded up to whole stripe units.
     const uint64_t per_data = (options_.dataset_sectors + n - 2) / (n - 1);
     const uint64_t per_disk = (per_data + unit - 1) / unit * unit;
+    // RAID-5 stripes symmetrically, so the weakest drive bounds every share.
+    for (const auto& disk : disks_) {
+      MIMDRAID_CHECK_LE(per_disk, disk->layout().num_data_sectors());
+    }
     raid5_layout_ = std::make_unique<Raid5Layout>(
         n, options_.stripe_unit_sectors, per_disk);
     raid5_ = std::make_unique<Raid5Controller>(

@@ -19,6 +19,7 @@
 #include "src/disk/sim_disk.h"
 #include "src/io/array_backend.h"
 #include "src/model/configurator.h"
+#include "src/model/fleet_spec.h"
 #include "src/raid5/raid5_controller.h"
 #include "src/raid5/raid5_layout.h"
 #include "src/sim/auditor.h"
@@ -43,10 +44,16 @@ struct MimdRaidOptions {
   // Where rotational replicas live (cross-track is the paper's design).
   PlacementMode placement_mode = PlacementMode::kCrossTrack;
 
-  // Drive model. Empty geometry selects the ST39133 defaults.
+  // Drive model. Empty geometry selects the ST39133 defaults. These three
+  // fields describe a homogeneous fleet; set `fleet` instead to mix drive
+  // generations.
   DiskGeometry geometry;
   SeekProfile profile = MakeSt39133SeekProfile();
   DiskNoiseModel noise = DiskNoiseModel::None();
+  // Heterogeneous drive fleet: per-slot drive generations (array slots first,
+  // then hot spares). When empty, a single-generation fleet is synthesized
+  // from geometry/profile/noise above — the exact homogeneous behavior.
+  FleetSpec fleet;
   bool synchronized_spindles = false;
   // True spindle speeds deviate uniformly within ±tolerance of nominal.
   double rotation_tolerance_ppm = 20.0;

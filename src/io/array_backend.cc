@@ -23,6 +23,8 @@ void ExportFaultStats(const FaultRecoveryStats& stats,
                 static_cast<double>(stats.auto_disk_failures));
   registry->Set("fault.spares_promoted",
                 static_cast<double>(stats.spares_promoted));
+  registry->Set("fault.spare_rejected",
+                static_cast<double>(stats.spare_rejected));
   registry->Set("fault.spare_rebuilds_completed",
                 static_cast<double>(stats.spare_rebuilds_completed));
   registry->Set("fault.propagations_abandoned",

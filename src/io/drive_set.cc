@@ -327,8 +327,28 @@ void DriveSet::PromoteSpareIfAvailable(SlotId slot) {
   if (spares_.empty() || !client_->SparePromotionAllowed(slot)) {
     return;
   }
-  auto [spare_disk, spare_predictor] = spares_.front();
-  spares_.erase(spares_.begin());
+  // The slot keeps mapping through the failed drive's layout, so the spare
+  // must resolve that drive's used physical span and match its sector size.
+  // Incompatible candidates are skipped (counted) but stay pooled: a slot
+  // they do fit may fail later.
+  const uint64_t needed_span = client_->UsedSpanSectors(slot);
+  const uint32_t sector_bytes =
+      disks_[slot.value()]->layout().geometry().sector_bytes;
+  size_t pick = spares_.size();
+  for (size_t i = 0; i < spares_.size(); ++i) {
+    const DiskLayout& candidate = spares_[i].first->layout();
+    if (candidate.geometry().sector_bytes == sector_bytes &&
+        candidate.num_data_sectors() >= needed_span) {
+      pick = i;
+      break;
+    }
+    ++fstats_.spare_rejected;
+  }
+  if (pick == spares_.size()) {
+    return;  // no compatible spare; the slot stays failed
+  }
+  auto [spare_disk, spare_predictor] = spares_[pick];
+  spares_.erase(spares_.begin() + static_cast<ptrdiff_t>(pick));
   disks_[slot.value()] = spare_disk;
   predictors_[slot.value()] = spare_predictor;
   if (options_.auditor != nullptr) {

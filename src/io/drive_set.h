@@ -117,6 +117,12 @@ class DriveSetClient {
   // policy with no redundancy to rebuild from says no.
   virtual bool SparePromotionAllowed(SlotId /*disk*/) { return true; }
 
+  // Physical sectors of `disk`'s drive the policy actually addresses (the
+  // span a replacement promoted into the slot must be able to resolve).
+  // 0 = any drive qualifies. On heterogeneous fleets this is how the engine
+  // rejects spares too small for the failed drive's used extent.
+  virtual uint64_t UsedSpanSectors(SlotId /*disk*/) const { return 0; }
+
   // A spare took over `disk`'s slot (observers rewired, injector slot
   // reset). The slot is still marked failed; the policy starts its rebuild,
   // which clears the mark.
@@ -232,7 +238,10 @@ class DriveSet {
   // is registered and the policy allows it. Idempotent.
   void AutoFail(SlotId slot);
   // Registers a standby drive + predictor (borrowed). Wired to the observers
-  // only on promotion.
+  // only on promotion. Compatibility with a failed slot is checked at
+  // promotion time (the used span differs per slot): a candidate that cannot
+  // resolve the slot's used span or whose sector size differs is skipped and
+  // counted in fstats().spare_rejected; it stays pooled for slots it fits.
   void AddSpare(SimDisk* disk, AccessPredictor* predictor);
   size_t spares_available() const { return spares_.size(); }
 

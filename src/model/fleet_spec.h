@@ -1,0 +1,96 @@
+// Heterogeneous drive fleets: named drive generations and their per-slot
+// assignment.
+//
+// The paper optimizes one aspect ratio for one workload over identical disks;
+// a production fleet mixes drive generations (different seek curves, RPM,
+// zone densities, capacities) bought years apart. FleetSpec is the model-layer
+// description of such a fleet: a list of named DriveParams (one per
+// generation) plus a per-slot generation assignment. MimdRaid threads the
+// resolved per-slot parameters through disk construction, per-slot
+// calibration/prediction, and the capacity-weighted ArrayLayout; the virtual
+// array allocator (src/va) carves multiple tenants out of one FleetSpec.
+//
+// The empty FleetSpec is the homogeneous degenerate case: every consumer
+// falls back to its single-drive-model options and behaves exactly as the
+// identical-disk code did (pinned by the byte-identical bench goldens).
+#ifndef MIMDRAID_SRC_MODEL_FLEET_SPEC_H_
+#define MIMDRAID_SRC_MODEL_FLEET_SPEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/disk/geometry.h"
+#include "src/disk/seek_profile.h"
+#include "src/disk/sim_disk.h"
+
+namespace mimdraid {
+
+// One drive generation: everything that distinguishes a drive model. The
+// Section 2 analytic inputs (S, R) and the capacity all derive from the
+// geometry + profile, so a generation is fully specified by these fields.
+struct DriveParams {
+  std::string name;        // e.g. "st39133", stable key for stats/traces
+  DiskGeometry geometry;   // zones, RPM, capacity
+  SeekProfile profile;     // seek curve of this generation
+  DiskNoiseModel noise = DiskNoiseModel::None();
+};
+
+struct FleetSpec {
+  std::vector<DriveParams> generations;
+  // Generation index per drive slot, array slots first, then hot spares, in
+  // slot order. Empty = every slot runs generations[0]. When non-empty it
+  // must cover every slot the consumer instantiates.
+  std::vector<uint32_t> slot_generation;
+
+  // The homogeneous degenerate case: consumers use their single-drive-model
+  // options instead.
+  bool empty() const { return generations.empty(); }
+
+  uint32_t GenerationFor(size_t slot) const {
+    if (slot_generation.empty()) {
+      return 0;
+    }
+    return slot < slot_generation.size() ? slot_generation[slot] : 0;
+  }
+
+  // Internal consistency: at least one generation, every referenced index in
+  // range, every geometry valid and every profile well-formed.
+  bool Valid() const {
+    if (generations.empty()) {
+      return false;
+    }
+    for (const DriveParams& g : generations) {
+      if (!g.geometry.Valid() || !g.profile.WellFormed()) {
+        return false;
+      }
+    }
+    for (const uint32_t gen : slot_generation) {
+      if (gen >= generations.size()) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// A single-generation fleet from one drive model (the explicit spelling of
+// the homogeneous case, used where a FleetSpec is required).
+inline FleetSpec MakeHomogeneousFleet(std::string name, DiskGeometry geometry,
+                                      SeekProfile profile,
+                                      DiskNoiseModel noise =
+                                          DiskNoiseModel::None()) {
+  FleetSpec fleet;
+  DriveParams params;
+  params.name = std::move(name);
+  params.geometry = std::move(geometry);
+  params.profile = profile;
+  params.noise = noise;
+  fleet.generations.push_back(std::move(params));
+  return fleet;
+}
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_MODEL_FLEET_SPEC_H_

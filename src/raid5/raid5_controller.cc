@@ -123,6 +123,11 @@ bool Raid5Controller::SparePromotionAllowed(SlotId /*disk*/) {
   return rebuilding_disk_ < 0;
 }
 
+uint64_t Raid5Controller::UsedSpanSectors(SlotId /*disk*/) const {
+  return static_cast<uint64_t>(layout_->num_rows()) *
+         layout_->stripe_unit_sectors();
+}
+
 void Raid5Controller::OnSparePromoted(SlotId disk) {
   // The spare holds no data yet: rebuild the slot from parity immediately.
   // Fragments planned before promotion keep treating the slot as unusable

@@ -213,6 +213,8 @@ class Raid5Controller : public ArrayBackend, private DriveSetClient {
   // One rebuild at a time: a promotion while another slot is rebuilding
   // would clobber the rebuild cursor, so the spare stays pooled.
   bool SparePromotionAllowed(SlotId disk) override;
+  // RAID-5 addresses every disk symmetrically: rows * stripe unit.
+  uint64_t UsedSpanSectors(SlotId disk) const override;
   void OnSparePromoted(SlotId disk) override;
   bool ScrubEligible() const override;
   // One scrub chunk: reads every usable unit of the next parity row.

@@ -17,6 +17,7 @@ std::string FaultRecoveryStats::Summary() const {
      << " rebuild-fragments-lost=" << rebuild_fragments_lost << "\n";
   os << "disk management:    auto-failures=" << auto_disk_failures
      << " spares-promoted=" << spares_promoted
+     << " spares-rejected=" << spare_rejected
      << " spare-rebuilds-done=" << spare_rebuilds_completed << "\n";
   os << "scrubber:           reads=" << scrub_reads
      << " repairs=" << scrub_repairs

@@ -30,6 +30,9 @@ struct FaultRecoveryStats {
   // Automatic failure handling.
   uint64_t auto_disk_failures = 0;    // error threshold tripped
   uint64_t spares_promoted = 0;
+  // Spare candidates skipped at promotion time because they could not take
+  // the failed slot (too small for the used span, or geometry mismatch).
+  uint64_t spare_rejected = 0;
   uint64_t spare_rebuilds_completed = 0;
   uint64_t propagations_abandoned = 0;  // delayed write given up (disk dead)
   uint64_t rebuild_fragments_lost = 0;

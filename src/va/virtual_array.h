@@ -1,0 +1,163 @@
+// Virtual arrays carved out of one shared heterogeneous drive fleet (the
+// HDA generalization of Thomasian & Xu; placement policies after liveraid).
+//
+// The paper dedicates the whole fleet to one array tuned for one workload.
+// A consolidated installation instead hosts several tenants — each wanting
+// its own backend (mirror vs RAID-5), aspect ratio, and redundancy degree —
+// on a pool of drives bought across generations. This layer provides:
+//
+//   VirtualArrayAllocator — capacity bookkeeping over the fleet. Each
+//     physical drive exposes its usable sectors (per-generation geometry);
+//     Allocate() picks the drives for a VA under one of four placement
+//     policies and reserves per-drive extents; Release() returns them.
+//     Placement is deterministic: most-free / least-free / round-robin are
+//     pure functions of the allocator state, and the probabilistic policy
+//     draws from Rng(SweepRunner::PointSeed(seed, allocation_index)).
+//
+//   Materialize() — turns an allocation into MimdRaidOptions whose FleetSpec
+//     assigns every VA slot the drive generation of the physical drive
+//     backing it, so a VA spanning mixed generations genuinely simulates
+//     per-slot geometry (capacity-weighted striping, per-slot predictors).
+//
+//   VaHost / ExportVaStats — owns the materialized arrays and namespaces
+//     each tenant's stats as "va.<name>.<stat>" in a shared StatsRegistry,
+//     so the obs layer attributes latency and fault handling per tenant.
+//
+// Scope: the allocator shares the fleet at *capacity* granularity — each VA
+// runs its own simulator over its allocated drives. Cross-VA spindle
+// contention (two tenants queued on one spindle) is future work and called
+// out in DESIGN.md §12.
+#ifndef MIMDRAID_SRC_VA_VIRTUAL_ARRAY_H_
+#define MIMDRAID_SRC_VA_VIRTUAL_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/mimd_raid.h"
+#include "src/model/fleet_spec.h"
+#include "src/obs/stats_registry.h"
+
+namespace mimdraid {
+
+// How Allocate() picks physical drives for a new VA (liveraid's menu).
+enum class VaPlacement {
+  kMostFree,       // spread: drives with the most free space first
+  kLeastFree,      // pack: fullest drives that still fit (best-fit)
+  kProbabilistic,  // random, weighted by free space (deterministic seed)
+  kRoundRobin,     // rotating cursor over the fleet
+};
+
+const char* VaPlacementName(VaPlacement placement);
+
+// What a tenant asks for.
+struct VaRequest {
+  std::string name;  // stable key for stats/trace namespacing
+  ArrayBackendKind backend = ArrayBackendKind::kMirror;
+  ArrayAspect aspect;  // TotalDisks() physical drives are claimed
+  uint64_t dataset_sectors = 0;
+  uint32_t stripe_unit_sectors = 128;
+};
+
+// A granted reservation: which physical drives back each VA slot, and how
+// many sectors are reserved on each. Pass back to Release() to free.
+struct VaAllocation {
+  uint64_t id = 0;  // allocation sequence number (also the PointSeed index)
+  VaRequest request;
+  std::vector<uint32_t> drives;  // physical drive per VA slot, in slot order
+  uint64_t per_drive_sectors = 0;
+};
+
+class VirtualArrayAllocator {
+ public:
+  // `fleet` describes the drive generations; `num_drives` physical drives
+  // populate the pool, drive i running generation fleet.GenerationFor(i).
+  // `seed` feeds the probabilistic policy's per-allocation streams.
+  VirtualArrayAllocator(FleetSpec fleet, size_t num_drives,
+                        VaPlacement placement, uint64_t seed = 42);
+
+  size_t num_drives() const { return free_sectors_.size(); }
+  VaPlacement placement() const { return placement_; }
+  const FleetSpec& fleet() const { return fleet_; }
+  uint64_t DriveCapacitySectors(uint32_t drive) const {
+    return capacity_sectors_[drive];
+  }
+  uint64_t DriveFreeSectors(uint32_t drive) const {
+    return free_sectors_[drive];
+  }
+  uint64_t TotalFreeSectors() const;
+
+  // Sectors Allocate() would reserve on each drive for `request` (the
+  // redundancy-expanded per-slot share, rounded to whole stripe units).
+  static uint64_t PerDriveSectors(const VaRequest& request);
+
+  // Reserves drives + extents for `request`. std::nullopt when fewer than
+  // TotalDisks() drives have room — the fleet is never over-allocated.
+  std::optional<VaAllocation> Allocate(const VaRequest& request);
+
+  // Returns an allocation's extents to the pool. Each allocation may be
+  // released at most once.
+  void Release(const VaAllocation& allocation);
+
+  // MimdRaidOptions for a simulator running `allocation`: backend, aspect,
+  // dataset, and a FleetSpec binding every VA slot to the generation of the
+  // physical drive backing it. `base` supplies everything else (scheduler,
+  // predictors, fault options, ...); base.hot_spares must be 0 — spares are
+  // fleet-level drives, not per-VA. The VA's seed is derived via
+  // PointSeed(base.seed, allocation.id) so tenants are decorrelated.
+  MimdRaidOptions Materialize(const VaAllocation& allocation,
+                              const MimdRaidOptions& base) const;
+
+ private:
+  FleetSpec fleet_;
+  VaPlacement placement_;
+  uint64_t seed_;
+  uint64_t next_id_ = 0;
+  size_t cursor_ = 0;  // round-robin start position
+  std::vector<uint64_t> capacity_sectors_;
+  std::vector<uint64_t> free_sectors_;
+};
+
+// Copies every stat the backend exports into `registry` under the
+// "va.<name>." prefix (per-tenant attribution in one shared registry).
+void ExportVaStats(const ArrayBackend& backend, const std::string& va_name,
+                   StatsRegistry* registry);
+
+// Same namespacing for a tenant's TraceCollector export (give each VA its
+// own collector; the merged registry keys stay per-tenant).
+void ExportVaTrace(const TraceCollector& collector, const std::string& va_name,
+                   StatsRegistry* registry);
+
+// Owns the materialized arrays of a multi-tenant run: one MimdRaid (its own
+// simulator) per allocation, looked up by tenant name.
+class VaHost {
+ public:
+  explicit VaHost(VirtualArrayAllocator* allocator) : allocator_(allocator) {}
+
+  // Materializes `allocation` over `base` options and takes ownership of the
+  // resulting array. The allocation's tenant name must be unused.
+  MimdRaid& Add(const VaAllocation& allocation, const MimdRaidOptions& base);
+
+  size_t size() const { return tenants_.size(); }
+  MimdRaid& array(const std::string& name);
+  const VaAllocation& allocation(const std::string& name) const;
+
+  // Exports every tenant's backend stats as "va.<name>.<stat>".
+  void ExportAllStats(StatsRegistry* registry) const;
+
+ private:
+  struct Tenant {
+    VaAllocation allocation;
+    std::unique_ptr<MimdRaid> array;
+  };
+  const Tenant& Find(const std::string& name) const;
+
+  VirtualArrayAllocator* allocator_;
+  std::vector<Tenant> tenants_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_VA_VIRTUAL_ARRAY_H_

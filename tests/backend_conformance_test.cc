@@ -24,6 +24,7 @@
 
 #include "src/core/mimd_raid.h"
 #include "src/obs/stats_registry.h"
+#include "src/obs/trace_collector.h"
 #include "src/util/rng.h"
 
 namespace mimdraid {
@@ -348,6 +349,200 @@ TEST_P(BackendConformance, ExportStatsPublishesFaultAndBackendCounters) {
                                  : "raid5.reads_completed";
   EXPECT_TRUE(registry.Contains(prefix));
   EXPECT_GT(registry.Get(prefix), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Heterogeneous fleets: the same contract on mixed drive generations.
+// ---------------------------------------------------------------------------
+
+// Fast/slow halves of the array: the first half of the slots run the test
+// geometry at its native 10000 RPM, the second half a 7200 RPM generation.
+// `spare_generations` appends per-spare generation assignments (rig.hot_spares
+// must match its size).
+std::unique_ptr<MimdRaid> MakeMixedRpmArray(
+    ArrayBackendKind kind, const RigConfig& rig,
+    const std::vector<uint32_t>& spare_generations = {},
+    TraceCollector* collector = nullptr) {
+  MimdRaidOptions options;
+  options.backend = kind;
+  if (kind == ArrayBackendKind::kMirror) {
+    options.aspect.ds = 2;
+    options.aspect.dr = 1;
+    options.aspect.dm = 2;
+  } else {
+    options.aspect.ds = 4;
+    options.aspect.dr = 1;
+    options.aspect.dm = 1;
+  }
+  options.scheduler = SchedulerKind::kSatf;
+  options.dataset_sectors = kDataset;
+  options.stripe_unit_sectors = 16;
+  options.seed = rig.seed;
+  options.enable_fault_injection = rig.faults;
+  options.fault = rig.fault;
+  options.fault.seed = rig.seed;
+  options.disk_error_fail_threshold = rig.disk_error_fail_threshold;
+  options.hot_spares = rig.hot_spares;
+  options.scrub_interval_us = rig.scrub_interval_us;
+  options.auditor = rig.auditor;
+  options.collector = collector;
+
+  DriveParams fast;
+  fast.name = "fast10k";
+  fast.geometry = MakeTestGeometry();
+  fast.profile = MakeTestSeekProfile();
+  DriveParams slow = fast;
+  slow.name = "slow7200";
+  slow.geometry.rpm = 7200;
+  // A drive generation too small to cover the array's used span: 4
+  // cylinders of the test zone hold fewer sectors than any slot uses.
+  DriveParams tiny = fast;
+  tiny.name = "tiny";
+  tiny.geometry.num_cylinders = 4;
+  tiny.geometry.zones = {tiny.geometry.zones[0]};
+  options.fleet.generations = {fast, slow, tiny};
+  const uint32_t array_slots =
+      static_cast<uint32_t>(options.aspect.TotalDisks());
+  for (uint32_t i = 0; i < array_slots; ++i) {
+    options.fleet.slot_generation.push_back(i < array_slots / 2 ? 0u : 1u);
+  }
+  EXPECT_EQ(spare_generations.size(), static_cast<size_t>(rig.hot_spares));
+  for (const uint32_t gen : spare_generations) {
+    options.fleet.slot_generation.push_back(gen);
+  }
+  return std::make_unique<MimdRaid>(options);
+}
+
+TEST_P(BackendConformance, MixedRpmFleetKeepsContractAndPhaseIdentity) {
+  InvariantAuditor auditor;
+  RigConfig rig;
+  rig.auditor = &auditor;
+  rig.faults = true;
+  rig.scrub_interval_us = SimDuration(20'000);
+  TraceCollector collector;
+  auto array = MakeMixedRpmArray(GetParam(), rig, {}, &collector);
+
+  // The halves really spin at different speeds.
+  const uint32_t n = static_cast<uint32_t>(array->num_disks());
+  EXPECT_EQ(array->disk(0).layout().geometry().rpm, 10000u);
+  EXPECT_EQ(array->disk(n - 1).layout().geometry().rpm, 7200u);
+
+  // Healthy mixed I/O, then a latent error for the scrubber.
+  IoTally healthy;
+  RunMix(array.get(), 150, 67, 0.6, &healthy);
+  DrainAll(array.get());
+  EXPECT_EQ(healthy.ok, 150);
+
+  // Failover: lose a fast disk, keep serving from the slow redundancy.
+  ASSERT_TRUE(array->backend().FailDisk(SlotId(0)));
+  IoTally degraded;
+  RunMix(array.get(), 100, 71, 0.6, &degraded);
+  DrainAll(array.get());
+  EXPECT_EQ(degraded.ok, 100)
+      << "mixed-RPM redundancy must cover a single failure";
+
+  // Rebuild restores the failed slot.
+  bool rebuilt = false;
+  IoResult rebuild_result;
+  array->backend().Rebuild(SlotId(0), [&](const IoResult& r) {
+    rebuild_result = r;
+    rebuilt = true;
+  });
+  uint64_t steps = 0;
+  while (!rebuilt) {
+    ASSERT_TRUE(array->sim().Step());
+    ASSERT_LT(++steps, kStepBudget) << "mixed-RPM rebuild wedged";
+  }
+  EXPECT_EQ(rebuild_result.status, IoStatus::kOk);
+  EXPECT_FALSE(array->backend().IsFailed(SlotId(0)));
+  DrainAll(array.get());
+
+  // Scrub coverage: a planted latent error is swept up on the mixed fleet
+  // and the completed sweep covers every live replica. (DrainAll stopped
+  // the sweeper, so restart it for this phase.)
+  PlantLatentError(array.get(), 800);
+  array->backend().StartScrub();
+  array->sim().RunUntil(array->sim().Now() + SimDuration(4'000'000));
+  DrainAll(array.get());
+  const FaultRecoveryStats& fs = array->backend().fault_stats();
+  EXPECT_GE(fs.scrub_repairs, 1u) << "latent error survived the sweeper";
+  ASSERT_GE(fs.scrub_sweeps_completed, 1u);
+  EXPECT_DOUBLE_EQ(fs.scrub_last_sweep_coverage, 1.0);
+
+  // Phase attribution stays exact per request even though slow-half legs
+  // rotate at a different speed: the breakdown is defined to sum to the
+  // end-to-end latency to double rounding.
+  ASSERT_GE(collector.requests().size(), 250u);
+  EXPECT_EQ(collector.open_requests(), 0u);
+  for (const RequestRecord& r : collector.requests()) {
+    EXPECT_NEAR(r.phases.SumUs(), r.EndToEndUs(), 1e-6)
+        << "request " << r.id << " lost time in the phase breakdown";
+  }
+
+  array->backend().AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+  EXPECT_GT(auditor.checks_run(), 0u);
+}
+
+TEST_P(BackendConformance, IncompatibleSpareIsRejectedNotSilentlyAccepted) {
+  // Spare pool: a drive too small for any slot's used span first, a
+  // compatible one second. Promotion must skip (and count) the small one
+  // and take the compatible one — the old behavior silently promoted
+  // whatever was first.
+  InvariantAuditor auditor;
+  RigConfig rig;
+  rig.auditor = &auditor;
+  rig.faults = true;
+  rig.hot_spares = 2;
+  auto array =
+      MakeMixedRpmArray(GetParam(), rig, {/*tiny=*/2u, /*fast=*/0u});
+  EXPECT_EQ(array->backend().spares_available(), 2u);
+
+  array->fault_injector()->FailStop(0);
+  IoTally tally;
+  RunMix(array.get(), 150, 73, 0.0, &tally);
+  DrainAll(array.get());
+  EXPECT_EQ(tally.intermediate, 0);
+  EXPECT_EQ(tally.ok, 150);
+
+  const FaultRecoveryStats& fs = array->backend().fault_stats();
+  EXPECT_EQ(fs.spare_rejected, 1u)
+      << "undersized spare was not rejected at promotion";
+  EXPECT_EQ(fs.spares_promoted, 1u);
+  EXPECT_EQ(fs.spare_rebuilds_completed, 1u);
+  EXPECT_FALSE(array->backend().IsFailed(SlotId(0)));
+  // The incompatible spare stays pooled for a slot it might fit.
+  EXPECT_EQ(array->backend().spares_available(), 1u);
+
+  StatsRegistry registry;
+  array->backend().ExportStats(&registry);
+  EXPECT_EQ(registry.Get("fault.spare_rejected"), 1.0);
+
+  array->backend().AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+}
+
+TEST_P(BackendConformance, OnlyIncompatibleSparesLeavesSlotFailed) {
+  InvariantAuditor auditor;
+  RigConfig rig;
+  rig.auditor = &auditor;
+  rig.faults = true;
+  rig.hot_spares = 1;
+  auto array = MakeMixedRpmArray(GetParam(), rig, {/*tiny=*/2u});
+  array->fault_injector()->FailStop(0);
+  IoTally tally;
+  RunMix(array.get(), 120, 79, 0.0, &tally);
+  DrainAll(array.get());
+  EXPECT_EQ(tally.ok, 120) << "redundancy must still cover the failure";
+
+  const FaultRecoveryStats& fs = array->backend().fault_stats();
+  EXPECT_GE(fs.spare_rejected, 1u);
+  EXPECT_EQ(fs.spares_promoted, 0u);
+  EXPECT_TRUE(array->backend().IsFailed(SlotId(0)))
+      << "slot cannot recover without a compatible spare";
+  EXPECT_EQ(array->backend().spares_available(), 1u);
+  array->backend().AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

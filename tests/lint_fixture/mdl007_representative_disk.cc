@@ -1,0 +1,58 @@
+// Lint fixture: MDL007 — representative-disk parameter reads.
+// Not compiled into any target; consumed by the lint fixture test only.
+#include <cstdint>
+#include <vector>
+
+namespace mimdraid {
+namespace lint_fixture {
+
+struct Layout {
+  uint32_t rpm = 10000;
+  uint64_t sectors = 0;
+};
+
+struct FakeDisk {
+  Layout layout;
+  const Layout& geometry() const { return layout; }
+};
+
+struct DriveParams {
+  uint32_t rpm = 10000;
+};
+
+class RepresentativeReader {
+ public:
+  uint32_t FirstRpm() const {
+    return disks_[0]->geometry().rpm;  // seeded violation: disks_[0] read
+  }
+
+  uint64_t FrontSectors() const {
+    return drives_.front().geometry().sectors;  // seeded violation: .front()
+  }
+
+  uint64_t SlotSectors(size_t slot) const {
+    return disks_[slot]->geometry().sectors;  // per-slot index: not flagged
+  }
+
+  uint64_t TotalSectors() const {
+    uint64_t total = 0;
+    for (const FakeDisk* d : disks_) {  // whole-fleet iteration: not flagged
+      total += d->geometry().sectors;
+    }
+    return total;
+  }
+
+  uint32_t SuppressedFirstRpm() const {
+    // mdl-ok(MDL007): fixture exercising a reasoned suppression
+    return disks_[0]->geometry().rpm;
+  }
+
+ private:
+  std::vector<const FakeDisk*> disks_;
+  std::vector<FakeDisk> drives_;
+  DriveParams shared_params_;  // seeded violation: one params for all slots
+  std::vector<DriveParams> per_slot_params_;  // per-slot vector: not flagged
+};
+
+}  // namespace lint_fixture
+}  // namespace mimdraid

@@ -47,6 +47,10 @@ CHECKS = {
               "element — for event/command queues that means deep-copying "
               "the stored callback closure on every pop. Bind a const "
               "reference (or move the element out) instead.",
+    "MDL007": "Reading one representative disk's parameters (disks_[0], "
+              ".front(), a single shared DriveParams member) assumes an "
+              "identical-disk fleet; per-slot parameters now come from "
+              "FleetSpec, so index by the slot actually involved.",
 }
 
 # MDL001: parameter types that denote a completion callback.
@@ -425,6 +429,81 @@ def check_top_copy(lf: LexedFile) -> list[Finding]:
     return out
 
 
+# --- MDL007 ---------------------------------------------------------------
+
+
+_DISKISH_RE = re.compile(r"(?i)(disk|drive)")
+# Exact type names whose single-member form hides per-slot variation.
+_SHARED_PARAM_TYPES = {"DriveParams", "DiskParams"}
+
+
+def check_representative_disk(lf: LexedFile) -> list[Finding]:
+    """MDL007: representative-disk reads in heterogeneous-fleet code.
+
+    The motivating refactor: MimdRaid used `disks_[0]->layout()` to size and
+    place data for *every* column, which silently mis-models a fleet with
+    mixed drive generations. Flagged (in src/ only — tests may pin disk 0
+    deliberately):
+
+      * a disk/drive-named container indexed with literal 0, followed by
+        member access (`disks_[0]->geometry()`);
+      * `.front()` on such a container, followed by member access;
+      * a class storing one shared `DriveParams`/`DiskParams` member
+        (`DriveParams params_;`) instead of per-slot parameters.
+
+    Indexing by a variable (`disks_[slot]`) and whole-container iteration
+    pass; `ModelDiskParams` (the analytic aggregate) is a distinct type and
+    is not matched.
+    """
+    if not (lf.path.startswith("src/") or "lint_fixture" in lf.path):
+        return []
+    out: list[Finding] = []
+    toks = lf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        # Shared parameter member: `DriveParams name_ ;`
+        if t.text in _SHARED_PARAM_TYPES and i + 2 < n \
+                and toks[i + 1].kind == "id" \
+                and toks[i + 1].text.endswith("_") \
+                and toks[i + 2].text == ";" \
+                and not _suppressed(lf, t.line, "MDL007"):
+            out.append(Finding(
+                lf.path, t.line, "MDL007",
+                f"single shared '{t.text}' member "
+                f"'{toks[i + 1].text}': per-slot parameters live in "
+                f"FleetSpec — store the generation per slot"))
+            continue
+        if not _DISKISH_RE.search(t.text):
+            continue
+        # `disks_[0]` followed by member access.
+        if i + 4 < n and toks[i + 1].text == "[" \
+                and toks[i + 2].kind == "num" \
+                and toks[i + 2].text.replace("'", "").rstrip("uUlL") == "0" \
+                and toks[i + 3].text == "]" \
+                and toks[i + 4].text in {".", "->"}:
+            if not _suppressed(lf, t.line, "MDL007"):
+                out.append(Finding(
+                    lf.path, t.line, "MDL007",
+                    f"'{t.text}[0]' treated as a representative disk; "
+                    f"fleets are heterogeneous — use the slot's own "
+                    f"parameters"))
+            continue
+        # `disks_.front().xxx` / `disks_->front()->xxx`.
+        if i + 5 < n and toks[i + 1].text in {".", "->"} \
+                and toks[i + 2].kind == "id" and toks[i + 2].text == "front" \
+                and toks[i + 3].text == "(" and toks[i + 4].text == ")" \
+                and toks[i + 5].text in {".", "->"}:
+            if not _suppressed(lf, t.line, "MDL007"):
+                out.append(Finding(
+                    lf.path, t.line, "MDL007",
+                    f"'{t.text}.front()' treated as a representative disk; "
+                    f"fleets are heterogeneous — use the slot's own "
+                    f"parameters"))
+    return out
+
+
 ALL_CHECKS = [
     check_suppression_format,
     check_callback_paths,
@@ -433,6 +512,7 @@ ALL_CHECKS = [
     check_local_static,
     check_owned_observers,
     check_top_copy,
+    check_representative_disk,
 ]
 
 
