@@ -1,7 +1,8 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the simulator:
-// LBA mapping, access planning, replica placement, and scheduler picks.
-// These bound the cost of simulated I/O and of position-sensitive scheduling
-// (a SATF-class dispatch is O(queue x replicas) Plan() calls).
+// LBA mapping, access planning, replica placement, scheduler picks, and the
+// GF(2^8) erasure codec. These bound the cost of simulated I/O, of
+// position-sensitive scheduling (a SATF-class dispatch is
+// O(queue x replicas) Plan() calls), and of byte-level coding per stripe.
 #include <benchmark/benchmark.h>
 
 #include <functional>
@@ -12,6 +13,7 @@
 #include "src/array/placement.h"
 #include "src/calib/predictor.h"
 #include "src/disk/sim_disk.h"
+#include "src/ec/gf256.h"
 #include "src/sched/positional_schedulers.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
@@ -211,6 +213,67 @@ void BM_VaAllocate(benchmark::State& state) {
   state.SetComplexityN(static_cast<int64_t>(fleet_drives));
 }
 BENCHMARK(BM_VaAllocate)->Arg(8)->Arg(64)->Arg(256)->Complexity();
+
+// GF(2^8) Cauchy coding over one stripe of k 4 KiB shards: parity
+// generation (Encode) and worst-case repair (Reconstruct with all m data
+// shards lost, so the full k x k inversion plus every missing row is paid).
+// Prices the byte path the simulator's plans stand in for.
+void BM_EcEncode(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const uint32_t m = static_cast<uint32_t>(state.range(1));
+  constexpr size_t kShardBytes = 4096;
+  const EcCodec codec(k, m);
+  Rng rng(19);
+  std::vector<std::vector<uint8_t>> data(k);
+  for (auto& s : data) {
+    s.resize(kShardBytes);
+    for (auto& b : s) {
+      b = static_cast<uint8_t>(rng.UniformU64(256));
+    }
+  }
+  std::vector<std::vector<uint8_t>> parity;
+  for (auto _ : state) {
+    codec.Encode(data, &parity);
+    benchmark::DoNotOptimize(parity);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k *
+                          kShardBytes);
+}
+BENCHMARK(BM_EcEncode)->Args({4, 2})->Args({5, 1})->Args({8, 4});
+
+void BM_EcDecode(benchmark::State& state) {
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  const uint32_t m = static_cast<uint32_t>(state.range(1));
+  constexpr size_t kShardBytes = 4096;
+  const EcCodec codec(k, m);
+  Rng rng(23);
+  std::vector<std::vector<uint8_t>> whole(k);
+  for (auto& s : whole) {
+    s.resize(kShardBytes);
+    for (auto& b : s) {
+      b = static_cast<uint8_t>(rng.UniformU64(256));
+    }
+  }
+  std::vector<std::vector<uint8_t>> parity;
+  codec.Encode(whole, &parity);
+  whole.insert(whole.end(), parity.begin(), parity.end());
+  std::vector<bool> present(k + m, true);
+  for (uint32_t i = 0; i < m; ++i) {
+    present[i] = false;  // worst case: m data shards gone
+  }
+  for (auto _ : state) {
+    std::vector<std::vector<uint8_t>> shards = whole;
+    for (uint32_t i = 0; i < m; ++i) {
+      shards[i].clear();
+    }
+    const bool ok = codec.Reconstruct(&shards, present);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(shards);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * m *
+                          kShardBytes);
+}
+BENCHMARK(BM_EcDecode)->Args({4, 2})->Args({5, 1})->Args({8, 4});
 
 }  // namespace
 }  // namespace mimdraid

@@ -118,6 +118,11 @@ Raid5Controller& MimdRaid::raid5() {
   return *raid5_;
 }
 
+EcController& MimdRaid::ec() {
+  MIMDRAID_CHECK(ec_ != nullptr);  // erasure backend only
+  return *ec_;
+}
+
 const ArrayLayout& MimdRaid::layout() const {
   MIMDRAID_CHECK(layout_ != nullptr);  // mirror backend only
   return *layout_;
@@ -126,6 +131,11 @@ const ArrayLayout& MimdRaid::layout() const {
 const Raid5Layout& MimdRaid::raid5_layout() const {
   MIMDRAID_CHECK(raid5_layout_ != nullptr);  // RAID-5 backend only
   return *raid5_layout_;
+}
+
+const EcLayout& MimdRaid::ec_layout() const {
+  MIMDRAID_CHECK(ec_layout_ != nullptr);  // erasure backend only
+  return *ec_layout_;
 }
 
 void MimdRaid::BuildBackend() {
@@ -151,7 +161,7 @@ void MimdRaid::BuildBackend() {
         &sim_, std::move(disk_ptrs), std::move(pred_ptrs), layout_.get(),
         ControllerOptions());
     backend_ = controller_.get();
-  } else {
+  } else if (options_.backend == ArrayBackendKind::kRaid5) {
     const uint32_t n = static_cast<uint32_t>(disks_.size());
     MIMDRAID_CHECK_GE(n, 3u);
     // The aspect supplies only the disk budget here; replica dimensions are
@@ -173,6 +183,31 @@ void MimdRaid::BuildBackend() {
         &sim_, std::move(disk_ptrs), std::move(pred_ptrs),
         raid5_layout_.get(), Raid5Options());
     backend_ = raid5_.get();
+  } else {
+    const uint32_t n = static_cast<uint32_t>(disks_.size());
+    MIMDRAID_CHECK_GE(options_.parity_shards, 1u);
+    MIMDRAID_CHECK_GT(n, options_.parity_shards);
+    // As for RAID-5, the aspect supplies only the disk budget.
+    MIMDRAID_CHECK_EQ(options_.aspect.dr, 1);
+    MIMDRAID_CHECK_EQ(options_.aspect.dm, 1);
+    const uint32_t k = n - options_.parity_shards;
+    const uint64_t unit = options_.stripe_unit_sectors;
+    // m disks' worth of parity: size each drive so the k data shares cover
+    // the dataset, rounded up to whole stripe units.
+    const uint64_t per_data = (options_.dataset_sectors + k - 1) / k;
+    const uint64_t per_disk = (per_data + unit - 1) / unit * unit;
+    // The rotated layout stripes symmetrically, so the weakest drive bounds
+    // every share.
+    for (const auto& disk : disks_) {
+      MIMDRAID_CHECK_LE(per_disk, disk->layout().num_data_sectors());
+    }
+    ec_layout_ = std::make_unique<EcLayout>(
+        n, k, options_.stripe_unit_sectors, per_disk);
+    ec_codec_ = std::make_unique<EcCodec>(k, options_.parity_shards);
+    ec_ = std::make_unique<EcController>(
+        &sim_, std::move(disk_ptrs), std::move(pred_ptrs), ec_layout_.get(),
+        ec_codec_.get(), EcOptions());
+    backend_ = ec_.get();
   }
   for (size_t i = 0; i < spare_disks_.size(); ++i) {
     backend_->AddSpare(spare_disks_[i].get(), spare_predictors_[i].get());
@@ -208,6 +243,20 @@ Raid5ControllerOptions MimdRaid::Raid5Options() const {
   ropts.scrub_interval_us = options_.scrub_interval_us;
   ropts.scrub_gating = options_.scrub_gating;
   return ropts;
+}
+
+EcControllerOptions MimdRaid::EcOptions() const {
+  EcControllerOptions eopts;
+  eopts.scheduler = options_.scheduler;
+  eopts.max_scan = options_.max_scan;
+  eopts.auditor = options_.auditor;
+  eopts.fault_injector = injector_.get();
+  eopts.collector = options_.collector;
+  eopts.retry = options_.retry;
+  eopts.disk_error_fail_threshold = options_.disk_error_fail_threshold;
+  eopts.scrub_interval_us = options_.scrub_interval_us;
+  eopts.scrub_gating = options_.scrub_gating;
+  return eopts;
 }
 
 void MimdRaid::Reshape(const ArrayAspect& aspect, SimDuration migration_us) {

@@ -18,6 +18,9 @@
 #include "src/disk/seek_profile.h"
 #include "src/disk/sim_disk.h"
 #include "src/io/array_backend.h"
+#include "src/ec/ec_controller.h"
+#include "src/ec/ec_layout.h"
+#include "src/ec/gf256.h"
 #include "src/model/configurator.h"
 #include "src/model/fleet_spec.h"
 #include "src/raid5/raid5_controller.h"
@@ -34,9 +37,15 @@ struct MimdRaidOptions {
   // Redundancy policy layered over the shared DriveSet engine. kMirror is the
   // paper's replica-based design (SR/ML/ABL via `aspect`); kRaid5 runs
   // rotating parity over the same disk budget (aspect.TotalDisks() drives,
-  // one disk's worth of capacity spent on parity).
+  // one disk's worth of capacity spent on parity); kErasure runs general
+  // (k+m) Reed-Solomon coding with m = parity_shards drives' worth of parity
+  // and k = TotalDisks() - m data shards.
   ArrayBackendKind backend = ArrayBackendKind::kMirror;
   ArrayAspect aspect;  // Ds x Dr x Dm; TotalDisks() is the disk budget
+  // kErasure only: parity shards per stripe row (m). 1 matches RAID-5's
+  // fault tolerance, 2 is RAID-6, larger m tolerates m concurrent losses at
+  // k/(k+m) capacity efficiency.
+  uint32_t parity_shards = 2;
   SchedulerKind scheduler = SchedulerKind::kRsatf;
   size_t max_scan = 0;
   uint64_t dataset_sectors = 16'400'000;
@@ -118,11 +127,14 @@ class MimdRaid {
   // configured.
   ArrayController& controller();
   Raid5Controller& raid5();
+  EcController& ec();
 
-  // Mirror-only: the replica layout. CHECKs on the RAID-5 backend.
+  // Mirror-only: the replica layout. CHECKs on the other backends.
   const ArrayLayout& layout() const;
-  // RAID-5-only: the parity layout. CHECKs on the mirror backend.
+  // RAID-5-only: the parity layout. CHECKs on the other backends.
   const Raid5Layout& raid5_layout() const;
+  // Erasure-only: the (k+m) layout. CHECKs on the other backends.
+  const EcLayout& ec_layout() const;
   const MimdRaidOptions& options() const { return options_; }
 
   // Array disks only; hot spares are owned separately until promoted.
@@ -146,6 +158,7 @@ class MimdRaid {
  private:
   ArrayControllerOptions ControllerOptions() const;
   Raid5ControllerOptions Raid5Options() const;
+  EcControllerOptions EcOptions() const;
   // (Re)creates the configured backend over disks_/predictors_ and registers
   // the hot spares with it.
   void BuildBackend();
@@ -159,9 +172,12 @@ class MimdRaid {
   std::vector<std::unique_ptr<AccessPredictor>> spare_predictors_;
   std::unique_ptr<ArrayLayout> layout_;
   std::unique_ptr<Raid5Layout> raid5_layout_;
+  std::unique_ptr<EcLayout> ec_layout_;
+  std::unique_ptr<EcCodec> ec_codec_;
   std::unique_ptr<ArrayController> controller_;
   std::unique_ptr<Raid5Controller> raid5_;
-  ArrayBackend* backend_ = nullptr;  // whichever of the two is live
+  std::unique_ptr<EcController> ec_;
+  ArrayBackend* backend_ = nullptr;  // whichever of the three is live
 };
 
 }  // namespace mimdraid

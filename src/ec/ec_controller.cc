@@ -1,0 +1,812 @@
+#include "src/ec/ec_controller.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+namespace {
+
+// Status severity follows enum declaration order.
+IoStatus Worse(IoStatus a, IoStatus b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+DriveSetOptions EngineOptions(const EcControllerOptions& options) {
+  DriveSetOptions engine;
+  engine.scheduler = options.scheduler;
+  engine.max_scan = options.max_scan;
+  engine.auditor = options.auditor;
+  engine.fault_injector = options.fault_injector;
+  engine.collector = options.collector;
+  engine.retry = options.retry;
+  engine.disk_error_fail_threshold = options.disk_error_fail_threshold;
+  engine.scrub_interval_us = options.scrub_interval_us;
+  engine.scrub_gating = options.scrub_gating;
+  return engine;
+}
+
+}  // namespace
+
+EcController::EcController(Simulator* sim, std::vector<SimDisk*> disks,
+                           std::vector<AccessPredictor*> predictors,
+                           const EcLayout* layout, const EcCodec* codec,
+                           const EcControllerOptions& options)
+    : sim_(sim),
+      layout_(layout),
+      codec_(codec),
+      options_(options),
+      auditor_(options.auditor),
+      collector_(options.collector) {
+  MIMDRAID_CHECK(sim != nullptr);
+  MIMDRAID_CHECK(layout != nullptr);
+  MIMDRAID_CHECK(codec != nullptr);
+  MIMDRAID_CHECK_EQ(disks.size(), layout->num_disks());
+  MIMDRAID_CHECK_EQ(predictors.size(), disks.size());
+  MIMDRAID_CHECK_EQ(codec->n(), layout->num_disks());
+  MIMDRAID_CHECK_EQ(codec->k(), layout->data_shards());
+  drives_ = std::make_unique<DriveSet>(sim, std::move(disks),
+                                       std::move(predictors),
+                                       static_cast<DriveSetClient*>(this),
+                                       EngineOptions(options));
+  drives_->StartScrub();
+}
+
+EcController::~EcController() = default;
+
+bool EcController::Idle() const {
+  if (!ops_.empty() || rebuilding_disk_ >= 0 || !rebuild_queue_.empty() ||
+      drives_->pending_recovery() > 0) {
+    return false;
+  }
+  return drives_->AllDrivesQuiet();
+}
+
+void EcController::AuditQuiescent() const {
+  if (auditor_ == nullptr) {
+    return;
+  }
+  auditor_->CheckQuiescent(drives_->TotalFgQueued(),
+                           drives_->TotalDelayedQueued(),
+                           /*nvram_entries=*/0, /*stale_sectors=*/0,
+                           /*inflight_writes=*/0, /*parked_requests=*/0);
+}
+
+void EcController::ExportStats(StatsRegistry* registry) const {
+  MIMDRAID_CHECK(registry != nullptr);
+  ExportFaultStats(drives_->fstats(), registry);
+  registry->Set("ec.reads_completed",
+                static_cast<double>(stats_.reads_completed));
+  registry->Set("ec.writes_completed",
+                static_cast<double>(stats_.writes_completed));
+  registry->Set("ec.rmw_writes", static_cast<double>(stats_.rmw_writes));
+  registry->Set("ec.reconstruct_writes",
+                static_cast<double>(stats_.reconstruct_writes));
+  registry->Set("ec.degraded_reads",
+                static_cast<double>(stats_.degraded_reads));
+  registry->Set("ec.degraded_writes",
+                static_cast<double>(stats_.degraded_writes));
+  registry->Set("ec.rebuilt_rows", static_cast<double>(stats_.rebuilt_rows));
+}
+
+bool EcController::FailDisk(SlotId disk) {
+  MIMDRAID_CHECK_LT(disk.value(), drives_->num_slots());
+  if (drives_->failed(disk)) {
+    return true;
+  }
+  drives_->MarkFailed(disk);
+  if (drives_->fault_injector() != nullptr) {
+    drives_->fault_injector()->FailStop(disk.value());
+  }
+  drives_->FailQueuedCommands(disk);
+  return true;
+}
+
+void EcController::OnEntryComplete(SlotId /*disk*/,
+                                   const QueuedRequest& /*entry*/,
+                                   BlockAddr /*chosen_lba*/,
+                                   const DiskOpResult& /*result*/) {
+  // Every erasure sub-op registers a command callback with the engine; a
+  // completion falling through to the raw-entry hook means the command table
+  // lost an entry.
+  MIMDRAID_CHECK(false);
+}
+
+void EcController::OnSlotFailed(SlotId disk) {
+  drives_->FailQueuedCommands(disk);
+}
+
+bool EcController::SparePromotionAllowed(SlotId /*disk*/) {
+  // Always: a promotion while another slot is rebuilding queues behind it
+  // (the slot stays marked failed until its own pass starts).
+  return true;
+}
+
+uint64_t EcController::UsedSpanSectors(SlotId /*disk*/) const {
+  return static_cast<uint64_t>(layout_->num_rows()) *
+         layout_->stripe_unit_sectors();
+}
+
+void EcController::OnSparePromoted(SlotId disk) {
+  // The spare holds no data yet: rebuild the slot through a decode set as
+  // soon as a rebuild slot frees up (immediately when none is active).
+  DoneFn done = [this](const IoResult& r) {
+    if (r.status == IoStatus::kOk) {
+      ++fstats().spare_rebuilds_completed;
+    }
+  };
+  if (rebuilding_disk_ >= 0) {
+    rebuild_queue_.push_back(QueuedRebuild{disk, std::move(done)});
+    return;
+  }
+  StartRebuild(disk, std::move(done));
+}
+
+bool EcController::ScrubEligible() const {
+  return ops_.empty() && rebuilding_disk_ < 0 && rebuild_queue_.empty();
+}
+
+void EcController::ScrubStep() {
+  const uint32_t rows = layout_->num_rows();
+  if (rows == 0) {
+    return;
+  }
+  if (scrub_cursor_ >= rows) {
+    scrub_cursor_ = 0;
+    ++fstats().scrub_sweeps_completed;
+    fstats().scrub_last_sweep_coverage =
+        sweep_sectors_nominal_ == 0
+            ? 0.0
+            : static_cast<double>(sweep_sectors_issued_) /
+                  static_cast<double>(sweep_sectors_nominal_);
+    sweep_sectors_issued_ = 0;
+    sweep_sectors_nominal_ = 0;
+  }
+  const uint32_t row = scrub_cursor_++;
+  const uint32_t unit = layout_->stripe_unit_sectors();
+  const uint64_t lba = static_cast<uint64_t>(row) * unit;
+  for (uint32_t d = 0; d < layout_->num_disks(); ++d) {
+    sweep_sectors_nominal_ += unit;
+    if (!DiskUsable(d, row)) {
+      continue;
+    }
+    sweep_sectors_issued_ += unit;
+    EnqueueDiskOp(
+        d, DiskOp::kRead, lba, unit,
+        [this, d, lba, unit](const DiskOpResult& r, uint64_t id) {
+          ++fstats().scrub_reads;
+          fstats().scrub_sectors_read += unit;
+          if (r.ok()) {
+            return;
+          }
+          if (r.status == IoStatus::kMediaError &&
+              !drives_->failed(SlotId(d))) {
+            // Latent sector error caught before a failure could turn it into
+            // data loss: rewrite the unit so the drive reallocates the bad
+            // sectors. The replacement contents are reconstructible from the
+            // row peers read by this same sweep.
+            ++fstats().scrub_repairs;
+            ++fstats().repairs_queued;
+            EnqueueDiskOp(d, DiskOp::kWrite, lba, unit,
+                          [this](const DiskOpResult& w, uint64_t wid) {
+                            if (!w.ok()) {
+                              ResolveCommandFault(
+                                  wid, FaultResolution::kSurfaced,
+                                  w.status == IoStatus::kDiskFailed);
+                            }
+                          });
+            ResolveCommandFault(id, FaultResolution::kRepaired,
+                                /*target_disk_failed=*/false);
+            return;
+          }
+          const bool disk_failed = drives_->failed(SlotId(d));
+          ResolveCommandFault(id,
+                              disk_failed ? FaultResolution::kAbandoned
+                                          : FaultResolution::kSurfaced,
+                              disk_failed);
+        });
+  }
+}
+
+bool EcController::DiskUsable(uint32_t disk, uint32_t row) const {
+  if (drives_->failed(SlotId(disk))) {
+    return false;  // covers slots waiting in the rebuild queue too
+  }
+  if (rebuilding_disk_ == static_cast<int>(disk)) {
+    return row < rebuilt_rows_;
+  }
+  return true;
+}
+
+std::vector<uint32_t> EcController::ReadableColumns(
+    uint32_t row, uint32_t excluding_disk, uint32_t unreadable_disk) const {
+  std::vector<uint32_t> cols;
+  for (uint32_t d = 0; d < layout_->num_disks(); ++d) {
+    if (d == excluding_disk || d == unreadable_disk) {
+      continue;
+    }
+    if (DiskUsable(d, row)) {
+      cols.push_back(d);
+    }
+  }
+  return cols;
+}
+
+void EcController::Submit(DiskOp op, uint64_t lba, uint32_t sectors,
+                          DoneFn done) {
+  MIMDRAID_CHECK_GT(sectors, 0u);
+  const uint64_t op_id = next_op_id_++;
+  if (collector_ != nullptr) {
+    collector_->OnRequestArrival(op_id, op == DiskOp::kWrite, lba, sectors,
+                                 sim_->Now());
+  }
+  const std::vector<EcFragment> frags = layout_->Map(lba, sectors);
+  PendingOp& pending = ops_[op_id];
+  pending.remaining = static_cast<uint32_t>(frags.size());
+  pending.done = std::move(done);
+  pending.op = op;
+  for (const EcFragment& frag : frags) {
+    if (op == DiskOp::kRead) {
+      SubmitReadFragment(op_id, frag);
+    } else {
+      SubmitWriteFragment(op_id, frag);
+    }
+  }
+}
+
+void EcController::SubmitReadFragment(uint64_t op_id, const EcFragment& frag,
+                                      bool force_degraded,
+                                      bool repair_on_success) {
+  auto work = std::make_shared<FragWork>();
+  work->op_id = op_id;
+  work->frag = frag;
+  work->op = DiskOp::kRead;
+  work->force_degraded = force_degraded;
+  work->repair_pending = repair_on_success;
+
+  if (!force_degraded && DiskUsable(frag.data_disk, frag.row)) {
+    work->phase_remaining = 1;
+    EnqueueDiskOp(
+        frag.data_disk, DiskOp::kRead, frag.disk_lba, frag.sectors,
+        [this, work](const DiskOpResult& r, uint64_t id) {
+          if (work->abandoned) {
+            if (!r.ok()) {
+              ResolveCommandFault(id, FaultResolution::kSurfaced,
+                                  r.status == IoStatus::kDiskFailed);
+            }
+            return;
+          }
+          if (r.ok()) {
+            FragmentPhaseDone(work, r.completion_us, &r);
+            return;
+          }
+          // Direct read failed past the retry budget: fail over to decode
+          // reconstruction. A media error additionally queues a repair
+          // rewrite once the data is back in hand.
+          work->abandoned = true;
+          NoteOpRecovery(work->op_id);
+          ++fstats().failovers;
+          const bool repair =
+              r.status == IoStatus::kMediaError &&
+              !drives_->failed(SlotId(work->frag.data_disk));
+          ResolveCommandFault(id, FaultResolution::kFailedOver,
+                              drives_->failed(SlotId(work->frag.data_disk)));
+          SubmitReadFragment(work->op_id, work->frag,
+                             /*force_degraded=*/true, repair);
+        });
+    return;
+  }
+
+  // Degraded read: decode the missing data unit through any k readable
+  // columns. Columns are taken in ascending disk order — deterministic, and
+  // Cauchy generators make every k-subset invertible.
+  std::vector<uint32_t> cols =
+      ReadableColumns(frag.row, frag.data_disk, layout_->num_disks());
+  if (cols.size() < codec_->k()) {
+    // More than m row members are gone: the data is lost. Finish the
+    // fragment gracefully instead of crashing.
+    CompleteFragmentFailed(op_id, IoStatus::kUnrecoverable);
+    return;
+  }
+  cols.resize(codec_->k());
+  std::vector<uint32_t> positions;
+  positions.reserve(cols.size());
+  for (uint32_t d : cols) {
+    positions.push_back(layout_->PositionOfDisk(frag.row, d));
+  }
+  MIMDRAID_CHECK(codec_->CanDecodeFrom(positions));
+  work->degraded = true;
+  work->phase_remaining = static_cast<int>(cols.size());
+  ++stats_.degraded_reads;
+  ++fstats().reconstructions;
+  for (uint32_t d : cols) {
+    EnqueueDiskOp(d, DiskOp::kRead, frag.disk_lba, frag.sectors,
+                  [this, work](const DiskOpResult& r, uint64_t id) {
+                    if (!r.ok()) {
+                      // A fault while decoding an already-missing member:
+                      // the loss is surfaced to the submitter.
+                      ResolveCommandFault(id, FaultResolution::kSurfaced,
+                                          r.status == IoStatus::kDiskFailed);
+                    }
+                    if (work->abandoned) {
+                      return;
+                    }
+                    if (!r.ok()) {
+                      work->status =
+                          Worse(work->status, IoStatus::kUnrecoverable);
+                    }
+                    FragmentPhaseDone(work, r.completion_us, &r);
+                  });
+  }
+}
+
+void EcController::SubmitWriteFragment(uint64_t op_id, const EcFragment& frag,
+                                       bool force_degraded) {
+  auto work = std::make_shared<FragWork>();
+  work->op_id = op_id;
+  work->frag = frag;
+  work->op = DiskOp::kWrite;
+  work->force_degraded = force_degraded;
+
+  const uint32_t k = codec_->k();
+  const uint32_t m = codec_->m();
+  const bool data_writable = DiskUsable(frag.data_disk, frag.row);
+  const bool data_readable = data_writable && !force_degraded;
+  uint32_t live_parities = 0;
+  for (uint32_t j = 0; j < m; ++j) {
+    if (DiskUsable(layout_->ParityDiskOf(frag.row, j), frag.row)) {
+      ++live_parities;
+    }
+  }
+  if (!data_writable && live_parities == 0) {
+    // Neither the data unit nor any parity can record the write: the
+    // fragment's contents cannot be persisted anywhere.
+    CompleteFragmentFailed(op_id, IoStatus::kUnrecoverable);
+    return;
+  }
+  const bool degraded =
+      force_degraded || !data_writable || live_parities < m;
+  if (degraded) {
+    work->degraded = true;
+    ++stats_.degraded_writes;
+  }
+
+  if (live_parities == 0) {
+    // No parity to maintain: just write the data.
+    work->phase_remaining = 1;
+    FragmentPhaseDone(work, sim_->Now());
+    return;
+  }
+
+  // Price the two parity-update strategies by read count (the write count —
+  // data if writable plus every live parity — is identical under both):
+  //   RMW          1 + live_parities  (old data + old parities; needs the
+  //                                    old data readable)
+  //   RCW direct   k - 1              (every other data column readable)
+  //   RCW decode   k                  (any k readable columns reconstruct
+  //                                    the other data units first)
+  // and take the argmin, tied toward RMW. RCW-direct dominates RCW-decode
+  // whenever it is valid, so at most one RCW variant competes.
+  const uint32_t rmw_reads = 1 + live_parities;
+  std::vector<uint32_t> other_data;
+  bool others_readable = true;
+  for (uint32_t s = 0; s < k; ++s) {
+    if (s == frag.shard_index) {
+      continue;
+    }
+    const uint32_t d = layout_->DataDiskOf(frag.row, s);
+    other_data.push_back(d);
+    if (!DiskUsable(d, frag.row)) {
+      others_readable = false;
+    }
+  }
+  std::vector<uint32_t> rcw_reads;
+  bool rcw_valid = false;
+  if (others_readable) {
+    rcw_reads = std::move(other_data);
+    rcw_valid = true;
+  } else {
+    // A sibling data column is down: reconstruct it (and the rest) through
+    // an arbitrary decode set. The target's own old unit is a valid decode
+    // column unless its contents are what we failed to read.
+    std::vector<uint32_t> cols = ReadableColumns(
+        frag.row, layout_->num_disks(),
+        force_degraded ? frag.data_disk : layout_->num_disks());
+    if (cols.size() >= k) {
+      cols.resize(k);
+      std::vector<uint32_t> positions;
+      positions.reserve(cols.size());
+      for (uint32_t d : cols) {
+        positions.push_back(layout_->PositionOfDisk(frag.row, d));
+      }
+      MIMDRAID_CHECK(codec_->CanDecodeFrom(positions));
+      rcw_reads = std::move(cols);
+      rcw_valid = true;
+    }
+  }
+
+  const bool rmw_valid = data_readable;
+  if (!rmw_valid && !rcw_valid) {
+    // Fewer than k readable columns and no old data to delta against: the
+    // new parity cannot be computed.
+    CompleteFragmentFailed(op_id, IoStatus::kUnrecoverable);
+    return;
+  }
+  const bool use_rmw =
+      rmw_valid &&
+      (!rcw_valid || rmw_reads <= static_cast<uint32_t>(rcw_reads.size()));
+
+  // Shared handler for every read-phase sub-op of a write fragment.
+  auto read_cb = [this, work](const DiskOpResult& r, uint64_t id) {
+    if (work->abandoned) {
+      if (!r.ok()) {
+        ResolveCommandFault(id, FaultResolution::kSurfaced,
+                            r.status == IoStatus::kDiskFailed);
+      }
+      return;
+    }
+    if (!r.ok()) {
+      if (r.status == IoStatus::kDiskFailed) {
+        // Row membership changed under us: re-plan against the survivors.
+        work->abandoned = true;
+        NoteOpRecovery(work->op_id);
+        ResolveCommandFault(id, FaultResolution::kFailedOver,
+                            /*target_disk_failed=*/true);
+        SubmitWriteFragment(work->op_id, work->frag, work->force_degraded);
+        return;
+      }
+      if (!work->force_degraded) {
+        // A pre-image is unreadable; re-plan once with the old data treated
+        // as lost (forcing a reconstruct-write that avoids it).
+        work->abandoned = true;
+        NoteOpRecovery(work->op_id);
+        ++fstats().failovers;
+        ResolveCommandFault(id, FaultResolution::kFailedOver,
+                            /*target_disk_failed=*/false);
+        SubmitWriteFragment(work->op_id, work->frag, /*force_degraded=*/true);
+        return;
+      }
+      // Already on the fallback plan and a decode column is unreadable: the
+      // new parity cannot be computed.
+      work->status = Worse(work->status, IoStatus::kUnrecoverable);
+      ResolveCommandFault(id, FaultResolution::kSurfaced,
+                          /*target_disk_failed=*/false);
+    }
+    FragmentPhaseDone(work, r.completion_us, &r);
+  };
+
+  if (use_rmw) {
+    ++stats_.rmw_writes;
+    work->phase_remaining = static_cast<int>(rmw_reads);
+    EnqueueDiskOp(frag.data_disk, DiskOp::kRead, frag.disk_lba, frag.sectors,
+                  read_cb);
+    for (uint32_t j = 0; j < m; ++j) {
+      const uint32_t p = layout_->ParityDiskOf(frag.row, j);
+      if (DiskUsable(p, frag.row)) {
+        EnqueueDiskOp(p, DiskOp::kRead, frag.disk_lba, frag.sectors, read_cb);
+      }
+    }
+    return;
+  }
+
+  ++stats_.reconstruct_writes;
+  work->phase_remaining = static_cast<int>(rcw_reads.size());
+  if (work->phase_remaining == 0) {
+    // k == 1: the new data alone determines every parity.
+    work->phase_remaining = 1;
+    FragmentPhaseDone(work, sim_->Now());
+    return;
+  }
+  for (uint32_t d : rcw_reads) {
+    EnqueueDiskOp(d, DiskOp::kRead, frag.disk_lba, frag.sectors, read_cb);
+  }
+}
+
+void EcController::FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
+                                     SimTime completion,
+                                     const DiskOpResult* last) {
+  MIMDRAID_CHECK_GT(work->phase_remaining, 0);
+  if (--work->phase_remaining > 0) {
+    return;
+  }
+  const EcFragment& frag = work->frag;
+  if (work->op == DiskOp::kRead) {
+    if (work->status == IoStatus::kOk && work->repair_pending &&
+        DiskUsable(frag.data_disk, frag.row)) {
+      // Reconstructed data in hand: rewrite the latent-bad sectors so the
+      // drive reallocates them. Best-effort — if the rewrite fails the next
+      // read simply degrades again.
+      ++fstats().repairs_queued;
+      EnqueueDiskOp(frag.data_disk, DiskOp::kWrite, frag.disk_lba,
+                    frag.sectors,
+                    [this](const DiskOpResult& w, uint64_t id) {
+                      if (!w.ok()) {
+                        ResolveCommandFault(id, FaultResolution::kSurfaced,
+                                            w.status == IoStatus::kDiskFailed);
+                      }
+                    });
+    }
+    OpPartDone(work->op_id, completion, work->status, last);
+    return;
+  }
+
+  // Write: the read phase (if any) is done.
+  if (work->status != IoStatus::kOk) {
+    // A pre-image or decode read failed; the new parity cannot be computed.
+    OpPartDone(work->op_id, completion, work->status, last);
+    return;
+  }
+  const bool data_ok = DiskUsable(frag.data_disk, frag.row);
+  std::vector<uint32_t> parity_targets;
+  for (uint32_t j = 0; j < codec_->m(); ++j) {
+    const uint32_t p = layout_->ParityDiskOf(frag.row, j);
+    if (DiskUsable(p, frag.row)) {
+      parity_targets.push_back(p);
+    }
+  }
+  auto writes = std::make_shared<int>(0);
+  auto on_write = [this, work, writes](const DiskOpResult& r, uint64_t id) {
+    if (work->abandoned) {
+      if (!r.ok()) {
+        ResolveCommandFault(id, FaultResolution::kSurfaced,
+                            r.status == IoStatus::kDiskFailed);
+      }
+      return;
+    }
+    if (!r.ok()) {
+      if (r.status == IoStatus::kDiskFailed) {
+        // The target died mid-write: re-plan the fragment; the surviving
+        // members are (re)written by the new plan.
+        work->abandoned = true;
+        NoteOpRecovery(work->op_id);
+        ResolveCommandFault(id, FaultResolution::kFailedOver,
+                            /*target_disk_failed=*/true);
+        SubmitWriteFragment(work->op_id, work->frag, work->force_degraded);
+        return;
+      }
+      work->status = Worse(work->status, IoStatus::kUnrecoverable);
+      ResolveCommandFault(id, FaultResolution::kSurfaced,
+                          /*target_disk_failed=*/false);
+    }
+    MIMDRAID_CHECK_GT(*writes, 0);
+    if (--*writes == 0) {
+      OpPartDone(work->op_id, r.completion_us, work->status, &r);
+    }
+  };
+  *writes = (data_ok ? 1 : 0) + static_cast<int>(parity_targets.size());
+  if (*writes == 0) {
+    // Every target died while the reads were in flight.
+    CompleteFragmentFailed(work->op_id, IoStatus::kUnrecoverable);
+    return;
+  }
+  if (data_ok) {
+    EnqueueDiskOp(frag.data_disk, DiskOp::kWrite, frag.disk_lba, frag.sectors,
+                  on_write);
+  }
+  for (uint32_t p : parity_targets) {
+    EnqueueDiskOp(p, DiskOp::kWrite, frag.disk_lba, frag.sectors, on_write);
+  }
+}
+
+void EcController::OpPartDone(uint64_t op_id, SimTime completion,
+                              IoStatus status, const DiskOpResult* last) {
+  auto it = ops_.find(op_id);
+  MIMDRAID_CHECK(it != ops_.end());
+  PendingOp& pending = it->second;
+  if (collector_ != nullptr && last != nullptr &&
+      completion >= pending.last_completion) {
+    pending.has_leg = true;
+    pending.leg.entry_arrival_us = last->start_us;
+    pending.leg.disk_start_us = last->start_us;
+    pending.leg.overhead_us = last->overhead_us;
+    pending.leg.seek_us = last->seek_us;
+    pending.leg.rotational_us = last->rotational_us;
+    pending.leg.transfer_us = last->transfer_us;
+  }
+  pending.last_completion = std::max(pending.last_completion, completion);
+  pending.status = Worse(pending.status, status);
+  MIMDRAID_CHECK_GT(pending.remaining, 0u);
+  if (--pending.remaining == 0) {
+    IoResult out;
+    out.status = pending.status == IoStatus::kOk ? IoStatus::kOk
+                                                 : IoStatus::kUnrecoverable;
+    out.completion_us = pending.last_completion;
+    out.recovery_attempts = pending.recovery_attempts;
+    if (out.status == IoStatus::kOk) {
+      if (pending.op == DiskOp::kRead) {
+        ++stats_.reads_completed;
+      } else {
+        ++stats_.writes_completed;
+      }
+    } else {
+      ++fstats().unrecoverable_completions;
+    }
+    if (collector_ != nullptr) {
+      collector_->OnRequestComplete(op_id, out.status, out.completion_us,
+                                    out.recovery_attempts,
+                                    pending.has_leg ? &pending.leg : nullptr);
+    }
+    DoneFn done = std::move(pending.done);
+    ops_.erase(it);
+    if (done) {
+      done(out);
+    }
+  }
+}
+
+void EcController::CompleteFragmentFailed(uint64_t op_id, IoStatus status) {
+  drives_->CompleteDeferred(
+      [this, op_id, status] { OpPartDone(op_id, sim_->Now(), status); });
+}
+
+void EcController::NoteOpRecovery(uint64_t op_id) {
+  auto it = ops_.find(op_id);
+  if (it != ops_.end()) {
+    ++it->second.recovery_attempts;
+  }
+}
+
+void EcController::EnqueueDiskOp(uint32_t disk, DiskOp op, uint64_t lba,
+                                 uint32_t sectors,
+                                 DriveSet::CommandDoneFn done,
+                                 uint32_t attempts) {
+  // The controller tracks its stripe ops by its own op ids; the engine entry
+  // id is only meaningful to the DriveSet retry machinery.
+  (void)drives_->EnqueueCommand(  // mdl-ok(MDL002): engine id unused by policy
+      SlotId(disk), op, BlockAddr(lba), sectors, std::move(done), attempts);
+}
+
+void EcController::ResolveCommandFault(uint64_t id, FaultResolution resolution,
+                                       bool target_disk_failed) {
+  if (id != 0) {
+    drives_->ResolveFault(id, resolution, target_disk_failed);
+  }
+}
+
+void EcController::Rebuild(SlotId disk, DoneFn done) {
+  MIMDRAID_CHECK(drives_->failed(disk));
+  if (rebuilding_disk_ >= 0) {
+    rebuild_queue_.push_back(QueuedRebuild{disk, std::move(done)});
+    return;
+  }
+  StartRebuild(disk, std::move(done));
+}
+
+void EcController::StartRebuild(SlotId disk, DoneFn done) {
+  MIMDRAID_CHECK(drives_->failed(disk));
+  MIMDRAID_CHECK_LT(rebuilding_disk_, 0);
+  drives_->MarkReplaced(disk);  // the replacement drive is in the slot
+  if (drives_->fault_injector() != nullptr) {
+    drives_->fault_injector()->ReplaceDisk(disk.value());
+  }
+  rebuilding_disk_ = static_cast<int>(disk.value());
+  rebuilt_rows_ = 0;
+  rebuild_rows_lost_ = 0;
+  rebuild_done_ = std::move(done);
+  RebuildNextRow();
+}
+
+void EcController::FinishRebuild(IoStatus status) {
+  rebuilding_disk_ = -1;
+  DoneFn done = std::move(rebuild_done_);
+  rebuild_done_ = nullptr;
+  if (done) {
+    IoResult out;
+    out.status = status;
+    out.completion_us = sim_->Now();
+    done(out);
+  }
+  if (!rebuild_queue_.empty()) {
+    QueuedRebuild next = std::move(rebuild_queue_.front());
+    rebuild_queue_.pop_front();
+    StartRebuild(next.slot, std::move(next.done));
+  }
+}
+
+void EcController::AbortRebuild(uint32_t disk) {
+  if (rebuilding_disk_ != static_cast<int>(disk)) {
+    return;
+  }
+  // The replacement drive itself died; a queued slot (if any) takes over.
+  FinishRebuild(IoStatus::kDiskFailed);
+}
+
+void EcController::RebuildNextRow() {
+  MIMDRAID_CHECK_GE(rebuilding_disk_, 0);
+  const uint32_t disk = static_cast<uint32_t>(rebuilding_disk_);
+  if (drives_->failed(SlotId(disk))) {
+    AbortRebuild(disk);
+    return;
+  }
+  while (rebuilt_rows_ < layout_->num_rows()) {
+    const uint32_t row = rebuilt_rows_;
+    const uint32_t unit = layout_->stripe_unit_sectors();
+    const uint64_t lba = static_cast<uint64_t>(row) * unit;
+    // The target's unit — data or parity alike — is recomputed from any k
+    // readable columns of the row.
+    std::vector<uint32_t> cols =
+        ReadableColumns(row, disk, layout_->num_disks());
+    if (cols.size() < codec_->k()) {
+      // Too many concurrent losses: this row cannot be reconstructed. Note
+      // the loss and keep going — later faults must not wedge the rebuild.
+      ++fstats().rebuild_fragments_lost;
+      ++rebuild_rows_lost_;
+      ++rebuilt_rows_;
+      continue;
+    }
+    cols.resize(codec_->k());
+    std::vector<uint32_t> positions;
+    positions.reserve(cols.size());
+    for (uint32_t d : cols) {
+      positions.push_back(layout_->PositionOfDisk(row, d));
+    }
+    MIMDRAID_CHECK(codec_->CanDecodeFrom(positions));
+    auto remaining = std::make_shared<int>(static_cast<int>(cols.size()));
+    auto lost = std::make_shared<bool>(false);
+    auto column_died = std::make_shared<bool>(false);
+    auto after_reads = [this, disk, lba, unit, remaining, lost,
+                        column_died](const DiskOpResult& r, uint64_t id) {
+      if (!r.ok()) {
+        ResolveCommandFault(id, FaultResolution::kSurfaced,
+                            r.status == IoStatus::kDiskFailed);
+        *lost = true;
+        if (r.status == IoStatus::kDiskFailed) {
+          *column_died = true;
+        }
+      }
+      if (--*remaining > 0) {
+        return;
+      }
+      if (drives_->failed(SlotId(disk))) {
+        AbortRebuild(disk);
+        return;
+      }
+      if (*column_died) {
+        // A decode column fail-stopped mid-row. The engine has already
+        // marked it failed, so the readable set shrank: re-plan the same
+        // row through the survivors — with m > 1 it may still decode.
+        // Terminates because each re-plan consumes a disk failure.
+        RebuildNextRow();
+        return;
+      }
+      if (*lost) {
+        ++fstats().rebuild_fragments_lost;
+        ++rebuild_rows_lost_;
+        ++rebuilt_rows_;
+        RebuildNextRow();
+        return;
+      }
+      EnqueueDiskOp(
+          disk, DiskOp::kWrite, lba, unit,
+          [this, disk](const DiskOpResult& w, uint64_t wid) {
+            if (!w.ok()) {
+              ResolveCommandFault(wid, FaultResolution::kSurfaced,
+                                  w.status == IoStatus::kDiskFailed);
+            }
+            if (!w.ok() && drives_->failed(SlotId(disk))) {
+              AbortRebuild(disk);
+              return;
+            }
+            if (!w.ok()) {
+              ++fstats().rebuild_fragments_lost;
+              ++rebuild_rows_lost_;
+            } else {
+              ++stats_.rebuilt_rows;
+            }
+            ++rebuilt_rows_;
+            RebuildNextRow();
+          });
+    };
+    for (uint32_t d : cols) {
+      EnqueueDiskOp(d, DiskOp::kRead, lba, unit, after_reads);
+    }
+    return;
+  }
+  FinishRebuild(rebuild_rows_lost_ > 0 ? IoStatus::kUnrecoverable
+                                       : IoStatus::kOk);
+}
+
+}  // namespace mimdraid

@@ -1,0 +1,285 @@
+// General (k+m) erasure-coded array controller: Reed-Solomon/Cauchy coding
+// over GF(2^8), degraded reads via matrix-inversion reconstruction,
+// multi-fault tolerance up to m concurrent failures with multi-slot rebuild,
+// and per-request parity-update strategy selection (read-modify-write vs
+// reconstruct-write by I/O-count argmin).
+//
+// This is the third ArrayBackend and the capacity-efficient, deep-redundancy
+// end of the paper's frontier: k+1 reproduces RAID-5's geometry, k+2 is
+// RAID-6, larger m buys tolerance of m concurrent failures at k/(k+m)
+// capacity efficiency. Like Raid5Controller it is a pure policy layer: the
+// per-drive machinery — scheduler queues, dispatch, bounded retry, fault
+// counting, auto-fail, hot-spare promotion, the scrub timer, observer
+// wiring — lives in the shared DriveSet engine.
+//
+// Write planning: for a fragment targeting data shard D with p <= m live
+// parity columns, read-modify-write costs (1 + p) reads + (1 + p) writes
+// (old data + old parities in, deltas out) and needs D readable;
+// reconstruct-write costs (k - 1) reads when every other data column is
+// readable, or k reads through an arbitrary decode set otherwise, plus the
+// same writes. The controller prices both and takes the cheaper plan, tied
+// toward RMW. With fewer than k readable columns and no RMW path the
+// fragment completes with IoStatus::kUnrecoverable — never a crash.
+//
+// Rebuild: slots queue. One slot rebuilds at a time (row by row through a
+// k-column decode set); further failed slots whose spares promote while a
+// rebuild streams wait in FIFO order and are served degraded until their
+// turn. Up to m concurrent failures stay fully serviceable throughout.
+#ifndef MIMDRAID_SRC_EC_EC_CONTROLLER_H_
+#define MIMDRAID_SRC_EC_EC_CONTROLLER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/disk/access_predictor.h"
+#include "src/disk/sim_disk.h"
+#include "src/ec/ec_layout.h"
+#include "src/ec/gf256.h"
+#include "src/io/array_backend.h"
+#include "src/io/drive_set.h"
+#include "src/obs/trace_collector.h"
+#include "src/sched/scheduler.h"
+#include "src/sim/auditor.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/io_status.h"
+#include "src/sim/simulator.h"
+#include "src/stats/fault_stats.h"
+
+namespace mimdraid {
+
+struct EcControllerOptions {
+  SchedulerKind scheduler = SchedulerKind::kSatf;
+  size_t max_scan = 0;
+  // Debug tripwire: when set, the controller wires this runtime invariant
+  // auditor into the simulator, every disk, and every per-drive scheduler.
+  // Borrowed; must outlive the controller. Observes only.
+  InvariantAuditor* auditor = nullptr;
+  // Optional fault injection: wired into every disk so media accesses can
+  // fail. nullptr leaves the fault path dormant (every access returns kOk).
+  FaultInjector* fault_injector = nullptr;
+  // Optional observability: wired into every disk; the controller reports
+  // request lifecycle, queue depth, and dispatch prediction error to it.
+  // Borrowed; must outlive the controller. Observes only.
+  TraceCollector* collector = nullptr;
+  // Bounded retry with exponential backoff for transient errors and timeouts
+  // on individual disk commands.
+  RetryPolicy retry;
+  // Consecutive-error budget per disk before the engine declares the drive
+  // failed and promotes a hot spare (0 = never auto-fail on errors; an
+  // explicit kDiskFailed status always auto-fails).
+  uint32_t disk_error_fail_threshold = 0;
+  // Period of the background scrubber (0 = off); see Raid5ControllerOptions.
+  SimDuration scrub_interval_us;
+  // Whether scrub ticks defer to foreground activity or fire every period.
+  ScrubGating scrub_gating = ScrubGating::kIdleGated;
+};
+
+struct EcControllerStats {
+  uint64_t reads_completed = 0;
+  uint64_t writes_completed = 0;
+  // Strategy counts (every write fragment lands in exactly one):
+  uint64_t rmw_writes = 0;          // parity delta from old data + old parity
+  uint64_t reconstruct_writes = 0;  // parity recomputed from the data columns
+  uint64_t degraded_reads = 0;      // served through a decode set
+  // Write fragments planned around at least one unusable row member (counted
+  // in addition to the strategy tally above).
+  uint64_t degraded_writes = 0;
+  uint64_t rebuilt_rows = 0;
+};
+
+class EcController : public ArrayBackend, private DriveSetClient {
+ public:
+  using DoneFn = ArrayBackend::DoneFn;
+
+  // `codec` and `layout` are borrowed and must outlive the controller;
+  // codec->n() must equal layout->num_disks() and codec->k() the layout's
+  // data_shards().
+  EcController(Simulator* sim, std::vector<SimDisk*> disks,
+               std::vector<AccessPredictor*> predictors,
+               const EcLayout* layout, const EcCodec* codec,
+               const EcControllerOptions& options);
+
+  EcController(const EcController&) = delete;
+  EcController& operator=(const EcController&) = delete;
+
+  ~EcController() override;
+
+  void Submit(DiskOp op, uint64_t lba, uint32_t sectors, DoneFn done) override;
+
+  // Logical capacity (parity excluded): rows * k * unit.
+  uint64_t dataset_sectors() const override {
+    return layout_->data_capacity_sectors();
+  }
+
+  // Marks a disk failed. Up to m concurrent losses are survived: reads
+  // decode through any k live columns, writes re-plan around the missing
+  // members. Past m, affected fragments complete with
+  // IoStatus::kUnrecoverable instead of crashing. Always returns true: every
+  // single loss is covered by the code.
+  bool FailDisk(SlotId disk) override;
+  bool IsFailed(SlotId disk) const override { return drives_->failed(disk); }
+
+  // Reconstructs the (replaced) failed disk row by row through a k-column
+  // decode set. When another rebuild is already streaming the slot queues
+  // and starts when its turn comes; `done` fires when that slot's pass ends
+  // (kOk fully restored, kUnrecoverable rows were lost, kDiskFailed the
+  // replacement died mid-rebuild).
+  void Rebuild(SlotId disk, DoneFn done) override;
+  bool RebuildInProgress() const override { return rebuilding_disk_ >= 0; }
+
+  void AddSpare(SimDisk* disk, AccessPredictor* predictor) override {
+    drives_->AddSpare(disk, predictor);
+  }
+  size_t spares_available() const override {
+    return drives_->spares_available();
+  }
+
+  const EcControllerStats& stats() const { return stats_; }
+  const FaultRecoveryStats& fault_stats() const override {
+    return drives_->fstats();
+  }
+  uint64_t disk_error_count(SlotId disk) const {
+    return drives_->error_count(disk);
+  }
+  const EcLayout& layout() const { return *layout_; }
+  const EcCodec& codec() const { return *codec_; }
+  bool Idle() const override;
+
+  // Publishes "fault.*" and "ec.*" counters.
+  void ExportStats(StatsRegistry* registry) const override;
+
+  void StopScrub() override { drives_->StopScrub(); }
+  void StartScrub() override { drives_->StartScrub(); }
+  uint64_t scrub_sweeps_completed() const {
+    return drives_->fstats().scrub_sweeps_completed;
+  }
+
+  void AuditQuiescent() const override;
+
+ private:
+  struct PendingOp {
+    uint32_t remaining = 0;
+    DoneFn done;
+    SimTime last_completion;
+    DiskOp op = DiskOp::kRead;
+    // Worst status across the op's fragments; only kOk or kUnrecoverable is
+    // surfaced to the submitter.
+    IoStatus status = IoStatus::kOk;
+    uint32_t recovery_attempts = 0;
+    // Final-leg decomposition, as in Raid5Controller: the completing sub-op's
+    // disk phases; everything earlier lands in the recovery residual.
+    bool has_leg = false;
+    FinalLeg leg;
+  };
+
+  // One logical fragment moving through its phases (reads, then writes).
+  // Owned by shared_ptr because several disk sub-ops reference it.
+  struct FragWork {
+    uint64_t op_id = 0;
+    EcFragment frag;
+    DiskOp op = DiskOp::kRead;
+    int phase_remaining = 0;
+    bool degraded = false;
+    // Set when the fragment was re-planned (disk failure or media-error
+    // fallback); stale sub-op completions for an abandoned plan are ignored.
+    bool abandoned = false;
+    // Plan as if the data disk's old contents were unreadable (a media error
+    // exhausted its retry budget).
+    bool force_degraded = false;
+    // After a media-error read is served via reconstruction, rewrite the bad
+    // sectors so the drive reallocates them.
+    bool repair_pending = false;
+    // Worst verdict across the fragment's sub-operations.
+    IoStatus status = IoStatus::kOk;
+  };
+
+  struct QueuedRebuild {
+    SlotId slot;
+    DoneFn done;
+  };
+
+  // --- DriveSetClient hooks ---
+  // Every sub-op is an engine command; raw entries never reach the policy.
+  void OnEntryComplete(SlotId disk, const QueuedRequest& entry,
+                       BlockAddr chosen_lba,
+                       const DiskOpResult& result) override;
+  void OnSlotFailed(SlotId disk) override;
+  // Promotion is always allowed: unlike RAID-5's single rebuild cursor, a
+  // promotion during a rebuild queues behind it instead of clobbering it.
+  bool SparePromotionAllowed(SlotId disk) override;
+  uint64_t UsedSpanSectors(SlotId disk) const override;
+  void OnSparePromoted(SlotId disk) override;
+  bool ScrubEligible() const override;
+  // One scrub chunk: reads every usable unit of the next stripe row.
+  void ScrubStep() override;
+
+  void SubmitReadFragment(uint64_t op_id, const EcFragment& frag,
+                          bool force_degraded = false,
+                          bool repair_on_success = false);
+  void SubmitWriteFragment(uint64_t op_id, const EcFragment& frag,
+                           bool force_degraded = false);
+  void EnqueueDiskOp(uint32_t disk, DiskOp op, uint64_t lba, uint32_t sectors,
+                     DriveSet::CommandDoneFn done, uint32_t attempts = 0);
+  void ResolveCommandFault(uint64_t id, FaultResolution resolution,
+                           bool target_disk_failed);
+  void FragmentPhaseDone(const std::shared_ptr<FragWork>& work,
+                         SimTime completion, const DiskOpResult* last = nullptr);
+  void OpPartDone(uint64_t op_id, SimTime completion, IoStatus status,
+                  const DiskOpResult* last = nullptr);
+  void CompleteFragmentFailed(uint64_t op_id, IoStatus status);
+  void NoteOpRecovery(uint64_t op_id);
+
+  void StartRebuild(SlotId disk, DoneFn done);
+  void FinishRebuild(IoStatus status);
+  void AbortRebuild(uint32_t disk);
+  void RebuildNextRow();
+
+  // True if the disk holds valid row data right now (alive, not waiting in
+  // the rebuild queue, and — when it is the active rebuild target — already
+  // rebuilt past the row).
+  bool DiskUsable(uint32_t disk, uint32_t row) const;
+  // Columns of `row` whose old contents are readable for decode purposes,
+  // in ascending disk order, excluding `excluding_disk` (pass num_disks()
+  // to exclude none). `unreadable_disk` marks a disk whose drive is alive
+  // but whose unit for this row cannot be read (media-error fallback).
+  std::vector<uint32_t> ReadableColumns(uint32_t row, uint32_t excluding_disk,
+                                        uint32_t unreadable_disk) const;
+
+  FaultRecoveryStats& fstats() { return drives_->fstats(); }
+
+  Simulator* sim_;
+  const EcLayout* layout_;
+  const EcCodec* codec_;
+  EcControllerOptions options_;
+  InvariantAuditor* auditor_ = nullptr;
+  TraceCollector* collector_ = nullptr;
+
+  std::unique_ptr<DriveSet> drives_;
+
+  std::unordered_map<uint64_t, PendingOp> ops_;
+  uint64_t next_op_id_ = 1;
+
+  // Active rebuild: rows < rebuilt_rows_ of rebuilding_disk_ are valid.
+  int rebuilding_disk_ = -1;
+  uint32_t rebuilt_rows_ = 0;
+  DoneFn rebuild_done_;
+  uint64_t rebuild_rows_lost_ = 0;
+  // Slots waiting for the active rebuild to finish. Queued slots stay marked
+  // failed (their promoted spare holds no data yet), so service keeps
+  // decoding around them until their pass starts.
+  std::deque<QueuedRebuild> rebuild_queue_;
+
+  uint32_t scrub_cursor_ = 0;  // next stripe row to sweep
+  uint64_t sweep_sectors_issued_ = 0;
+  uint64_t sweep_sectors_nominal_ = 0;
+
+  EcControllerStats stats_;
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_EC_EC_CONTROLLER_H_

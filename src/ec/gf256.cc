@@ -1,0 +1,245 @@
+#include "src/ec/gf256.h"
+
+#include "src/util/check.h"
+
+namespace mimdraid {
+
+namespace {
+
+// Log/exp tables for GF(2^8) over 0x11D, built once at startup. exp is
+// doubled so Mul can index log[a] + log[b] without a modular reduction.
+struct GfTables {
+  uint8_t exp[512];
+  uint8_t log[256];
+};
+
+GfTables BuildTables() {
+  GfTables t{};
+  uint32_t x = 1;
+  for (uint32_t i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<uint8_t>(x);
+    t.log[x] = static_cast<uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) {
+      x ^= 0x11D;
+    }
+  }
+  for (uint32_t i = 255; i < 512; ++i) {
+    t.exp[i] = t.exp[i - 255];
+  }
+  return t;
+}
+
+const GfTables kGf = BuildTables();
+
+}  // namespace
+
+namespace gf256 {
+
+uint8_t Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return kGf.exp[kGf.log[a] + kGf.log[b]];
+}
+
+uint8_t Inv(uint8_t a) {
+  MIMDRAID_CHECK_NE(a, 0);
+  return kGf.exp[255 - kGf.log[a]];
+}
+
+uint8_t Div(uint8_t a, uint8_t b) {
+  MIMDRAID_CHECK_NE(b, 0);
+  if (a == 0) {
+    return 0;
+  }
+  return kGf.exp[kGf.log[a] + 255 - kGf.log[b]];
+}
+
+}  // namespace gf256
+
+GfMatrix::GfMatrix(uint32_t rows, uint32_t cols)
+    : rows_(rows), cols_(cols), cells_(static_cast<size_t>(rows) * cols, 0) {
+  MIMDRAID_CHECK_GT(rows, 0u);
+  MIMDRAID_CHECK_GT(cols, 0u);
+}
+
+GfMatrix GfMatrix::Identity(uint32_t n) {
+  GfMatrix out(n, n);
+  for (uint32_t i = 0; i < n; ++i) {
+    out.set(i, i, 1);
+  }
+  return out;
+}
+
+GfMatrix GfMatrix::Mul(const GfMatrix& other) const {
+  MIMDRAID_CHECK_EQ(cols_, other.rows_);
+  GfMatrix out(rows_, other.cols_);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    for (uint32_t c = 0; c < other.cols_; ++c) {
+      uint8_t acc = 0;
+      for (uint32_t i = 0; i < cols_; ++i) {
+        acc ^= gf256::Mul(at(r, i), other.at(i, c));
+      }
+      out.set(r, c, acc);
+    }
+  }
+  return out;
+}
+
+bool GfMatrix::Invert(GfMatrix* out) const {
+  MIMDRAID_CHECK(out != nullptr);
+  MIMDRAID_CHECK_EQ(rows_, cols_);
+  const uint32_t n = rows_;
+  // Gauss-Jordan on [this | I]; the right half becomes the inverse.
+  GfMatrix work = *this;
+  GfMatrix inv = Identity(n);
+  for (uint32_t col = 0; col < n; ++col) {
+    // Find a pivot (characteristic 2: any non-zero entry will do).
+    uint32_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) {
+      ++pivot;
+    }
+    if (pivot == n) {
+      return false;  // singular
+    }
+    if (pivot != col) {
+      for (uint32_t c = 0; c < n; ++c) {
+        const uint8_t tw = work.at(col, c);
+        work.set(col, c, work.at(pivot, c));
+        work.set(pivot, c, tw);
+        const uint8_t ti = inv.at(col, c);
+        inv.set(col, c, inv.at(pivot, c));
+        inv.set(pivot, c, ti);
+      }
+    }
+    const uint8_t scale = gf256::Inv(work.at(col, col));
+    for (uint32_t c = 0; c < n; ++c) {
+      work.set(col, c, gf256::Mul(work.at(col, c), scale));
+      inv.set(col, c, gf256::Mul(inv.at(col, c), scale));
+    }
+    for (uint32_t r = 0; r < n; ++r) {
+      const uint8_t factor = work.at(r, col);
+      if (r == col || factor == 0) {
+        continue;
+      }
+      for (uint32_t c = 0; c < n; ++c) {
+        work.set(r, c, work.at(r, c) ^ gf256::Mul(factor, work.at(col, c)));
+        inv.set(r, c, inv.at(r, c) ^ gf256::Mul(factor, inv.at(col, c)));
+      }
+    }
+  }
+  *out = inv;
+  return true;
+}
+
+EcCodec::EcCodec(uint32_t data_shards, uint32_t parity_shards)
+    : k_(data_shards), m_(parity_shards), encode_(data_shards + parity_shards,
+                                                  data_shards) {
+  MIMDRAID_CHECK_GE(k_, 1u);
+  MIMDRAID_CHECK_GE(m_, 1u);
+  MIMDRAID_CHECK_LE(k_ + m_, 255u);
+  for (uint32_t i = 0; i < k_; ++i) {
+    encode_.set(i, i, 1);
+  }
+  // Cauchy block: x_j = k + j and y_i = i are disjoint (x_j >= k > i), so
+  // every denominator is non-zero and every square submatrix inverts.
+  for (uint32_t j = 0; j < m_; ++j) {
+    for (uint32_t i = 0; i < k_; ++i) {
+      encode_.set(k_ + j, i,
+                  gf256::Inv(static_cast<uint8_t>((k_ + j) ^ i)));
+    }
+  }
+}
+
+void EcCodec::Encode(const std::vector<std::vector<uint8_t>>& data,
+                     std::vector<std::vector<uint8_t>>* parity) const {
+  MIMDRAID_CHECK(parity != nullptr);
+  MIMDRAID_CHECK_EQ(data.size(), k_);
+  const size_t len = data[0].size();
+  for (const auto& shard : data) {
+    MIMDRAID_CHECK_EQ(shard.size(), len);
+  }
+  parity->assign(m_, std::vector<uint8_t>(len, 0));
+  for (uint32_t j = 0; j < m_; ++j) {
+    std::vector<uint8_t>& out = (*parity)[j];
+    for (uint32_t i = 0; i < k_; ++i) {
+      const uint8_t coeff = encode_.at(k_ + j, i);
+      const std::vector<uint8_t>& in = data[i];
+      for (size_t b = 0; b < len; ++b) {
+        out[b] ^= gf256::Mul(coeff, in[b]);
+      }
+    }
+  }
+}
+
+bool EcCodec::DecodeMatrix(const std::vector<uint32_t>& shard_indices,
+                           GfMatrix* out) const {
+  MIMDRAID_CHECK_EQ(shard_indices.size(), k_);
+  GfMatrix sub(k_, k_);
+  for (uint32_t r = 0; r < k_; ++r) {
+    MIMDRAID_CHECK_LT(shard_indices[r], n());
+    for (uint32_t c = 0; c < k_; ++c) {
+      sub.set(r, c, encode_.at(shard_indices[r], c));
+    }
+  }
+  return sub.Invert(out);
+}
+
+bool EcCodec::CanDecodeFrom(const std::vector<uint32_t>& shard_indices) const {
+  GfMatrix decode(k_, k_);
+  return DecodeMatrix(shard_indices, &decode);
+}
+
+bool EcCodec::Reconstruct(std::vector<std::vector<uint8_t>>* shards,
+                          const std::vector<bool>& present) const {
+  MIMDRAID_CHECK(shards != nullptr);
+  MIMDRAID_CHECK_EQ(shards->size(), n());
+  MIMDRAID_CHECK_EQ(present.size(), n());
+  std::vector<uint32_t> chosen;
+  for (uint32_t i = 0; i < n() && chosen.size() < k_; ++i) {
+    if (present[i]) {
+      chosen.push_back(i);
+    }
+  }
+  if (chosen.size() < k_) {
+    return false;
+  }
+  GfMatrix decode(k_, k_);
+  MIMDRAID_CHECK(DecodeMatrix(chosen, &decode));
+  const size_t len = (*shards)[chosen[0]].size();
+  // data[i] = sum over chosen survivors s of decode[i][s] * shard[s].
+  std::vector<std::vector<uint8_t>> data(
+      k_, std::vector<uint8_t>(len, 0));
+  for (uint32_t i = 0; i < k_; ++i) {
+    for (uint32_t s = 0; s < k_; ++s) {
+      const uint8_t coeff = decode.at(i, s);
+      const std::vector<uint8_t>& in = (*shards)[chosen[s]];
+      MIMDRAID_CHECK_EQ(in.size(), len);
+      for (size_t b = 0; b < len; ++b) {
+        data[i][b] ^= gf256::Mul(coeff, in[b]);
+      }
+    }
+  }
+  for (uint32_t i = 0; i < k_; ++i) {
+    if (!present[i]) {
+      (*shards)[i] = data[i];
+    }
+  }
+  for (uint32_t j = 0; j < m_; ++j) {
+    if (present[k_ + j]) {
+      continue;
+    }
+    std::vector<uint8_t>& out = (*shards)[k_ + j];
+    out.assign(len, 0);
+    for (uint32_t i = 0; i < k_; ++i) {
+      const uint8_t coeff = encode_.at(k_ + j, i);
+      for (size_t b = 0; b < len; ++b) {
+        out[b] ^= gf256::Mul(coeff, data[i][b]);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mimdraid

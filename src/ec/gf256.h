@@ -1,0 +1,99 @@
+// GF(2^8) arithmetic and the Reed-Solomon/Cauchy erasure codec underneath
+// the general (k+m) backend.
+//
+// The field is GF(2^8) over the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11D), the conventional choice for storage codes. The codec's generator
+// is a systematic (k+m) x k matrix: an identity block over the k data shards
+// stacked on an m x k Cauchy block c[j][i] = 1 / (x_j ^ y_i) with
+// x_j = k + j and y_i = i. Every square submatrix of a Cauchy matrix is
+// nonsingular, so *any* k surviving shards — data or parity, in any mix —
+// reconstruct the stripe by inverting the k x k matrix of their generator
+// rows. That property is what lets the controller pick its decode columns
+// purely by availability.
+//
+// The simulator moves no user bytes, so the controller consumes only the
+// codec's *plans* (which columns suffice, matrix invertibility); the
+// byte-level Encode/Reconstruct paths exist for the unit tests that pin the
+// algebra and for the micro-benchmarks that price it.
+#ifndef MIMDRAID_SRC_EC_GF256_H_
+#define MIMDRAID_SRC_EC_GF256_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mimdraid {
+
+namespace gf256 {
+
+// Carry-less field operations via log/exp tables. Mul(0, x) == 0; Inv and
+// Div CHECK against a zero divisor.
+uint8_t Mul(uint8_t a, uint8_t b);
+uint8_t Inv(uint8_t a);
+uint8_t Div(uint8_t a, uint8_t b);
+inline uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
+
+}  // namespace gf256
+
+// A dense matrix over GF(2^8). Small (shard-count sized), so the plain
+// row-major vector representation is fine.
+class GfMatrix {
+ public:
+  GfMatrix(uint32_t rows, uint32_t cols);
+  static GfMatrix Identity(uint32_t n);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  uint8_t at(uint32_t r, uint32_t c) const { return cells_[r * cols_ + c]; }
+  void set(uint32_t r, uint32_t c, uint8_t v) { cells_[r * cols_ + c] = v; }
+
+  GfMatrix Mul(const GfMatrix& other) const;
+  // Gauss-Jordan elimination; returns false when the matrix is singular
+  // (never the case for the submatrices this codec builds).
+  bool Invert(GfMatrix* out) const;
+
+ private:
+  uint32_t rows_;
+  uint32_t cols_;
+  std::vector<uint8_t> cells_;
+};
+
+class EcCodec {
+ public:
+  // `data_shards` = k >= 1, `parity_shards` = m >= 1, k + m <= 255.
+  EcCodec(uint32_t data_shards, uint32_t parity_shards);
+
+  uint32_t k() const { return k_; }
+  uint32_t m() const { return m_; }
+  uint32_t n() const { return k_ + m_; }
+  const GfMatrix& encode_matrix() const { return encode_; }
+
+  // Computes the m parity shards from k equal-length data shards.
+  void Encode(const std::vector<std::vector<uint8_t>>& data,
+              std::vector<std::vector<uint8_t>>* parity) const;
+
+  // Rebuilds every absent shard (data and parity) in place from the present
+  // ones. `shards` has n entries; present[i] marks entry i as holding valid
+  // bytes. Returns false when fewer than k shards are present (the stripe is
+  // lost); present shards are never modified.
+  bool Reconstruct(std::vector<std::vector<uint8_t>>* shards,
+                   const std::vector<bool>& present) const;
+
+  // True iff the k chosen shard indices (each in [0, n)) decode the stripe.
+  // Always true here — Cauchy generators have no singular k-subsets — but
+  // exposed so controller plans can assert it rather than assume it.
+  bool CanDecodeFrom(const std::vector<uint32_t>& shard_indices) const;
+
+ private:
+  // The k x k matrix mapping the chosen survivor shards back to the data
+  // shards; false if singular.
+  bool DecodeMatrix(const std::vector<uint32_t>& shard_indices,
+                    GfMatrix* out) const;
+
+  uint32_t k_;
+  uint32_t m_;
+  GfMatrix encode_;  // (k+m) x k systematic generator
+};
+
+}  // namespace mimdraid
+
+#endif  // MIMDRAID_SRC_EC_GF256_H_

@@ -65,7 +65,7 @@ void DriveSet::StopScrub() {
 void DriveSet::AddSpare(SimDisk* disk, AccessPredictor* predictor) {
   MIMDRAID_CHECK(disk != nullptr);
   MIMDRAID_CHECK(predictor != nullptr);
-  spares_.emplace_back(disk, predictor);
+  spares_.push_back(SpareEntry{disk, predictor, false});
 }
 
 size_t DriveSet::TotalFgQueued() const {
@@ -336,18 +336,25 @@ void DriveSet::PromoteSpareIfAvailable(SlotId slot) {
       disks_[slot.value()]->layout().geometry().sector_bytes;
   size_t pick = spares_.size();
   for (size_t i = 0; i < spares_.size(); ++i) {
-    const DiskLayout& candidate = spares_[i].first->layout();
+    const DiskLayout& candidate = spares_[i].disk->layout();
     if (candidate.geometry().sector_bytes == sector_bytes &&
         candidate.num_data_sectors() >= needed_span) {
       pick = i;
       break;
     }
-    ++fstats_.spare_rejected;
+    // Each pooled spare contributes to spare_rejected at most once: later
+    // promotion attempts re-skip it without re-counting, so multi-failure
+    // runs don't inflate the tally.
+    if (!spares_[i].rejection_counted) {
+      spares_[i].rejection_counted = true;
+      ++fstats_.spare_rejected;
+    }
   }
   if (pick == spares_.size()) {
     return;  // no compatible spare; the slot stays failed
   }
-  auto [spare_disk, spare_predictor] = spares_[pick];
+  SimDisk* const spare_disk = spares_[pick].disk;
+  AccessPredictor* const spare_predictor = spares_[pick].predictor;
   spares_.erase(spares_.begin() + static_cast<ptrdiff_t>(pick));
   disks_[slot.value()] = spare_disk;
   predictors_[slot.value()] = spare_predictor;

@@ -241,7 +241,8 @@ class DriveSet {
   // only on promotion. Compatibility with a failed slot is checked at
   // promotion time (the used span differs per slot): a candidate that cannot
   // resolve the slot's used span or whose sector size differs is skipped and
-  // counted in fstats().spare_rejected; it stays pooled for slots it fits.
+  // counted in fstats().spare_rejected — once per pooled spare, not once per
+  // promotion attempt that re-skips it; it stays pooled for slots it fits.
   void AddSpare(SimDisk* disk, AccessPredictor* predictor);
   size_t spares_available() const { return spares_.size(); }
 
@@ -288,9 +289,19 @@ class DriveSet {
   // Registered command callbacks, keyed by entry id.
   std::unordered_map<uint64_t, CommandDoneFn> command_done_;
 
+  struct SpareEntry {
+    SimDisk* disk = nullptr;
+    AccessPredictor* predictor = nullptr;
+    // Whether this spare's incompatibility has already landed in
+    // fstats().spare_rejected. A pooled spare can be re-examined (and
+    // re-skipped) by every later promotion attempt; the counter tracks
+    // distinct incompatible spares, not skip events.
+    bool rejection_counted = false;
+  };
+
   std::vector<bool> failed_;
   std::vector<uint64_t> error_counts_;
-  std::vector<std::pair<SimDisk*, AccessPredictor*>> spares_;
+  std::vector<SpareEntry> spares_;
   size_t pending_recovery_ = 0;
   EventId scrub_event_;
 

@@ -24,6 +24,8 @@ MimdRaidOptions CalibrationRig(ArrayBackendKind kind, uint64_t seed) {
     options.aspect.dr = 1;
     options.aspect.dm = 2;
   } else {
+    // Both parity backends: four columns (RAID-5 3+1; erasure k+m from
+    // options.parity_shards, 2+2 at the default).
     options.aspect.ds = 4;
     options.aspect.dr = 1;
     options.aspect.dm = 1;
@@ -68,11 +70,21 @@ RebuildCalibration CalibrateRebuild(ArrayBackendKind kind, uint64_t seed) {
   RebuildCalibration calib;
   calib.measured_duration_us =
       static_cast<double>((result.completion_us - start).us());
-  calib.measured_sectors =
-      kind == ArrayBackendKind::kMirror
-          ? array.layout().per_disk_sectors()
-          : static_cast<uint64_t>(array.raid5_layout().num_rows()) *
-                array.raid5_layout().stripe_unit_sectors();
+  switch (kind) {
+    case ArrayBackendKind::kMirror:
+      calib.measured_sectors = array.layout().per_disk_sectors();
+      break;
+    case ArrayBackendKind::kRaid5:
+      calib.measured_sectors =
+          static_cast<uint64_t>(array.raid5_layout().num_rows()) *
+          array.raid5_layout().stripe_unit_sectors();
+      break;
+    case ArrayBackendKind::kErasure:
+      calib.measured_sectors =
+          static_cast<uint64_t>(array.ec_layout().num_rows()) *
+          array.ec_layout().stripe_unit_sectors();
+      break;
+  }
   return calib;
 }
 

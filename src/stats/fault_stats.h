@@ -30,8 +30,10 @@ struct FaultRecoveryStats {
   // Automatic failure handling.
   uint64_t auto_disk_failures = 0;    // error threshold tripped
   uint64_t spares_promoted = 0;
-  // Spare candidates skipped at promotion time because they could not take
-  // the failed slot (too small for the used span, or geometry mismatch).
+  // Distinct pooled spares found incompatible with a failed slot at
+  // promotion time (too small for the used span, or geometry mismatch).
+  // Each spare counts at most once however many later promotion attempts
+  // re-skip it; it stays pooled for slots it does fit.
   uint64_t spare_rejected = 0;
   uint64_t spare_rebuilds_completed = 0;
   uint64_t propagations_abandoned = 0;  // delayed write given up (disk dead)

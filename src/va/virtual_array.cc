@@ -67,6 +67,17 @@ uint64_t VirtualArrayAllocator::PerDriveSectors(const VaRequest& request) {
     const uint64_t per_data = (request.dataset_sectors + n - 2) / (n - 1);
     return (per_data + unit - 1) / unit * unit;
   }
+  if (request.backend == ArrayBackendKind::kErasure) {
+    // Mirrors MimdRaid's erasure sizing: k = n - m data shares cover the
+    // dataset, rounded up to whole stripe units (every shard, data or
+    // parity, is the same size).
+    const uint64_t n = static_cast<uint64_t>(request.aspect.TotalDisks());
+    MIMDRAID_CHECK_GE(request.parity_shards, 1u);
+    MIMDRAID_CHECK_GT(n, request.parity_shards);
+    const uint64_t k = n - request.parity_shards;
+    const uint64_t per_data = (request.dataset_sectors + k - 1) / k;
+    return (per_data + unit - 1) / unit * unit;
+  }
   // Mirror: each of the Ds*Dr columns holds an equal share of the dataset
   // (the conservative bound on the capacity-weighted deal), and every sector
   // of a column carries Dr same-disk rotational replicas.
@@ -158,10 +169,14 @@ std::optional<VaAllocation> VirtualArrayAllocator::Allocate(
     MIMDRAID_CHECK_GE(free_sectors_[d], per_drive);
     free_sectors_[d] -= per_drive;
   }
+  live_allocations_.insert(allocation.id);
   return allocation;
 }
 
 void VirtualArrayAllocator::Release(const VaAllocation& allocation) {
+  // Releasing an id we never granted — or granted and already released —
+  // would credit free space the fleet doesn't have; refuse loudly.
+  MIMDRAID_CHECK_EQ(live_allocations_.erase(allocation.id), 1u);
   for (const uint32_t d : allocation.drives) {
     free_sectors_[d] += allocation.per_drive_sectors;
     MIMDRAID_CHECK_LE(free_sectors_[d], capacity_sectors_[d]);
@@ -178,6 +193,7 @@ MimdRaidOptions VirtualArrayAllocator::Materialize(
   options.aspect = allocation.request.aspect;
   options.dataset_sectors = allocation.request.dataset_sectors;
   options.stripe_unit_sectors = allocation.request.stripe_unit_sectors;
+  options.parity_shards = allocation.request.parity_shards;
   options.fleet.generations = fleet_.generations;
   options.fleet.slot_generation.clear();
   options.fleet.slot_generation.reserve(allocation.drives.size());

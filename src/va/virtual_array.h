@@ -34,6 +34,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/mimd_raid.h"
@@ -59,6 +60,9 @@ struct VaRequest {
   ArrayAspect aspect;  // TotalDisks() physical drives are claimed
   uint64_t dataset_sectors = 0;
   uint32_t stripe_unit_sectors = 128;
+  // kErasure only: parity shards per stripe row (m); the VA's k is
+  // TotalDisks() - m.
+  uint32_t parity_shards = 2;
 };
 
 // A granted reservation: which physical drives back each VA slot, and how
@@ -98,7 +102,9 @@ class VirtualArrayAllocator {
   std::optional<VaAllocation> Allocate(const VaRequest& request);
 
   // Returns an allocation's extents to the pool. Each allocation may be
-  // released at most once.
+  // released exactly once: a double release or an allocation this allocator
+  // never granted (unknown id) CHECK-fails immediately instead of silently
+  // corrupting the free-space accounting.
   void Release(const VaAllocation& allocation);
 
   // MimdRaidOptions for a simulator running `allocation`: backend, aspect,
@@ -118,6 +124,9 @@ class VirtualArrayAllocator {
   size_t cursor_ = 0;  // round-robin start position
   std::vector<uint64_t> capacity_sectors_;
   std::vector<uint64_t> free_sectors_;
+  // Ids of allocations granted and not yet released; Release() consults this
+  // to fail fast on double-release/unknown-allocation.
+  std::unordered_set<uint64_t> live_allocations_;
 };
 
 // Copies every stat the backend exports into `registry` under the

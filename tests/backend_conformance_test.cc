@@ -1,6 +1,8 @@
 // Backend conformance: the observable contract every ArrayBackend
-// implementation must honor, run against both backends (mirror and RAID-5)
-// over the shared DriveSet engine. Rigs come off the MimdRaid
+// implementation must honor, run against all three backends (mirror, RAID-5,
+// and the general k+m erasure controller — here a 2+2 group, so redundancy
+// exhaustion needs m+1 = 3 failures) over the shared DriveSet engine. Rigs
+// come off the MimdRaid
 // backend-selection path — the same assembly the benches and experiments use
 // — with the invariant auditor attached throughout, so every scenario also
 // proves fault conservation (no failed sub-op is silently dropped).
@@ -43,8 +45,9 @@ struct RigConfig {
   uint64_t seed = 5;
 };
 
-// Four small test drives for either backend: the mirror runs them as two
-// mirrored columns (2x1x2), RAID-5 as a 4-disk rotating-parity group.
+// Four small test drives for any backend: the mirror runs them as two
+// mirrored columns (2x1x2), RAID-5 as a 4-disk rotating-parity group, and
+// the erasure controller as a 2+2 code (two-fault tolerant).
 std::unique_ptr<MimdRaid> MakeArray(ArrayBackendKind kind,
                                     const RigConfig& rig = {}) {
   MimdRaidOptions options;
@@ -57,6 +60,7 @@ std::unique_ptr<MimdRaid> MakeArray(ArrayBackendKind kind,
     options.aspect.ds = 4;
     options.aspect.dr = 1;
     options.aspect.dm = 1;
+    options.parity_shards = 2;  // kErasure only; kRaid5 ignores it
   }
   options.scheduler = SchedulerKind::kSatf;
   options.dataset_sectors = kDataset;
@@ -145,8 +149,12 @@ void PlantLatentError(MimdRaid* array, uint64_t lba) {
     for (const ArrayFragment& f : array->layout().Map(lba, 1)) {
       injector->InjectLatentError(f.replicas[0].disk, f.replicas[0].lba);
     }
-  } else {
+  } else if (array->backend_kind() == ArrayBackendKind::kRaid5) {
     for (const Raid5Fragment& f : array->raid5_layout().Map(lba, 1)) {
+      injector->InjectLatentError(f.data_disk, f.disk_lba);
+    }
+  } else {
+    for (const EcFragment& f : array->ec_layout().Map(lba, 1)) {
       injector->InjectLatentError(f.data_disk, f.disk_lba);
     }
   }
@@ -252,18 +260,20 @@ TEST_P(BackendConformance, RedundancyExhaustionSurfacesUnrecoverable) {
   RigConfig rig;
   rig.auditor = &auditor;
   auto array = MakeArray(GetParam(), rig);
-  // Take out two disks that share redundancy: for the mirror, both copies of
-  // logical block 0's column; for RAID-5, any two disks.
-  uint32_t first = 0;
-  uint32_t second = 1;
+  // Take out enough disks to exhaust the redundancy: for the mirror, both
+  // copies of logical block 0's column; for RAID-5, any two disks; for the
+  // 2+2 erasure group, any m+1 = 3 disks (m failures are still tolerated).
+  std::vector<uint32_t> victims = {0, 1};
   if (GetParam() == ArrayBackendKind::kMirror) {
     const std::vector<ArrayFragment> frags = array->layout().Map(0, 1);
     ASSERT_GE(frags[0].replicas.size(), 2u);
-    first = frags[0].replicas[0].disk;
-    second = frags[0].replicas[1].disk;
+    victims = {frags[0].replicas[0].disk, frags[0].replicas[1].disk};
+  } else if (GetParam() == ArrayBackendKind::kErasure) {
+    victims = {0, 1, 2};
   }
-  ASSERT_TRUE(array->backend().FailDisk(SlotId(first)));
-  ASSERT_TRUE(array->backend().FailDisk(SlotId(second)));
+  for (const uint32_t v : victims) {
+    ASSERT_TRUE(array->backend().FailDisk(SlotId(v)));
+  }
   IoTally tally;
   RunMix(array.get(), 120, 47, 0.6, &tally);
   DrainAll(array.get());
@@ -344,9 +354,12 @@ TEST_P(BackendConformance, ExportStatsPublishesFaultAndBackendCounters) {
   EXPECT_TRUE(registry.Contains("fault.scrub_last_sweep_coverage"));
   EXPECT_TRUE(registry.Contains("fault.spares_promoted"));
   // ...plus the backend's own prefix with real traffic behind it.
-  const std::string prefix = GetParam() == ArrayBackendKind::kMirror
-                                 ? "array.reads_completed"
-                                 : "raid5.reads_completed";
+  std::string prefix = "raid5.reads_completed";
+  if (GetParam() == ArrayBackendKind::kMirror) {
+    prefix = "array.reads_completed";
+  } else if (GetParam() == ArrayBackendKind::kErasure) {
+    prefix = "ec.reads_completed";
+  }
   EXPECT_TRUE(registry.Contains(prefix));
   EXPECT_GT(registry.Get(prefix), 0.0);
 }
@@ -373,6 +386,7 @@ std::unique_ptr<MimdRaid> MakeMixedRpmArray(
     options.aspect.ds = 4;
     options.aspect.dr = 1;
     options.aspect.dm = 1;
+    options.parity_shards = 2;  // kErasure only; kRaid5 ignores it
   }
   options.scheduler = SchedulerKind::kSatf;
   options.dataset_sectors = kDataset;
@@ -522,6 +536,62 @@ TEST_P(BackendConformance, IncompatibleSpareIsRejectedNotSilentlyAccepted) {
   EXPECT_EQ(auditor.violations(), 0u);
 }
 
+TEST_P(BackendConformance, RepeatedPromotionsCountIncompatibleSpareOnce) {
+  // Regression: an incompatible pooled spare used to bump fault.spare_rejected
+  // on *every* promotion attempt that skipped it. Two sequential failures
+  // both walk past the same undersized spare; it must count exactly once.
+  InvariantAuditor auditor;
+  RigConfig rig;
+  rig.auditor = &auditor;
+  rig.faults = true;
+  rig.hot_spares = 3;
+  auto array = MakeMixedRpmArray(GetParam(), rig,
+                                 {/*tiny=*/2u, /*fast=*/0u, /*fast=*/0u});
+  EXPECT_EQ(array->backend().spares_available(), 3u);
+
+  // Pick two victims that never share redundancy: disk 0 plus any disk
+  // outside block 0's replica set (for the parity codes any distinct pair
+  // works, and failures are sequential anyway).
+  const uint32_t first = 0;
+  uint32_t second = static_cast<uint32_t>(array->num_disks()) - 1;
+  if (GetParam() == ArrayBackendKind::kMirror) {
+    const std::vector<ArrayFragment> frags = array->layout().Map(0, 1);
+    for (uint32_t d = 1; d < array->num_disks(); ++d) {
+      bool shares = false;
+      for (const auto& replica : frags[0].replicas) {
+        shares |= replica.disk == d;
+      }
+      if (!shares) {
+        second = d;
+        break;
+      }
+    }
+  }
+
+  array->fault_injector()->FailStop(first);
+  IoTally tally_a;
+  RunMix(array.get(), 120, 83, 0.0, &tally_a);
+  DrainAll(array.get());
+  EXPECT_EQ(array->backend().fault_stats().spare_rejected, 1u);
+
+  array->fault_injector()->FailStop(second);
+  IoTally tally_b;
+  RunMix(array.get(), 120, 89, 0.0, &tally_b);
+  DrainAll(array.get());
+
+  const FaultRecoveryStats& fs = array->backend().fault_stats();
+  EXPECT_EQ(fs.spare_rejected, 1u)
+      << "the same pooled spare was re-counted at the second promotion";
+  EXPECT_EQ(fs.spares_promoted, 2u);
+  EXPECT_EQ(fs.spare_rebuilds_completed, 2u);
+  EXPECT_FALSE(array->backend().IsFailed(SlotId(first)));
+  EXPECT_FALSE(array->backend().IsFailed(SlotId(second)));
+  // Only the incompatible spare remains pooled.
+  EXPECT_EQ(array->backend().spares_available(), 1u);
+  array->backend().AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+}
+
 TEST_P(BackendConformance, OnlyIncompatibleSparesLeavesSlotFailed) {
   InvariantAuditor auditor;
   RigConfig rig;
@@ -547,9 +617,18 @@ TEST_P(BackendConformance, OnlyIncompatibleSparesLeavesSlotFailed) {
 
 INSTANTIATE_TEST_SUITE_P(
     Backends, BackendConformance,
-    ::testing::Values(ArrayBackendKind::kMirror, ArrayBackendKind::kRaid5),
+    ::testing::Values(ArrayBackendKind::kMirror, ArrayBackendKind::kRaid5,
+                      ArrayBackendKind::kErasure),
     [](const ::testing::TestParamInfo<ArrayBackendKind>& param) {
-      return param.param == ArrayBackendKind::kMirror ? "Mirror" : "Raid5";
+      switch (param.param) {
+        case ArrayBackendKind::kMirror:
+          return "Mirror";
+        case ArrayBackendKind::kRaid5:
+          return "Raid5";
+        case ArrayBackendKind::kErasure:
+          return "Erasure";
+      }
+      return "Unknown";
     });
 
 // ---------------------------------------------------------------------------

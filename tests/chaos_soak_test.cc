@@ -1,21 +1,24 @@
 // Seeded chaos soak: a randomized fault mix (latent sector errors, transient
-// errors, timeouts, an explicit fail-stop) against the mirrored array and the
-// RAID-5 controller, with the runtime invariant auditor attached. Every
-// submitted operation must complete exactly once with a terminal status
-// (kOk or kUnrecoverable — never an intermediate fault status), the array
-// must drain to a quiescent state that passes the auditor's terminal
-// consistency check, and the whole run must be bit-for-bit reproducible for
-// a given seed.
+// errors, timeouts, explicit fail-stops) against the mirrored array, the
+// RAID-5 controller, and the general (k+m) erasure controller, with the
+// runtime invariant auditor attached. Every submitted operation must
+// complete exactly once with a terminal status (kOk or kUnrecoverable —
+// never an intermediate fault status), the array must drain to a quiescent
+// state that passes the auditor's terminal consistency check, and the whole
+// run must be bit-for-bit reproducible for a given seed.
 //
-// Both rigs come off the MimdRaid backend-selection path and run the same
-// DriveSet engine underneath; the soaks here are the parity check that the
-// mirror policy and the RAID-5 policy drive the shared
-// retry/auto-fail/spare-promotion/scrub machinery equally hard.
+// All rigs come off the MimdRaid backend-selection path and run the same
+// DriveSet engine underneath; the soaks here are the parity check that every
+// policy drives the shared retry/auto-fail/spare-promotion/scrub machinery
+// equally hard. The erasure soak additionally pushes to m concurrent
+// fail-stops (service must stay degraded-correct) and then past m, where
+// affected reads must surface kUnrecoverable without wedging.
 //
 // Environment knobs (CI):
 //   MIMDRAID_CHAOS_SEED     — run a single seed instead of the fixed three.
-//   MIMDRAID_CHAOS_BACKEND  — "mirror" or "raid5": run only that backend's
-//                             soaks (CI matrixes chaos across backends).
+//   MIMDRAID_CHAOS_BACKEND  — "mirror", "raid5", or "ec": run only that
+//                             backend's soaks (CI matrixes chaos across
+//                             backends).
 //   MIMDRAID_CHAOS_SUMMARY  — append per-seed fault/recovery counter summaries
 //                             to this file (uploaded as a CI artifact).
 #include <gtest/gtest.h>
@@ -379,6 +382,187 @@ TEST(ChaosSoak, Raid5RunIsDeterministicForSeed) {
   ChaosDigest b;
   RunRaid5Chaos(seed, /*write_summary=*/false, &a);
   RunRaid5Chaos(seed, /*write_summary=*/false, &b);
+  EXPECT_TRUE(a == b) << "same seed produced different runs";
+}
+
+// ---------------------------------------------------------------------------
+// Erasure (4+2) chaos: the stochastic mix plus TWO staggered mid-run
+// fail-stops — the code's full fault budget held concurrently while service
+// continues — with one hot spare, so one slot rebuilds and the other is
+// served degraded through decode sets to the end of the run. A final
+// explicit escalation past m proves reads through lost columns surface
+// kUnrecoverable terminally instead of wedging.
+// ---------------------------------------------------------------------------
+
+void RunErasureChaos(uint64_t seed, bool write_summary, ChaosDigest* out) {
+  constexpr uint32_t kDisks = 6;
+  constexpr uint32_t kParityShards = 2;
+  constexpr int kOps = 400;
+  constexpr uint64_t kStepBudget = 30'000'000;
+
+  InvariantAuditor auditor;
+  MimdRaidOptions options =
+      ChaosOptions(ArrayBackendKind::kErasure, seed, &auditor);
+  options.aspect.ds = kDisks;
+  options.aspect.dr = 1;
+  options.aspect.dm = 1;
+  options.parity_shards = kParityShards;
+  // 2000 usable sectors per disk once the two parity shares are carved out.
+  options.dataset_sectors = 8000;
+  options.fault.latent_error_prob = 0.001;
+  options.fault.transient_error_prob = 0.003;
+  options.fault.timeout_prob = 0.002;
+  MimdRaid array(options);
+  Simulator& sim = array.sim();
+  EcController& controller = array.ec();
+  const EcLayout& layout = array.ec_layout();
+  FaultInjector& injector = *array.fault_injector();
+
+  Rng rng(seed * 37 + 11);
+  const uint32_t victim_a = static_cast<uint32_t>(rng.UniformU64(kDisks));
+  const uint32_t victim_b =
+      (victim_a + 1 + static_cast<uint32_t>(rng.UniformU64(kDisks - 1))) %
+      kDisks;
+  const int failstop_a_at = kOps / 4;
+  const int failstop_b_at = kOps / 2;
+
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t lba = rng.UniformU64(layout.data_capacity_sectors() - 4);
+    for (const EcFragment& f : layout.Map(lba, 1)) {
+      injector.InjectLatentError(f.data_disk, f.disk_lba);
+    }
+  }
+
+  std::vector<int> completions(kOps, 0);
+  ChaosDigest digest;
+  int done = 0;
+  for (int i = 0; i < kOps; ++i) {
+    if (i == failstop_a_at) {
+      injector.FailStop(victim_a);  // detected on the next access
+    }
+    if (i == failstop_b_at) {
+      injector.FailStop(victim_b);  // second concurrent loss: still within m
+    }
+    const uint32_t sectors = 1 + static_cast<uint32_t>(rng.UniformU64(24));
+    const uint64_t lba =
+        rng.UniformU64(layout.data_capacity_sectors() - sectors);
+    const DiskOp op = rng.Bernoulli(0.6) ? DiskOp::kRead : DiskOp::kWrite;
+    controller.Submit(op, lba, sectors, [&, i](const IoResult& r) {
+      ++completions[i];
+      ++done;
+      EXPECT_TRUE(r.status == IoStatus::kOk ||
+                  r.status == IoStatus::kUnrecoverable)
+          << "op " << i << " surfaced intermediate status "
+          << IoStatusName(r.status);
+      digest.completion_time_sum += static_cast<uint64_t>(r.completion_us.us());
+      if (r.status == IoStatus::kOk) {
+        ++digest.ok;
+      } else {
+        ++digest.unrecoverable;
+      }
+    });
+    if (rng.Bernoulli(0.3)) {
+      sim.RunUntil(sim.Now() +
+                   SimDuration(static_cast<int64_t>(rng.UniformU64(20'000))));
+    }
+  }
+
+  uint64_t steps = 0;
+  while (done < kOps) {
+    ASSERT_TRUE(sim.Step()) << "simulator ran dry with ops outstanding";
+    ASSERT_LT(++steps, kStepBudget) << "soak wedged: completions lost";
+  }
+  for (int i = 0; i < kOps; ++i) {
+    ASSERT_EQ(completions[i], 1) << "op " << i;
+  }
+
+  // Idle scrub window, then stop the sweeper and drain everything: scrub
+  // reads, the spare rebuild, queued rebuilds, deferred recovery.
+  sim.RunUntil(sim.Now() + SimDuration(3'000'000));
+  controller.StopScrub();
+  steps = 0;
+  while ((!controller.Idle() || controller.RebuildInProgress()) &&
+         sim.Step()) {
+    ASSERT_LT(++steps, kStepBudget) << "drain wedged";
+  }
+  EXPECT_TRUE(controller.Idle());
+
+  // Escalate past the code's budget: fail live disks until m+1 slots are
+  // concurrently down, then sweep reads across the dataset. Reads needing a
+  // lost column must complete kUnrecoverable — terminally, without wedging.
+  uint32_t failed_now = 0;
+  for (uint32_t d = 0; d < kDisks; ++d) {
+    failed_now += controller.IsFailed(SlotId(d)) ? 1u : 0u;
+  }
+  for (uint32_t d = 0; d < kDisks && failed_now <= kParityShards; ++d) {
+    if (!controller.IsFailed(SlotId(d))) {
+      ASSERT_TRUE(controller.FailDisk(SlotId(d)));
+      ++failed_now;
+    }
+  }
+  constexpr int kSweepOps = 80;
+  int sweep_done = 0;
+  int sweep_unrecoverable = 0;
+  for (int i = 0; i < kSweepOps; ++i) {
+    const uint64_t lba = (static_cast<uint64_t>(i) * 97) %
+                         (layout.data_capacity_sectors() - 8);
+    controller.Submit(DiskOp::kRead, lba, 8, [&](const IoResult& r) {
+      ++sweep_done;
+      EXPECT_TRUE(r.status == IoStatus::kOk ||
+                  r.status == IoStatus::kUnrecoverable);
+      sweep_unrecoverable += r.status == IoStatus::kUnrecoverable ? 1 : 0;
+    });
+  }
+  steps = 0;
+  while (sweep_done < kSweepOps) {
+    ASSERT_TRUE(sim.Step()) << "simulator ran dry past the fault budget";
+    ASSERT_LT(++steps, kStepBudget) << "beyond-m sweep wedged";
+  }
+  EXPECT_GT(sweep_unrecoverable, 0)
+      << "m+1 concurrent losses surfaced no data loss";
+  steps = 0;
+  while (!controller.Idle() && sim.Step()) {
+    ASSERT_LT(++steps, kStepBudget) << "final drain wedged";
+  }
+
+  controller.AuditQuiescent();
+  EXPECT_EQ(auditor.violations(), 0u);
+  EXPECT_GT(auditor.checks_run(), 0u);
+
+  const FaultRecoveryStats& fs = controller.fault_stats();
+  EXPECT_GT(fs.TotalFaultsSeen(), 0u) << "chaos mix injected nothing";
+  EXPECT_GT(fs.scrub_reads, 0u);
+  digest.faults_seen = fs.TotalFaultsSeen();
+  digest.retries = fs.retries_issued;
+  digest.failovers = fs.failovers;
+
+  if (write_summary) {
+    AppendSummary("chaos seed " + std::to_string(seed) + " (ec 4+2+1)", fs,
+                  injector.counters());
+  }
+  *out = digest;
+}
+
+TEST(ChaosSoak, ErasureSurvivesFaultMixWithTwoConcurrentFailStops) {
+  if (!BackendSelected("ec")) {
+    GTEST_SKIP() << "MIMDRAID_CHAOS_BACKEND selects another backend";
+  }
+  for (const uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ChaosDigest digest;
+    RunErasureChaos(seed, /*write_summary=*/true, &digest);
+  }
+}
+
+TEST(ChaosSoak, ErasureRunIsDeterministicForSeed) {
+  if (!BackendSelected("ec")) {
+    GTEST_SKIP() << "MIMDRAID_CHAOS_BACKEND selects another backend";
+  }
+  const uint64_t seed = ChaosSeeds().front();
+  ChaosDigest a;
+  ChaosDigest b;
+  RunErasureChaos(seed, /*write_summary=*/false, &a);
+  RunErasureChaos(seed, /*write_summary=*/false, &b);
   EXPECT_TRUE(a == b) << "same seed produced different runs";
 }
 

@@ -362,5 +362,17 @@ TEST(RebuildCalib, DeterministicPerSeedAndDistinctPerBackend) {
   EXPECT_NE(mirror.measured_duration_us, a.measured_duration_us);
 }
 
+TEST(RebuildCalib, ErasureBackendCalibratesViaDecodeRebuild) {
+  const rel::RebuildCalibration calib =
+      rel::CalibrateRebuild(ArrayBackendKind::kErasure, 5);
+  EXPECT_GT(calib.measured_sectors, 0u);
+  EXPECT_GT(calib.measured_duration_us, 0.0);
+  // The 2+2 rig decodes from two survivors per row; it is not the RAID-5
+  // 3+1 measurement.
+  const rel::RebuildCalibration raid5 =
+      rel::CalibrateRebuild(ArrayBackendKind::kRaid5, 5);
+  EXPECT_NE(calib.measured_duration_us, raid5.measured_duration_us);
+}
+
 }  // namespace
 }  // namespace mimdraid

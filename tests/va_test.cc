@@ -78,6 +78,19 @@ VaRequest Raid5Request(const std::string& name, uint64_t dataset = 2400) {
   return r;
 }
 
+VaRequest ErasureRequest(const std::string& name, uint64_t dataset = 2400) {
+  VaRequest r;
+  r.name = name;
+  r.backend = ArrayBackendKind::kErasure;
+  r.aspect.ds = 4;
+  r.aspect.dr = 1;
+  r.aspect.dm = 1;
+  r.parity_shards = 2;  // a 2+2 code
+  r.dataset_sectors = dataset;
+  r.stripe_unit_sectors = 16;
+  return r;
+}
+
 const VaPlacement kAllPolicies[] = {
     VaPlacement::kMostFree, VaPlacement::kLeastFree,
     VaPlacement::kProbabilistic, VaPlacement::kRoundRobin};
@@ -91,6 +104,26 @@ TEST(VaAllocatorTest, PerDriveSectorsFollowsRedundancy) {
   // RAID-5 over 4 disks: 3 data shares cover the dataset, unit-rounded.
   VaRequest r = Raid5Request("r");
   EXPECT_EQ(VirtualArrayAllocator::PerDriveSectors(r), 800u);
+  // Erasure 2+2 over 4 disks: k=2 data shares cover the dataset; every
+  // shard (data or parity) reserves the same per-drive extent.
+  VaRequest e = ErasureRequest("e");
+  EXPECT_EQ(VirtualArrayAllocator::PerDriveSectors(e), 1200u);
+}
+
+TEST(VaAllocatorTest, ReleaseFailsFastOnDoubleOrUnknownRelease) {
+  VirtualArrayAllocator alloc(MakeUniformFleet(6), 6, VaPlacement::kMostFree,
+                              /*seed=*/3);
+  const VaAllocation a = *alloc.Allocate(MirrorRequest("a"));
+  alloc.Release(a);
+  // Releasing the same allocation again must trip the liveness check before
+  // any free-space is credited, not silently inflate the pool.
+  EXPECT_DEATH(alloc.Release(a), "CHECK");
+
+  VirtualArrayAllocator other(MakeUniformFleet(6), 6, VaPlacement::kMostFree,
+                              /*seed=*/3);
+  const VaAllocation b = *alloc.Allocate(MirrorRequest("b"));
+  // An allocation this allocator never granted is just as fatal.
+  EXPECT_DEATH(other.Release(b), "CHECK");
 }
 
 TEST(VaAllocatorTest, ConservesCapacityAndNeverOverAllocates) {
@@ -272,6 +305,7 @@ TEST(VaEndToEndTest, MixedGenerationMultiTenantRunExportsPerVaStats) {
 
   const VaAllocation mirror_va = *alloc.Allocate(MirrorRequest("tenantA"));
   const VaAllocation raid5_va = *alloc.Allocate(Raid5Request("tenantB"));
+  const VaAllocation ec_va = *alloc.Allocate(ErasureRequest("tenantC"));
 
   // The mirror tenant really is mixed-generation.
   bool has_big = false;
@@ -287,6 +321,9 @@ TEST(VaEndToEndTest, MixedGenerationMultiTenantRunExportsPerVaStats) {
   base_a.collector = &collector_a;
   MimdRaid& tenant_a = host.Add(mirror_va, base_a);
   MimdRaid& tenant_b = host.Add(raid5_va, base);
+  MimdRaid& tenant_c = host.Add(ec_va, base);
+  // Materialize carried the erasure width through to the array.
+  EXPECT_EQ(tenant_c.options().parity_shards, 2u);
 
   // Slots inherit the physical drives' generations: mixed geometry in one
   // array.
@@ -296,6 +333,7 @@ TEST(VaEndToEndTest, MixedGenerationMultiTenantRunExportsPerVaStats) {
 
   RunOps(&tenant_a, 120, 101);
   RunOps(&tenant_b, 120, 103);
+  RunOps(&tenant_c, 120, 107);
 
   StatsRegistry registry;
   host.ExportAllStats(&registry);
@@ -303,6 +341,7 @@ TEST(VaEndToEndTest, MixedGenerationMultiTenantRunExportsPerVaStats) {
 
   EXPECT_GT(registry.Get("va.tenantA.array.reads_completed"), 0.0);
   EXPECT_GT(registry.Get("va.tenantB.raid5.reads_completed"), 0.0);
+  EXPECT_GT(registry.Get("va.tenantC.ec.reads_completed"), 0.0);
   EXPECT_TRUE(registry.Contains("va.tenantA.fault.spare_rejected"));
   EXPECT_TRUE(registry.Contains("va.tenantB.fault.spare_rejected"));
   // The trace namespace lands under the same tenant prefix.
@@ -318,10 +357,11 @@ TEST(VaEndToEndTest, MixedGenerationMultiTenantRunExportsPerVaStats) {
   }
   EXPECT_TRUE(trace_key_seen) << "no trace-collector keys under va.tenantA.";
 
-  // Releasing both tenants restores the fleet.
+  // Releasing every tenant restores the fleet.
   const uint64_t before_release = alloc.TotalFreeSectors();
   alloc.Release(mirror_va);
   alloc.Release(raid5_va);
+  alloc.Release(ec_va);
   EXPECT_GT(alloc.TotalFreeSectors(), before_release);
   for (uint32_t d = 0; d < alloc.num_drives(); ++d) {
     EXPECT_EQ(alloc.DriveFreeSectors(d), alloc.DriveCapacitySectors(d));
